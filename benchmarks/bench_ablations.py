@@ -1,0 +1,156 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+Each knob isolated: caching options, batching, sync vs async writes,
+registration cache, receiver-directed Get scheduling, NUMA buffer
+placement policy, and the XPMEM single-copy path.
+"""
+
+import pytest
+
+from repro.adios import block_decompose
+from repro.core import CachingOption, RedistributionEngine
+from repro.core.runtime import FlexIORuntime, NumaBufferPolicy
+from repro.coupled import CoupledOptions, PlacementStyle, gts_workload, simulate_coupled
+from repro.machine import GeminiInterconnect, smoky, titan
+from repro.transport import RegistrationCache
+from repro.util import MiB
+
+
+def _engine(caching, batching):
+    writers = block_decompose((256, 256), (32, 1))
+    readers = block_decompose((256, 256), (4, 1))
+    return RedistributionEngine(writers, readers, caching=caching, batching=batching)
+
+
+def test_ablation_caching_options(benchmark, save_table):
+    def sweep():
+        rows = []
+        for opt in CachingOption:
+            eng = _engine(opt, batching=False)
+            eng.handshake(num_variables=22)
+            steady = eng.handshake(num_variables=22)
+            rows.append({"caching": opt.value, "steady_msgs": steady.messages})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    save_table(rows, "ablation_caching", title="Ablation: caching option vs steady handshake messages")
+    msgs = {r["caching"]: r["steady_msgs"] for r in rows}
+    assert msgs["all"] == 0 < msgs["local"] < msgs["none"]
+
+
+def test_ablation_batching(benchmark, save_table):
+    def sweep():
+        rows = []
+        for batching in (False, True):
+            eng = _engine(CachingOption.NO_CACHING, batching)
+            hs = eng.handshake(num_variables=22)
+            rows.append(
+                {
+                    "batching": batching,
+                    "handshake_msgs": hs.messages,
+                    "data_msgs": eng.data_message_count(22),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=3, iterations=1)
+    save_table(rows, "ablation_batching", title="Ablation: batching 22 variables")
+    assert rows[0]["handshake_msgs"] == 22 * rows[1]["handshake_msgs"]
+    assert rows[0]["data_msgs"] == 22 * rows[1]["data_msgs"]
+
+
+def test_ablation_sync_vs_async_staging(benchmark, save_table):
+    m = smoky(40)
+    wl, _ = gts_workload(m, 64, helper_mode=False, num_steps=10)
+
+    def run():
+        out = []
+        for asyn in (False, True):
+            r = simulate_coupled(
+                m, wl, style=PlacementStyle.STAGING, num_ana=16,
+                options=CoupledOptions(asynchronous=asyn),
+            )
+            out.append(
+                {
+                    "asynchronous": asyn,
+                    "tet_s": r.total_execution_time,
+                    "io_visible_s_per_step": r.step.sim_io_visible,
+                    "network_slowdown": r.step.slowdowns.get("network", 0.0),
+                }
+            )
+        return out
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_table(rows, "ablation_sync_async", title="Ablation: sync vs async staging writes (GTS)")
+    sync, asyn = rows
+    assert asyn["io_visible_s_per_step"] < sync["io_visible_s_per_step"]
+    assert asyn["tet_s"] < sync["tet_s"]
+    assert asyn["network_slowdown"] > 0  # the price of overlap
+
+
+def test_ablation_registration_cache(benchmark, save_table):
+    ic = GeminiInterconnect()
+
+    def run():
+        with_cache = RegistrationCache(ic)
+        total_cached = 0.0
+        for _ in range(50):
+            buf, cost = with_cache.acquire(4 * MiB)
+            total_cached += cost + ic.wire_time(4 * MiB)
+            with_cache.release(buf)
+        total_cold = 50 * (
+            2 * (ic.allocation_time(4 * MiB) + ic.registration_time(4 * MiB))
+            + ic.wire_time(4 * MiB)
+        )
+        return [
+            {"config": "registration cache", "fifty_transfers_s": total_cached},
+            {"config": "dynamic every time", "fifty_transfers_s": total_cold},
+        ]
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    save_table(rows, "ablation_registration_cache",
+               title="Ablation: registration cache over 50 4-MiB transfers")
+    assert rows[0]["fifty_transfers_s"] < rows[1]["fifty_transfers_s"]
+
+
+def test_ablation_numa_buffer_policy(benchmark, save_table):
+    m = smoky(4)
+
+    def run():
+        rows = []
+        for policy in NumaBufferPolicy:
+            rt = FlexIORuntime(m, numa_policy=policy)
+            rows.append(
+                {
+                    "policy": policy.value,
+                    # Writer-visible async copy cost across NUMA domains.
+                    "writer_copy_s": rt.writer_visible_transfer_time(
+                        64 * MiB, 0, 12, asynchronous=True
+                    ),
+                    "total_transfer_s": rt.transfer_time(64 * MiB, 0, 12),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    save_table(rows, "ablation_numa_policy",
+               title="Ablation: NUMA placement of FlexIO's shm buffers")
+    by = {r["policy"]: r for r in rows}
+    # The paper's default (writer-local) protects the producer.
+    assert by["writer-local"]["writer_copy_s"] < by["reader-local"]["writer_copy_s"]
+
+
+def test_ablation_xpmem(benchmark, save_table):
+    m = titan(2)
+
+    def run():
+        rt = FlexIORuntime(m)
+        return [
+            {"path": "classic 2-copy", "transfer_s": rt.transfer_time(128 * MiB, 0, 1, xpmem=False)},
+            {"path": "xpmem 1-copy", "transfer_s": rt.transfer_time(128 * MiB, 0, 1, xpmem=True)},
+        ]
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1)
+    save_table(rows, "ablation_xpmem", title="Ablation: XPMEM page mapping on the XK6")
+    assert rows[1]["transfer_s"] < rows[0]["transfer_s"]
+    assert rows[1]["transfer_s"] / rows[0]["transfer_s"] == pytest.approx(0.5, abs=0.1)

@@ -1,0 +1,87 @@
+"""Section IV prose numbers: CPU hours, movement volumes, gaps to the
+lower bound, staging interference.
+
+Paper claims checked here:
+* GTS: inline worst in CPU hours at scale; helper-core cheapest; helper
+  and inline cut inter-node movement by ~90 % vs staging; staging's GTS
+  slowdown kept under 15 % by the Get scheduler;
+* S3D: staging uses ~1–3 % extra resources at these scales (0.78 % at
+  the paper's largest) yet beats inline in both TET and CPU hours at
+  scale.
+"""
+
+from repro.figures import gts_cost_metrics, s3d_cost_metrics
+
+
+def test_gts_cost_metrics(benchmark, save_table):
+    rows = benchmark.pedantic(
+        gts_cost_metrics,
+        kwargs={"machine_name": "smoky", "gts_cores": 512, "num_steps": 20},
+        rounds=1,
+        iterations=1,
+    )
+    save_table(rows, "gts_cost_metrics_smoky",
+               title="GTS cost metrics at 512 cores on Smoky")
+    by = {r["placement"]: r for r in rows}
+
+    # Inter-node movement: helper ~90 % below staging.
+    helper = by["helper (topology-aware)"]
+    staging = by["staging"]
+    assert helper["inter_node_MB"] < 0.1 * staging["inter_node_MB"]
+
+    # CPU hours: helper cheapest of the real placements; inline worst or
+    # close to it at this scale.
+    placements = [k for k in by if k != "lower-bound"]
+    cheapest = min(placements, key=lambda k: by[k]["cpu_hours"])
+    assert cheapest == "helper (topology-aware)"
+    assert by["inline"]["cpu_hours"] > by["helper (topology-aware)"]["cpu_hours"]
+
+    # Staging interference on GTS kept under 15 % with scheduling.
+    assert by["staging"]["sim_slowdown"] < 0.15
+
+    # Gap to the lower bound for the best placement.
+    assert by["helper (topology-aware)"]["gap_to_lb"] < 0.13
+
+
+def test_s3d_cost_metrics(benchmark, save_table):
+    rows = benchmark.pedantic(
+        s3d_cost_metrics,
+        kwargs={"machine_name": "titan", "s3d_cores": 1024, "num_steps": 40},
+        rounds=1,
+        iterations=1,
+    )
+    save_table(rows, "s3d_cost_metrics_titan",
+               title="S3D cost metrics at 1024 cores on Titan")
+    by = {r["placement"]: r for r in rows}
+
+    staging = by["staging (topology-aware)"]
+    # Small extra resources (paper: 0.78 % at their scale).
+    assert staging["extra_resources"] < 0.05
+    # Staging beats inline in TET and in CPU hours at scale.
+    assert staging["tet_s"] < by["inline"]["tet_s"]
+    assert staging["cpu_hours"] < by["inline"]["cpu_hours"]
+    # Gap to the lower bound (paper: <= 3.6 % on Titan).
+    assert staging["gap_to_lb"] < 0.05
+    # Inline moves nothing over the interconnect but pays in time.
+    assert by["inline"]["inter_node_MB"] == 0
+
+
+def test_gts_staging_unscheduled_interference(benchmark, save_table):
+    """Without the Get scheduler, async bulk movement interferes more —
+    the reason the paper 'carefully set the scheduling policy'."""
+    from repro.coupled import CoupledOptions
+
+    def run():
+        sched = gts_cost_metrics("smoky", 512, num_steps=10,
+                                 options=CoupledOptions(scheduler_max_concurrent=4))
+        flood = gts_cost_metrics("smoky", 512, num_steps=10,
+                                 options=CoupledOptions(scheduler_max_concurrent=None))
+        return sched, flood
+
+    sched, flood = benchmark.pedantic(run, rounds=1, iterations=1)
+    s = {r["placement"]: r for r in sched}["staging"]
+    f = {r["placement"]: r for r in flood}["staging"]
+    save_table([s, f], "gts_staging_scheduler_ablation",
+               title="GTS staging: scheduled vs unscheduled Gets (interference)")
+    assert f["sim_slowdown"] > s["sim_slowdown"]
+    assert f["tet_s"] >= s["tet_s"]

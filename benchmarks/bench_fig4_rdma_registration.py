@@ -1,0 +1,42 @@
+"""Figure 4 — cost of dynamic buffer allocation and registration in RDMA
+Get on Cray XK6 / Gemini.
+
+Shape targets from the paper:
+* static (cached) buffers beat dynamic allocation+registration at every
+  message size;
+* the gap is largest for small/medium messages and narrows as transfer
+  time dominates;
+* static large-message bandwidth approaches the Gemini peak (~6 GB/s).
+"""
+
+from repro.figures import fig4_rdma_registration
+from repro.figures.fig4 import fig4_functional_check
+from repro.util import KiB, MiB
+
+
+def test_fig4_bandwidth_sweep(benchmark, save_table):
+    rows = benchmark.pedantic(fig4_rdma_registration, rounds=3, iterations=1)
+    text = save_table(
+        rows,
+        "fig4_rdma_registration",
+        title="Figure 4: RDMA Get bandwidth (MB/s), dynamic vs static registration (Gemini)",
+    )
+    assert len(rows) == 8
+    for row in rows:
+        assert row["static_MBps"] > row["dynamic_MBps"]
+    # Gap narrows with size.
+    ratios = [r["dynamic/static"] for r in rows]
+    assert ratios[0] < ratios[-1] < 1.0
+    # Peak check.
+    assert 4000 < rows[-1]["static_MBps"] < 6500
+
+
+def test_fig4_functional_registration_cache(benchmark, save_table):
+    """The protocol-level source of the gap: cold Gets pay setup, warm
+    Gets hit the registration cache."""
+    out = benchmark.pedantic(fig4_functional_check, rounds=3, iterations=1)
+    save_table([out], "fig4_functional_check",
+               title="Figure 4 (functional): cold vs steady-state Get through NNTI")
+    assert out["steady_time_s"] < out["cold_time_s"]
+    assert out["cache_hits"] > 0
+    assert out["setup_saved_s"] > 0

@@ -1,0 +1,47 @@
+"""Figure 6 — GTS total execution time on Smoky (a) and Titan (b).
+
+Shape targets from the paper:
+* all three placement algorithms put GTS analytics on helper cores;
+* node-topology-aware < holistic ≈ data-aware < staging < inline;
+* the best placement stays within ~8.4 % (Smoky) / ~7.9 % (Titan) of the
+  solo lower bound (we allow a modest margin: the pipeline drain of our
+  finite runs is included in TET);
+* the benefit over inline grows with scale.
+"""
+
+import pytest
+
+from repro.figures import fig6_gts_total_execution_time
+
+
+@pytest.mark.parametrize("machine_name", ["smoky", "titan"])
+def test_fig6_gts_placement(benchmark, save_table, machine_name):
+    rows = benchmark.pedantic(
+        fig6_gts_total_execution_time,
+        args=(machine_name,),
+        kwargs={"num_steps": 20},
+        rounds=1,
+        iterations=1,
+    )
+    sub = "a" if machine_name == "smoky" else "b"
+    save_table(
+        rows,
+        f"fig6{sub}_gts_{machine_name}",
+        title=f"Figure 6({sub}): GTS Total Execution Time (s) on {machine_name}",
+    )
+    for row in rows:
+        lb = row["lower-bound"]
+        topo = row["helper (topology-aware)"]
+        # Ordering within the figure.
+        assert lb < topo
+        assert topo < row["helper (holistic)"]
+        assert topo < row["helper (data-aware)"]
+        assert max(row["helper (holistic)"], row["helper (data-aware)"]) < row["staging"]
+        assert row["staging"] < row["inline"]
+        # Gap to the lower bound stays tight for the best placement.
+        assert topo / lb - 1.0 < 0.13
+    # Benefit over inline grows (weak scaling).
+    benefits = [
+        (r["inline"] - r["helper (topology-aware)"]) / r["inline"] for r in rows
+    ]
+    assert benefits[-1] >= benefits[0] - 0.01

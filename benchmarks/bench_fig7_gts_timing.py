@@ -1,0 +1,42 @@
+"""Figure 7 — detailed timing of GTS and analytics (128 MPI processes on
+Smoky).
+
+Shape targets from the paper:
+* Case 1 (helper core): I/O overhead nearly invisible thanks to the shm
+  transport; analytics idle a large fraction of the time (paper: 67 %);
+* Case 2 (inline): analysis weighs ~23.6 % of GTS runtime;
+* taking one core from GTS (4 → 3 OpenMP threads) slows the simulation
+  by only ~2.7 %;
+* helper-core cache sharing costs ~4.1 % of simulation time (vs solo).
+"""
+
+from repro.figures import fig7_gts_detailed_timing
+from repro.figures.fig7 import fig7_headline_numbers
+
+
+def test_fig7_detailed_timing(benchmark, save_table):
+    rows = benchmark.pedantic(
+        fig7_gts_detailed_timing, kwargs={"num_steps": 20}, rounds=1, iterations=1
+    )
+    save_table(rows, "fig7_gts_detailed_timing",
+               title="Figure 7: detailed timing of GTS and analytics (128 ranks, Smoky)")
+    heads = fig7_headline_numbers(rows)
+    save_table([heads], "fig7_headline_numbers",
+               title="Figure 7 headline numbers (paper: 0.236 / 0.027 / 0.041 / 0.67)")
+
+    case1, case2, case3 = rows
+
+    # Case 1: I/O nearly invisible.
+    assert case1["io_s"] < 0.01 * case1["tet_s"]
+    # Case 1: analytics idle most of the time (paper 67 %).
+    assert 0.5 < case1["idle_frac"] < 0.9
+    # Case 2: inline analysis ~23.6 % of runtime.
+    assert abs(heads["inline_analysis_fraction"] - 0.236) < 0.08
+    # Taking one core costs ~2.7 %.
+    assert abs(heads["take_one_core_slowdown"] - 0.027) < 0.01
+    # Cache sharing costs ~4.1 %.
+    assert abs(heads["helper_cache_slowdown"] - 0.041) < 0.015
+    # Helper-core TET beats inline TET.
+    assert case1["tet_s"] < case2["tet_s"]
+    # Solo is the floor.
+    assert case3["tet_s"] < case1["tet_s"]

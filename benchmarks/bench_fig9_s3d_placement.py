@@ -1,0 +1,48 @@
+"""Figure 9 — S3D_Box total execution time on Smoky (a) and Titan (b).
+
+Shape targets from the paper:
+* holistic and topology-aware placements deploy the visualization onto
+  staging nodes; data-aware mapping's hybrid placement is worse;
+* staging beats inline, with the advantage growing at larger scales (up
+  to 19 % on Smoky and 30 % on Titan);
+* staging stays within ~5.1 % (Smoky) / ~3.6 % (Titan) of the solo lower
+  bound while using <10 % extra resources.
+"""
+
+import pytest
+
+from repro.figures import fig9_s3d_total_execution_time
+
+
+@pytest.mark.parametrize("machine_name", ["smoky", "titan"])
+def test_fig9_s3d_placement(benchmark, save_table, machine_name):
+    rows = benchmark.pedantic(
+        fig9_s3d_total_execution_time,
+        args=(machine_name,),
+        kwargs={"num_steps": 40},
+        rounds=1,
+        iterations=1,
+    )
+    sub = "a" if machine_name == "smoky" else "b"
+    save_table(
+        rows,
+        f"fig9{sub}_s3d_{machine_name}",
+        title=f"Figure 9({sub}): S3D_Box Total Execution Time (s) on {machine_name}",
+    )
+    for row in rows:
+        lb = row["lower-bound"]
+        topo = row["staging (topology-aware)"]
+        assert lb < topo
+        assert topo <= row["staging (holistic)"]
+        assert row["staging (holistic)"] < row["hybrid (data-aware)"]
+        assert row["hybrid (data-aware)"] < row["inline"]
+    # Staging's advantage over inline grows with scale.
+    gains = [
+        (r["inline"] - r["staging (topology-aware)"]) / r["inline"] for r in rows
+    ]
+    assert gains == sorted(gains)
+    # At the largest scale the gain is substantial (paper: 19–30 %).
+    assert gains[-1] > 0.12
+    # Gap to the lower bound stays small for staging.
+    last = rows[-1]
+    assert last["staging (topology-aware)"] / last["lower-bound"] - 1.0 < 0.07

@@ -1,0 +1,38 @@
+"""Extension experiment — the Pixie3D pipeline on the Jaguar XT5
+(paper Section II.H names the application and machine; no figure exists,
+so this bench records the placement sweep our models produce there).
+
+Shape expectations (consistent with the paper's framework):
+* all placement algorithms beat inline, which beats offline;
+* topology-aware <= holistic <= data-aware;
+* the analysis pipeline's light footprint keeps every online placement
+  within a few percent of the lower bound.
+"""
+
+from repro.coupled import evaluate_pixie3d_placements
+from repro.machine import jaguar_xt5
+
+
+def test_pixie3d_xt5_placement_sweep(benchmark, save_table):
+    def run():
+        return evaluate_pixie3d_placements(jaguar_xt5(60), 144, num_steps=20)
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        {
+            "placement": name,
+            "tet_s": r.total_execution_time,
+            "nodes": r.metrics.num_nodes,
+            "cpu_hours": r.metrics.total_cpu_hours,
+            "file_MB": r.metrics.file_bytes / 2**20,
+        }
+        for name, r in res.items()
+    ]
+    save_table(rows, "pixie3d_xt5_placement",
+               title="Pixie3D placement sweep on Jaguar XT5 (extension)")
+    tet = {name: r.total_execution_time for name, r in res.items()}
+    assert tet["lower-bound"] < tet["topology-aware"]
+    assert tet["topology-aware"] <= tet["holistic"] <= tet["data-aware"]
+    assert tet["data-aware"] < tet["inline"] < tet["offline"]
+    # Online analysis stays close to the solo run.
+    assert tet["topology-aware"] / tet["lower-bound"] - 1.0 < 0.03

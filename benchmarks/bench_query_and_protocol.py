@@ -1,0 +1,98 @@
+"""Benchmarks for the index-assisted query engine and the protocol-level
+DES simulation (extensions beyond the paper's figures, covering the
+offline-analysis path and the Section II.C protocol at message level).
+"""
+
+import numpy as np
+import pytest
+
+from repro.adios import BpReader, BpWriter, Range, block_decompose, run_query
+from repro.core import CachingOption
+from repro.coupled.protocol import ProtocolSimulation, matching_engine
+from repro.machine import smoky
+
+
+@pytest.fixture(scope="module")
+def big_bp(tmp_path_factory):
+    """64 blocks with stratified value ranges: block k in [10k, 10k+9]."""
+    path = str(tmp_path_factory.mktemp("bench") / "query.bp")
+    shape = (64 * 32,)
+    boxes = block_decompose(shape, (64,))
+    rng = np.random.default_rng(0)
+    with BpWriter(path) as w:
+        w.begin_step()
+        for rank, box in enumerate(boxes):
+            data = rng.uniform(10.0 * rank, 10.0 * rank + 9.0, size=box.count)
+            w.write(rank, "v", data, box=box, global_shape=shape)
+        w.end_step()
+    return path
+
+
+def test_query_with_index_pruning(benchmark, big_bp, save_table):
+    """A 3-block-wide range query: the index discards 61 of 64 blocks."""
+    def narrow_query():
+        with BpReader(big_bp) as r:
+            return run_query(r, Range("v", 300.0, 325.0))
+
+    res = benchmark(narrow_query)
+    save_table(
+        [{
+            "query": "v in [300, 325]",
+            "blocks_pruned": res.blocks_pruned,
+            "blocks_scanned": res.blocks_scanned,
+            "hits": res.count,
+            "pruning_ratio": res.pruning_ratio,
+        }],
+        "query_index_pruning",
+        title="Index-assisted range query over 64 stratified blocks",
+    )
+    assert res.pruning_ratio > 0.9
+    assert res.count > 0
+
+
+def test_query_full_scan_baseline(benchmark, big_bp):
+    """The no-pruning baseline: a query matching every block."""
+    def wide_query():
+        with BpReader(big_bp) as r:
+            return run_query(r, Range("v", lo=0.0))
+
+    res = benchmark(wide_query)
+    assert res.blocks_pruned == 0
+    assert res.blocks_scanned == 64
+
+
+@pytest.mark.parametrize("caching", list(CachingOption))
+def test_protocol_des_per_caching(benchmark, save_table, caching):
+    """Message-level protocol execution, 32 writers -> 4 readers, 5 steps."""
+    shape = (32 * 8, 16)
+    writers = block_decompose(shape, (32, 1))
+    readers = block_decompose(shape, (4, 1))
+    machine = smoky(8)
+    cpn = machine.node_type.cores_per_node
+
+    def run():
+        sim = ProtocolSimulation(
+            machine, writers, readers,
+            writer_cores=[i % cpn + (i // cpn) * cpn for i in range(32)],
+            reader_cores=[2 * cpn + j for j in range(4)],
+            caching=caching,
+        )
+        return sim, sim.run(num_steps=5)
+
+    sim, stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    eng = matching_engine(sim)
+    expected = sum(eng.handshake().messages for _ in range(5))
+    assert stats.control_messages == expected
+    save_table(
+        [{
+            "caching": caching.value,
+            "control_msgs": stats.control_messages,
+            "data_msgs": stats.data_messages,
+            "handshake_s_total": sum(stats.handshake_times),
+            "data_s_total": sum(stats.data_times),
+        }],
+        f"protocol_des_{caching.value}",
+        title=f"Protocol-level DES: 32x4 exchange, caching={caching.value}",
+    )
+    if caching is CachingOption.CACHING_ALL:
+        assert sum(stats.handshake_times[1:]) == 0.0

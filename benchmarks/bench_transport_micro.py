@@ -1,0 +1,96 @@
+"""Transport micro-benchmarks (Sections II.D/II.E) — real timings of the
+functional data plane: the FastForward SPSC queue, the shm buffer pool,
+marshaling, and the simulated shm/RDMA cost hierarchy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import GeminiInterconnect
+from repro.machine.presets import SMOKY_NODE, TITAN_NODE
+from repro.marshal import FieldKind, FormatRegistry, decode_message, encode_message
+from repro.transport import ShmBufferPool, ShmChannel, ShmCostModel, SPSCQueue
+from repro.util import KiB, MiB
+
+
+def test_spsc_queue_throughput(benchmark):
+    """Enqueue+dequeue round trips through the lock-free ring (real time)."""
+    q = SPSCQueue(slots=64, payload_size=200)
+    msg = b"x" * 128
+
+    def pingpong():
+        for _ in range(100):
+            q.try_enqueue(msg)
+            q.try_dequeue()
+
+    benchmark(pingpong)
+    assert q.stats.enqueued == q.stats.dequeued
+
+
+def test_shm_channel_large_message_throughput(benchmark):
+    """Two-copy pool path moving 1 MiB payloads (real time)."""
+    ch = ShmChannel()
+    payload = np.random.default_rng(0).bytes(1 * MiB)
+
+    def send_recv():
+        ch.send(payload)
+        return ch.recv()
+
+    out = benchmark(send_recv)
+    assert out == payload
+    assert ch.pool.stats.reuses > 0  # pool amortizes after warm-up
+
+
+def test_buffer_pool_reuse_rate(benchmark):
+    pool = ShmBufferPool()
+
+    def churn():
+        bufs = [pool.acquire(64 * KiB) for _ in range(8)]
+        for b in bufs:
+            pool.release(b.buffer_id)
+
+    benchmark(churn)
+    stats = pool.stats
+    assert stats.reuses > stats.allocations
+
+
+def test_marshal_codec_throughput(benchmark):
+    """Encode+decode of a particle-like record (real time)."""
+    reg = FormatRegistry()
+    fmt = reg.define(
+        "particles",
+        [("step", FieldKind.INT64), ("zion", FieldKind.ARRAY), ("tag", FieldKind.STRING)],
+    )
+    record = {"step": 7, "zion": np.random.default_rng(0).random((10_000, 7)), "tag": "gts"}
+
+    def round_trip():
+        wire = encode_message(fmt, record, peer_registry=reg)
+        return decode_message(wire, reg)
+
+    _, out = benchmark(round_trip)
+    assert out["step"] == 7
+    assert out["zion"].shape == (10_000, 7)
+
+
+def test_cost_hierarchy_shm_vs_rdma(benchmark, save_table):
+    """Modeled per-MB movement costs: same-NUMA shm < cross-NUMA shm <
+    RDMA — the gradient the placement algorithms exploit."""
+
+    def table():
+        # Titan: the machine that pairs this node type with Gemini.
+        shm = ShmCostModel(TITAN_NODE)
+        ic = GeminiInterconnect()
+        n = 1 * MiB
+        return [
+            {"path": "shm same-NUMA (2 copies)", "seconds_per_MiB": shm.transfer_time(n)},
+            {"path": "shm same-NUMA (xpmem)", "seconds_per_MiB": shm.transfer_time(n, xpmem=True)},
+            {"path": "shm cross-NUMA", "seconds_per_MiB": shm.transfer_time(n, cross_numa=True)},
+            {"path": "RDMA (gemini, warm)", "seconds_per_MiB": ic.get_time(n, static_buffers=True)},
+            {"path": "RDMA (gemini, cold)", "seconds_per_MiB": ic.get_time(n, static_buffers=False)},
+        ]
+
+    rows = benchmark.pedantic(table, rounds=5, iterations=1)
+    save_table(rows, "transport_cost_hierarchy",
+               title="Modeled movement cost per MiB by path")
+    secs = [r["seconds_per_MiB"] for r in rows]
+    assert secs[1] < secs[0] < secs[2] < secs[3] < secs[4]

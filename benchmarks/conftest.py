@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or tables, writes
+the rendered rows under ``results/``, and asserts the *shape* properties
+the paper reports (orderings, crossovers, approximate factors).  Absolute
+times come from the machine models, not the authors' testbed.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    path = os.path.join(os.path.dirname(__file__), "..", "results")
+    os.makedirs(path, exist_ok=True)
+    return os.path.abspath(path)
+
+
+@pytest.fixture
+def save_table(results_dir):
+    """Write rows to results/<name>.txt and return the rendered text."""
+    from repro.figures import write_table
+
+    def _save(rows, name, title="", columns=None):
+        return write_table(rows, name, title=title, columns=columns,
+                           results_dir=results_dir)
+
+    return _save

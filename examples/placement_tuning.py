@@ -1,0 +1,67 @@
+"""Placement tuning (paper Section III/IV): run every placement option
+for GTS on Smoky and compare the paper's metrics.
+
+This regenerates a column of Figure 6(a) at one scale and prints what
+each placement algorithm decided and what it cost.
+
+Run:  python examples/placement_tuning.py [gts_cores]
+"""
+
+import sys
+
+from repro.coupled import evaluate_gts_placements
+from repro.coupled.scenarios import gts_ranks_for_cores, gts_workload
+from repro.figures import format_table
+from repro.machine import smoky
+from repro.placement import DataAwareMapping, HolisticPlacement, NodeTopologyAwarePlacement
+from repro.placement.algorithms import process_group_matrix
+from repro.util import fmt_bytes
+
+
+def main() -> None:
+    cores = int(sys.argv[1]) if len(sys.argv) > 1 else 256
+    machine = smoky(80)
+    ranks = gts_ranks_for_cores(machine, cores)
+    print(f"GTS at {cores} cores on {machine.name}: {ranks} MPI ranks\n")
+
+    # --- What the three algorithms decide --------------------------------
+    helper_wl, cfg = gts_workload(machine, ranks, helper_mode=True)
+    matrix = process_group_matrix(ranks, ranks, cfg.bytes_per_rank)
+    print("placement decisions:")
+    for algo in (DataAwareMapping(), HolisticPlacement(), NodeTopologyAwarePlacement()):
+        p = algo.place(machine, helper_wl.sim, helper_wl.ana, matrix, num_ana=ranks)
+        print(
+            f"  {algo.name:16s} style={p.style():12s} nodes={p.num_nodes:3d} "
+            f"numa-splits={p.thread_numa_splits():3d} "
+            f"inter-node-movement={fmt_bytes(p.interprogram_internode_bytes())}"
+        )
+    print()
+
+    # --- What each placement costs end to end ----------------------------
+    results = evaluate_gts_placements(machine, ranks, num_steps=20)
+    lower_bound = results["lower-bound"].total_execution_time
+    rows = []
+    for name, r in results.items():
+        rows.append(
+            {
+                "placement": name,
+                "TET_s": r.total_execution_time,
+                "vs_lower_bound": f"{r.total_execution_time / lower_bound - 1:+.1%}",
+                "nodes": r.metrics.num_nodes,
+                "cpu_hours": r.metrics.total_cpu_hours,
+                "inter_node_MB": r.metrics.inter_node_bytes / 2**20,
+                "ana_idle": f"{r.analytics_idle_fraction:.0%}",
+            }
+        )
+    print(format_table(rows, title=f"Coupled GTS run, {cores} cores on Smoky"))
+
+    best = min(
+        (r for r in rows if r["placement"] != "lower-bound"),
+        key=lambda r: r["TET_s"],
+    )
+    print(f"best placement: {best['placement']} "
+          f"({best['vs_lower_bound']} above the solo lower bound)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""FlexIO reproduction.
+
+A from-scratch Python implementation of the system described in
+
+    Fang Zheng et al., *FlexIO: I/O Middleware for Location-Flexible
+    Scientific Data Analytics*, IEEE IPDPS 2013.
+
+Layers (bottom-up):
+
+- :mod:`repro.simcore` -- discrete-event simulation kernel.
+- :mod:`repro.machine` -- HPC machine models (Titan/Smoky presets: nodes,
+  NUMA domains, caches, Gemini/InfiniBand interconnects, Lustre-like FS).
+- :mod:`repro.marshal` -- self-describing binary marshaling (FFS/PBIO-like).
+- :mod:`repro.evpath` -- point-to-point messaging with pluggable transports.
+- :mod:`repro.transport` -- shared-memory (FastForward SPSC queues, buffer
+  pools, XPMEM path) and RDMA (NNTI-like, registration cache, scheduled
+  receiver-directed Get) transports.
+- :mod:`repro.adios` -- ADIOS-like I/O substrate: data model, BP-lite file
+  format, XML configuration, file & stream methods.
+- :mod:`repro.core` -- the FlexIO middleware: high-level API, directory
+  service, MxN redistribution, Data Conditioning plug-ins, monitoring.
+- :mod:`repro.placement` -- metrics, graph partitioning/mapping, and the
+  data-aware / holistic / node-topology-aware placement algorithms.
+- :mod:`repro.apps` -- GTS- and S3D-like workload models plus real analytics
+  (distribution function, range query, histograms, volume renderer).
+- :mod:`repro.coupled` -- end-to-end coupled-run simulator producing the
+  paper's metrics (Total Execution Time, CPU hours, movement volume).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

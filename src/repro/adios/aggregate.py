@@ -1,0 +1,251 @@
+"""Aggregated file I/O: the ADIOS ``MPI_AGGREGATE`` pattern.
+
+At scale, one-file-per-process drowns the metadata server and N-to-1
+single files serialize on locks; ADIOS's aggregating transport picks a
+middle point: ranks forward their output to a small number of
+*aggregators*, each of which writes one subfile, plus a global manifest
+binding ranks to subfiles::
+
+    out.bp.dir/
+        manifest.txt          # header + rank -> subfile map
+        data.0.bp             # BP-lite subfile of aggregator 0
+        data.1.bp
+        ...
+
+Readers resolve blocks through the manifest, so both the process-group
+and global-array read patterns work unchanged.  Configured in the XML:
+``<method group="g" method="MPI_AGGREGATE">aggregators=4</method>``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.adios.api import (
+    AdiosError,
+    EndOfStream,
+    IoMethod,
+    RankContext,
+    ReadHandle,
+    WriteHandle,
+    register_method,
+)
+from repro.adios.bp import BpReader, BpWriter
+from repro.adios.config import MethodSpec
+from repro.adios.model import Group, VarMeta
+from repro.adios.selection import BoundingBox, assemble, intersect
+from repro.util import ceil_div
+
+_MANIFEST = "manifest.txt"
+_MANIFEST_MAGIC = "bplite-aggregate v1"
+
+
+def _subfile(index: int) -> str:
+    return f"data.{index}.bp"
+
+
+class _AggState:
+    """Shared state of one aggregated write: subfile writers + membership."""
+
+    def __init__(self, path: str, num_ranks: int, num_aggregators: int) -> None:
+        if num_aggregators < 1:
+            raise AdiosError("aggregators must be >= 1")
+        self.dir = f"{os.fspath(path)}.dir"
+        os.makedirs(self.dir, exist_ok=True)
+        self.num_ranks = num_ranks
+        self.num_aggregators = min(num_aggregators, num_ranks)
+        self.writers = [
+            BpWriter(os.path.join(self.dir, _subfile(a)))
+            for a in range(self.num_aggregators)
+        ]
+        for w in self.writers:
+            w.begin_step()
+        self.open_ranks: set[int] = set()
+        self.advanced: set[int] = set()
+        self.closed_ranks: set[int] = set()
+        self.finished = False
+
+    def aggregator_of(self, rank: int) -> int:
+        """Contiguous rank blocks per aggregator (the ADIOS default)."""
+        per = ceil_div(self.num_ranks, self.num_aggregators)
+        return min(rank // per, self.num_aggregators - 1)
+
+    def write(self, rank: int, name, data, box, global_shape) -> None:
+        self.writers[self.aggregator_of(rank)].write(
+            rank, name, data, box, global_shape
+        )
+
+    def advance(self, rank: int) -> None:
+        self.advanced.add(rank)
+        if self.advanced >= (self.open_ranks - self.closed_ranks):
+            for w in self.writers:
+                w.end_step()
+                w.begin_step()
+            self.advanced.clear()
+
+    def close(self, rank: int) -> None:
+        self.closed_ranks.add(rank)
+        self.advanced.discard(rank)
+        if self.closed_ranks >= self.open_ranks and not self.finished:
+            for w in self.writers:
+                w.close()
+            self._write_manifest()
+            self.finished = True
+
+    def _write_manifest(self) -> None:
+        lines = [
+            _MANIFEST_MAGIC,
+            f"ranks {self.num_ranks}",
+            f"aggregators {self.num_aggregators}",
+        ]
+        for rank in sorted(self.open_ranks):
+            lines.append(f"rank {rank} {_subfile(self.aggregator_of(rank))}")
+        with open(os.path.join(self.dir, _MANIFEST), "w", encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+
+
+class _AggWriteHandle(WriteHandle):
+    def __init__(self, state: _AggState, ctx: RankContext) -> None:
+        self._state = state
+        self._ctx = ctx
+        self._closed = False
+        state.open_ranks.add(ctx.rank)
+
+    def write(self, name, data, box=None, global_shape=None):
+        if self._closed:
+            raise AdiosError("write after close")
+        self._state.write(self._ctx.rank, name, np.asarray(data), box, global_shape)
+
+    def advance(self):
+        if self._closed:
+            raise AdiosError("advance after close")
+        self._state.advance(self._ctx.rank)
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self._state.close(self._ctx.rank)
+
+
+class _AggReadHandle(ReadHandle):
+    """Reads across subfiles through the manifest."""
+
+    def __init__(self, path: str, ctx: RankContext) -> None:
+        self.dir = f"{os.fspath(path)}.dir"
+        manifest = os.path.join(self.dir, _MANIFEST)
+        if not os.path.exists(manifest):
+            raise AdiosError(f"no aggregated output at {path!r} (missing manifest)")
+        self._rank_to_subfile: dict[int, str] = {}
+        with open(manifest, "r", encoding="utf-8") as fh:
+            header = fh.readline().strip()
+            if header != _MANIFEST_MAGIC:
+                raise AdiosError(f"bad manifest header {header!r}")
+            for line in fh:
+                parts = line.split()
+                if parts and parts[0] == "rank":
+                    self._rank_to_subfile[int(parts[1])] = parts[2]
+        subfiles = sorted(set(self._rank_to_subfile.values()))
+        self._readers = {
+            name: BpReader(os.path.join(self.dir, name)) for name in subfiles
+        }
+        self._step = 0
+        self._num_steps = max(
+            (r.num_steps for r in self._readers.values()), default=0
+        )
+
+    def available_vars(self):
+        seen: dict[str, None] = {}
+        for reader in self._readers.values():
+            for name in reader.var_names():
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def var_meta(self, name: str) -> VarMeta:
+        metas = []
+        for reader in self._readers.values():
+            try:
+                metas.append(reader.var_meta(name))
+            except KeyError:
+                continue
+        if not metas:
+            raise KeyError(f"no variable {name!r}")
+        gshape = next((m.global_shape for m in metas if m.global_shape), None)
+        return VarMeta(
+            name=name,
+            dtype=metas[0].dtype,
+            global_shape=gshape,
+            steps=max(m.steps for m in metas),
+            min_value=min(m.min_value for m in metas),
+            max_value=max(m.max_value for m in metas),
+        )
+
+    def read_block(self, name, writer_rank):
+        subfile = self._rank_to_subfile.get(writer_rank)
+        if subfile is None:
+            raise KeyError(f"rank {writer_rank} wrote no data")
+        return self._readers[subfile].read_block(name, self._step, writer_rank)
+
+    def read(self, name, start=None, count=None):
+        blocks = []
+        gshape = None
+        dtype = None
+        for reader in self._readers.values():
+            for entry in reader.blocks(name, self._step):
+                dtype = np.dtype(entry.dtype)
+                if entry.global_shape:
+                    gshape = entry.global_shape
+                if entry.box is not None:
+                    blocks.append((reader, entry))
+        if dtype is None:
+            raise KeyError(f"no variable {name!r} at step {self._step}")
+        if gshape is None:
+            raise AdiosError(f"variable {name!r} is not a global array")
+        if start is None or count is None:
+            target = BoundingBox((0,) * len(gshape), tuple(gshape))
+        else:
+            target = BoundingBox(tuple(start), tuple(count))
+        touched = (
+            (e.box, r._fetch(e))
+            for r, e in blocks
+            if intersect(target, e.box) is not None
+        )
+        return assemble(target, touched, dtype=dtype)
+
+    def advance(self):
+        nxt = self._step + 1
+        has_data = any(
+            any(e.step == nxt for e in r.entries) for r in self._readers.values()
+        )
+        if not has_data:
+            raise EndOfStream(f"{self.dir} after step {self._step}")
+        self._step = nxt
+
+    def close(self):
+        for reader in self._readers.values():
+            reader.close()
+
+
+class AggregatedBpMethod(IoMethod):
+    """The ``MPI_AGGREGATE`` file method."""
+
+    _shared: dict[str, _AggState] = {}
+
+    def open_write(self, name, group, ctx: RankContext, spec: MethodSpec):
+        state = self._shared.get(name)
+        if state is None or state.finished:
+            state = _AggState(
+                name, ctx.size, spec.param_int("aggregators", max(1, ctx.size // 4))
+            )
+            self._shared[name] = state
+        return _AggWriteHandle(state, ctx)
+
+    def open_read(self, name, group, ctx: RankContext, spec: MethodSpec):
+        return _AggReadHandle(name, ctx)
+
+
+register_method("MPI_AGGREGATE", AggregatedBpMethod)
+register_method("AGGREGATE", AggregatedBpMethod)

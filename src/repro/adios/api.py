@@ -1,0 +1,266 @@
+"""The ADIOS-style open/write/advance/close API with pluggable methods.
+
+The central property FlexIO inherits (paper Section II.B): application
+code is written once against this API, and the *method* bound to a group
+in the XML config decides whether data lands in a BP file (file mode) or
+streams memory-to-memory to online analytics (stream mode, registered by
+:mod:`repro.core.stream` under the name ``FLEXPATH``).  Read code is
+likewise mode-agnostic: stream readers see ``EndOfStream`` when the writer
+closes, file readers when steps run out.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.adios.bp import BpReader, BpWriter
+from repro.adios.config import AdiosConfig, MethodSpec
+from repro.adios.model import Group
+from repro.adios.selection import BoundingBox
+
+
+class AdiosError(RuntimeError):
+    """API misuse or method failure."""
+
+
+class EndOfStream(Exception):
+    """The writer closed the stream / no steps remain."""
+
+
+@dataclass(frozen=True)
+class RankContext:
+    """The caller's identity within its parallel program."""
+
+    rank: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or not (0 <= self.rank < self.size):
+            raise ValueError(f"invalid rank {self.rank} of {self.size}")
+
+
+class WriteHandle(abc.ABC):
+    """Per-rank write side of one opened file/stream."""
+
+    @abc.abstractmethod
+    def write(
+        self,
+        name: str,
+        data: np.ndarray,
+        box: Optional[BoundingBox] = None,
+        global_shape: Optional[Sequence[int]] = None,
+    ) -> None: ...
+
+    @abc.abstractmethod
+    def advance(self) -> None:
+        """End this rank's current output step."""
+
+    @abc.abstractmethod
+    def close(self) -> None: ...
+
+    def __enter__(self) -> "WriteHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ReadHandle(abc.ABC):
+    """Per-rank read side of one opened file/stream."""
+
+    @abc.abstractmethod
+    def available_vars(self) -> list[str]: ...
+
+    @abc.abstractmethod
+    def read(
+        self,
+        name: str,
+        start: Optional[Sequence[int]] = None,
+        count: Optional[Sequence[int]] = None,
+    ) -> np.ndarray:
+        """Global-array read of a selection at the current step."""
+
+    @abc.abstractmethod
+    def read_block(self, name: str, writer_rank: int) -> np.ndarray:
+        """Process-group-oriented read of one writer's block."""
+
+    @abc.abstractmethod
+    def advance(self) -> None:
+        """Move to the next step; raises :class:`EndOfStream` when done."""
+
+    @abc.abstractmethod
+    def close(self) -> None: ...
+
+    def __enter__(self) -> "ReadHandle":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class IoMethod(abc.ABC):
+    """One transport/format implementation (BP file, FLEXPATH stream, ...)."""
+
+    @abc.abstractmethod
+    def open_write(
+        self, name: str, group: Group, ctx: RankContext, spec: MethodSpec
+    ) -> WriteHandle: ...
+
+    @abc.abstractmethod
+    def open_read(
+        self, name: str, group: Group, ctx: RankContext, spec: MethodSpec
+    ) -> ReadHandle: ...
+
+
+_METHODS: dict[str, Callable[[], IoMethod]] = {}
+
+
+def register_method(name: str, factory: Callable[[], IoMethod]) -> None:
+    """Register an I/O method under its config-file name."""
+    _METHODS[name.upper()] = factory
+
+
+def _resolve_method(name: str) -> IoMethod:
+    factory = _METHODS.get(name.upper())
+    if factory is None:
+        raise AdiosError(
+            f"unknown I/O method {name!r}; registered: {sorted(_METHODS)}"
+        )
+    return factory()
+
+
+# ---------------------------------------------------------------------------
+# BP file method
+# ---------------------------------------------------------------------------
+
+class _SharedBpState:
+    """All ranks of one program share one BP-lite writer per path."""
+
+    def __init__(self, path: str) -> None:
+        self.writer = BpWriter(path)
+        self.writer.begin_step()
+        self.open_ranks: set[int] = set()
+        self.advanced: set[int] = set()
+        self.closed_ranks: set[int] = set()
+
+
+class _BpWriteHandle(WriteHandle):
+    def __init__(self, state: _SharedBpState, ctx: RankContext) -> None:
+        self._state = state
+        self._ctx = ctx
+        self._closed = False
+        state.open_ranks.add(ctx.rank)
+
+    def write(self, name, data, box=None, global_shape=None):
+        if self._closed:
+            raise AdiosError("write after close")
+        self._state.writer.write(self._ctx.rank, name, data, box, global_shape)
+
+    def advance(self):
+        if self._closed:
+            raise AdiosError("advance after close")
+        st = self._state
+        st.advanced.add(self._ctx.rank)
+        # Step boundary once every open rank has advanced (implicit barrier).
+        if st.advanced >= (st.open_ranks - st.closed_ranks):
+            st.writer.end_step()
+            st.writer.begin_step()
+            st.advanced.clear()
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        st = self._state
+        st.closed_ranks.add(self._ctx.rank)
+        st.advanced.discard(self._ctx.rank)
+        if st.closed_ranks >= st.open_ranks:
+            st.writer.close()
+
+
+class _BpReadHandle(ReadHandle):
+    def __init__(self, path: str, ctx: RankContext) -> None:
+        self._reader = BpReader(path)
+        self._ctx = ctx
+        self._step = 0
+        if self._reader.num_steps == 0:
+            raise EndOfStream(path)
+
+    @property
+    def current_step(self) -> int:
+        return self._step
+
+    def available_vars(self):
+        return self._reader.var_names()
+
+    def read(self, name, start=None, count=None):
+        return self._reader.read(name, self._step, start, count)
+
+    def read_block(self, name, writer_rank):
+        return self._reader.read_block(name, self._step, writer_rank)
+
+    def advance(self):
+        # BP files may end with an empty trailing step (writer protocol
+        # always keeps one step open); treat step exhaustion as EOS.
+        nxt = self._step + 1
+        if nxt >= self._reader.num_steps or not any(
+            e.step == nxt for e in self._reader.entries
+        ):
+            raise EndOfStream(f"{self._reader.path} after step {self._step}")
+        self._step = nxt
+
+    def close(self):
+        self._reader.close()
+
+
+class BpFileMethod(IoMethod):
+    """ADIOS file mode: variables land in an indexed BP-lite file."""
+
+    _shared: dict[str, _SharedBpState] = {}
+
+    def open_write(self, name, group, ctx, spec):
+        state = self._shared.get(name)
+        if state is None or state.writer._closed:
+            state = _SharedBpState(name)
+            self._shared[name] = state
+        return _BpWriteHandle(state, ctx)
+
+    def open_read(self, name, group, ctx, spec):
+        return _BpReadHandle(name, ctx)
+
+
+register_method("BP", BpFileMethod)
+register_method("POSIX", BpFileMethod)
+register_method("MPI", BpFileMethod)  # paper: MPI-IO/HDF5/NetCDF methods all
+register_method("HDF5", BpFileMethod)  # funnel into the same file substrate
+register_method("NETCDF", BpFileMethod)
+
+
+# ---------------------------------------------------------------------------
+# Front door
+# ---------------------------------------------------------------------------
+
+class Adios:
+    """Entry point bound to one configuration document."""
+
+    def __init__(self, config: AdiosConfig) -> None:
+        self.config = config
+
+    @classmethod
+    def from_xml(cls, text: str) -> "Adios":
+        return cls(AdiosConfig.from_xml(text))
+
+    def open_write(self, group_name: str, name: str, ctx: RankContext) -> WriteHandle:
+        """Open ``name`` (a path in file mode, a stream name otherwise)."""
+        group = self.config.group(group_name)
+        spec = self.config.method_for(group_name)
+        return _resolve_method(spec.method).open_write(name, group, ctx, spec)
+
+    def open_read(self, group_name: str, name: str, ctx: RankContext) -> ReadHandle:
+        group = self.config.group(group_name)
+        spec = self.config.method_for(group_name)
+        return _resolve_method(spec.method).open_read(name, group, ctx, spec)

@@ -1,0 +1,190 @@
+"""Bounding boxes and block decompositions of global arrays.
+
+The global-array exchange pattern (paper Figure 3) moves an N-dimensional
+array distributed over M writer processes to N reader processes with a
+possibly different distribution.  Everything reduces to box algebra:
+which part of writer *i*'s block overlaps reader *j*'s requested block,
+and where that overlap sits in each side's local buffer.  The BP-lite
+reader uses the same algebra to assemble selections from on-disk blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class BoundingBox:
+    """An axis-aligned box: ``start`` (inclusive) and ``count`` per dimension."""
+
+    start: tuple[int, ...]
+    count: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.start) != len(self.count):
+            raise ValueError(
+                f"start has {len(self.start)} dims but count has {len(self.count)}"
+            )
+        if any(s < 0 for s in self.start):
+            raise ValueError(f"negative start in {self.start}")
+        if any(c < 0 for c in self.count):
+            raise ValueError(f"negative count in {self.count}")
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.start)
+
+    @property
+    def end(self) -> tuple[int, ...]:
+        """Exclusive upper corner."""
+        return tuple(s + c for s, c in zip(self.start, self.count))
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        out = 1
+        for c in self.count:
+            out *= c
+        return out
+
+    @property
+    def is_empty(self) -> bool:
+        return any(c == 0 for c in self.count)
+
+    def contains(self, other: "BoundingBox") -> bool:
+        return all(
+            so >= ss and so + co <= ss + cs
+            for ss, cs, so, co in zip(self.start, self.count, other.start, other.count)
+        )
+
+    def slices(self, relative_to: Optional["BoundingBox"] = None) -> tuple[slice, ...]:
+        """Numpy slices selecting this box, optionally within another box.
+
+        ``relative_to`` translates global coordinates into a containing
+        block's local coordinates (e.g. a writer's local buffer).
+        """
+        if relative_to is None:
+            origin = (0,) * self.ndim
+        else:
+            if relative_to.ndim != self.ndim:
+                raise ValueError("dimensionality mismatch")
+            if not relative_to.contains(self):
+                raise ValueError(f"{self} not contained in {relative_to}")
+            origin = relative_to.start
+        return tuple(
+            slice(s - o, s - o + c) for s, c, o in zip(self.start, self.count, origin)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Box(start={self.start}, count={self.count})"
+
+
+def intersect(a: BoundingBox, b: BoundingBox) -> Optional[BoundingBox]:
+    """Overlap of two boxes, or None when they are disjoint."""
+    if a.ndim != b.ndim:
+        raise ValueError(f"cannot intersect {a.ndim}-d with {b.ndim}-d boxes")
+    start = tuple(max(sa, sb) for sa, sb in zip(a.start, b.start))
+    end = tuple(min(ea, eb) for ea, eb in zip(a.end, b.end))
+    if any(e <= s for s, e in zip(start, end)):
+        return None
+    return BoundingBox(start, tuple(e - s for s, e in zip(start, end)))
+
+
+def block_decompose(
+    global_shape: Sequence[int], grid: Sequence[int]
+) -> list[BoundingBox]:
+    """Split a global array into a Cartesian grid of near-equal blocks.
+
+    ``grid`` gives the number of blocks per dimension; remainders spread
+    over the leading blocks (the usual HPC block decomposition).  Blocks
+    are returned in row-major rank order — block ``k`` belongs to rank
+    ``k`` of a grid-decomposed parallel program.
+    """
+    if len(global_shape) != len(grid):
+        raise ValueError("grid must have one entry per dimension")
+    if any(g <= 0 for g in grid):
+        raise ValueError(f"grid factors must be positive, got {grid}")
+    if any(n < 0 for n in global_shape):
+        raise ValueError(f"negative global shape {global_shape}")
+    per_dim: list[list[tuple[int, int]]] = []
+    for n, g in zip(global_shape, grid):
+        base, rem = divmod(n, g)
+        spans = []
+        offset = 0
+        for i in range(g):
+            size = base + (1 if i < rem else 0)
+            spans.append((offset, size))
+            offset += size
+        per_dim.append(spans)
+
+    boxes: list[BoundingBox] = []
+    idx = [0] * len(grid)
+    total = 1
+    for g in grid:
+        total *= g
+    for _ in range(total):
+        start = tuple(per_dim[d][idx[d]][0] for d in range(len(grid)))
+        count = tuple(per_dim[d][idx[d]][1] for d in range(len(grid)))
+        boxes.append(BoundingBox(start, count))
+        # Row-major increment.
+        for d in reversed(range(len(grid))):
+            idx[d] += 1
+            if idx[d] < grid[d]:
+                break
+            idx[d] = 0
+    return boxes
+
+
+def choose_grid(num_blocks: int, ndim: int) -> tuple[int, ...]:
+    """A near-cubic factorization of ``num_blocks`` into ``ndim`` factors.
+
+    Used when a reader asks for "split this array over my N processes"
+    without specifying a grid.
+    """
+    if num_blocks <= 0 or ndim <= 0:
+        raise ValueError("num_blocks and ndim must be positive")
+    factors = [1] * ndim
+    remaining = num_blocks
+    # Peel prime factors largest-first onto the currently smallest axis.
+    primes = []
+    n = remaining
+    p = 2
+    while p * p <= n:
+        while n % p == 0:
+            primes.append(p)
+            n //= p
+        p += 1
+    if n > 1:
+        primes.append(n)
+    for prime in sorted(primes, reverse=True):
+        smallest = factors.index(min(factors))
+        factors[smallest] *= prime
+    return tuple(sorted(factors, reverse=True))
+
+
+def assemble(
+    target: BoundingBox,
+    blocks: Iterator[tuple[BoundingBox, np.ndarray]],
+    dtype=np.float64,
+    fill=0,
+) -> np.ndarray:
+    """Gather the parts of ``blocks`` overlapping ``target`` into one array.
+
+    Each block is ``(box, data)`` with ``data.shape == box.count``.  The
+    result has shape ``target.count``; uncovered cells keep ``fill``.
+    """
+    out = np.full(target.count, fill, dtype=dtype)
+    for box, data in blocks:
+        if tuple(data.shape) != tuple(box.count):
+            raise ValueError(
+                f"block data shape {data.shape} != box count {box.count}"
+            )
+        ov = intersect(target, box)
+        if ov is None:
+            continue
+        out[ov.slices(relative_to=target)] = data[ov.slices(relative_to=box)]
+    return out

@@ -1,0 +1,70 @@
+"""Application models (paper Section IV).
+
+The evaluation couples FlexIO to two leadership applications; we rebuild
+their observable behaviour:
+
+* :mod:`repro.apps.gts` — the GTS gyrokinetic fusion simulation: each rank
+  outputs two 2-D particle arrays (zions, electrons) with seven attributes
+  per particle, ~110 MB per process every two simulation cycles, run in
+  OpenMP/MPI hybrid mode with a serial region limiting thread scaling.
+* :mod:`repro.apps.analytics` — GTS's online analysis chain, really
+  implemented: particle distribution function, a ~20 %-selective range
+  query on velocity, and 1-D/2-D histograms for parallel-coordinates
+  visualization.
+* :mod:`repro.apps.s3d` — S3D_Box direct numerical combustion simulation:
+  22 3-D double-precision species arrays totalling 1.7 MB per process
+  every ten cycles, on a 3-D block decomposition.
+* :mod:`repro.apps.viz` — a real (small) parallel volume renderer over the
+  redistributed species fields, emission–absorption ray casting with
+  depth-ordered compositing, writing PPM images as the paper's pipeline
+  does.
+"""
+
+from repro.apps.gts import GtsConfig, GtsRank, gts_analytics_profile, gts_sim_profile
+from repro.apps.analytics import (
+    GtsAnalytics,
+    histogram1d,
+    histogram2d,
+    particle_distribution,
+    range_query,
+)
+from repro.apps.pixie3d import (
+    MhdDiagnostics,
+    Pixie3dAnalysis,
+    Pixie3dConfig,
+    Pixie3dRank,
+    curl,
+    divergence,
+    pixie3d_analysis_profile,
+    pixie3d_sim_profile,
+)
+from repro.apps.s3d import S3dConfig, S3dRank, s3d_sim_profile, s3d_viz_profile
+from repro.apps.viz import composite_over, read_ppm, volume_render, write_ppm
+
+__all__ = [
+    "GtsAnalytics",
+    "GtsConfig",
+    "GtsRank",
+    "MhdDiagnostics",
+    "Pixie3dAnalysis",
+    "Pixie3dConfig",
+    "Pixie3dRank",
+    "curl",
+    "divergence",
+    "pixie3d_analysis_profile",
+    "pixie3d_sim_profile",
+    "S3dConfig",
+    "S3dRank",
+    "composite_over",
+    "gts_analytics_profile",
+    "gts_sim_profile",
+    "histogram1d",
+    "histogram2d",
+    "particle_distribution",
+    "range_query",
+    "read_ppm",
+    "s3d_sim_profile",
+    "s3d_viz_profile",
+    "volume_render",
+    "write_ppm",
+]

@@ -1,0 +1,240 @@
+"""Pixie3D workload model and its online analysis pipeline.
+
+Paper Section II.H: "Earlier, we applied FlexIO to an online analysis
+and visualization pipeline for the Pixie3D application on the Cray XT5."
+Pixie3D is a 3-D extended-MHD (magnetohydrodynamics) solver; its
+coupled pipeline (Pixplot) computes derived quantities from the
+conserved fields and renders them.
+
+The model here generates real MHD-shaped fields — a screw-pinch
+equilibrium (axial + twisted azimuthal magnetic field) with helical
+perturbations — and the analysis pipeline really computes:
+
+* the current density **J = ∇ × B** (central differences),
+* scalar diagnostics: magnetic / kinetic energy, max |J|, mean density,
+* a mid-plane slice of any derived field, render-ready.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.adios.selection import BoundingBox, block_decompose, choose_grid
+from repro.placement.algorithms import AnalyticsProfile, SimProfile
+from repro.util import MiB, rng
+
+#: The eight conserved fields Pixie3D exchanges per output.
+FIELDS = ("rho", "p", "vx", "vy", "vz", "bx", "by", "bz")
+
+
+@dataclass(frozen=True)
+class Pixie3dConfig:
+    """One Pixie3D run configuration."""
+
+    num_ranks: int
+    #: Local block edge (cubes).
+    local_edge: int = 16
+    output_every: int = 5
+    cycle_time: float = 4.0
+    halo_bytes: float = 24 * MiB
+    #: Screw-pinch twist parameter (field-line pitch).
+    twist: float = 2.0
+    seed: int = 2013
+
+    def __post_init__(self) -> None:
+        if self.num_ranks <= 0 or self.local_edge <= 1:
+            raise ValueError("ranks must be positive, edge must be > 1")
+
+    @property
+    def local_shape(self) -> tuple[int, int, int]:
+        return (self.local_edge,) * 3
+
+    @property
+    def bytes_per_rank(self) -> int:
+        return len(FIELDS) * self.local_edge**3 * 8
+
+    @property
+    def io_interval(self) -> float:
+        return self.output_every * self.cycle_time
+
+    def grid(self) -> tuple[int, int, int]:
+        g = choose_grid(self.num_ranks, 3)
+        return (g[0], g[1], g[2])
+
+    @property
+    def global_shape(self) -> tuple[int, int, int]:
+        g = self.grid()
+        return tuple(d * self.local_edge for d in g)  # type: ignore[return-value]
+
+    def boxes(self) -> list[BoundingBox]:
+        return block_decompose(self.global_shape, self.grid())
+
+    @property
+    def spacing(self) -> float:
+        """Grid spacing on the unit cube."""
+        return 1.0 / max(self.global_shape)
+
+
+class Pixie3dRank:
+    """One rank's field generator: screw pinch + helical perturbation."""
+
+    def __init__(self, config: Pixie3dConfig, rank: int) -> None:
+        if not (0 <= rank < config.num_ranks):
+            raise ValueError(f"rank {rank} out of range")
+        self.config = config
+        self.rank = rank
+        self.box = config.boxes()[rank]
+
+    def _coords(self):
+        gs = self.config.global_shape
+        axes = [
+            (np.arange(s, s + c) + 0.5) / g
+            for s, c, g in zip(self.box.start, self.box.count, gs)
+        ]
+        return np.meshgrid(*axes, indexing="ij")
+
+    def output(self, step: int) -> dict[str, np.ndarray]:
+        """All eight fields for one output step."""
+        x, y, z = self._coords()
+        r2 = (x - 0.5) ** 2 + (y - 0.5) ** 2
+        r = np.sqrt(r2)
+        q = self.config.twist
+        t = 0.02 * step
+        g = rng(hash((self.config.seed, self.rank, step)) & 0x7FFFFFFF)
+        noise = lambda: 0.01 * g.standard_normal(x.shape)  # noqa: E731
+
+        # Screw pinch: Bz axial, B_theta azimuthal ∝ r/(1+r²) twisted by q.
+        btheta = q * r / (1.0 + (q * r) ** 2)
+        theta_hat_x = np.where(r > 1e-12, -(y - 0.5) / np.maximum(r, 1e-12), 0.0)
+        theta_hat_y = np.where(r > 1e-12, (x - 0.5) / np.maximum(r, 1e-12), 0.0)
+        helical = 0.05 * np.sin(2 * np.pi * (z + t)) * np.exp(-r2 / 0.05)
+        fields = {
+            "bx": btheta * theta_hat_x + helical + noise(),
+            "by": btheta * theta_hat_y + noise(),
+            "bz": 1.0 / (1.0 + (q * r) ** 2) + noise(),
+            "vx": helical + noise(),
+            "vy": -helical + noise(),
+            "vz": 0.02 * np.cos(2 * np.pi * (z + t)) + noise(),
+            "rho": 1.0 + 0.1 * np.exp(-r2 / 0.02) + noise(),
+            "p": 0.5 / (1.0 + (q * r) ** 2) ** 2 + noise(),
+        }
+        return {k: np.ascontiguousarray(v) for k, v in fields.items()}
+
+
+# ---------------------------------------------------------------------------
+# The analysis pipeline (Pixplot-style derived quantities)
+# ---------------------------------------------------------------------------
+
+def curl(
+    fx: np.ndarray, fy: np.ndarray, fz: np.ndarray, spacing: float
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """∇ × F by central differences — J = ∇ × B is Pixie3D's key derived
+    quantity (Ampère's law, current density)."""
+    if not (fx.shape == fy.shape == fz.shape):
+        raise ValueError("component shapes differ")
+    if fx.ndim != 3:
+        raise ValueError("curl needs 3-D fields")
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    dfz_dy = np.gradient(fz, spacing, axis=1)
+    dfy_dz = np.gradient(fy, spacing, axis=2)
+    dfx_dz = np.gradient(fx, spacing, axis=2)
+    dfz_dx = np.gradient(fz, spacing, axis=0)
+    dfy_dx = np.gradient(fy, spacing, axis=0)
+    dfx_dy = np.gradient(fx, spacing, axis=1)
+    return (dfz_dy - dfy_dz, dfx_dz - dfz_dx, dfy_dx - dfx_dy)
+
+
+def divergence(
+    fx: np.ndarray, fy: np.ndarray, fz: np.ndarray, spacing: float
+) -> np.ndarray:
+    """∇ · F — a solenoidal check on the magnetic field."""
+    return (
+        np.gradient(fx, spacing, axis=0)
+        + np.gradient(fy, spacing, axis=1)
+        + np.gradient(fz, spacing, axis=2)
+    )
+
+
+@dataclass
+class MhdDiagnostics:
+    """Scalar diagnostics of one step."""
+
+    step: int
+    magnetic_energy: float
+    kinetic_energy: float
+    max_current: float
+    mean_density: float
+    mean_abs_div_b: float
+
+
+class Pixie3dAnalysis:
+    """The online pipeline: J = ∇×B, diagnostics, mid-plane slices."""
+
+    def __init__(self, spacing: float) -> None:
+        if spacing <= 0:
+            raise ValueError("spacing must be positive")
+        self.spacing = spacing
+        self.steps_processed = 0
+
+    def current_density(self, record: dict) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        return curl(record["bx"], record["by"], record["bz"], self.spacing)
+
+    def diagnostics(self, record: dict, step: int = 0) -> MhdDiagnostics:
+        missing = [f for f in FIELDS if f not in record]
+        if missing:
+            raise KeyError(f"record missing fields {missing}")
+        jx, jy, jz = self.current_density(record)
+        b2 = record["bx"] ** 2 + record["by"] ** 2 + record["bz"] ** 2
+        v2 = record["vx"] ** 2 + record["vy"] ** 2 + record["vz"] ** 2
+        dv = self.spacing**3
+        div_b = divergence(record["bx"], record["by"], record["bz"], self.spacing)
+        self.steps_processed += 1
+        return MhdDiagnostics(
+            step=step,
+            magnetic_energy=float(0.5 * b2.sum() * dv),
+            kinetic_energy=float(0.5 * (record["rho"] * v2).sum() * dv),
+            max_current=float(np.sqrt(jx**2 + jy**2 + jz**2).max()),
+            mean_density=float(record["rho"].mean()),
+            mean_abs_div_b=float(np.abs(div_b).mean()),
+        )
+
+    def slice_field(
+        self, field: np.ndarray, axis: int = 2, index: Optional[int] = None
+    ) -> np.ndarray:
+        """A 2-D mid-plane (or chosen) slice, visualization-ready."""
+        if field.ndim != 3:
+            raise ValueError("slice_field needs a 3-D field")
+        if index is None:
+            index = field.shape[axis] // 2
+        return np.take(field, index, axis=axis)
+
+
+# ---------------------------------------------------------------------------
+# Profiles for placement / coupled runs
+# ---------------------------------------------------------------------------
+
+def pixie3d_sim_profile(config: Pixie3dConfig) -> SimProfile:
+    return SimProfile(
+        num_ranks=config.num_ranks,
+        threads_per_rank=1,
+        io_interval=config.io_interval,
+        bytes_per_rank=config.bytes_per_rank,
+        grid=config.grid(),
+        halo_bytes=config.halo_bytes,
+    )
+
+
+def pixie3d_analysis_profile(
+    config: Pixie3dConfig, seconds_per_mb: float = 0.05
+) -> AnalyticsProfile:
+    total_mb = config.num_ranks * config.bytes_per_rank / MiB
+    return AnalyticsProfile(
+        time_single=seconds_per_mb * total_mb,
+        serial_fraction=0.05,
+        internal_ring_bytes=1 * MiB,
+        threads_per_rank=1,
+    )

@@ -1,0 +1,156 @@
+"""A real (small) volume renderer with PPM output (paper Section IV.B).
+
+"The species data is fed into a parallel volume rendering code to
+visualize images for each species ... running simulation and
+visualization computation (and writing rendered image to files in PPM
+format) as a two-stage pipeline."
+
+Emission–absorption ray casting along one axis, front-to-back "over"
+compositing, a perceptual-ish heat colormap, and binary PPM (P6) writing
+and reading.  The parallel pattern is the paper's: each visualization
+process renders the sub-volume it received through FlexIO's global-array
+redistribution, then partial images composite in depth order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _heat_colormap(values: np.ndarray) -> np.ndarray:
+    """Map [0,1] scalars to RGB (black→red→yellow→white)."""
+    v = np.clip(values, 0.0, 1.0)
+    r = np.clip(3.0 * v, 0, 1)
+    g = np.clip(3.0 * v - 1.0, 0, 1)
+    b = np.clip(3.0 * v - 2.0, 0, 1)
+    return np.stack([r, g, b], axis=-1)
+
+
+def transfer_function(
+    field: np.ndarray,
+    opacity_scale: float = 0.08,
+    vrange: Optional[tuple[float, float]] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Normalize a scalar field into per-voxel color and opacity.
+
+    Pass ``vrange`` (global min/max) when rendering slabs of a larger
+    field, so every slab normalizes identically and parallel compositing
+    matches the serial render exactly.
+    """
+    if vrange is not None:
+        lo, hi = float(vrange[0]), float(vrange[1])
+    else:
+        lo, hi = float(field.min()), float(field.max())
+    span = hi - lo if hi > lo else 1.0
+    norm = (field - lo) / span
+    color = _heat_colormap(norm)
+    alpha = np.clip(norm * opacity_scale, 0.0, 1.0)
+    return color, alpha
+
+
+def volume_render(
+    field: np.ndarray,
+    axis: int = 0,
+    opacity_scale: float = 0.08,
+    vrange: Optional[tuple[float, float]] = None,
+) -> np.ndarray:
+    """Ray-cast a 3-D scalar field to a premultiplied RGBA float image.
+
+    Front-to-back emission–absorption compositing along ``axis``; the
+    result carries premultiplied color in [..., :3] and accumulated alpha
+    in [..., 3], so slab renders composite exactly with
+    :func:`composite_over` (render(whole) == composite(render(slabs))).
+    """
+    if field.ndim != 3:
+        raise ValueError(f"need a 3-D field, got shape {field.shape}")
+    if axis not in (0, 1, 2):
+        raise ValueError("axis must be 0, 1, or 2")
+    vol = np.moveaxis(field, axis, 0)
+    color, alpha = transfer_function(vol, opacity_scale, vrange)
+
+    h, w = vol.shape[1], vol.shape[2]
+    out = np.zeros((h, w, 4))
+    acc_rgb, acc_a = out[..., :3], out[..., 3]
+    for depth in range(vol.shape[0]):
+        contrib = (1.0 - acc_a) * alpha[depth]
+        acc_rgb += contrib[..., None] * color[depth]
+        acc_a += contrib
+        if (acc_a > 0.995).all():
+            break  # early ray termination
+    return out
+
+
+def composite_over(partials: Sequence[np.ndarray]) -> np.ndarray:
+    """Depth-ordered "over" compositing of premultiplied RGBA slabs.
+
+    ``partials`` must be front-to-back along the ray direction — the
+    parallel compositing step after each viz rank renders its slab.
+    """
+    if not partials:
+        raise ValueError("nothing to composite")
+    h, w, c = partials[0].shape
+    if c != 4:
+        raise ValueError("partials must be RGBA")
+    out = np.zeros((h, w, 4))
+    acc_rgb, acc_a = out[..., :3], out[..., 3]
+    for img in partials:
+        if img.shape != (h, w, 4):
+            raise ValueError("all partials must share shape")
+        transparency = (1.0 - acc_a)
+        acc_rgb += transparency[..., None] * img[..., :3]
+        acc_a += transparency * img[..., 3]
+    return out
+
+
+def to_uint8(image: np.ndarray, background: float = 0.0) -> np.ndarray:
+    """Flatten a premultiplied RGBA render onto ``background`` as uint8 RGB."""
+    rgb = image[..., :3] + (1.0 - image[..., 3:4]) * background
+    return (np.clip(rgb, 0.0, 1.0) * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_ppm(path: str | os.PathLike, image: np.ndarray) -> int:
+    """Write an RGB uint8 (or RGBA float) image as binary PPM (P6).
+
+    Returns bytes written.
+    """
+    if image.ndim == 3 and image.shape[2] == 4:
+        image = to_uint8(image)
+    if image.ndim != 3 or image.shape[2] != 3 or image.dtype != np.uint8:
+        raise ValueError("write_ppm needs (H, W, 3) uint8 or (H, W, 4) float")
+    h, w = image.shape[:2]
+    header = f"P6\n{w} {h}\n255\n".encode("ascii")
+    payload = header + image.tobytes()
+    with open(path, "wb") as fh:
+        fh.write(payload)
+    return len(payload)
+
+
+def read_ppm(path: str | os.PathLike) -> np.ndarray:
+    """Read a binary PPM (P6) back into an (H, W, 3) uint8 array."""
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if not data.startswith(b"P6"):
+        raise ValueError(f"{path}: not a P6 PPM")
+    # Header: magic, width, height, maxval — whitespace separated.
+    fields: list[bytes] = []
+    pos = 2
+    while len(fields) < 3:
+        while pos < len(data) and data[pos : pos + 1].isspace():
+            pos += 1
+        if data[pos : pos + 1] == b"#":  # comment line
+            while pos < len(data) and data[pos] != 0x0A:
+                pos += 1
+            continue
+        start = pos
+        while pos < len(data) and not data[pos : pos + 1].isspace():
+            pos += 1
+        fields.append(data[start:pos])
+    pos += 1  # the single whitespace after maxval
+    w, h, maxval = (int(f) for f in fields)
+    if maxval != 255:
+        raise ValueError("only maxval 255 supported")
+    pixels = np.frombuffer(data[pos : pos + w * h * 3], dtype=np.uint8)
+    return pixels.reshape(h, w, 3).copy()

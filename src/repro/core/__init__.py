@@ -1,0 +1,91 @@
+"""The FlexIO middleware core (paper Section II).
+
+This package is the paper's primary contribution, layered on the
+substrates below it:
+
+* :mod:`repro.core.monitoring` — runtime performance monitoring with
+  measurement points at every stack level, trace dump, and online
+  aggregation (Section II.G);
+* :mod:`repro.core.plugins` — Data Conditioning plug-ins: stateless
+  mobile codelets compiled from source at runtime, installable in the
+  writer's or reader's address space and migratable between them
+  (Section II.F);
+* :mod:`repro.core.directory` — the directory server + per-program
+  coordinators used for stream discovery and connection setup
+  (Section II.C.1);
+* :mod:`repro.core.redistribution` — MxN global-array redistribution:
+  overlap mapping, the 4-step handshake with NO_CACHING /
+  CACHING_LOCAL / CACHING_ALL options, variable batching, and sync vs
+  async writes (Sections II.B–II.C);
+* :mod:`repro.core.stream` — the FLEXPATH stream I/O method plugged into
+  the ADIOS method registry: named streams, process-group and
+  global-array read patterns, End-of-Stream semantics;
+* :mod:`repro.core.runtime` — transport auto-selection from placement
+  (shm within a node, RDMA across nodes, files for offline) and NUMA
+  buffer-placement policy.
+"""
+
+from repro.core.monitoring import MeasurementPoint, PerfMonitor, TraceRecord
+from repro.core.plugins import (
+    CodeletError,
+    DCPlugin,
+    PluginManager,
+    PluginSide,
+)
+from repro.core.directory import CoordinatorInfo, DirectoryServer
+from repro.core.redistribution import (
+    CachingOption,
+    HandshakeCost,
+    RedistributionEngine,
+    RedistributionPlan,
+)
+from repro.core.stream import FlexpathMethod, StreamStalled, stream_registry
+from repro.core.runtime import FlexIORuntime, NumaBufferPolicy, TransportKind
+from repro.core.resilience import (
+    FaultInjector,
+    MovementFailed,
+    ReliableChannel,
+    RetryPolicy,
+    TransactionAborted,
+    TransactionCoordinator,
+    TransactionalStreamWriter,
+)
+from repro.core.adaptive import (
+    AdaptiveGetScheduler,
+    AdaptivePolicy,
+    DCPlacementController,
+)
+from repro.core.api import FlexIO
+
+__all__ = [
+    "AdaptiveGetScheduler",
+    "AdaptivePolicy",
+    "CachingOption",
+    "DCPlacementController",
+    "FaultInjector",
+    "MovementFailed",
+    "ReliableChannel",
+    "RetryPolicy",
+    "TransactionAborted",
+    "TransactionCoordinator",
+    "TransactionalStreamWriter",
+    "CodeletError",
+    "CoordinatorInfo",
+    "DCPlugin",
+    "DirectoryServer",
+    "FlexIO",
+    "FlexIORuntime",
+    "FlexpathMethod",
+    "HandshakeCost",
+    "MeasurementPoint",
+    "NumaBufferPolicy",
+    "PerfMonitor",
+    "PluginManager",
+    "PluginSide",
+    "RedistributionEngine",
+    "RedistributionPlan",
+    "StreamStalled",
+    "TraceRecord",
+    "TransportKind",
+    "stream_registry",
+]

@@ -1,0 +1,66 @@
+"""The FlexIO façade: one object tying configuration, streams, and runtime.
+
+Typical use (see ``examples/quickstart.py``)::
+
+    flexio = FlexIO.from_xml(CONFIG_XML, machine=smoky(4))
+    w = flexio.open_write("particles", "gts.stream", RankContext(0, 4))
+    r = flexio.open_read("particles", "gts.stream", RankContext(0, 1))
+
+Whether ``gts.stream`` is a memory-to-memory stream or a BP file on disk
+is decided by the ``<method>`` line of the configuration — application
+code is identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.adios.api import Adios, RankContext, ReadHandle, WriteHandle
+from repro.adios.config import AdiosConfig
+from repro.core.monitoring import PerfMonitor
+from repro.core.runtime import FlexIORuntime, NumaBufferPolicy
+from repro.machine.topology import Machine
+
+# Importing the stream module registers the FLEXPATH method.
+import repro.core.stream  # noqa: F401
+
+
+class FlexIO:
+    """Entry point for applications coupling through FlexIO."""
+
+    def __init__(
+        self,
+        config: AdiosConfig,
+        machine: Optional[Machine] = None,
+        numa_policy: NumaBufferPolicy = NumaBufferPolicy.WRITER_LOCAL,
+    ) -> None:
+        self.config = config
+        self.adios = Adios(config)
+        self.monitor = PerfMonitor()
+        self.runtime = (
+            FlexIORuntime(machine, numa_policy) if machine is not None else None
+        )
+
+    @classmethod
+    def from_xml(cls, text: str, machine: Optional[Machine] = None, **kw) -> "FlexIO":
+        return cls(AdiosConfig.from_xml(text), machine=machine, **kw)
+
+    @classmethod
+    def from_file(cls, path: str, machine: Optional[Machine] = None, **kw) -> "FlexIO":
+        return cls(AdiosConfig.from_file(path), machine=machine, **kw)
+
+    # ------------------------------------------------------------------
+    def open_write(self, group: str, name: str, ctx: RankContext) -> WriteHandle:
+        """Open ``name`` for writing under ``group``'s configured method."""
+        return self.adios.open_write(group, name, ctx)
+
+    def open_read(self, group: str, name: str, ctx: RankContext) -> ReadHandle:
+        """Open ``name`` for reading under ``group``'s configured method."""
+        return self.adios.open_read(group, name, ctx)
+
+    # ------------------------------------------------------------------
+    def method_name(self, group: str) -> str:
+        return self.config.method_for(group).method
+
+    def is_stream(self, group: str) -> bool:
+        return self.method_name(group) in ("FLEXPATH", "FLEXIO")

@@ -1,0 +1,82 @@
+"""Directory server + coordinators (paper Section II.C.1).
+
+Before any data moves, simulation and analytics find each other: each
+program elects a *local coordinator* (rank 0 here, as in practice); when
+the simulation creates a stream its coordinator registers the stream name
+with its contact information at the directory server; the analytics'
+coordinator looks the name up and connects.  The server participates only
+in discovery — never in the data path — so a single instance suffices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class DirectoryError(RuntimeError):
+    """Lookup of an unregistered name, or duplicate registration."""
+
+
+@dataclass(frozen=True)
+class CoordinatorInfo:
+    """Contact information registered by a program's coordinator."""
+
+    program: str
+    coordinator_rank: int
+    num_ranks: int
+    #: Opaque contact handle (in-process: the stream-state object itself).
+    contact: Any = None
+
+
+@dataclass
+class _Entry:
+    writer: CoordinatorInfo
+    readers: list[CoordinatorInfo] = field(default_factory=list)
+    lookups: int = 0
+
+
+class DirectoryServer:
+    """Name → coordinator registry.
+
+    Counters make the "server is not in the critical path" property
+    checkable: per-step data movement never touches the server.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+        self.registrations = 0
+        self.lookups = 0
+
+    def register(self, name: str, info: CoordinatorInfo) -> None:
+        """The writing program's coordinator publishes a stream name."""
+        if name in self._entries:
+            raise DirectoryError(f"stream name {name!r} already registered")
+        self._entries[name] = _Entry(writer=info)
+        self.registrations += 1
+
+    def lookup(self, name: str, reader: Optional[CoordinatorInfo] = None) -> CoordinatorInfo:
+        """A reading program's coordinator resolves a stream name."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DirectoryError(f"no stream registered under {name!r}")
+        entry.lookups += 1
+        self.lookups += 1
+        if reader is not None:
+            entry.readers.append(reader)
+        return entry.writer
+
+    def unregister(self, name: str) -> None:
+        """Writer closes the stream; the name becomes reusable."""
+        if name not in self._entries:
+            raise DirectoryError(f"no stream registered under {name!r}")
+        del self._entries[name]
+
+    def names(self) -> list[str]:
+        return sorted(self._entries)
+
+    def readers_of(self, name: str) -> list[CoordinatorInfo]:
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DirectoryError(f"no stream registered under {name!r}")
+        return list(entry.readers)

@@ -1,0 +1,216 @@
+"""Runtime performance monitoring (paper Section II.G).
+
+Measurement points at all levels of the FlexIO stack record the timing of
+data movement and DC plug-in execution, transferred data volumes, and
+memory allocations.  Records serve two consumers:
+
+* **offline tuning** — the full trace can be dumped to a file (JSON lines)
+  for post-mortem analysis;
+* **runtime management** — online aggregates (per-category totals, rates,
+  high-water marks) feed the data-movement scheduler and DC plug-in
+  placement decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One monitored event."""
+
+    category: str       # e.g. "data_movement", "dc_plugin", "handshake"
+    name: str           # e.g. variable or plug-in name
+    start: float        # seconds (simulated or wall, caller's choice)
+    duration: float
+    bytes: int = 0
+    extra: tuple = ()   # ((key, value), ...) — hashable for frozen dataclass
+
+    def as_dict(self) -> dict:
+        d = {
+            "category": self.category,
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "bytes": self.bytes,
+        }
+        d.update(dict(self.extra))
+        return d
+
+
+@dataclass
+class CategoryAggregate:
+    """Online rollup for one category."""
+
+    count: int = 0
+    total_time: float = 0.0
+    total_bytes: int = 0
+    max_duration: float = 0.0
+
+    def observe(self, rec: TraceRecord) -> None:
+        self.count += 1
+        self.total_time += rec.duration
+        self.total_bytes += rec.bytes
+        self.max_duration = max(self.max_duration, rec.duration)
+
+    @property
+    def mean_duration(self) -> float:
+        return self.total_time / self.count if self.count else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Bytes per second over the recorded busy time."""
+        return self.total_bytes / self.total_time if self.total_time > 0 else 0.0
+
+
+class MeasurementPoint:
+    """A context manager instrumenting one operation.
+
+    ``clock`` defaults to wall time; DES components pass ``lambda:
+    env.now`` so records carry simulated time.
+    """
+
+    def __init__(
+        self,
+        monitor: "PerfMonitor",
+        category: str,
+        name: str,
+        nbytes: int = 0,
+        **extra: Any,
+    ) -> None:
+        self._monitor = monitor
+        self._category = category
+        self._name = name
+        self._bytes = nbytes
+        self._extra = extra
+        self._start: Optional[float] = None
+
+    def __enter__(self) -> "MeasurementPoint":
+        self._start = self._monitor.clock()
+        return self
+
+    def add_bytes(self, n: int) -> None:
+        self._bytes += n
+
+    def __exit__(self, *exc: Any) -> None:
+        assert self._start is not None
+        end = self._monitor.clock()
+        self._monitor.record(
+            self._category,
+            self._name,
+            start=self._start,
+            duration=end - self._start,
+            nbytes=self._bytes,
+            **self._extra,
+        )
+
+
+class PerfMonitor:
+    """Per-process monitor: trace buffer + online aggregates."""
+
+    def __init__(self, clock=None, keep_trace: bool = True) -> None:
+        self.clock = clock or time.perf_counter
+        self.keep_trace = keep_trace
+        self.trace: list[TraceRecord] = []
+        self.aggregates: dict[str, CategoryAggregate] = defaultdict(CategoryAggregate)
+        #: Instrumented allocation tracking (Section II.G: "dynamic memory
+        #: allocation points within FlexIO are also instrumented").
+        self.current_alloc_bytes = 0
+        self.peak_alloc_bytes = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        category: str,
+        name: str,
+        start: float,
+        duration: float,
+        nbytes: int = 0,
+        **extra: Any,
+    ) -> TraceRecord:
+        rec = TraceRecord(
+            category, name, start, duration, nbytes, tuple(sorted(extra.items()))
+        )
+        if self.keep_trace:
+            self.trace.append(rec)
+        self.aggregates[category].observe(rec)
+        return rec
+
+    def measure(self, category: str, name: str, nbytes: int = 0, **extra: Any) -> MeasurementPoint:
+        return MeasurementPoint(self, category, name, nbytes, **extra)
+
+    # -- memory instrumentation -------------------------------------------
+    def alloc(self, nbytes: int) -> None:
+        self.current_alloc_bytes += nbytes
+        self.peak_alloc_bytes = max(self.peak_alloc_bytes, self.current_alloc_bytes)
+
+    def free(self, nbytes: int) -> None:
+        self.current_alloc_bytes -= nbytes
+        if self.current_alloc_bytes < 0:
+            raise ValueError("free() exceeds tracked allocations")
+
+    # -- consumption --------------------------------------------------------
+    def aggregate(self, category: str) -> CategoryAggregate:
+        return self.aggregates[category]
+
+    def categories(self) -> list[str]:
+        return sorted(self.aggregates)
+
+    def dump(self, path: str) -> int:
+        """Write the trace as JSON lines; returns record count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.trace:
+                fh.write(json.dumps(rec.as_dict()) + "\n")
+        return len(self.trace)
+
+    @staticmethod
+    def load(path: str) -> list[dict]:
+        with open(path, "r", encoding="utf-8") as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    def merge_from(self, other: "PerfMonitor") -> None:
+        """Online gathering: fold a remote monitor's aggregates into ours.
+
+        Models the paper's shipping of simulation-side monitoring data to
+        the analytics side for runtime management.
+        """
+        for category, agg in other.aggregates.items():
+            mine = self.aggregates[category]
+            mine.count += agg.count
+            mine.total_time += agg.total_time
+            mine.total_bytes += agg.total_bytes
+            mine.max_duration = max(mine.max_duration, agg.max_duration)
+
+    def report(self) -> str:
+        """Human-readable per-category summary (for logs and examples)."""
+        lines = [
+            f"{'category':20s} {'count':>7s} {'time(s)':>10s} "
+            f"{'bytes':>14s} {'mean(s)':>10s} {'MB/s':>10s}"
+        ]
+        for cat in self.categories():
+            agg = self.aggregates[cat]
+            mbps = agg.throughput / 1e6
+            lines.append(
+                f"{cat:20s} {agg.count:7d} {agg.total_time:10.4f} "
+                f"{agg.total_bytes:14d} {agg.mean_duration:10.6f} {mbps:10.2f}"
+            )
+        if self.peak_alloc_bytes:
+            lines.append(f"peak tracked allocation: {self.peak_alloc_bytes} bytes")
+        return "\n".join(lines)
+
+    def summary(self) -> dict[str, dict]:
+        return {
+            cat: {
+                "count": agg.count,
+                "total_time": agg.total_time,
+                "total_bytes": agg.total_bytes,
+                "mean_duration": agg.mean_duration,
+                "throughput": agg.throughput,
+            }
+            for cat, agg in self.aggregates.items()
+        }

@@ -1,0 +1,299 @@
+"""Data Conditioning (DC) plug-ins (paper Section II.F).
+
+DC plug-ins are *stateless mobile codelets* created on the reader side to
+customize writer-side outputs on the fly: data markup, annotation,
+sampling, bounding box, unit conversion, selection.  In FlexIO they are
+C-on-demand (CoD) source strings compiled by dynamic binary code
+generation and installed into either the simulation's or the analytics'
+address space — and migrated between the two at runtime.
+
+Here the codelet language is a *restricted Python subset*, validated by an
+AST whitelist before compilation (the analogue of CoD's restricted-C
+subset): no imports, no attribute access on dunders, no I/O, no access to
+anything beyond the record passed in and a numeric toolbox (`np`, `len`,
+`min`, ...).  The codelet must define::
+
+    def condition(vars):
+        ...
+        return vars
+
+where ``vars`` maps variable names to numpy arrays.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.monitoring import PerfMonitor
+
+
+class CodeletError(RuntimeError):
+    """Codelet failed validation, compilation, or execution."""
+
+
+class PluginSide(Enum):
+    """Which address space the codelet executes in."""
+
+    WRITER = "writer"
+    READER = "reader"
+
+
+_ALLOWED_NODES = {
+    ast.Module, ast.FunctionDef, ast.arguments, ast.arg, ast.Return,
+    ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr, ast.Pass,
+    ast.Name, ast.Load, ast.Store, ast.Del, ast.Delete,
+    ast.Subscript, ast.Slice, ast.Index if hasattr(ast, "Index") else ast.Slice,
+    ast.Tuple, ast.List, ast.Dict, ast.Set, ast.Constant,
+    ast.BinOp, ast.UnaryOp, ast.BoolOp, ast.Compare, ast.IfExp,
+    ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv, ast.Mod, ast.Pow,
+    ast.MatMult, ast.LShift, ast.RShift, ast.BitOr, ast.BitAnd, ast.BitXor,
+    ast.USub, ast.UAdd, ast.Invert, ast.Not, ast.And, ast.Or,
+    ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Is, ast.IsNot,
+    ast.In, ast.NotIn,
+    ast.If, ast.For, ast.While, ast.Break, ast.Continue,
+    ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp,
+    ast.comprehension, ast.Call, ast.keyword, ast.Attribute, ast.Starred,
+    ast.JoinedStr, ast.FormattedValue,
+}
+
+#: Names the codelet namespace provides (nothing else resolves).
+_SAFE_GLOBALS: dict = {
+    "np": np,
+    "len": len,
+    "min": min,
+    "max": max,
+    "abs": abs,
+    "sum": sum,
+    "range": range,
+    "enumerate": enumerate,
+    "zip": zip,
+    "float": float,
+    "int": int,
+    "bool": bool,
+    "round": round,
+    "sorted": sorted,
+    "dict": dict,
+    "list": list,
+    "tuple": tuple,
+}
+
+
+def _validate(tree: ast.AST, source: str) -> None:
+    for node in ast.walk(tree):
+        if type(node) not in _ALLOWED_NODES:
+            raise CodeletError(
+                f"codelet uses forbidden construct {type(node).__name__}"
+            )
+        if isinstance(node, ast.Attribute) and node.attr.startswith("_"):
+            raise CodeletError(f"codelet accesses private attribute {node.attr!r}")
+        if isinstance(node, ast.Name) and node.id.startswith("__"):
+            raise CodeletError(f"codelet references dunder name {node.id!r}")
+    # Exactly one top-level function named `condition`.
+    assert isinstance(tree, ast.Module)
+    funcs = [n for n in tree.body if isinstance(n, ast.FunctionDef)]
+    if len(funcs) != 1 or funcs[0].name != "condition":
+        raise CodeletError("codelet must define exactly one function: condition(vars)")
+    if len(funcs[0].args.args) != 1:
+        raise CodeletError("condition() must take exactly one argument")
+    extra = [n for n in tree.body if not isinstance(n, ast.FunctionDef)]
+    if extra:
+        raise CodeletError("codelet body must contain only the condition() function")
+
+
+@dataclass
+class PluginStats:
+    invocations: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    exec_time: float = 0.0
+
+
+class DCPlugin:
+    """One compiled codelet, deployable on either side of a stream."""
+
+    def __init__(self, name: str, source: str) -> None:
+        if not name:
+            raise CodeletError("plug-in needs a name")
+        self.name = name
+        self.source = source
+        self.side = PluginSide.READER  # created reader-side by default
+        self.stats = PluginStats()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            raise CodeletError(f"codelet syntax error: {exc}") from exc
+        _validate(tree, source)
+        namespace: dict = {"__builtins__": {}}
+        namespace.update(_SAFE_GLOBALS)
+        try:
+            exec(compile(tree, f"<dcplugin:{name}>", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - validation catches most
+            raise CodeletError(f"codelet failed to compile: {exc}") from exc
+        self._func: Callable[[dict], dict] = namespace["condition"]
+
+    @staticmethod
+    def _record_bytes(record: dict) -> int:
+        total = 0
+        for v in record.values():
+            if isinstance(v, np.ndarray):
+                total += v.nbytes
+        return total
+
+    def apply(self, record: dict, monitor: Optional[PerfMonitor] = None) -> dict:
+        """Run the codelet on one record (dict of variable name → array)."""
+        nbytes_in = self._record_bytes(record)
+        if monitor:
+            cm = monitor.measure("dc_plugin", self.name, nbytes=nbytes_in, side=self.side.value)
+            cm.__enter__()
+        try:
+            out = self._func(dict(record))
+        except Exception as exc:
+            raise CodeletError(f"codelet {self.name!r} raised: {exc!r}") from exc
+        finally:
+            if monitor:
+                cm.__exit__(None, None, None)
+        if not isinstance(out, dict):
+            raise CodeletError(
+                f"codelet {self.name!r} returned {type(out).__name__}, expected dict"
+            )
+        self.stats.invocations += 1
+        self.stats.bytes_in += nbytes_in
+        self.stats.bytes_out += self._record_bytes(out)
+        return out
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Output bytes / input bytes over the plug-in's lifetime."""
+        if self.stats.bytes_in == 0:
+            return 1.0
+        return self.stats.bytes_out / self.stats.bytes_in
+
+
+class PluginManager:
+    """The per-stream plug-in chain with runtime deployment and migration.
+
+    Deployment of a reader-created plug-in to the writer side travels "a
+    communication channel separate from the ones used for data movement"
+    (Section II.F) — modelled by the deploy/migrate calls happening outside
+    the stream's step flow.
+    """
+
+    def __init__(self, monitor: Optional[PerfMonitor] = None) -> None:
+        self.monitor = monitor
+        self._chain: list[DCPlugin] = []
+
+    # ------------------------------------------------------------------
+    def deploy(self, plugin: DCPlugin, side: PluginSide = PluginSide.READER) -> DCPlugin:
+        if any(p.name == plugin.name for p in self._chain):
+            raise CodeletError(f"plug-in {plugin.name!r} already deployed")
+        plugin.side = side
+        self._chain.append(plugin)
+        return plugin
+
+    def undeploy(self, name: str) -> DCPlugin:
+        for i, p in enumerate(self._chain):
+            if p.name == name:
+                return self._chain.pop(i)
+        raise CodeletError(f"no plug-in {name!r} deployed")
+
+    def migrate(self, name: str, to_side: PluginSide) -> DCPlugin:
+        """Move a codelet across address spaces at runtime."""
+        for p in self._chain:
+            if p.name == name:
+                p.side = to_side
+                return p
+        raise CodeletError(f"no plug-in {name!r} deployed")
+
+    def plugins(self, side: Optional[PluginSide] = None) -> list[DCPlugin]:
+        if side is None:
+            return list(self._chain)
+        return [p for p in self._chain if p.side == side]
+
+    # ------------------------------------------------------------------
+    def apply_side(self, side: PluginSide, record: dict) -> dict:
+        """Run every codelet installed on ``side``, in deployment order."""
+        out = record
+        for p in self._chain:
+            if p.side == side:
+                out = p.apply(out, self.monitor)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# A library of useful codelets (paper's examples)
+# ---------------------------------------------------------------------------
+
+SAMPLING_SRC = """
+def condition(vars):
+    out = dict(vars)
+    for name in list(out):
+        v = out[name]
+        out[name] = v[::{stride}]
+    return out
+"""
+
+RANGE_SELECT_SRC = """
+def condition(vars):
+    v = vars['{var}']
+    mask = (v[:, {column}] >= {lo}) & (v[:, {column}] <= {hi})
+    out = dict(vars)
+    out['{var}'] = v[mask]
+    return out
+"""
+
+BOUNDING_BOX_SRC = """
+def condition(vars):
+    out = dict(vars)
+    for name in list(out):
+        v = out[name]
+        out[name + '_bbox_min'] = np.min(v, axis=0)
+        out[name + '_bbox_max'] = np.max(v, axis=0)
+    return out
+"""
+
+UNIT_CONVERSION_SRC = """
+def condition(vars):
+    out = dict(vars)
+    out['{var}'] = vars['{var}'] * {factor}
+    return out
+"""
+
+ANNOTATION_SRC = """
+def condition(vars):
+    out = dict(vars)
+    out['{key}'] = np.array([{value}])
+    return out
+"""
+
+
+def sampling_plugin(stride: int = 2) -> DCPlugin:
+    """Keep every ``stride``-th element of each variable."""
+    return DCPlugin(f"sample/{stride}", SAMPLING_SRC.format(stride=int(stride)))
+
+
+def range_select_plugin(var: str, column: int, lo: float, hi: float) -> DCPlugin:
+    """Select rows of 2-D ``var`` whose ``column`` lies in [lo, hi]."""
+    return DCPlugin(
+        f"range/{var}[{column}]",
+        RANGE_SELECT_SRC.format(var=var, column=int(column), lo=float(lo), hi=float(hi)),
+    )
+
+
+def bounding_box_plugin() -> DCPlugin:
+    """Attach per-variable bounding-box metadata."""
+    return DCPlugin("bbox", BOUNDING_BOX_SRC)
+
+
+def unit_conversion_plugin(var: str, factor: float) -> DCPlugin:
+    """Scale ``var`` by ``factor`` (e.g. unit conversion)."""
+    return DCPlugin(f"units/{var}", UNIT_CONVERSION_SRC.format(var=var, factor=float(factor)))
+
+
+def annotation_plugin(key: str, value: float) -> DCPlugin:
+    """Add a scalar markup variable to every record."""
+    return DCPlugin(f"annotate/{key}", ANNOTATION_SRC.format(key=key, value=float(value)))

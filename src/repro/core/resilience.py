@@ -1,0 +1,308 @@
+"""Resiliency: timeout-and-retry and transactional output
+(paper Section II.H).
+
+"Regarding resiliency, the current version uses simple timeout-and-retry
+schemes to cope with errors and failures during data movement, but we are
+planning to incorporate our recent work on a distributed transaction
+protocol [26] into future versions of FlexIO."
+
+Both are implemented here:
+
+* :class:`ReliableChannel` — the *current* scheme: every data-movement
+  operation runs under a timeout with bounded retries and (modeled)
+  exponential backoff; a :class:`FaultInjector` deterministically injects
+  drops/timeouts so the behaviour is testable.
+* :class:`TransactionCoordinator` — the *planned* scheme (D2T-style):
+  an output step becomes a distributed transaction over all writer
+  participants — two-phase commit with prepare votes, so a step is
+  visible to readers either completely or not at all.
+  :class:`TransactionalStreamWriter` applies it to a FlexIO stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.util import rng
+
+
+class MovementFailed(RuntimeError):
+    """An operation exhausted its retries."""
+
+
+class TransactionAborted(RuntimeError):
+    """The coordinator aborted the transaction (some participant failed)."""
+
+
+# ---------------------------------------------------------------------------
+# Fault injection
+# ---------------------------------------------------------------------------
+
+class FaultInjector:
+    """Deterministic failure source for data-movement operations.
+
+    Two modes, combinable: a seeded drop probability, and a script of
+    exact operation indices to fail (1-based count of operations seen).
+    """
+
+    def __init__(
+        self,
+        drop_probability: float = 0.0,
+        fail_ops: Optional[Sequence[int]] = None,
+        seed: int = 0,
+    ) -> None:
+        if not (0.0 <= drop_probability < 1.0):
+            raise ValueError("drop_probability in [0, 1)")
+        self.drop_probability = drop_probability
+        self.fail_ops = set(fail_ops or ())
+        self._rng = rng(seed)
+        self.ops_seen = 0
+        self.faults_injected = 0
+
+    def should_fail(self) -> bool:
+        self.ops_seen += 1
+        fail = self.ops_seen in self.fail_ops or (
+            self.drop_probability > 0
+            and self._rng.random() < self.drop_probability
+        )
+        if fail:
+            self.faults_injected += 1
+        return fail
+
+
+# ---------------------------------------------------------------------------
+# Timeout-and-retry
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff (modeled time)."""
+
+    max_retries: int = 3
+    timeout: float = 1.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout <= 0 or self.backoff_factor < 1.0:
+            raise ValueError("timeout > 0 and backoff_factor >= 1 required")
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff delay before retry ``attempt`` (attempt 0 = first try)."""
+        if attempt == 0:
+            return 0.0
+        return self.timeout * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class RetryStats:
+    operations: int = 0
+    retries: int = 0
+    failures: int = 0
+    #: Modeled seconds spent waiting on timeouts + backoff.
+    time_lost: float = 0.0
+
+
+class ReliableChannel:
+    """Wraps an unreliable send operation with timeout-and-retry.
+
+    ``transport`` is any callable performing the movement (e.g. a bound
+    ``ShmChannel.send`` or ``RdmaChannel.send``); the injector decides
+    which invocations "time out".
+    """
+
+    def __init__(
+        self,
+        transport: Callable[..., Any],
+        policy: Optional[RetryPolicy] = None,
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.transport = transport
+        self.policy = policy or RetryPolicy()
+        self.injector = injector or FaultInjector()
+        self.stats = RetryStats()
+
+    def send(self, *args: Any, **kwargs: Any) -> Any:
+        """Run the operation, retrying on injected faults.
+
+        Returns the transport's return value; raises
+        :class:`MovementFailed` once retries are exhausted.
+        """
+        self.stats.operations += 1
+        last_exc: Optional[Exception] = None
+        for attempt in range(self.policy.max_retries + 1):
+            self.stats.time_lost += self.policy.delay_before(attempt)
+            if attempt > 0:
+                self.stats.retries += 1
+            if self.injector.should_fail():
+                # The operation "times out": we pay the timeout and retry.
+                self.stats.time_lost += self.policy.timeout
+                last_exc = TimeoutError(f"movement timed out (attempt {attempt + 1})")
+                continue
+            return self.transport(*args, **kwargs)
+        self.stats.failures += 1
+        raise MovementFailed(
+            f"gave up after {self.policy.max_retries + 1} attempts"
+        ) from last_exc
+
+
+# ---------------------------------------------------------------------------
+# Distributed transactions (D2T-style two-phase commit)
+# ---------------------------------------------------------------------------
+
+class TxPhase(Enum):
+    IDLE = "idle"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Participant:
+    """One writer rank's transaction agent.
+
+    ``prepare`` stages the rank's output (durably, in the real system);
+    ``commit`` publishes the staged data through ``publish_fn``;
+    ``abort`` discards it.  A :class:`FaultInjector` can fail prepares.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        publish_fn: Callable[[int, dict], None],
+        injector: Optional[FaultInjector] = None,
+    ) -> None:
+        self.rank = rank
+        self._publish = publish_fn
+        self.injector = injector
+        self.phase = TxPhase.IDLE
+        self._staged: Optional[tuple[int, dict]] = None
+
+    def prepare(self, step: int, payload: dict) -> bool:
+        """Stage the payload; returns the participant's vote."""
+        if self.injector is not None and self.injector.should_fail():
+            self.phase = TxPhase.ABORTED
+            self._staged = None
+            return False
+        self._staged = (step, dict(payload))
+        self.phase = TxPhase.PREPARED
+        return True
+
+    def commit(self) -> None:
+        if self.phase is not TxPhase.PREPARED or self._staged is None:
+            raise TransactionAborted(f"rank {self.rank} has nothing prepared")
+        step, payload = self._staged
+        self._publish(step, payload)
+        self._staged = None
+        self.phase = TxPhase.COMMITTED
+
+    def abort(self) -> None:
+        self._staged = None
+        self.phase = TxPhase.ABORTED
+
+
+@dataclass
+class TxStats:
+    transactions: int = 0
+    committed: int = 0
+    aborted: int = 0
+
+
+class TransactionCoordinator:
+    """Two-phase commit across all participants of one output step."""
+
+    def __init__(self, participants: Sequence[Participant]) -> None:
+        if not participants:
+            raise ValueError("a transaction needs participants")
+        self.participants = list(participants)
+        self.stats = TxStats()
+
+    def run(self, step: int, payloads: dict[int, dict]) -> bool:
+        """One transaction: prepare all, then commit or abort all.
+
+        ``payloads`` maps rank → that rank's output record.  Returns True
+        on commit; raises :class:`TransactionAborted` on abort (callers
+        retry the step).
+        """
+        self.stats.transactions += 1
+        votes = []
+        for p in self.participants:
+            payload = payloads.get(p.rank)
+            if payload is None:
+                votes.append(False)
+                break
+            votes.append(p.prepare(step, payload))
+            if not votes[-1]:
+                break
+        if not all(votes) or len(votes) < len(self.participants):
+            for p in self.participants:
+                p.abort()
+            self.stats.aborted += 1
+            raise TransactionAborted(f"step {step}: a participant voted abort")
+        for p in self.participants:
+            p.commit()
+        self.stats.committed += 1
+        return True
+
+
+class TransactionalStreamWriter:
+    """All-or-nothing output steps on a FlexIO stream.
+
+    Wraps per-rank write handles: ``write`` buffers locally; ``commit_step``
+    runs two-phase commit — only on success does any data reach the
+    stream, so readers never observe a torn step.  Failed steps are
+    retried up to ``max_step_retries`` times.
+    """
+
+    def __init__(
+        self,
+        handles: Sequence[Any],
+        injector: Optional[FaultInjector] = None,
+        max_step_retries: int = 2,
+    ) -> None:
+        if not handles:
+            raise ValueError("need at least one write handle")
+        self._handles = list(handles)
+        self._pending: dict[int, dict] = {r: {} for r in range(len(handles))}
+        self._step = 0
+        self.max_step_retries = max_step_retries
+
+        def make_publish(idx: int):
+            def publish(step: int, payload: dict) -> None:
+                for name, (data, box, gshape) in payload.items():
+                    self._handles[idx].write(name, data, box=box, global_shape=gshape)
+                self._handles[idx].advance()
+
+            return publish
+
+        self.participants = [
+            Participant(r, make_publish(r), injector) for r in range(len(handles))
+        ]
+        self.coordinator = TransactionCoordinator(self.participants)
+
+    def write(self, rank: int, name: str, data, box=None, global_shape=None) -> None:
+        self._pending[rank][name] = (np.asarray(data), box, global_shape)
+
+    def commit_step(self) -> int:
+        """2PC the buffered step; returns the committed step index."""
+        payloads = {r: vars_ for r, vars_ in self._pending.items()}
+        attempts = 0
+        while True:
+            try:
+                self.coordinator.run(self._step, payloads)
+                break
+            except TransactionAborted:
+                attempts += 1
+                if attempts > self.max_step_retries:
+                    raise
+        self._pending = {r: {} for r in range(len(self._handles))}
+        self._step += 1
+        return self._step - 1
+
+    def close(self) -> None:
+        for h in self._handles:
+            h.close()

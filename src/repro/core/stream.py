@@ -1,0 +1,446 @@
+"""The FLEXPATH stream I/O method (paper Section II.B).
+
+Stream mode keeps the file metaphor: the simulation *creates a file* with
+a unique name, the analytics *opens* it — but underneath, the open
+resolves the name at the directory server and connects to the writing
+program.  Writers then emit timesteps; readers consume them (process-group
+or global-array pattern); when the writer closes the file, readers receive
+End-of-Stream from their next read.  Because the API is the ADIOS file
+API, stream and file modes interchange without code changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.adios.api import (
+    EndOfStream,
+    IoMethod,
+    RankContext,
+    ReadHandle,
+    WriteHandle,
+    register_method,
+)
+from repro.adios.config import MethodSpec
+from repro.adios.model import Group, ProcessGroupData, WrittenVar
+from repro.adios.selection import BoundingBox, assemble, intersect
+from repro.core.directory import CoordinatorInfo, DirectoryServer
+from repro.core.redistribution import CachingOption, RedistributionEngine
+from repro.core.monitoring import PerfMonitor
+from repro.core.plugins import PluginManager, PluginSide
+
+
+class StreamStalled(Exception):
+    """No published step is available yet (writer still running)."""
+
+
+class StreamError(RuntimeError):
+    """Protocol misuse on a stream."""
+
+
+@dataclass(frozen=True)
+class StreamHints:
+    """Transport tuning hints parsed from the XML ``<method>`` parameters.
+
+    The paper's Section IV.B.1 knobs: handshake caching, variable
+    batching, synchronous vs asynchronous writes, the XPMEM path, and the
+    buffering depth (backpressure threshold).
+    """
+
+    caching: CachingOption = CachingOption.NO_CACHING
+    batching: bool = False
+    sync: bool = False
+    xpmem: bool = False
+    buffer_steps: int = 4
+
+    @classmethod
+    def from_spec(cls, spec: MethodSpec) -> "StreamHints":
+        raw = (spec.param("caching", "none") or "none").strip().lower()
+        mapping = {
+            "none": CachingOption.NO_CACHING,
+            "local": CachingOption.CACHING_LOCAL,
+            "all": CachingOption.CACHING_ALL,
+        }
+        if raw not in mapping:
+            raise StreamError(
+                f"unknown caching hint {raw!r}; expected none/local/all"
+            )
+        return cls(
+            caching=mapping[raw],
+            batching=spec.param_bool("batching", False),
+            sync=spec.param_bool("sync", False),
+            xpmem=spec.param_bool("xpmem", False),
+            buffer_steps=spec.param_int("buffer_steps", 4),
+        )
+
+
+@dataclass
+class _PublishedStep:
+    """One completed timestep: every writer rank's process group."""
+
+    step: int
+    groups: dict[int, ProcessGroupData] = field(default_factory=dict)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(g.nbytes for g in self.groups.values())
+
+    def var_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for g in self.groups.values():
+            for name in g.variables:
+                seen.setdefault(name, None)
+        return list(seen)
+
+
+class StreamState:
+    """Shared state of one named stream: buffered steps + membership."""
+
+    def __init__(
+        self,
+        name: str,
+        monitor: Optional[PerfMonitor] = None,
+        hints: Optional[StreamHints] = None,
+    ) -> None:
+        self.name = name
+        self.monitor = monitor or PerfMonitor()
+        self.hints = hints or StreamHints()
+        #: Times a publish exceeded the hinted buffering depth.
+        self.backpressure_events = 0
+        self.plugins = PluginManager(self.monitor)
+        self.published: list[_PublishedStep] = []
+        self._current: dict[int, ProcessGroupData] = {}
+        self._step = 0
+        self.writer_ranks: set[int] = set()
+        self._advanced: set[int] = set()
+        self._closed_ranks: set[int] = set()
+        self.closed = False
+        #: High-water mark of buffered bytes (backpressure visibility).
+        self.peak_buffered_bytes = 0
+
+    # -- writer side --------------------------------------------------------
+    def writer_join(self, rank: int) -> None:
+        if self.closed:
+            raise StreamError(f"stream {self.name!r} already closed")
+        self.writer_ranks.add(rank)
+
+    def write(self, rank: int, wv: WrittenVar) -> None:
+        if self.closed or rank in self._closed_ranks:
+            raise StreamError("write on a closed stream handle")
+        pg = self._current.get(rank)
+        if pg is None:
+            pg = ProcessGroupData(rank=rank, step=self._step)
+            self._current[rank] = pg
+        pg.add(wv)
+
+    def advance(self, rank: int) -> None:
+        if rank not in self.writer_ranks:
+            raise StreamError(f"rank {rank} never joined stream {self.name!r}")
+        self._advanced.add(rank)
+        live = self.writer_ranks - self._closed_ranks
+        if self._advanced >= live:
+            self._publish()
+
+    def _publish(self) -> None:
+        """Seal the current step: run writer-side DC plug-ins, enqueue."""
+        step = _PublishedStep(self._step)
+        for rank, pg in sorted(self._current.items()):
+            record = {name: wv.data for name, wv in pg.variables.items()}
+            conditioned = self.plugins.apply_side(PluginSide.WRITER, record)
+            out = ProcessGroupData(rank=rank, step=pg.step)
+            for name, data in conditioned.items():
+                orig = pg.variables.get(name)
+                out.add(
+                    WrittenVar(
+                        name=name,
+                        data=np.asarray(data),
+                        box=orig.box if orig is not None and _same_shape(orig, data) else None,
+                        global_shape=orig.global_shape if orig is not None else None,
+                    )
+                )
+            step.groups[rank] = out
+        self.published.append(step)
+        self._current = {}
+        self._advanced = set()
+        self._step += 1
+        buffered = sum(s.nbytes for s in self.published)
+        self.peak_buffered_bytes = max(self.peak_buffered_bytes, buffered)
+        if len(self.published) > self.hints.buffer_steps:
+            # In the real transport the writer would stall here; in the
+            # in-process harness we surface it through monitoring.
+            self.backpressure_events += 1
+        self.monitor.record(
+            "stream_publish", self.name, start=0.0, duration=0.0, nbytes=step.nbytes
+        )
+
+    def writer_close(self, rank: int) -> None:
+        self._closed_ranks.add(rank)
+        self._advanced.discard(rank)
+        if self._closed_ranks >= self.writer_ranks:
+            # Publish any partial step implicitly, then end the stream.
+            if self._current:
+                self._publish()
+            self.closed = True
+
+    # -- reader side --------------------------------------------------------
+    def step_available(self, index: int) -> bool:
+        return index < len(self.published)
+
+    def get_step(self, index: int) -> _PublishedStep:
+        if not self.step_available(index):
+            if self.closed:
+                raise EndOfStream(self.name)
+            raise StreamStalled(f"step {index} of {self.name!r} not yet published")
+        return self.published[index]
+
+
+def _same_shape(orig: WrittenVar, data) -> bool:
+    return tuple(np.shape(data)) == tuple(orig.data.shape)
+
+
+class StreamRegistry:
+    """Directory server + live stream states for one process."""
+
+    def __init__(self) -> None:
+        self.directory = DirectoryServer()
+        self._states: dict[str, StreamState] = {}
+
+    def create(
+        self, name: str, ctx: RankContext, monitor=None, hints=None
+    ) -> StreamState:
+        state = self._states.get(name)
+        if state is None or state.closed:
+            if state is not None and state.closed:
+                # Recycle a finished stream's name for a new run.
+                self.directory.unregister(name)
+            state = StreamState(name, monitor, hints)
+            self._states[name] = state
+            # Coordinator (rank 0 by election) registers the name.
+            self.directory.register(
+                name,
+                CoordinatorInfo(
+                    program="writer", coordinator_rank=0, num_ranks=ctx.size, contact=state
+                ),
+            )
+        return state
+
+    def open(self, name: str, ctx: RankContext) -> StreamState:
+        info = self.directory.lookup(
+            name,
+            CoordinatorInfo(program="reader", coordinator_rank=0, num_ranks=ctx.size),
+        )
+        return info.contact
+
+    def close_stream(self, name: str) -> None:
+        if name in self._states:
+            try:
+                self.directory.unregister(name)
+            except Exception:
+                pass
+
+    def reset(self) -> None:
+        self.__init__()
+
+
+#: Process-global registry (the "network" all in-process programs share).
+stream_registry = StreamRegistry()
+
+
+# ---------------------------------------------------------------------------
+# Handles
+# ---------------------------------------------------------------------------
+
+class FlexpathWriteHandle(WriteHandle):
+    """Stream-mode writer for one rank."""
+
+    def __init__(self, state: StreamState, ctx: RankContext) -> None:
+        self._state = state
+        self._ctx = ctx
+        self._closed = False
+        state.writer_join(ctx.rank)
+
+    @property
+    def plugins(self) -> PluginManager:
+        return self._state.plugins
+
+    def write(self, name, data, box=None, global_shape=None):
+        if self._closed:
+            raise StreamError("write after close")
+        arr = np.asarray(data)
+        if box is not None and tuple(arr.shape) != tuple(box.count):
+            raise ValueError(f"data shape {arr.shape} != box count {box.count}")
+        self._state.write(
+            self._ctx.rank,
+            WrittenVar(
+                name=name,
+                data=arr,
+                box=box,
+                global_shape=tuple(global_shape) if global_shape is not None else None,
+            ),
+        )
+
+    def advance(self):
+        if self._closed:
+            raise StreamError("advance after close")
+        self._state.advance(self._ctx.rank)
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        # The name stays registered so readers can still resolve the
+        # stream and drain buffered steps; EndOfStream tells them it ended.
+        self._state.writer_close(self._ctx.rank)
+
+
+class FlexpathReadHandle(ReadHandle):
+    """Stream-mode reader for one rank; End-of-Stream when writers close."""
+
+    def __init__(self, state: StreamState, ctx: RankContext) -> None:
+        self._state = state
+        self._ctx = ctx
+        self._cursor = 0
+        # Handshake-protocol accounting per global-array variable: the
+        # engine carries the caching state the XML hints select.
+        self._hs_engines: dict[str, RedistributionEngine] = {}
+        self._hs_boxes: dict[str, tuple] = {}
+        self._hs_paid_steps: set[int] = set()
+
+    @property
+    def plugins(self) -> PluginManager:
+        return self._state.plugins
+
+    @property
+    def current_step(self) -> int:
+        return self._cursor
+
+    def _step(self) -> _PublishedStep:
+        return self._state.get_step(self._cursor)
+
+    def available_vars(self):
+        return self._step().var_names()
+
+    def read_block(self, name: str, writer_rank: int) -> np.ndarray:
+        step = self._step()
+        pg = step.groups.get(writer_rank)
+        if pg is None or name not in pg.variables:
+            raise KeyError(
+                f"no block for var {name!r} from writer {writer_rank} "
+                f"at step {self._cursor}"
+            )
+        record = {n: wv.data for n, wv in pg.variables.items()}
+        record = self._state.plugins.apply_side(PluginSide.READER, record)
+        self._state.monitor.record(
+            "stream_read", name, start=0.0, duration=0.0,
+            nbytes=int(np.asarray(record[name]).nbytes),
+        )
+        return np.asarray(record[name])
+
+    def read(self, name, start=None, count=None) -> np.ndarray:
+        step = self._step()
+        blocks = []
+        gshape = None
+        dtype = None
+        for pg in step.groups.values():
+            wv = pg.variables.get(name)
+            if wv is None:
+                continue
+            dtype = wv.data.dtype
+            if wv.global_shape is not None:
+                gshape = wv.global_shape
+            if wv.box is not None:
+                blocks.append((wv.box, wv.data))
+        if dtype is None:
+            raise KeyError(f"no variable {name!r} at step {self._cursor}")
+        if gshape is None:
+            raise StreamError(
+                f"variable {name!r} is not a global array; use read_block()"
+            )
+        if start is None or count is None:
+            target = BoundingBox((0,) * len(gshape), tuple(gshape))
+        else:
+            target = BoundingBox(tuple(start), tuple(count))
+        self._account_handshake(name, gshape, [b for b, _ in blocks])
+        out = assemble(
+            target,
+            ((b, d) for b, d in blocks if intersect(target, b) is not None),
+            dtype=dtype,
+        )
+        record = self._state.plugins.apply_side(PluginSide.READER, {name: out})
+        result = np.asarray(record[name])
+        self._state.monitor.record(
+            "stream_read", name, start=0.0, duration=0.0, nbytes=int(result.nbytes)
+        )
+        return result
+
+    def _account_handshake(self, name, gshape, writer_boxes) -> None:
+        """Run the 4-step handshake protocol accounting for one exchange.
+
+        Honors the stream's caching and batching hints: with CACHING_ALL
+        and unchanged distributions the steady-state cost is zero; with
+        batching only the first variable of each step pays a round.
+        """
+        hints = self._state.hints
+        boxes_key = tuple((b.start, b.count) for b in writer_boxes)
+        eng = self._hs_engines.get(name)
+        if eng is None:
+            reader_box = BoundingBox((0,) * len(gshape), tuple(gshape))
+            eng = RedistributionEngine(
+                writer_boxes, [reader_box],
+                caching=hints.caching, batching=hints.batching,
+            )
+            self._hs_engines[name] = eng
+            self._hs_boxes[name] = boxes_key
+        elif self._hs_boxes.get(name) != boxes_key:
+            # Distribution changed (e.g. particle movement): caches drop.
+            eng.update_writer_boxes(writer_boxes)
+            self._hs_boxes[name] = boxes_key
+        if hints.batching and self._cursor in self._hs_paid_steps:
+            return  # aggregated into this step's earlier round
+        cost = eng.handshake(1)
+        self._hs_paid_steps.add(self._cursor)
+        self._state.monitor.record(
+            "handshake", name, start=0.0, duration=0.0,
+            nbytes=cost.control_bytes, messages=cost.messages,
+        )
+
+    def handshake_messages(self) -> int:
+        """Total handshake messages this reader has accounted (monitoring)."""
+        agg = self._state.monitor.aggregate("handshake")
+        return sum(
+            dict(rec.extra).get("messages", 0)
+            for rec in self._state.monitor.trace
+            if rec.category == "handshake"
+        ) if agg.count else 0
+
+    def advance(self):
+        nxt = self._cursor + 1
+        if not self._state.step_available(nxt):
+            if self._state.closed:
+                raise EndOfStream(self._state.name)
+            raise StreamStalled(
+                f"step {nxt} of {self._state.name!r} not yet published"
+            )
+        self._cursor = nxt
+
+    def close(self):
+        pass
+
+
+class FlexpathMethod(IoMethod):
+    """The stream method registered under ``FLEXPATH`` in the config."""
+
+    def open_write(self, name: str, group: Group, ctx: RankContext, spec: MethodSpec):
+        state = stream_registry.create(name, ctx, hints=StreamHints.from_spec(spec))
+        return FlexpathWriteHandle(state, ctx)
+
+    def open_read(self, name: str, group: Group, ctx: RankContext, spec: MethodSpec):
+        state = stream_registry.open(name, ctx)
+        return FlexpathReadHandle(state, ctx)
+
+
+register_method("FLEXPATH", FlexpathMethod)
+register_method("FLEXIO", FlexpathMethod)

@@ -1,0 +1,122 @@
+"""Online/offline placement fallback.
+
+Paper Section I.B.2: "Users can even seamlessly switch analytics to run
+offline when there are insufficient online resources for their timely
+execution."  This module implements that decision: try the online
+placements (topology-aware first); when the machine cannot host the
+analytics online — not enough nodes, or the online run would violate a
+deadline — fall back to offline (file-based) analytics.  Because stream
+and file modes share the API, the switch is a configuration change, not
+a code change; here it is also an *automated* one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.coupled.model import CoupledOptions, CoupledResult, CoupledWorkload, PlacementStyle
+from repro.coupled.simulate import simulate_coupled
+from repro.machine.topology import Machine
+from repro.placement.algorithms import (
+    NodeTopologyAwarePlacement,
+    allocate_analytics_sync,
+    process_group_matrix,
+)
+from repro.util import ceil_div
+
+
+@dataclass
+class FallbackDecision:
+    """What was chosen and why."""
+
+    chosen: PlacementStyle
+    reason: str
+    result: CoupledResult
+    online_attempted: bool
+
+
+def simulate_with_fallback(
+    machine: Machine,
+    workload: CoupledWorkload,
+    options: Optional[CoupledOptions] = None,
+    deadline: Optional[float] = None,
+    num_ana: Optional[int] = None,
+) -> FallbackDecision:
+    """Place analytics online if the machine can host them; else offline.
+
+    ``deadline`` (seconds of Total Execution Time) additionally rejects
+    online placements that would blow the budget — the "timely
+    execution" clause.
+    """
+    opts = options or CoupledOptions()
+    sim = workload.sim
+    if num_ana is None:
+        num_ana = allocate_analytics_sync(sim, workload.ana)
+
+    cpn = machine.node_type.cores_per_node
+    slots_needed = sim.num_ranks * sim.threads_per_rank + num_ana
+    nodes_needed = ceil_div(slots_needed, cpn)
+
+    if nodes_needed > machine.num_nodes:
+        result = simulate_coupled(
+            machine, workload, style=PlacementStyle.OFFLINE,
+            num_ana=num_ana, options=opts,
+        )
+        return FallbackDecision(
+            chosen=PlacementStyle.OFFLINE,
+            reason=(
+                f"insufficient online resources: need {nodes_needed} nodes "
+                f"for sim+analytics, machine has {machine.num_nodes}"
+            ),
+            result=result,
+            online_attempted=False,
+        )
+
+    # Online is feasible: bind with the topology-aware algorithm.
+    matrix = process_group_matrix(sim.num_ranks, num_ana, sim.bytes_per_rank)
+    try:
+        placement = NodeTopologyAwarePlacement().place(
+            machine, sim, workload.ana, matrix, num_ana=num_ana
+        )
+        result = simulate_coupled(machine, workload, placement=placement, options=opts)
+    except ValueError as exc:
+        result = simulate_coupled(
+            machine, workload, style=PlacementStyle.OFFLINE,
+            num_ana=num_ana, options=opts,
+        )
+        return FallbackDecision(
+            chosen=PlacementStyle.OFFLINE,
+            reason=f"online binding failed: {exc}",
+            result=result,
+            online_attempted=True,
+        )
+
+    if deadline is not None and result.total_execution_time > deadline:
+        offline = simulate_coupled(
+            machine, workload, style=PlacementStyle.OFFLINE,
+            num_ana=num_ana, options=opts,
+        )
+        if offline.total_execution_time < result.total_execution_time:
+            return FallbackDecision(
+                chosen=PlacementStyle.OFFLINE,
+                reason=(
+                    f"online run ({result.total_execution_time:.1f}s) misses the "
+                    f"{deadline:.1f}s deadline; offline is faster"
+                ),
+                result=offline,
+                online_attempted=True,
+            )
+
+    style = PlacementStyle(placement.style()) if placement.style() in (
+        "helper-core", "staging"
+    ) else PlacementStyle.CUSTOM
+    return FallbackDecision(
+        chosen=style,
+        reason=f"online placement feasible ({placement.style()}, "
+               f"{placement.num_nodes} nodes)",
+        result=result,
+        online_attempted=True,
+    )

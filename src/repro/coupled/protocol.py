@@ -1,0 +1,238 @@
+"""Protocol-level discrete-event simulation of one stream's exchange.
+
+Where :mod:`repro.coupled.simulate` prices whole steps analytically, this
+module *executes the protocol*: every writer and reader rank is a
+coroutine process on the DES kernel, coordinators really gather /
+exchange / broadcast distribution messages (steps 1–3 of Section II.C),
+and step 4's stride transfers flow point-to-point with per-message costs
+from the machine's transports.  Caching options skip exactly the rounds
+they skip in the accounting engine — the tests cross-validate message
+counts between the two implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro import simcore
+from repro.adios.selection import BoundingBox
+from repro.core.redistribution import (
+    CachingOption,
+    RedistributionEngine,
+    compute_plan,
+)
+from repro.core.runtime import FlexIORuntime
+from repro.machine.topology import Machine
+
+#: Bytes of one distribution record on the wire (matches the engine).
+_DIST_BYTES = 64
+
+
+@dataclass
+class ProtocolStats:
+    """What the protocol run observed."""
+
+    steps: int = 0
+    control_messages: int = 0
+    data_messages: int = 0
+    control_bytes: int = 0
+    data_bytes: int = 0
+    #: Wall (simulated) seconds per step spent in the handshake phase.
+    handshake_times: list = field(default_factory=list)
+    #: Wall seconds per step for the data phase (all strides delivered).
+    data_times: list = field(default_factory=list)
+
+    @property
+    def total_time(self) -> float:
+        return sum(self.handshake_times) + sum(self.data_times)
+
+
+class ProtocolSimulation:
+    """DES execution of the MxN exchange protocol for one stream."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        writer_boxes: Sequence[BoundingBox],
+        reader_boxes: Sequence[BoundingBox],
+        writer_cores: Sequence[int],
+        reader_cores: Sequence[int],
+        itemsize: int = 8,
+        caching: CachingOption = CachingOption.NO_CACHING,
+        batching: bool = False,
+        num_variables: int = 1,
+    ) -> None:
+        if len(writer_cores) != len(writer_boxes):
+            raise ValueError("one core per writer required")
+        if len(reader_cores) != len(reader_boxes):
+            raise ValueError("one core per reader required")
+        self.machine = machine
+        self.runtime = FlexIORuntime(machine)
+        self.plan = compute_plan(writer_boxes, reader_boxes)
+        self.writer_cores = list(writer_cores)
+        self.reader_cores = list(reader_cores)
+        self.itemsize = itemsize
+        self.caching = caching
+        self.batching = batching
+        self.num_variables = num_variables
+        self._local_cached = False
+        self._peer_cached = False
+        self.stats = ProtocolStats()
+
+    # -- message-cost helpers ----------------------------------------------
+    def _ctrl_cost(self, src_core: int, dst_core: int) -> float:
+        return self.runtime.transfer_time(_DIST_BYTES, src_core, dst_core)
+
+    def _data_cost(self, src_core: int, dst_core: int, nbytes: int) -> float:
+        return self.runtime.transfer_time(nbytes, src_core, dst_core)
+
+    # -- protocol phases -----------------------------------------------------
+    def _send(self, env, inbox, cost: float, nbytes: int, kind: str):
+        """Sender-side process: pay the cost, then deliver."""
+        yield env.timeout(cost)
+        if kind == "ctrl":
+            self.stats.control_messages += 1
+            self.stats.control_bytes += nbytes
+        else:
+            self.stats.data_messages += 1
+            self.stats.data_bytes += nbytes
+        yield inbox.put((kind, nbytes))
+
+    def _gather(self, env, cores: Sequence[int], coord_core: int):
+        """Step 1: every non-coordinator sends its distribution to the
+        coordinator, in parallel; the coordinator drains them."""
+        inbox = simcore.Store(env)
+        senders = [
+            env.process(
+                self._send(env, inbox, self._ctrl_cost(c, coord_core), _DIST_BYTES, "ctrl")
+            )
+            for c in cores[1:]
+        ]
+        for _ in senders:
+            yield inbox.get()
+
+    def _exchange(self, env):
+        """Step 2: the two coordinators swap aggregate distributions."""
+        wc, rc = self.writer_cores[0], self.reader_cores[0]
+        m_bytes = len(self.writer_cores) * _DIST_BYTES
+        n_bytes = len(self.reader_cores) * _DIST_BYTES
+        inbox = simcore.Store(env)
+        a = env.process(self._send(env, inbox, self._ctrl_cost(wc, rc), m_bytes, "ctrl"))
+        b = env.process(self._send(env, inbox, self._ctrl_cost(rc, wc), n_bytes, "ctrl"))
+        yield a & b
+        yield inbox.get()
+        yield inbox.get()
+
+    def _broadcast(self, env, cores: Sequence[int], coord_core: int, payload: int):
+        """Step 3: the coordinator pushes the peer distribution to its
+        ranks — sequential sends at the coordinator (the real bottleneck)."""
+        inbox = simcore.Store(env)
+        for c in cores[1:]:
+            yield env.process(
+                self._send(env, inbox, self._ctrl_cost(coord_core, c), payload, "ctrl")
+            )
+        for _ in cores[1:]:
+            yield inbox.get()
+
+    def _handshake(self, env):
+        do_step1 = not (
+            self.caching in (CachingOption.CACHING_LOCAL, CachingOption.CACHING_ALL)
+            and self._local_cached
+        )
+        do_step23 = not (self.caching is CachingOption.CACHING_ALL and self._peer_cached)
+        if do_step1:
+            w = env.process(self._gather(env, self.writer_cores, self.writer_cores[0]))
+            r = env.process(self._gather(env, self.reader_cores, self.reader_cores[0]))
+            yield w & r
+            self._local_cached = True
+        if do_step23:
+            yield env.process(self._exchange(env))
+            w = env.process(
+                self._broadcast(
+                    env, self.writer_cores, self.writer_cores[0],
+                    len(self.reader_cores) * _DIST_BYTES,
+                )
+            )
+            r = env.process(
+                self._broadcast(
+                    env, self.reader_cores, self.reader_cores[0],
+                    len(self.writer_cores) * _DIST_BYTES,
+                )
+            )
+            yield w & r
+            self._peer_cached = True
+
+    def _writer_data(self, env, writer: int, inboxes):
+        """Step 4.s: one writer sends its packed strides, sequentially."""
+        src = self.writer_cores[writer]
+        for pair in self.plan.sends_of(writer):
+            nbytes = pair.nbytes(self.itemsize)
+            if not self.batching:
+                nbytes = nbytes  # per-variable messages handled by caller
+            yield env.process(
+                self._send(
+                    env,
+                    inboxes[pair.reader],
+                    self._data_cost(src, self.reader_cores[pair.reader], nbytes),
+                    nbytes,
+                    "data",
+                )
+            )
+
+    def _reader_data(self, env, reader: int, inbox):
+        """Step 4.a: one reader drains its expected strides."""
+        expected = len(self.plan.recvs_of(reader))
+        for _ in range(expected):
+            yield inbox.get()
+
+    def _data_phase(self, env):
+        inboxes = [simcore.Store(env) for _ in self.reader_cores]
+        writers = [
+            env.process(self._writer_data(env, w, inboxes))
+            for w in range(len(self.writer_cores))
+        ]
+        readers = [
+            env.process(self._reader_data(env, r, inboxes[r]))
+            for r in range(len(self.reader_cores))
+        ]
+        for p in writers + readers:
+            yield p
+
+    # -- driving --------------------------------------------------------------
+    def run(self, num_steps: int = 1) -> ProtocolStats:
+        """Execute ``num_steps`` I/O timesteps of the protocol."""
+        if num_steps < 1:
+            raise ValueError("num_steps must be >= 1")
+        env = simcore.Environment()
+
+        def one_step(env):
+            rounds = 1 if self.batching else self.num_variables
+            t0 = env.now
+            for _ in range(rounds):
+                yield env.process(self._handshake(env))
+            t1 = env.now
+            for _ in range(rounds):
+                yield env.process(self._data_phase(env))
+            self.stats.handshake_times.append(t1 - t0)
+            self.stats.data_times.append(env.now - t1)
+            self.stats.steps += 1
+
+        def driver(env):
+            for _ in range(num_steps):
+                yield env.process(one_step(env))
+
+        env.run(env.process(driver(env)))
+        return self.stats
+
+
+def matching_engine(
+    sim: ProtocolSimulation,
+) -> RedistributionEngine:
+    """The accounting engine configured identically — for cross-validation."""
+    return RedistributionEngine(
+        sim.plan.writer_boxes,
+        sim.plan.reader_boxes,
+        caching=sim.caching,
+        batching=sim.batching,
+    )

@@ -1,0 +1,394 @@
+"""The coupled-run simulator: placements in, paper metrics out."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro import simcore
+from repro.coupled.model import (
+    CoupledOptions,
+    CoupledResult,
+    CoupledWorkload,
+    PlacementStyle,
+    StepTimes,
+)
+from repro.core.runtime import FlexIORuntime
+from repro.machine.topology import Machine
+from repro.placement.algorithms import Placement, allocate_analytics_sync
+from repro.placement.metrics import RunMetrics
+from repro.transport.rdma import TransferRequest, TransferScheduler
+from repro.transport.shm import ShmCostModel
+from repro.util import ceil_div
+
+
+def simulate_coupled(
+    machine: Machine,
+    workload: CoupledWorkload,
+    style: Optional[PlacementStyle] = None,
+    placement: Optional[Placement] = None,
+    num_ana: Optional[int] = None,
+    options: Optional[CoupledOptions] = None,
+) -> CoupledResult:
+    """Simulate one coupled run and report the paper's metrics.
+
+    Provide either a ``style`` (idealized placement of that kind) or a
+    ``placement`` computed by one of the Section III algorithms (style is
+    then inferred from where its analytics actually sit, and the
+    placement's NUMA splits and colocation feed the slowdown model).
+    """
+    opts = options or CoupledOptions()
+    if placement is not None:
+        num_ana = placement.num_analytics
+        if style is None:
+            style = {
+                "helper-core": PlacementStyle.HELPER_CORE,
+                "staging": PlacementStyle.STAGING,
+                "hybrid": PlacementStyle.CUSTOM,
+            }[placement.style()]
+    if style is None:
+        raise ValueError("need a style or a placement")
+    if style in (PlacementStyle.SOLO, PlacementStyle.INLINE):
+        num_ana = 0
+    elif num_ana is None:
+        num_ana = allocate_analytics_sync(workload.sim, workload.ana)
+
+    step, cache_misses = _derive_step_times(
+        machine, workload, style, placement, num_ana, opts
+    )
+    nodes = _node_count(machine, workload, style, placement, num_ana)
+
+    if style is PlacementStyle.OFFLINE:
+        tet, busy = _offline_tet(workload, step)
+    else:
+        tet, busy = _pipeline_tet(workload, step, style, opts)
+
+    phases = _phase_totals(workload, step, style, tet, busy)
+    inter, intra, file_bytes = _movement_volumes(
+        machine, workload, style, placement, num_ana
+    )
+
+    idle_frac = 0.0
+    if num_ana and tet > 0:
+        idle_frac = max(0.0, 1.0 - busy / tet)
+
+    metrics = RunMetrics(
+        placement_name=(placement.name if placement is not None else style.value),
+        total_execution_time=tet,
+        num_nodes=nodes,
+        cores_per_node=machine.node_type.cores_per_node,
+        intra_node_bytes=intra,
+        inter_node_bytes=inter,
+        file_bytes=file_bytes,
+        phase_times=phases,
+    )
+    return CoupledResult(
+        metrics=metrics,
+        step=step,
+        phases=phases,
+        cache_misses=cache_misses,
+        analytics_idle_fraction=idle_frac,
+        num_analytics=num_ana or 0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Step-time derivation
+# ---------------------------------------------------------------------------
+
+def _derive_step_times(
+    machine: Machine,
+    workload: CoupledWorkload,
+    style: PlacementStyle,
+    placement: Optional[Placement],
+    num_ana: int,
+    opts: CoupledOptions,
+) -> tuple[StepTimes, tuple[float, float]]:
+    sim = workload.sim
+    ana = workload.ana
+    nt = machine.node_type
+    shm = ShmCostModel(nt)
+    ic = machine.interconnect
+    fs = machine.filesystem
+
+    slowdowns: dict[str, float] = {}
+    solo_miss = workload.sim_cache.base_miss_per_kinst
+    shared_miss = solo_miss
+
+    colocated = style is PlacementStyle.HELPER_CORE or (
+        placement is not None and placement.analytics_colocated_fraction() > 0
+    )
+    remote_ana = style in (PlacementStyle.STAGING, PlacementStyle.CUSTOM) or (
+        placement is not None and placement.analytics_colocated_fraction() < 1
+    )
+
+    # -- cache contention (Figure 8) -------------------------------------
+    if colocated and machine.cache_model is not None and num_ana > 0:
+        frac = (
+            placement.analytics_colocated_fraction() if placement is not None else 1.0
+        )
+        pairs = machine.cache_model.corun(
+            [workload.sim_cache, workload.ana_cache], nt.l3_bytes_per_domain
+        )
+        shared_miss, sim_slow = pairs[0]
+        slowdowns["cache"] = sim_slow * frac
+
+    # -- NUMA-split threads (the holistic-vs-topo gap) --------------------
+    if placement is not None and sim.num_ranks > 0:
+        split_frac = placement.thread_numa_splits() / sim.num_ranks
+        if split_frac > 0:
+            slowdowns["numa_split"] = opts.numa_split_penalty * split_frac
+
+    # -- MPI layout quality (the hybrid-vs-staging gap, Figure 9) ---------
+    if placement is not None and ic is not None:
+        sim_nodes = max(
+            1, ceil_div(sim.num_ranks * sim.threads_per_rank, nt.cores_per_node)
+        )
+        extra_cross = (
+            placement.intraprogram_internode_bytes()
+            - workload.baseline_intraprog_cross_bytes
+        )
+        if extra_cross > 0:
+            extra_time = extra_cross / (sim_nodes * ic.injection_bw)
+            slowdowns["mpi_layout"] = extra_time / sim.io_interval
+        # Within-node NUMA alignment (holistic vs topology-aware margin):
+        # remote-domain hops run at the NUMA remote factor of memory bw.
+        extra_numa = (
+            placement.intraprogram_crossnuma_bytes()
+            - workload.baseline_intraprog_crossnuma_bytes
+        )
+        if extra_numa > 0:
+            local_bw = nt.mem_bw_local
+            remote_bw = local_bw * nt.numa_remote_factor
+            extra_time = extra_numa / sim_nodes * (1.0 / remote_bw - 1.0 / local_bw)
+            slowdowns["numa_mpi"] = extra_time / sim.io_interval
+
+    # -- movement latency to the analytics -------------------------------
+    ranks_per_ana = ceil_div(sim.num_ranks, num_ana) if num_ana else 0
+    movement = 0.0
+    io_visible = 0.0
+    if style in (PlacementStyle.SOLO,):
+        pass
+    elif style is PlacementStyle.INLINE:
+        pass  # analytics execute inside the sim step (see pipeline)
+    elif colocated and not remote_ana:
+        # Helper core: shared-memory path.
+        per_rank = shm.transfer_time(
+            sim.bytes_per_rank, cross_numa=False, xpmem=opts.use_xpmem
+        )
+        movement = ranks_per_ana * per_rank
+        if opts.asynchronous:
+            io_visible = sim.bytes_per_rank / shm.copy_bw(False)
+        else:
+            io_visible = per_rank
+    elif style is PlacementStyle.OFFLINE:
+        if fs is None:
+            raise RuntimeError("offline placement needs a filesystem model")
+        io_visible = fs.write_time(sim.bytes_per_step, sim.num_ranks)
+        movement = fs.read_time(sim.bytes_per_step, max(1, num_ana))
+    else:
+        # Staging (or hybrid): RDMA to remote analytics.
+        if ic is None:
+            raise RuntimeError("staging placement needs an interconnect model")
+        receivers_per_node = min(num_ana, nt.cores_per_node) if num_ana else 1
+        sched = TransferScheduler(
+            ic,
+            max_concurrent=opts.scheduler_max_concurrent or max(1, ranks_per_ana),
+            endpoint_bandwidth=ic.injection_bw / max(1, receivers_per_node),
+        )
+        reqs = [TransferRequest(i, sim.bytes_per_rank) for i in range(ranks_per_ana)]
+        movement = sched.makespan(reqs)
+        if opts.asynchronous:
+            io_visible = sim.bytes_per_rank / nt.mem_bw_local
+            duty = min(1.0, movement / sim.io_interval)
+            coeff = (
+                opts.interference_scheduled
+                if opts.scheduler_max_concurrent is not None
+                else opts.interference_flood
+            )
+            slowdowns["network"] = min(opts.interference_cap, coeff * duty)
+        else:
+            io_visible = movement
+
+    sim_compute = sim.io_interval * (1.0 + sum(slowdowns.values()))
+
+    # -- analytics step time ----------------------------------------------
+    ana_compute = 0.0
+    if style is PlacementStyle.INLINE:
+        inline_time = ana.time(sim.num_ranks)
+        if workload.sim_cache is not None:
+            pass  # inline analytics reuse the sim's caches; no co-run pair
+        ana_compute = inline_time + workload.ana_step_overhead
+        if fs is not None and workload.ana_output_bytes:
+            ana_compute += fs.write_time(workload.ana_output_bytes, sim.num_ranks)
+    elif num_ana > 0:
+        ana_compute = ana.time(num_ana) + workload.ana_step_overhead
+        if colocated and "cache" in slowdowns and machine.cache_model is not None:
+            pairs = machine.cache_model.corun(
+                [workload.sim_cache, workload.ana_cache], nt.l3_bytes_per_domain
+            )
+            ana_compute *= 1.0 + pairs[1][1]
+        if fs is not None and workload.ana_output_bytes:
+            ana_compute += fs.write_time(workload.ana_output_bytes, max(1, num_ana))
+
+    return (
+        StepTimes(
+            sim_compute=sim_compute,
+            sim_io_visible=io_visible,
+            movement_latency=movement,
+            ana_compute=ana_compute,
+            slowdowns=slowdowns,
+        ),
+        (solo_miss, shared_miss),
+    )
+
+
+def _node_count(
+    machine: Machine,
+    workload: CoupledWorkload,
+    style: PlacementStyle,
+    placement: Optional[Placement],
+    num_ana: int,
+) -> int:
+    if placement is not None:
+        return placement.num_nodes
+    cpn = machine.node_type.cores_per_node
+    sim = workload.sim
+    threads = (
+        workload.full_node_threads
+        if workload.full_node_threads and style is not PlacementStyle.HELPER_CORE
+        else sim.threads_per_rank
+    )
+    sim_nodes = ceil_div(sim.num_ranks * threads, cpn)
+    if style in (PlacementStyle.SOLO, PlacementStyle.INLINE, PlacementStyle.OFFLINE):
+        return sim_nodes
+    if style is PlacementStyle.HELPER_CORE:
+        return ceil_div(sim.num_ranks * sim.threads_per_rank + num_ana, cpn)
+    return sim_nodes + max(1, ceil_div(num_ana, cpn))
+
+
+# ---------------------------------------------------------------------------
+# Pipelines
+# ---------------------------------------------------------------------------
+
+def _pipeline_tet(
+    workload: CoupledWorkload,
+    step: StepTimes,
+    style: PlacementStyle,
+    opts: CoupledOptions,
+) -> tuple[float, float]:
+    """Run the two-stage pipeline on the DES kernel.
+
+    Returns (total execution time, analytics busy seconds).
+    """
+    env = simcore.Environment()
+    slots = simcore.Resource(env, capacity=opts.max_buffered_steps)
+    ready = simcore.Store(env)
+    busy = [0.0]
+    has_consumer = style not in (PlacementStyle.SOLO, PlacementStyle.INLINE)
+    inline = style is PlacementStyle.INLINE
+
+    def deliver(env, token, payload):
+        yield env.timeout(step.movement_latency)
+        yield ready.put((token, payload))
+
+    def sim_proc(env):
+        for s in range(workload.num_steps):
+            yield env.timeout(step.sim_compute)
+            if inline:
+                yield env.timeout(step.ana_compute)
+                continue
+            if not has_consumer:
+                continue
+            token = slots.request()
+            yield token  # backpressure: bounded staging memory
+            yield env.timeout(step.sim_io_visible)
+            if opts.asynchronous:
+                env.process(deliver(env, token, s))
+            else:
+                yield env.process(deliver(env, token, s))
+
+    def ana_proc(env):
+        for _ in range(workload.num_steps):
+            token, _payload = yield ready.get()
+            start = env.now
+            yield env.timeout(step.ana_compute)
+            busy[0] += env.now - start
+            slots.release(token)
+
+    producer = env.process(sim_proc(env))
+    if has_consumer:
+        consumer = env.process(ana_proc(env))
+        env.run(consumer & producer)
+    else:
+        env.run(producer)
+    return env.now, busy[0]
+
+
+def _offline_tet(workload: CoupledWorkload, step: StepTimes) -> tuple[float, float]:
+    """Offline: the simulation completes, then analytics read back."""
+    sim_total = workload.num_steps * (step.sim_compute + step.sim_io_visible)
+    ana_total = workload.num_steps * (step.movement_latency + step.ana_compute)
+    return sim_total + ana_total, workload.num_steps * step.ana_compute
+
+
+def _phase_totals(
+    workload: CoupledWorkload,
+    step: StepTimes,
+    style: PlacementStyle,
+    tet: float,
+    busy: float,
+) -> dict:
+    n = workload.num_steps
+    cycles = max(1, workload.cycles_per_interval)
+    per_cycle = n * step.sim_compute / cycles
+    phases = {f"cycle{i + 1}": per_cycle for i in range(cycles)}
+    phases["io"] = n * step.sim_io_visible
+    phases["analysis"] = n * step.ana_compute
+    if style not in (PlacementStyle.SOLO, PlacementStyle.INLINE):
+        phases["ana_idle"] = max(0.0, tet - busy)
+    return phases
+
+
+# ---------------------------------------------------------------------------
+# Movement volumes
+# ---------------------------------------------------------------------------
+
+def _movement_volumes(
+    machine: Machine,
+    workload: CoupledWorkload,
+    style: PlacementStyle,
+    placement: Optional[Placement],
+    num_ana: int,
+) -> tuple[float, float, float]:
+    """(inter_node, intra_node, file) bytes over the whole run."""
+    n = workload.num_steps
+    step_bytes = workload.sim.bytes_per_step
+    file_bytes = float(n * workload.ana_output_bytes)
+    if style is PlacementStyle.SOLO:
+        return (0.0, 0.0, 0.0)
+    if style is PlacementStyle.INLINE:
+        return (0.0, 0.0, file_bytes)
+    if style is PlacementStyle.OFFLINE:
+        # Written once, read back once.
+        return (0.0, 0.0, 2.0 * n * step_bytes + file_bytes)
+
+    if placement is not None:
+        inter = n * (
+            placement.interprogram_internode_bytes()
+            + placement.intraprogram_internode_bytes()
+        )
+        intra = n * placement.graph.total_edge_weight - inter
+        return (float(inter), float(max(0.0, intra)), file_bytes)
+
+    ana_ring = workload.ana.internal_ring_bytes * max(0, num_ana)
+    if style is PlacementStyle.HELPER_CORE:
+        # Particle data stays on-node; only the analytics' internal
+        # reduction may cross nodes (they are spread over all sim nodes).
+        return (float(n * ana_ring), float(n * step_bytes), file_bytes)
+    # Staging: the full output crosses the interconnect; the analytics'
+    # internal traffic stays within the (few) staging nodes.
+    cpn = machine.node_type.cores_per_node
+    ana_nodes = max(1, ceil_div(num_ana, cpn)) if num_ana else 1
+    crossing_links = max(0, ana_nodes - 1)
+    ana_cross = workload.ana.internal_ring_bytes * crossing_links
+    return (float(n * (step_bytes + ana_cross)), float(n * ana_ring), file_bytes)

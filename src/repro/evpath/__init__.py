@@ -1,0 +1,44 @@
+"""EVPath-like event-path messaging (paper Section II.C, reference [12]).
+
+FlexIO implements its data-movement protocols on EVPath, which provides
+point-to-point messaging, data marshaling, and a modular transport
+architecture.  The model here keeps EVPath's essential shape:
+
+* an :class:`EvManager` per process owns *stones* — nodes of a local
+  event-processing graph;
+* events submitted to a stone flow through its *actions*: terminal
+  (deliver to a handler), filter (drop or pass), transform (rewrite the
+  record — this is where Data Conditioning plug-ins execute), split
+  (fan-out), and bridge (marshal and ship to a stone on another manager);
+* bridges ride on pluggable :class:`Link` transports — in-process, shared
+  memory, or RDMA — each of which really moves the marshaled bytes and
+  reports the simulated time charged.
+"""
+
+from repro.evpath.stones import (
+    BridgeAction,
+    EvPathError,
+    FilterAction,
+    RouterAction,
+    SplitAction,
+    Stone,
+    TerminalAction,
+    TransformAction,
+)
+from repro.evpath.manager import EvManager, InProcessLink, Link, RdmaLink, ShmLink
+
+__all__ = [
+    "BridgeAction",
+    "EvManager",
+    "EvPathError",
+    "FilterAction",
+    "InProcessLink",
+    "Link",
+    "RdmaLink",
+    "RouterAction",
+    "ShmLink",
+    "SplitAction",
+    "Stone",
+    "TerminalAction",
+    "TransformAction",
+]

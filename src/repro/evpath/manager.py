@@ -1,0 +1,203 @@
+"""Event managers and bridge links (transport plug-points)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Protocol
+
+from repro.marshal import Format, FormatRegistry, decode_message, encode_message
+from repro.evpath.stones import (
+    BridgeAction,
+    EvPathError,
+    FilterAction,
+    RouterAction,
+    SplitAction,
+    Stone,
+    TerminalAction,
+    TransformAction,
+)
+from repro.transport.shm import ShmChannel, ShmCostModel
+from repro.transport.rdma import RdmaChannel
+
+
+class Link(Protocol):
+    """A bridge transport: moves marshaled bytes to a remote manager.
+
+    ``send`` returns the simulated seconds the movement cost; the bytes
+    must arrive at the remote manager's ``dispatch_wire``.
+    """
+
+    def send(self, data: bytes, remote_stone: int) -> float: ...  # pragma: no cover
+
+
+@dataclass
+class DeliveryStats:
+    """Per-manager monitoring counters."""
+
+    events_submitted: int = 0
+    events_delivered: int = 0
+    events_dropped: int = 0
+    bytes_bridged: int = 0
+    bridge_time: float = 0.0
+    transform_invocations: int = 0
+
+
+class EvManager:
+    """One process's EVPath context: stones + format registry."""
+
+    def __init__(self, name: str = "cm") -> None:
+        self.name = name
+        self.registry = FormatRegistry()
+        self._stones: dict[int, Stone] = {}
+        self._next_stone = 0
+        self.stats = DeliveryStats()
+
+    # -- graph construction ----------------------------------------------
+    def create_stone(self, action: Any = None) -> Stone:
+        stone = Stone(self._next_stone, action)
+        self._stones[stone.stone_id] = stone
+        self._next_stone += 1
+        return stone
+
+    def stone(self, stone_id: int) -> Stone:
+        try:
+            return self._stones[stone_id]
+        except KeyError:
+            raise EvPathError(f"no stone {stone_id} in manager {self.name!r}") from None
+
+    def terminal_stone(self, handler: Callable[[Format, dict], None]) -> Stone:
+        return self.create_stone(TerminalAction(handler))
+
+    def filter_stone(self, predicate: Callable[[dict], bool], target: Stone) -> Stone:
+        return self.create_stone(FilterAction(predicate, target.stone_id))
+
+    def transform_stone(
+        self, func: Callable[[dict], dict], target: Stone, label: str = "transform"
+    ) -> Stone:
+        return self.create_stone(TransformAction(func, target.stone_id, label))
+
+    def split_stone(self, targets: list[Stone]) -> Stone:
+        return self.create_stone(SplitAction([t.stone_id for t in targets]))
+
+    def router_stone(
+        self, selector: Callable[[dict], int], targets: list[Stone]
+    ) -> Stone:
+        return self.create_stone(
+            RouterAction(selector, [t.stone_id for t in targets])
+        )
+
+    def bridge_stone(self, link: "Link", remote_stone: int) -> Stone:
+        return self.create_stone(BridgeAction(link, remote_stone))
+
+    # -- event flow --------------------------------------------------------
+    def submit(self, stone: Stone | int, fmt: Format, record: dict) -> None:
+        """Inject an event at a stone and walk it through the local graph."""
+        sid = stone.stone_id if isinstance(stone, Stone) else stone
+        self.stats.events_submitted += 1
+        self._process(sid, fmt, record)
+
+    def _process(self, stone_id: int, fmt: Format, record: dict) -> None:
+        stone = self.stone(stone_id)
+        stone.events_in += 1
+        action = stone.action
+        if action is None:
+            raise EvPathError(f"event reached action-less stone {stone_id}")
+        if isinstance(action, TerminalAction):
+            action.handler(fmt, record)
+            self.stats.events_delivered += 1
+        elif isinstance(action, FilterAction):
+            if action.predicate(record):
+                self._process(action.target, fmt, record)
+            else:
+                self.stats.events_dropped += 1
+        elif isinstance(action, TransformAction):
+            self.stats.transform_invocations += 1
+            self._process(action.target, fmt, action.func(record))
+        elif isinstance(action, SplitAction):
+            for target in action.targets:
+                self._process(target, fmt, record)
+        elif isinstance(action, RouterAction):
+            idx = action.selector(record)
+            if not (0 <= idx < len(action.targets)):
+                raise EvPathError(
+                    f"router selected target {idx} of {len(action.targets)}"
+                )
+            self._process(action.targets[idx], fmt, record)
+        elif isinstance(action, BridgeAction):
+            wire = encode_message(fmt, record, peer_registry=None)
+            self.stats.bytes_bridged += len(wire)
+            self.stats.bridge_time += action.link.send(wire, action.remote_stone)
+        else:
+            raise EvPathError(f"unknown action type {type(action).__name__}")
+
+    def dispatch_wire(self, data: bytes, stone_id: int) -> None:
+        """Entry point for bytes arriving from a remote bridge."""
+        fmt, record = decode_message(data, self.registry)
+        self._process(stone_id, fmt, record)
+
+
+# ---------------------------------------------------------------------------
+# Links
+# ---------------------------------------------------------------------------
+
+class InProcessLink:
+    """Zero-cost link between two managers in the same address space.
+
+    Used for inline placement and in unit tests.
+    """
+
+    def __init__(self, remote: EvManager, cost_per_event: float = 0.0) -> None:
+        self.remote = remote
+        self.cost_per_event = cost_per_event
+
+    def send(self, data: bytes, remote_stone: int) -> float:
+        self.remote.dispatch_wire(data, remote_stone)
+        return self.cost_per_event
+
+
+class ShmLink:
+    """Bridge over the shared-memory transport (intra-node placement).
+
+    Bytes really traverse the SPSC queue / buffer pool; the cost model
+    prices the movement for simulation purposes.
+    """
+
+    def __init__(
+        self,
+        remote: EvManager,
+        channel: Optional[ShmChannel] = None,
+        cost_model: Optional[ShmCostModel] = None,
+        cross_numa: bool = False,
+    ) -> None:
+        self.remote = remote
+        self.channel = channel or ShmChannel()
+        self.cost_model = cost_model
+        self.cross_numa = cross_numa
+
+    def send(self, data: bytes, remote_stone: int) -> float:
+        self.channel.send(data)
+        # Drain immediately (single-threaded graph walk): the queue still
+        # exercised end-to-end, the consumer copy happens here.
+        payload = self.channel.recv()
+        self.remote.dispatch_wire(payload, remote_stone)
+        if self.cost_model is None:
+            return 0.0
+        return self.cost_model.transfer_time(
+            len(data), cross_numa=self.cross_numa, xpmem=self.channel.use_xpmem
+        )
+
+
+class RdmaLink:
+    """Bridge over the RDMA transport (inter-node placement)."""
+
+    def __init__(self, remote: EvManager, channel: RdmaChannel) -> None:
+        self.remote = remote
+        self.channel = channel
+
+    def send(self, data: bytes, remote_stone: int) -> float:
+        t = self.channel.send(data)
+        payload = self.channel.recv()
+        if payload is None:  # pragma: no cover - channel contract
+            raise EvPathError("RDMA channel lost a message")
+        self.remote.dispatch_wire(payload, remote_stone)
+        return t

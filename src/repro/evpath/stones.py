@@ -1,0 +1,88 @@
+"""Stones and actions: the local event-processing graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.marshal import Format
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.evpath.manager import EvManager, Link
+
+
+class EvPathError(RuntimeError):
+    """Bad graph construction or event routing failure."""
+
+
+@dataclass
+class TerminalAction:
+    """Deliver the event to an application handler: ``handler(fmt, record)``."""
+
+    handler: Callable[[Format, dict], None]
+
+
+@dataclass
+class FilterAction:
+    """Pass the event to ``target`` stone iff ``predicate(record)`` is true."""
+
+    predicate: Callable[[dict], bool]
+    target: int
+
+
+@dataclass
+class TransformAction:
+    """Rewrite the record with ``func(record) -> record`` then forward.
+
+    Data Conditioning plug-ins are installed as transform actions: the
+    codelet runs *inside the transport path*, in whichever process's
+    manager the action is installed on.
+    """
+
+    func: Callable[[dict], dict]
+    target: int
+    #: Optional label for monitoring (e.g. the DC plug-in name).
+    label: str = "transform"
+
+
+@dataclass
+class SplitAction:
+    """Forward the event to every stone in ``targets``."""
+
+    targets: list[int]
+
+
+@dataclass
+class RouterAction:
+    """Content-based routing: ``selector(record) -> index`` picks among
+    ``targets`` (the EVPath router stone — how overlay topologies steer
+    events, e.g. a reader rank by array region or a species by name)."""
+
+    selector: Callable[[dict], int]
+    targets: list[int]
+
+
+@dataclass
+class BridgeAction:
+    """Marshal the event and ship it across ``link`` to a remote stone."""
+
+    link: "Link"
+    remote_stone: int
+
+
+Action = Any  # union of the five action dataclasses
+
+
+@dataclass
+class Stone:
+    """One vertex of the event graph; processes events with its action."""
+
+    stone_id: int
+    action: Optional[Action] = None
+    #: Events processed (monitoring).
+    events_in: int = 0
+
+    def set_action(self, action: Action) -> None:
+        if self.action is not None:
+            raise EvPathError(f"stone {self.stone_id} already has an action")
+        self.action = action

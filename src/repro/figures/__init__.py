@@ -1,0 +1,33 @@
+"""Regeneration of every figure and table in the paper's evaluation.
+
+Each ``fig*``/``table*`` function returns the rows/series the paper
+reports (as lists of dicts), computed entirely from this reproduction's
+models and implementations.  The benchmark harness under ``benchmarks/``
+wraps these with pytest-benchmark and writes the rendered tables to
+``results/``; ``EXPERIMENTS.md`` records paper-vs-measured values.
+"""
+
+from repro.figures.tables import format_table, write_table
+from repro.figures.fig4 import fig4_rdma_registration
+from repro.figures.fig6 import fig6_gts_total_execution_time
+from repro.figures.fig7 import fig7_gts_detailed_timing
+from repro.figures.fig8 import fig8_cache_miss_rates
+from repro.figures.fig9 import fig9_s3d_total_execution_time
+from repro.figures.costs import (
+    gts_cost_metrics,
+    s3d_cost_metrics,
+    s3d_movement_tuning,
+)
+
+__all__ = [
+    "fig4_rdma_registration",
+    "fig6_gts_total_execution_time",
+    "fig7_gts_detailed_timing",
+    "fig8_cache_miss_rates",
+    "fig9_s3d_total_execution_time",
+    "format_table",
+    "gts_cost_metrics",
+    "s3d_cost_metrics",
+    "s3d_movement_tuning",
+    "write_table",
+]

@@ -1,0 +1,57 @@
+"""Figure 6: GTS total execution time under placement tuning.
+
+(a) on Smoky and (b) on Titan; series: Inline, Helper Core (Data Aware
+Mapping), Helper Core (Holistic), Helper Core (Node Topology Aware),
+Staging, and the solo-run Lower Bound; weak scaling over "GTS cores".
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.coupled import CoupledOptions, evaluate_gts_placements
+from repro.coupled.scenarios import gts_ranks_for_cores
+from repro.machine import smoky, titan
+from repro.machine.topology import Machine
+
+#: Series order matching the figure legend.
+SERIES = (
+    "inline",
+    "helper (data-aware)",
+    "helper (holistic)",
+    "helper (topology-aware)",
+    "staging",
+    "lower-bound",
+)
+
+#: Weak-scaling x-axis ("GTS cores") per machine — scaled to what the
+#: placement solver handles quickly; trends match the paper's range.
+DEFAULT_CORES = {"smoky": (128, 256, 512), "titan": (256, 512, 1024)}
+
+
+def _machine(name: str) -> Machine:
+    if name == "smoky":
+        return smoky(80)
+    if name == "titan":
+        return titan(200)
+    raise ValueError(f"unknown machine {name!r} (want smoky or titan)")
+
+
+def fig6_gts_total_execution_time(
+    machine_name: str,
+    core_counts: Optional[Sequence[int]] = None,
+    num_steps: int = 20,
+    options: Optional[CoupledOptions] = None,
+) -> list[dict]:
+    """One sub-figure's data: a row per scale with TET per series."""
+    machine = _machine(machine_name)
+    cores = core_counts or DEFAULT_CORES[machine_name]
+    rows = []
+    for c in cores:
+        ranks = gts_ranks_for_cores(machine, c)
+        res = evaluate_gts_placements(machine, ranks, num_steps=num_steps, options=options)
+        row: dict = {"gts_cores": c}
+        for series in SERIES:
+            row[series] = res[series].total_execution_time
+        rows.append(row)
+    return rows

@@ -1,0 +1,107 @@
+"""Figure 7: detailed timing of GTS and analytics, 128 MPI processes on
+Smoky.
+
+Three cases:
+
+* **Case 1** — GTS at 3 OpenMP threads with analytics on the helper core
+  (phases: sim cycle 1, sim cycle 2, I/O, plus the analytics' analysis
+  and idle time);
+* **Case 2** — GTS at 4 OpenMP threads with analytics inline;
+* **Case 3** — GTS at 3 OpenMP threads running solo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.coupled import (
+    CoupledOptions,
+    PlacementStyle,
+    gts_workload,
+    simulate_coupled,
+)
+from repro.machine import smoky
+
+
+def fig7_gts_detailed_timing(
+    num_ranks: int = 128,
+    num_steps: int = 20,
+    options: Optional[CoupledOptions] = None,
+) -> list[dict]:
+    """Rows: one per case with per-phase totals (seconds)."""
+    machine = smoky(max(40, num_ranks // 4 + 4))
+    opts = options or CoupledOptions()
+    rows = []
+
+    # Case 1: helper core (3 OpenMP threads + analytics on the 4th core).
+    helper_wl, _ = gts_workload(machine, num_ranks, helper_mode=True, num_steps=num_steps)
+    r1 = simulate_coupled(
+        machine, helper_wl, style=PlacementStyle.HELPER_CORE,
+        num_ana=num_ranks, options=opts,
+    )
+    rows.append(
+        {
+            "case": "1: helper core (3 omp)",
+            "cycle1_s": r1.phases["cycle1"],
+            "cycle2_s": r1.phases["cycle2"],
+            "io_s": r1.phases["io"],
+            "analysis_s": r1.phases["analysis"],
+            "idle_s": r1.phases.get("ana_idle", 0.0),
+            "tet_s": r1.total_execution_time,
+            "idle_frac": r1.analytics_idle_fraction,
+        }
+    )
+
+    # Case 2: inline (4 OpenMP threads, analytics called from GTS).
+    full_wl, _ = gts_workload(machine, num_ranks, helper_mode=False, num_steps=num_steps)
+    r2 = simulate_coupled(machine, full_wl, style=PlacementStyle.INLINE, options=opts)
+    rows.append(
+        {
+            "case": "2: inline (4 omp)",
+            "cycle1_s": r2.phases["cycle1"],
+            "cycle2_s": r2.phases["cycle2"],
+            "io_s": r2.phases["io"],
+            "analysis_s": r2.phases["analysis"],
+            "idle_s": 0.0,
+            "tet_s": r2.total_execution_time,
+            "idle_frac": 0.0,
+        }
+    )
+
+    # Case 3: solo (3 OpenMP threads, no I/O or analytics).
+    r3 = simulate_coupled(machine, helper_wl, style=PlacementStyle.SOLO, options=opts)
+    rows.append(
+        {
+            "case": "3: solo (3 omp)",
+            "cycle1_s": r3.phases["cycle1"],
+            "cycle2_s": r3.phases["cycle2"],
+            "io_s": 0.0,
+            "analysis_s": 0.0,
+            "idle_s": 0.0,
+            "tet_s": r3.total_execution_time,
+            "idle_frac": 0.0,
+        }
+    )
+    return rows
+
+
+def fig7_headline_numbers(rows: list[dict]) -> dict:
+    """The figure's callouts: inline-analytics share, core-loss cost,
+    helper-core cache cost, analytics idle fraction."""
+    case1 = next(r for r in rows if r["case"].startswith("1"))
+    case2 = next(r for r in rows if r["case"].startswith("2"))
+    case3 = next(r for r in rows if r["case"].startswith("3"))
+    inline_fraction = case2["analysis_s"] / case2["tet_s"]
+    # Core loss: solo 3-thread compute vs inline's 4-thread compute.
+    core_loss = (case3["cycle1_s"] + case3["cycle2_s"]) / (
+        case2["cycle1_s"] + case2["cycle2_s"]
+    ) - 1.0
+    cache_cost = (case1["cycle1_s"] + case1["cycle2_s"]) / (
+        case3["cycle1_s"] + case3["cycle2_s"]
+    ) - 1.0
+    return {
+        "inline_analysis_fraction": inline_fraction,
+        "take_one_core_slowdown": core_loss,
+        "helper_cache_slowdown": cache_cost,
+        "analytics_idle_fraction": case1["idle_frac"],
+    }

@@ -1,0 +1,53 @@
+"""Figure 9: S3D_Box total execution time under placement tuning.
+
+(a) on Smoky and (b) on Titan; series: Inline, Hybrid (Data Aware
+Mapping), Staging (Holistic), Staging (Node Topology Aware), Lower Bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.coupled import CoupledOptions, evaluate_s3d_placements
+from repro.machine import smoky, titan
+from repro.machine.topology import Machine
+
+SERIES = (
+    "inline",
+    "hybrid (data-aware)",
+    "staging (holistic)",
+    "staging (topology-aware)",
+    "lower-bound",
+)
+
+DEFAULT_CORES = {"smoky": (128, 256, 512), "titan": (256, 512, 1024)}
+
+
+def _machine(name: str) -> Machine:
+    if name == "smoky":
+        return smoky(80)
+    if name == "titan":
+        return titan(200)
+    raise ValueError(f"unknown machine {name!r} (want smoky or titan)")
+
+
+def fig9_s3d_total_execution_time(
+    machine_name: str,
+    core_counts: Optional[Sequence[int]] = None,
+    num_steps: int = 40,
+    options: Optional[CoupledOptions] = None,
+) -> list[dict]:
+    """One sub-figure's data: a row per scale with TET per series.
+
+    S3D_Box runs one rank per core, so "S3D-Box cores" equals ranks.
+    """
+    machine = _machine(machine_name)
+    cores = core_counts or DEFAULT_CORES[machine_name]
+    rows = []
+    for c in cores:
+        res = evaluate_s3d_placements(machine, c, num_steps=num_steps, options=options)
+        row: dict = {"s3d_cores": c}
+        for series in SERIES:
+            row[series] = res[series].total_execution_time
+        rows.append(row)
+    return rows

@@ -1,0 +1,53 @@
+"""Plain-text table rendering for the regenerated figures."""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[dict],
+    title: str = "",
+    columns: Optional[Sequence[str]] = None,
+) -> str:
+    """Render rows of dicts as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)\n"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1e5 or abs(value) < 1e-3:
+                return f"{value:.3e}"
+            return f"{value:.3f}"
+        return str(value)
+
+    table = [[cell(r.get(c, "")) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in table)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines) + "\n"
+
+
+def write_table(
+    rows: Sequence[dict],
+    name: str,
+    title: str = "",
+    columns: Optional[Sequence[str]] = None,
+    results_dir: str = "results",
+) -> str:
+    """Render and persist a table under ``results/``; returns the text."""
+    text = format_table(rows, title=title, columns=columns)
+    os.makedirs(results_dir, exist_ok=True)
+    path = os.path.join(results_dir, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text

@@ -1,0 +1,140 @@
+"""Shared last-level-cache contention model.
+
+The paper's Figure 8 measures GTS's L3 miss rate (misses per thousand
+instructions) with and without helper-core analytics sharing the L3: the
+analytics inflate GTS's misses by ~47 % and its simulation cycle time by
+~4.1 %.  We reproduce that phenomenon with a standard working-set /
+cache-partitioning model:
+
+1. Each co-runner ``w`` on a domain exerts *pressure* proportional to its
+   access intensity times its resident working set.
+2. The shared L3 is (statistically) partitioned in proportion to pressure —
+   the behaviour of an LRU-managed shared cache under competing streams.
+3. A workload's miss rate follows a power-law miss curve in its allocated
+   capacity: ``miss(alloc) = miss_solo * (alloc_solo / alloc)**beta`` for
+   allocations below its working set.
+4. Extra misses convert to slowdown through an *effective* miss penalty that
+   accounts for memory-level parallelism (far below the raw DRAM latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class CacheProfile:
+    """Cache behaviour of one workload class on one NUMA domain.
+
+    ``base_miss_per_kinst`` is the L3 miss rate measured running *solo*
+    (full L3 available) — Figure 8's baseline bar.
+    """
+
+    name: str
+    working_set_bytes: float
+    #: Relative access intensity (cache accesses per instruction, scaled).
+    intensity: float
+    base_miss_per_kinst: float
+    #: Base cycles per instruction when running solo.
+    cpi: float
+    #: Effective stall cycles per additional L3 miss (MLP-adjusted).
+    miss_penalty_cycles: float
+    #: Streaming workloads (one-pass over a large buffer) miss at their
+    #: compulsory rate regardless of allocated capacity: no miss curve.
+    alloc_insensitive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.working_set_bytes <= 0:
+            raise ValueError("working_set_bytes must be positive")
+        if self.intensity <= 0:
+            raise ValueError("intensity must be positive")
+        if self.base_miss_per_kinst < 0:
+            raise ValueError("base_miss_per_kinst must be >= 0")
+        if self.cpi <= 0 or self.miss_penalty_cycles < 0:
+            raise ValueError("cpi must be > 0 and miss penalty >= 0")
+
+    @property
+    def pressure(self) -> float:
+        return self.intensity * self.working_set_bytes
+
+
+class CacheContentionModel:
+    """Computes shared-cache miss inflation and the resulting slowdown."""
+
+    def __init__(self, beta: float = 1.75) -> None:
+        """``beta`` is the miss-curve exponent (calibrated to Figure 8)."""
+        if beta <= 0:
+            raise ValueError("beta must be positive")
+        self.beta = beta
+
+    # ------------------------------------------------------------------
+    def allocations(
+        self, profiles: Sequence[CacheProfile], l3_bytes: float
+    ) -> list[float]:
+        """Pressure-proportional L3 capacity granted to each co-runner."""
+        if l3_bytes <= 0:
+            raise ValueError("l3_bytes must be positive")
+        if not profiles:
+            return []
+        # Pressure comes from the *resident* working set: lines that cannot
+        # fit in the cache at all cannot compete for it.
+        pressures = [
+            p.intensity * min(p.working_set_bytes, l3_bytes) for p in profiles
+        ]
+        total = sum(pressures)
+        raw = [l3_bytes * pr / total for pr in pressures]
+        # A workload never benefits from more capacity than its working set;
+        # redistribute surplus to the still-hungry co-runners.
+        alloc = list(raw)
+        for _ in range(len(profiles)):
+            surplus = 0.0
+            hungry: list[int] = []
+            for i, p in enumerate(profiles):
+                if alloc[i] > p.working_set_bytes:
+                    surplus += alloc[i] - p.working_set_bytes
+                    alloc[i] = p.working_set_bytes
+                elif alloc[i] < p.working_set_bytes:
+                    hungry.append(i)
+            if surplus <= 0 or not hungry:
+                break
+            weight = sum(pressures[i] for i in hungry)
+            for i in hungry:
+                alloc[i] += surplus * pressures[i] / weight
+        return alloc
+
+    def miss_rate(
+        self, profile: CacheProfile, allocation: float, l3_bytes: float
+    ) -> float:
+        """Miss rate (per 1K instructions) with ``allocation`` bytes of L3."""
+        if profile.alloc_insensitive:
+            return profile.base_miss_per_kinst
+        solo_alloc = min(l3_bytes, profile.working_set_bytes)
+        alloc = min(allocation, profile.working_set_bytes)
+        if alloc >= solo_alloc:
+            return profile.base_miss_per_kinst
+        return profile.base_miss_per_kinst * (solo_alloc / max(alloc, 1.0)) ** self.beta
+
+    def shared_miss_rates(
+        self, profiles: Sequence[CacheProfile], l3_bytes: float
+    ) -> list[float]:
+        """Miss rate for each co-runner when they share one L3."""
+        allocs = self.allocations(profiles, l3_bytes)
+        return [self.miss_rate(p, a, l3_bytes) for p, a in zip(profiles, allocs)]
+
+    # ------------------------------------------------------------------
+    def slowdown(self, profile: CacheProfile, shared_miss_per_kinst: float) -> float:
+        """Fractional execution-time increase from the inflated miss rate.
+
+        Returns e.g. ``0.041`` for a 4.1 % slowdown.
+        """
+        extra = max(0.0, shared_miss_per_kinst - profile.base_miss_per_kinst)
+        base_cycles_per_kinst = 1000.0 * profile.cpi
+        return extra * profile.miss_penalty_cycles / base_cycles_per_kinst
+
+    def corun(
+        self, profiles: Sequence[CacheProfile], l3_bytes: float
+    ) -> list[tuple[float, float]]:
+        """Convenience: ``[(miss_rate, slowdown_fraction), ...]`` per co-runner."""
+        rates = self.shared_miss_rates(profiles, l3_bytes)
+        return [(r, self.slowdown(p, r)) for p, r in zip(profiles, rates)]

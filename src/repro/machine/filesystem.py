@@ -1,0 +1,74 @@
+"""Lustre-like parallel file system model.
+
+Offline/inline placements and the file mode of the FlexIO API pay file I/O
+costs; the paper's S3D results hinge on "insufficient scalability of file
+I/O" making inline placement worse at scale.  This model captures the three
+effects that matter:
+
+* aggregate bandwidth is capped by the object storage targets (OSTs);
+* per-client bandwidth is capped by the client's network link;
+* efficiency *decays* as client count grows (metadata pressure, OST
+  contention, lock traffic) — the classic Lustre scaling curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import MiB
+
+
+@dataclass(frozen=True)
+class LustreModel:
+    """Cost model of one center-wide Lustre file system."""
+
+    name: str = "lustre"
+    num_osts: int = 336
+    #: Sustained bandwidth of one OST (bytes/s).
+    ost_bw: float = 400 * MiB
+    #: Per-client cap (bytes/s) — LNET router / client link limit.
+    client_bw: float = 1.2e9
+    #: Cost of one metadata operation (file open/create) in seconds.
+    metadata_op_time: float = 3.0e-3
+    #: Stripe count used by a typical checkpoint write.
+    stripe_count: int = 4
+    #: Client count at which contention halves efficiency.
+    contention_knee: int = 4096
+    #: Contention curve exponent.
+    contention_gamma: float = 0.9
+
+    def __post_init__(self) -> None:
+        if self.num_osts <= 0 or self.ost_bw <= 0 or self.client_bw <= 0:
+            raise ValueError("OST count and bandwidths must be positive")
+        if self.stripe_count <= 0:
+            raise ValueError("stripe_count must be positive")
+
+    # ------------------------------------------------------------------
+    def efficiency(self, num_clients: int) -> float:
+        """Fraction of nominal aggregate bandwidth achieved by N clients."""
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        return 1.0 / (1.0 + (num_clients / self.contention_knee) ** self.contention_gamma)
+
+    def aggregate_bw(self, num_clients: int) -> float:
+        """Achievable aggregate bandwidth (bytes/s) for N concurrent clients."""
+        osts_used = min(self.num_osts, num_clients * self.stripe_count)
+        nominal = min(num_clients * self.client_bw, osts_used * self.ost_bw)
+        return nominal * self.efficiency(num_clients)
+
+    def write_time(self, total_bytes: float, num_clients: int, num_files: int = 1) -> float:
+        """Wall time for N clients to collectively write ``total_bytes``."""
+        if total_bytes < 0:
+            raise ValueError("total_bytes must be >= 0")
+        meta = self.metadata_op_time * max(1, num_files)
+        if total_bytes == 0:
+            return meta
+        return meta + total_bytes / self.aggregate_bw(num_clients)
+
+    def read_time(self, total_bytes: float, num_clients: int, num_files: int = 1) -> float:
+        """Wall time for N clients to collectively read ``total_bytes``.
+
+        Reads skip create but still pay an open per file; bandwidth model is
+        symmetric, which is adequate at the fidelity this reproduction needs.
+        """
+        return self.write_time(total_bytes, num_clients, num_files)

@@ -1,0 +1,201 @@
+"""Interconnect cost models: Cray Gemini and DDR InfiniBand.
+
+These models back the RDMA transport (Section II.E).  The quantities that
+matter to the reproduction are:
+
+* point-to-point latency and peak one-sided bandwidth (BTE RDMA Get on
+  Gemini; verbs RDMA on InfiniBand);
+* the cost of **dynamic buffer allocation + memory registration**, which the
+  paper's Figure 4 shows can dominate mid-sized transfers (the registration
+  cache exists to amortize it);
+* a small-message path (FMA Put into a remote message queue on Gemini);
+* per-node injection bandwidth and a contention factor for concurrent bulk
+  flows, which drives the staging-placement interference results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util import KiB, MiB, pages_of
+
+
+@dataclass(frozen=True)
+class RdmaCostParams:
+    """Costs of the NNTI-level verbs on one interconnect.
+
+    All times in seconds, bandwidths in bytes/second.
+    """
+
+    #: One-sided operation start-up latency (seconds).
+    latency: float
+    #: Peak sustained large-message bandwidth (bytes/s).
+    peak_bw: float
+    #: Message size at and below which the small-message (FMA Put) path is
+    #: used instead of receiver-directed Get.
+    small_msg_threshold: int
+    #: Per-message CPU overhead of the small-message path (seconds).
+    small_msg_overhead: float
+    #: Fixed cost of one memory-registration call (seconds).
+    reg_base: float
+    #: Additional registration cost per 4 KiB page (seconds).
+    reg_per_page: float
+    #: Fixed cost of a dynamic buffer allocation (seconds).
+    alloc_base: float
+    #: Additional allocation cost per MiB (page faulting / zeroing).
+    alloc_per_mib: float
+    #: Half-round-trip control message (Get handshake) cost (seconds).
+    control_msg_time: float
+
+
+class Interconnect:
+    """Base interconnect model: pure cost functions, no state.
+
+    Concrete machines subclass this only to supply parameters; all timing
+    formulas live here so the two interconnects stay comparable.
+    """
+
+    name = "abstract"
+
+    def __init__(self, params: RdmaCostParams, injection_bw: float) -> None:
+        if injection_bw <= 0:
+            raise ValueError("injection_bw must be positive")
+        self.params = params
+        #: Per-node injection/ejection bandwidth (bytes/s).
+        self.injection_bw = injection_bw
+
+    # -- registration & allocation --------------------------------------
+    def registration_time(self, nbytes: int) -> float:
+        """Cost of registering a buffer of ``nbytes`` with the NIC."""
+        p = self.params
+        return p.reg_base + pages_of(nbytes) * p.reg_per_page
+
+    def allocation_time(self, nbytes: int) -> float:
+        """Cost of dynamically allocating (and faulting in) a buffer."""
+        p = self.params
+        return p.alloc_base + (nbytes / MiB) * p.alloc_per_mib
+
+    # -- data movement ---------------------------------------------------
+    def wire_time(self, nbytes: int) -> float:
+        """Latency + serialization time for one transfer, no setup costs."""
+        p = self.params
+        return p.latency + nbytes / p.peak_bw
+
+    def small_put_time(self, nbytes: int) -> float:
+        """Small message into the peer's message queue (FMA Put on Gemini)."""
+        p = self.params
+        if nbytes > p.small_msg_threshold:
+            raise ValueError(
+                f"{nbytes} B exceeds small-message threshold {p.small_msg_threshold} B"
+            )
+        return p.small_msg_overhead + self.wire_time(nbytes)
+
+    def get_time(self, nbytes: int, *, static_buffers: bool) -> float:
+        """Receiver-directed RDMA Get of ``nbytes``.
+
+        ``static_buffers=True`` models buffers served from the persistent
+        registration cache: only the control message and the wire transfer
+        are paid.  ``static_buffers=False`` models the dynamic path the
+        paper's Figure 4 measures: allocate + register on **both** sides,
+        then transfer, then (implicitly) deregister — folded into the
+        registration figure.
+        """
+        t = self.params.control_msg_time + self.wire_time(nbytes)
+        if not static_buffers:
+            # Sender-side send buffer + receiver-side receive buffer.
+            t += 2 * (self.allocation_time(nbytes) + self.registration_time(nbytes))
+        return t
+
+    def get_bandwidth(self, nbytes: int, *, static_buffers: bool) -> float:
+        """Achieved bandwidth (bytes/s) of one Get — Figure 4's y-axis."""
+        return nbytes / self.get_time(nbytes, static_buffers=static_buffers)
+
+    # -- contention -------------------------------------------------------
+    def effective_bw(self, concurrent_flows: int) -> float:
+        """Per-flow bandwidth when ``concurrent_flows`` share one endpoint.
+
+        Bulk flows into one node share its injection/ejection bandwidth;
+        this is what the Get *scheduler* (Section II.E) limits.
+        """
+        if concurrent_flows < 1:
+            raise ValueError("concurrent_flows must be >= 1")
+        shared = min(self.params.peak_bw, self.injection_bw / concurrent_flows)
+        return shared
+
+    def bulk_transfer_time(self, nbytes: int, concurrent_flows: int = 1) -> float:
+        """Wire time for a bulk flow under endpoint sharing."""
+        p = self.params
+        return p.latency + nbytes / self.effective_bw(concurrent_flows)
+
+
+class GeminiInterconnect(Interconnect):
+    """Cray Gemini (Titan, XK6).
+
+    Parameters are calibrated so the dynamic-vs-static Get bandwidth sweep
+    reproduces the *shape* of the paper's Figure 4: the dynamic path loses
+    roughly half the bandwidth through the KiB–MiB range and converges
+    toward (but stays below) the static path at multi-MiB sizes.
+    """
+
+    name = "gemini"
+
+    def __init__(self) -> None:
+        super().__init__(
+            RdmaCostParams(
+                latency=1.5e-6,
+                peak_bw=6.0e9,            # BTE Get sustained
+                small_msg_threshold=4 * KiB,
+                small_msg_overhead=0.6e-6,  # FMA Put issue cost
+                reg_base=12e-6,
+                reg_per_page=0.30e-6,
+                alloc_base=2.0e-6,
+                alloc_per_mib=45e-6,      # page-fault + zero cost
+                control_msg_time=2.2e-6,
+            ),
+            injection_bw=5.2e9,
+        )
+
+
+class SeaStarInterconnect(Interconnect):
+    """Cray SeaStar2+ (Jaguar XT5) — the third interconnect NNTI's
+    portability layer covers (Portals underneath, per Figure 2)."""
+
+    name = "seastar"
+
+    def __init__(self) -> None:
+        super().__init__(
+            RdmaCostParams(
+                latency=6.0e-6,
+                peak_bw=2.0e9,            # sustained Portals put/get
+                small_msg_threshold=4 * KiB,
+                small_msg_overhead=1.2e-6,
+                reg_base=18e-6,
+                reg_per_page=0.40e-6,
+                alloc_base=2.0e-6,
+                alloc_per_mib=45e-6,
+                control_msg_time=7.0e-6,
+            ),
+            injection_bw=1.8e9,
+        )
+
+
+class InfinibandInterconnect(Interconnect):
+    """DDR InfiniBand (Smoky)."""
+
+    name = "infiniband-ddr"
+
+    def __init__(self) -> None:
+        super().__init__(
+            RdmaCostParams(
+                latency=4.0e-6,
+                peak_bw=1.5e9,            # DDR IB sustained verbs bandwidth
+                small_msg_threshold=4 * KiB,
+                small_msg_overhead=1.0e-6,
+                reg_base=25e-6,
+                reg_per_page=0.45e-6,
+                alloc_base=2.0e-6,
+                alloc_per_mib=45e-6,
+                control_msg_time=6.0e-6,
+            ),
+            injection_bw=1.4e9,
+        )

@@ -1,0 +1,133 @@
+"""Machine presets: Titan, Smoky, and a configurable generic cluster.
+
+All parameters come from the paper (Section IV) and public specifications
+of the hardware generations involved:
+
+* **Titan** — Cray XK6, 18,688 nodes, one 16-core 2.2 GHz AMD Opteron 6274
+  (Interlagos) per node.  Interlagos is two 8-core dies on one package, so
+  each node exposes 2 NUMA domains of 8 cores sharing an 8 MiB L3.  Gemini
+  interconnect.  32 GiB RAM per node.
+* **Smoky** — 80 nodes of four quad-core 2.0 GHz AMD Opteron (Barcelona)
+  processors: 4 NUMA domains of 4 cores, each with a 2 MiB shared L3
+  (paper Figure 5).  DDR InfiniBand.  32 GiB RAM per node.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.machine.cache import CacheContentionModel
+from repro.machine.filesystem import LustreModel
+from repro.machine.interconnect import (
+    GeminiInterconnect,
+    InfinibandInterconnect,
+    Interconnect,
+    SeaStarInterconnect,
+)
+from repro.machine.topology import Machine, NodeType
+from repro.util import GiB, MiB
+
+
+TITAN_NODE = NodeType(
+    name="xk6-interlagos",
+    cores_per_node=16,
+    numa_domains=2,
+    ghz=2.2,
+    l3_bytes_per_domain=8 * MiB,
+    mem_bytes=32 * GiB,
+    mem_bw_local=20e9,
+    numa_remote_factor=0.6,
+)
+
+SMOKY_NODE = NodeType(
+    name="smoky-barcelona",
+    cores_per_node=16,
+    numa_domains=4,
+    ghz=2.0,
+    l3_bytes_per_domain=2 * MiB,
+    mem_bytes=32 * GiB,
+    mem_bw_local=8e9,
+    numa_remote_factor=0.55,
+)
+
+
+def titan(num_nodes: int = 18688) -> Machine:
+    """The Titan Cray XK6 model (or a partition of it)."""
+    return Machine(
+        name="titan",
+        node_type=TITAN_NODE,
+        num_nodes=num_nodes,
+        interconnect=GeminiInterconnect(),
+        filesystem=LustreModel(name="atlas", num_osts=672, contention_knee=8192),
+        cache_model=CacheContentionModel(),
+    )
+
+
+def smoky(num_nodes: int = 80) -> Machine:
+    """The Smoky InfiniBand cluster model."""
+    return Machine(
+        name="smoky",
+        node_type=SMOKY_NODE,
+        num_nodes=num_nodes,
+        interconnect=InfinibandInterconnect(),
+        filesystem=LustreModel(name="widow", num_osts=96, contention_knee=1024),
+        cache_model=CacheContentionModel(),
+    )
+
+
+JAGUAR_NODE = NodeType(
+    name="xt5-istanbul",
+    cores_per_node=12,
+    numa_domains=2,
+    ghz=2.6,
+    l3_bytes_per_domain=6 * MiB,
+    mem_bytes=16 * GiB,
+    mem_bw_local=12e9,
+    numa_remote_factor=0.6,
+)
+
+
+def jaguar_xt5(num_nodes: int = 18688) -> Machine:
+    """The Jaguar Cray XT5 model — where FlexIO first ran the Pixie3D
+    online analysis/visualization pipeline (paper Section II.H).
+
+    Two 6-core 2.6 GHz AMD Opteron (Istanbul) sockets per node, each a
+    NUMA domain with a 6 MiB shared L3; SeaStar2+ interconnect.
+    """
+    return Machine(
+        name="jaguar-xt5",
+        node_type=JAGUAR_NODE,
+        num_nodes=num_nodes,
+        interconnect=SeaStarInterconnect(),
+        filesystem=LustreModel(name="spider", num_osts=672, contention_knee=8192),
+        cache_model=CacheContentionModel(),
+    )
+
+
+def generic_cluster(
+    num_nodes: int,
+    cores_per_node: int = 16,
+    numa_domains: int = 2,
+    ghz: float = 2.5,
+    l3_bytes_per_domain: int = 8 * MiB,
+    mem_bytes: int = 32 * GiB,
+    interconnect: Optional[Interconnect] = None,
+) -> Machine:
+    """A configurable cluster for tests and what-if studies."""
+    node = NodeType(
+        name="generic",
+        cores_per_node=cores_per_node,
+        numa_domains=numa_domains,
+        ghz=ghz,
+        l3_bytes_per_domain=l3_bytes_per_domain,
+        mem_bytes=mem_bytes,
+        mem_bw_local=15e9,
+    )
+    return Machine(
+        name="generic",
+        node_type=node,
+        num_nodes=num_nodes,
+        interconnect=interconnect or InfinibandInterconnect(),
+        filesystem=LustreModel(),
+        cache_model=CacheContentionModel(),
+    )

@@ -1,0 +1,218 @@
+"""Binary message encoding/decoding against registered formats.
+
+Wire layout of one message::
+
+    magic      u32   0x0FF5F0CD
+    flags      u8    bit 0: schema inlined
+    format_id  u64
+    [schema]         self-description, iff flag bit 0
+    body_len   u64
+    body             packed fields in format order
+
+Field packing:
+
+    INT64      i64
+    FLOAT64    f64
+    BOOL       u8
+    STRING     u32 len + utf-8 bytes
+    BYTES      u64 len + raw bytes
+    LIST_INT64 u32 count + count * i64
+    ARRAY      u8 dtype-code-len + dtype str + u8 ndim + ndim * u64 shape
+               + u64 nbytes + raw C-order data
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.marshal.format import Field, FieldKind, Format, FormatRegistry
+
+MAGIC = 0x0FF5F0CD
+_FLAG_SCHEMA = 0x01
+
+
+class MarshalError(RuntimeError):
+    """Malformed message, unknown format, or value/schema mismatch."""
+
+
+# ---------------------------------------------------------------------------
+# Field packers
+# ---------------------------------------------------------------------------
+
+def _pack_field(field: Field, value: Any, out: bytearray) -> None:
+    kind = field.kind
+    try:
+        if kind == FieldKind.INT64:
+            out += struct.pack("<q", int(value))
+        elif kind == FieldKind.FLOAT64:
+            out += struct.pack("<d", float(value))
+        elif kind == FieldKind.BOOL:
+            out += struct.pack("<B", 1 if value else 0)
+        elif kind == FieldKind.STRING:
+            b = str(value).encode("utf-8")
+            out += struct.pack("<I", len(b))
+            out += b
+        elif kind == FieldKind.BYTES:
+            b = bytes(value)
+            out += struct.pack("<Q", len(b))
+            out += b
+        elif kind == FieldKind.LIST_INT64:
+            vals = [int(v) for v in value]
+            out += struct.pack("<I", len(vals))
+            out += struct.pack(f"<{len(vals)}q", *vals) if vals else b""
+        elif kind == FieldKind.ARRAY:
+            arr = np.ascontiguousarray(value)
+            dt = arr.dtype.str.encode("ascii")
+            out += struct.pack("<B", len(dt))
+            out += dt
+            out += struct.pack("<B", arr.ndim)
+            for dim in arr.shape:
+                out += struct.pack("<Q", dim)
+            raw = arr.tobytes()
+            out += struct.pack("<Q", len(raw))
+            out += raw
+        else:  # pragma: no cover - exhaustive over FieldKind
+            raise MarshalError(f"unsupported kind {kind}")
+    except (TypeError, ValueError, OverflowError) as exc:
+        raise MarshalError(
+            f"cannot pack field {field.name!r} as {kind.name}: {exc}"
+        ) from exc
+
+
+def _unpack_field(field: Field, data: bytes, off: int) -> tuple[Any, int]:
+    kind = field.kind
+    if kind == FieldKind.INT64:
+        (v,) = struct.unpack_from("<q", data, off)
+        return v, off + 8
+    if kind == FieldKind.FLOAT64:
+        (v,) = struct.unpack_from("<d", data, off)
+        return v, off + 8
+    if kind == FieldKind.BOOL:
+        (v,) = struct.unpack_from("<B", data, off)
+        return bool(v), off + 1
+    if kind == FieldKind.STRING:
+        (n,) = struct.unpack_from("<I", data, off)
+        off += 4
+        return data[off : off + n].decode("utf-8"), off + n
+    if kind == FieldKind.BYTES:
+        (n,) = struct.unpack_from("<Q", data, off)
+        off += 8
+        return bytes(data[off : off + n]), off + n
+    if kind == FieldKind.LIST_INT64:
+        (n,) = struct.unpack_from("<I", data, off)
+        off += 4
+        vals = list(struct.unpack_from(f"<{n}q", data, off)) if n else []
+        return vals, off + 8 * n
+    if kind == FieldKind.ARRAY:
+        (dlen,) = struct.unpack_from("<B", data, off)
+        off += 1
+        dtype = np.dtype(data[off : off + dlen].decode("ascii"))
+        off += dlen
+        (ndim,) = struct.unpack_from("<B", data, off)
+        off += 1
+        shape = []
+        for _ in range(ndim):
+            (dim,) = struct.unpack_from("<Q", data, off)
+            off += 8
+            shape.append(dim)
+        (nbytes,) = struct.unpack_from("<Q", data, off)
+        off += 8
+        arr = np.frombuffer(data[off : off + nbytes], dtype=dtype).reshape(shape)
+        return arr.copy(), off + nbytes
+    raise MarshalError(f"unsupported kind {kind}")  # pragma: no cover
+
+
+# ---------------------------------------------------------------------------
+# Message encode / decode
+# ---------------------------------------------------------------------------
+
+def encode_message(
+    fmt: Format,
+    record: dict,
+    peer_registry: Optional[FormatRegistry] = None,
+) -> bytes:
+    """Encode ``record`` against ``fmt``.
+
+    ``peer_registry`` models the *receiver's* format knowledge: if given
+    and it already knows the format, the schema is not inlined (steady
+    state); otherwise the self-description rides along (first contact).
+    """
+    missing = [f.name for f in fmt.fields if f.name not in record]
+    if missing:
+        raise MarshalError(f"record missing fields {missing} for format {fmt.name!r}")
+
+    inline_schema = peer_registry is None or not peer_registry.knows(fmt)
+    flags = _FLAG_SCHEMA if inline_schema else 0
+
+    body = bytearray()
+    for field in fmt.fields:
+        _pack_field(field, record[field.name], body)
+
+    out = bytearray()
+    out += struct.pack("<I", MAGIC)
+    out += struct.pack("<B", flags)
+    out += struct.pack("<Q", fmt.format_id)
+    if inline_schema:
+        out += fmt.self_description()
+    out += struct.pack("<Q", len(body))
+    out += body
+    return bytes(out)
+
+
+def decode_message(
+    data: bytes, registry: FormatRegistry
+) -> tuple[Format, dict]:
+    """Decode one message; learns inlined schemas into ``registry``."""
+    fmt, record, _ = decode_stream(data, registry)
+    return fmt, record
+
+
+def decode_stream(
+    data: bytes, registry: FormatRegistry
+) -> tuple[Format, dict, int]:
+    """Like :func:`decode_message` but also returns bytes consumed.
+
+    Needed when messages are concatenated (BP-lite index regions, shm
+    channel batches).
+    """
+    if len(data) < 13:
+        raise MarshalError(f"message truncated ({len(data)} bytes)")
+    (magic,) = struct.unpack_from("<I", data, 0)
+    if magic != MAGIC:
+        raise MarshalError(f"bad magic {magic:#x}")
+    (flags,) = struct.unpack_from("<B", data, 4)
+    (format_id,) = struct.unpack_from("<Q", data, 5)
+    off = 13
+
+    if flags & _FLAG_SCHEMA:
+        fmt, consumed = Format.from_self_description(data[off:])
+        off += consumed
+        if fmt.format_id != format_id:
+            raise MarshalError(
+                f"inlined schema id {fmt.format_id:#x} != header id {format_id:#x}"
+            )
+        registry.register(fmt)
+    else:
+        maybe = registry.by_id(format_id)
+        if maybe is None:
+            raise MarshalError(f"unknown format id {format_id:#x} and no inlined schema")
+        fmt = maybe
+
+    (body_len,) = struct.unpack_from("<Q", data, off)
+    off += 8
+    if off + body_len > len(data):
+        raise MarshalError("body extends past end of message")
+
+    record: dict = {}
+    pos = off
+    for field in fmt.fields:
+        value, pos = _unpack_field(field, data, pos)
+        record[field.name] = value
+    if pos - off != body_len:
+        raise MarshalError(
+            f"body length mismatch: declared {body_len}, consumed {pos - off}"
+        )
+    return fmt, record, pos

@@ -1,0 +1,115 @@
+"""Scotch-like graph mapping onto the architecture tree.
+
+Holistic placement "uses the graph mapping algorithm provided by the
+SCOTCH library to map the communication graph to the architecture graph"
+(Section III.B.2).  We implement the same idea — dual recursive
+bipartitioning — from scratch: at each tree vertex, partition the
+processes among the children (capacity = child slot counts) so the cut
+crossing children is minimized; recurse until processes sit on cores.
+
+A vertex with weight T (a rank with T OpenMP threads) receives T cores,
+all within the subtree where recursion bottoms out — so topology-aware
+mapping keeps a rank's threads inside one NUMA domain whenever they fit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.machine.topology import Machine, TreeNode
+from repro.placement.commgraph import CommGraph
+from repro.placement.partition import partition_graph
+
+
+class MappingError(RuntimeError):
+    """The graph does not fit the architecture (sub)tree."""
+
+
+def map_to_tree(
+    graph: CommGraph,
+    tree: TreeNode,
+    vertices: Optional[Sequence[int]] = None,
+) -> dict[int, list[int]]:
+    """Map every vertex to a list of cores (one per unit of weight).
+
+    Returns ``{vertex: [core, ...]}`` with ``len(cores) ==
+    vertex_weights[vertex]`` and all of a vertex's cores inside one leaf
+    group.
+    """
+    verts = list(vertices) if vertices is not None else list(range(graph.n))
+    need = sum(graph.vertex_weights[v] for v in verts)
+    have = tree.total_slots()
+    if need > have:
+        raise MappingError(f"need {need} cores, subtree {tree.label!r} has {have}")
+    mapping: dict[int, list[int]] = {}
+    _recurse(graph, tree, verts, mapping)
+    return mapping
+
+
+def subtree_bins(tree: TreeNode) -> list[int]:
+    """Leaf-group sizes beneath a tree vertex.
+
+    A "leaf group" is the deepest non-core level (a NUMA domain in a
+    3-level tree, a whole node in a 2-level one): multi-threaded ranks
+    must fit within one group, so packing feasibility is per-group.
+    """
+    if tree.is_leaf or all(child.is_leaf for child in tree.children):
+        return [tree.total_slots()]
+    out: list[int] = []
+    for child in tree.children:
+        out.extend(subtree_bins(child))
+    return out
+
+
+def _recurse(
+    graph: CommGraph, tree: TreeNode, verts: list[int], mapping: dict[int, list[int]]
+) -> None:
+    if not verts:
+        return
+    # Bottom out when children are single cores (or we're at a leaf):
+    # assign cores sequentially, keeping each vertex's threads contiguous.
+    if tree.is_leaf or all(child.is_leaf for child in tree.children):
+        cores = list(tree.cores)
+        pos = 0
+        for v in verts:
+            w = graph.vertex_weights[v]
+            if pos + w > len(cores):
+                raise MappingError(
+                    f"vertex {v} (weight {w}) does not fit in {tree.label!r}"
+                )
+            mapping[v] = cores[pos : pos + w]
+            pos += w
+        return
+    capacities = [subtree_bins(child) for child in tree.children]
+    try:
+        parts = partition_graph(graph, capacities, verts)
+    except ValueError as exc:
+        raise MappingError(str(exc)) from exc
+    for child, part in zip(tree.children, parts):
+        _recurse(graph, child, part, mapping)
+
+
+def mapping_cost(graph: CommGraph, mapping: dict[int, list[int]], machine: Machine) -> float:
+    """Σ over edges of bytes × relative core-to-core cost.
+
+    The objective both holistic and topology-aware placement minimize; the
+    topology-aware variant sees a finer cost structure because the machine
+    tree distinguishes NUMA domains.
+    """
+    cost = 0.0
+    for u, v, w in graph.edges():
+        cu = mapping.get(u)
+        cv = mapping.get(v)
+        if cu is None or cv is None:
+            raise MappingError(f"edge ({u},{v}) has an unmapped endpoint")
+        cost += w * machine.comm_cost(cu[0], cv[0])
+    return cost
+
+
+def nodes_used(mapping: dict[int, list[int]], machine: Machine) -> set[int]:
+    """Distinct nodes the mapping touches (for the CPU-hours metric)."""
+    out: set[int] = set()
+    for cores in mapping.values():
+        for c in cores:
+            out.add(machine.node_of(c))
+    return out

@@ -1,0 +1,71 @@
+"""Performance and cost metrics (paper Section III.A).
+
+Three metrics matter to science end users:
+
+* **Total Execution Time** — start of simulation+analytics to completion
+  of both;
+* **Total CPU Hours** — nodes used × total execution time, the unit
+  supercomputing centers charge in;
+* **Data Movement Volume** — bytes moved between simulation and analytics
+  (we also split intra-node vs inter-node, since the paper's "90 % less
+  inter-node movement" claims hinge on that split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def cpu_hours(num_nodes: int, total_execution_time_s: float, cores_per_node: int = 16) -> float:
+    """Charged core-hours: nodes × cores × wall hours.
+
+    Centers charge whole nodes; partial-node usage still pays for the node.
+    """
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    if total_execution_time_s < 0:
+        raise ValueError("time must be >= 0")
+    return num_nodes * cores_per_node * total_execution_time_s / 3600.0
+
+
+@dataclass
+class RunMetrics:
+    """Outcome of one coupled run under one placement."""
+
+    placement_name: str
+    total_execution_time: float
+    num_nodes: int
+    cores_per_node: int = 16
+    #: Simulation↔analytics bytes staying within a node (shm/inline).
+    intra_node_bytes: float = 0.0
+    #: Simulation↔analytics bytes crossing the interconnect.
+    inter_node_bytes: float = 0.0
+    #: Bytes written/read through the parallel file system.
+    file_bytes: float = 0.0
+    #: Breakdown of wall time (seconds) by phase, e.g. {"compute": ..}.
+    phase_times: dict = field(default_factory=dict)
+
+    @property
+    def total_cpu_hours(self) -> float:
+        return cpu_hours(self.num_nodes, self.total_execution_time, self.cores_per_node)
+
+    @property
+    def data_movement_volume(self) -> float:
+        return self.intra_node_bytes + self.inter_node_bytes + self.file_bytes
+
+    def gap_to(self, lower_bound_s: float) -> float:
+        """Fractional distance above a lower-bound runtime (e.g. solo sim)."""
+        if lower_bound_s <= 0:
+            raise ValueError("lower bound must be positive")
+        return self.total_execution_time / lower_bound_s - 1.0
+
+    def summary_row(self) -> dict:
+        return {
+            "placement": self.placement_name,
+            "tet_s": round(self.total_execution_time, 3),
+            "nodes": self.num_nodes,
+            "cpu_hours": round(self.total_cpu_hours, 3),
+            "inter_node_MB": round(self.inter_node_bytes / 2**20, 1),
+            "intra_node_MB": round(self.intra_node_bytes / 2**20, 1),
+            "file_MB": round(self.file_bytes / 2**20, 1),
+        }

@@ -1,0 +1,54 @@
+"""Discrete-event simulation kernel underpinning the FlexIO reproduction.
+
+The paper's evaluation runs coupled simulation + analytics jobs on real HPC
+machines (Titan, Smoky).  We reproduce those runs on a discrete-event
+simulator: every MPI rank, analytics process, transport engine, and file
+server is a coroutine process scheduled on a shared virtual clock.
+
+The kernel is deliberately SimPy-like (environments, events, processes,
+resources, stores) but self-contained, deterministic, and tuned for the
+fan-outs this reproduction needs (thousands of rank processes per run).
+
+Public API
+----------
+:class:`Environment`
+    The simulation context: virtual clock + event queue.
+:class:`Event`, :class:`Timeout`, :class:`Process`, :class:`Condition`
+    Awaitable primitives that coroutine processes ``yield``.
+:class:`Resource`
+    FIFO counted resource (e.g. a core, a NIC engine, an OST).
+:class:`Store`
+    FIFO message channel with optional capacity (queues between processes).
+:class:`Interrupt`
+    Exception injected into a process by :meth:`Process.interrupt`.
+"""
+
+from repro.simcore.events import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    EventAlreadyTriggered,
+    Timeout,
+)
+from repro.simcore.environment import Environment, SimulationError
+from repro.simcore.process import Interrupt, Process
+from repro.simcore.resources import Preempted, PriorityResource, Resource
+from repro.simcore.store import Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "Interrupt",
+    "Preempted",
+    "PriorityResource",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Store",
+    "Timeout",
+]

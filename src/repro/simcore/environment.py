@@ -1,0 +1,122 @@
+"""The simulation environment: virtual clock + event loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.simcore.events import Event, Timeout
+from repro.simcore.process import Process
+
+
+class SimulationError(RuntimeError):
+    """An unhandled failure propagated out of the event loop."""
+
+
+class _StopRun(Exception):
+    """Internal sentinel used by ``run(until=event)``."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class Environment:
+    """Executes events on a virtual timeline.
+
+    Time is a float in *seconds* throughout this project.  Determinism:
+    events scheduled for the same instant are processed in scheduling order
+    (a monotonically increasing tiebreaker), so repeated runs are bit-stable.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = count()
+        self.active_process: Optional[Process] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self._now
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._eid), event))
+
+    # -- factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str | None = None) -> Process:
+        """Wrap a generator coroutine into a scheduled process."""
+        return Process(self, generator, name=name)
+
+    # -- main loop ------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, []
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if not event.ok and not event.defused:
+            exc = event.value
+            raise SimulationError(
+                f"unhandled failure at t={self._now:.9f}: {exc!r}"
+            ) from exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the schedule drains, a deadline, or an event fires.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run until the clock would pass that time;
+        * an :class:`Event` — run until it is processed and return its value.
+        """
+        stop_event: Optional[Event] = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.processed:
+                return stop_event.value
+
+            def _stop(ev: Event) -> None:
+                if not ev.ok:
+                    ev.defuse()
+                    raise ev.value
+                raise _StopRun(ev.value)
+
+            stop_event.callbacks.append(_stop)
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise ValueError(f"run(until={deadline}) is in the past (now={self._now})")
+
+        try:
+            while self._queue:
+                if self._queue[0][0] > deadline:
+                    self._now = deadline
+                    return None
+                self.step()
+        except _StopRun as stop:
+            return stop.value
+
+        if stop_event is not None:
+            raise SimulationError("run() ended before the `until` event fired")
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,191 @@
+"""Event primitives for the discrete-event kernel.
+
+Events carry a value (or an exception), a triggered/processed state, and a
+list of callbacks invoked when the environment processes them.  Processes
+``yield`` events to suspend until the event fires.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simcore.environment import Environment
+
+
+class EventAlreadyTriggered(RuntimeError):
+    """Raised when :meth:`Event.succeed` / :meth:`Event.fail` is called twice."""
+
+
+class Event:
+    """A one-shot occurrence on the simulation timeline.
+
+    An event moves through three states: *pending* (created, not scheduled),
+    *triggered* (scheduled with a value at some virtual time), and
+    *processed* (its callbacks have run).  Processes waiting on the event are
+    resumed when it is processed.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_triggered", "_processed", "_defused")
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._triggered = False
+        self._processed = False
+        #: Failed events abort the run unless some process (or ``defused``)
+        #: consumes the exception — mirrors SimPy's defused semantics.
+        self._defused = False
+
+    # ------------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled with a value."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception if it failed)."""
+        return self._value
+
+    @property
+    def defused(self) -> bool:
+        return self._defused
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    # ------------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception."""
+        if self._triggered:
+            raise EventAlreadyTriggered(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Event") -> "Condition":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "Condition":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{type(self).__name__} {state} at {hex(id(self))}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = float(delay)
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay=self.delay)
+
+
+class Condition(Event):
+    """Waits on several events; fires according to ``evaluate``."""
+
+    __slots__ = ("events", "_evaluate", "_remaining")
+
+    def __init__(
+        self,
+        env: "Environment",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(env)
+        self.events: list[Event] = list(events)
+        self._evaluate = evaluate
+        self._remaining = len(self.events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise ValueError("all events of a condition must share one environment")
+
+        if not self.events:
+            self.succeed(self._collect())
+            return
+
+        for ev in self.events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        """Gather values of all processed sub-events, in declaration order."""
+        return {ev: ev.value for ev in self.events if ev.processed}
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event.ok:
+            event.defuse()
+            self.fail(event.value)
+            return
+        self._remaining -= 1
+        completed = len(self.events) - self._remaining
+        if self._evaluate(self.events, completed):
+            self.succeed(self._collect())
+
+
+def _all_events(events: list[Event], count: int) -> bool:
+    return count == len(events)
+
+
+def _any_event(events: list[Event], count: int) -> bool:
+    return count > 0 or not events
+
+
+class AllOf(Condition):
+    """Condition that fires when *all* sub-events have fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, _all_events, events)
+
+
+class AnyOf(Condition):
+    """Condition that fires when *any* sub-event has fired."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env, _any_event, events)

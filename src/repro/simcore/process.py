@@ -1,0 +1,111 @@
+"""Coroutine processes driven by the event loop."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.simcore.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simcore.environment import Environment
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """A generator coroutine executing on the virtual timeline.
+
+    The generator ``yield``\\ s :class:`Event` objects; each yield suspends
+    the process until that event is processed.  The process is itself an
+    event that fires with the generator's return value, so processes can
+    wait on each other.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str | None = None) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process() needs a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: The event this process currently waits on (None while running).
+        self._target: Optional[Event] = None
+        # Kick off at the current instant.
+        init = Event(env)
+        init._ok = True
+        init._triggered = True
+        init.callbacks.append(self._resume)
+        env._schedule(init)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self.env.active_process is self:
+            raise RuntimeError("a process cannot interrupt itself")
+        # Detach from whatever the process was waiting on so the original
+        # event no longer resumes it, then resume with the interrupt.
+        if self._target is not None and self._resume in self._target.callbacks:
+            self._target.callbacks.remove(self._resume)
+        wakeup = Event(self.env)
+        wakeup._ok = False
+        wakeup._value = Interrupt(cause)
+        wakeup._triggered = True
+        wakeup.defuse()
+        wakeup.callbacks.append(self._resume)
+        self.env._schedule(wakeup)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        env = self.env
+        env.active_process = self
+        self._target = None
+        try:
+            if event.ok:
+                result = self._generator.send(event.value)
+            else:
+                event.defuse()
+                result = self._generator.throw(event.value)
+        except StopIteration as stop:
+            env.active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            env.active_process = None
+            self.fail(exc)
+            return
+        env.active_process = None
+
+        if not isinstance(result, Event):
+            raise TypeError(
+                f"process {self.name!r} yielded {result!r}; processes must yield Events"
+            )
+        if result.processed:
+            # Already done — resume immediately (at the current instant).
+            rearm = Event(env)
+            rearm._ok = result.ok
+            rearm._value = result.value
+            rearm._triggered = True
+            if not result.ok:
+                rearm.defuse()
+            rearm.callbacks.append(self._resume)
+            env._schedule(rearm)
+        else:
+            self._target = result
+            result.callbacks.append(self._resume)

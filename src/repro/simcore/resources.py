@@ -1,0 +1,172 @@
+"""Counted resources with FIFO (and priority) queueing discipline."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.simcore.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simcore.environment import Environment
+
+
+class Preempted(Exception):
+    """Cause delivered to a process preempted off a :class:`PriorityResource`."""
+
+    def __init__(self, by: Any, usage_since: float) -> None:
+        super().__init__(by, usage_since)
+        self.by = by
+        self.usage_since = usage_since
+
+
+class Request(Event):
+    """A pending claim on a resource; fires when capacity is granted.
+
+    Usable as a context manager so the canonical pattern reads::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request."""
+        self.resource._cancel(self)
+
+
+class Resource:
+    """A resource with integer capacity and FIFO wait queue.
+
+    Models cores, NIC DMA engines, file-system object servers, memory
+    controllers — anything with bounded concurrency.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.users: list[Request] = []
+        self.queue: list[Request] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def in_use(self) -> int:
+        return len(self.users)
+
+    @property
+    def available(self) -> int:
+        return self.capacity - len(self.users)
+
+    def request(self) -> Request:
+        req = Request(self)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.succeed(self)
+        else:
+            self.queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return capacity; grants the oldest waiter, if any."""
+        try:
+            self.users.remove(request)
+        except ValueError:
+            # Releasing an unqueued/ungranted request is a no-op: allows
+            # `with` blocks to exit after a cancel.
+            self._cancel(request)
+            return
+        self._grant_next()
+
+    def _cancel(self, request: Request) -> None:
+        try:
+            self.queue.remove(request)
+        except ValueError:
+            pass
+
+    def _grant_next(self) -> None:
+        while self.queue and len(self.users) < self.capacity:
+            nxt = self.queue.pop(0)
+            self.users.append(nxt)
+            nxt.succeed(self)
+
+
+class _PrioRequest(Request):
+    __slots__ = ("priority", "preempt", "since", "owner", "_order")
+
+    def __init__(self, resource: "PriorityResource", priority: int, preempt: bool) -> None:
+        super().__init__(resource)
+        self.priority = priority
+        self.preempt = preempt
+        self.since: Optional[float] = None
+        #: The process to interrupt if this grant is preempted (set by caller).
+        self.owner = None
+        self._order = next(resource._order)
+
+    @property
+    def key(self) -> tuple:
+        return (self.priority, self._order)
+
+
+class PriorityResource(Resource):
+    """Resource whose queue is ordered by priority (lower = sooner).
+
+    With ``preempt=True`` a high-priority request evicts the lowest-priority
+    current user, delivering :class:`Preempted` to it via interrupt — used to
+    model the simulation reclaiming helper cores from analytics.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        super().__init__(env, capacity)
+        self._order = count()
+        self._heap: list[tuple[tuple, _PrioRequest]] = []
+
+    def request(self, priority: int = 0, preempt: bool = False) -> _PrioRequest:  # type: ignore[override]
+        req = _PrioRequest(self, priority, preempt)
+        if len(self.users) < self.capacity:
+            self.users.append(req)
+            req.since = self.env.now
+            req.succeed(self)
+            return req
+        if preempt:
+            victim = max(
+                (u for u in self.users if isinstance(u, _PrioRequest)),
+                key=lambda u: u.key,
+                default=None,
+            )
+            if victim is not None and victim.key > req.key:
+                self.users.remove(victim)
+                owner = getattr(victim, "owner", None)
+                if owner is not None and owner.is_alive:
+                    owner.interrupt(Preempted(by=req, usage_since=victim.since or 0.0))
+                self.users.append(req)
+                req.since = self.env.now
+                req.succeed(self)
+                return req
+        heapq.heappush(self._heap, (req.key, req))
+        self.queue.append(req)  # keep base-class bookkeeping coherent
+        return req
+
+    def _grant_next(self) -> None:
+        while self._heap and len(self.users) < self.capacity:
+            _, nxt = heapq.heappop(self._heap)
+            if nxt not in self.queue:
+                continue  # cancelled
+            self.queue.remove(nxt)
+            self.users.append(nxt)
+            nxt.since = self.env.now
+            nxt.succeed(self)

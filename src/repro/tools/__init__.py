@@ -1,0 +1,10 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.bpls <file.bp>`` — inspect a BP-lite file
+  (variables, steps, blocks, min/max statistics), modeled on ADIOS's
+  ``bpls`` utility.
+* ``python -m repro.tools.report <figure> [machine]`` — regenerate one of
+  the paper's figures/tables from the command line.
+* ``python -m repro.tools.advisor`` — run the placement algorithms on a
+  described workload and print their decisions and costs.
+"""

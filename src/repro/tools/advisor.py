@@ -1,0 +1,121 @@
+"""Placement advisor: describe a workload, get placement decisions.
+
+Usage::
+
+    python -m repro.tools.advisor --machine smoky --sim-ranks 32 \\
+        --threads 3 --io-interval 6 --bytes-per-rank 115343360 \\
+        --ana-time 30 --ana-serial 0.01
+
+Runs all three placement algorithms on the described coupled workload
+and prints, for each: the placement style it chose, node count, NUMA
+splits, inter-node movement, and the mapping cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.machine import smoky, titan
+from repro.placement import (
+    AnalyticsProfile,
+    DataAwareMapping,
+    HolisticPlacement,
+    NodeTopologyAwarePlacement,
+    SimProfile,
+    allocate_analytics_async,
+    allocate_analytics_sync,
+)
+from repro.placement.algorithms import process_group_matrix
+from repro.util import fmt_bytes
+
+
+def advise(
+    machine_name: str,
+    sim_ranks: int,
+    threads: int,
+    io_interval: float,
+    bytes_per_rank: int,
+    ana_time: float,
+    ana_serial: float,
+    halo_bytes: float = 0.0,
+    asynchronous: bool = False,
+    out=None,
+) -> int:
+    out = out or sys.stdout
+    machine = smoky(80) if machine_name == "smoky" else titan(500)
+    grid = ()
+    if halo_bytes > 0:
+        # Pick a near-square 2-D grid for the halo pattern.
+        a = int(sim_ranks**0.5)
+        while sim_ranks % a:
+            a -= 1
+        grid = (a, sim_ranks // a)
+    sim = SimProfile(
+        num_ranks=sim_ranks,
+        threads_per_rank=threads,
+        io_interval=io_interval,
+        bytes_per_rank=bytes_per_rank,
+        grid=grid,
+        halo_bytes=halo_bytes,
+    )
+    ana = AnalyticsProfile(time_single=ana_time, serial_fraction=ana_serial)
+
+    if asynchronous:
+        ic = machine.interconnect
+        n_ana = allocate_analytics_async(sim, ana, ic.params.peak_bw)
+        mode = "async (movement + compute within the interval)"
+    else:
+        n_ana = allocate_analytics_sync(sim, ana)
+        mode = "sync (rate matching)"
+    print(f"machine: {machine.name} ({machine.node_type.cores_per_node} cores/node, "
+          f"{machine.node_type.numa_domains} NUMA domains)", file=out)
+    print(f"resource allocation [{mode}]: {n_ana} analytics processes "
+          f"for {sim_ranks} simulation ranks", file=out)
+    print("", file=out)
+
+    matrix = process_group_matrix(sim_ranks, n_ana, bytes_per_rank)
+    print(f"{'algorithm':18s} {'style':12s} {'nodes':>5s} {'numa-splits':>11s} "
+          f"{'inter-node/step':>16s} {'mapping cost':>14s}", file=out)
+    for algo in (DataAwareMapping(), HolisticPlacement(), NodeTopologyAwarePlacement()):
+        try:
+            p = algo.place(machine, sim, ana, matrix, num_ana=n_ana)
+        except ValueError as exc:
+            print(f"{algo.name:18s} infeasible: {exc}", file=out)
+            continue
+        movement = p.interprogram_internode_bytes() + p.intraprogram_internode_bytes()
+        print(
+            f"{algo.name:18s} {p.style():12s} {p.num_nodes:5d} "
+            f"{p.thread_numa_splits():11d} {fmt_bytes(movement):>16s} "
+            f"{p.cost:14.4g}",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="advisor", description="Run the placement algorithms on a workload."
+    )
+    parser.add_argument("--machine", default="smoky", choices=["smoky", "titan"])
+    parser.add_argument("--sim-ranks", type=int, required=True)
+    parser.add_argument("--threads", type=int, default=1)
+    parser.add_argument("--io-interval", type=float, required=True,
+                        help="seconds of compute between outputs")
+    parser.add_argument("--bytes-per-rank", type=int, required=True)
+    parser.add_argument("--ana-time", type=float, required=True,
+                        help="seconds to process one step's data on one process")
+    parser.add_argument("--ana-serial", type=float, default=0.05)
+    parser.add_argument("--halo-bytes", type=float, default=0.0)
+    parser.add_argument("--async", dest="asynchronous", action="store_true")
+    args = parser.parse_args(argv)
+    return advise(
+        args.machine, args.sim_ranks, args.threads, args.io_interval,
+        args.bytes_per_rank, args.ana_time, args.ana_serial,
+        halo_bytes=args.halo_bytes, asynchronous=args.asynchronous,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

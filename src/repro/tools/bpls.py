@@ -1,0 +1,100 @@
+"""``bpls`` for BP-lite files: list variables, steps, blocks, statistics.
+
+Usage::
+
+    python -m repro.tools.bpls out.bp
+    python -m repro.tools.bpls out.bp -v temperature      # one variable
+    python -m repro.tools.bpls out.bp -v temperature -d   # dump values
+    python -m repro.tools.bpls out.bp --blocks            # per-block detail
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.adios import BpFormatError, BpReader
+
+
+def _fmt_shape(shape) -> str:
+    return "{" + ", ".join(str(s) for s in shape) + "}" if shape else "scalar"
+
+
+def list_file(
+    path: str,
+    var: Optional[str] = None,
+    show_blocks: bool = False,
+    dump: bool = False,
+    out=None,
+) -> int:
+    """Print the listing; returns a process exit code."""
+    out = out or sys.stdout
+    try:
+        reader = BpReader(path)
+    except (BpFormatError, OSError) as exc:
+        print(f"bpls: {exc}", file=out)
+        return 1
+    with reader:
+        names = reader.var_names()
+        if var is not None:
+            if var not in names:
+                print(f"bpls: no variable {var!r} in {path}", file=out)
+                return 1
+            names = [var]
+        print(f"File info:", file=out)
+        print(f"  of variables:  {len(reader.var_names())}", file=out)
+        print(f"  of steps:      {reader.num_steps}", file=out)
+        print("", file=out)
+        for name in names:
+            meta = reader.var_meta(name)
+            gshape = _fmt_shape(meta.global_shape) if meta.global_shape else "local"
+            print(
+                f"  {np.dtype(meta.dtype).name:10s} {name:24s} "
+                f"{meta.steps}*{gshape}  min={meta.min_value:.6g} "
+                f"max={meta.max_value:.6g}",
+                file=out,
+            )
+            if show_blocks:
+                for step in range(meta.steps):
+                    for entry in reader.blocks(name, step):
+                        box = (
+                            f"start={entry.box.start} count={entry.box.count}"
+                            if entry.box
+                            else f"shape={entry.shape}"
+                        )
+                        print(
+                            f"    step {step} rank {entry.rank:4d}  {box}  "
+                            f"[{entry.vmin:.6g}, {entry.vmax:.6g}]",
+                            file=out,
+                        )
+            if dump:
+                for step in range(meta.steps):
+                    for entry in reader.blocks(name, step):
+                        data = reader.read_block(name, step, entry.rank)
+                        with np.printoptions(threshold=64, edgeitems=3):
+                            print(
+                                f"    step {step} rank {entry.rank}:\n{data}",
+                                file=out,
+                            )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="bpls", description="List the contents of a BP-lite file."
+    )
+    parser.add_argument("file", help="BP-lite file path")
+    parser.add_argument("-v", "--var", help="show only this variable")
+    parser.add_argument(
+        "--blocks", action="store_true", help="per-block detail (rank, box, min/max)"
+    )
+    parser.add_argument("-d", "--dump", action="store_true", help="dump values")
+    args = parser.parse_args(argv)
+    return list_file(args.file, var=args.var, show_blocks=args.blocks, dump=args.dump)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

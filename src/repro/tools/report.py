@@ -1,0 +1,95 @@
+"""Regenerate one of the paper's figures/tables from the command line.
+
+Usage::
+
+    python -m repro.tools.report fig4
+    python -m repro.tools.report fig6 smoky
+    python -m repro.tools.report fig7
+    python -m repro.tools.report fig8 [smoky|titan]
+    python -m repro.tools.report fig9 titan
+    python -m repro.tools.report tuning smoky
+    python -m repro.tools.report gts-costs smoky
+    python -m repro.tools.report s3d-costs titan
+    python -m repro.tools.report all          # everything (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.figures import (
+    fig4_rdma_registration,
+    fig6_gts_total_execution_time,
+    fig7_gts_detailed_timing,
+    fig8_cache_miss_rates,
+    fig9_s3d_total_execution_time,
+    format_table,
+    gts_cost_metrics,
+    s3d_cost_metrics,
+    s3d_movement_tuning,
+)
+from repro.figures.fig7 import fig7_headline_numbers
+
+_MACHINE_FIGS = {"fig6", "fig9", "tuning", "gts-costs", "s3d-costs", "fig8"}
+
+
+def generate(figure: str, machine: str, out=None) -> int:
+    out = out or sys.stdout
+    if figure == "fig4":
+        print(format_table(fig4_rdma_registration(),
+                           "Figure 4: RDMA Get bandwidth (MB/s), Gemini"), file=out)
+    elif figure == "fig6":
+        rows = fig6_gts_total_execution_time(machine)
+        print(format_table(rows, f"Figure 6: GTS TET (s) on {machine}"), file=out)
+    elif figure == "fig7":
+        rows = fig7_gts_detailed_timing()
+        print(format_table(rows, "Figure 7: detailed GTS timing (128 ranks, Smoky)"),
+              file=out)
+        print(format_table([fig7_headline_numbers(rows)], "Headline numbers"), file=out)
+    elif figure == "fig8":
+        print(format_table(fig8_cache_miss_rates(machine),
+                           f"Figure 8: GTS LLC miss rates on {machine}"), file=out)
+    elif figure == "fig9":
+        rows = fig9_s3d_total_execution_time(machine)
+        print(format_table(rows, f"Figure 9: S3D TET (s) on {machine}"), file=out)
+    elif figure == "tuning":
+        print(format_table(s3d_movement_tuning(machine),
+                           f"S3D movement tuning on {machine}"), file=out)
+    elif figure == "gts-costs":
+        print(format_table(gts_cost_metrics(machine),
+                           f"GTS cost metrics on {machine}"), file=out)
+    elif figure == "s3d-costs":
+        print(format_table(s3d_cost_metrics(machine),
+                           f"S3D cost metrics on {machine}"), file=out)
+    elif figure == "all":
+        for fig in ("fig4", "fig7"):
+            generate(fig, machine, out)
+        for fig in ("fig6", "fig8", "fig9", "tuning", "gts-costs", "s3d-costs"):
+            for m in ("smoky", "titan"):
+                generate(fig, m, out)
+    else:
+        print(f"report: unknown figure {figure!r}", file=out)
+        return 1
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="report", description="Regenerate one of the paper's figures/tables."
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig4", "fig6", "fig7", "fig8", "fig9", "tuning",
+                 "gts-costs", "s3d-costs", "all"],
+    )
+    parser.add_argument(
+        "machine", nargs="?", default="smoky", choices=["smoky", "titan"]
+    )
+    args = parser.parse_args(argv)
+    return generate(args.figure, args.machine)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

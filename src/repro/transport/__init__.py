@@ -1,0 +1,49 @@
+"""FlexIO's low-level data-movement transports.
+
+Two transports, mirroring Section II.D/II.E of the paper:
+
+* :mod:`repro.transport.shm` — intra-node movement: FastForward-style
+  single-producer single-consumer lock-free circular queues for small
+  (control/handshake) messages, a shared-memory buffer pool with a free
+  list for large payloads (two copies), and an XPMEM-like page-mapping
+  path that eliminates the producer-side copy (one copy).  The queue and
+  pool are *real* — they move actual bytes and are exercised across Python
+  threads in the tests — and a calibrated cost model prices the same
+  operations for the discrete-event runs.
+
+* :mod:`repro.transport.rdma` — inter-node movement: an NNTI-like
+  portability layer (connect / register / put / get) above the machine's
+  interconnect model, with the registration-cache buffer pool, a
+  small-message queue pair, and receiver-directed scheduled RDMA Get for
+  bulk data.
+"""
+
+from repro.transport.shm import (
+    QueueClosed,
+    QueueFull,
+    ShmBufferPool,
+    ShmChannel,
+    ShmCostModel,
+    SPSCQueue,
+)
+from repro.transport.rdma import (
+    NntiEndpoint,
+    NntiFabric,
+    RdmaChannel,
+    RegistrationCache,
+    TransferScheduler,
+)
+
+__all__ = [
+    "NntiEndpoint",
+    "NntiFabric",
+    "QueueClosed",
+    "QueueFull",
+    "RdmaChannel",
+    "RegistrationCache",
+    "ShmBufferPool",
+    "ShmChannel",
+    "ShmCostModel",
+    "SPSCQueue",
+    "TransferScheduler",
+]

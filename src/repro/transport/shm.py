@@ -1,0 +1,421 @@
+"""Shared-memory intra-node transport (paper Section II.D).
+
+Three pieces:
+
+1. :class:`SPSCQueue` — a FastForward-inspired single-producer
+   single-consumer, circular, lock-free FIFO.  Producer and consumer keep
+   *separate* head/tail indices (never shared), each entry occupies its own
+   cache-line-aligned region, and a per-entry status flag (EMPTY/FULL) is
+   the only coordination: the producer stores payload then flips the flag
+   to FULL; the consumer polls the flag, copies out, and flips it back to
+   EMPTY.  The layout math (alignment, padding, flag placement) follows the
+   paper even though Python's GIL supplies the memory-ordering guarantees a
+   C implementation would need fences for.
+
+2. :class:`ShmBufferPool` — producer-owned pool of reusable buffers indexed
+   by a per-size free list; large messages are copied into a pool buffer
+   and announced via a small control message through the queue (the classic
+   two-copy path).  The XPMEM path instead "maps" the producer's source
+   buffer into the consumer (zero-copy handoff of a read-only view), so
+   only the consumer-side copy remains.
+
+3. :class:`ShmCostModel` — prices the same operations for discrete-event
+   runs: per-message queue latencies by NUMA relationship, and per-copy
+   memcpy costs from the node's memory bandwidth.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.machine.topology import NodeType
+from repro.util import CACHE_LINE, align_up
+
+_EMPTY = 0
+_FULL = 1
+
+# Per-entry header: 1-byte status flag + 3 pad + 4-byte payload length.
+_HDR = struct.Struct("<B3xI")
+
+
+class QueueFull(RuntimeError):
+    """Non-blocking enqueue found no EMPTY entry."""
+
+
+class QueueClosed(RuntimeError):
+    """Operation on a queue whose producer has closed it."""
+
+
+@dataclass
+class QueueStats:
+    """Instrumentation counters (feed the performance-monitoring layer)."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    bytes_enqueued: int = 0
+    producer_spins: int = 0
+    consumer_spins: int = 0
+
+
+class SPSCQueue:
+    """Lock-free single-producer single-consumer circular byte queue.
+
+    ``slots`` entries of ``payload_size`` bytes each; every entry is padded
+    to a multiple of the cache-line size and starts on a cache-line
+    boundary so adjacent entries never share a line (no false sharing
+    between the producer writing entry *i* and the consumer reading entry
+    *i-1*).
+    """
+
+    def __init__(self, slots: int = 64, payload_size: int = 240) -> None:
+        if slots < 2:
+            raise ValueError("need at least 2 slots")
+        if payload_size < 1:
+            raise ValueError("payload_size must be positive")
+        self.slots = int(slots)
+        self.payload_size = int(payload_size)
+        #: Bytes per entry: header + payload, padded out to full cache lines.
+        self.entry_size = align_up(_HDR.size + payload_size, CACHE_LINE)
+        self._buf = np.zeros(self.slots * self.entry_size, dtype=np.uint8)
+        self._mv = memoryview(self._buf)
+        # Producer-private and consumer-private cursors (deliberately NOT
+        # shared state — FastForward's key idea).
+        self._head = 0  # next entry to enqueue (producer only)
+        self._tail = 0  # next entry to dequeue (consumer only)
+        self._closed = False
+        self.stats = QueueStats()
+
+    # ------------------------------------------------------------------
+    def _entry(self, idx: int) -> int:
+        return idx * self.entry_size
+
+    def _flag(self, idx: int) -> int:
+        return self._buf[self._entry(idx)]
+
+    # -- producer side ----------------------------------------------------
+    def try_enqueue(self, data: Union[bytes, bytearray, memoryview]) -> bool:
+        """Enqueue without blocking; returns False if the next entry is FULL."""
+        if self._closed:
+            raise QueueClosed("enqueue on closed queue")
+        data = bytes(data)
+        if len(data) > self.payload_size:
+            raise ValueError(
+                f"message of {len(data)} B exceeds slot payload {self.payload_size} B"
+            )
+        base = self._entry(self._head)
+        if self._buf[base] != _EMPTY:
+            self.stats.producer_spins += 1
+            return False
+        # Write payload first, status flag last (release ordering).
+        _HDR.pack_into(self._mv, base, _EMPTY, len(data))
+        pstart = base + _HDR.size
+        self._mv[pstart : pstart + len(data)] = data
+        self._buf[base] = _FULL
+        self._head = (self._head + 1) % self.slots
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += len(data)
+        return True
+
+    def enqueue(self, data: Union[bytes, bytearray, memoryview], timeout: float = 5.0) -> None:
+        """Blocking enqueue; spins (with micro-sleeps) until an entry frees."""
+        deadline = time.monotonic() + timeout
+        while not self.try_enqueue(data):
+            if time.monotonic() > deadline:
+                raise QueueFull(f"queue full for {timeout}s")
+            time.sleep(1e-6)
+
+    def close(self) -> None:
+        """Producer signals End-of-Stream; pending entries remain readable."""
+        self._closed = True
+
+    # -- consumer side ----------------------------------------------------
+    def try_dequeue(self) -> Optional[bytes]:
+        """Dequeue without blocking; None if the next entry is EMPTY."""
+        base = self._entry(self._tail)
+        if self._buf[base] != _FULL:
+            self.stats.consumer_spins += 1
+            if self._closed:
+                raise QueueClosed("end of stream")
+            return None
+        _, length = _HDR.unpack_from(self._mv, base)
+        pstart = base + _HDR.size
+        out = bytes(self._mv[pstart : pstart + length])
+        # Copy out first, then release the entry to the producer.
+        self._buf[base] = _EMPTY
+        self._tail = (self._tail + 1) % self.slots
+        self.stats.dequeued += 1
+        return out
+
+    def dequeue(self, timeout: float = 5.0) -> bytes:
+        """Blocking dequeue; raises :class:`QueueClosed` at end of stream."""
+        deadline = time.monotonic() + timeout
+        while True:
+            item = self.try_dequeue()
+            if item is not None:
+                return item
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"queue empty for {timeout}s")
+            time.sleep(1e-6)
+
+    def __len__(self) -> int:
+        """Entries currently FULL (approximate under concurrency)."""
+        return int(np.count_nonzero(self._buf[:: self.entry_size] == _FULL))
+
+
+# ---------------------------------------------------------------------------
+# Buffer pool
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _PoolBuffer:
+    buffer_id: int
+    data: np.ndarray
+    in_use: bool = False
+
+    @property
+    def size(self) -> int:
+        return self.data.nbytes
+
+
+@dataclass
+class PoolStats:
+    allocations: int = 0
+    reuses: int = 0
+    reclaimed: int = 0
+    peak_bytes: int = 0
+
+
+class ShmBufferPool:
+    """Producer-owned pool of large-message buffers with per-size free lists.
+
+    ``acquire`` rounds the request up to the next power of two and serves
+    from the free list when possible (the "closest size" search of the
+    paper); ``release`` returns a buffer for reuse.  ``max_bytes`` is the
+    configurable threshold that triggers reclamation of idle buffers.
+    """
+
+    def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
+        if max_bytes <= 0:
+            raise ValueError("max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._buffers: dict[int, _PoolBuffer] = {}
+        self._free: dict[int, list[int]] = {}  # size -> [buffer_id]
+        self._next_id = 0
+        self._total_bytes = 0
+        self._lock = threading.Lock()
+        self.stats = PoolStats()
+
+    @staticmethod
+    def _bucket(nbytes: int) -> int:
+        size = 1
+        while size < nbytes:
+            size <<= 1
+        return size
+
+    @property
+    def total_bytes(self) -> int:
+        return self._total_bytes
+
+    def acquire(self, nbytes: int) -> _PoolBuffer:
+        """Get a buffer of at least ``nbytes`` (reuse before allocate)."""
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        size = self._bucket(nbytes)
+        with self._lock:
+            free = self._free.get(size)
+            if free:
+                buf = self._buffers[free.pop()]
+                buf.in_use = True
+                self.stats.reuses += 1
+                return buf
+            buf = _PoolBuffer(self._next_id, np.zeros(size, dtype=np.uint8), in_use=True)
+            self._next_id += 1
+            self._buffers[buf.buffer_id] = buf
+            self._total_bytes += size
+            self.stats.allocations += 1
+            self.stats.peak_bytes = max(self.stats.peak_bytes, self._total_bytes)
+            if self._total_bytes > self.max_bytes:
+                self._reclaim_locked()
+            return buf
+
+    def release(self, buffer_id: int) -> None:
+        """Return a buffer to its free list."""
+        with self._lock:
+            buf = self._buffers.get(buffer_id)
+            if buf is None:
+                raise KeyError(f"unknown buffer id {buffer_id}")
+            if not buf.in_use:
+                raise ValueError(f"buffer {buffer_id} already free")
+            buf.in_use = False
+            self._free.setdefault(buf.size, []).append(buffer_id)
+
+    def get(self, buffer_id: int) -> _PoolBuffer:
+        return self._buffers[buffer_id]
+
+    def _reclaim_locked(self) -> None:
+        """Drop idle buffers (largest first) until under the threshold."""
+        idle = sorted(
+            (b for b in self._buffers.values() if not b.in_use),
+            key=lambda b: -b.size,
+        )
+        for buf in idle:
+            if self._total_bytes <= self.max_bytes:
+                break
+            self._free[buf.size].remove(buf.buffer_id)
+            del self._buffers[buf.buffer_id]
+            self._total_bytes -= buf.size
+            self.stats.reclaimed += 1
+
+
+# ---------------------------------------------------------------------------
+# Channel: small messages through the queue, large ones through the pool
+# ---------------------------------------------------------------------------
+
+_CTRL = struct.Struct("<BQQ")  # path, buffer_id/token, length
+_PATH_INLINE = 0
+_PATH_POOL = 1
+_PATH_XPMEM = 2
+
+
+class ShmChannel:
+    """One-directional intra-node data channel (producer → consumer).
+
+    Small payloads ride inline in queue entries.  Large payloads take one
+    of two paths:
+
+    * **pool** (default): producer copies into a pool buffer, sends a
+      control message, consumer copies out and releases the buffer —
+      two copies, fully asynchronous.
+    * **xpmem**: producer publishes a read-only view of its source buffer
+      (modelling ``xpmem_make``/``xpmem_attach`` page mapping), consumer
+      copies directly from it — one copy, but the producer must not reuse
+      the source until the consumer is done (synchronous semantics).
+    """
+
+    def __init__(
+        self,
+        queue: Optional[SPSCQueue] = None,
+        pool: Optional[ShmBufferPool] = None,
+        use_xpmem: bool = False,
+    ) -> None:
+        self.queue = queue or SPSCQueue()
+        self.pool = pool or ShmBufferPool()
+        self.use_xpmem = use_xpmem
+        self._inline_max = self.queue.payload_size - _CTRL.size
+        self._xpmem_segments: dict[int, np.ndarray] = {}
+        self._xpmem_done: dict[int, threading.Event] = {}
+        self._next_token = 0
+        self._token_lock = threading.Lock()
+        #: Copies performed per large message on each path (observable).
+        self.copies_per_large_message = 1 if use_xpmem else 2
+        self.large_sends = 0
+        self.inline_sends = 0
+
+    # -- producer ---------------------------------------------------------
+    def send(self, payload: Union[bytes, np.ndarray], timeout: float = 5.0) -> None:
+        data = payload.tobytes() if isinstance(payload, np.ndarray) else bytes(payload)
+        if len(data) <= self._inline_max:
+            msg = _CTRL.pack(_PATH_INLINE, 0, len(data)) + data
+            self.queue.enqueue(msg, timeout=timeout)
+            self.inline_sends += 1
+            return
+        if self.use_xpmem:
+            self._send_xpmem(data, timeout)
+        else:
+            self._send_pool(data, timeout)
+        self.large_sends += 1
+
+    def _send_pool(self, data: bytes, timeout: float) -> None:
+        buf = self.pool.acquire(len(data))
+        buf.data[: len(data)] = np.frombuffer(data, dtype=np.uint8)  # copy 1
+        self.queue.enqueue(_CTRL.pack(_PATH_POOL, buf.buffer_id, len(data)), timeout=timeout)
+
+    def _send_xpmem(self, data: bytes, timeout: float) -> None:
+        with self._token_lock:
+            token = self._next_token
+            self._next_token += 1
+        # "Map" the source pages: expose a view, no producer-side copy.
+        self._xpmem_segments[token] = np.frombuffer(data, dtype=np.uint8)
+        done = threading.Event()
+        self._xpmem_done[token] = done
+        self.queue.enqueue(_CTRL.pack(_PATH_XPMEM, token, len(data)), timeout=timeout)
+        # Synchronous large-message semantics: wait for consumer detach.
+        if not done.wait(timeout):
+            raise TimeoutError("xpmem consumer did not detach in time")
+        del self._xpmem_segments[token]
+        del self._xpmem_done[token]
+
+    def close(self) -> None:
+        self.queue.close()
+
+    # -- consumer ---------------------------------------------------------
+    def recv(self, timeout: float = 5.0) -> bytes:
+        """Receive one message; raises :class:`QueueClosed` at end of stream."""
+        msg = self.queue.dequeue(timeout=timeout)
+        path, token, length = _CTRL.unpack_from(msg, 0)
+        if path == _PATH_INLINE:
+            return msg[_CTRL.size : _CTRL.size + length]
+        if path == _PATH_POOL:
+            buf = self.pool.get(int(token))
+            out = buf.data[:length].tobytes()  # copy 2
+            self.pool.release(int(token))     # return to producer's free list
+            return out
+        if path == _PATH_XPMEM:
+            seg = self._xpmem_segments[int(token)]
+            out = seg[:length].tobytes()       # the only copy
+            self._xpmem_done[int(token)].set()  # detach
+            return out
+        raise ValueError(f"corrupt control message path {path}")
+
+
+# ---------------------------------------------------------------------------
+# Cost model (for discrete-event runs)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ShmCostModel:
+    """Prices intra-node movement for the simulator.
+
+    Parameters default to the transport's measured behaviour class: a
+    cache-speed hop inside one L3, a slower hop across NUMA domains, and
+    memcpy throughput set by the node's memory bandwidth.
+    """
+
+    node_type: NodeType
+    #: Queue message latency when producer and consumer share an L3 (s).
+    latency_same_numa: float = 0.2e-6
+    #: Queue message latency across NUMA domains (coherence traffic) (s).
+    latency_cross_numa: float = 0.6e-6
+
+    def copy_bw(self, cross_numa: bool) -> float:
+        """Effective single-stream memcpy bandwidth (bytes/s)."""
+        bw = self.node_type.mem_bw_local
+        if cross_numa:
+            bw *= self.node_type.numa_remote_factor
+        return bw
+
+    def small_msg_time(self, cross_numa: bool) -> float:
+        return self.latency_cross_numa if cross_numa else self.latency_same_numa
+
+    def transfer_time(
+        self, nbytes: int, cross_numa: bool = False, xpmem: bool = False
+    ) -> float:
+        """Time to move ``nbytes`` producer → consumer.
+
+        Classic path: control message + two memcpys.  XPMEM path: control
+        message + segment attach + one memcpy.
+        """
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        t = self.small_msg_time(cross_numa)
+        copies = 1 if xpmem else 2
+        if xpmem:
+            t += 1.5e-6  # xpmem_make/attach page-mapping cost
+        t += copies * (nbytes / self.copy_bw(cross_numa))
+        return t

@@ -1,0 +1,55 @@
+"""Small shared helpers: byte units, cache-line math, deterministic RNG."""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Byte-size unit constants used throughout the cost models.
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+#: Canonical x86 cache line size (bytes) — the FastForward queue layout and
+#: the false-sharing math in the shm transport are expressed in these.
+CACHE_LINE = 64
+
+#: Virtual-memory page size assumed by the RDMA registration cost model.
+PAGE_SIZE = 4096
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative operands."""
+    if b <= 0:
+        raise ValueError(f"ceil_div by non-positive {b}")
+    return -(-a // b)
+
+
+def align_up(n: int, alignment: int) -> int:
+    """Round ``n`` up to the next multiple of ``alignment``."""
+    if alignment <= 0:
+        raise ValueError(f"alignment must be positive, got {alignment}")
+    return ceil_div(n, alignment) * alignment
+
+
+def pages_of(nbytes: int) -> int:
+    """Number of VM pages spanned by a buffer of ``nbytes``."""
+    return ceil_div(max(nbytes, 1), PAGE_SIZE)
+
+
+def fmt_bytes(nbytes: float) -> str:
+    """Human-readable byte count, e.g. ``110.0 MiB``."""
+    n = float(nbytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def rng(seed: int | None) -> np.random.Generator:
+    """A deterministic NumPy generator; ``None`` maps to a fixed seed.
+
+    Every stochastic element of the reproduction flows through this so that
+    repeated runs (and the test suite) are bit-stable.
+    """
+    return np.random.default_rng(0xF1E710 if seed is None else seed)

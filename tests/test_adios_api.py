@@ -1,0 +1,175 @@
+"""Tests for the ADIOS config file and the open/write/advance/close API."""
+
+import numpy as np
+import pytest
+
+from repro.adios import (
+    Adios,
+    AdiosConfig,
+    AdiosError,
+    BoundingBox,
+    ConfigError,
+    EndOfStream,
+    RankContext,
+    block_decompose,
+)
+
+CONFIG = """
+<adios-config>
+  <adios-group name="particles">
+    <var name="zion" type="float64" dimensions="n,7"/>
+    <var name="electron" type="float64" dimensions="n,7"/>
+    <var name="count" type="int64"/>
+  </adios-group>
+  <adios-group name="fields">
+    <var name="temp" type="float64" dimensions="16,16"/>
+  </adios-group>
+  <method group="particles" method="BP">batching=true;queue_slots=128</method>
+  <buffer size-MB="32"/>
+</adios-config>
+"""
+
+
+# ---------------------------------------------------------------------------
+# Config parsing
+# ---------------------------------------------------------------------------
+
+def test_config_parses_groups_and_vars():
+    cfg = AdiosConfig.from_xml(CONFIG)
+    assert set(cfg.groups) == {"particles", "fields"}
+    zion = cfg.group("particles").var("zion")
+    assert zion.global_shape == (-1, 7)  # 'n' resolves at write time
+    assert cfg.group("fields").var("temp").global_shape == (16, 16)
+    assert cfg.group("particles").var("count").global_shape is None
+    assert cfg.buffer_mb == 32
+
+
+def test_config_method_binding_and_params():
+    cfg = AdiosConfig.from_xml(CONFIG)
+    spec = cfg.method_for("particles")
+    assert spec.method == "BP"
+    assert spec.param_bool("batching")
+    assert spec.param_int("queue_slots") == 128
+    assert spec.param("missing", "dflt") == "dflt"
+    # Unbound group defaults to file I/O.
+    assert cfg.method_for("fields").method == "BP"
+
+
+def test_config_one_line_method_switch():
+    """The paper's switching story: only the <method> line changes."""
+    file_cfg = AdiosConfig.from_xml(CONFIG)
+    stream_xml = CONFIG.replace(
+        '<method group="particles" method="BP">batching=true;queue_slots=128</method>',
+        '<method group="particles" method="FLEXPATH">batching=true</method>',
+    )
+    stream_cfg = AdiosConfig.from_xml(stream_xml)
+    assert file_cfg.method_for("particles").method == "BP"
+    assert stream_cfg.method_for("particles").method == "FLEXPATH"
+    assert file_cfg.groups.keys() == stream_cfg.groups.keys()
+
+
+def test_config_errors():
+    with pytest.raises(ConfigError):
+        AdiosConfig.from_xml("<wrong-root/>")
+    with pytest.raises(ConfigError):
+        AdiosConfig.from_xml("not xml at all <<<")
+    with pytest.raises(ConfigError):
+        AdiosConfig.from_xml(
+            "<adios-config><method group='ghost' method='BP'/></adios-config>"
+        )
+    with pytest.raises(ConfigError):
+        AdiosConfig.from_xml(
+            "<adios-config><adios-group name='g'/>"
+            "<method group='g' method='BP'>oops-no-equals</method></adios-config>"
+        )
+    with pytest.raises(ConfigError):
+        AdiosConfig.from_xml("<adios-config><mystery/></adios-config>")
+
+
+def test_config_duplicate_group_rejected():
+    xml = (
+        "<adios-config><adios-group name='g'/><adios-group name='g'/></adios-config>"
+    )
+    with pytest.raises(ConfigError):
+        AdiosConfig.from_xml(xml)
+
+
+def test_rank_context_validation():
+    RankContext(0, 1)
+    with pytest.raises(ValueError):
+        RankContext(1, 1)
+    with pytest.raises(ValueError):
+        RankContext(0, 0)
+
+
+# ---------------------------------------------------------------------------
+# File-mode API round trips
+# ---------------------------------------------------------------------------
+
+def test_file_mode_multi_rank_round_trip(tmp_path):
+    ad = Adios.from_xml(CONFIG)
+    path = str(tmp_path / "out.bp")
+    shape = (16, 16)
+    boxes = block_decompose(shape, (2, 2))
+    full = np.arange(256.0).reshape(shape)
+
+    writers = [ad.open_write("fields", path, RankContext(r, 4)) for r in range(4)]
+    for step in range(2):
+        for r, w in enumerate(writers):
+            w.write("temp", full[boxes[r].slices()] + step, box=boxes[r], global_shape=shape)
+        for w in writers:
+            w.advance()
+    for w in writers:
+        w.close()
+
+    reader = ad.open_read("fields", path, RankContext(0, 1))
+    assert reader.available_vars() == ["temp"]
+    np.testing.assert_array_equal(reader.read("temp"), full)
+    reader.advance()
+    np.testing.assert_array_equal(reader.read("temp"), full + 1)
+    with pytest.raises(EndOfStream):
+        reader.advance()
+    reader.close()
+
+
+def test_file_mode_process_group_pattern(tmp_path):
+    ad = Adios.from_xml(CONFIG)
+    path = str(tmp_path / "pg.bp")
+    writers = [ad.open_write("particles", path, RankContext(r, 3)) for r in range(3)]
+    for r, w in enumerate(writers):
+        w.write("zion", np.full((4, 7), float(r)))
+        w.write("count", np.array(4 * (r + 1), dtype=np.int64))
+    for w in writers:
+        w.advance()
+        w.close()
+
+    reader = ad.open_read("particles", path, RankContext(0, 1))
+    for r in range(3):
+        assert (reader.read_block("zion", writer_rank=r) == r).all()
+    reader.close()
+
+
+def test_write_after_close_rejected(tmp_path):
+    ad = Adios.from_xml(CONFIG)
+    w = ad.open_write("fields", str(tmp_path / "x.bp"), RankContext(0, 1))
+    w.close()
+    with pytest.raises(AdiosError):
+        w.write("temp", np.zeros((16, 16)))
+
+
+def test_unknown_method_rejected(tmp_path):
+    xml = CONFIG.replace('method="BP"', 'method="TELEPORT"')
+    ad = Adios.from_xml(xml)
+    with pytest.raises(AdiosError):
+        ad.open_write("particles", str(tmp_path / "y.bp"), RankContext(0, 1))
+
+
+def test_context_manager_handles(tmp_path):
+    ad = Adios.from_xml(CONFIG)
+    path = str(tmp_path / "cm.bp")
+    with ad.open_write("fields", path, RankContext(0, 1)) as w:
+        w.write("temp", np.ones((16, 16)), box=BoundingBox((0, 0), (16, 16)),
+                global_shape=(16, 16))
+        w.advance()
+    with ad.open_read("fields", path, RankContext(0, 1)) as r:
+        assert r.read("temp").sum() == 256

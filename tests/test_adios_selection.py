@@ -1,0 +1,213 @@
+"""Tests for bounding-box algebra and block decompositions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adios import BoundingBox, block_decompose, intersect
+from repro.adios.selection import assemble, choose_grid
+
+
+# ---------------------------------------------------------------------------
+# BoundingBox
+# ---------------------------------------------------------------------------
+
+def test_box_basics():
+    b = BoundingBox((2, 3), (4, 5))
+    assert b.ndim == 2
+    assert b.end == (6, 8)
+    assert b.size == 20
+    assert not b.is_empty
+
+
+def test_box_validation():
+    with pytest.raises(ValueError):
+        BoundingBox((0,), (1, 1))
+    with pytest.raises(ValueError):
+        BoundingBox((-1,), (1,))
+    with pytest.raises(ValueError):
+        BoundingBox((0,), (-1,))
+
+
+def test_box_empty():
+    assert BoundingBox((0, 0), (0, 5)).is_empty
+
+
+def test_box_contains():
+    outer = BoundingBox((0, 0), (10, 10))
+    inner = BoundingBox((2, 3), (4, 5))
+    assert outer.contains(inner)
+    assert not inner.contains(outer)
+    assert outer.contains(outer)
+
+
+def test_box_slices_global_and_relative():
+    b = BoundingBox((2, 3), (4, 5))
+    assert b.slices() == (slice(2, 6), slice(3, 8))
+    container = BoundingBox((2, 0), (8, 8))
+    assert b.slices(relative_to=container) == (slice(0, 4), slice(3, 8))
+
+
+def test_box_slices_relative_requires_containment():
+    b = BoundingBox((0, 0), (4, 4))
+    other = BoundingBox((2, 2), (4, 4))
+    with pytest.raises(ValueError):
+        b.slices(relative_to=other)
+
+
+# ---------------------------------------------------------------------------
+# intersect
+# ---------------------------------------------------------------------------
+
+def test_intersect_overlapping():
+    a = BoundingBox((0, 0), (5, 5))
+    b = BoundingBox((3, 2), (5, 5))
+    ov = intersect(a, b)
+    assert ov == BoundingBox((3, 2), (2, 3))
+
+
+def test_intersect_disjoint():
+    a = BoundingBox((0,), (5,))
+    b = BoundingBox((5,), (3,))  # touching, not overlapping
+    assert intersect(a, b) is None
+
+
+def test_intersect_contained():
+    a = BoundingBox((0, 0), (10, 10))
+    b = BoundingBox((4, 4), (2, 2))
+    assert intersect(a, b) == b
+
+
+def test_intersect_dim_mismatch():
+    with pytest.raises(ValueError):
+        intersect(BoundingBox((0,), (1,)), BoundingBox((0, 0), (1, 1)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sa=st.tuples(st.integers(0, 50), st.integers(0, 50)),
+    ca=st.tuples(st.integers(1, 20), st.integers(1, 20)),
+    sb=st.tuples(st.integers(0, 50), st.integers(0, 50)),
+    cb=st.tuples(st.integers(1, 20), st.integers(1, 20)),
+)
+def test_property_intersection_commutes_and_is_contained(sa, ca, sb, cb):
+    a, b = BoundingBox(sa, ca), BoundingBox(sb, cb)
+    ab, ba = intersect(a, b), intersect(b, a)
+    assert ab == ba
+    if ab is not None:
+        assert a.contains(ab) and b.contains(ab)
+        assert ab.size <= min(a.size, b.size)
+
+
+# ---------------------------------------------------------------------------
+# block_decompose
+# ---------------------------------------------------------------------------
+
+def test_decompose_even():
+    boxes = block_decompose((8, 6), (2, 3))
+    assert len(boxes) == 6
+    assert boxes[0] == BoundingBox((0, 0), (4, 2))
+    assert boxes[-1] == BoundingBox((4, 4), (4, 2))
+
+
+def test_decompose_remainder_spread_leading():
+    boxes = block_decompose((7,), (3,))
+    assert [b.count[0] for b in boxes] == [3, 2, 2]
+    assert [b.start[0] for b in boxes] == [0, 3, 5]
+
+
+def test_decompose_covers_exactly():
+    boxes = block_decompose((9, 9), (3, 3))
+    total = sum(b.size for b in boxes)
+    assert total == 81
+    # Disjointness: pairwise intersections are empty.
+    for i, a in enumerate(boxes):
+        for b in boxes[i + 1 :]:
+            assert intersect(a, b) is None
+
+
+def test_decompose_row_major_order():
+    boxes = block_decompose((4, 4), (2, 2))
+    starts = [b.start for b in boxes]
+    assert starts == [(0, 0), (0, 2), (2, 0), (2, 2)]
+
+
+def test_decompose_validation():
+    with pytest.raises(ValueError):
+        block_decompose((4,), (2, 2))
+    with pytest.raises(ValueError):
+        block_decompose((4, 4), (0, 2))
+    with pytest.raises(ValueError):
+        block_decompose((-4,), (2,))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    shape=st.tuples(st.integers(1, 40), st.integers(1, 40)),
+    grid=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+)
+def test_property_decompose_partition(shape, grid):
+    """Blocks tile the global array exactly: full coverage, no overlap."""
+    boxes = block_decompose(shape, grid)
+    cover = np.zeros(shape, dtype=int)
+    for b in boxes:
+        cover[b.slices()] += 1
+    assert (cover == 1).all()
+
+
+# ---------------------------------------------------------------------------
+# choose_grid
+# ---------------------------------------------------------------------------
+
+def test_choose_grid_products():
+    for n in (1, 2, 6, 12, 64, 100, 128):
+        for d in (1, 2, 3):
+            g = choose_grid(n, d)
+            assert len(g) == d
+            prod = 1
+            for f in g:
+                prod *= f
+            assert prod == n
+
+
+def test_choose_grid_near_cubic():
+    g = choose_grid(64, 3)
+    assert sorted(g) == [4, 4, 4]
+    g2 = choose_grid(16, 2)
+    assert sorted(g2) == [4, 4]
+
+
+def test_choose_grid_validation():
+    with pytest.raises(ValueError):
+        choose_grid(0, 2)
+    with pytest.raises(ValueError):
+        choose_grid(4, 0)
+
+
+# ---------------------------------------------------------------------------
+# assemble
+# ---------------------------------------------------------------------------
+
+def test_assemble_from_blocks():
+    global_shape = (6, 6)
+    grid = (2, 2)
+    boxes = block_decompose(global_shape, grid)
+    full = np.arange(36.0).reshape(global_shape)
+    blocks = [(b, full[b.slices()].copy()) for b in boxes]
+    target = BoundingBox((1, 1), (4, 4))
+    out = assemble(target, iter(blocks))
+    np.testing.assert_array_equal(out, full[1:5, 1:5])
+
+
+def test_assemble_partial_coverage_leaves_fill():
+    target = BoundingBox((0,), (4,))
+    blocks = [(BoundingBox((0,), (2,)), np.ones(2))]
+    out = assemble(target, iter(blocks), fill=-1)
+    np.testing.assert_array_equal(out, [1, 1, -1, -1])
+
+
+def test_assemble_shape_mismatch_rejected():
+    target = BoundingBox((0,), (4,))
+    with pytest.raises(ValueError):
+        assemble(target, iter([(BoundingBox((0,), (2,)), np.ones(3))]))

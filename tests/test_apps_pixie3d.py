@@ -1,0 +1,203 @@
+"""Tests for the Pixie3D MHD workload model and its analysis pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.apps.pixie3d import (
+    FIELDS,
+    MhdDiagnostics,
+    Pixie3dAnalysis,
+    Pixie3dConfig,
+    Pixie3dRank,
+    curl,
+    divergence,
+    pixie3d_analysis_profile,
+    pixie3d_sim_profile,
+)
+from repro.machine import jaguar_xt5
+
+
+def full_record(cfg, step=0):
+    """Assemble the global fields from all ranks' blocks."""
+    gs = cfg.global_shape
+    out = {f: np.zeros(gs) for f in FIELDS}
+    for r in range(cfg.num_ranks):
+        rank = Pixie3dRank(cfg, r)
+        rec = rank.output(step)
+        for f in FIELDS:
+            out[f][rank.box.slices()] = rec[f]
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Machine preset
+# ---------------------------------------------------------------------------
+
+def test_jaguar_xt5_preset():
+    m = jaguar_xt5(4)
+    assert m.node_type.cores_per_node == 12
+    assert m.node_type.numa_domains == 2
+    assert m.node_type.cores_per_domain == 6
+    assert m.interconnect.name == "seastar"
+    # SeaStar sits between IB and Gemini in bandwidth class.
+    from repro.machine import GeminiInterconnect, InfinibandInterconnect
+
+    assert (
+        InfinibandInterconnect().params.peak_bw
+        < m.interconnect.params.peak_bw
+        < GeminiInterconnect().params.peak_bw
+    )
+
+
+# ---------------------------------------------------------------------------
+# Field generation
+# ---------------------------------------------------------------------------
+
+def test_output_has_eight_fields():
+    cfg = Pixie3dConfig(num_ranks=8, local_edge=6)
+    out = Pixie3dRank(cfg, 0).output(0)
+    assert set(out) == set(FIELDS)
+    assert len(FIELDS) == 8
+    assert all(v.shape == (6, 6, 6) for v in out.values())
+
+
+def test_fields_deterministic_and_time_varying():
+    cfg = Pixie3dConfig(num_ranks=8, local_edge=6)
+    a = Pixie3dRank(cfg, 3).output(0)
+    b = Pixie3dRank(cfg, 3).output(0)
+    np.testing.assert_array_equal(a["bx"], b["bx"])
+    c = Pixie3dRank(cfg, 3).output(5)
+    assert not np.array_equal(a["vx"], c["vx"])
+
+
+def test_screw_pinch_structure():
+    """Bz peaks on the magnetic axis; the azimuthal field vanishes there."""
+    cfg = Pixie3dConfig(num_ranks=1, local_edge=32, seed=1)
+    rec = Pixie3dRank(cfg, 0).output(0)
+    mid = 16
+    bz_axis = rec["bz"][mid, mid, mid]
+    bz_edge = rec["bz"][0, 0, mid]
+    assert bz_axis > bz_edge
+    btheta_axis = np.hypot(rec["bx"][mid, mid, mid], rec["by"][mid, mid, mid])
+    btheta_off = np.hypot(rec["bx"][mid + 8, mid, mid], rec["by"][mid + 8, mid, mid])
+    assert btheta_off > btheta_axis
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        Pixie3dConfig(num_ranks=0)
+    with pytest.raises(ValueError):
+        Pixie3dConfig(num_ranks=1, local_edge=1)
+    with pytest.raises(ValueError):
+        Pixie3dRank(Pixie3dConfig(num_ranks=2), 2)
+
+
+def test_output_size_and_profiles():
+    cfg = Pixie3dConfig(num_ranks=8, local_edge=16)
+    assert cfg.bytes_per_rank == 8 * 16**3 * 8
+    sim = pixie3d_sim_profile(cfg)
+    assert sim.io_interval == pytest.approx(5 * 4.0)
+    ana = pixie3d_analysis_profile(cfg)
+    assert ana.time_single > 0
+
+
+# ---------------------------------------------------------------------------
+# Vector calculus
+# ---------------------------------------------------------------------------
+
+def test_curl_of_gradient_is_zero():
+    """∇ × ∇φ = 0: the fundamental identity, verified numerically."""
+    n = 24
+    ax = np.linspace(0, 1, n)
+    x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+    phi = np.sin(2 * np.pi * x) * np.cos(2 * np.pi * y) * z
+    h = ax[1] - ax[0]
+    gx, gy, gz = np.gradient(phi, h, h, h)
+    cx, cy, cz = curl(gx, gy, gz, h)
+    interior = (slice(2, -2),) * 3
+    assert np.abs(cx[interior]).max() < 0.5  # O(h²) residual
+    assert np.abs(cy[interior]).max() < 0.5
+    assert np.abs(cz[interior]).max() < 0.5
+
+
+def test_curl_of_known_field():
+    """F = (-y, x, 0) has ∇ × F = (0, 0, 2)."""
+    n = 16
+    ax = np.linspace(0, 1, n)
+    x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+    h = ax[1] - ax[0]
+    cx, cy, cz = curl(-y, x, np.zeros_like(x), h)
+    np.testing.assert_allclose(cz, 2.0, atol=1e-10)
+    np.testing.assert_allclose(cx, 0.0, atol=1e-10)
+
+
+def test_divergence_of_linear_field():
+    """F = (x, 2y, 3z) has ∇ · F = 6."""
+    n = 12
+    ax = np.linspace(0, 1, n)
+    x, y, z = np.meshgrid(ax, ax, ax, indexing="ij")
+    h = ax[1] - ax[0]
+    div = divergence(x, 2 * y, 3 * z, h)
+    np.testing.assert_allclose(div, 6.0, atol=1e-10)
+
+
+def test_curl_validation():
+    a = np.zeros((4, 4, 4))
+    with pytest.raises(ValueError):
+        curl(a, a, np.zeros((4, 4)), 0.1)
+    with pytest.raises(ValueError):
+        curl(a, a, a, 0.0)
+    with pytest.raises(ValueError):
+        curl(np.zeros((4, 4)), np.zeros((4, 4)), np.zeros((4, 4)), 0.1)
+
+
+# ---------------------------------------------------------------------------
+# The analysis pipeline
+# ---------------------------------------------------------------------------
+
+def test_diagnostics_physical_sanity():
+    cfg = Pixie3dConfig(num_ranks=8, local_edge=8)
+    record = full_record(cfg)
+    ana = Pixie3dAnalysis(cfg.spacing)
+    d = ana.diagnostics(record, step=0)
+    assert isinstance(d, MhdDiagnostics)
+    assert d.magnetic_energy > 0
+    assert d.kinetic_energy > 0
+    assert d.magnetic_energy > d.kinetic_energy  # pinch is magnetically dominated
+    assert d.max_current > 0
+    assert d.mean_density == pytest.approx(1.0, abs=0.15)
+
+
+def test_current_concentrates_on_axis():
+    """The screw pinch carries its current along the magnetic axis."""
+    cfg = Pixie3dConfig(num_ranks=1, local_edge=32, seed=3)
+    record = Pixie3dRank(cfg, 0).output(0)
+    ana = Pixie3dAnalysis(cfg.spacing)
+    jx, jy, jz = ana.current_density(record)
+    jmag = np.sqrt(jx**2 + jy**2 + jz**2)
+    mid = 16
+    axis_current = jmag[mid - 2 : mid + 2, mid - 2 : mid + 2, mid].mean()
+    corner_current = jmag[2:6, 2:6, mid].mean()
+    assert axis_current > corner_current
+
+
+def test_missing_field_rejected():
+    ana = Pixie3dAnalysis(0.1)
+    with pytest.raises(KeyError):
+        ana.diagnostics({"bx": np.zeros((4, 4, 4))})
+
+
+def test_slice_field():
+    ana = Pixie3dAnalysis(0.1)
+    field = np.arange(27.0).reshape(3, 3, 3)
+    s = ana.slice_field(field, axis=2)
+    np.testing.assert_array_equal(s, field[:, :, 1])
+    s0 = ana.slice_field(field, axis=0, index=0)
+    np.testing.assert_array_equal(s0, field[0])
+    with pytest.raises(ValueError):
+        ana.slice_field(np.zeros((3, 3)))
+
+
+def test_analysis_validation():
+    with pytest.raises(ValueError):
+        Pixie3dAnalysis(0.0)

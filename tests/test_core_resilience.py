@@ -1,0 +1,241 @@
+"""Tests for resiliency: timeout-and-retry and transactional output."""
+
+import numpy as np
+import pytest
+
+from repro.adios import Adios, EndOfStream, RankContext
+from repro.core import stream_registry
+from repro.core.resilience import (
+    FaultInjector,
+    MovementFailed,
+    Participant,
+    ReliableChannel,
+    RetryPolicy,
+    TransactionAborted,
+    TransactionCoordinator,
+    TransactionalStreamWriter,
+    TxPhase,
+)
+
+CONFIG = """
+<adios-config>
+  <adios-group name="particles">
+    <var name="zion" type="float64" dimensions="n,7"/>
+  </adios-group>
+  <method group="particles" method="FLEXPATH"/>
+</adios-config>
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    stream_registry.reset()
+    yield
+    stream_registry.reset()
+
+
+# ---------------------------------------------------------------------------
+# FaultInjector
+# ---------------------------------------------------------------------------
+
+def test_injector_scripted_failures():
+    inj = FaultInjector(fail_ops=[2, 4])
+    assert [inj.should_fail() for _ in range(5)] == [False, True, False, True, False]
+    assert inj.faults_injected == 2
+
+
+def test_injector_probabilistic_deterministic():
+    inj_a = FaultInjector(drop_probability=0.5, seed=7)
+    inj_b = FaultInjector(drop_probability=0.5, seed=7)
+    a = [inj_a.should_fail() for _ in range(20)]
+    b = [inj_b.should_fail() for _ in range(20)]
+    assert a == b
+    assert any(a) and not all(a)
+
+
+def test_injector_validation():
+    with pytest.raises(ValueError):
+        FaultInjector(drop_probability=1.0)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy / ReliableChannel
+# ---------------------------------------------------------------------------
+
+def test_retry_policy_backoff():
+    p = RetryPolicy(max_retries=3, timeout=1.0, backoff_factor=2.0)
+    assert p.delay_before(0) == 0.0
+    assert p.delay_before(1) == 1.0
+    assert p.delay_before(2) == 2.0
+    assert p.delay_before(3) == 4.0
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout=0)
+
+
+def test_reliable_channel_passes_through_on_success():
+    sent = []
+    ch = ReliableChannel(lambda data: sent.append(data) or len(data))
+    assert ch.send(b"hello") == 5
+    assert sent == [b"hello"]
+    assert ch.stats.retries == 0
+
+
+def test_reliable_channel_retries_through_transient_fault():
+    sent = []
+    ch = ReliableChannel(
+        lambda data: sent.append(data),
+        policy=RetryPolicy(max_retries=2, timeout=0.5),
+        injector=FaultInjector(fail_ops=[1]),  # first attempt times out
+    )
+    ch.send(b"payload")
+    assert sent == [b"payload"]
+    assert ch.stats.retries == 1
+    assert ch.stats.time_lost == pytest.approx(0.5 + 0.5)  # timeout + backoff
+
+
+def test_reliable_channel_exhausts_retries():
+    ch = ReliableChannel(
+        lambda data: None,
+        policy=RetryPolicy(max_retries=2, timeout=0.1),
+        injector=FaultInjector(fail_ops=[1, 2, 3]),
+    )
+    with pytest.raises(MovementFailed):
+        ch.send(b"x")
+    assert ch.stats.failures == 1
+
+
+def test_reliable_channel_wraps_real_transport():
+    """Retry over the actual shm channel: the message still arrives once."""
+    from repro.transport import ShmChannel
+
+    shm = ShmChannel()
+    ch = ReliableChannel(
+        shm.send,
+        policy=RetryPolicy(max_retries=3, timeout=0.1),
+        injector=FaultInjector(fail_ops=[1, 2]),
+    )
+    ch.send(b"resilient")
+    assert shm.recv() == b"resilient"
+    assert ch.stats.retries == 2
+
+
+# ---------------------------------------------------------------------------
+# Two-phase commit
+# ---------------------------------------------------------------------------
+
+def make_participants(n, injector=None, log=None):
+    log = log if log is not None else []
+
+    def publish(rank):
+        def fn(step, payload):
+            log.append((rank, step, sorted(payload)))
+
+        return fn
+
+    return [Participant(r, publish(r), injector) for r in range(n)], log
+
+
+def test_transaction_commits_all():
+    parts, log = make_participants(3)
+    coord = TransactionCoordinator(parts)
+    coord.run(0, {r: {"zion": r} for r in range(3)})
+    assert sorted(log) == [(0, 0, ["zion"]), (1, 0, ["zion"]), (2, 0, ["zion"])]
+    assert all(p.phase is TxPhase.COMMITTED for p in parts)
+    assert coord.stats.committed == 1
+
+
+def test_transaction_aborts_atomically():
+    inj = FaultInjector(fail_ops=[2])  # second participant's prepare fails
+    parts, log = make_participants(3, injector=inj)
+    coord = TransactionCoordinator(parts)
+    with pytest.raises(TransactionAborted):
+        coord.run(0, {r: {"zion": r} for r in range(3)})
+    assert log == []  # nothing published anywhere
+    assert all(p.phase is TxPhase.ABORTED for p in parts)
+    assert coord.stats.aborted == 1
+
+
+def test_transaction_missing_payload_aborts():
+    parts, log = make_participants(2)
+    coord = TransactionCoordinator(parts)
+    with pytest.raises(TransactionAborted):
+        coord.run(0, {0: {"zion": 1}})  # rank 1 has nothing
+    assert log == []
+
+
+def test_commit_without_prepare_rejected():
+    parts, _ = make_participants(1)
+    with pytest.raises(TransactionAborted):
+        parts[0].commit()
+
+
+def test_coordinator_needs_participants():
+    with pytest.raises(ValueError):
+        TransactionCoordinator([])
+
+
+# ---------------------------------------------------------------------------
+# Transactional stream output — readers never see torn steps
+# ---------------------------------------------------------------------------
+
+def open_tx_writer(num_ranks=2, injector=None, retries=2):
+    ad = Adios.from_xml(CONFIG)
+    handles = [
+        ad.open_write("particles", "tx.stream", RankContext(r, num_ranks))
+        for r in range(num_ranks)
+    ]
+    return ad, TransactionalStreamWriter(handles, injector=injector,
+                                         max_step_retries=retries)
+
+
+def test_transactional_stream_happy_path():
+    ad, tx = open_tx_writer()
+    for step in range(3):
+        for r in range(2):
+            tx.write(r, "zion", np.full((4, 7), float(step * 10 + r)))
+        assert tx.commit_step() == step
+    tx.close()
+
+    reader = ad.open_read("particles", "tx.stream", RankContext(0, 1))
+    seen = []
+    while True:
+        seen.append((float(reader.read_block("zion", 0)[0, 0]),
+                     float(reader.read_block("zion", 1)[0, 0])))
+        try:
+            reader.advance()
+        except EndOfStream:
+            break
+    assert seen == [(0.0, 1.0), (10.0, 11.0), (20.0, 21.0)]
+
+
+def test_transactional_stream_retries_aborted_step():
+    inj = FaultInjector(fail_ops=[1])  # first prepare of step 0 fails
+    ad, tx = open_tx_writer(injector=inj)
+    for r in range(2):
+        tx.write(r, "zion", np.full((4, 7), float(r)))
+    assert tx.commit_step() == 0  # retried internally, then committed
+    tx.close()
+    reader = ad.open_read("particles", "tx.stream", RankContext(0, 1))
+    assert reader.read_block("zion", 0)[0, 0] == 0.0
+    assert reader.read_block("zion", 1)[0, 0] == 1.0
+
+
+def test_transactional_stream_gives_up_and_stays_clean():
+    """If every retry aborts, nothing of the step is visible."""
+    inj = FaultInjector(fail_ops=[1, 2, 3, 4, 5, 6, 7, 8])
+    ad, tx = open_tx_writer(injector=inj, retries=2)
+    for r in range(2):
+        tx.write(r, "zion", np.zeros((4, 7)))
+    with pytest.raises(TransactionAborted):
+        tx.commit_step()
+    tx.close()
+    reader = ad.open_read("particles", "tx.stream", RankContext(0, 1))
+    with pytest.raises((KeyError, EndOfStream)):
+        reader.read_block("zion", 0)
+
+
+def test_transactional_writer_validation():
+    with pytest.raises(ValueError):
+        TransactionalStreamWriter([])

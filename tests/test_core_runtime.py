@@ -1,0 +1,149 @@
+"""Tests for transport auto-selection and NUMA buffer policy."""
+
+import pytest
+
+from repro.core import FlexIO, FlexIORuntime, NumaBufferPolicy, TransportKind
+from repro.machine import smoky, titan
+from repro.util import MiB
+
+
+def rt(machine=None, policy=NumaBufferPolicy.WRITER_LOCAL):
+    return FlexIORuntime(machine or smoky(4), numa_policy=policy)
+
+
+# ---------------------------------------------------------------------------
+# Transport selection
+# ---------------------------------------------------------------------------
+
+def test_selects_inline_same_core():
+    assert rt().select_transport(3, 3) is TransportKind.INLINE
+
+
+def test_selects_shm_same_node():
+    r = rt()
+    assert r.select_transport(0, 1) is TransportKind.SHM
+    assert r.select_transport(0, 15) is TransportKind.SHM  # cross NUMA, same node
+
+
+def test_selects_rdma_cross_node():
+    assert rt().select_transport(0, 16) is TransportKind.RDMA
+
+
+def test_selects_file_for_offline():
+    assert rt().select_transport(0, None) is TransportKind.FILE
+
+
+def test_writer_must_be_placed():
+    with pytest.raises(ValueError):
+        rt().select_transport(None, 3)
+
+
+# ---------------------------------------------------------------------------
+# Transfer pricing
+# ---------------------------------------------------------------------------
+
+def test_transfer_time_ordering_inline_shm_rdma_file():
+    """The cost hierarchy motivating placement flexibility."""
+    r = rt()
+    n = 10 * MiB
+    t_inline = r.transfer_time(n, 0, 0)
+    t_shm = r.transfer_time(n, 0, 1)
+    t_rdma = r.transfer_time(n, 0, 16)
+    t_file = r.transfer_time(n, 0, None)
+    assert t_inline < t_shm < t_rdma < t_file
+
+
+def test_shm_cross_numa_costs_more():
+    r = rt()
+    same = r.transfer_time(MiB, 0, 1)    # cores 0,1: same NUMA on smoky
+    cross = r.transfer_time(MiB, 0, 12)  # different NUMA domain
+    assert cross > same
+
+
+def test_numa_policy_writer_local_protects_writer():
+    """Writer-local buffers: only the reader pays the remote penalty on
+    its copy, and the async writer-visible copy stays local-speed."""
+    wl = rt(policy=NumaBufferPolicy.WRITER_LOCAL)
+    rl = rt(policy=NumaBufferPolicy.READER_LOCAL)
+    w_cost_wl = wl.writer_visible_transfer_time(MiB, 0, 12, asynchronous=True)
+    w_cost_rl = rl.writer_visible_transfer_time(MiB, 0, 12, asynchronous=True)
+    assert w_cost_wl < w_cost_rl
+
+
+def test_xpmem_cheaper_for_large_shm():
+    r = rt(machine=titan(2))
+    classic = r.transfer_time(100 * MiB, 0, 1, xpmem=False)
+    xp = r.transfer_time(100 * MiB, 0, 1, xpmem=True)
+    assert xp < classic
+
+
+def test_async_writer_visible_less_than_total():
+    r = rt()
+    total = r.transfer_time(10 * MiB, 0, 16)
+    visible = r.writer_visible_transfer_time(10 * MiB, 0, 16, asynchronous=True)
+    assert visible < total
+
+
+def test_async_inline_is_free():
+    r = rt()
+    assert r.writer_visible_transfer_time(MiB, 5, 5, asynchronous=True) == 0.0
+
+
+def test_rdma_contention_increases_time():
+    r = rt()
+    t1 = r.transfer_time(10 * MiB, 0, 16, concurrent_flows=1)
+    t8 = r.transfer_time(10 * MiB, 0, 16, concurrent_flows=8)
+    assert t8 > t1
+
+
+# ---------------------------------------------------------------------------
+# FlexIO façade
+# ---------------------------------------------------------------------------
+
+CONFIG = """
+<adios-config>
+  <adios-group name="g">
+    <var name="x" type="float64" dimensions="4"/>
+  </adios-group>
+  <method group="g" method="FLEXPATH"/>
+</adios-config>
+"""
+
+
+def test_flexio_facade_reports_method():
+    f = FlexIO.from_xml(CONFIG, machine=smoky(2))
+    assert f.method_name("g") == "FLEXPATH"
+    assert f.is_stream("g")
+    assert f.runtime is not None
+
+
+def test_flexio_facade_without_machine():
+    f = FlexIO.from_xml(CONFIG)
+    assert f.runtime is None
+
+
+def test_numa_policy_interleaved_both_pay():
+    """Interleaved buffers: both sides pay a remote-ish penalty, so the
+    total transfer sits between the two one-sided policies' extremes."""
+    wl = rt(policy=NumaBufferPolicy.WRITER_LOCAL)
+    il = rt(policy=NumaBufferPolicy.INTERLEAVED)
+    n = 8 * MiB
+    t_wl = wl.transfer_time(n, 0, 12)
+    t_il = il.transfer_time(n, 0, 12)
+    assert t_il > t_wl  # interleaved makes the writer's copy remote too
+
+
+def test_same_numa_policies_equivalent():
+    """Within one NUMA domain the buffer policy is moot."""
+    times = {
+        policy: rt(policy=policy).transfer_time(MiB, 0, 1)
+        for policy in NumaBufferPolicy
+    }
+    assert len({round(t, 12) for t in times.values()}) == 1
+
+
+def test_file_transport_pricing_uses_filesystem():
+    r = rt()
+    t = r.transfer_time(100 * MiB, 0, None)
+    fs = r.machine.filesystem
+    assert t == pytest.approx(fs.write_time(100 * MiB, num_clients=1))

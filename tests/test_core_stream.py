@@ -1,0 +1,280 @@
+"""Tests for the FLEXPATH stream method and the directory service."""
+
+import numpy as np
+import pytest
+
+from repro.adios import (
+    Adios,
+    BoundingBox,
+    EndOfStream,
+    RankContext,
+    block_decompose,
+)
+from repro.core import PluginSide, StreamStalled, stream_registry
+from repro.core.directory import CoordinatorInfo, DirectoryError, DirectoryServer
+from repro.core.plugins import range_select_plugin, sampling_plugin
+
+STREAM_CONFIG = """
+<adios-config>
+  <adios-group name="particles">
+    <var name="zion" type="float64" dimensions="n,7"/>
+  </adios-group>
+  <adios-group name="fields">
+    <var name="temp" type="float64" dimensions="12,12"/>
+  </adios-group>
+  <method group="particles" method="FLEXPATH"/>
+  <method group="fields" method="FLEXPATH"/>
+</adios-config>
+"""
+
+
+@pytest.fixture(autouse=True)
+def fresh_registry():
+    stream_registry.reset()
+    yield
+    stream_registry.reset()
+
+
+def make_adios():
+    return Adios.from_xml(STREAM_CONFIG)
+
+
+# ---------------------------------------------------------------------------
+# Directory service
+# ---------------------------------------------------------------------------
+
+def test_directory_register_lookup_unregister():
+    d = DirectoryServer()
+    info = CoordinatorInfo("sim", 0, 128, contact="handle")
+    d.register("gts.out", info)
+    got = d.lookup("gts.out")
+    assert got.contact == "handle"
+    assert d.names() == ["gts.out"]
+    d.unregister("gts.out")
+    with pytest.raises(DirectoryError):
+        d.lookup("gts.out")
+
+
+def test_directory_duplicate_and_missing():
+    d = DirectoryServer()
+    d.register("x", CoordinatorInfo("a", 0, 1))
+    with pytest.raises(DirectoryError):
+        d.register("x", CoordinatorInfo("b", 0, 1))
+    with pytest.raises(DirectoryError):
+        d.unregister("y")
+
+
+def test_directory_tracks_readers_not_data():
+    d = DirectoryServer()
+    d.register("s", CoordinatorInfo("sim", 0, 4))
+    d.lookup("s", CoordinatorInfo("ana", 0, 2))
+    assert len(d.readers_of("s")) == 1
+    # Only discovery traffic: one registration, one lookup, regardless of
+    # how much data later flows.
+    assert d.registrations == 1 and d.lookups == 1
+
+
+# ---------------------------------------------------------------------------
+# Stream mode basics
+# ---------------------------------------------------------------------------
+
+def test_stream_process_group_round_trip():
+    ad = make_adios()
+    writers = [ad.open_write("particles", "gts.stream", RankContext(r, 2)) for r in range(2)]
+    for r, w in enumerate(writers):
+        w.write("zion", np.full((5, 7), float(r)))
+    for w in writers:
+        w.advance()
+
+    reader = ad.open_read("particles", "gts.stream", RankContext(0, 1))
+    assert reader.available_vars() == ["zion"]
+    for r in range(2):
+        assert (reader.read_block("zion", writer_rank=r) == r).all()
+
+
+def test_stream_global_array_mxn():
+    ad = make_adios()
+    shape = (12, 12)
+    boxes = block_decompose(shape, (3, 1))
+    full = np.arange(144.0).reshape(shape)
+    writers = [ad.open_write("fields", "s3d.stream", RankContext(r, 3)) for r in range(3)]
+    for r, w in enumerate(writers):
+        w.write("temp", full[boxes[r].slices()].copy(), box=boxes[r], global_shape=shape)
+        w.advance()
+
+    reader = ad.open_read("fields", "s3d.stream", RankContext(0, 1))
+    np.testing.assert_array_equal(reader.read("temp"), full)
+    sel = reader.read("temp", start=(5, 2), count=(4, 6))
+    np.testing.assert_array_equal(sel, full[5:9, 2:8])
+
+
+def test_stream_multiple_steps_and_eos():
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    for step in range(3):
+        w.write("zion", np.full((2, 7), float(step)))
+        w.advance()
+    w.close()
+
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    seen = []
+    while True:
+        seen.append(float(r.read_block("zion", 0)[0, 0]))
+        try:
+            r.advance()
+        except EndOfStream:
+            break
+    assert seen == [0.0, 1.0, 2.0]
+
+
+def test_stream_stalls_when_writer_behind():
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    w.write("zion", np.zeros((1, 7)))
+    w.advance()
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    r.read_block("zion", 0)
+    with pytest.raises(StreamStalled):
+        r.advance()  # step 1 not yet published, writer still open
+    w.write("zion", np.ones((1, 7)))
+    w.advance()
+    r.advance()
+    assert (r.read_block("zion", 0) == 1).all()
+
+
+def test_stream_reader_before_any_step_stalls():
+    ad = make_adios()
+    ad.open_write("particles", "s", RankContext(0, 1))
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    with pytest.raises(StreamStalled):
+        r.read_block("zion", 0)
+
+
+def test_stream_eos_with_partial_final_step():
+    """Writer closing mid-step publishes the partial step then EOS."""
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    w.write("zion", np.zeros((1, 7)))
+    w.advance()
+    w.write("zion", np.ones((1, 7)))
+    w.close()  # no advance: partial step flushed by close
+
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    assert (r.read_block("zion", 0) == 0).all()
+    r.advance()
+    assert (r.read_block("zion", 0) == 1).all()
+    with pytest.raises(EndOfStream):
+        r.advance()
+
+
+def test_stream_two_independent_readers():
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    for step in range(2):
+        w.write("zion", np.full((1, 7), float(step)))
+        w.advance()
+    w.close()
+    r1 = ad.open_read("particles", "s", RankContext(0, 2))
+    r2 = ad.open_read("particles", "s", RankContext(1, 2))
+    assert (r1.read_block("zion", 0) == 0).all()
+    r1.advance()
+    assert (r1.read_block("zion", 0) == 1).all()
+    # r2's cursor is independent.
+    assert (r2.read_block("zion", 0) == 0).all()
+
+
+def test_stream_unknown_name_fails():
+    ad = make_adios()
+    with pytest.raises(DirectoryError):
+        ad.open_read("particles", "never.created", RankContext(0, 1))
+
+
+def test_stream_name_reusable_after_close():
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    w.write("zion", np.zeros((1, 7)))
+    w.close()
+    w2 = ad.open_write("particles", "s", RankContext(0, 1))
+    w2.write("zion", np.ones((1, 7)))
+    w2.close()
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    assert (r.read_block("zion", 0) == 1).all()
+
+
+# ---------------------------------------------------------------------------
+# Stream/file switching — the paper's central claim
+# ---------------------------------------------------------------------------
+
+def run_pipeline(adios_obj, name):
+    """The same application code, agnostic to the underlying method."""
+    shape = (12, 12)
+    boxes = block_decompose(shape, (2, 2))
+    full = np.arange(144.0).reshape(shape)
+    writers = [adios_obj.open_write("fields", name, RankContext(r, 4)) for r in range(4)]
+    for r, w in enumerate(writers):
+        w.write("temp", full[boxes[r].slices()].copy(), box=boxes[r], global_shape=shape)
+    for w in writers:
+        w.advance()
+        w.close()
+    reader = adios_obj.open_read("fields", name, RankContext(0, 1))
+    out = reader.read("temp")
+    reader.close()
+    return out
+
+
+def test_same_code_runs_stream_and_file(tmp_path):
+    stream_out = run_pipeline(make_adios(), "switch.test")
+    file_cfg = STREAM_CONFIG.replace(
+        '<method group="fields" method="FLEXPATH"/>',
+        '<method group="fields" method="BP"/>',
+    )
+    file_out = run_pipeline(Adios.from_xml(file_cfg), str(tmp_path / "switch.bp"))
+    np.testing.assert_array_equal(stream_out, file_out)
+
+
+# ---------------------------------------------------------------------------
+# DC plug-ins on streams
+# ---------------------------------------------------------------------------
+
+def test_writer_side_plugin_reduces_buffered_bytes():
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    w.plugins.deploy(sampling_plugin(stride=10), PluginSide.WRITER)
+    w.write("zion", np.random.default_rng(0).normal(size=(1000, 7)))
+    w.advance()
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    out = r.read_block("zion", 0)
+    assert out.shape == (100, 7)  # conditioned before buffering
+
+
+def test_reader_side_plugin_applies_on_read():
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    data = np.random.default_rng(1).normal(size=(500, 7))
+    w.write("zion", data)
+    w.advance()
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    r.plugins.deploy(range_select_plugin("zion", 2, -0.1, 0.1), PluginSide.READER)
+    out = r.read_block("zion", 0)
+    assert out.shape[0] < 500
+    assert ((out[:, 2] >= -0.1) & (out[:, 2] <= 0.1)).all()
+
+
+def test_plugin_migration_on_live_stream():
+    """Migrating the sampler writer-side changes what gets buffered."""
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    w.plugins.deploy(sampling_plugin(stride=5), PluginSide.READER)
+    w.write("zion", np.zeros((100, 7)))
+    w.advance()
+    # Step 0 was buffered full-size (plug-in ran reader-side).
+    w.plugins.migrate("sample/5", PluginSide.WRITER)
+    w.write("zion", np.zeros((100, 7)))
+    w.advance()
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    # Step 0 was buffered full-size; the sampler now lives writer-side, so
+    # no reader-side conditioning applies on this read.
+    assert r.read_block("zion", 0).shape == (100, 7)
+    r.advance()
+    # Step 1 was conditioned before buffering.
+    assert r.read_block("zion", 0).shape == (20, 7)

@@ -1,0 +1,271 @@
+"""Tests for the coupled-run simulator: pipeline mechanics + paper shapes."""
+
+import pytest
+
+from repro.coupled import (
+    CoupledOptions,
+    CoupledWorkload,
+    PlacementStyle,
+    evaluate_gts_placements,
+    evaluate_s3d_placements,
+    gts_workload,
+    s3d_workload,
+    simulate_coupled,
+)
+from repro.coupled.scenarios import GTS_ANALYTICS_CACHE, GTS_CACHE
+from repro.machine import smoky, titan
+from repro.placement.algorithms import AnalyticsProfile, SimProfile
+
+
+def tiny_workload(io_interval=10.0, ana_time=4.0, num_steps=5, **kw):
+    sim = SimProfile(num_ranks=4, threads_per_rank=3, io_interval=io_interval,
+                     bytes_per_rank=8 << 20, grid=(2, 2), halo_bytes=1 << 20)
+    ana = AnalyticsProfile(time_single=ana_time, serial_fraction=0.01)
+    defaults = dict(
+        name="tiny", sim=sim, ana=ana, num_steps=num_steps,
+        sim_cache=GTS_CACHE, ana_cache=GTS_ANALYTICS_CACHE,
+    )
+    defaults.update(kw)
+    return CoupledWorkload(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# Pipeline mechanics
+# ---------------------------------------------------------------------------
+
+def test_solo_is_pure_compute():
+    m = smoky(4)
+    wl = tiny_workload()
+    r = simulate_coupled(m, wl, style=PlacementStyle.SOLO)
+    assert r.total_execution_time == pytest.approx(5 * 10.0)
+    assert r.metrics.data_movement_volume == 0
+    assert r.num_analytics == 0
+
+
+def test_inline_adds_analysis_serially():
+    m = smoky(4)
+    wl = tiny_workload()
+    solo = simulate_coupled(m, wl, style=PlacementStyle.SOLO)
+    inline = simulate_coupled(m, wl, style=PlacementStyle.INLINE)
+    assert inline.total_execution_time > solo.total_execution_time
+    # Inline analysis runs at n = num_ranks.
+    expected_extra = 5 * wl.ana.time(4)
+    assert inline.total_execution_time - solo.total_execution_time == pytest.approx(
+        expected_extra, rel=0.05
+    )
+
+
+def test_helper_pipeline_hides_fast_analytics():
+    """When analytics keep up, TET ≈ sim time (+ small drain)."""
+    m = smoky(4)
+    wl = tiny_workload(ana_time=2.0)
+    r = simulate_coupled(m, wl, style=PlacementStyle.HELPER_CORE, num_ana=4)
+    sim_only = 5 * r.step.sim_compute
+    assert r.total_execution_time < sim_only + 2 * r.step.ana_compute
+    assert r.analytics_idle_fraction > 0.3
+
+
+def test_slow_analytics_become_the_bottleneck():
+    """Consumption slower than production: backpressure stalls the sim."""
+    m = smoky(4)
+    wl = tiny_workload(io_interval=2.0, ana_time=8.0)
+    opts = CoupledOptions(max_buffered_steps=1)
+    r = simulate_coupled(m, wl, style=PlacementStyle.HELPER_CORE, num_ana=1, options=opts)
+    # TET is set by the analytics' throughput, not the sim's.
+    assert r.total_execution_time >= 5 * wl.ana.time(1) * 0.9
+    assert r.analytics_idle_fraction < 0.3
+
+
+def test_buffering_absorbs_jitter_headroom():
+    """More buffered steps never hurt total time."""
+    m = smoky(4)
+    wl = tiny_workload(io_interval=3.0, ana_time=3.5)
+    tets = []
+    for k in (1, 2, 8):
+        r = simulate_coupled(
+            m, wl, style=PlacementStyle.HELPER_CORE, num_ana=1,
+            options=CoupledOptions(max_buffered_steps=k),
+        )
+        tets.append(r.total_execution_time)
+    assert tets[0] >= tets[1] >= tets[2]
+
+
+def test_sync_vs_async_staging():
+    m = smoky(8)
+    wl = tiny_workload(ana_time=2.0)
+    asyn = simulate_coupled(
+        m, wl, style=PlacementStyle.STAGING, num_ana=2,
+        options=CoupledOptions(asynchronous=True),
+    )
+    syn = simulate_coupled(
+        m, wl, style=PlacementStyle.STAGING, num_ana=2,
+        options=CoupledOptions(asynchronous=False),
+    )
+    # Sync writers block for the full movement; async hides it (at the
+    # price of a small interference slowdown).
+    assert syn.step.sim_io_visible > asyn.step.sim_io_visible
+    assert "network" in asyn.step.slowdowns
+
+
+def test_offline_serializes_sim_then_analytics():
+    m = smoky(4)
+    wl = tiny_workload(ana_time=2.0)
+    r = simulate_coupled(m, wl, style=PlacementStyle.OFFLINE, num_ana=2)
+    sim_part = 5 * (r.step.sim_compute + r.step.sim_io_visible)
+    ana_part = 5 * (r.step.movement_latency + r.step.ana_compute)
+    assert r.total_execution_time == pytest.approx(sim_part + ana_part)
+    assert r.metrics.file_bytes > 0
+    assert r.step.sim_io_visible > 0  # file writes are writer-visible
+
+
+def test_movement_volume_accounting_by_style():
+    m = smoky(8)
+    wl = tiny_workload()
+    helper = simulate_coupled(m, wl, style=PlacementStyle.HELPER_CORE, num_ana=4)
+    staging = simulate_coupled(m, wl, style=PlacementStyle.STAGING, num_ana=4)
+    inline = simulate_coupled(m, wl, style=PlacementStyle.INLINE)
+    assert inline.metrics.inter_node_bytes == 0
+    assert helper.metrics.intra_node_bytes > 0
+    assert helper.metrics.inter_node_bytes < staging.metrics.inter_node_bytes
+    # The paper's ~90 % claim direction: helper slashes interconnect bytes.
+    assert helper.metrics.inter_node_bytes < 0.2 * staging.metrics.inter_node_bytes
+
+
+def test_style_or_placement_required():
+    with pytest.raises(ValueError):
+        simulate_coupled(smoky(4), tiny_workload())
+
+
+def test_workload_validation():
+    with pytest.raises(ValueError):
+        tiny_workload(num_steps=0)
+    with pytest.raises(ValueError):
+        CoupledOptions(max_buffered_steps=0)
+    with pytest.raises(ValueError):
+        CoupledOptions(scheduler_max_concurrent=0)
+
+
+# ---------------------------------------------------------------------------
+# Paper shapes: GTS (Figure 6/7/8)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def gts_smoky():
+    return evaluate_gts_placements(smoky(40), num_ranks=32, num_steps=20)
+
+
+def test_gts_fig6_ordering(gts_smoky):
+    """helper(topo) < helper(holistic/DAM) < staging < inline, all > LB."""
+    tet = {k: r.total_execution_time for k, r in gts_smoky.items()}
+    assert tet["lower-bound"] < tet["helper (topology-aware)"]
+    assert tet["helper (topology-aware)"] < tet["helper (holistic)"]
+    assert tet["helper (topology-aware)"] < tet["helper (data-aware)"]
+    assert max(tet["helper (holistic)"], tet["helper (data-aware)"]) < tet["staging"]
+    assert tet["staging"] < tet["inline"]
+
+
+def test_gts_gap_to_lower_bound(gts_smoky):
+    """Paper: best placement within ~8.4 % of the lower bound on Smoky."""
+    lb = gts_smoky["lower-bound"].total_execution_time
+    best = gts_smoky["helper (topology-aware)"].metrics
+    assert best.gap_to(lb) < 0.12
+
+
+def test_gts_fig8_cache_inflation(gts_smoky):
+    """Paper: ~47 % more L3 misses, ~4.1 % cycle-time increase."""
+    r = gts_smoky["helper (topology-aware)"]
+    solo, shared = r.cache_misses
+    assert shared / solo == pytest.approx(1.47, abs=0.07)
+    assert r.step.slowdowns["cache"] == pytest.approx(0.041, abs=0.01)
+
+
+def test_gts_fig7_phases(gts_smoky):
+    """Helper-core case: negligible I/O, analytics mostly idle."""
+    r = gts_smoky["helper (topology-aware)"]
+    assert r.phases["io"] < 0.01 * r.total_execution_time
+    assert r.analytics_idle_fraction > 0.5  # paper: 67 %
+    assert r.phases["cycle1"] == pytest.approx(r.phases["cycle2"])
+
+
+def test_gts_helper_core_take_one_core_cost(gts_smoky):
+    """Taking a core from GTS costs ~2.7 % of compute (Figure 7 case 1 vs 2)."""
+    lb = gts_smoky["lower-bound"].step.sim_compute  # 4 threads
+    helper = gts_smoky["helper (topology-aware)"].step
+    compute_3t = helper.sim_compute / (1 + sum(helper.slowdowns.values()))
+    assert compute_3t / lb == pytest.approx(1.027, abs=0.005)
+
+
+def test_gts_movement_reduction_vs_staging(gts_smoky):
+    """Paper: helper/inline cut inter-node movement ~90 % vs staging."""
+    helper = gts_smoky["helper (topology-aware)"].metrics.inter_node_bytes
+    staging = gts_smoky["staging"].metrics.inter_node_bytes
+    assert helper < 0.1 * staging
+
+
+def test_gts_cpu_hours_helper_cheapest(gts_smoky):
+    ch = {k: r.metrics.total_cpu_hours for k, r in gts_smoky.items() if k != "lower-bound"}
+    assert min(ch, key=ch.get) == "helper (topology-aware)"
+
+
+# ---------------------------------------------------------------------------
+# Paper shapes: S3D (Figure 9)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def s3d_titan():
+    return evaluate_s3d_placements(titan(80), num_ranks=256, num_steps=40)
+
+
+def test_s3d_fig9_ordering(s3d_titan):
+    tet = {k: r.total_execution_time for k, r in s3d_titan.items()}
+    assert tet["lower-bound"] < tet["staging (topology-aware)"]
+    assert tet["staging (topology-aware)"] <= tet["staging (holistic)"]
+    assert tet["staging (holistic)"] < tet["hybrid (data-aware)"]
+    assert tet["hybrid (data-aware)"] < tet["inline"]
+
+
+def test_s3d_gap_to_lower_bound(s3d_titan):
+    """Paper: staging within 3.6 % of the lower bound on Titan."""
+    lb = s3d_titan["lower-bound"].total_execution_time
+    assert s3d_titan["staging (topology-aware)"].metrics.gap_to(lb) < 0.06
+
+
+def test_s3d_staging_improvement_grows_with_scale():
+    """Paper: 'the advantage of staging placement over inline increases
+    at larger scales'."""
+    m = titan(80)
+    gaps = []
+    for ranks in (128, 512):
+        res = evaluate_s3d_placements(m, num_ranks=ranks, num_steps=20)
+        inline = res["inline"].total_execution_time
+        staging = res["staging (topology-aware)"].total_execution_time
+        gaps.append((inline - staging) / inline)
+    assert gaps[1] > gaps[0]
+
+
+def test_s3d_staging_small_extra_resources(s3d_titan):
+    """Paper: staging uses <1–3 % additional resources at scale."""
+    lb_nodes = s3d_titan["lower-bound"].metrics.num_nodes
+    st_nodes = s3d_titan["staging (topology-aware)"].metrics.num_nodes
+    assert (st_nodes - lb_nodes) / lb_nodes < 0.10
+
+
+# ---------------------------------------------------------------------------
+# Workload builders
+# ---------------------------------------------------------------------------
+
+def test_gts_workload_helper_vs_full_threads():
+    m = smoky(8)
+    full, cfg_full = gts_workload(m, 16, helper_mode=False)
+    helper, cfg_helper = gts_workload(m, 16, helper_mode=True)
+    assert cfg_full.omp_threads == 4
+    assert cfg_helper.omp_threads == 3
+    assert helper.sim.io_interval > full.sim.io_interval
+
+
+def test_s3d_workload_shapes():
+    m = titan(8)
+    wl, cfg = s3d_workload(m, 64)
+    assert wl.sim.bytes_per_rank == cfg.bytes_per_rank
+    assert wl.ana_output_bytes > 0
+    assert wl.cycles_per_interval == 1

@@ -1,0 +1,60 @@
+"""Tests for the online/offline placement fallback."""
+
+import pytest
+
+from repro.coupled import PlacementStyle, evaluate_gts_placements, gts_workload
+from repro.coupled.fallback import simulate_with_fallback
+from repro.machine import smoky
+
+
+def gts_wl(machine, ranks=8, steps=5):
+    wl, _ = gts_workload(machine, ranks, helper_mode=True, num_steps=steps)
+    return wl
+
+
+def test_online_chosen_when_machine_big_enough():
+    machine = smoky(16)
+    decision = simulate_with_fallback(machine, gts_wl(machine), num_ana=8)
+    assert decision.chosen in (PlacementStyle.HELPER_CORE, PlacementStyle.STAGING)
+    assert decision.online_attempted
+    assert "feasible" in decision.reason
+
+
+def test_offline_fallback_when_machine_too_small():
+    """A 1-node machine cannot host 8 sim ranks x 3 threads + analytics
+    online — the run switches to offline automatically."""
+    machine = smoky(1)
+    decision = simulate_with_fallback(machine, gts_wl(machine), num_ana=8)
+    assert decision.chosen is PlacementStyle.OFFLINE
+    assert not decision.online_attempted
+    assert "insufficient online resources" in decision.reason
+    assert decision.result.metrics.file_bytes > 0
+
+
+def test_deadline_keeps_online_when_met():
+    machine = smoky(16)
+    generous = simulate_with_fallback(machine, gts_wl(machine), num_ana=8,
+                                      deadline=10_000.0)
+    assert generous.chosen is not PlacementStyle.OFFLINE
+
+
+def test_offline_result_is_complete_run():
+    # The simulation alone fits one node; sim + analytics does not.
+    machine = smoky(1)
+    decision = simulate_with_fallback(machine, gts_wl(machine, ranks=4), num_ana=8)
+    assert decision.chosen is PlacementStyle.OFFLINE
+    r = decision.result
+    assert r.total_execution_time > 0
+    assert r.metrics.num_nodes <= machine.num_nodes
+
+
+def test_gts_evaluation_includes_offline_series():
+    results = evaluate_gts_placements(smoky(40), num_ranks=16, num_steps=5)
+    assert "offline" in results
+    offline = results["offline"]
+    # Offline serializes sim then analytics: slowest of all options here.
+    for name, res in results.items():
+        if name not in ("offline",):
+            assert offline.total_execution_time >= res.total_execution_time
+    assert offline.metrics.file_bytes > 0
+    assert offline.metrics.inter_node_bytes == 0

@@ -1,0 +1,149 @@
+"""Tests for the protocol-level DES simulation, cross-validated against
+the analytic accounting engine."""
+
+import pytest
+
+from repro.adios import block_decompose
+from repro.core import CachingOption
+from repro.coupled.protocol import ProtocolSimulation, matching_engine
+from repro.machine import smoky, titan
+
+
+def make_sim(
+    num_writers=9,
+    num_readers=2,
+    caching=CachingOption.NO_CACHING,
+    batching=False,
+    num_variables=1,
+    colocated=False,
+    machine=None,
+):
+    machine = machine or smoky(8)
+    shape = (num_writers * 6, 12)
+    writers = block_decompose(shape, (num_writers, 1))
+    readers = block_decompose(shape, (num_readers, 1))
+    cpn = machine.node_type.cores_per_node
+    writer_cores = [i % cpn + (i // cpn) * cpn for i in range(num_writers)]
+    if colocated:
+        # Readers share the writers' nodes (helper-core-like).
+        reader_cores = [(num_writers + j) % cpn for j in range(num_readers)]
+    else:
+        # Readers on a separate (staging) node.
+        base = ((num_writers - 1) // cpn + 1) * cpn
+        reader_cores = [base + j for j in range(num_readers)]
+    return ProtocolSimulation(
+        machine, writers, readers, writer_cores, reader_cores,
+        caching=caching, batching=batching, num_variables=num_variables,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross-validation: DES message counts == accounting-engine counts
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("caching", list(CachingOption))
+def test_control_messages_match_engine(caching):
+    sim = make_sim(caching=caching)
+    eng = matching_engine(sim)
+    stats = sim.run(num_steps=3)
+    expected = sum(eng.handshake().messages for _ in range(3))
+    assert stats.control_messages == expected
+
+
+@pytest.mark.parametrize("batching", [False, True])
+def test_multivariable_rounds_match_engine(batching):
+    sim = make_sim(batching=batching, num_variables=5)
+    eng = matching_engine(sim)
+    stats = sim.run(num_steps=2)
+    expected_ctrl = sum(eng.handshake(5).messages for _ in range(2))
+    assert stats.control_messages == expected_ctrl
+    assert stats.data_messages == 2 * eng.data_message_count(5)
+
+
+def test_data_messages_equal_overlap_pairs():
+    sim = make_sim(num_writers=6, num_readers=3)
+    stats = sim.run(num_steps=1)
+    assert stats.data_messages == len(sim.plan.pairs)
+    assert stats.data_bytes == sim.plan.total_bytes(8)
+
+
+# ---------------------------------------------------------------------------
+# Timing behaviour
+# ---------------------------------------------------------------------------
+
+def test_caching_all_steady_state_handshake_is_free():
+    sim = make_sim(caching=CachingOption.CACHING_ALL)
+    stats = sim.run(num_steps=4)
+    assert stats.handshake_times[0] > 0
+    assert all(t == 0.0 for t in stats.handshake_times[1:])
+    # Data phases still run every step.
+    assert all(t > 0 for t in stats.data_times)
+
+
+def test_no_caching_every_step_pays():
+    sim = make_sim(caching=CachingOption.NO_CACHING)
+    stats = sim.run(num_steps=3)
+    assert all(t > 0 for t in stats.handshake_times)
+    assert stats.handshake_times[0] == pytest.approx(stats.handshake_times[1])
+
+
+def test_colocated_readers_move_data_faster():
+    """Same exchange, shm vs RDMA endpoints: the intra-node run's data
+    phase is faster — the gradient placement exploits."""
+    near = make_sim(num_writers=4, num_readers=2, colocated=True).run()
+    far = make_sim(num_writers=4, num_readers=2, colocated=False).run()
+    assert near.data_times[0] < far.data_times[0]
+
+
+def test_larger_payload_longer_data_phase():
+    small = make_sim(num_writers=4, num_readers=2)
+    big = ProtocolSimulation(
+        smoky(8),
+        small.plan.writer_boxes,
+        small.plan.reader_boxes,
+        small.writer_cores,
+        small.reader_cores,
+        itemsize=64,  # 8x the bytes
+    )
+    t_small = small.run().data_times[0]
+    t_big = big.run().data_times[0]
+    assert t_big > t_small
+
+
+def test_more_writers_longer_handshake():
+    few = make_sim(num_writers=4, caching=CachingOption.NO_CACHING).run()
+    many = make_sim(num_writers=16, caching=CachingOption.NO_CACHING).run()
+    assert many.handshake_times[0] > few.handshake_times[0]
+
+
+def test_titan_faster_than_smoky_for_remote_exchange():
+    t = make_sim(machine=titan(8), colocated=False).run()
+    s = make_sim(machine=smoky(8), colocated=False).run()
+    assert t.data_times[0] < s.data_times[0]
+
+
+# ---------------------------------------------------------------------------
+# Validation
+# ---------------------------------------------------------------------------
+
+def test_core_count_validation():
+    machine = smoky(2)
+    boxes = block_decompose((8, 8), (2, 1))
+    with pytest.raises(ValueError):
+        ProtocolSimulation(machine, boxes, boxes, [0], [1, 2])
+    with pytest.raises(ValueError):
+        ProtocolSimulation(machine, boxes, boxes, [0, 1], [2])
+
+
+def test_run_validation():
+    sim = make_sim()
+    with pytest.raises(ValueError):
+        sim.run(num_steps=0)
+
+
+def test_stats_accumulate_across_runs():
+    sim = make_sim(caching=CachingOption.CACHING_ALL)
+    sim.run(num_steps=2)
+    sim.run(num_steps=2)  # caches persist across run() calls
+    assert sim.stats.steps == 4
+    assert sum(1 for t in sim.stats.handshake_times if t > 0) == 1

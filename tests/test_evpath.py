@@ -1,0 +1,237 @@
+"""Tests for the EVPath-like messaging layer."""
+
+import numpy as np
+import pytest
+
+from repro.evpath import (
+    EvManager,
+    EvPathError,
+    InProcessLink,
+    RdmaLink,
+    ShmLink,
+)
+from repro.machine import GeminiInterconnect
+from repro.machine.presets import SMOKY_NODE
+from repro.marshal import FieldKind, FormatRegistry
+from repro.transport import NntiFabric, RdmaChannel, ShmChannel, ShmCostModel
+
+
+def make_fmt(reg=None):
+    reg = reg or FormatRegistry()
+    return reg.define(
+        "sample",
+        [("step", FieldKind.INT64), ("data", FieldKind.ARRAY), ("tag", FieldKind.STRING)],
+    )
+
+
+def sample_record(step=0):
+    return {"step": step, "data": np.arange(4.0), "tag": "t"}
+
+
+# ---------------------------------------------------------------------------
+# Local graph walking
+# ---------------------------------------------------------------------------
+
+def test_terminal_delivery():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    got = []
+    term = cm.terminal_stone(lambda f, r: got.append((f.name, r["step"])))
+    cm.submit(term, fmt, sample_record(7))
+    assert got == [("sample", 7)]
+    assert cm.stats.events_delivered == 1
+
+
+def test_filter_passes_and_drops():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    got = []
+    term = cm.terminal_stone(lambda f, r: got.append(r["step"]))
+    filt = cm.filter_stone(lambda r: r["step"] % 2 == 0, term)
+    for s in range(5):
+        cm.submit(filt, fmt, sample_record(s))
+    assert got == [0, 2, 4]
+    assert cm.stats.events_dropped == 2
+
+
+def test_transform_rewrites_record():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    got = []
+    term = cm.terminal_stone(lambda f, r: got.append(r["data"].copy()))
+
+    def double(record):
+        out = dict(record)
+        out["data"] = record["data"] * 2
+        return out
+
+    xform = cm.transform_stone(double, term, label="doubler")
+    cm.submit(xform, fmt, sample_record())
+    np.testing.assert_array_equal(got[0], np.arange(4.0) * 2)
+    assert cm.stats.transform_invocations == 1
+
+
+def test_split_fans_out():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    got_a, got_b = [], []
+    ta = cm.terminal_stone(lambda f, r: got_a.append(r["step"]))
+    tb = cm.terminal_stone(lambda f, r: got_b.append(r["step"]))
+    split = cm.split_stone([ta, tb])
+    cm.submit(split, fmt, sample_record(3))
+    assert got_a == [3] and got_b == [3]
+
+
+def test_chained_filter_transform_terminal():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    got = []
+    term = cm.terminal_stone(lambda f, r: got.append(float(r["data"].sum())))
+
+    def negate(record):
+        out = dict(record)
+        out["data"] = -record["data"]
+        return out
+
+    xform = cm.transform_stone(negate, term)
+    filt = cm.filter_stone(lambda r: r["step"] > 0, xform)
+    cm.submit(filt, fmt, sample_record(0))  # dropped
+    cm.submit(filt, fmt, sample_record(1))  # transformed: sum = -6
+    assert got == [-6.0]
+
+
+def test_actionless_stone_rejected():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    naked = cm.create_stone()
+    with pytest.raises(EvPathError):
+        cm.submit(naked, fmt, sample_record())
+
+
+def test_set_action_once():
+    cm = EvManager()
+    stone = cm.create_stone()
+    from repro.evpath.stones import TerminalAction
+
+    stone.set_action(TerminalAction(lambda f, r: None))
+    with pytest.raises(EvPathError):
+        stone.set_action(TerminalAction(lambda f, r: None))
+
+
+def test_unknown_stone_rejected():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    with pytest.raises(EvPathError):
+        cm.submit(999, fmt, sample_record())
+
+
+# ---------------------------------------------------------------------------
+# Bridges across managers
+# ---------------------------------------------------------------------------
+
+def test_inprocess_bridge_round_trip():
+    writer, reader = EvManager("writer"), EvManager("reader")
+    fmt = make_fmt()
+    got = []
+    remote_term = reader.terminal_stone(lambda f, r: got.append((f.name, r["step"])))
+    bridge = writer.bridge_stone(InProcessLink(reader), remote_term.stone_id)
+    writer.submit(bridge, fmt, sample_record(11))
+    assert got == [("sample", 11)]
+    # The reader learned the format from the inlined schema.
+    assert reader.registry.by_name("sample") is not None
+    assert writer.stats.bytes_bridged > 0
+
+
+def test_shm_bridge_moves_real_bytes():
+    writer, reader = EvManager("writer"), EvManager("reader")
+    fmt = make_fmt()
+    got = []
+    remote_term = reader.terminal_stone(lambda f, r: got.append(r["data"]))
+    link = ShmLink(reader, ShmChannel(), ShmCostModel(SMOKY_NODE), cross_numa=True)
+    bridge = writer.bridge_stone(link, remote_term.stone_id)
+    writer.submit(bridge, fmt, sample_record())
+    np.testing.assert_array_equal(got[0], np.arange(4.0))
+    assert writer.stats.bridge_time > 0  # cost model charged
+
+
+def test_rdma_bridge_moves_real_bytes():
+    fabric = NntiFabric(GeminiInterconnect())
+    a, b = fabric.endpoint(0, "w"), fabric.endpoint(4, "r")
+    conn = fabric.connect(a, b)
+    writer, reader = EvManager("writer"), EvManager("reader")
+    fmt = make_fmt()
+    got = []
+    remote_term = reader.terminal_stone(lambda f, r: got.append(r["step"]))
+    link = RdmaLink(reader, RdmaChannel(conn, sender=a))
+    bridge = writer.bridge_stone(link, remote_term.stone_id)
+    for s in range(3):
+        writer.submit(bridge, fmt, sample_record(s))
+    assert got == [0, 1, 2]
+    assert writer.stats.bridge_time > 0
+
+
+def test_transform_before_bridge_reduces_bytes():
+    """A reader-deployed codelet running writer-side (sampling) shrinks
+    what crosses the bridge — the DC plug-in use case."""
+    writer, reader = EvManager("writer"), EvManager("reader")
+    fmt = make_fmt()
+    got = []
+    remote_term = reader.terminal_stone(lambda f, r: got.append(len(r["data"])))
+    bridge = writer.bridge_stone(InProcessLink(reader), remote_term.stone_id)
+
+    def sample_every_other(record):
+        out = dict(record)
+        out["data"] = record["data"][::2]
+        return out
+
+    xform = writer.transform_stone(sample_every_other, bridge, label="sampler")
+    big = {"step": 0, "data": np.arange(1000.0), "tag": "x"}
+    writer.submit(xform, fmt, big)
+    assert got == [500]
+
+    # Compare bytes against an unsampled send.
+    unsampled_writer = EvManager("w2")
+    bridge2 = unsampled_writer.bridge_stone(InProcessLink(reader), remote_term.stone_id)
+    unsampled_writer.submit(bridge2, fmt, big)
+    assert writer.stats.bytes_bridged < unsampled_writer.stats.bytes_bridged
+
+
+def test_router_directs_by_content():
+    """A router stone steers each event to one target by inspecting it —
+    the overlay mechanism for sending array regions to the right reader."""
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    got = {0: [], 1: [], 2: []}
+    terms = [cm.terminal_stone(lambda f, r, i=i: got[i].append(r["step"])) for i in range(3)]
+    router = cm.router_stone(lambda record: record["step"] % 3, terms)
+    for s in range(9):
+        cm.submit(router, fmt, sample_record(s))
+    assert got[0] == [0, 3, 6]
+    assert got[1] == [1, 4, 7]
+    assert got[2] == [2, 5, 8]
+
+
+def test_router_out_of_range_rejected():
+    cm = EvManager()
+    fmt = make_fmt(cm.registry)
+    term = cm.terminal_stone(lambda f, r: None)
+    router = cm.router_stone(lambda record: 5, [term])
+    with pytest.raises(EvPathError):
+        cm.submit(router, fmt, sample_record())
+
+
+def test_router_before_bridges_fans_to_remote_readers():
+    """Writer-side routing + bridges: each region goes to its reader."""
+    writer = EvManager("writer")
+    readers = [EvManager(f"reader{i}") for i in range(2)]
+    fmt = make_fmt()
+    seen = {0: [], 1: []}
+    bridges = []
+    for i, reader in enumerate(readers):
+        term = reader.terminal_stone(lambda f, r, i=i: seen[i].append(r["step"]))
+        bridges.append(writer.bridge_stone(InProcessLink(reader), term.stone_id))
+    router = writer.router_stone(lambda record: 0 if record["step"] < 5 else 1, bridges)
+    for s in range(10):
+        writer.submit(router, fmt, sample_record(s))
+    assert seen[0] == [0, 1, 2, 3, 4]
+    assert seen[1] == [5, 6, 7, 8, 9]

@@ -1,0 +1,110 @@
+"""Tests for the figure-regeneration module (fast, small configurations)."""
+
+import os
+
+import pytest
+
+from repro.figures import (
+    fig4_rdma_registration,
+    fig6_gts_total_execution_time,
+    fig8_cache_miss_rates,
+    fig9_s3d_total_execution_time,
+    format_table,
+    gts_cost_metrics,
+    s3d_movement_tuning,
+    write_table,
+)
+from repro.figures.fig6 import SERIES as FIG6_SERIES
+from repro.figures.fig7 import fig7_gts_detailed_timing, fig7_headline_numbers
+from repro.figures.fig9 import SERIES as FIG9_SERIES
+
+
+def test_fig4_rows_and_custom_sizes():
+    rows = fig4_rdma_registration(sizes=[1024, 2048])
+    assert [r["msg_bytes"] for r in rows] == [1024, 2048]
+    assert set(rows[0]) == {"msg_bytes", "static_MBps", "dynamic_MBps", "dynamic/static"}
+
+
+def test_fig6_series_complete():
+    rows = fig6_gts_total_execution_time("smoky", core_counts=[128], num_steps=5)
+    assert len(rows) == 1
+    for series in FIG6_SERIES:
+        assert series in rows[0]
+    assert rows[0]["gts_cores"] == 128
+
+
+def test_fig6_unknown_machine():
+    with pytest.raises(ValueError):
+        fig6_gts_total_execution_time("summit")
+
+
+def test_fig7_headlines_structure():
+    rows = fig7_gts_detailed_timing(num_ranks=16, num_steps=5)
+    assert [r["case"][0] for r in rows] == ["1", "2", "3"]
+    heads = fig7_headline_numbers(rows)
+    assert set(heads) == {
+        "inline_analysis_fraction",
+        "take_one_core_slowdown",
+        "helper_cache_slowdown",
+        "analytics_idle_fraction",
+    }
+    assert 0 < heads["inline_analysis_fraction"] < 1
+
+
+def test_fig8_rows():
+    rows = fig8_cache_miss_rates("smoky")
+    assert rows[0]["config"].endswith("solo")
+    assert rows[1]["llc_misses_per_kinst"] > rows[0]["llc_misses_per_kinst"]
+
+
+def test_fig9_series_complete():
+    rows = fig9_s3d_total_execution_time("titan", core_counts=[128], num_steps=5)
+    for series in FIG9_SERIES:
+        assert series in rows[0]
+
+
+def test_gts_cost_metrics_rows():
+    rows = gts_cost_metrics("smoky", gts_cores=128, num_steps=5)
+    names = {r["placement"] for r in rows}
+    assert "lower-bound" in names and "staging" in names
+    for r in rows:
+        assert r["tet_s"] > 0
+        assert r["gap_to_lb"] >= 0
+
+
+def test_tuning_speedup_row():
+    rows = s3d_movement_tuning("titan", num_writers=64, num_readers=2)
+    assert rows[-1]["configuration"].startswith("speedup")
+    assert rows[-1]["movement_s"] > 1  # untuned/tuned > 1
+
+
+# ---------------------------------------------------------------------------
+# Table rendering
+# ---------------------------------------------------------------------------
+
+def test_format_table_alignment_and_floats():
+    text = format_table(
+        [{"a": 1.23456, "b": "x"}, {"a": 1e-7, "b": "longer"}], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.235" in text
+    assert "1.000e-07" in text
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="empty")
+
+
+def test_format_table_column_selection():
+    text = format_table([{"a": 1, "b": 2}], columns=["b"])
+    assert "b" in text and "a" not in text.splitlines()[0]
+
+
+def test_write_table_creates_file(tmp_path):
+    out = write_table(
+        [{"x": 1}], "unit_test_table", title="t", results_dir=str(tmp_path)
+    )
+    path = tmp_path / "unit_test_table.txt"
+    assert path.exists()
+    assert path.read_text() == out

@@ -1,0 +1,224 @@
+"""Unit tests for interconnect, cache-contention, and file-system models."""
+
+import pytest
+
+from repro.machine import (
+    CacheContentionModel,
+    CacheProfile,
+    GeminiInterconnect,
+    InfinibandInterconnect,
+    LustreModel,
+)
+from repro.util import KiB, MiB
+
+
+# ---------------------------------------------------------------------------
+# Interconnect
+# ---------------------------------------------------------------------------
+
+def test_gemini_static_faster_than_dynamic_everywhere():
+    ic = GeminiInterconnect()
+    for size in [1 * KiB, 64 * KiB, 1 * MiB, 16 * MiB]:
+        static = ic.get_bandwidth(size, static_buffers=True)
+        dynamic = ic.get_bandwidth(size, static_buffers=False)
+        assert static > dynamic
+
+
+def test_gemini_dynamic_gap_narrows_at_large_sizes():
+    """Figure 4's shape: the relative registration penalty shrinks as the
+    transfer itself starts to dominate."""
+    ic = GeminiInterconnect()
+    ratio_small = ic.get_bandwidth(64 * KiB, static_buffers=False) / ic.get_bandwidth(
+        64 * KiB, static_buffers=True
+    )
+    ratio_large = ic.get_bandwidth(16 * MiB, static_buffers=False) / ic.get_bandwidth(
+        16 * MiB, static_buffers=True
+    )
+    assert ratio_small < ratio_large < 1.0
+
+
+def test_gemini_peak_bandwidth_plausible():
+    """Static large-message Get should approach the Gemini BTE peak."""
+    ic = GeminiInterconnect()
+    bw = ic.get_bandwidth(16 * MiB, static_buffers=True)
+    assert 4e9 < bw < 6.5e9
+
+
+def test_infiniband_slower_than_gemini():
+    ib, gem = InfinibandInterconnect(), GeminiInterconnect()
+    assert ib.get_bandwidth(1 * MiB, static_buffers=True) < gem.get_bandwidth(
+        1 * MiB, static_buffers=True
+    )
+
+
+def test_small_put_threshold_enforced():
+    ic = GeminiInterconnect()
+    ic.small_put_time(4 * KiB)  # at threshold: fine
+    with pytest.raises(ValueError):
+        ic.small_put_time(4 * KiB + 1)
+
+
+def test_registration_time_scales_with_pages():
+    ic = GeminiInterconnect()
+    assert ic.registration_time(1 * MiB) > ic.registration_time(4 * KiB)
+    # Per-page linearity.
+    d1 = ic.registration_time(8 * KiB) - ic.registration_time(4 * KiB)
+    d2 = ic.registration_time(12 * KiB) - ic.registration_time(8 * KiB)
+    assert d1 == pytest.approx(d2)
+
+
+def test_effective_bw_shares_injection():
+    ic = GeminiInterconnect()
+    one = ic.effective_bw(1)
+    four = ic.effective_bw(4)
+    assert four == pytest.approx(one / 4, rel=0.3)
+    with pytest.raises(ValueError):
+        ic.effective_bw(0)
+
+
+def test_bulk_transfer_slower_under_contention():
+    ic = GeminiInterconnect()
+    assert ic.bulk_transfer_time(16 * MiB, concurrent_flows=8) > ic.bulk_transfer_time(
+        16 * MiB, concurrent_flows=1
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache contention
+# ---------------------------------------------------------------------------
+
+GTS_LIKE = CacheProfile(
+    name="gts",
+    working_set_bytes=8 * MiB,
+    intensity=10.0,
+    base_miss_per_kinst=6.0,
+    cpi=1.3,
+    miss_penalty_cycles=20.0,
+)
+ANALYTICS_LIKE = CacheProfile(
+    name="analytics",
+    working_set_bytes=4 * MiB,
+    intensity=5.0,
+    base_miss_per_kinst=8.0,
+    cpi=1.1,
+    miss_penalty_cycles=20.0,
+)
+
+
+def test_solo_miss_rate_is_base():
+    model = CacheContentionModel()
+    rates = model.shared_miss_rates([GTS_LIKE], l3_bytes=2 * MiB)
+    assert rates[0] == pytest.approx(GTS_LIKE.base_miss_per_kinst)
+
+
+def test_corunning_inflates_misses():
+    model = CacheContentionModel()
+    shared = model.shared_miss_rates([GTS_LIKE, ANALYTICS_LIKE], l3_bytes=2 * MiB)
+    assert shared[0] > GTS_LIKE.base_miss_per_kinst
+    assert shared[1] > ANALYTICS_LIKE.base_miss_per_kinst
+
+
+def test_allocation_conserves_capacity():
+    model = CacheContentionModel()
+    allocs = model.allocations([GTS_LIKE, ANALYTICS_LIKE], l3_bytes=2 * MiB)
+    assert sum(allocs) == pytest.approx(2 * MiB)
+
+
+def test_allocation_redistributes_surplus():
+    """A tiny-working-set co-runner cannot hog capacity it cannot use."""
+    tiny = CacheProfile("tiny", working_set_bytes=64 * KiB, intensity=100.0,
+                        base_miss_per_kinst=0.5, cpi=1.0, miss_penalty_cycles=20.0)
+    model = CacheContentionModel()
+    allocs = model.allocations([GTS_LIKE, tiny], l3_bytes=2 * MiB)
+    assert allocs[1] == pytest.approx(64 * KiB)
+    assert allocs[0] == pytest.approx(2 * MiB - 64 * KiB)
+
+
+def test_slowdown_zero_without_extra_misses():
+    model = CacheContentionModel()
+    assert model.slowdown(GTS_LIKE, GTS_LIKE.base_miss_per_kinst) == 0.0
+    assert model.slowdown(GTS_LIKE, GTS_LIKE.base_miss_per_kinst - 1) == 0.0
+
+
+def test_slowdown_increases_with_misses():
+    model = CacheContentionModel()
+    s1 = model.slowdown(GTS_LIKE, 8.0)
+    s2 = model.slowdown(GTS_LIKE, 10.0)
+    assert 0 < s1 < s2
+
+
+def test_bigger_cache_less_interference():
+    model = CacheContentionModel()
+    small = model.shared_miss_rates([GTS_LIKE, ANALYTICS_LIKE], l3_bytes=2 * MiB)[0]
+    big = model.shared_miss_rates([GTS_LIKE, ANALYTICS_LIKE], l3_bytes=8 * MiB)[0]
+    assert big < small
+
+
+def test_corun_returns_pairs():
+    model = CacheContentionModel()
+    out = model.corun([GTS_LIKE, ANALYTICS_LIKE], l3_bytes=2 * MiB)
+    assert len(out) == 2
+    for miss, slow in out:
+        assert miss > 0 and slow >= 0
+
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        CacheProfile("bad", 0, 1, 1, 1, 1)
+    with pytest.raises(ValueError):
+        CacheProfile("bad", 1, 0, 1, 1, 1)
+    with pytest.raises(ValueError):
+        CacheProfile("bad", 1, 1, -1, 1, 1)
+    with pytest.raises(ValueError):
+        CacheProfile("bad", 1, 1, 1, 0, 1)
+    with pytest.raises(ValueError):
+        CacheContentionModel(beta=0)
+
+
+# ---------------------------------------------------------------------------
+# File system
+# ---------------------------------------------------------------------------
+
+def test_lustre_efficiency_decays():
+    fs = LustreModel()
+    assert fs.efficiency(1) > fs.efficiency(1024) > fs.efficiency(16384)
+
+
+def test_lustre_aggregate_bw_saturates():
+    fs = LustreModel(num_osts=8, ost_bw=400 * MiB, stripe_count=4)
+    few = fs.aggregate_bw(1)
+    many = fs.aggregate_bw(64)
+    # 64 clients cannot exceed 8 OSTs' worth (times efficiency).
+    assert many <= 8 * 400 * MiB
+    assert few <= fs.client_bw
+
+
+def test_lustre_write_time_monotone_in_bytes():
+    fs = LustreModel()
+    assert fs.write_time(2 * MiB, 4) > fs.write_time(1 * MiB, 4)
+
+
+def test_lustre_metadata_cost_charged():
+    fs = LustreModel()
+    assert fs.write_time(0, 4) == pytest.approx(fs.metadata_op_time)
+    assert fs.write_time(0, 4, num_files=10) == pytest.approx(10 * fs.metadata_op_time)
+
+
+def test_lustre_weak_scaling_inefficiency():
+    """Per-client time grows when every client brings its own data (weak
+    scaling) — the effect that penalizes inline file I/O at scale."""
+    fs = LustreModel(num_osts=16)
+    per_client_bytes = 100 * MiB
+    t_small = fs.write_time(per_client_bytes * 16, 16)
+    t_big = fs.write_time(per_client_bytes * 4096, 4096)
+    assert t_big > t_small
+
+
+def test_lustre_validation():
+    with pytest.raises(ValueError):
+        LustreModel(num_osts=0)
+    fs = LustreModel()
+    with pytest.raises(ValueError):
+        fs.write_time(-1, 4)
+    with pytest.raises(ValueError):
+        fs.efficiency(0)

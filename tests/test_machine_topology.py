@@ -1,0 +1,181 @@
+"""Unit tests for machine topology, trees, and communication-cost queries."""
+
+import pytest
+
+from repro.machine import Machine, NodeType, TopologyLevel, smoky, titan
+from repro.util import GiB, MiB
+
+
+def small_machine(nodes=2):
+    nt = NodeType(
+        name="test",
+        cores_per_node=8,
+        numa_domains=2,
+        ghz=2.0,
+        l3_bytes_per_domain=2 * MiB,
+        mem_bytes=8 * GiB,
+        mem_bw_local=8e9,
+    )
+    return Machine("testbox", nt, nodes)
+
+
+# ---------------------------------------------------------------------------
+# NodeType validation
+# ---------------------------------------------------------------------------
+
+def test_nodetype_rejects_uneven_numa_split():
+    with pytest.raises(ValueError):
+        NodeType("bad", 10, 3, 2.0, MiB, GiB, 1e9)
+
+
+def test_nodetype_rejects_nonpositive_cores():
+    with pytest.raises(ValueError):
+        NodeType("bad", 0, 1, 2.0, MiB, GiB, 1e9)
+
+
+def test_nodetype_remote_factor_range():
+    with pytest.raises(ValueError):
+        NodeType("bad", 4, 2, 2.0, MiB, GiB, 1e9, numa_remote_factor=0.0)
+
+
+def test_cores_per_domain():
+    nt = NodeType("x", 16, 4, 2.0, MiB, GiB, 1e9)
+    assert nt.cores_per_domain == 4
+
+
+# ---------------------------------------------------------------------------
+# Core coordinate resolution
+# ---------------------------------------------------------------------------
+
+def test_core_resolution_round_trip():
+    m = small_machine(nodes=3)
+    # 8 cores/node, 2 domains of 4.
+    c = m.core(13)  # node 1, in-node 5 -> domain 1, local 1
+    assert c.node_id == 1
+    assert c.numa_local == 1
+    assert c.core_local == 1
+    assert c.global_id == 13
+
+
+def test_core_out_of_range():
+    m = small_machine(nodes=1)
+    with pytest.raises(IndexError):
+        m.core(8)
+    with pytest.raises(IndexError):
+        m.core(-1)
+
+
+def test_total_cores_and_iteration():
+    m = small_machine(nodes=2)
+    assert m.total_cores == 16
+    ids = [c.global_id for c in m.cores()]
+    assert ids == list(range(16))
+
+
+def test_node_and_numa_of():
+    m = small_machine(nodes=2)
+    assert m.node_of(0) == 0
+    assert m.node_of(15) == 1
+    assert m.numa_of(5) == (0, 1)
+    assert m.same_node(0, 7)
+    assert not m.same_node(7, 8)
+    assert m.same_numa(0, 3)
+    assert not m.same_numa(3, 4)
+
+
+# ---------------------------------------------------------------------------
+# Divergence level and communication cost
+# ---------------------------------------------------------------------------
+
+def test_divergence_levels():
+    m = small_machine(nodes=2)
+    assert m.divergence_level(3, 3) == TopologyLevel.CORE
+    assert m.divergence_level(0, 1) == TopologyLevel.NUMA
+    assert m.divergence_level(0, 4) == TopologyLevel.NODE
+    assert m.divergence_level(0, 8) == TopologyLevel.MACHINE
+
+
+def test_comm_cost_ordering():
+    m = small_machine()
+    same_core = m.comm_cost(2, 2)
+    same_numa = m.comm_cost(0, 1)
+    cross_numa = m.comm_cost(0, 4)
+    cross_node = m.comm_cost(0, 8)
+    assert same_core < same_numa < cross_numa < cross_node
+
+
+# ---------------------------------------------------------------------------
+# Architecture tree
+# ---------------------------------------------------------------------------
+
+def test_arch_tree_three_level_structure():
+    m = small_machine(nodes=2)
+    root = m.arch_tree(include_numa=True)
+    assert root.level == TopologyLevel.MACHINE
+    assert len(root.children) == 2
+    node0 = root.children[0]
+    assert node0.level == TopologyLevel.NODE
+    assert len(node0.children) == 2  # NUMA domains
+    assert all(d.level == TopologyLevel.NUMA for d in node0.children)
+    assert len(node0.children[0].children) == 4  # cores
+    assert root.total_slots() == 16
+    assert sorted(root.cores) == list(range(16))
+
+
+def test_arch_tree_two_level_structure():
+    m = small_machine(nodes=2)
+    root = m.arch_tree(include_numa=False)
+    node0 = root.children[0]
+    assert len(node0.children) == 8
+    assert all(leaf.is_leaf for leaf in node0.children)
+
+
+def test_arch_tree_node_subset():
+    m = small_machine(nodes=4)
+    root = m.arch_tree(nodes=[1, 3])
+    assert len(root.children) == 2
+    assert sorted(root.cores) == list(range(8, 16)) + list(range(24, 32))
+
+
+def test_arch_tree_invalid_node():
+    m = small_machine(nodes=2)
+    with pytest.raises(IndexError):
+        m.arch_tree(nodes=[5])
+
+
+def test_tree_leaf_iteration():
+    m = small_machine(nodes=1)
+    root = m.arch_tree()
+    leaves = list(root.iter_leaves())
+    assert len(leaves) == 8
+    assert all(len(leaf.cores) == 1 for leaf in leaves)
+
+
+# ---------------------------------------------------------------------------
+# Presets
+# ---------------------------------------------------------------------------
+
+def test_titan_preset_shape():
+    m = titan(num_nodes=4)
+    assert m.node_type.cores_per_node == 16
+    assert m.node_type.numa_domains == 2
+    assert m.node_type.cores_per_domain == 8
+    assert m.node_type.ghz == 2.2
+    assert m.interconnect.name == "gemini"
+
+
+def test_smoky_preset_shape():
+    m = smoky(num_nodes=4)
+    assert m.node_type.numa_domains == 4
+    assert m.node_type.cores_per_domain == 4
+    assert m.node_type.l3_bytes_per_domain == 2 * MiB
+    assert m.interconnect.name == "infiniband-ddr"
+
+
+def test_titan_default_size():
+    assert titan().num_nodes == 18688
+
+
+def test_machine_rejects_zero_nodes():
+    with pytest.raises(ValueError):
+        small_machine(nodes=0)

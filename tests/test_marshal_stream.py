@@ -1,0 +1,81 @@
+"""Tests for concatenated-message decoding (decode_stream) and format
+registry interactions the BP index depends on."""
+
+import numpy as np
+import pytest
+
+from repro.marshal import (
+    Field,
+    FieldKind,
+    Format,
+    FormatRegistry,
+    MarshalError,
+    decode_stream,
+    encode_message,
+)
+
+
+def fmt_a():
+    return Format("a", (Field("x", FieldKind.INT64),))
+
+
+def fmt_b():
+    return Format("b", (Field("y", FieldKind.STRING), Field("z", FieldKind.ARRAY)))
+
+
+def test_decode_stream_reports_consumed_bytes():
+    wire = encode_message(fmt_a(), {"x": 7})
+    fmt, rec, consumed = decode_stream(wire + b"garbage-after", FormatRegistry())
+    assert consumed == len(wire)
+    assert rec == {"x": 7}
+
+
+def test_concatenated_heterogeneous_messages():
+    """A byte stream of mixed formats decodes message by message."""
+    reg_sender = FormatRegistry()
+    messages = [
+        (fmt_a(), {"x": 1}),
+        (fmt_b(), {"y": "hello", "z": np.arange(3.0)}),
+        (fmt_a(), {"x": 2}),
+        (fmt_b(), {"y": "again", "z": np.zeros(0)}),
+    ]
+    blob = b"".join(
+        encode_message(f, r, peer_registry=reg_sender) or b""
+        for f, r in messages
+    )
+    # Sender assumed a peer registry; rebuild the blob tracking knowledge.
+    reg_sender = FormatRegistry()
+    parts = []
+    for f, r in messages:
+        parts.append(encode_message(f, r, peer_registry=reg_sender))
+        reg_sender.register(f)  # peer learns after first contact
+    blob = b"".join(parts)
+
+    reg = FormatRegistry()
+    pos = 0
+    out = []
+    while pos < len(blob):
+        fmt, rec, consumed = decode_stream(blob[pos:], reg)
+        out.append((fmt.name, rec))
+        pos += consumed
+    assert [name for name, _ in out] == ["a", "b", "a", "b"]
+    assert out[0][1]["x"] == 1
+    assert out[3][1]["y"] == "again"
+    # Schemas were inlined only once each.
+    assert len(reg) == 2
+
+
+def test_decode_stream_mid_message_boundary_fails_cleanly():
+    wire = encode_message(fmt_a(), {"x": 9})
+    with pytest.raises(Exception):
+        decode_stream(wire[: len(wire) // 2], FormatRegistry())
+
+
+def test_registry_knowledge_shrinks_second_message():
+    reg = FormatRegistry()
+    first = encode_message(fmt_b(), {"y": "s", "z": np.zeros(2)}, peer_registry=reg)
+    reg.register(fmt_b())
+    second = encode_message(fmt_b(), {"y": "s", "z": np.zeros(2)}, peer_registry=reg)
+    assert len(second) < len(first)
+    saved = len(first) - len(second)
+    assert saved == len(fmt_b().self_description())

@@ -1,0 +1,227 @@
+"""Tests for the three placement algorithms and the metrics."""
+
+import numpy as np
+import pytest
+
+from repro.machine import smoky, titan
+from repro.placement import (
+    AnalyticsProfile,
+    DataAwareMapping,
+    HolisticPlacement,
+    NodeTopologyAwarePlacement,
+    RunMetrics,
+    SimProfile,
+    allocate_analytics_async,
+    allocate_analytics_sync,
+    cpu_hours,
+)
+from repro.placement.algorithms import build_graph, process_group_matrix
+
+
+def gts_like(machine_nodes=16):
+    """GTS on Smoky: 16 ranks × 3 threads, per-process-group analytics."""
+    sim = SimProfile(
+        num_ranks=16, threads_per_rank=3, io_interval=10.0,
+        bytes_per_rank=110 << 20, grid=(4, 4), halo_bytes=2 << 20,
+    )
+    ana = AnalyticsProfile(time_single=30.0, serial_fraction=0.02)
+    mat = process_group_matrix(16, 16, 110 << 20)
+    return smoky(machine_nodes), sim, ana, mat
+
+
+def s3d_like():
+    """S3D on Titan: tiny output, heavy internal halos, 128:1 viz ratio."""
+    sim = SimProfile(
+        num_ranks=128, threads_per_rank=1, io_interval=20.0,
+        bytes_per_rank=1_700_000, grid=(8, 4, 4), halo_bytes=40 << 20,
+    )
+    ana = AnalyticsProfile(time_single=5.0, serial_fraction=0.1)
+    mat = np.full((128, 1), 1_700_000, dtype=np.int64)
+    return titan(32), sim, ana, mat
+
+
+# ---------------------------------------------------------------------------
+# Profiles and allocation
+# ---------------------------------------------------------------------------
+
+def test_profile_validation():
+    with pytest.raises(ValueError):
+        SimProfile(0, 1, 1.0, 1)
+    with pytest.raises(ValueError):
+        SimProfile(4, 1, 0.0, 1)
+    with pytest.raises(ValueError):
+        SimProfile(4, 1, 1.0, 1, grid=(3,))  # grid does not cover ranks
+    with pytest.raises(ValueError):
+        AnalyticsProfile(time_single=0.0)
+    with pytest.raises(ValueError):
+        AnalyticsProfile(time_single=1.0, serial_fraction=1.5)
+
+
+def test_amdahl_scaling():
+    ana = AnalyticsProfile(time_single=100.0, serial_fraction=0.1)
+    assert ana.time(1) == pytest.approx(100.0)
+    assert ana.time(10) == pytest.approx(100 * (0.1 + 0.9 / 10))
+    assert ana.time(1000) > 10.0  # serial floor
+    with pytest.raises(ValueError):
+        ana.time(0)
+
+
+def test_sync_allocation_rate_matches():
+    sim = SimProfile(16, 1, io_interval=10.0, bytes_per_rank=1 << 20)
+    ana = AnalyticsProfile(time_single=30.0, serial_fraction=0.02)
+    n = allocate_analytics_sync(sim, ana)
+    assert ana.time(n) <= sim.io_interval
+    if n > 1:
+        assert ana.time(n - 1) > sim.io_interval  # minimal
+
+
+def test_async_allocation_reserves_movement_time():
+    sim = SimProfile(16, 1, io_interval=10.0, bytes_per_rank=100 << 20)
+    ana = AnalyticsProfile(time_single=30.0, serial_fraction=0.02)
+    n_sync = allocate_analytics_sync(sim, ana)
+    n_async = allocate_analytics_async(sim, ana, p2p_bandwidth=1e9)
+    # Movement eats ~1.7 s of the interval; async needs >= as many procs.
+    assert n_async >= n_sync
+    with pytest.raises(ValueError):
+        allocate_analytics_async(sim, ana, p2p_bandwidth=0)
+
+
+def test_async_allocation_saturates_at_max():
+    sim = SimProfile(16, 1, io_interval=0.5, bytes_per_rank=1 << 30)
+    ana = AnalyticsProfile(time_single=30.0)
+    assert allocate_analytics_async(sim, ana, p2p_bandwidth=1e9, max_procs=64) == 64
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+def test_cpu_hours():
+    assert cpu_hours(2, 3600.0, cores_per_node=16) == pytest.approx(32.0)
+    with pytest.raises(ValueError):
+        cpu_hours(0, 10.0)
+
+
+def test_run_metrics_properties():
+    m = RunMetrics("inline", total_execution_time=7200.0, num_nodes=4)
+    assert m.total_cpu_hours == pytest.approx(128.0)
+    m2 = RunMetrics("x", 100.0, 1, intra_node_bytes=10, inter_node_bytes=20, file_bytes=5)
+    assert m2.data_movement_volume == 35
+    assert m2.gap_to(80.0) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        m2.gap_to(0)
+    row = m2.summary_row()
+    assert row["placement"] == "x"
+
+
+# ---------------------------------------------------------------------------
+# GTS scenario: helper-core emerges; topo-aware best
+# ---------------------------------------------------------------------------
+
+def test_gts_all_algorithms_choose_helper_core():
+    """Paper Fig. 6: at all scales all three algorithms place analytics on
+    helper cores (inter-program movement dominates)."""
+    machine, sim, ana, mat = gts_like()
+    for algo in (DataAwareMapping(), HolisticPlacement(), NodeTopologyAwarePlacement()):
+        p = algo.place(machine, sim, ana, mat, num_ana=16)
+        assert p.style() == "helper-core", algo.name
+        assert p.interprogram_internode_bytes() == 0.0
+
+
+def test_gts_topology_aware_avoids_numa_splits():
+    """Holistic maps threads linearly and splits NUMA domains; the
+    topology-aware variant never does (paper: up to 7 % penalty)."""
+    machine, sim, ana, mat = gts_like()
+    holistic = HolisticPlacement().place(machine, sim, ana, mat, num_ana=16)
+    topo = NodeTopologyAwarePlacement().place(machine, sim, ana, mat, num_ana=16)
+    assert topo.thread_numa_splits() == 0
+    assert holistic.thread_numa_splits() > 0
+
+
+def test_gts_cost_ordering():
+    """Mapping-cost ordering: topo-aware <= holistic <= data-aware."""
+    machine, sim, ana, mat = gts_like()
+    costs = {}
+    for algo in (DataAwareMapping(), HolisticPlacement(), NodeTopologyAwarePlacement()):
+        costs[algo.name] = algo.place(machine, sim, ana, mat, num_ana=16).cost
+    assert costs["topology-aware"] <= costs["holistic"] <= costs["data-aware"] * 1.01
+
+
+def test_gts_node_count_minimal():
+    machine, sim, ana, mat = gts_like()
+    p = NodeTopologyAwarePlacement().place(machine, sim, ana, mat, num_ana=16)
+    # 16*3 + 16 = 64 slots = exactly 4 smoky nodes.
+    assert p.num_nodes == 4
+
+
+# ---------------------------------------------------------------------------
+# S3D scenario: staging emerges for holistic/topo-aware
+# ---------------------------------------------------------------------------
+
+def test_s3d_holistic_and_topo_choose_staging():
+    """Paper Fig. 9: with intra-program traffic dominant, holistic and
+    topology-aware deploy the visualization onto separate staging nodes."""
+    machine, sim, ana, mat = s3d_like()
+    for algo in (HolisticPlacement(), NodeTopologyAwarePlacement()):
+        p = algo.place(machine, sim, ana, mat, num_ana=1)
+        assert p.style() == "staging", algo.name
+
+
+def test_s3d_data_aware_hybrid_hurts_internal_traffic():
+    """DAM drags the viz next to its feeders, costing S3D internal
+    cross-node MPI versus the staging placements."""
+    machine, sim, ana, mat = s3d_like()
+    dam = DataAwareMapping().place(machine, sim, ana, mat, num_ana=1)
+    topo = NodeTopologyAwarePlacement().place(machine, sim, ana, mat, num_ana=1)
+    assert dam.analytics_colocated_fraction() > 0
+    assert dam.intraprogram_internode_bytes() > topo.intraprogram_internode_bytes()
+
+
+def test_s3d_128_to_1_allocation():
+    """Paper: the resource allocation step determines a 128:1 ratio."""
+    _, sim, _, _ = s3d_like()
+    ana = AnalyticsProfile(time_single=18.0, serial_fraction=0.05)
+    n = allocate_analytics_sync(sim, ana)
+    assert n == 1  # 18 s fits within the 20 s interval on one process
+
+
+# ---------------------------------------------------------------------------
+# Misc placement properties
+# ---------------------------------------------------------------------------
+
+def test_placement_workload_too_big_rejected():
+    machine = smoky(2)
+    sim = SimProfile(64, 1, 10.0, 1 << 20)
+    ana = AnalyticsProfile(time_single=1.0)
+    mat = process_group_matrix(64, 4, 1 << 20)
+    with pytest.raises(ValueError):
+        DataAwareMapping().place(machine, sim, ana, mat, num_ana=4)
+
+
+def test_build_graph_intraprogram_toggle():
+    _, sim, ana, mat = gts_like()
+    bare = build_graph(sim, 16, ana, mat, include_intraprogram=False)
+    full = build_graph(sim, 16, ana, mat, include_intraprogram=True)
+    assert bare.intraprogram_bytes() == 0
+    assert full.intraprogram_bytes() > 0
+    assert bare.interprogram_bytes() == full.interprogram_bytes()
+
+
+def test_process_group_matrix_shape_and_conservation():
+    mat = process_group_matrix(8, 2, 100)
+    assert mat.shape == (8, 2)
+    assert mat.sum() == 800
+    # Contiguous halves feed each analytics rank.
+    assert mat[:4, 0].sum() == 400
+    assert mat[4:, 1].sum() == 400
+    with pytest.raises(ValueError):
+        process_group_matrix(0, 1, 10)
+
+
+def test_placement_mappings_disjoint_cores():
+    machine, sim, ana, mat = gts_like()
+    p = NodeTopologyAwarePlacement().place(machine, sim, ana, mat, num_ana=16)
+    all_cores = [c for cs in p.sim_mapping.values() for c in cs] + [
+        c for cs in p.ana_mapping.values() for c in cs
+    ]
+    assert len(all_cores) == len(set(all_cores))

@@ -1,0 +1,259 @@
+"""Tests for communication graphs, partitioning, and graph mapping."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import smoky, titan
+from repro.placement import CommGraph, bisect_graph, grid_edges, map_to_tree, mapping_cost, partition_graph, ring_edges
+from repro.placement.partition import cut_weight, packable
+
+
+# ---------------------------------------------------------------------------
+# CommGraph
+# ---------------------------------------------------------------------------
+
+def test_graph_edge_accumulation_undirected():
+    g = CommGraph(3)
+    g.add_edge(0, 1, 5)
+    g.add_edge(1, 0, 3)
+    assert g.edge(0, 1) == 8
+    assert g.edge(1, 0) == 8
+    assert g.total_edge_weight == 8
+
+
+def test_graph_self_loop_ignored():
+    g = CommGraph(2)
+    g.add_edge(0, 0, 10)
+    assert g.total_edge_weight == 0
+
+
+def test_graph_validation():
+    with pytest.raises(ValueError):
+        CommGraph(0)
+    g = CommGraph(2)
+    with pytest.raises(IndexError):
+        g.add_edge(0, 5, 1)
+    with pytest.raises(ValueError):
+        g.add_edge(0, 1, -1)
+    with pytest.raises(ValueError):
+        g.set_vertex_weight(0, 0)
+
+
+def test_coupled_graph_labels_and_weights():
+    g = CommGraph.coupled(3, 2, sim_threads=4, ana_threads=1)
+    assert g.labels == ["sim:0", "sim:1", "sim:2", "ana:0", "ana:1"]
+    assert g.vertex_weights == [4, 4, 4, 1, 1]
+    assert g.sim_vertices() == [0, 1, 2]
+    assert g.ana_vertices() == [3, 4]
+    assert g.total_vertex_weight() == 14
+
+
+def test_inter_vs_intra_program_split():
+    import numpy as np
+
+    g = CommGraph.coupled(2, 2)
+    g.add_interprogram_matrix(np.array([[100, 0], [0, 100]]))
+    g.add_edge(0, 1, 30)  # sim internal
+    g.add_edge(2, 3, 20)  # ana internal
+    assert g.interprogram_bytes() == 200
+    assert g.intraprogram_bytes() == 50
+
+
+def test_grid_edges_2d():
+    edges = list(grid_edges((2, 3), halo_bytes=7))
+    # 2x3 grid: horizontal 2*2=4, vertical 1*3=3 edges.
+    assert len(edges) == 7
+    assert all(w == 7 for _, _, w in edges)
+    assert (0, 1, 7) in edges
+    assert (0, 3, 7) in edges
+
+
+def test_grid_edges_3d_count():
+    edges = list(grid_edges((2, 2, 2), 1.0))
+    assert len(edges) == 12  # edges of a cube
+
+
+def test_ring_edges():
+    assert len(list(ring_edges(5, 1.0))) == 5
+    assert list(ring_edges(2, 1.0)) == [(0, 1, 1.0)]
+    assert list(ring_edges(1, 1.0)) == []
+    assert list(ring_edges(3, 1.0, offset=10)) == [
+        (10, 11, 1.0), (11, 12, 1.0), (12, 10, 1.0)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# packable
+# ---------------------------------------------------------------------------
+
+def test_packable_basic():
+    assert packable([3, 3, 1, 1], [4, 4])
+    assert not packable([3, 3], [4, 2])
+    assert packable([], [4])
+    assert not packable([5], [4])
+    assert packable([4, 4, 4, 4], [16])
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    weights=st.lists(st.integers(1, 4), max_size=12),
+    nbins=st.integers(1, 6),
+)
+def test_packable_never_exceeds_capacity(weights, nbins):
+    """If FFD says packable, total weight surely fits total capacity."""
+    bins = [4] * nbins
+    if packable(weights, bins):
+        assert sum(weights) <= sum(bins)
+
+
+# ---------------------------------------------------------------------------
+# bisect / partition
+# ---------------------------------------------------------------------------
+
+def chain_graph(n, w=1.0):
+    g = CommGraph(n)
+    for i in range(n - 1):
+        g.add_edge(i, i + 1, w)
+    return g
+
+
+def test_bisect_chain_cuts_once():
+    g = chain_graph(8)
+    a, b = bisect_graph(g)
+    assert sorted(a + b) == list(range(8))
+    assert cut_weight(g, [a, b]) == 1.0  # one chain edge crossed
+
+
+def test_bisect_respects_bins():
+    g = CommGraph(4)
+    for v in range(4):
+        g.set_vertex_weight(v, 3)
+    a, b = bisect_graph(g, bins_a=[6], bins_b=[6])
+    assert len(a) == 2 and len(b) == 2
+
+
+def test_bisect_empty():
+    g = chain_graph(2)
+    assert bisect_graph(g, vertices=[]) == ([], [])
+
+
+def test_bisect_keeps_heavy_pairs_together():
+    """Heavy producer-consumer pairs land on the same side."""
+    g = CommGraph.coupled(4, 4, sim_threads=3, ana_threads=1)
+    for i in range(4):
+        g.add_edge(i, 4 + i, 1000.0)  # sim i feeds ana i
+    for i in range(3):
+        g.add_edge(i, i + 1, 1.0)
+    a, b = bisect_graph(g, bins_a=[8], bins_b=[8])
+    aset = set(a)
+    for i in range(4):
+        assert (i in aset) == (4 + i in aset)
+
+
+def test_partition_graph_capacities_and_cover():
+    g = chain_graph(12)
+    parts = partition_graph(g, [4, 4, 4])
+    assert sorted(v for p in parts for v in p) == list(range(12))
+    for p in parts:
+        assert sum(g.vertex_weights[v] for v in p) <= 4
+    # A chain into 3 balanced parts cuts exactly 2 edges.
+    assert cut_weight(g, parts) == 2.0
+
+
+def test_partition_graph_bin_fragmentation():
+    """Weight-3 vertices cannot straddle size-4 bins."""
+    g = CommGraph(4)
+    for v in range(4):
+        g.set_vertex_weight(v, 3)
+    parts = partition_graph(g, [[4, 4], [4, 4]])
+    assert all(len(p) == 2 for p in parts)
+    with pytest.raises(ValueError):
+        # 5 weight-3 vertices cannot pack into 4 bins of 4.
+        g5 = CommGraph(5)
+        for v in range(5):
+            g5.set_vertex_weight(v, 3)
+        partition_graph(g5, [[4, 4], [4, 4]])
+
+
+def test_partition_graph_validation():
+    g = chain_graph(4)
+    with pytest.raises(ValueError):
+        partition_graph(g, [])
+    with pytest.raises(ValueError):
+        partition_graph(g, [2])  # 4 vertices into capacity 2
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 24),
+    seed=st.integers(0, 1000),
+)
+def test_property_partition_is_exact_cover(n, seed):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    g = CommGraph(n)
+    for _ in range(n * 2):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            g.add_edge(int(u), int(v), float(rng.integers(1, 100)))
+    k = max(1, n // 4)
+    cap = -(-n // k)  # ceil
+    parts = partition_graph(g, [cap] * k)
+    seen = sorted(v for p in parts for v in p)
+    assert seen == list(range(n))
+
+
+# ---------------------------------------------------------------------------
+# Graph mapping onto machine trees
+# ---------------------------------------------------------------------------
+
+def test_map_to_tree_assigns_all_weights():
+    m = smoky(2)
+    g = CommGraph.coupled(4, 4, sim_threads=3, ana_threads=1)
+    tree = m.arch_tree(nodes=[0], include_numa=True)
+    mapping = map_to_tree(g, tree)
+    cores_used = [c for cs in mapping.values() for c in cs]
+    assert len(cores_used) == 16
+    assert len(set(cores_used)) == 16
+    for v, cores in mapping.items():
+        assert len(cores) == g.vertex_weights[v]
+
+
+def test_map_to_tree_numa_keeps_threads_together():
+    m = smoky(2)  # 4 cores per NUMA domain
+    g = CommGraph.coupled(4, 4, sim_threads=3, ana_threads=1)
+    tree = m.arch_tree(nodes=[0], include_numa=True)
+    mapping = map_to_tree(g, tree)
+    for v in g.sim_vertices():
+        domains = {m.numa_of(c) for c in mapping[v]}
+        assert len(domains) == 1  # never straddles a NUMA boundary
+
+
+def test_map_to_tree_overflow_rejected():
+    m = smoky(1)
+    g = CommGraph(20)  # 20 > 16 cores
+    from repro.placement.graphmap import MappingError
+
+    with pytest.raises(MappingError):
+        map_to_tree(g, m.arch_tree())
+
+
+def test_mapping_cost_prefers_local_placement():
+    m = titan(2)
+    g = CommGraph(2)
+    g.add_edge(0, 1, 100.0)
+    same_numa = {0: [0], 1: [1]}
+    cross_node = {0: [0], 1: [16]}
+    assert mapping_cost(g, same_numa, m) < mapping_cost(g, cross_node, m)
+
+
+def test_mapping_cost_unmapped_vertex_rejected():
+    from repro.placement.graphmap import MappingError
+
+    m = titan(1)
+    g = CommGraph(2)
+    g.add_edge(0, 1, 1.0)
+    with pytest.raises(MappingError):
+        mapping_cost(g, {0: [0]}, m)

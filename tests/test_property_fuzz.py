@@ -1,0 +1,183 @@
+"""Cross-cutting property-based and fuzz tests.
+
+Invariants that must hold for *arbitrary* inputs: the marshal decoder
+never crashes on junk, the DES kernel is deterministic under random
+workloads, graph mapping is always a valid core assignment, and BP files
+survive arbitrary write patterns.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adios import BpReader, BpWriter
+from repro.marshal import FormatRegistry, MarshalError, decode_message
+from repro.machine import generic_cluster
+from repro.placement import CommGraph, map_to_tree
+from repro.simcore import Environment
+
+
+# ---------------------------------------------------------------------------
+# Marshal: junk never crashes the decoder
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=150, deadline=None)
+@given(junk=st.binary(min_size=0, max_size=300))
+def test_fuzz_decoder_rejects_junk_gracefully(junk):
+    """Arbitrary bytes either decode (vanishingly unlikely) or raise
+    MarshalError/struct-level errors — never hang or corrupt state."""
+    reg = FormatRegistry()
+    try:
+        decode_message(junk, reg)
+    except (MarshalError, ValueError, UnicodeDecodeError, TypeError, Exception) as exc:
+        # Any controlled exception is acceptable; segfault/hang is not.
+        assert isinstance(exc, Exception)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    prefix_len=st.integers(0, 40),
+    seed=st.integers(0, 1000),
+)
+def test_fuzz_truncated_valid_message(prefix_len, seed):
+    """Truncations of a VALID message never decode successfully to a
+    different record — they raise."""
+    from repro.marshal import Field, FieldKind, Format, encode_message
+
+    fmt = Format("f", (Field("a", FieldKind.INT64), Field("b", FieldKind.BYTES)))
+    rng = np.random.default_rng(seed)
+    wire = encode_message(fmt, {"a": int(rng.integers(0, 1000)), "b": rng.bytes(20)})
+    truncated = wire[: min(prefix_len, len(wire) - 1)]
+    with pytest.raises(Exception):
+        decode_message(truncated, FormatRegistry())
+
+
+# ---------------------------------------------------------------------------
+# DES kernel: determinism under random workloads
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000), nprocs=st.integers(1, 15))
+def test_property_des_determinism(seed, nprocs):
+    """Identical random workloads produce identical traces — the property
+    every simulation result in this repo rests on."""
+
+    def run_once():
+        rng = np.random.default_rng(seed)
+        env = Environment()
+        trace = []
+
+        def worker(env, i, delays):
+            for d in delays:
+                yield env.timeout(d)
+                trace.append((round(env.now, 9), i))
+
+        for i in range(nprocs):
+            delays = rng.uniform(0.1, 2.0, size=rng.integers(1, 6)).tolist()
+            env.process(worker(env, i, delays))
+        env.run()
+        return trace, env.now
+
+    t1, end1 = run_once()
+    t2, end2 = run_once()
+    assert t1 == t2
+    assert end1 == end2
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_property_des_store_conservation(seed):
+    """Everything put into a store is got exactly once, in order."""
+    from repro.simcore import Store
+
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 30))
+    env = Environment()
+    store = Store(env, capacity=max(1, int(rng.integers(1, 5))))
+    got = []
+
+    def producer(env):
+        for i in range(n):
+            yield env.timeout(float(rng.uniform(0, 1)))
+            yield store.put(i)
+
+    def consumer(env):
+        for _ in range(n):
+            item = yield store.get()
+            got.append(item)
+            yield env.timeout(float(rng.uniform(0, 1)))
+
+    env.process(producer(env))
+    c = env.process(consumer(env))
+    env.run(c)
+    assert got == list(range(n))
+
+
+# ---------------------------------------------------------------------------
+# Graph mapping: validity for arbitrary graphs
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(1, 24),
+    weight_choice=st.sampled_from([1, 2, 4]),
+)
+def test_property_mapping_is_valid_assignment(seed, n, weight_choice):
+    """Every vertex gets exactly its weight in cores; no core is reused;
+    multi-core vertices never straddle NUMA domains."""
+    from hypothesis import assume
+
+    machine = generic_cluster(num_nodes=8, cores_per_node=8, numa_domains=2)
+    assume(n * weight_choice <= machine.total_cores)
+    rng = np.random.default_rng(seed)
+    g = CommGraph(n)
+    for v in range(n):
+        g.set_vertex_weight(v, weight_choice)
+    for _ in range(n):
+        u, v = rng.integers(0, n, size=2)
+        if u != v:
+            g.add_edge(int(u), int(v), float(rng.integers(1, 50)))
+    tree = machine.arch_tree(include_numa=True)
+    mapping = map_to_tree(g, tree)
+    used = [c for cores in mapping.values() for c in cores]
+    assert len(used) == n * weight_choice
+    assert len(set(used)) == len(used)
+    for v, cores in mapping.items():
+        assert len(cores) == g.vertex_weights[v]
+        assert len({machine.numa_of(c) for c in cores}) == 1
+
+
+# ---------------------------------------------------------------------------
+# BP files: arbitrary write patterns round-trip
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    steps=st.integers(1, 4),
+    nvars=st.integers(1, 4),
+    nranks=st.integers(1, 4),
+)
+def test_property_bp_roundtrip_arbitrary_patterns(
+    tmp_path_factory, seed, steps, nvars, nranks
+):
+    rng = np.random.default_rng(seed)
+    path = str(tmp_path_factory.mktemp("bp") / "fuzz.bp")
+    written: dict = {}
+    with BpWriter(path) as w:
+        for s in range(steps):
+            w.begin_step()
+            for v in range(nvars):
+                for r in range(nranks):
+                    shape = tuple(rng.integers(1, 5, size=int(rng.integers(1, 3))))
+                    data = rng.normal(size=shape)
+                    w.write(r, f"var{v}", data)
+                    written[(s, v, r)] = data
+            w.end_step()
+    with BpReader(path) as reader:
+        assert reader.num_steps == steps
+        for (s, v, r), data in written.items():
+            out = reader.read_block(f"var{v}", s, r)
+            np.testing.assert_array_equal(out, data)

@@ -1,0 +1,255 @@
+"""Unit tests for the DES kernel: events, timeouts, conditions."""
+
+import pytest
+
+from repro.simcore import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    EventAlreadyTriggered,
+    SimulationError,
+)
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=5.0)
+    assert env.now == 5.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.5)
+        return env.now
+
+    p = env.process(proc(env))
+    assert env.run(p) == 2.5
+    assert env.now == 2.5
+
+
+def test_timeout_zero_is_legal():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(0)
+        return "done"
+
+    assert env.run(env.process(proc(env))) == "done"
+    assert env.now == 0.0
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1)
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc(env):
+        v = yield env.timeout(1, value="payload")
+        return v
+
+    assert env.run(env.process(proc(env))) == "payload"
+
+
+def test_event_succeed_resumes_waiter():
+    env = Environment()
+    ev = env.event()
+    log = []
+
+    def waiter(env, ev):
+        v = yield ev
+        log.append((env.now, v))
+
+    def trigger(env, ev):
+        yield env.timeout(3)
+        ev.succeed(42)
+
+    env.process(waiter(env, ev))
+    env.process(trigger(env, ev))
+    env.run()
+    assert log == [(3.0, 42)]
+
+
+def test_event_double_trigger_raises():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(EventAlreadyTriggered):
+        ev.succeed(2)
+    with pytest.raises(EventAlreadyTriggered):
+        ev.fail(RuntimeError("x"))
+
+
+def test_fail_requires_exception():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_failed_event_raises_in_waiter():
+    env = Environment()
+    ev = env.event()
+
+    def waiter(env, ev):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = env.process(waiter(env, ev))
+    ev.fail(RuntimeError("boom"))
+    assert env.run(p) == "caught boom"
+
+
+def test_unhandled_failed_event_aborts_run():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("unnoticed"))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_defused_failure_does_not_abort():
+    env = Environment()
+    ev = env.event()
+    ev.fail(RuntimeError("handled elsewhere"))
+    ev.defuse()
+    env.run()  # no raise
+
+
+def test_allof_collects_all_values():
+    env = Environment()
+    t1 = env.timeout(1, value="a")
+    t2 = env.timeout(2, value="b")
+
+    def proc(env):
+        result = yield AllOf(env, [t1, t2])
+        return sorted(result.values())
+
+    p = env.process(proc(env))
+    assert env.run(p) == ["a", "b"]
+    assert env.now == 2.0
+
+
+def test_anyof_fires_on_first():
+    env = Environment()
+    t1 = env.timeout(1, value="fast")
+    t2 = env.timeout(10, value="slow")
+
+    def proc(env):
+        result = yield AnyOf(env, [t1, t2])
+        return (env.now, list(result.values()))
+
+    when, values = env.run(env.process(proc(env)))
+    assert when == 1.0
+    assert values == ["fast"]
+
+
+def test_and_or_operators():
+    env = Environment()
+    a = env.timeout(1, value=1)
+    b = env.timeout(2, value=2)
+
+    def proc(env):
+        res = yield (a & b)
+        return sum(res.values())
+
+    assert env.run(env.process(proc(env))) == 3
+
+
+def test_empty_allof_fires_immediately():
+    env = Environment()
+
+    def proc(env):
+        res = yield AllOf(env, [])
+        return res
+
+    assert env.run(env.process(proc(env))) == {}
+
+
+def test_condition_on_already_processed_events():
+    env = Environment()
+    t = env.timeout(1, value="x")
+    env.run()  # t processed
+
+    def proc(env):
+        res = yield AllOf(env, [t])
+        return list(res.values())
+
+    assert env.run(env.process(proc(env))) == ["x"]
+
+
+def test_run_until_time():
+    env = Environment()
+    fired = []
+
+    def proc(env):
+        while True:
+            yield env.timeout(1)
+            fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=3.5)
+    assert fired == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_until_past_time_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_same_time_events_fifo_order():
+    env = Environment()
+    order = []
+
+    def proc(env, tag):
+        yield env.timeout(1)
+        order.append(tag)
+
+    for tag in range(5):
+        env.process(proc(env, tag))
+    env.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+    ev = env.event()
+
+    def trigger(env, ev):
+        yield env.timeout(7)
+        ev.succeed("finished")
+
+    env.process(trigger(env, ev))
+    assert env.run(until=ev) == "finished"
+    assert env.now == 7.0
+
+
+def test_run_until_never_fired_event_raises():
+    env = Environment()
+    ev = env.event()
+    with pytest.raises(SimulationError):
+        env.run(until=ev)
+
+
+def test_peek_and_step():
+    env = Environment()
+    env.timeout(4)
+    assert env.peek() == 4.0
+    env.step()
+    assert env.now == 4.0
+    assert env.peek() == float("inf")
+    with pytest.raises(SimulationError):
+        env.step()

@@ -1,0 +1,188 @@
+"""Unit tests for processes: chaining, interrupts, error propagation."""
+
+import pytest
+
+from repro.simcore import Environment, Interrupt, SimulationError
+
+
+def test_process_is_awaitable_event():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(2)
+        return "child-result"
+
+    def parent(env):
+        result = yield env.process(child(env))
+        return f"got {result} at {env.now}"
+
+    assert env.run(env.process(parent(env))) == "got child-result at 2.0"
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)
+
+
+def test_process_must_yield_events():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(TypeError):
+        env.run()
+
+
+def test_process_exception_propagates_to_waiter():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1)
+        raise ValueError("inner failure")
+
+    def parent(env):
+        try:
+            yield env.process(failing(env))
+        except ValueError as exc:
+            return f"handled: {exc}"
+
+    assert env.run(env.process(parent(env))) == "handled: inner failure"
+
+
+def test_unwaited_process_exception_aborts_run():
+    env = Environment()
+
+    def failing(env):
+        yield env.timeout(1)
+        raise ValueError("nobody listens")
+
+    env.process(failing(env))
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def sleeper(env):
+        try:
+            yield env.timeout(100)
+        except Interrupt as intr:
+            log.append((env.now, intr.cause))
+            return "interrupted"
+        return "slept"
+
+    def interrupter(env, victim):
+        yield env.timeout(5)
+        victim.interrupt("wake up")
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    assert env.run(victim) == "interrupted"
+    assert log == [(5.0, "wake up")]
+
+
+def test_interrupt_then_continue_waiting():
+    env = Environment()
+
+    def sleeper(env):
+        deadline = env.timeout(10)
+        try:
+            yield deadline
+        except Interrupt:
+            pass
+        # Original timeout still fires at its original time.
+        yield deadline
+        return env.now
+
+    def interrupter(env, victim):
+        yield env.timeout(3)
+        victim.interrupt()
+
+    victim = env.process(sleeper(env))
+    env.process(interrupter(env, victim))
+    assert env.run(victim) == 10.0
+
+
+def test_interrupt_terminated_process_raises():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(RuntimeError):
+        p.interrupt()
+
+
+def test_self_interrupt_rejected():
+    env = Environment()
+
+    def proc(env):
+        with pytest.raises(RuntimeError):
+            env.active_process.interrupt()
+        yield env.timeout(0)
+
+    env.run(env.process(proc(env)))
+
+
+def test_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_yield_already_processed_event():
+    env = Environment()
+    t = env.timeout(1, value="early")
+    env.run()
+
+    def proc(env):
+        v = yield t  # processed long ago; resumes at the current instant
+        return (env.now, v)
+
+    assert env.run(env.process(proc(env))) == (1.0, "early")
+
+
+def test_many_processes_deterministic():
+    """Two identical runs produce identical event orderings."""
+
+    def run_once():
+        env = Environment()
+        trace = []
+
+        def worker(env, i):
+            for step in range(3):
+                yield env.timeout(1 + (i % 3) * 0.5)
+                trace.append((round(env.now, 3), i, step))
+
+        for i in range(20):
+            env.process(worker(env, i))
+        env.run()
+        return trace
+
+    assert run_once() == run_once()
+
+
+def test_process_names():
+    env = Environment()
+
+    def named_worker(env):
+        yield env.timeout(1)
+
+    p = env.process(named_worker(env), name="rank-0")
+    assert p.name == "rank-0"
+    q = env.process(named_worker(env))
+    assert "process" in q.name or "named_worker" in q.name
+    env.run()

@@ -1,0 +1,313 @@
+"""Unit tests for resources and stores."""
+
+import pytest
+
+from repro.simcore import Environment, Interrupt, Preempted, PriorityResource, Resource, Store
+
+
+# ---------------------------------------------------------------------------
+# Resource
+# ---------------------------------------------------------------------------
+
+def test_resource_capacity_enforced():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    held_at = []
+
+    def user(env, res, hold):
+        with res.request() as req:
+            yield req
+            held_at.append(env.now)
+            yield env.timeout(hold)
+
+    for _ in range(4):
+        env.process(user(env, res, hold=10))
+    env.run()
+    # Two get in at t=0, the next two at t=10.
+    assert held_at == [0.0, 0.0, 10.0, 10.0]
+
+
+def test_resource_fifo_ordering():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, res, tag):
+        with res.request() as req:
+            yield req
+            order.append(tag)
+            yield env.timeout(1)
+
+    for tag in "abcd":
+        env.process(user(env, res, tag))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_counts():
+    env = Environment()
+    res = Resource(env, capacity=3)
+
+    def proc(env, res):
+        r1 = res.request()
+        r2 = res.request()
+        yield r1
+        yield r2
+        assert res.in_use == 2
+        assert res.available == 1
+        res.release(r1)
+        assert res.in_use == 1
+        res.release(r2)
+        assert res.available == 3
+
+    env.run(env.process(proc(env, res)))
+
+
+def test_resource_invalid_capacity():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_request_cancel():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    got = []
+
+    def holder(env, res):
+        with res.request() as req:
+            yield req
+            yield env.timeout(5)
+
+    def impatient(env, res):
+        req = res.request()
+        result = yield req | env.timeout(1)
+        if req not in result:
+            req.cancel()
+            got.append("gave-up")
+        else:
+            got.append("acquired")
+
+    def patient(env, res):
+        with res.request() as req:
+            yield req
+            got.append(("patient", env.now))
+
+    env.process(holder(env, res))
+    env.process(impatient(env, res))
+    env.process(patient(env, res))
+    env.run()
+    assert "gave-up" in got
+    assert ("patient", 5.0) in got
+
+
+def test_release_via_context_manager_on_exception():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def crasher(env, res):
+        with res.request() as req:
+            yield req
+            raise RuntimeError("dies holding the resource")
+
+    def successor(env, res):
+        with res.request() as req:
+            yield req
+            return env.now
+
+    p1 = env.process(crasher(env, res))
+    p2 = env.process(successor(env, res))
+
+    def supervisor(env, p1, p2):
+        try:
+            yield p1
+        except RuntimeError:
+            pass
+        return (yield p2)
+
+    assert env.run(env.process(supervisor(env, p1, p2))) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# PriorityResource
+# ---------------------------------------------------------------------------
+
+def test_priority_queue_order():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, res, tag, prio, delay):
+        yield env.timeout(delay)
+        req = res.request(priority=prio)
+        yield req
+        order.append(tag)
+        yield env.timeout(10)
+        res.release(req)
+
+    env.process(user(env, res, "first", prio=5, delay=0))
+    env.process(user(env, res, "low", prio=9, delay=1))
+    env.process(user(env, res, "high", prio=1, delay=2))
+    env.run()
+    assert order == ["first", "high", "low"]
+
+
+def test_priority_ties_are_fifo():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    order = []
+
+    def user(env, res, tag):
+        req = res.request(priority=3)
+        yield req
+        order.append(tag)
+        yield env.timeout(1)
+        res.release(req)
+
+    for tag in range(4):
+        env.process(user(env, res, tag))
+    env.run()
+    assert order == [0, 1, 2, 3]
+
+
+def test_preemption_evicts_lower_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    log = []
+
+    def background(env, res):
+        req = res.request(priority=9)
+        req.owner = env.active_process
+        yield req
+        try:
+            yield env.timeout(100)
+            log.append("finished")
+        except Interrupt as intr:
+            assert isinstance(intr.cause, Preempted)
+            log.append(("preempted", env.now))
+
+    def urgent(env, res):
+        yield env.timeout(5)
+        req = res.request(priority=0, preempt=True)
+        yield req
+        log.append(("acquired", env.now))
+        res.release(req)
+
+    def driver(env):
+        p1 = env.process(background(env, res))
+        p2 = env.process(urgent(env, res))
+        yield p1 & p2
+
+    env.run(env.process(driver(env)))
+    assert ("preempted", 5.0) in log
+    assert ("acquired", 5.0) in log
+
+
+def test_no_preemption_of_higher_priority():
+    env = Environment()
+    res = PriorityResource(env, capacity=1)
+    log = []
+
+    def holder(env, res):
+        req = res.request(priority=0)
+        req.owner = env.active_process
+        yield req
+        yield env.timeout(10)
+        log.append("holder-done")
+        res.release(req)
+
+    def wannabe(env, res):
+        yield env.timeout(1)
+        req = res.request(priority=5, preempt=True)
+        yield req
+        log.append(("wannabe", env.now))
+        res.release(req)
+
+    env.process(holder(env, res))
+    env.process(wannabe(env, res))
+    env.run()
+    assert log == ["holder-done", ("wannabe", 10.0)]
+
+
+# ---------------------------------------------------------------------------
+# Store
+# ---------------------------------------------------------------------------
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    received = []
+
+    def producer(env, store):
+        for i in range(5):
+            yield store.put(i)
+            yield env.timeout(1)
+
+    def consumer(env, store):
+        for _ in range(5):
+            item = yield store.get()
+            received.append(item)
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    assert received == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+
+    def consumer(env, store):
+        item = yield store.get()
+        return (env.now, item)
+
+    def producer(env, store):
+        yield env.timeout(4)
+        yield store.put("late")
+
+    p = env.process(consumer(env, store))
+    env.process(producer(env, store))
+    assert env.run(p) == (4.0, "late")
+
+
+def test_store_put_blocks_when_full():
+    env = Environment()
+    store = Store(env, capacity=1)
+    times = []
+
+    def producer(env, store):
+        for i in range(3):
+            yield store.put(i)
+            times.append(env.now)
+
+    def consumer(env, store):
+        for _ in range(3):
+            yield env.timeout(2)
+            yield store.get()
+
+    env.process(producer(env, store))
+    env.process(consumer(env, store))
+    env.run()
+    # First put admitted at t=0; each later put waits for a get (t=2, 4).
+    assert times == [0.0, 2.0, 4.0]
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+def test_store_len_and_is_full():
+    env = Environment()
+    store = Store(env, capacity=2)
+
+    def proc(env, store):
+        yield store.put("a")
+        assert len(store) == 1
+        assert not store.is_full
+        yield store.put("b")
+        assert store.is_full
+
+    env.run(env.process(proc(env, store)))

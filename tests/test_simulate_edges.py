@@ -1,0 +1,93 @@
+"""Edge-path tests for the coupled-run simulator not covered elsewhere."""
+
+import pytest
+
+from repro.coupled import (
+    CoupledOptions,
+    CoupledWorkload,
+    PlacementStyle,
+    simulate_coupled,
+)
+from repro.coupled.scenarios import GTS_ANALYTICS_CACHE, GTS_CACHE
+from repro.machine import Machine, smoky
+from repro.machine.presets import SMOKY_NODE
+from repro.placement.algorithms import AnalyticsProfile, SimProfile
+
+
+def wl(**kw):
+    sim = SimProfile(num_ranks=4, threads_per_rank=1, io_interval=5.0,
+                     bytes_per_rank=4 << 20)
+    defaults = dict(
+        name="edge", sim=sim,
+        ana=AnalyticsProfile(time_single=2.0, serial_fraction=0.01),
+        num_steps=4, sim_cache=GTS_CACHE, ana_cache=GTS_ANALYTICS_CACHE,
+    )
+    defaults.update(kw)
+    return CoupledWorkload(**defaults)
+
+
+def test_offline_needs_filesystem_model():
+    bare = Machine("bare", SMOKY_NODE, 4)  # no filesystem model
+    with pytest.raises(RuntimeError):
+        simulate_coupled(bare, wl(), style=PlacementStyle.OFFLINE, num_ana=1)
+
+
+def test_staging_needs_interconnect_model():
+    bare = Machine("bare", SMOKY_NODE, 4)
+    with pytest.raises(RuntimeError):
+        simulate_coupled(bare, wl(), style=PlacementStyle.STAGING, num_ana=1)
+
+
+def test_default_allocation_used_when_num_ana_omitted():
+    r = simulate_coupled(smoky(8), wl(), style=PlacementStyle.STAGING)
+    assert r.num_analytics >= 1
+    # Rate matching: consumption fits the interval.
+    assert wl().ana.time(r.num_analytics) <= wl().sim.io_interval
+
+
+def test_solo_and_inline_force_zero_analytics():
+    for style in (PlacementStyle.SOLO, PlacementStyle.INLINE):
+        r = simulate_coupled(smoky(8), wl(), style=style, num_ana=7)
+        assert r.num_analytics == 0
+
+
+def test_sync_staging_io_visible_includes_movement():
+    opts = CoupledOptions(asynchronous=False)
+    r = simulate_coupled(smoky(8), wl(), style=PlacementStyle.STAGING,
+                         num_ana=2, options=opts)
+    assert r.step.sim_io_visible == pytest.approx(r.step.movement_latency)
+    assert "network" not in r.step.slowdowns
+
+
+def test_unscheduled_flood_uses_flood_coefficient():
+    # Big output + short interval: movement duty saturates, exposing the
+    # difference between scheduled and flood interference coefficients.
+    big = wl(sim=SimProfile(num_ranks=4, threads_per_rank=1, io_interval=0.5,
+                            bytes_per_rank=512 << 20))
+    sched = simulate_coupled(
+        smoky(8), big, style=PlacementStyle.STAGING, num_ana=2,
+        options=CoupledOptions(scheduler_max_concurrent=4),
+    )
+    flood = simulate_coupled(
+        smoky(8), big, style=PlacementStyle.STAGING, num_ana=2,
+        options=CoupledOptions(scheduler_max_concurrent=None),
+    )
+    assert flood.step.slowdowns["network"] > sched.step.slowdowns["network"]
+    assert flood.step.slowdowns["network"] <= CoupledOptions().interference_cap
+
+
+def test_phase_totals_sum_structure():
+    r = simulate_coupled(smoky(8), wl(cycles_per_interval=3),
+                         style=PlacementStyle.HELPER_CORE, num_ana=4)
+    assert {"cycle1", "cycle2", "cycle3"} <= set(r.phases)
+    assert r.phases["cycle1"] == pytest.approx(r.phases["cycle3"])
+
+
+def test_ana_output_bytes_add_file_traffic():
+    plain = simulate_coupled(smoky(8), wl(), style=PlacementStyle.HELPER_CORE, num_ana=4)
+    writing = simulate_coupled(
+        smoky(8), wl(ana_output_bytes=8 << 20),
+        style=PlacementStyle.HELPER_CORE, num_ana=4,
+    )
+    assert writing.metrics.file_bytes > plain.metrics.file_bytes
+    assert writing.step.ana_compute > plain.step.ana_compute

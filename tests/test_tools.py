@@ -1,0 +1,163 @@
+"""Tests for the command-line tools."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.adios import BoundingBox, BpWriter, block_decompose
+from repro.tools.advisor import advise, main as advisor_main
+from repro.tools.bpls import list_file, main as bpls_main
+from repro.tools.report import generate, main as report_main
+
+
+@pytest.fixture
+def bp_file(tmp_path):
+    path = str(tmp_path / "sample.bp")
+    shape = (8, 8)
+    boxes = block_decompose(shape, (2, 2))
+    full = np.arange(64.0).reshape(shape)
+    with BpWriter(path) as w:
+        for step in range(2):
+            w.begin_step()
+            for rank, box in enumerate(boxes):
+                w.write(rank, "temp", full[box.slices()] + step, box=box, global_shape=shape)
+            w.write(0, "count", np.array([42], dtype=np.int64))
+            w.end_step()
+    return path
+
+
+# ---------------------------------------------------------------------------
+# bpls
+# ---------------------------------------------------------------------------
+
+def test_bpls_lists_variables(bp_file):
+    out = io.StringIO()
+    assert list_file(bp_file, out=out) == 0
+    text = out.getvalue()
+    assert "of variables:  2" in text
+    assert "of steps:      2" in text
+    assert "temp" in text and "count" in text
+    assert "min=0" in text
+
+
+def test_bpls_single_variable(bp_file):
+    out = io.StringIO()
+    assert list_file(bp_file, var="count", out=out) == 0
+    text = out.getvalue()
+    assert "count" in text
+    assert "temp {" not in text
+
+
+def test_bpls_blocks_detail(bp_file):
+    out = io.StringIO()
+    assert list_file(bp_file, show_blocks=True, out=out) == 0
+    text = out.getvalue()
+    assert "rank    0" in text
+    assert "start=(0, 0)" in text
+
+
+def test_bpls_dump(bp_file):
+    out = io.StringIO()
+    assert list_file(bp_file, var="count", dump=True, out=out) == 0
+    assert "42" in out.getvalue()
+
+
+def test_bpls_unknown_variable(bp_file):
+    out = io.StringIO()
+    assert list_file(bp_file, var="ghost", out=out) == 1
+
+
+def test_bpls_bad_file(tmp_path):
+    bad = tmp_path / "junk.bp"
+    bad.write_bytes(b"not a bp file, sorry")
+    out = io.StringIO()
+    assert list_file(str(bad), out=out) == 1
+    assert "bpls:" in out.getvalue()
+
+
+def test_bpls_main_entry(bp_file, capsys):
+    assert bpls_main([bp_file]) == 0
+    assert "temp" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# report
+# ---------------------------------------------------------------------------
+
+def test_report_fig4():
+    out = io.StringIO()
+    assert generate("fig4", "smoky", out=out) == 0
+    text = out.getvalue()
+    assert "Figure 4" in text and "dynamic_MBps" in text
+
+
+def test_report_fig8_both_machines():
+    for m in ("smoky", "titan"):
+        out = io.StringIO()
+        assert generate("fig8", m, out=out) == 0
+        assert "llc_misses_per_kinst" in out.getvalue()
+
+
+def test_report_tuning():
+    out = io.StringIO()
+    assert generate("tuning", "titan", out=out) == 0
+    assert "untuned" in out.getvalue()
+
+
+def test_report_unknown():
+    out = io.StringIO()
+    assert generate("fig99", "smoky", out=out) == 1
+
+
+def test_report_main_entry(capsys):
+    assert report_main(["fig4"]) == 0
+    assert "Figure 4" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# advisor
+# ---------------------------------------------------------------------------
+
+def test_advisor_gts_like_recommends_helper():
+    out = io.StringIO()
+    rc = advise(
+        "smoky", sim_ranks=16, threads=3, io_interval=6.0,
+        bytes_per_rank=110 << 20, ana_time=20.0, ana_serial=0.01,
+        halo_bytes=2 << 20, out=out,
+    )
+    assert rc == 0
+    text = out.getvalue()
+    assert "resource allocation" in text
+    assert "topology-aware" in text
+    assert "helper-core" in text
+
+
+def test_advisor_s3d_like_recommends_staging():
+    out = io.StringIO()
+    rc = advise(
+        "titan", sim_ranks=64, threads=1, io_interval=20.0,
+        bytes_per_rank=1_700_000, ana_time=10.0, ana_serial=0.1,
+        halo_bytes=400 << 20, out=out,
+    )
+    assert rc == 0
+    assert "staging" in out.getvalue()
+
+
+def test_advisor_async_allocation():
+    out_sync, out_async = io.StringIO(), io.StringIO()
+    kw = dict(sim_ranks=16, threads=1, io_interval=5.0,
+              bytes_per_rank=200 << 20, ana_time=30.0, ana_serial=0.01)
+    advise("smoky", **kw, out=out_sync)
+    advise("smoky", **kw, asynchronous=True, out=out_async)
+    assert "sync (rate matching)" in out_sync.getvalue()
+    assert "async" in out_async.getvalue()
+
+
+def test_advisor_main_entry(capsys):
+    rc = advisor_main([
+        "--machine", "smoky", "--sim-ranks", "8", "--io-interval", "5",
+        "--bytes-per-rank", "1000000", "--ana-time", "4",
+    ])
+    assert rc == 0
+    assert "topology-aware" in capsys.readouterr().out
