@@ -1,20 +1,31 @@
 """The GTS online-analytics pipeline (paper Section IV.A), end to end.
 
 Four GTS ranks generate particle data (zions + electrons, seven
-attributes each) and stream it through FlexIO; a Data Conditioning
-plug-in — created by the analytics but *deployed into the writer's
-address space* — samples the particles before they are buffered; the
-analytics side then runs the paper's chain: particle distribution
-function, ~20 %-selective range query on velocity, and 1-D/2-D
-histograms saved for parallel-coordinates visualization.
+attributes each) plus a small 2-D field grid and stream them through
+FlexIO; a Data Conditioning plug-in — created by the analytics but
+*deployed into the writer's address space* — samples the particles
+before they are buffered; the analytics side then runs the paper's
+chain: particle distribution function, ~20 %-selective range query on
+velocity, and 1-D/2-D histograms saved for parallel-coordinates
+visualization.
+
+The stream runs with ``trace=true``, so every timestep becomes one
+distributed trace: the write span is the root, and the reader's
+redistribute/transport/plug-in spans attach to it across the
+decoupled programs.
 
 Run:  python examples/gts_analytics_pipeline.py
+      python examples/gts_analytics_pipeline.py --trace-dir out/
+      python -m repro.tools.trace out/gts_trace.jsonl
 """
 
+import argparse
 import os
 import tempfile
 
-from repro.adios import EndOfStream, RankContext
+import numpy as np
+
+from repro.adios import BoundingBox, EndOfStream, RankContext
 from repro.apps import GtsAnalytics, GtsConfig, GtsRank
 from repro.core import FlexIO, PluginSide
 from repro.core.plugins import sampling_plugin
@@ -25,16 +36,24 @@ CONFIG = """
   <adios-group name="particles">
     <var name="zion" type="float64" dimensions="n,7"/>
     <var name="electron" type="float64" dimensions="n,7"/>
+    <var name="phi" type="float64" dimensions="64,64"/>
   </adios-group>
-  <method group="particles" method="FLEXPATH">batching=true</method>
+  <method group="particles" method="FLEXPATH">batching=true;trace=true</method>
 </adios-config>
 """
 
 NUM_RANKS = 4
 NUM_STEPS = 3
+PHI_SHAPE = (64, 64)
 
 
-def main() -> None:
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace-dir", default=None, metavar="DIR",
+                        help="write gts_trace.jsonl + gts_trace.perfetto.json "
+                             "and the monitoring report here")
+    args = parser.parse_args(argv)
+
     flexio = FlexIO.from_xml(CONFIG)
     cfg = GtsConfig(num_ranks=NUM_RANKS, particles_per_rank=20_000)
 
@@ -44,18 +63,32 @@ def main() -> None:
         flexio.open_write("particles", "gts.particles", RankContext(r, NUM_RANKS))
         for r in range(NUM_RANKS)
     ]
+    monitor = writers[0].monitor  # shared by the whole stream (trace=true)
 
     # The analytics ships a sampling codelet to run WRITER-side, cutting
     # what FlexIO must buffer/move by 4x before it leaves the simulation.
-    sampler = sampling_plugin(stride=4)
+    # `only` leaves the phi field grid intact: its block distribution must
+    # survive for the reader's global-array redistribution.
+    sampler = sampling_plugin(stride=4, only=("zion", "electron"))
     writers[0].plugins.deploy(sampler, PluginSide.WRITER)
     print(f"deployed DC plug-in {sampler.name!r} into the writer address space")
 
+    rows = PHI_SHAPE[0] // NUM_RANKS
     for step in range(NUM_STEPS):
-        for rank, writer in zip(gts_ranks, writers):
+        for r, (rank, writer) in enumerate(zip(gts_ranks, writers)):
             output = rank.output(step)
             writer.write("zion", output["zion"])
             writer.write("electron", output["electron"])
+            # Each rank owns a row-block of the 64x64 potential field.
+            phi_block = np.fromfunction(
+                lambda i, j: np.sin((i + r * rows) / 7.0 + step) * np.cos(j / 9.0),
+                (rows, PHI_SHAPE[1]),
+            )
+            writer.write(
+                "phi", phi_block,
+                box=BoundingBox((r * rows, 0), (rows, PHI_SHAPE[1])),
+                global_shape=PHI_SHAPE,
+            )
         for writer in writers:
             writer.advance()
     for writer in writers:
@@ -76,6 +109,9 @@ def main() -> None:
                 }
                 result = chain.process(record, step=step)
                 GtsAnalytics.save(result, os.path.join(tmp, f"hist_s{step}_r{writer_rank}.npz"))
+            # Global-array read: MxN redistribution of the field grid.
+            phi = reader.read("phi")
+            assert phi.shape == PHI_SHAPE
             try:
                 reader.advance()
                 step += 1
@@ -85,6 +121,20 @@ def main() -> None:
     print(f"analytics processed {chain.steps_processed} process groups over "
           f"{step + 1} steps; wrote {nfiles} histogram files")
     print(f"range-query selectivity: {chain.reduction_ratio:.1%} (paper: ~20%)")
+
+    # --- Observability: dump the trace for offline analysis -------------
+    n_spans = sum(1 for r in monitor.trace if "trace_id" in dict(r.extra))
+    print(f"captured {n_spans} spans over {len(monitor.trace)} trace records")
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
+        dump = os.path.join(args.trace_dir, "gts_trace.jsonl")
+        monitor.dump(dump)
+        perfetto = os.path.join(args.trace_dir, "gts_trace.perfetto.json")
+        nev = monitor.export_perfetto(perfetto)
+        print(f"wrote {dump} and {perfetto} ({nev} Perfetto events)")
+        print(f"analyze with: python -m repro.tools.trace {dump}")
+        print()
+        print(monitor.report())
 
 
 if __name__ == "__main__":

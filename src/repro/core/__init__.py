@@ -54,6 +54,7 @@ from repro.core.adaptive import (
     AdaptiveGetScheduler,
     AdaptivePolicy,
     DCPlacementController,
+    policy_from_hint,
 )
 from repro.core.api import FlexIO
 
@@ -62,6 +63,7 @@ __all__ = [
     "AdaptivePolicy",
     "CachingOption",
     "DCPlacementController",
+    "policy_from_hint",
     "FaultInjector",
     "MovementFailed",
     "ReliableChannel",

@@ -17,6 +17,13 @@ Two adaptive mechanisms built on the performance-monitoring layer:
   to "carefully set the asynchronous data movement scheduling policy to
   keep the GTS slowdown under 15 %"; this closes that loop
   automatically).
+
+Both mechanisms can additionally be seeded from offline trace analysis:
+:func:`policy_from_hint` derives an :class:`AdaptivePolicy` from a
+:class:`repro.obs.BottleneckHint` (produced by ``repro.tools.trace`` /
+``repro.obs.find_bottleneck``), and
+:meth:`AdaptiveGetScheduler.apply_hint` nudges the concurrency bound
+when the trace shows the pipeline is transport-bound.
 """
 
 from __future__ import annotations
@@ -156,6 +163,46 @@ class DCPlacementController:
 
 
 # ---------------------------------------------------------------------------
+# Trace-driven policy seeding
+# ---------------------------------------------------------------------------
+
+def policy_from_hint(hint, base: Optional[AdaptivePolicy] = None) -> AdaptivePolicy:
+    """Derive placement thresholds from an offline bottleneck hint.
+
+    ``hint`` is a :class:`repro.obs.BottleneckHint` (duck-typed: only
+    ``hint.stage`` is read).  The mapping follows the paper's placement
+    logic:
+
+    * ``dc_plugin``-bound — codelets are the cost: halve the writer CPU
+      budget so expensive codelets migrate off the simulation sooner;
+    * ``write``/``transport``-bound — data movement is the cost: favour
+      writer-side reducers by widening the reducer band and granting a
+      larger CPU budget (shrinking bytes before they cross pays off);
+    * anything else (``redistribute``, ``read``, ...) — placement cannot
+      help; the base policy is returned unchanged.
+    """
+    base = base or AdaptivePolicy()
+    stage = getattr(hint, "stage", None)
+    if stage == "dc_plugin":
+        return AdaptivePolicy(
+            reducer_ratio=base.reducer_ratio,
+            expander_ratio=base.expander_ratio,
+            writer_cpu_budget=base.writer_cpu_budget / 2,
+            writer_busy_limit=base.writer_busy_limit,
+            hysteresis=base.hysteresis,
+        )
+    if stage in ("write", "transport"):
+        return AdaptivePolicy(
+            reducer_ratio=min(0.95, base.expander_ratio),
+            expander_ratio=base.expander_ratio,
+            writer_cpu_budget=min(0.5, base.writer_cpu_budget * 2),
+            writer_busy_limit=base.writer_busy_limit,
+            hysteresis=base.hysteresis,
+        )
+    return base
+
+
+# ---------------------------------------------------------------------------
 # Adaptive Get scheduling
 # ---------------------------------------------------------------------------
 
@@ -204,4 +251,18 @@ class AdaptiveGetScheduler:
             SchedulerDecision(self._step, observed_slowdown, self.max_concurrent)
         )
         self._step += 1
+        return self.max_concurrent
+
+    def apply_hint(self, hint) -> int:
+        """Seed the bound from an offline bottleneck hint.
+
+        A transport-bound trace means movement is starved for flows: jump
+        the bound halfway toward ``max_bound`` (AIMD then trims it back if
+        the simulation suffers).  Other stages leave the bound alone.
+        """
+        if getattr(hint, "stage", None) == "transport":
+            self.max_concurrent = min(
+                self.max_bound,
+                max(self.max_concurrent, (self.max_concurrent + self.max_bound) // 2),
+            )
         return self.max_concurrent

@@ -9,6 +9,13 @@ memory allocations.  Records serve two consumers:
 * **runtime management** — online aggregates (per-category totals, rates,
   high-water marks) feed the data-movement scheduler and DC plug-in
   placement decisions.
+
+Built on top of these flat records is the causal layer from
+:mod:`repro.obs`: ``monitor.span(...)`` opens a span whose finished form
+lands in the same trace buffer as an ordinary record carrying
+``trace_id``/``span_id``/``parent_id`` extras, and ``monitor.metrics``
+is a registry of counters/gauges/histograms the transports feed.
+Tracing is disabled by default and costs one boolean test when off.
 """
 
 from __future__ import annotations
@@ -18,6 +25,15 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import CURRENT, Span, Tracer
+
+#: Core field names of a serialized record; ``extra`` keys colliding with
+#: one of these are namespaced under an ``x.`` prefix on dump so they can
+#: never clobber a core field and the round trip stays lossless.
+_CORE_FIELDS = frozenset({"category", "name", "start", "duration", "bytes"})
 
 
 @dataclass(frozen=True)
@@ -39,8 +55,28 @@ class TraceRecord:
             "duration": self.duration,
             "bytes": self.bytes,
         }
-        d.update(dict(self.extra))
+        for k, v in self.extra:
+            if k in _CORE_FIELDS or k.startswith("x."):
+                k = f"x.{k}"
+            d[k] = v
         return d
+
+    @staticmethod
+    def from_dict(d: dict) -> "TraceRecord":
+        """Inverse of :meth:`as_dict` (lossless round trip)."""
+        extra = []
+        for k, v in d.items():
+            if k in _CORE_FIELDS:
+                continue
+            extra.append((k[2:] if k.startswith("x.") else k, v))
+        return TraceRecord(
+            category=d["category"],
+            name=d["name"],
+            start=d["start"],
+            duration=d["duration"],
+            bytes=d.get("bytes", 0),
+            extra=tuple(sorted(extra)),
+        )
 
 
 @dataclass
@@ -111,9 +147,20 @@ class MeasurementPoint:
 
 
 class PerfMonitor:
-    """Per-process monitor: trace buffer + online aggregates."""
+    """Per-process monitor: trace buffer + online aggregates + telemetry.
 
-    def __init__(self, clock=None, keep_trace: bool = True) -> None:
+    ``tracing`` defaults to the process-wide setting from
+    :func:`repro.obs.default_tracing` (off unless ``FLEXIO_TRACE`` is set
+    or :func:`repro.obs.set_default_tracing` was called).
+    """
+
+    def __init__(
+        self,
+        clock=None,
+        keep_trace: bool = True,
+        tracing: Optional[bool] = None,
+        sample_rate: Optional[float] = None,
+    ) -> None:
         self.clock = clock or time.perf_counter
         self.keep_trace = keep_trace
         self.trace: list[TraceRecord] = []
@@ -122,6 +169,60 @@ class PerfMonitor:
         #: allocation points within FlexIO are also instrumented").
         self.current_alloc_bytes = 0
         self.peak_alloc_bytes = 0
+        #: Counters / gauges / histograms (transport stats land here).
+        self.metrics = MetricsRegistry()
+        default_enabled, default_rate = obs.default_tracing()
+        self.tracer = Tracer(
+            sink=self._span_sink,
+            clock=self.clock,
+            enabled=default_enabled if tracing is None else bool(tracing),
+            sample_rate=default_rate if sample_rate is None else float(sample_rate),
+        )
+
+    # -- tracing -----------------------------------------------------------
+    @property
+    def tracing_enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def enable_tracing(self, sample_rate: float = 1.0) -> None:
+        """Turn on span collection (``sample_rate`` keeps that fraction
+        of traces, decided deterministically per root)."""
+        self.tracer.enable(sample_rate)
+
+    def disable_tracing(self) -> None:
+        self.tracer.disable()
+
+    def span(self, category: str, name: str, parent: Any = CURRENT, nbytes: int = 0, **attrs: Any):
+        """Open a span (context manager).  No-op when tracing is off.
+
+        ``parent`` joins an existing trace (a ``SpanContext``), inherits
+        the current span (default), or suppresses the span and all its
+        descendants (``None`` — the upstream trace was sampled out).
+        """
+        return self.tracer.span(category, name, parent=parent, nbytes=nbytes, **attrs)
+
+    def begin_span(self, category: str, name: str, parent: Any = CURRENT, nbytes: int = 0, **attrs: Any):
+        """Open a manual span: caller calls ``.finish()`` — for
+        event-driven code (DES events) whose end is in another stack."""
+        return self.tracer.begin(category, name, parent=parent, nbytes=nbytes, **attrs)
+
+    def current_span(self):
+        """The active :class:`SpanContext`, or None."""
+        return self.tracer.current()
+
+    def _span_sink(self, span: Span) -> None:
+        extra = dict(span.attrs)
+        extra["trace_id"] = span.trace_id
+        extra["span_id"] = span.span_id
+        extra["parent_id"] = span.parent_id or ""
+        self.record(
+            span.category,
+            span.name,
+            start=span.start,
+            duration=(span.end or span.start) - span.start,
+            nbytes=span.nbytes,
+            **extra,
+        )
 
     # ------------------------------------------------------------------
     def record(
@@ -139,6 +240,7 @@ class PerfMonitor:
         if self.keep_trace:
             self.trace.append(rec)
         self.aggregates[category].observe(rec)
+        self.metrics.histogram(f"latency.{category}").observe(duration)
         return rec
 
     def measure(self, category: str, name: str, nbytes: int = 0, **extra: Any) -> MeasurementPoint:
@@ -173,11 +275,27 @@ class PerfMonitor:
         with open(path, "r", encoding="utf-8") as fh:
             return [json.loads(line) for line in fh if line.strip()]
 
+    @staticmethod
+    def load_records(path: str) -> list[TraceRecord]:
+        """Load a dump back into :class:`TraceRecord` objects (the exact
+        inverse of :meth:`dump`)."""
+        return [TraceRecord.from_dict(d) for d in PerfMonitor.load(path)]
+
+    def export_perfetto(self, path: str, process_name: str = "flexio") -> int:
+        """Write the trace as Chrome/Perfetto ``trace_event`` JSON
+        (loadable in ``ui.perfetto.dev``); returns the event count."""
+        from repro.obs.export import write_perfetto
+
+        return write_perfetto(
+            (rec.as_dict() for rec in self.trace), path, process_name=process_name
+        )
+
     def merge_from(self, other: "PerfMonitor") -> None:
-        """Online gathering: fold a remote monitor's aggregates into ours.
+        """Online gathering: fold a remote monitor's state into ours.
 
         Models the paper's shipping of simulation-side monitoring data to
-        the analytics side for runtime management.
+        the analytics side for runtime management.  Folds aggregates,
+        the instrumented memory counters, and the metrics registry.
         """
         for category, agg in other.aggregates.items():
             mine = self.aggregates[category]
@@ -185,6 +303,14 @@ class PerfMonitor:
             mine.total_time += agg.total_time
             mine.total_bytes += agg.total_bytes
             mine.max_duration = max(mine.max_duration, agg.max_duration)
+        # Memory instrumentation: outstanding allocations add up; the
+        # combined peak is at least each side's own peak and at least the
+        # combined current level.
+        self.current_alloc_bytes += other.current_alloc_bytes
+        self.peak_alloc_bytes = max(
+            self.peak_alloc_bytes, other.peak_alloc_bytes, self.current_alloc_bytes
+        )
+        self.metrics.merge_from(other.metrics)
 
     def report(self) -> str:
         """Human-readable per-category summary (for logs and examples)."""
@@ -201,6 +327,10 @@ class PerfMonitor:
             )
         if self.peak_alloc_bytes:
             lines.append(f"peak tracked allocation: {self.peak_alloc_bytes} bytes")
+        metric_lines = self.metrics.render()
+        if metric_lines:
+            lines.append("-- metrics --")
+            lines.extend(metric_lines)
         return "\n".join(lines)
 
     def summary(self) -> dict[str, dict]:

@@ -23,9 +23,10 @@ where ``vars`` maps variable names to numpy arrays.
 from __future__ import annotations
 
 import ast
+import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -145,16 +146,26 @@ class DCPlugin:
         return total
 
     def apply(self, record: dict, monitor: Optional[PerfMonitor] = None) -> dict:
-        """Run the codelet on one record (dict of variable name → array)."""
+        """Run the codelet on one record (dict of variable name → array).
+
+        With tracing enabled the execution becomes a span (nesting under
+        the active write/read span of the timestep); otherwise it is the
+        classic flat measurement point.
+        """
         nbytes_in = self._record_bytes(record)
         if monitor:
-            cm = monitor.measure("dc_plugin", self.name, nbytes=nbytes_in, side=self.side.value)
+            if monitor.tracing_enabled:
+                cm = monitor.span("dc_plugin", self.name, nbytes=nbytes_in, side=self.side.value)
+            else:
+                cm = monitor.measure("dc_plugin", self.name, nbytes=nbytes_in, side=self.side.value)
             cm.__enter__()
+        t0 = time.perf_counter()
         try:
             out = self._func(dict(record))
         except Exception as exc:
             raise CodeletError(f"codelet {self.name!r} raised: {exc!r}") from exc
         finally:
+            self.stats.exec_time += time.perf_counter() - t0
             if monitor:
                 cm.__exit__(None, None, None)
         if not isinstance(out, dict):
@@ -231,7 +242,10 @@ class PluginManager:
 SAMPLING_SRC = """
 def condition(vars):
     out = dict(vars)
+    only = {only}
     for name in list(out):
+        if only and name not in only:
+            continue
         v = out[name]
         out[name] = v[::{stride}]
     return out
@@ -271,9 +285,16 @@ def condition(vars):
 """
 
 
-def sampling_plugin(stride: int = 2) -> DCPlugin:
-    """Keep every ``stride``-th element of each variable."""
-    return DCPlugin(f"sample/{stride}", SAMPLING_SRC.format(stride=int(stride)))
+def sampling_plugin(stride: int = 2, only: Optional[Sequence[str]] = None) -> DCPlugin:
+    """Keep every ``stride``-th element of each variable.
+
+    ``only`` restricts sampling to the named variables, leaving the rest
+    untouched — e.g. sample particle arrays but preserve a field grid
+    whose block distribution must stay intact for global-array reads.
+    """
+    names = tuple(only) if only else ()
+    label = f"sample/{stride}" if not names else f"sample/{stride}:{','.join(names)}"
+    return DCPlugin(label, SAMPLING_SRC.format(stride=int(stride), only=repr(names)))
 
 
 def range_select_plugin(var: str, column: int, lo: float, hi: float) -> DCPlugin:

@@ -246,16 +246,28 @@ class RedistributionEngine:
                 )
         dtype = np.asarray(writer_blocks[0]).dtype
         nbytes_moved = 0
-        outputs: list[np.ndarray] = [
-            np.full(rb.count, fill, dtype=dtype) for rb in self._reader_boxes
-        ]
-        for pair in self.plan.pairs:
-            src = np.asarray(writer_blocks[pair.writer])
-            wbox = self._writer_boxes[pair.writer]
-            rbox = self._reader_boxes[pair.reader]
-            stride = src[pair.overlap.slices(relative_to=wbox)]
-            outputs[pair.reader][pair.overlap.slices(relative_to=rbox)] = stride
-            nbytes_moved += stride.nbytes
+        span = (
+            self.monitor.span("redistribute", "move", pairs=len(self.plan.pairs))
+            if self.monitor is not None
+            else None
+        )
+        if span is not None:
+            span.__enter__()
+        try:
+            outputs: list[np.ndarray] = [
+                np.full(rb.count, fill, dtype=dtype) for rb in self._reader_boxes
+            ]
+            for pair in self.plan.pairs:
+                src = np.asarray(writer_blocks[pair.writer])
+                wbox = self._writer_boxes[pair.writer]
+                rbox = self._reader_boxes[pair.reader]
+                stride = src[pair.overlap.slices(relative_to=wbox)]
+                outputs[pair.reader][pair.overlap.slices(relative_to=rbox)] = stride
+                nbytes_moved += stride.nbytes
+        finally:
+            if span is not None:
+                span.add_bytes(nbytes_moved)
+                span.__exit__(None, None, None)
         if self.monitor:
             self.monitor.record(
                 "redistribution",
@@ -264,6 +276,10 @@ class RedistributionEngine:
                 duration=0.0,
                 nbytes=nbytes_moved,
                 pairs=len(self.plan.pairs),
+            )
+            self.monitor.metrics.counter("redistribution.bytes_moved").inc(nbytes_moved)
+            self.monitor.metrics.counter("redistribution.stride_messages").inc(
+                len(self.plan.pairs)
             )
         return outputs
 

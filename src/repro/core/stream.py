@@ -55,6 +55,8 @@ class StreamHints:
     sync: bool = False
     xpmem: bool = False
     buffer_steps: int = 4
+    #: Enable span tracing on the stream's monitor (``trace=true``).
+    trace: bool = False
 
     @classmethod
     def from_spec(cls, spec: MethodSpec) -> "StreamHints":
@@ -74,6 +76,7 @@ class StreamHints:
             sync=spec.param_bool("sync", False),
             xpmem=spec.param_bool("xpmem", False),
             buffer_steps=spec.param_int("buffer_steps", 4),
+            trace=spec.param_bool("trace", False),
         )
 
 
@@ -83,6 +86,10 @@ class _PublishedStep:
 
     step: int
     groups: dict[int, ProcessGroupData] = field(default_factory=dict)
+    #: Span context of the publish (write) span; readers parent their
+    #: spans on it so the whole timestep shares one trace ID.  ``None``
+    #: when tracing is off or this step's trace was sampled out.
+    trace_ctx: Optional[object] = None
 
     @property
     def nbytes(self) -> int:
@@ -108,6 +115,8 @@ class StreamState:
         self.name = name
         self.monitor = monitor or PerfMonitor()
         self.hints = hints or StreamHints()
+        if self.hints.trace:
+            self.monitor.enable_tracing()
         #: Times a publish exceeded the hinted buffering depth.
         self.backpressure_events = 0
         self.plugins = PluginManager(self.monitor)
@@ -147,21 +156,26 @@ class StreamState:
     def _publish(self) -> None:
         """Seal the current step: run writer-side DC plug-ins, enqueue."""
         step = _PublishedStep(self._step)
-        for rank, pg in sorted(self._current.items()):
-            record = {name: wv.data for name, wv in pg.variables.items()}
-            conditioned = self.plugins.apply_side(PluginSide.WRITER, record)
-            out = ProcessGroupData(rank=rank, step=pg.step)
-            for name, data in conditioned.items():
-                orig = pg.variables.get(name)
-                out.add(
-                    WrittenVar(
-                        name=name,
-                        data=np.asarray(data),
-                        box=orig.box if orig is not None and _same_shape(orig, data) else None,
-                        global_shape=orig.global_shape if orig is not None else None,
+        # Root span of this timestep's trace: everything downstream (the
+        # reader's redistribute/transport/plug-in spans) parents on it.
+        with self.monitor.span("write", self.name, step=self._step) as wspan:
+            for rank, pg in sorted(self._current.items()):
+                record = {name: wv.data for name, wv in pg.variables.items()}
+                conditioned = self.plugins.apply_side(PluginSide.WRITER, record)
+                out = ProcessGroupData(rank=rank, step=pg.step)
+                for name, data in conditioned.items():
+                    orig = pg.variables.get(name)
+                    out.add(
+                        WrittenVar(
+                            name=name,
+                            data=np.asarray(data),
+                            box=orig.box if orig is not None and _same_shape(orig, data) else None,
+                            global_shape=orig.global_shape if orig is not None else None,
+                        )
                     )
-                )
-            step.groups[rank] = out
+                step.groups[rank] = out
+            wspan.add_bytes(step.nbytes)
+            step.trace_ctx = wspan.context
         self.published.append(step)
         self._current = {}
         self._advanced = set()
@@ -266,6 +280,11 @@ class FlexpathWriteHandle(WriteHandle):
     def plugins(self) -> PluginManager:
         return self._state.plugins
 
+    @property
+    def monitor(self) -> PerfMonitor:
+        """The stream's shared monitor (enable tracing / dump here)."""
+        return self._state.monitor
+
     def write(self, name, data, box=None, global_shape=None):
         if self._closed:
             raise StreamError("write after close")
@@ -314,6 +333,11 @@ class FlexpathReadHandle(ReadHandle):
         return self._state.plugins
 
     @property
+    def monitor(self) -> PerfMonitor:
+        """The stream's shared monitor (enable tracing / dump here)."""
+        return self._state.monitor
+
+    @property
     def current_step(self) -> int:
         return self._cursor
 
@@ -331,9 +355,16 @@ class FlexpathReadHandle(ReadHandle):
                 f"no block for var {name!r} from writer {writer_rank} "
                 f"at step {self._cursor}"
             )
-        record = {n: wv.data for n, wv in pg.variables.items()}
-        record = self._state.plugins.apply_side(PluginSide.READER, record)
-        self._state.monitor.record(
+        mon = self._state.monitor
+        with mon.span(
+            "read", name, parent=step.trace_ctx,
+            step=self._cursor, writer_rank=writer_rank,
+        ):
+            with mon.span("transport", name, writer_rank=writer_rank) as tspan:
+                record = {n: wv.data for n, wv in pg.variables.items()}
+                tspan.add_bytes(sum(int(wv.data.nbytes) for wv in pg.variables.values()))
+            record = self._state.plugins.apply_side(PluginSide.READER, record)
+        mon.record(
             "stream_read", name, start=0.0, duration=0.0,
             nbytes=int(np.asarray(record[name]).nbytes),
         )
@@ -363,15 +394,20 @@ class FlexpathReadHandle(ReadHandle):
             target = BoundingBox((0,) * len(gshape), tuple(gshape))
         else:
             target = BoundingBox(tuple(start), tuple(count))
-        self._account_handshake(name, gshape, [b for b, _ in blocks])
-        out = assemble(
-            target,
-            ((b, d) for b, d in blocks if intersect(target, b) is not None),
-            dtype=dtype,
-        )
-        record = self._state.plugins.apply_side(PluginSide.READER, {name: out})
+        mon = self._state.monitor
+        with mon.span("read", name, parent=step.trace_ctx, step=self._cursor):
+            with mon.span("redistribute", name, writers=len(blocks)):
+                self._account_handshake(name, gshape, [b for b, _ in blocks])
+            with mon.span("transport", name) as tspan:
+                out = assemble(
+                    target,
+                    ((b, d) for b, d in blocks if intersect(target, b) is not None),
+                    dtype=dtype,
+                )
+                tspan.add_bytes(int(out.nbytes))
+            record = self._state.plugins.apply_side(PluginSide.READER, {name: out})
         result = np.asarray(record[name])
-        self._state.monitor.record(
+        mon.record(
             "stream_read", name, start=0.0, duration=0.0, nbytes=int(result.nbytes)
         )
         return result

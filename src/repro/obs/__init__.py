@@ -1,0 +1,90 @@
+"""Unified observability layer for the FlexIO stack (Section II.G, grown up).
+
+Four pieces, all feeding one record stream:
+
+* :mod:`repro.obs.tracing` — span-based tracing with trace/span/parent
+  IDs propagated writer → handshake → redistribution → transport → DC
+  plug-in, so one timestep can be followed end to end;
+* :mod:`repro.obs.metrics` — counters, gauges, and log-bucketed
+  histograms with percentile queries;
+* :mod:`repro.obs.export` — JSONL (via ``PerfMonitor.dump``) and
+  Chrome/Perfetto ``trace_event`` JSON, loadable in ``ui.perfetto.dev``;
+* :mod:`repro.obs.analysis` — per-stage breakdowns, critical-path
+  extraction, and bottleneck hints for the advisor and the adaptive
+  controllers.
+
+Tracing is off by default (the hot path pays one boolean test).  Enable
+it per monitor (``monitor.enable_tracing()``), per stream via the XML
+hint ``trace=true``, globally via :func:`set_default_tracing`, or with
+the ``FLEXIO_TRACE=1`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.tracing import (
+    CURRENT,
+    NOOP_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.export import is_span_record, to_perfetto, write_perfetto
+from repro.obs.analysis import (
+    BottleneckHint,
+    CriticalHop,
+    SpanNode,
+    StageStat,
+    build_traces,
+    critical_path,
+    find_bottleneck,
+    longest_trace,
+    stage_breakdown,
+)
+
+_DEFAULT = {"enabled": False, "sample_rate": 1.0}
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def set_default_tracing(enabled: bool, sample_rate: float = 1.0) -> None:
+    """Process-wide default applied to monitors created afterwards."""
+    _DEFAULT["enabled"] = bool(enabled)
+    _DEFAULT["sample_rate"] = float(sample_rate)
+
+
+def default_tracing() -> tuple[bool, float]:
+    """(enabled, sample_rate) for a new monitor; honours ``FLEXIO_TRACE``."""
+    env = os.environ.get("FLEXIO_TRACE", "").strip().lower()
+    if env in _TRUTHY:
+        return True, float(_DEFAULT["sample_rate"])
+    return bool(_DEFAULT["enabled"]), float(_DEFAULT["sample_rate"])
+
+
+__all__ = [
+    "BottleneckHint",
+    "Counter",
+    "CriticalHop",
+    "CURRENT",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_SPAN",
+    "Span",
+    "SpanContext",
+    "SpanNode",
+    "StageStat",
+    "Tracer",
+    "build_traces",
+    "critical_path",
+    "default_tracing",
+    "find_bottleneck",
+    "is_span_record",
+    "longest_trace",
+    "set_default_tracing",
+    "stage_breakdown",
+    "to_perfetto",
+    "write_perfetto",
+]

@@ -1,0 +1,219 @@
+"""Metrics registry: counters, gauges, and log-bucketed histograms.
+
+Complements the span layer (:mod:`repro.obs.tracing`) with the numeric
+side of Section II.G's monitoring: monotonically increasing counters
+(bytes moved, messages sent), point-in-time gauges (queue depth,
+buffer-pool occupancy, registration-cache size), and latency histograms
+with percentile queries.
+
+Histograms use exponential (log-spaced) buckets so a fixed, small number
+of integer counters covers ten orders of magnitude of durations with a
+bounded *relative* error — the classic HdrHistogram/DDSketch trade-off.
+With the default growth factor of ``2**(1/16)`` a reported percentile is
+within ~4.4 % of the exact sample value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, messages)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: float = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a Gauge for deltas")
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value (queue depth, pool occupancy, cache bytes)."""
+
+    __slots__ = ("name", "value", "max_value", "samples")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = 0.0
+        self.samples = 0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+        self.max_value = max(self.max_value, self.value)
+        self.samples += 1
+
+
+class Histogram:
+    """Log-bucketed histogram with percentile queries.
+
+    Values at or below zero land in a dedicated underflow bucket (they
+    occur for zero-duration simulated records).  Bucket *i* covers
+    ``(base * growth**(i-1), base * growth**i]``; a percentile query
+    returns the geometric midpoint of its bucket, plus exact ``min``
+    and ``max`` for the 0th and 100th percentiles.
+    """
+
+    __slots__ = ("name", "base", "growth", "_log_growth", "_counts",
+                 "zero_count", "count", "total", "min", "max")
+
+    def __init__(self, name: str, base: float = 1e-9, growth: float = 2 ** (1 / 16)) -> None:
+        if base <= 0 or growth <= 1.0:
+            raise ValueError("need base > 0 and growth > 1")
+        self.name = name
+        self.base = base
+        self.growth = growth
+        self._log_growth = math.log(growth)
+        self._counts: dict[int, int] = {}
+        self.zero_count = 0
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def _bucket(self, v: float) -> int:
+        return max(0, math.ceil(math.log(v / self.base) / self._log_growth))
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.total += v
+        self.min = min(self.min, v)
+        self.max = max(self.max, v)
+        if v <= self.base:
+            self.zero_count += 1
+            return
+        idx = self._bucket(v)
+        self._counts[idx] = self._counts.get(idx, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not (0.0 <= q <= 100.0):
+            raise ValueError("q must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if q == 0.0:
+            return self.min
+        if q == 100.0:
+            return self.max
+        rank = max(1, math.ceil(q / 100.0 * self.count))
+        seen = self.zero_count
+        if rank <= seen:
+            return min(self.base, self.max)
+        for idx in sorted(self._counts):
+            seen += self._counts[idx]
+            if rank <= seen:
+                upper = self.base * self.growth ** idx
+                lower = upper / self.growth
+                mid = math.sqrt(lower * upper)
+                return min(max(mid, self.min), self.max)
+        return self.max  # pragma: no cover - defensive
+
+    def merge_from(self, other: "Histogram") -> None:
+        if other.count == 0:
+            return
+        if (other.base, other.growth) != (self.base, self.growth):
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        for idx, c in other._counts.items():
+            self._counts[idx] = self._counts.get(idx, 0) + c
+        self.zero_count += other.zero_count
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class MetricsRegistry:
+    """Named metric instruments with get-or-create access.
+
+    ``monitor.metrics.counter("shm.bytes_sent").inc(n)`` — instruments
+    are created on first touch so producers need no registration step.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(self, name: str, **kw) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name, **kw)
+        return h
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """All instruments as one JSON-friendly dict."""
+        out: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+        for n, c in sorted(self._counters.items()):
+            out["counters"][n] = c.value
+        for n, g in sorted(self._gauges.items()):
+            out["gauges"][n] = {"value": g.value, "max": g.max_value}
+        for n, h in sorted(self._histograms.items()):
+            out["histograms"][n] = {
+                "count": h.count,
+                "mean": h.mean,
+                "p50": h.percentile(50),
+                "p95": h.percentile(95),
+                "p99": h.percentile(99),
+                "max": h.max if h.count else 0.0,
+            }
+        return out
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold a remote registry into this one (counters add, gauges
+        keep the max high-water mark, histograms merge buckets)."""
+        for n, c in other._counters.items():
+            self.counter(n).value += c.value
+        for n, g in other._gauges.items():
+            mine = self.gauge(n)
+            mine.value = max(mine.value, g.value)
+            mine.max_value = max(mine.max_value, g.max_value)
+            mine.samples += g.samples
+        for n, h in other._histograms.items():
+            self.histogram(n, base=h.base, growth=h.growth).merge_from(h)
+
+    def render(self) -> list[str]:
+        """Human-readable lines for :meth:`PerfMonitor.report`."""
+        lines: list[str] = []
+        for n, c in sorted(self._counters.items()):
+            lines.append(f"counter  {n:32s} {c.value:>14g}")
+        for n, g in sorted(self._gauges.items()):
+            lines.append(
+                f"gauge    {n:32s} {g.value:>14g}  (max {g.max_value:g})"
+            )
+        for n, h in sorted(self._histograms.items()):
+            if not h.count:
+                continue
+            lines.append(
+                f"hist     {n:32s} n={h.count:<8d} mean={h.mean:.3e} "
+                f"p50={h.percentile(50):.3e} p95={h.percentile(95):.3e} "
+                f"p99={h.percentile(99):.3e} max={h.max:.3e}"
+            )
+        return lines

@@ -1,0 +1,304 @@
+"""Span-based tracing for the FlexIO stack.
+
+The paper's Section II.G prescribes measurement points at every level of
+the stack.  Flat per-category records answer "where did time go in
+aggregate"; *spans* answer the causal question — which handshake, which
+transport copy, which DC plug-in execution belonged to which timestep.
+A span carries a ``trace_id`` shared by everything descending from one
+root operation (e.g. one published timestep), a ``span_id``, and a
+``parent_id`` linking it into the tree.
+
+Design constraints honoured here:
+
+* **Cheap when off.**  With tracing disabled every ``span()`` call
+  returns one shared no-op object; no allocation, no clock read, no
+  record appended.
+* **Deterministic sampling.**  ``sample_rate`` keeps every *k*-th trace
+  by a counter rule rather than a random draw, so runs are repeatable.
+  Descendants of a sampled-out root are suppressed (no orphan traces).
+* **No dependency on the monitor.**  The tracer hands finished spans to
+  an injected ``sink`` callable; :class:`repro.core.monitoring.PerfMonitor`
+  installs itself as that sink, turning spans into ordinary trace
+  records (with ``trace_id``/``span_id``/``parent_id`` extras) so the
+  existing dump/load/aggregate machinery applies unchanged.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextvars import ContextVar
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """The propagatable identity of a live (or finished) span."""
+
+    trace_id: str
+    span_id: str
+
+
+#: Sentinel for ``parent=``: inherit the tracer's current span (default).
+CURRENT = object()
+
+#: Sentinel stored in the current-span slot while inside a sampled-out
+#: root, so descendants know to suppress themselves.
+_UNSAMPLED = object()
+
+
+class Span:
+    """One timed operation in a trace tree.
+
+    Usable as a context manager (sets itself as the tracer's current
+    span) or manually via :meth:`finish` (for event-driven code where
+    begin and end happen in different call stacks).
+    """
+
+    __slots__ = (
+        "category", "name", "trace_id", "span_id", "parent_id",
+        "start", "end", "attrs", "nbytes", "_tracer", "_token", "_finished",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        category: str,
+        name: str,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start: float,
+        nbytes: int = 0,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.category = category
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = start
+        self.end: Optional[float] = None
+        self.attrs = attrs or {}
+        self.nbytes = nbytes
+        self._tracer = tracer
+        self._token = None
+        self._finished = False
+
+    # ------------------------------------------------------------------
+    @property
+    def context(self) -> SpanContext:
+        return SpanContext(self.trace_id, self.span_id)
+
+    @property
+    def recording(self) -> bool:
+        return True
+
+    @property
+    def duration(self) -> float:
+        end = self.end if self.end is not None else self._tracer.clock()
+        return end - self.start
+
+    def set_attr(self, key: str, value: Any) -> "Span":
+        self.attrs[key] = value
+        return self
+
+    def add_bytes(self, n: int) -> None:
+        self.nbytes += n
+
+    def finish(self, end: Optional[float] = None) -> None:
+        """Close the span and deliver it to the tracer's sink (idempotent)."""
+        if self._finished:
+            return
+        self._finished = True
+        self.end = end if end is not None else self._tracer.clock()
+        self._tracer._deliver(self)
+
+    # -- context manager ------------------------------------------------
+    def __enter__(self) -> "Span":
+        self._token = self._tracer._current.set(self.context)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+            self._token = None
+        if exc_type is not None:
+            self.attrs.setdefault("error", repr(exc))
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Span {self.category}/{self.name} trace={self.trace_id} "
+            f"span={self.span_id} parent={self.parent_id}>"
+        )
+
+
+class _NoopSpan:
+    """Shared do-nothing span: returned whenever tracing is off."""
+
+    __slots__ = ()
+
+    context = None
+    recording = False
+    trace_id = None
+    span_id = None
+    parent_id = None
+    duration = 0.0
+
+    def set_attr(self, key: str, value: Any) -> "_NoopSpan":
+        return self
+
+    def add_bytes(self, n: int) -> None:
+        pass
+
+    def finish(self, end: Optional[float] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        pass
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _SuppressedSpan(_NoopSpan):
+    """Root span that lost the sampling draw: records nothing, but marks
+    the current-span slot so descendants suppress themselves too."""
+
+    __slots__ = ("_tracer", "_token")
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+        self._token = None
+
+    def __enter__(self) -> "_SuppressedSpan":
+        self._token = self._tracer._current.set(_UNSAMPLED)
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._token is not None:
+            self._tracer._current.reset(self._token)
+            self._token = None
+
+
+class Tracer:
+    """Creates spans, tracks the current one, applies sampling.
+
+    ``sink(span)`` is called once per finished sampled span.  ``clock``
+    supplies timestamps — wall time by default; DES components pass
+    ``lambda: env.now`` so spans carry simulated time.
+    """
+
+    def __init__(
+        self,
+        sink: Callable[[Span], None],
+        clock: Optional[Callable[[], float]] = None,
+        enabled: bool = False,
+        sample_rate: float = 1.0,
+        id_prefix: str = "",
+    ) -> None:
+        self._sink = sink
+        self.clock = clock or time.perf_counter
+        self._enabled = bool(enabled)
+        self.sample_rate = float(sample_rate)
+        self._prefix = id_prefix
+        self._trace_seq = 0
+        self._span_seq = 0
+        self._current: ContextVar = ContextVar("flexio_current_span", default=None)
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self, sample_rate: float = 1.0) -> None:
+        if not (0.0 < sample_rate <= 1.0):
+            raise ValueError("sample_rate must be in (0, 1]")
+        self._enabled = True
+        self.sample_rate = float(sample_rate)
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def current(self) -> Optional[SpanContext]:
+        cur = self._current.get()
+        return cur if isinstance(cur, SpanContext) else None
+
+    # ------------------------------------------------------------------
+    def _sample_root(self) -> bool:
+        """Deterministic proportional sampling: keep trace *n* iff the
+        cumulative kept-count ``floor(n * rate)`` advances at *n*."""
+        n = self._trace_seq
+        self._trace_seq += 1
+        return math.floor((n + 1) * self.sample_rate) > math.floor(n * self.sample_rate)
+
+    def _new_span_id(self) -> str:
+        self._span_seq += 1
+        return f"{self._prefix}s{self._span_seq:06x}"
+
+    def _deliver(self, span: Span) -> None:
+        self._sink(span)
+
+    def _make(self, category, name, parent, nbytes, attrs) -> "Span | _NoopSpan":
+        """Shared span-construction logic for :meth:`span` and :meth:`begin`."""
+        if not self._enabled:
+            return NOOP_SPAN
+        if parent is CURRENT:
+            parent = self._current.get()
+        if parent is _UNSAMPLED:
+            return NOOP_SPAN
+        if parent is None:
+            # Root: this call decides the whole trace's sampling fate.
+            if not self._sample_root():
+                return _SuppressedSpan(self)
+            trace_id = f"{self._prefix}t{self._trace_seq:06x}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        return Span(
+            self, category, name, trace_id, self._new_span_id(), parent_id,
+            start=self.clock(), nbytes=nbytes, attrs=attrs,
+        )
+
+    def span(
+        self,
+        category: str,
+        name: str,
+        parent: Any = CURRENT,
+        nbytes: int = 0,
+        **attrs: Any,
+    ) -> "Span | _NoopSpan":
+        """Create a span for use as a context manager.
+
+        ``parent`` is the current span by default; pass a
+        :class:`SpanContext` to join a remote trace (e.g. the reader
+        joining the writer's timestep trace), or ``None`` to suppress
+        (used when the upstream trace was sampled out).
+        """
+        if parent is None and self._enabled:
+            return _SuppressedSpan(self)
+        return self._make(category, name, parent, nbytes, attrs)
+
+    def begin(
+        self,
+        category: str,
+        name: str,
+        parent: Any = CURRENT,
+        nbytes: int = 0,
+        **attrs: Any,
+    ) -> "Span | _NoopSpan":
+        """Create a manual span: caller must invoke ``.finish()``.
+
+        Unlike :meth:`span` used as a context manager, a begun span never
+        occupies the current-span slot — right for event-driven code
+        whose begin and end happen in different call stacks.
+        """
+        if parent is None:
+            return NOOP_SPAN
+        return self._make(category, name, parent, nbytes, attrs)

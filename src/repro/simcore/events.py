@@ -189,3 +189,19 @@ class AnyOf(Condition):
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env, _any_event, events)
+
+
+def trace_event(event: Event, monitor, category: str, name: str, **attrs) -> Event:
+    """Bracket an event's lifetime with a tracing span.
+
+    Opens a span on ``monitor`` (a :class:`repro.core.monitoring.PerfMonitor`,
+    duck-typed) now and finishes it when the event is processed, so the
+    waiting period shows up on the trace timeline.  Already-processed
+    events get a zero-length span.  Returns ``event`` for chaining.
+    """
+    span = monitor.begin_span(category, name, **attrs)
+    if event.processed:
+        span.finish()
+        return event
+    event.callbacks.append(lambda _ev: span.finish())
+    return event

@@ -7,4 +7,7 @@
   the paper's figures/tables from the command line.
 * ``python -m repro.tools.advisor`` — run the placement algorithms on a
   described workload and print their decisions and costs.
+* ``python -m repro.tools.trace <dump.jsonl>`` — analyze a monitoring
+  dump: per-stage time breakdown, the critical path of the slowest
+  timestep, a bottleneck hint, and optional Perfetto export.
 """

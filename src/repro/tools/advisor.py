@@ -109,11 +109,29 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--ana-serial", type=float, default=0.05)
     parser.add_argument("--halo-bytes", type=float, default=0.0)
     parser.add_argument("--async", dest="asynchronous", action="store_true")
+    parser.add_argument("--trace", metavar="DUMP.jsonl", default=None,
+                        help="fold a PerfMonitor trace dump into the advice "
+                             "(prints the bottleneck hint; a write-bound "
+                             "trace switches the allocation to async)")
     args = parser.parse_args(argv)
+    asynchronous = args.asynchronous
+    if args.trace:
+        from repro.core.monitoring import PerfMonitor
+        from repro.obs.analysis import find_bottleneck
+
+        hint = find_bottleneck(PerfMonitor.load(args.trace))
+        if hint is None:
+            print(f"trace {args.trace}: no spans found (tracing disabled?)")
+        else:
+            print(f"trace {args.trace}: {hint}")
+            if hint.stage == "write" and not asynchronous:
+                print("  -> write-bound: advising the async allocation")
+                asynchronous = True
+        print()
     return advise(
         args.machine, args.sim_ranks, args.threads, args.io_interval,
         args.bytes_per_rank, args.ana_time, args.ana_serial,
-        halo_bytes=args.halo_bytes, asynchronous=args.asynchronous,
+        halo_bytes=args.halo_bytes, asynchronous=asynchronous,
     )
 
 

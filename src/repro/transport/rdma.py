@@ -55,6 +55,15 @@ class RegCacheStats:
     setup_time_paid: float = 0.0
     setup_time_saved: float = 0.0
 
+    def emit(self, monitor, prefix: str = "rdma.regcache") -> None:
+        """Publish a snapshot of these counters into ``monitor.metrics``."""
+        m = monitor.metrics
+        m.gauge(f"{prefix}.hits").set(self.hits)
+        m.gauge(f"{prefix}.misses").set(self.misses)
+        m.gauge(f"{prefix}.reclaimed").set(self.reclaimed)
+        m.gauge(f"{prefix}.setup_time_paid").set(self.setup_time_paid)
+        m.gauge(f"{prefix}.setup_time_saved").set(self.setup_time_saved)
+
 
 class RegistrationCache:
     """Persistent send/receive buffer pool with registration reuse."""
@@ -127,6 +136,12 @@ class RegistrationCache:
             del self._all[buf.buffer_id]
             self._total_bytes -= buf.size
             self.stats.reclaimed += 1
+
+    def emit_stats(self, monitor, prefix: str = "rdma.regcache") -> None:
+        """Snapshot hit/miss/reclaim counters + registered bytes into
+        ``monitor.metrics``."""
+        self.stats.emit(monitor, prefix)
+        monitor.metrics.gauge(f"{prefix}.registered_bytes").set(self._total_bytes)
 
 
 # ---------------------------------------------------------------------------
@@ -334,13 +349,22 @@ class RdmaChannel:
     ones through Put.
     """
 
-    def __init__(self, connection: NntiConnection, sender: NntiEndpoint) -> None:
+    def __init__(
+        self,
+        connection: NntiConnection,
+        sender: NntiEndpoint,
+        monitor=None,
+    ) -> None:
         self.connection = connection
         self.sender = sender
         self.receiver = connection._peer(sender)
         self._delivered: deque[bytes] = deque()
         self.small_sends = 0
         self.large_sends = 0
+        #: Optional PerfMonitor: each send records a ``transport`` event
+        #: carrying the *simulated* transfer time, and ``emit_stats``
+        #: publishes both endpoints' registration-cache counters.
+        self.monitor = monitor
 
     def send(self, payload: bytes, concurrent_flows: int = 1) -> float:
         """Move ``payload`` to the receiver; returns elapsed (simulated) time."""
@@ -352,11 +376,32 @@ class RdmaChannel:
             self.receiver.mailbox.pop()
             self._delivered.append(data)
             self.small_sends += 1
-            return t
-        out, t = self.connection.get_bulk(self.receiver, data, concurrent_flows)
-        self._delivered.append(out)
-        self.large_sends += 1
+            path = "put_small"
+        else:
+            out, t = self.connection.get_bulk(self.receiver, data, concurrent_flows)
+            self._delivered.append(out)
+            self.large_sends += 1
+            path = "get_bulk"
+        if self.monitor is not None:
+            self.monitor.record(
+                "transport", "rdma.send",
+                start=self.monitor.clock(), duration=t,
+                nbytes=len(data), path=path,
+            )
+            self.monitor.metrics.counter("rdma.bytes_sent").inc(len(data))
+            self.monitor.metrics.counter("rdma.messages_sent").inc()
         return t
 
     def recv(self) -> Optional[bytes]:
         return self._delivered.popleft() if self._delivered else None
+
+    def emit_stats(self, monitor=None) -> None:
+        """Publish both endpoints' registration-cache counters and the
+        channel's send counts into a monitor's metrics registry."""
+        mon = monitor or self.monitor
+        if mon is None:
+            raise ValueError("no monitor bound to this channel")
+        self.sender.reg_cache.emit_stats(mon, prefix=f"rdma.regcache.{self.sender.name}")
+        self.receiver.reg_cache.emit_stats(mon, prefix=f"rdma.regcache.{self.receiver.name}")
+        mon.metrics.gauge("rdma.channel.small_sends").set(self.small_sends)
+        mon.metrics.gauge("rdma.channel.large_sends").set(self.large_sends)

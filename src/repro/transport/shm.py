@@ -62,6 +62,15 @@ class QueueStats:
     producer_spins: int = 0
     consumer_spins: int = 0
 
+    def emit(self, monitor, prefix: str = "shm.queue") -> None:
+        """Publish a snapshot of these counters into ``monitor.metrics``."""
+        m = monitor.metrics
+        m.gauge(f"{prefix}.enqueued").set(self.enqueued)
+        m.gauge(f"{prefix}.dequeued").set(self.dequeued)
+        m.gauge(f"{prefix}.bytes_enqueued").set(self.bytes_enqueued)
+        m.gauge(f"{prefix}.producer_spins").set(self.producer_spins)
+        m.gauge(f"{prefix}.consumer_spins").set(self.consumer_spins)
+
 
 class SPSCQueue:
     """Lock-free single-producer single-consumer circular byte queue.
@@ -166,6 +175,11 @@ class SPSCQueue:
     def __len__(self) -> int:
         """Entries currently FULL (approximate under concurrency)."""
         return int(np.count_nonzero(self._buf[:: self.entry_size] == _FULL))
+
+    def emit_stats(self, monitor, prefix: str = "shm.queue") -> None:
+        """Snapshot counters + current depth into ``monitor.metrics``."""
+        self.stats.emit(monitor, prefix)
+        monitor.metrics.gauge(f"{prefix}.depth").set(len(self))
 
 
 # ---------------------------------------------------------------------------
@@ -272,6 +286,15 @@ class ShmBufferPool:
             self._total_bytes -= buf.size
             self.stats.reclaimed += 1
 
+    def emit_stats(self, monitor, prefix: str = "shm.pool") -> None:
+        """Snapshot pool counters + occupancy into ``monitor.metrics``."""
+        m = monitor.metrics
+        m.gauge(f"{prefix}.occupancy_bytes").set(self._total_bytes)
+        m.gauge(f"{prefix}.peak_bytes").set(self.stats.peak_bytes)
+        m.gauge(f"{prefix}.allocations").set(self.stats.allocations)
+        m.gauge(f"{prefix}.reuses").set(self.stats.reuses)
+        m.gauge(f"{prefix}.reclaimed").set(self.stats.reclaimed)
+
 
 # ---------------------------------------------------------------------------
 # Channel: small messages through the queue, large ones through the pool
@@ -303,10 +326,14 @@ class ShmChannel:
         queue: Optional[SPSCQueue] = None,
         pool: Optional[ShmBufferPool] = None,
         use_xpmem: bool = False,
+        monitor=None,
     ) -> None:
         self.queue = queue or SPSCQueue()
         self.pool = pool or ShmBufferPool()
         self.use_xpmem = use_xpmem
+        #: Optional PerfMonitor: send/recv become spans (when tracing is
+        #: on) and the queue/pool counters are published on close().
+        self.monitor = monitor
         self._inline_max = self.queue.payload_size - _CTRL.size
         self._xpmem_segments: dict[int, np.ndarray] = {}
         self._xpmem_done: dict[int, threading.Event] = {}
@@ -320,6 +347,15 @@ class ShmChannel:
     # -- producer ---------------------------------------------------------
     def send(self, payload: Union[bytes, np.ndarray], timeout: float = 5.0) -> None:
         data = payload.tobytes() if isinstance(payload, np.ndarray) else bytes(payload)
+        if self.monitor is not None:
+            with self.monitor.span("transport", "shm.send", nbytes=len(data)):
+                self._send(data, timeout)
+            self.monitor.metrics.counter("shm.bytes_sent").inc(len(data))
+            self.monitor.metrics.counter("shm.messages_sent").inc()
+        else:
+            self._send(data, timeout)
+
+    def _send(self, data: bytes, timeout: float) -> None:
         if len(data) <= self._inline_max:
             msg = _CTRL.pack(_PATH_INLINE, 0, len(data)) + data
             self.queue.enqueue(msg, timeout=timeout)
@@ -353,10 +389,32 @@ class ShmChannel:
 
     def close(self) -> None:
         self.queue.close()
+        if self.monitor is not None:
+            self.emit_stats()
+
+    def emit_stats(self, monitor=None) -> None:
+        """Publish queue/pool counters into a monitor's metrics registry
+        (so ``report()`` shows the transport instead of it being a set of
+        write-only fields)."""
+        mon = monitor or self.monitor
+        if mon is None:
+            raise ValueError("no monitor bound to this channel")
+        self.queue.emit_stats(mon)
+        self.pool.emit_stats(mon)
+        mon.metrics.gauge("shm.channel.inline_sends").set(self.inline_sends)
+        mon.metrics.gauge("shm.channel.large_sends").set(self.large_sends)
 
     # -- consumer ---------------------------------------------------------
     def recv(self, timeout: float = 5.0) -> bytes:
         """Receive one message; raises :class:`QueueClosed` at end of stream."""
+        if self.monitor is not None:
+            with self.monitor.span("transport", "shm.recv") as sp:
+                out = self._recv(timeout)
+                sp.add_bytes(len(out))
+            return out
+        return self._recv(timeout)
+
+    def _recv(self, timeout: float) -> bytes:
         msg = self.queue.dequeue(timeout=timeout)
         path, token, length = _CTRL.unpack_from(msg, 0)
         if path == _PATH_INLINE:

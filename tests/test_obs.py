@@ -1,0 +1,403 @@
+"""Tests for the observability layer: tracing, metrics, export, analysis."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.monitoring import PerfMonitor, TraceRecord
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    NOOP_SPAN,
+    Tracer,
+    build_traces,
+    critical_path,
+    find_bottleneck,
+    is_span_record,
+    stage_breakdown,
+    to_perfetto,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def tick(self, dt):
+        self.t += dt
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# Tracing
+# ---------------------------------------------------------------------------
+
+def test_span_nesting_shares_trace_and_links_parent():
+    clock = FakeClock()
+    mon = PerfMonitor(clock=clock, tracing=True)
+    with mon.span("write", "s") as outer:
+        clock.tick(1.0)
+        with mon.span("transport", "s") as inner:
+            clock.tick(0.5)
+    assert inner.trace_id == outer.trace_id
+    assert inner.parent_id == outer.span_id
+    spans = [dict(r.extra) for r in mon.trace if "trace_id" in dict(r.extra)]
+    assert len(spans) == 2
+    by_id = {s["span_id"]: s for s in spans}
+    assert by_id[inner.span_id]["parent_id"] == outer.span_id
+    assert by_id[outer.span_id]["parent_id"] == ""
+
+
+def test_disabled_tracing_is_noop_and_adds_no_records():
+    mon = PerfMonitor(tracing=False)
+    before = len(mon.trace)
+    with mon.span("write", "s") as sp:
+        sp.set_attr("k", 1)
+        sp.add_bytes(10)
+    assert sp is NOOP_SPAN
+    assert mon.begin_span("write", "s") is NOOP_SPAN
+    assert len(mon.trace) == before
+    assert not mon.tracing_enabled
+
+
+def test_explicit_context_parent_crosses_monitors():
+    # Writer and reader sides have distinct monitors in the real system;
+    # the SpanContext carried with a published step stitches them.
+    clock = FakeClock()
+    mon = PerfMonitor(clock=clock, tracing=True)
+    with mon.span("write", "s") as w:
+        clock.tick(1.0)
+        ctx = w.context
+    with mon.span("read", "s", parent=ctx) as r:
+        clock.tick(0.2)
+    assert r.trace_id == w.trace_id
+    assert r.parent_id == w.span_id
+
+
+def test_sampling_suppresses_whole_trace():
+    clock = FakeClock()
+    mon = PerfMonitor(clock=clock, tracing=True, sample_rate=0.5)
+    kept = 0
+    for _ in range(10):
+        with mon.span("write", "s") as root:
+            with mon.span("transport", "s") as child:
+                clock.tick(0.1)
+            # A sampled-out root must suppress its descendants too —
+            # no orphan traces.
+            assert child.recording == root.recording
+        kept += 1 if root.recording else 0
+    assert kept == 5
+    spans = [dict(r.extra) for r in mon.trace if "trace_id" in dict(r.extra)]
+    assert len(spans) == 2 * kept
+
+
+def test_stream_pipeline_spans_share_one_trace_per_step():
+    from repro.adios import BoundingBox, RankContext
+    from repro.core import FlexIO
+
+    cfg = """
+    <adios-config>
+      <adios-group name="g">
+        <var name="phi" type="float64" dimensions="8,8"/>
+      </adios-group>
+      <method group="g" method="FLEXPATH">trace=true</method>
+    </adios-config>
+    """
+    flexio = FlexIO.from_xml(cfg)
+    writers = [
+        flexio.open_write("g", "obs.pipe", RankContext(r, 2)) for r in range(2)
+    ]
+    for r, w in enumerate(writers):
+        w.write("phi", np.ones((4, 8)) * r,
+                box=BoundingBox((r * 4, 0), (4, 8)), global_shape=(8, 8))
+        w.advance()
+    for w in writers:
+        w.close()
+    reader = flexio.open_read("g", "obs.pipe", RankContext(0, 1))
+    out = reader.read("phi")
+    assert out.shape == (8, 8)
+    mon = reader.monitor
+    assert mon is writers[0].monitor  # one stream, one monitor
+    spans = [dict(r.extra) | {"category": r.category}
+             for r in mon.trace if "trace_id" in dict(r.extra)]
+    trace_ids = {s["trace_id"] for s in spans}
+    assert len(trace_ids) == 1
+    cats = {s["category"] for s in spans}
+    assert {"write", "read", "redistribute", "transport"} <= cats
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+def test_histogram_percentiles_match_numpy():
+    rng = np.random.default_rng(42)
+    samples = rng.lognormal(mean=-6.0, sigma=1.5, size=5000)
+    h = Histogram("lat")
+    for s in samples:
+        h.observe(float(s))
+    for q in (50, 95, 99):
+        want = float(np.quantile(samples, q / 100))
+        got = h.percentile(q)
+        assert got == pytest.approx(want, rel=0.15)
+    assert h.percentile(0) == pytest.approx(samples.min())
+    assert h.percentile(100) == pytest.approx(samples.max())
+    assert h.mean == pytest.approx(samples.mean())
+
+
+def test_registry_merge_counters_gauges_histograms():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c").inc(3)
+    b.counter("c").inc(4)
+    b.counter("only_b").inc(1)
+    a.gauge("g").set(5)
+    b.gauge("g").set(2)
+    a.histogram("h").observe(1.0)
+    b.histogram("h").observe(2.0)
+    a.merge_from(b)
+    snap = a.snapshot()
+    assert snap["counters"]["c"] == 7
+    assert snap["counters"]["only_b"] == 1
+    assert snap["gauges"]["g"]["value"] == 5  # gauges keep the running max
+    assert a.histogram("h").count == 2
+
+
+def test_transport_stats_flow_into_monitor_report():
+    from repro.transport.shm import ShmChannel
+
+    mon = PerfMonitor()
+    chan = ShmChannel(monitor=mon)
+    chan.send(b"x" * 100)
+    assert chan.recv() == b"x" * 100
+    chan.close()
+    report = mon.report()
+    assert "shm.queue.enqueued" in report
+    assert "shm.bytes_sent" in report
+
+
+def test_rdma_channel_records_transport_and_regcache():
+    from repro.machine import smoky
+    from repro.transport.rdma import NntiFabric, RdmaChannel
+
+    mon = PerfMonitor()
+    fabric = NntiFabric(smoky(4).interconnect)
+    a, b = fabric.endpoint(0, "a"), fabric.endpoint(1, "b")
+    conn = fabric.connect(a, b)
+    chan = RdmaChannel(conn, a, monitor=mon)
+    t = chan.send(b"y" * 100_000)
+    assert t > 0
+    assert chan.recv() == b"y" * 100_000
+    chan.emit_stats()
+    assert mon.aggregate("transport").count == 1
+    report = mon.report()
+    assert "rdma.bytes_sent" in report
+    assert "rdma.regcache.a.hits" in report
+
+
+# ---------------------------------------------------------------------------
+# Record round-trip + merge
+# ---------------------------------------------------------------------------
+
+def test_as_dict_namespaces_colliding_extras_and_round_trips():
+    rec = TraceRecord(
+        category="c", name="n", start=1.0, duration=2.0, bytes=3,
+        extra=(("name", "evil"), ("x.name", "evil2"), ("ok", 7)),
+    )
+    d = rec.as_dict()
+    assert d["name"] == "n"  # core field wins
+    assert d["x.name"] == "evil"
+    assert d["x.x.name"] == "evil2"
+    assert d["ok"] == 7
+    back = TraceRecord.from_dict(d)
+    assert dict(back.extra) == dict(rec.extra)  # extras come back sorted
+    assert (back.category, back.name, back.start, back.duration, back.bytes) == \
+        ("c", "n", 1.0, 2.0, 3)
+    # A second round-trip is exactly stable.
+    assert TraceRecord.from_dict(back.as_dict()) == back
+
+
+def test_merge_from_folds_memory_counters():
+    a, b = PerfMonitor(), PerfMonitor()
+    a.alloc(100)
+    b.alloc(300)
+    b.free(50)
+    a.merge_from(b)
+    assert a.current_alloc_bytes == 350
+    assert a.peak_alloc_bytes == 350
+
+
+# ---------------------------------------------------------------------------
+# Export + analysis
+# ---------------------------------------------------------------------------
+
+def _synthetic_records():
+    """One trace: write [0,4] with transport child [1,3]; plus a flat rec."""
+    def span(cat, name, start, dur, sid, parent, nbytes=0):
+        return {"category": cat, "name": name, "start": start, "duration": dur,
+                "bytes": nbytes, "trace_id": "t1", "span_id": sid,
+                "parent_id": parent}
+    return [
+        span("write", "w", 0.0, 4.0, "s1", ""),
+        span("transport", "x", 1.0, 2.0, "s2", "s1", nbytes=1000),
+        {"category": "flat", "name": "f", "start": 0.0, "duration": 1.0, "bytes": 0},
+    ]
+
+
+def test_perfetto_export_schema(tmp_path):
+    mon = PerfMonitor(tracing=True)
+    with mon.span("write", "w"):
+        pass
+    path = tmp_path / "trace.json"
+    n = mon.export_perfetto(str(path))
+    doc = json.loads(path.read_text())
+    assert isinstance(doc["traceEvents"], list)
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == 1 and n == len(doc["traceEvents"])
+    ev = xs[0]
+    for key in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+        assert key in ev
+    assert any(e["ph"] == "M" for e in doc["traceEvents"])
+
+
+def test_is_span_record_and_build_traces():
+    recs = _synthetic_records()
+    assert [is_span_record(r) for r in recs] == [True, True, False]
+    traces = build_traces(recs)
+    assert set(traces) == {"t1"}
+    (root,) = traces["t1"]
+    assert root.name == "w" and len(root.children) == 1
+    assert root.exclusive == pytest.approx(2.0)
+
+
+def test_stage_breakdown_and_bottleneck():
+    stats = {s.stage: s for s in stage_breakdown(_synthetic_records())}
+    assert stats["write"].exclusive_time == pytest.approx(2.0)
+    assert stats["transport"].exclusive_time == pytest.approx(2.0)
+    assert stats["transport"].total_bytes == 1000
+    hint = find_bottleneck(_synthetic_records())
+    assert hint is not None
+    assert hint.stage in ("write", "transport")
+    assert 0 < hint.share <= 1
+    assert "bottleneck" in str(hint)
+
+
+def test_critical_path_follows_children_that_outlast_parent():
+    def span(cat, start, dur, sid, parent):
+        return {"category": cat, "name": cat, "start": start, "duration": dur,
+                "bytes": 0, "trace_id": "t1", "span_id": sid, "parent_id": parent}
+    recs = [
+        span("write", 0.0, 1.0, "s1", ""),
+        span("read", 2.0, 3.0, "s2", "s1"),       # outlasts the root
+        span("transport", 2.5, 1.0, "s3", "s2"),
+        span("read", 2.2, 0.1, "s4", "s1"),       # concurrent with s2, off-path
+    ]
+    (root,) = build_traces(recs)["t1"]
+    path = [h.node.span_id for h in critical_path(root)]
+    assert path == ["s1", "s2", "s3"]
+
+
+def test_find_bottleneck_none_without_spans():
+    assert find_bottleneck([{"category": "flat", "name": "f",
+                             "start": 0.0, "duration": 1.0}]) is None
+
+
+def test_to_perfetto_on_plain_dicts():
+    doc = to_perfetto(_synthetic_records())
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == 3  # flat records are shown too, on their own track
+    span_events = [e for e in xs if "span_id" in e["args"]]
+    assert len(span_events) == 2
+    assert all(e["ts"] >= 0 for e in xs)
+
+
+# ---------------------------------------------------------------------------
+# Hint consumers + event bracketing
+# ---------------------------------------------------------------------------
+
+def test_policy_from_hint_adjusts_budget():
+    from repro.core.adaptive import AdaptivePolicy, policy_from_hint
+    from repro.obs import BottleneckHint
+
+    base = AdaptivePolicy()
+    plugin_bound = policy_from_hint(
+        BottleneckHint("dc_plugin", 0.6, 1.0, ""), base)
+    assert plugin_bound.writer_cpu_budget == pytest.approx(base.writer_cpu_budget / 2)
+    write_bound = policy_from_hint(BottleneckHint("write", 0.6, 1.0, ""), base)
+    assert write_bound.writer_cpu_budget > base.writer_cpu_budget
+    assert write_bound.reducer_ratio >= base.reducer_ratio
+    neutral = policy_from_hint(BottleneckHint("redistribute", 0.6, 1.0, ""), base)
+    assert neutral == base
+
+
+def test_scheduler_apply_hint_raises_bound_when_transport_bound():
+    from repro.core.adaptive import AdaptiveGetScheduler
+    from repro.obs import BottleneckHint
+
+    sched = AdaptiveGetScheduler(initial=4, max_bound=16)
+    sched.apply_hint(BottleneckHint("transport", 0.7, 1.0, ""))
+    assert 4 < sched.max_concurrent <= 16
+    before = AdaptiveGetScheduler(initial=4).max_concurrent
+    sched2 = AdaptiveGetScheduler(initial=4)
+    sched2.apply_hint(BottleneckHint("write", 0.7, 1.0, ""))
+    assert sched2.max_concurrent == before
+
+
+def test_simcore_trace_event_brackets_event_lifetime():
+    from repro.simcore import Environment
+    from repro.simcore.events import trace_event
+
+    env = Environment()
+    mon = PerfMonitor(clock=lambda: env.now, tracing=True)
+    ev = env.timeout(5.0)
+    trace_event(ev, mon, "transport", "bulk_get", flow=1)
+    env.run()
+    spans = [r for r in mon.trace if "trace_id" in dict(r.extra)]
+    assert len(spans) == 1
+    assert spans[0].duration == pytest.approx(5.0)
+    assert ("flow", 1) in spans[0].extra
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def test_trace_cli_reports_breakdown_and_bottleneck(tmp_path, capsys):
+    import io
+
+    from repro.tools.trace import main as trace_main
+
+    clock = FakeClock()
+    mon = PerfMonitor(clock=clock, tracing=True)
+    with mon.span("write", "w"):
+        clock.tick(1.0)
+        with mon.span("transport", "w", nbytes=4096):
+            clock.tick(3.0)
+    dump = tmp_path / "dump.jsonl"
+    mon.dump(str(dump))
+    out = io.StringIO()
+    rc = trace_main([str(dump), "--perfetto", str(tmp_path / "p.json")], out=out)
+    text = out.getvalue()
+    assert rc == 0
+    assert "2 spans" in text
+    assert "transport" in text
+    assert "critical path" in text
+    assert "bottleneck: transport" in text
+    doc = json.loads((tmp_path / "p.json").read_text())
+    assert doc["traceEvents"]
+
+
+def test_trace_cli_complains_without_spans(tmp_path):
+    import io
+
+    mon = PerfMonitor()
+    mon.record("x", "y", start=0.0, duration=1.0)
+    dump = tmp_path / "dump.jsonl"
+    mon.dump(str(dump))
+    from repro.tools.trace import main as trace_main
+    out = io.StringIO()
+    assert trace_main([str(dump)], out=out) == 1
+    assert "no span records" in out.getvalue()
