@@ -13,7 +13,7 @@ Run:  python examples/dc_plugins_demo.py
 
 import numpy as np
 
-from repro.adios import RankContext
+from repro.adios import RankContext, StepStatus
 from repro.core import CodeletError, DCPlugin, FlexIO, PluginSide
 from repro.core.monitoring import PerfMonitor
 from repro.util import fmt_bytes
@@ -46,8 +46,9 @@ def write_step(writer, n=50_000, seed=0):
         [rng.uniform(size=(n, 3)), rng.normal(size=(n, 2)),
          rng.uniform(size=(n, 1)), np.arange(n)[:, None]], axis=1
     )
+    writer.begin_step()
     writer.write("zion", particles)
-    writer.advance()
+    writer.end_step()
     return particles.nbytes
 
 
@@ -73,7 +74,9 @@ def main() -> None:
     # --- 2. Deploy reader-side: full data buffered, reduced on read -----
     writer.plugins.deploy(codelet, PluginSide.READER)
     raw_bytes = write_step(writer, seed=1)
+    assert reader.begin_step() is StepStatus.OK
     out = reader.read_block("zion", 0)
+    reader.end_step()
     print(f"\nreader-side: buffered {fmt_bytes(raw_bytes)}, "
           f"read {fmt_bytes(out.nbytes)} after conditioning")
 
@@ -81,8 +84,9 @@ def main() -> None:
     writer.plugins.migrate("speed-filter", PluginSide.WRITER)
     print(f"migrated {codelet.name!r} to the {codelet.side.value} side at runtime")
     write_step(writer, seed=2)
-    reader.advance()
+    assert reader.begin_step() is StepStatus.OK
     out2 = reader.read_block("zion", 0)
+    reader.end_step()
     print(f"writer-side: only {fmt_bytes(out2.nbytes)} ever entered the stream "
           f"(same conditioning, moved upstream)")
 

@@ -25,7 +25,7 @@ import tempfile
 
 import numpy as np
 
-from repro.adios import BoundingBox, EndOfStream, RankContext
+from repro.adios import BoundingBox, RankContext
 from repro.apps import GtsAnalytics, GtsConfig, GtsRank
 from repro.core import FlexIO, PluginSide
 from repro.core.plugins import sampling_plugin
@@ -75,6 +75,8 @@ def main(argv=None) -> None:
 
     rows = PHI_SHAPE[0] // NUM_RANKS
     for step in range(NUM_STEPS):
+        for writer in writers:
+            writer.begin_step()
         for r, (rank, writer) in enumerate(zip(gts_ranks, writers)):
             output = rank.output(step)
             writer.write("zion", output["zion"])
@@ -90,7 +92,9 @@ def main(argv=None) -> None:
                 global_shape=PHI_SHAPE,
             )
         for writer in writers:
-            writer.advance()
+            # Async publish: the drainer pushes the step through the shm
+            # channel while the simulation continues.
+            writer.end_step()
     for writer in writers:
         writer.close()
     print(f"DC plug-in reduction ratio: {sampler.reduction_ratio:.2f} "
@@ -99,27 +103,20 @@ def main(argv=None) -> None:
     # --- Analytics side: the paper's chain, process-group pattern -------
     chain = GtsAnalytics(selectivity=0.2)
     reader = flexio.open_read("particles", "gts.particles", RankContext(0, 1))
+
+    def check_phi(rd, step):
+        # Global-array read: MxN redistribution of the field grid.
+        phi = rd.read("phi")
+        assert phi.shape == PHI_SHAPE
+
     with tempfile.TemporaryDirectory() as tmp:
-        step = 0
-        while True:
-            for writer_rank in range(NUM_RANKS):
-                record = {
-                    "zion": reader.read_block("zion", writer_rank),
-                    "electron": reader.read_block("electron", writer_rank),
-                }
-                result = chain.process(record, step=step)
-                GtsAnalytics.save(result, os.path.join(tmp, f"hist_s{step}_r{writer_rank}.npz"))
-            # Global-array read: MxN redistribution of the field grid.
-            phi = reader.read("phi")
-            assert phi.shape == PHI_SHAPE
-            try:
-                reader.advance()
-                step += 1
-            except EndOfStream:
-                break
+        results = chain.run_stream(
+            reader, NUM_RANKS, save_dir=tmp, on_step=check_phi
+        )
         nfiles = len(os.listdir(tmp))
+    nsteps = 1 + max(r.step for r in results)
     print(f"analytics processed {chain.steps_processed} process groups over "
-          f"{step + 1} steps; wrote {nfiles} histogram files")
+          f"{nsteps} steps; wrote {nfiles} histogram files")
     print(f"range-query selectivity: {chain.reduction_ratio:.1%} (paper: ~20%)")
 
     # --- Observability: dump the trace for offline analysis -------------

@@ -15,7 +15,7 @@ import sys
 
 import numpy as np
 
-from repro.adios import EndOfStream, RankContext
+from repro.adios import RankContext, StepStatus
 from repro.apps import Pixie3dAnalysis, Pixie3dConfig, Pixie3dRank, write_ppm
 from repro.apps.pixie3d import FIELDS
 from repro.apps.viz import _heat_colormap
@@ -64,12 +64,14 @@ def main() -> None:
         for r in range(NUM_RANKS)
     ]
     for step in range(NUM_STEPS):
+        for w in writers:
+            w.begin_step()
         for r, w in enumerate(writers):
             record = Pixie3dRank(cfg, r).output(step)
             for name, data in record.items():
                 w.write(name, data, box=boxes[r], global_shape=gshape)
         for w in writers:
-            w.advance()
+            w.end_step()
     for w in writers:
         w.close()
     print(f"streamed {NUM_STEPS} steps of {len(FIELDS)} fields on a {gshape} grid")
@@ -78,7 +80,7 @@ def main() -> None:
     analysis = Pixie3dAnalysis(cfg.spacing)
     reader = flexio.open_read("mhd", "pixie3d.stream", RankContext(0, 1))
     step = 0
-    while True:
+    while reader.begin_step() is StepStatus.OK:
         record = {name: reader.read(name) for name in FIELDS}
         diag = analysis.diagnostics(record, step=step)
         print(f"  step {step}: E_mag={diag.magnetic_energy:.4f} "
@@ -89,11 +91,8 @@ def main() -> None:
         path = os.path.join(out_dir, f"current_step{step}.ppm")
         nbytes = slice_to_ppm(path, analysis.slice_field(jmag, axis=2))
         print(f"    wrote {path} ({nbytes} bytes)")
-        try:
-            reader.advance()
-            step += 1
-        except EndOfStream:
-            break
+        reader.end_step()
+        step += 1
     print(f"analysis processed {analysis.steps_processed} steps")
 
 

@@ -13,7 +13,7 @@ import tempfile
 
 import numpy as np
 
-from repro.adios import BoundingBox, EndOfStream, RankContext, block_decompose
+from repro.adios import BoxSelection, RankContext, StepStatus, block_decompose
 from repro.core import FlexIO
 from repro.machine import smoky
 
@@ -43,6 +43,7 @@ def run_simulation(flexio: FlexIO, name: str) -> None:
             lambda i, j: np.sin(i / 5.0 + step) * np.cos(j / 7.0), SHAPE
         )
         for rank, handle in enumerate(handles):
+            handle.begin_step()
             handle.write(
                 "temperature",
                 field[boxes[rank].slices()].copy(),
@@ -50,7 +51,7 @@ def run_simulation(flexio: FlexIO, name: str) -> None:
                 global_shape=SHAPE,
             )
         for handle in handles:
-            handle.advance()
+            handle.end_step()
     for handle in handles:
         handle.close()
 
@@ -59,15 +60,13 @@ def run_analytics(flexio: FlexIO, name: str) -> list[float]:
     """One 'analytics rank' reads a selection of the global array back."""
     reader = flexio.open_read("fields", name, RankContext(0, 1))
     maxima = []
-    while True:
+    while reader.begin_step() is StepStatus.OK:
         # A sub-selection spanning several writers' blocks — FlexIO's MxN
-        # machinery reassembles it transparently.
-        region = reader.read("temperature", start=(8, 8), count=(16, 16))
+        # machinery reassembles it transparently.  Selections can be
+        # passed as objects instead of raw start/count tuples.
+        region = reader.read("temperature", BoxSelection(start=(8, 8), count=(16, 16)))
         maxima.append(float(region.max()))
-        try:
-            reader.advance()
-        except EndOfStream:
-            break
+        reader.end_step()
     reader.close()
     return maxima
 

@@ -14,7 +14,7 @@ import sys
 
 import numpy as np
 
-from repro.adios import EndOfStream, RankContext, block_decompose
+from repro.adios import RankContext, StepStatus, block_decompose
 from repro.apps import S3dConfig, S3dRank, composite_over, volume_render, write_ppm
 from repro.core import FlexIO
 
@@ -49,6 +49,8 @@ def main() -> None:
     ]
     ranks = [S3dRank(cfg, r) for r in range(cfg.num_ranks)]
     for step in range(NUM_STEPS):
+        for writer in writers:
+            writer.begin_step()
         for r, writer in enumerate(writers):
             for sp in SPECIES_TO_RENDER:
                 writer.write(
@@ -58,7 +60,7 @@ def main() -> None:
                     global_shape=gshape,
                 )
         for writer in writers:
-            writer.advance()
+            writer.end_step()
     for writer in writers:
         writer.close()
     print(f"simulation streamed {NUM_STEPS} steps of "
@@ -72,7 +74,7 @@ def main() -> None:
     ]
     step = 0
     images = 0
-    while True:
+    while all(r.begin_step() is StepStatus.OK for r in readers):
         for sp in SPECIES_TO_RENDER:
             # Each viz rank reads ITS slab; FlexIO chunks/reassembles from
             # however the 8 writers decomposed the array (the MxN exchange).
@@ -88,12 +90,9 @@ def main() -> None:
             nbytes = write_ppm(path, image)
             images += 1
             print(f"  rendered {path} ({nbytes} bytes)")
-        try:
-            for r in readers:
-                r.advance()
-            step += 1
-        except EndOfStream:
-            break
+        for r in readers:
+            r.end_step()
+        step += 1
     print(f"wrote {images} PPM images to {out_dir}/")
 
 

@@ -20,7 +20,14 @@ This package supplies the substrate FlexIO inherits:
   registry that FlexIO's stream transport plugs into.
 """
 
-from repro.adios.selection import BoundingBox, block_decompose, intersect
+from repro.adios.selection import (
+    BoundingBox,
+    BoxSelection,
+    FullSelection,
+    Selection,
+    block_decompose,
+    intersect,
+)
 from repro.adios.model import Group, ProcessGroupData, VarDecl, VarMeta
 from repro.adios.bp import BpReader, BpWriter, BpFormatError
 from repro.adios.config import AdiosConfig, ConfigError, MethodSpec
@@ -33,6 +40,9 @@ from repro.adios.api import (
     IoMethod,
     RankContext,
     ReadHandle,
+    StepNotReady,
+    StepStatus,
+    VariableNotFound,
     WriteHandle,
     register_method,
 )
@@ -50,6 +60,12 @@ __all__ = [
     "AdiosConfig",
     "AdiosError",
     "BoundingBox",
+    "BoxSelection",
+    "FullSelection",
+    "Selection",
+    "StepNotReady",
+    "StepStatus",
+    "VariableNotFound",
     "BpFormatError",
     "BpReader",
     "BpWriter",

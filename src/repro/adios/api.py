@@ -12,7 +12,9 @@ closes, file readers when steps run out.
 from __future__ import annotations
 
 import abc
+import time
 from dataclasses import dataclass
+from enum import Enum
 from typing import Any, Callable, Optional, Sequence
 
 import numpy as np
@@ -20,7 +22,7 @@ import numpy as np
 from repro.adios.bp import BpReader, BpWriter
 from repro.adios.config import AdiosConfig, MethodSpec
 from repro.adios.model import Group
-from repro.adios.selection import BoundingBox
+from repro.adios.selection import BoundingBox, Selection, resolve_selection
 
 
 class AdiosError(RuntimeError):
@@ -29,6 +31,31 @@ class AdiosError(RuntimeError):
 
 class EndOfStream(Exception):
     """The writer closed the stream / no steps remain."""
+
+
+class StepNotReady(Exception):
+    """The next step has not been published yet (transient)."""
+
+
+class VariableNotFound(AdiosError, KeyError):
+    """A read named a variable absent from the current step.
+
+    Raised identically by the BP-file and Flexpath methods.  Inherits
+    :class:`KeyError` so pre-existing ``except KeyError`` callers keep
+    working.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return RuntimeError.__str__(self)
+
+
+class StepStatus(Enum):
+    """Result of ``begin_step`` — mirrors ADIOS2's ``adios2::StepStatus``."""
+
+    OK = "ok"
+    NotReady = "not_ready"
+    EndOfStream = "end_of_stream"
+    OtherError = "other_error"
 
 
 @dataclass(frozen=True)
@@ -44,7 +71,13 @@ class RankContext:
 
 
 class WriteHandle(abc.ABC):
-    """Per-rank write side of one opened file/stream."""
+    """Per-rank write side of one opened file/stream.
+
+    The step-oriented API is ``begin_step() … write() … end_step()``;
+    ``advance()`` remains as a deprecated alias for ``end_step()``.
+    """
+
+    _step_open = False
 
     @abc.abstractmethod
     def write(
@@ -57,7 +90,22 @@ class WriteHandle(abc.ABC):
 
     @abc.abstractmethod
     def advance(self) -> None:
-        """End this rank's current output step."""
+        """End this rank's current output step.
+
+        .. deprecated:: use :meth:`begin_step` / :meth:`end_step`.
+        """
+
+    def begin_step(self) -> StepStatus:
+        """Open a new output step (ADIOS2-style)."""
+        if self._step_open:
+            raise AdiosError("begin_step while a step is open; call end_step first")
+        self._step_open = True
+        return StepStatus.OK
+
+    def end_step(self, **kwargs: Any) -> None:
+        """Seal the current output step (equivalent to ``advance``)."""
+        self._step_open = False
+        self.advance(**kwargs)
 
     @abc.abstractmethod
     def close(self) -> None: ...
@@ -70,7 +118,17 @@ class WriteHandle(abc.ABC):
 
 
 class ReadHandle(abc.ABC):
-    """Per-rank read side of one opened file/stream."""
+    """Per-rank read side of one opened file/stream.
+
+    The step-oriented API is ``begin_step() → StepStatus`` followed by
+    reads and ``end_step()``; ``begin_step`` returns
+    :attr:`StepStatus.NotReady` instead of raising when the writer has
+    not yet published the next step.  ``advance()`` remains as a
+    deprecated alias that raises on stall/EOS.
+    """
+
+    _step_active = False
+    _step_consumed = False
 
     @abc.abstractmethod
     def available_vars(self) -> list[str]: ...
@@ -82,7 +140,12 @@ class ReadHandle(abc.ABC):
         start: Optional[Sequence[int]] = None,
         count: Optional[Sequence[int]] = None,
     ) -> np.ndarray:
-        """Global-array read of a selection at the current step."""
+        """Global-array read of a selection at the current step.
+
+        ``start`` may also be a :class:`~repro.adios.selection.Selection`
+        or :class:`~repro.adios.selection.BoundingBox` (with ``count``
+        omitted).
+        """
 
     @abc.abstractmethod
     def read_block(self, name: str, writer_rank: int) -> np.ndarray:
@@ -90,7 +153,50 @@ class ReadHandle(abc.ABC):
 
     @abc.abstractmethod
     def advance(self) -> None:
-        """Move to the next step; raises :class:`EndOfStream` when done."""
+        """Move to the next step; raises :class:`EndOfStream` when done.
+
+        .. deprecated:: use :meth:`begin_step` / :meth:`end_step`.
+        """
+
+    def _probe_step(self) -> None:
+        """Verify the handle's *current* step is consumable.
+
+        Stream methods override this to raise :class:`StepNotReady` /
+        :class:`EndOfStream`; file methods are always ready.
+        """
+
+    def begin_step(self, timeout: Optional[float] = None) -> StepStatus:
+        """Position on the next unconsumed step (ADIOS2-style).
+
+        Non-blocking by default: returns :attr:`StepStatus.NotReady`
+        when the writer is behind.  With ``timeout`` (seconds), polls
+        until ready or the deadline passes.
+        """
+        if self._step_active:
+            raise AdiosError("begin_step while a step is active; call end_step first")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if self._step_consumed:
+                    self.advance()
+                else:
+                    self._probe_step()
+            except EndOfStream:
+                return StepStatus.EndOfStream
+            except StepNotReady:
+                if deadline is not None and time.monotonic() < deadline:
+                    time.sleep(0.0005)
+                    continue
+                return StepStatus.NotReady
+            self._step_active = True
+            self._step_consumed = True
+            return StepStatus.OK
+
+    def end_step(self) -> None:
+        """Release the current step."""
+        if not self._step_active:
+            raise AdiosError("end_step without begin_step")
+        self._step_active = False
 
     @abc.abstractmethod
     def close(self) -> None: ...
@@ -198,10 +304,27 @@ class _BpReadHandle(ReadHandle):
         return self._reader.var_names()
 
     def read(self, name, start=None, count=None):
-        return self._reader.read(name, self._step, start, count)
+        if isinstance(start, (Selection, BoundingBox)):
+            try:
+                meta = self._reader.var_meta(name)
+            except KeyError as exc:
+                raise VariableNotFound(str(exc)) from None
+            if meta.global_shape is None:
+                raise AdiosError(
+                    f"variable {name!r} is not a global array; use read_block()"
+                )
+            box = resolve_selection(start, count, meta.global_shape)
+            start, count = box.start, box.count
+        try:
+            return self._reader.read(name, self._step, start, count)
+        except KeyError as exc:
+            raise VariableNotFound(str(exc)) from None
 
     def read_block(self, name, writer_rank):
-        return self._reader.read_block(name, self._step, writer_rank)
+        try:
+            return self._reader.read_block(name, self._step, writer_rank)
+        except KeyError as exc:
+            raise VariableNotFound(str(exc)) from None
 
     def advance(self):
         # BP files may end with an empty trailing step (writer protocol

@@ -83,6 +83,68 @@ class BoundingBox:
         return f"Box(start={self.start}, count={self.count})"
 
 
+class Selection:
+    """Abstract read selection, resolved against a variable's global shape.
+
+    Mirrors ADIOS2's ``SetSelection`` family: callers can hand a
+    ``Selection`` object to ``ReadHandle.read`` instead of raw
+    ``start``/``count`` tuples.
+    """
+
+    def resolve(self, global_shape: Sequence[int]) -> BoundingBox:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class BoxSelection(Selection):
+    """An explicit hyperslab: ``start`` (inclusive) + ``count`` per dim."""
+
+    start: tuple[int, ...]
+    count: tuple[int, ...]
+
+    def resolve(self, global_shape: Sequence[int]) -> BoundingBox:
+        box = BoundingBox(tuple(self.start), tuple(self.count))
+        if box.ndim != len(global_shape):
+            raise ValueError(
+                f"{box.ndim}-d selection against {len(global_shape)}-d variable"
+            )
+        return box
+
+
+@dataclass(frozen=True)
+class FullSelection(Selection):
+    """The entire global array."""
+
+    def resolve(self, global_shape: Sequence[int]) -> BoundingBox:
+        return BoundingBox((0,) * len(global_shape), tuple(global_shape))
+
+
+def resolve_selection(
+    start, count, global_shape: Sequence[int]
+) -> BoundingBox:
+    """Normalize the (start, count) arguments of ``ReadHandle.read``.
+
+    Accepts a :class:`Selection` or :class:`BoundingBox` passed as
+    ``start`` (with ``count=None``), raw per-dimension tuples, or
+    ``(None, None)`` meaning the full array — the seed behaviour.
+    """
+    if isinstance(start, Selection):
+        if count is not None:
+            raise ValueError("count must be None when passing a Selection")
+        return start.resolve(global_shape)
+    if isinstance(start, BoundingBox):
+        if count is not None:
+            raise ValueError("count must be None when passing a BoundingBox")
+        if start.ndim != len(global_shape):
+            raise ValueError(
+                f"{start.ndim}-d box against {len(global_shape)}-d variable"
+            )
+        return start
+    if start is None or count is None:
+        return BoundingBox((0,) * len(global_shape), tuple(global_shape))
+    return BoundingBox(tuple(start), tuple(count))
+
+
 def intersect(a: BoundingBox, b: BoundingBox) -> Optional[BoundingBox]:
     """Overlap of two boxes, or None when they are disjoint."""
     if a.ndim != b.ndim:

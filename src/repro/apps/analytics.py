@@ -10,8 +10,9 @@ parallel coordinates visualization."
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -184,6 +185,48 @@ class GtsAnalytics:
             h2=result.hist2d[2],
             meta=np.array([result.step, result.total_particles, result.selected_particles]),
         )
+
+    def run_stream(
+        self,
+        reader,
+        num_writers: int,
+        save_dir: Optional[str] = None,
+        on_step: Optional[Callable] = None,
+        timeout: Optional[float] = 10.0,
+    ) -> list[AnalyticsResult]:
+        """Consume a FlexIO stream with the step-oriented read API.
+
+        Drives ``begin_step()/end_step()`` until ``EndOfStream``; each
+        step runs the full chain on every writer rank's process group
+        (zion + electron blocks).  With ``save_dir`` the histograms land
+        as ``hist_s<step>_r<rank>.npz``; ``on_step(reader, step)`` runs
+        extra per-step work (e.g. global-array reads) while the step is
+        positioned.
+        """
+        from repro.adios import StepStatus
+
+        results: list[AnalyticsResult] = []
+        while True:
+            status = reader.begin_step(timeout=timeout)
+            if status is not StepStatus.OK:
+                break
+            step = getattr(reader, "current_step", self.steps_processed)
+            for writer_rank in range(num_writers):
+                record = {
+                    "zion": reader.read_block("zion", writer_rank),
+                    "electron": reader.read_block("electron", writer_rank),
+                }
+                result = self.process(record, step=step)
+                results.append(result)
+                if save_dir is not None:
+                    self.save(
+                        result,
+                        os.path.join(save_dir, f"hist_s{step}_r{writer_rank}.npz"),
+                    )
+            if on_step is not None:
+                on_step(reader, step)
+            reader.end_step()
+        return results
 
     @property
     def reduction_ratio(self) -> float:

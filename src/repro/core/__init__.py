@@ -35,12 +35,20 @@ from repro.core.plugins import (
 from repro.core.directory import CoordinatorInfo, DirectoryServer
 from repro.core.redistribution import (
     CachingOption,
+    CompiledPlan,
     HandshakeCost,
+    PlanCache,
     RedistributionEngine,
     RedistributionPlan,
+    global_plan_cache,
 )
 from repro.core.stream import FlexpathMethod, StreamStalled, stream_registry
-from repro.core.runtime import FlexIORuntime, NumaBufferPolicy, TransportKind
+from repro.core.runtime import (
+    FlexIORuntime,
+    NumaBufferPolicy,
+    TransportKind,
+    make_stream_channel,
+)
 from repro.core.resilience import (
     FaultInjector,
     MovementFailed,
@@ -72,6 +80,7 @@ __all__ = [
     "TransactionCoordinator",
     "TransactionalStreamWriter",
     "CodeletError",
+    "CompiledPlan",
     "CoordinatorInfo",
     "DCPlugin",
     "DirectoryServer",
@@ -82,8 +91,11 @@ __all__ = [
     "MeasurementPoint",
     "NumaBufferPolicy",
     "PerfMonitor",
+    "PlanCache",
     "PluginManager",
     "PluginSide",
+    "global_plan_cache",
+    "make_stream_channel",
     "RedistributionEngine",
     "RedistributionPlan",
     "StreamStalled",

@@ -22,6 +22,8 @@ engine:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Optional, Sequence
@@ -123,6 +125,192 @@ def compute_plan(
     return RedistributionPlan(list(writer_boxes), list(reader_boxes), pairs)
 
 
+class CompiledPlan:
+    """A :class:`RedistributionPlan` lowered to replayable slice assignments.
+
+    Compilation walks the plan's overlap pairs **once** and records, per
+    reader, the ``(writer, src_slices, dst_slices)`` triples needed to
+    scatter writer blocks into reader buffers.  Subsequent steps replay
+    those triples as pure numpy slice assignments — no box intersection,
+    no slice arithmetic, no per-block bookkeeping on the hot path.
+
+    Coverage of each reader box is also detected at compile time so fully
+    covered targets can be allocated with :func:`numpy.empty` instead of
+    :func:`numpy.full`.
+    """
+
+    __slots__ = (
+        "plan",
+        "writer_boxes",
+        "reader_boxes",
+        "assignments",
+        "covered",
+        "elements_moved",
+    )
+
+    def __init__(self, plan: RedistributionPlan) -> None:
+        self.plan = plan
+        self.writer_boxes = list(plan.writer_boxes)
+        self.reader_boxes = list(plan.reader_boxes)
+        # assignments[r] = [(writer_idx, src_slices, dst_slices), ...] in
+        # plan-pair order, so overwrite semantics match seed assemble().
+        self.assignments: list[list[tuple[int, tuple, tuple]]] = [
+            [] for _ in self.reader_boxes
+        ]
+        self.elements_moved = 0
+        for pair in plan.pairs:
+            wbox = self.writer_boxes[pair.writer]
+            rbox = self.reader_boxes[pair.reader]
+            src = pair.overlap.slices(relative_to=wbox)
+            dst = pair.overlap.slices(relative_to=rbox)
+            self.assignments[pair.reader].append((pair.writer, src, dst))
+            self.elements_moved += pair.overlap.size
+        # A reader box is "covered" when the union of its incoming
+        # overlaps fills it entirely; detected once with a boolean mask.
+        self.covered: list[bool] = []
+        for r, rbox in enumerate(self.reader_boxes):
+            if not self.assignments[r]:
+                self.covered.append(rbox.size == 0)
+                continue
+            mask = np.zeros(rbox.count, dtype=bool)
+            for _, _, dst in self.assignments[r]:
+                mask[dst] = True
+            self.covered.append(bool(mask.all()))
+
+    def execute(
+        self,
+        writer_blocks: Sequence[np.ndarray],
+        dtype: Optional[np.dtype] = None,
+        fill: float = 0,
+        check: bool = True,
+    ) -> list[np.ndarray]:
+        """Replay the compiled assignments: writer blocks → reader arrays.
+
+        Byte-identical to :func:`repro.adios.selection.assemble` run per
+        reader box, but without recomputing any overlap geometry.
+        """
+        if check:
+            if len(writer_blocks) != len(self.writer_boxes):
+                raise ValueError(
+                    f"expected {len(self.writer_boxes)} writer blocks, "
+                    f"got {len(writer_blocks)}"
+                )
+            for i, (blk, box) in enumerate(zip(writer_blocks, self.writer_boxes)):
+                if tuple(np.shape(blk)) != tuple(box.count):
+                    raise ValueError(
+                        f"writer {i} block shape {np.shape(blk)} != box count {box.count}"
+                    )
+        if not all(isinstance(b, np.ndarray) for b in writer_blocks):
+            writer_blocks = [np.asarray(b) for b in writer_blocks]
+        if dtype is None:
+            dtype = writer_blocks[0].dtype
+        outputs: list[np.ndarray] = []
+        for r, rbox in enumerate(self.reader_boxes):
+            if self.covered[r]:
+                out = np.empty(rbox.count, dtype=dtype)
+            else:
+                out = np.full(rbox.count, fill, dtype=dtype)
+            for w, src, dst in self.assignments[r]:
+                out[dst] = writer_blocks[w][src]
+            outputs.append(out)
+        return outputs
+
+
+@dataclass
+class PlanCacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+def _boxes_key(boxes: Sequence[BoundingBox]) -> tuple:
+    return tuple((b.start, b.count) for b in boxes)
+
+
+def make_plan_key(
+    writer_boxes: Sequence[BoundingBox],
+    reader_boxes: Sequence[BoundingBox],
+    gshape: Optional[Sequence[int]] = None,
+) -> tuple:
+    """Cache key for one (writer dist, reader dist, global shape) triple."""
+    return (
+        _boxes_key(writer_boxes),
+        _boxes_key(reader_boxes),
+        tuple(gshape) if gshape is not None else None,
+    )
+
+
+class PlanCache:
+    """Process-wide LRU cache of compiled redistribution plans.
+
+    Shared by every CACHING_ALL stream in the process (paper's
+    "distribution caching at both sides"); CACHING_LOCAL streams hold a
+    private instance.  Thread-safe: the writer drainer thread and reader
+    threads may race on it.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, CompiledPlan] = OrderedDict()
+        self.stats = PlanCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def get(
+        self,
+        writer_boxes: Sequence[BoundingBox],
+        reader_boxes: Sequence[BoundingBox],
+        gshape: Optional[Sequence[int]] = None,
+    ) -> tuple[CompiledPlan, bool]:
+        """Return ``(compiled_plan, hit)`` — compiling on miss."""
+        key = make_plan_key(writer_boxes, reader_boxes, gshape)
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None:
+                self._plans.move_to_end(key)
+                self.stats.hits += 1
+                return cached, True
+            self.stats.misses += 1
+        # Compile outside the lock: O(M·N) box math can be slow.
+        compiled = CompiledPlan(compute_plan(writer_boxes, reader_boxes))
+        with self._lock:
+            self._plans[key] = compiled
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+        return compiled, False
+
+    def invalidate(
+        self,
+        writer_boxes: Sequence[BoundingBox],
+        reader_boxes: Sequence[BoundingBox],
+        gshape: Optional[Sequence[int]] = None,
+    ) -> bool:
+        """Drop one entry (e.g. after ``update_writer_boxes``)."""
+        key = make_plan_key(writer_boxes, reader_boxes, gshape)
+        with self._lock:
+            return self._plans.pop(key, None) is not None
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self.stats = PlanCacheStats()
+
+
+#: The process-wide cache backing CACHING_ALL streams.
+global_plan_cache = PlanCache()
+
+
 @dataclass(frozen=True)
 class HandshakeCost:
     """Control-plane cost of establishing one exchange."""
@@ -154,23 +342,35 @@ class RedistributionEngine:
         caching: CachingOption = CachingOption.NO_CACHING,
         batching: bool = False,
         monitor: Optional[PerfMonitor] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.caching = caching
         self.batching = batching
         self.monitor = monitor
+        self.plan_cache = plan_cache
         self._writer_boxes = list(writer_boxes)
         self._reader_boxes = list(reader_boxes)
-        self.plan = compute_plan(writer_boxes, reader_boxes)
+        self.compiled = self._compile()
+        self.plan = self.compiled.plan
         #: Whether each side's gathered distribution is already cached.
         self._local_cached = False
         self._peer_cached = False
         self.handshakes_performed: list[HandshakeCost] = []
 
+    def _compile(self) -> CompiledPlan:
+        if self.plan_cache is not None:
+            compiled, _ = self.plan_cache.get(self._writer_boxes, self._reader_boxes)
+            return compiled
+        return CompiledPlan(compute_plan(self._writer_boxes, self._reader_boxes))
+
     # ------------------------------------------------------------------
     def update_writer_boxes(self, writer_boxes: Sequence[BoundingBox]) -> None:
         """Distribution changed (e.g. particle counts moved): caches drop."""
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate(self._writer_boxes, self._reader_boxes)
         self._writer_boxes = list(writer_boxes)
-        self.plan = compute_plan(self._writer_boxes, self._reader_boxes)
+        self.compiled = self._compile()
+        self.plan = self.compiled.plan
         self._local_cached = False
         self._peer_cached = False
 
@@ -235,15 +435,6 @@ class RedistributionEngine:
         Exactly the strides of the plan are copied — no all-to-all
         broadcast, mirroring the packed-stride sends of step 4.
         """
-        if len(writer_blocks) != self.plan.num_writers:
-            raise ValueError(
-                f"expected {self.plan.num_writers} writer blocks, got {len(writer_blocks)}"
-            )
-        for i, (blk, box) in enumerate(zip(writer_blocks, self._writer_boxes)):
-            if tuple(np.shape(blk)) != tuple(box.count):
-                raise ValueError(
-                    f"writer {i} block shape {np.shape(blk)} != box count {box.count}"
-                )
         dtype = np.asarray(writer_blocks[0]).dtype
         nbytes_moved = 0
         span = (
@@ -254,16 +445,8 @@ class RedistributionEngine:
         if span is not None:
             span.__enter__()
         try:
-            outputs: list[np.ndarray] = [
-                np.full(rb.count, fill, dtype=dtype) for rb in self._reader_boxes
-            ]
-            for pair in self.plan.pairs:
-                src = np.asarray(writer_blocks[pair.writer])
-                wbox = self._writer_boxes[pair.writer]
-                rbox = self._reader_boxes[pair.reader]
-                stride = src[pair.overlap.slices(relative_to=wbox)]
-                outputs[pair.reader][pair.overlap.slices(relative_to=rbox)] = stride
-                nbytes_moved += stride.nbytes
+            outputs = self.compiled.execute(writer_blocks, dtype=dtype, fill=fill)
+            nbytes_moved = self.compiled.elements_moved * dtype.itemsize
         finally:
             if span is not None:
                 span.add_bytes(nbytes_moved)

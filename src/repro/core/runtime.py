@@ -149,3 +149,34 @@ class FlexIORuntime:
             return nbytes / self.machine.node_type.mem_bw_local
         # File writes are handed to the I/O layer synchronously here.
         return self.transfer_time(nbytes, writer_core, reader_core)
+
+
+def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None):
+    """Build the drain channel behind a stream's async publication pipeline.
+
+    ``kind`` follows the ``transport`` stream hint: ``shm`` yields an
+    intra-node :class:`~repro.transport.shm.ShmChannel`; ``rdma`` wires a
+    writer/reader endpoint pair over an NNTI fabric (InfiniBand cost
+    parameters unless ``interconnect`` overrides them) and returns the
+    writer-side :class:`~repro.transport.rdma.RdmaChannel`.
+
+    Note the drain channel always uses the pool (two-copy) path even when
+    the ``xpmem`` hint is set: the xpmem protocol's synchronous
+    consumer-detach semantics would deadlock a single drainer thread that
+    both sends and receives; xpmem continues to inform the cost models.
+    """
+    kind = (kind or "shm").strip().lower()
+    if kind == "shm":
+        from repro.transport.shm import ShmChannel
+
+        return ShmChannel(monitor=monitor)
+    if kind == "rdma":
+        from repro.machine.interconnect import InfinibandInterconnect
+        from repro.transport.rdma import NntiFabric, RdmaChannel
+
+        fabric = NntiFabric(interconnect or InfinibandInterconnect())
+        writer_ep = fabric.endpoint(0, "stream-writer")
+        reader_ep = fabric.endpoint(1, "stream-reader")
+        conn = fabric.connect(writer_ep, reader_ep)
+        return RdmaChannel(conn, writer_ep, monitor=monitor)
+    raise ValueError(f"unknown stream transport {kind!r}; expected shm or rdma")

@@ -7,10 +7,24 @@ program.  Writers then emit timesteps; readers consume them (process-group
 or global-array pattern); when the writer closes the file, readers receive
 End-of-Stream from their next read.  Because the API is the ADIOS file
 API, stream and file modes interchange without code changes.
+
+The data plane behind ``advance``/``end_step`` is pipelined: sealing a
+step (running writer-side DC plug-ins) happens on the writer's thread,
+then the step is handed to a bounded background **drainer** that pushes
+the payload through the selected SHM/RDMA channel.  With ``sync=false``
+(the default) the writer-visible span covers only the seal + buffer
+hand-off; ``sync=true`` blocks until the transport drain completes —
+so ``writer_visible`` is a *measured* span, not a formula.
+
+Reads are served from a **plan cache**: with CACHING_LOCAL/CACHING_ALL
+the (writer boxes, selection) overlap geometry is compiled once to bare
+numpy slice assignments and replayed on subsequent steps.
 """
 
 from __future__ import annotations
 
+import queue
+import threading
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -21,19 +35,26 @@ from repro.adios.api import (
     IoMethod,
     RankContext,
     ReadHandle,
+    StepNotReady,
+    VariableNotFound,
     WriteHandle,
     register_method,
 )
 from repro.adios.config import MethodSpec
 from repro.adios.model import Group, ProcessGroupData, WrittenVar
-from repro.adios.selection import BoundingBox, assemble, intersect
+from repro.adios.selection import BoundingBox, assemble, intersect, resolve_selection
 from repro.core.directory import CoordinatorInfo, DirectoryServer
-from repro.core.redistribution import CachingOption, RedistributionEngine
+from repro.core.redistribution import (
+    CachingOption,
+    PlanCache,
+    RedistributionEngine,
+    global_plan_cache,
+)
 from repro.core.monitoring import PerfMonitor
 from repro.core.plugins import PluginManager, PluginSide
 
 
-class StreamStalled(Exception):
+class StreamStalled(StepNotReady):
     """No published step is available yet (writer still running)."""
 
 
@@ -47,7 +68,9 @@ class StreamHints:
 
     The paper's Section IV.B.1 knobs: handshake caching, variable
     batching, synchronous vs asynchronous writes, the XPMEM path, and the
-    buffering depth (backpressure threshold).
+    buffering depth (backpressure threshold).  ``queue_depth`` bounds the
+    async drainer's hand-off queue (steps in flight before the writer
+    blocks); ``transport`` picks the drain channel (``shm``/``rdma``).
     """
 
     caching: CachingOption = CachingOption.NO_CACHING
@@ -57,6 +80,10 @@ class StreamHints:
     buffer_steps: int = 4
     #: Enable span tracing on the stream's monitor (``trace=true``).
     trace: bool = False
+    #: Bounded depth of the async publication queue (back-pressure point).
+    queue_depth: int = 2
+    #: Drain channel: ``shm`` (intra-node) or ``rdma`` (inter-node).
+    transport: str = "shm"
 
     @classmethod
     def from_spec(cls, spec: MethodSpec) -> "StreamHints":
@@ -70,6 +97,11 @@ class StreamHints:
             raise StreamError(
                 f"unknown caching hint {raw!r}; expected none/local/all"
             )
+        transport = (spec.param("transport", "shm") or "shm").strip().lower()
+        if transport not in ("shm", "rdma"):
+            raise StreamError(
+                f"unknown transport hint {transport!r}; expected shm/rdma"
+            )
         return cls(
             caching=mapping[raw],
             batching=spec.param_bool("batching", False),
@@ -77,6 +109,8 @@ class StreamHints:
             xpmem=spec.param_bool("xpmem", False),
             buffer_steps=spec.param_int("buffer_steps", 4),
             trace=spec.param_bool("trace", False),
+            queue_depth=spec.param_int("queue_depth", 2),
+            transport=transport,
         )
 
 
@@ -103,6 +137,72 @@ class _PublishedStep:
         return list(seen)
 
 
+class _StepDrainer:
+    """Bounded background thread pushing sealed steps through a channel.
+
+    The writer hands each :class:`_PublishedStep` to :meth:`submit`;
+    once the queue holds ``queue_depth`` undrained steps the writer
+    blocks (back-pressure, counted in ``dataplane.backpressure_waits``).
+    The drainer commits every step to the stream's published list even
+    when the transport push fails, so readers never hang on a lost step.
+    """
+
+    def __init__(self, state: "StreamState", queue_depth: int) -> None:
+        self._state = state
+        self._queue: queue.Queue = queue.Queue(maxsize=max(1, int(queue_depth)))
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+        self._stopped = False
+        self._thread = threading.Thread(
+            target=self._run, name=f"flexio-drain-{state.name}", daemon=True
+        )
+        self._thread.start()
+
+    def submit(self, step: _PublishedStep, parts: list) -> None:
+        mon = self._state.monitor
+        with self._pending_lock:
+            self._pending += 1
+            self._idle.clear()
+        item = (step, parts)
+        try:
+            self._queue.put_nowait(item)
+        except queue.Full:
+            self._state.backpressure_waits += 1
+            mon.metrics.counter("dataplane.backpressure_waits").inc()
+            self._queue.put(item)
+        mon.metrics.gauge("dataplane.drain.queue_depth").inc()
+
+    def wait_idle(self) -> None:
+        """Block until every submitted step has been drained + committed."""
+        self._idle.wait()
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        self._queue.put(None)
+        self._thread.join(timeout=10.0)
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            step, parts = item
+            try:
+                self._state._drain_one(step, parts)
+            finally:
+                self._state.monitor.metrics.gauge(
+                    "dataplane.drain.queue_depth"
+                ).dec()
+                with self._pending_lock:
+                    self._pending -= 1
+                    if self._pending == 0:
+                        self._idle.set()
+
+
 class StreamState:
     """Shared state of one named stream: buffered steps + membership."""
 
@@ -119,8 +219,11 @@ class StreamState:
             self.monitor.enable_tracing()
         #: Times a publish exceeded the hinted buffering depth.
         self.backpressure_events = 0
+        #: Times the writer blocked on a full drain queue (async pipeline).
+        self.backpressure_waits = 0
         self.plugins = PluginManager(self.monitor)
-        self.published: list[_PublishedStep] = []
+        self._published: list[_PublishedStep] = []
+        self._publish_lock = threading.Lock()
         self._current: dict[int, ProcessGroupData] = {}
         self._step = 0
         self.writer_ranks: set[int] = set()
@@ -129,6 +232,43 @@ class StreamState:
         self.closed = False
         #: High-water mark of buffered bytes (backpressure visibility).
         self.peak_buffered_bytes = 0
+        self._drainer: Optional[_StepDrainer] = None
+        self._channel = None
+
+    # -- async pipeline -----------------------------------------------------
+    @property
+    def published(self) -> list[_PublishedStep]:
+        """Committed steps; waits for in-flight drains first so callers
+        observe the same ordering the synchronous data plane had."""
+        self._quiesce()
+        return self._published
+
+    def _quiesce(self) -> None:
+        if self._drainer is not None:
+            self._drainer.wait_idle()
+
+    def _ensure_pipeline(self) -> None:
+        if self._drainer is None:
+            from repro.core.runtime import make_stream_channel
+
+            self._channel = make_stream_channel(
+                self.hints.transport, monitor=self.monitor
+            )
+            self._drainer = _StepDrainer(self, self.hints.queue_depth)
+
+    def shutdown_pipeline(self) -> None:
+        """Stop the drainer thread and close the drain channel."""
+        if self._drainer is not None:
+            self._drainer.stop()
+            self._drainer = None
+        if self._channel is not None:
+            close = getattr(self._channel, "close", None)
+            try:
+                if close is not None:
+                    close()
+            except Exception:
+                pass
+            self._channel = None
 
     # -- writer side --------------------------------------------------------
     def writer_join(self, rank: int) -> None:
@@ -145,47 +285,88 @@ class StreamState:
             self._current[rank] = pg
         pg.add(wv)
 
-    def advance(self, rank: int) -> None:
+    def advance(self, rank: int, sync: Optional[bool] = None) -> None:
         if rank not in self.writer_ranks:
             raise StreamError(f"rank {rank} never joined stream {self.name!r}")
         self._advanced.add(rank)
         live = self.writer_ranks - self._closed_ranks
         if self._advanced >= live:
-            self._publish()
+            self._publish(sync=sync)
 
-    def _publish(self) -> None:
-        """Seal the current step: run writer-side DC plug-ins, enqueue."""
+    def _publish(self, sync: Optional[bool] = None) -> None:
+        """Seal the current step, hand it to the drain pipeline.
+
+        ``sync=True`` blocks until the step has cleared the transport
+        (paper's synchronous writes); ``sync=False`` returns as soon as
+        the step is queued.  ``None`` defers to the stream hint.  Either
+        way the elapsed wall time lands in the ``writer_visible``
+        measurement category.
+        """
+        if sync is None:
+            sync = self.hints.sync
         step = _PublishedStep(self._step)
-        # Root span of this timestep's trace: everything downstream (the
-        # reader's redistribute/transport/plug-in spans) parents on it.
-        with self.monitor.span("write", self.name, step=self._step) as wspan:
-            for rank, pg in sorted(self._current.items()):
-                record = {name: wv.data for name, wv in pg.variables.items()}
-                conditioned = self.plugins.apply_side(PluginSide.WRITER, record)
-                out = ProcessGroupData(rank=rank, step=pg.step)
-                for name, data in conditioned.items():
-                    orig = pg.variables.get(name)
-                    out.add(
-                        WrittenVar(
-                            name=name,
-                            data=np.asarray(data),
-                            box=orig.box if orig is not None and _same_shape(orig, data) else None,
-                            global_shape=orig.global_shape if orig is not None else None,
+        with self.monitor.measure(
+            "writer_visible", self.name, step=self._step, sync=bool(sync)
+        ) as vis:
+            # Root span of this timestep's trace: everything downstream
+            # (the reader's redistribute/transport/plug-in spans and the
+            # drainer's channel spans) parents on it.
+            with self.monitor.span("write", self.name, step=self._step) as wspan:
+                for rank, pg in sorted(self._current.items()):
+                    record = {name: wv.data for name, wv in pg.variables.items()}
+                    conditioned = self.plugins.apply_side(PluginSide.WRITER, record)
+                    out = ProcessGroupData(rank=rank, step=pg.step)
+                    for name, data in conditioned.items():
+                        orig = pg.variables.get(name)
+                        out.add(
+                            WrittenVar(
+                                name=name,
+                                data=np.asarray(data),
+                                box=orig.box if orig is not None and _same_shape(orig, data) else None,
+                                global_shape=orig.global_shape if orig is not None else None,
+                            )
                         )
-                    )
-                step.groups[rank] = out
-            wspan.add_bytes(step.nbytes)
-            step.trace_ctx = wspan.context
-        self.published.append(step)
+                    step.groups[rank] = out
+                wspan.add_bytes(step.nbytes)
+                step.trace_ctx = wspan.context
+            vis.add_bytes(step.nbytes)
+            self._ensure_pipeline()
+            self._drainer.submit(step, _step_parts(step))
+            if sync:
+                self._drainer.wait_idle()
         self._current = {}
         self._advanced = set()
         self._step += 1
-        buffered = sum(s.nbytes for s in self.published)
-        self.peak_buffered_bytes = max(self.peak_buffered_bytes, buffered)
-        if len(self.published) > self.hints.buffer_steps:
-            # In the real transport the writer would stall here; in the
-            # in-process harness we surface it through monitoring.
-            self.backpressure_events += 1
+
+    def _drain_one(self, step: _PublishedStep, parts: list) -> None:
+        """Drainer-thread body: push one step's payload, then commit it."""
+        mon = self.monitor
+        try:
+            with mon.measure("drain", self.name, step=step.step) as mp:
+                mp.add_bytes(step.nbytes)
+                if parts and self._channel is not None:
+                    with mon.span(
+                        "drain", self.name, parent=step.trace_ctx, step=step.step
+                    ):
+                        self._channel.sendv(parts)
+                        self._channel.recv()
+        except Exception as exc:  # keep readers alive on transport faults
+            mon.record(
+                "drain_error", self.name, start=0.0, duration=0.0, error=repr(exc)
+            )
+            mon.metrics.counter("dataplane.drain.errors").inc()
+        finally:
+            self._commit(step)
+
+    def _commit(self, step: _PublishedStep) -> None:
+        with self._publish_lock:
+            self._published.append(step)
+            buffered = sum(s.nbytes for s in self._published)
+            self.peak_buffered_bytes = max(self.peak_buffered_bytes, buffered)
+            if len(self._published) > self.hints.buffer_steps:
+                # In the real transport the writer would stall here; in the
+                # in-process harness we surface it through monitoring.
+                self.backpressure_events += 1
         self.monitor.record(
             "stream_publish", self.name, start=0.0, duration=0.0, nbytes=step.nbytes
         )
@@ -197,7 +378,9 @@ class StreamState:
             # Publish any partial step implicitly, then end the stream.
             if self._current:
                 self._publish()
+            self._quiesce()
             self.closed = True
+            self.shutdown_pipeline()
 
     # -- reader side --------------------------------------------------------
     def step_available(self, index: int) -> bool:
@@ -208,11 +391,22 @@ class StreamState:
             if self.closed:
                 raise EndOfStream(self.name)
             raise StreamStalled(f"step {index} of {self.name!r} not yet published")
-        return self.published[index]
+        return self._published[index]
 
 
 def _same_shape(orig: WrittenVar, data) -> bool:
     return tuple(np.shape(data)) == tuple(orig.data.shape)
+
+
+def _step_parts(step: _PublishedStep) -> list[np.ndarray]:
+    """Flatten a step's variables to contiguous byte views for the channel."""
+    parts: list[np.ndarray] = []
+    for rank in sorted(step.groups):
+        for wv in step.groups[rank].variables.values():
+            arr = np.ascontiguousarray(wv.data)
+            if arr.nbytes:
+                parts.append(arr.reshape(-1).view(np.uint8))
+    return parts
 
 
 class StreamRegistry:
@@ -250,12 +444,18 @@ class StreamRegistry:
 
     def close_stream(self, name: str) -> None:
         if name in self._states:
+            self._states[name].shutdown_pipeline()
             try:
                 self.directory.unregister(name)
             except Exception:
                 pass
 
     def reset(self) -> None:
+        for state in getattr(self, "_states", {}).values():
+            try:
+                state.shutdown_pipeline()
+            except Exception:
+                pass
         self.__init__()
 
 
@@ -268,7 +468,13 @@ stream_registry = StreamRegistry()
 # ---------------------------------------------------------------------------
 
 class FlexpathWriteHandle(WriteHandle):
-    """Stream-mode writer for one rank."""
+    """Stream-mode writer for one rank.
+
+    Step-oriented usage: ``begin_step() … write() … end_step()``;
+    ``end_step(sync=True)`` forces one synchronous publish regardless of
+    the stream's ``sync`` hint.  ``advance()`` remains as a deprecated
+    alias.
+    """
 
     def __init__(self, state: StreamState, ctx: RankContext) -> None:
         self._state = state
@@ -301,10 +507,10 @@ class FlexpathWriteHandle(WriteHandle):
             ),
         )
 
-    def advance(self):
+    def advance(self, sync: Optional[bool] = None):
         if self._closed:
             raise StreamError("advance after close")
-        self._state.advance(self._ctx.rank)
+        self._state.advance(self._ctx.rank, sync=sync)
 
     def close(self):
         if self._closed:
@@ -316,7 +522,13 @@ class FlexpathWriteHandle(WriteHandle):
 
 
 class FlexpathReadHandle(ReadHandle):
-    """Stream-mode reader for one rank; End-of-Stream when writers close."""
+    """Stream-mode reader for one rank; End-of-Stream when writers close.
+
+    Step-oriented usage: ``begin_step()`` returns
+    :class:`~repro.adios.api.StepStatus` (``NotReady`` instead of a
+    :class:`StreamStalled` raise), reads address the positioned step,
+    ``end_step()`` releases it.
+    """
 
     def __init__(self, state: StreamState, ctx: RankContext) -> None:
         self._state = state
@@ -327,6 +539,7 @@ class FlexpathReadHandle(ReadHandle):
         self._hs_engines: dict[str, RedistributionEngine] = {}
         self._hs_boxes: dict[str, tuple] = {}
         self._hs_paid_steps: set[int] = set()
+        self._local_plan_cache: Optional[PlanCache] = None
 
     @property
     def plugins(self) -> PluginManager:
@@ -344,14 +557,35 @@ class FlexpathReadHandle(ReadHandle):
     def _step(self) -> _PublishedStep:
         return self._state.get_step(self._cursor)
 
+    def _probe_step(self) -> None:
+        # begin_step() readiness check for the handle's current cursor.
+        self._state.get_step(self._cursor)
+
     def available_vars(self):
         return self._step().var_names()
+
+    def _plan_cache(self) -> Optional[PlanCache]:
+        """The plan cache the stream's caching hint selects.
+
+        CACHING_ALL shares the process-wide cache (both sides keep every
+        distribution), CACHING_LOCAL keeps a per-handle cache, NO_CACHING
+        re-derives overlap geometry every read — the paper's protocol
+        levels mapped onto the data plane.
+        """
+        caching = self._state.hints.caching
+        if caching is CachingOption.CACHING_ALL:
+            return global_plan_cache
+        if caching is CachingOption.CACHING_LOCAL:
+            if self._local_plan_cache is None:
+                self._local_plan_cache = PlanCache(maxsize=64)
+            return self._local_plan_cache
+        return None
 
     def read_block(self, name: str, writer_rank: int) -> np.ndarray:
         step = self._step()
         pg = step.groups.get(writer_rank)
         if pg is None or name not in pg.variables:
-            raise KeyError(
+            raise VariableNotFound(
                 f"no block for var {name!r} from writer {writer_rank} "
                 f"at step {self._cursor}"
             )
@@ -385,25 +619,33 @@ class FlexpathReadHandle(ReadHandle):
             if wv.box is not None:
                 blocks.append((wv.box, wv.data))
         if dtype is None:
-            raise KeyError(f"no variable {name!r} at step {self._cursor}")
+            raise VariableNotFound(f"no variable {name!r} at step {self._cursor}")
         if gshape is None:
             raise StreamError(
                 f"variable {name!r} is not a global array; use read_block()"
             )
-        if start is None or count is None:
-            target = BoundingBox((0,) * len(gshape), tuple(gshape))
-        else:
-            target = BoundingBox(tuple(start), tuple(count))
+        target = resolve_selection(start, count, gshape)
         mon = self._state.monitor
+        cache = self._plan_cache()
         with mon.span("read", name, parent=step.trace_ctx, step=self._cursor):
             with mon.span("redistribute", name, writers=len(blocks)):
                 self._account_handshake(name, gshape, [b for b, _ in blocks])
             with mon.span("transport", name) as tspan:
-                out = assemble(
-                    target,
-                    ((b, d) for b, d in blocks if intersect(target, b) is not None),
-                    dtype=dtype,
-                )
+                if cache is not None and blocks:
+                    cplan, hit = cache.get([b for b, _ in blocks], [target], gshape)
+                    mon.metrics.counter(
+                        "dataplane.plan_cache.hits" if hit
+                        else "dataplane.plan_cache.misses"
+                    ).inc()
+                    out = cplan.execute(
+                        [d for _, d in blocks], dtype=dtype, check=False
+                    )[0]
+                else:
+                    out = assemble(
+                        target,
+                        ((b, d) for b, d in blocks if intersect(target, b) is not None),
+                        dtype=dtype,
+                    )
                 tspan.add_bytes(int(out.nbytes))
             record = self._state.plugins.apply_side(PluginSide.READER, {name: out})
         result = np.asarray(record[name])
@@ -412,7 +654,50 @@ class FlexpathReadHandle(ReadHandle):
         )
         return result
 
-    def _account_handshake(self, name, gshape, writer_boxes) -> None:
+    def read_all(self, names=None, start=None, count=None) -> dict[str, np.ndarray]:
+        """Read several global-array variables of the current step.
+
+        With ``batching=true`` one aggregated handshake round services
+        every variable (paper's variable batching); without it each
+        variable pays its own round, exactly as per-variable ``read``
+        calls would.  ``names=None`` selects every global-array variable.
+        """
+        step = self._step()
+        if names is None:
+            names = [
+                n for n in step.var_names()
+                if any(
+                    pg.variables.get(n) is not None
+                    and pg.variables[n].global_shape is not None
+                    for pg in step.groups.values()
+                )
+            ]
+        names = list(names)
+        if not names:
+            return {}
+        if self._state.hints.batching:
+            # Pay the aggregated round up-front so the per-variable reads
+            # of this step ride on it.
+            first = names[0]
+            gshape = None
+            boxes = []
+            for pg in step.groups.values():
+                wv = pg.variables.get(first)
+                if wv is None:
+                    continue
+                if wv.global_shape is not None:
+                    gshape = wv.global_shape
+                if wv.box is not None:
+                    boxes.append(wv.box)
+            if gshape is not None:
+                self._account_handshake(
+                    first, gshape, boxes, num_variables=len(names)
+                )
+        return {n: self.read(n, start, count) for n in names}
+
+    def _account_handshake(
+        self, name, gshape, writer_boxes, num_variables: int = 1
+    ) -> None:
         """Run the 4-step handshake protocol accounting for one exchange.
 
         Honors the stream's caching and batching hints: with CACHING_ALL
@@ -427,6 +712,7 @@ class FlexpathReadHandle(ReadHandle):
             eng = RedistributionEngine(
                 writer_boxes, [reader_box],
                 caching=hints.caching, batching=hints.batching,
+                plan_cache=self._plan_cache(),
             )
             self._hs_engines[name] = eng
             self._hs_boxes[name] = boxes_key
@@ -436,21 +722,23 @@ class FlexpathReadHandle(ReadHandle):
             self._hs_boxes[name] = boxes_key
         if hints.batching and self._cursor in self._hs_paid_steps:
             return  # aggregated into this step's earlier round
-        cost = eng.handshake(1)
+        cost = eng.handshake(num_variables)
         self._hs_paid_steps.add(self._cursor)
-        self._state.monitor.record(
+        mon = self._state.monitor
+        mon.record(
             "handshake", name, start=0.0, duration=0.0,
             nbytes=cost.control_bytes, messages=cost.messages,
         )
+        mon.metrics.counter("handshake.messages").inc(cost.messages)
+        mon.metrics.counter("handshake.control_bytes").inc(cost.control_bytes)
 
     def handshake_messages(self) -> int:
-        """Total handshake messages this reader has accounted (monitoring)."""
-        agg = self._state.monitor.aggregate("handshake")
-        return sum(
-            dict(rec.extra).get("messages", 0)
-            for rec in self._state.monitor.trace
-            if rec.category == "handshake"
-        ) if agg.count else 0
+        """Total handshake messages accounted on this stream (monitoring).
+
+        Served straight from the metrics registry counter — O(1), no
+        trace scan.
+        """
+        return int(self._state.monitor.metrics.counter("handshake.messages").value)
 
     def advance(self):
         nxt = self._cursor + 1

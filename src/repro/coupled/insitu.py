@@ -18,7 +18,7 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from repro import simcore
-from repro.adios.api import RankContext
+from repro.adios.api import RankContext, StepStatus
 from repro.core.api import FlexIO
 from repro.core.runtime import FlexIORuntime
 from repro.core.stream import stream_registry
@@ -123,8 +123,8 @@ class InSituRun:
                         handles[rank].write(name, data, box=box, global_shape=gshape)
                     else:
                         handles[rank].write(name, value)
-                handles[rank].advance()
-                # Once the whole step is published (last rank's advance),
+                handles[rank].end_step()
+                # Once the whole step is published (last rank's end_step),
                 # charge movement per rank from the *conditioned* sizes.
                 state = stream_registry._states[self.stream_name]
                 if state.step_available(step):
@@ -144,8 +144,10 @@ class InSituRun:
             ]
             for step in range(self.num_steps):
                 yield announce[idx].get()
-                if step > 0:
-                    handle.advance()
+                # The announcement guarantees the step is published, so
+                # begin_step never reports NotReady here.
+                if handle.begin_step() is not StepStatus.OK:
+                    break
                 for w in my_writers:
                     record = {
                         name: handle.read_block(name, w)
@@ -160,6 +162,7 @@ class InSituRun:
                     self.result.analytics_outputs.append(
                         self.analytics(record, step)
                     )
+                handle.end_step()
             handle.close()
 
         procs = [env.process(writer(env, r), name=f"writer-{r}") for r in range(nwriters)]

@@ -50,6 +50,13 @@ class Gauge:
         self.max_value = max(self.max_value, self.value)
         self.samples += 1
 
+    def inc(self, n: float = 1) -> None:
+        """Delta update (e.g. queue depth on enqueue)."""
+        self.set(self.value + n)
+
+    def dec(self, n: float = 1) -> None:
+        self.set(self.value - n)
+
 
 class Histogram:
     """Log-bucketed histogram with percentile queries.

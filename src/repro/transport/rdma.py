@@ -31,6 +31,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.machine.interconnect import Interconnect
 
 
@@ -391,6 +393,14 @@ class RdmaChannel:
             self.monitor.metrics.counter("rdma.bytes_sent").inc(len(data))
             self.monitor.metrics.counter("rdma.messages_sent").inc()
         return t
+
+    def sendv(self, parts, concurrent_flows: int = 1) -> float:
+        """Vectored send: one protocol round (Put or control+Get) moves
+        every part of a step, mirroring :meth:`ShmChannel.sendv`."""
+        data = b"".join(
+            p.tobytes() if isinstance(p, np.ndarray) else bytes(p) for p in parts
+        )
+        return self.send(data, concurrent_flows)
 
     def recv(self) -> Optional[bytes]:
         return self._delivered.popleft() if self._delivered else None

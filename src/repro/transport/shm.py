@@ -30,12 +30,21 @@ import struct
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.machine.topology import NodeType
 from repro.util import CACHE_LINE, align_up
+
+
+def _as_byte_view(part: Union[bytes, np.ndarray]) -> np.ndarray:
+    """A flat uint8 view of one vectored-send part (copy-free for
+    contiguous arrays)."""
+    if isinstance(part, np.ndarray):
+        arr = np.ascontiguousarray(part)
+        return arr.reshape(-1).view(np.uint8)
+    return np.frombuffer(bytes(part), dtype=np.uint8)
 
 _EMPTY = 0
 _FULL = 1
@@ -354,6 +363,50 @@ class ShmChannel:
             self.monitor.metrics.counter("shm.messages_sent").inc()
         else:
             self._send(data, timeout)
+
+    def sendv(
+        self, parts: Sequence[Union[bytes, np.ndarray]], timeout: float = 5.0
+    ) -> None:
+        """Vectored send: gather ``parts`` into one message.
+
+        One control round and one pool buffer service the whole step —
+        each part is copied straight into the shared buffer, with no
+        intermediate join on the producer side.  Always takes the pool
+        path for large payloads (the xpmem path's synchronous
+        consumer-detach handshake would deadlock a caller that also
+        drives ``recv`` from the same thread).
+        """
+        views = [_as_byte_view(p) for p in parts]
+        total = sum(v.nbytes for v in views)
+        if self.monitor is not None:
+            with self.monitor.span(
+                "transport", "shm.sendv", nbytes=total, parts=len(views)
+            ):
+                self._sendv(views, total, timeout)
+            self.monitor.metrics.counter("shm.bytes_sent").inc(total)
+            self.monitor.metrics.counter("shm.messages_sent").inc()
+        else:
+            self._sendv(views, total, timeout)
+
+    def _sendv(
+        self, views: Sequence[np.ndarray], total: int, timeout: float
+    ) -> None:
+        if total <= self._inline_max:
+            data = b"".join(v.tobytes() for v in views)
+            self.queue.enqueue(
+                _CTRL.pack(_PATH_INLINE, 0, len(data)) + data, timeout=timeout
+            )
+            self.inline_sends += 1
+            return
+        buf = self.pool.acquire(total)
+        offset = 0
+        for v in views:  # gather: copy 1, directly into the shared buffer
+            buf.data[offset : offset + v.nbytes] = v
+            offset += v.nbytes
+        self.queue.enqueue(
+            _CTRL.pack(_PATH_POOL, buf.buffer_id, total), timeout=timeout
+        )
+        self.large_sends += 1
 
     def _send(self, data: bytes, timeout: float) -> None:
         if len(data) <= self._inline_max:
