@@ -40,8 +40,10 @@ from repro.adios.api import (
     IoMethod,
     RankContext,
     ReadHandle,
+    StepLost,
     StepNotReady,
     StepStatus,
+    StreamFailure,
     VariableNotFound,
     WriteHandle,
     register_method,
@@ -63,8 +65,10 @@ __all__ = [
     "BoxSelection",
     "FullSelection",
     "Selection",
+    "StepLost",
     "StepNotReady",
     "StepStatus",
+    "StreamFailure",
     "VariableNotFound",
     "BpFormatError",
     "BpReader",

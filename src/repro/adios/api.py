@@ -33,8 +33,28 @@ class EndOfStream(Exception):
     """The writer closed the stream / no steps remain."""
 
 
+class StreamFailure(EndOfStream):
+    """The stream ended abnormally (writer died, lease expired).
+
+    Still an :class:`EndOfStream` — the stream *is* over — but carries
+    the failure reason, and ``begin_step`` reports it as
+    :attr:`StepStatus.OtherError` rather than a clean end.
+    """
+
+
 class StepNotReady(Exception):
     """The next step has not been published yet (transient)."""
+
+
+class StepLost(AdiosError):
+    """A step's payload was lost or aborted in movement.
+
+    Raised by reads/advance addressing a step the writer published but
+    the data plane could not deliver (retries exhausted, or its
+    transaction aborted).  ``begin_step`` maps it to
+    :attr:`StepStatus.OtherError` and skips past the lost step, so
+    readers see a typed gap — never torn data, never a silent drop.
+    """
 
 
 class VariableNotFound(AdiosError, KeyError):
@@ -181,6 +201,13 @@ class ReadHandle(abc.ABC):
                     self.advance()
                 else:
                     self._probe_step()
+            except StepLost:
+                # The step is permanently gone: report the typed gap and
+                # consume it, so the next begin_step moves past it.
+                self._step_consumed = True
+                return StepStatus.OtherError
+            except StreamFailure:
+                return StepStatus.OtherError
             except EndOfStream:
                 return StepStatus.EndOfStream
             except StepNotReady:

@@ -58,6 +58,15 @@ class MethodSpec:
         except ValueError as exc:
             raise ConfigError(f"parameter {key}={raw!r} is not an integer") from exc
 
+    def param_float(self, key: str, default: float = 0.0) -> float:
+        raw = self.parameters.get(key)
+        if raw is None:
+            return default
+        try:
+            return float(raw)
+        except ValueError as exc:
+            raise ConfigError(f"parameter {key}={raw!r} is not a number") from exc
+
 
 def _parse_params(text: Optional[str]) -> dict[str, str]:
     """Parse ``key=value;key=value`` hint strings."""

@@ -42,7 +42,15 @@ from repro.core.redistribution import (
     RedistributionPlan,
     global_plan_cache,
 )
-from repro.core.stream import FlexpathMethod, StreamStalled, stream_registry
+from repro.core.directory import DirectoryError
+from repro.core.stream import (
+    FlexpathMethod,
+    StepState,
+    StreamError,
+    StreamHints,
+    StreamStalled,
+    stream_registry,
+)
 from repro.core.runtime import (
     FlexIORuntime,
     NumaBufferPolicy,
@@ -98,6 +106,10 @@ __all__ = [
     "make_stream_channel",
     "RedistributionEngine",
     "RedistributionPlan",
+    "DirectoryError",
+    "StepState",
+    "StreamError",
+    "StreamHints",
     "StreamStalled",
     "TraceRecord",
     "TransportKind",

@@ -6,12 +6,22 @@ the simulation creates a stream its coordinator registers the stream name
 with its contact information at the directory server; the analytics'
 coordinator looks the name up and connects.  The server participates only
 in discovery — never in the data path — so a single instance suffices.
+
+Failure detection (Section II.H's "errors and failures during data
+movement" extended to the control plane): a registration may carry a
+**lease**.  The writing coordinator must :meth:`~DirectoryServer.heartbeat`
+within the lease period; :meth:`~DirectoryServer.reap` evicts entries whose
+lease expired and notifies the registered contact (``contact.fail(...)``),
+so readers of a dead writer get a typed end-of-stream-with-error instead
+of stalling forever.  Streams registered without a lease (the default)
+are never evicted — exactly the old behaviour.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 
 class DirectoryError(RuntimeError):
@@ -34,26 +44,88 @@ class _Entry:
     writer: CoordinatorInfo
     readers: list[CoordinatorInfo] = field(default_factory=list)
     lookups: int = 0
+    #: Lease period in seconds; None → the entry never expires.
+    lease: Optional[float] = None
+    #: Absolute deadline (directory clock) of the current lease.
+    deadline: Optional[float] = None
 
 
 class DirectoryServer:
-    """Name → coordinator registry.
+    """Name → coordinator registry with optional liveness leases.
 
     Counters make the "server is not in the critical path" property
-    checkable: per-step data movement never touches the server.
+    checkable: per-step data movement never touches the server (writer
+    heartbeats are control-plane traffic, counted separately).
+    ``clock`` is injectable so tests and discrete-event runs can drive
+    lease expiry deterministically.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self._entries: dict[str, _Entry] = {}
+        self._clock = clock or time.monotonic
         self.registrations = 0
         self.lookups = 0
+        self.heartbeats = 0
+        self.evictions = 0
 
-    def register(self, name: str, info: CoordinatorInfo) -> None:
-        """The writing program's coordinator publishes a stream name."""
+    def register(
+        self, name: str, info: CoordinatorInfo, lease: Optional[float] = None
+    ) -> None:
+        """The writing program's coordinator publishes a stream name.
+
+        With ``lease`` (seconds) the registration must be refreshed via
+        :meth:`heartbeat` or :meth:`reap` will evict it.
+        """
         if name in self._entries:
             raise DirectoryError(f"stream name {name!r} already registered")
-        self._entries[name] = _Entry(writer=info)
+        if lease is not None and lease <= 0:
+            raise ValueError("lease must be positive (or None for no lease)")
+        entry = _Entry(writer=info, lease=lease)
+        if lease is not None:
+            entry.deadline = self._clock() + lease
+        self._entries[name] = entry
         self.registrations += 1
+
+    def heartbeat(self, name: str) -> None:
+        """Writer liveness signal: pushes the lease deadline forward."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DirectoryError(f"no stream registered under {name!r}")
+        self.heartbeats += 1
+        if entry.lease is not None:
+            entry.deadline = self._clock() + entry.lease
+
+    def expired(self, now: Optional[float] = None) -> list[str]:
+        """Names whose lease deadline has passed (no side effects)."""
+        now = self._clock() if now is None else now
+        return sorted(
+            name
+            for name, e in self._entries.items()
+            if e.deadline is not None and now > e.deadline
+        )
+
+    def reap(self, now: Optional[float] = None) -> list[str]:
+        """Evict every expired entry; returns the evicted names.
+
+        Each evicted entry's contact is notified through its ``fail``
+        method (when it has one) so the stream ends with a typed error
+        for its readers rather than an eternal stall.
+        """
+        evicted = []
+        for name in self.expired(now):
+            entry = self._entries.pop(name)
+            self.evictions += 1
+            evicted.append(name)
+            fail = getattr(entry.writer.contact, "fail", None)
+            if callable(fail):
+                try:
+                    fail(
+                        f"writer lease expired "
+                        f"({entry.lease:.3g}s without heartbeat)"
+                    )
+                except Exception:
+                    pass  # eviction must never take the directory down
+        return evicted
 
     def lookup(self, name: str, reader: Optional[CoordinatorInfo] = None) -> CoordinatorInfo:
         """A reading program's coordinator resolves a stream name."""

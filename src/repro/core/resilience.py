@@ -80,23 +80,35 @@ class FaultInjector:
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retries with exponential backoff (modeled time)."""
+    """Bounded retries with exponential backoff plus optional jitter."""
 
     max_retries: int = 3
     timeout: float = 1.0
     backoff_factor: float = 2.0
+    #: Fraction of the backoff delay added as uniform random jitter, to
+    #: decorrelate retry storms across ranks (0 → deterministic backoff).
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be >= 0")
         if self.timeout <= 0 or self.backoff_factor < 1.0:
             raise ValueError("timeout > 0 and backoff_factor >= 1 required")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
 
-    def delay_before(self, attempt: int) -> float:
-        """Backoff delay before retry ``attempt`` (attempt 0 = first try)."""
+    def delay_before(self, attempt: int, rng: Optional[Any] = None) -> float:
+        """Backoff delay before retry ``attempt`` (attempt 0 = first try).
+
+        ``rng`` (a numpy Generator) supplies the jitter draw; without one
+        the delay is the deterministic exponential schedule.
+        """
         if attempt == 0:
             return 0.0
-        return self.timeout * self.backoff_factor ** (attempt - 1)
+        base = self.timeout * self.backoff_factor ** (attempt - 1)
+        if self.jitter > 0.0 and rng is not None:
+            base += base * self.jitter * float(rng.random())
+        return base
 
 
 @dataclass
@@ -128,11 +140,17 @@ class ReliableChannel:
         self.stats = RetryStats()
 
     def send(self, *args: Any, **kwargs: Any) -> Any:
-        """Run the operation, retrying on injected faults.
+        """Run the operation, retrying on injected *and* real faults.
 
-        Returns the transport's return value; raises
-        :class:`MovementFailed` once retries are exhausted.
+        Besides the injector's scripted timeouts, any
+        :class:`~repro.transport.faults.TransportFault` or
+        :class:`TimeoutError` raised by the transport callable itself is
+        treated as a retriable movement error.  Returns the transport's
+        return value; raises :class:`MovementFailed` once retries are
+        exhausted.
         """
+        from repro.transport.faults import TransportFault
+
         self.stats.operations += 1
         last_exc: Optional[Exception] = None
         for attempt in range(self.policy.max_retries + 1):
@@ -144,7 +162,11 @@ class ReliableChannel:
                 self.stats.time_lost += self.policy.timeout
                 last_exc = TimeoutError(f"movement timed out (attempt {attempt + 1})")
                 continue
-            return self.transport(*args, **kwargs)
+            try:
+                return self.transport(*args, **kwargs)
+            except (TransportFault, TimeoutError) as exc:
+                self.stats.time_lost += self.policy.timeout
+                last_exc = exc
         self.stats.failures += 1
         raise MovementFailed(
             f"gave up after {self.policy.max_retries + 1} attempts"
@@ -167,7 +189,9 @@ class Participant:
 
     ``prepare`` stages the rank's output (durably, in the real system);
     ``commit`` publishes the staged data through ``publish_fn``;
-    ``abort`` discards it.  A :class:`FaultInjector` can fail prepares.
+    ``abort`` discards it.  A :class:`FaultInjector` can fail prepares,
+    and ``prepare_fn`` lets the rank do real work during prepare (e.g.
+    move its bytes onto the wire) and vote on the outcome.
     """
 
     def __init__(
@@ -175,16 +199,22 @@ class Participant:
         rank: int,
         publish_fn: Callable[[int, dict], None],
         injector: Optional[FaultInjector] = None,
+        prepare_fn: Optional[Callable[[int, dict], bool]] = None,
     ) -> None:
         self.rank = rank
         self._publish = publish_fn
         self.injector = injector
+        self._prepare_fn = prepare_fn
         self.phase = TxPhase.IDLE
         self._staged: Optional[tuple[int, dict]] = None
 
     def prepare(self, step: int, payload: dict) -> bool:
         """Stage the payload; returns the participant's vote."""
         if self.injector is not None and self.injector.should_fail():
+            self.phase = TxPhase.ABORTED
+            self._staged = None
+            return False
+        if self._prepare_fn is not None and not self._prepare_fn(step, payload):
             self.phase = TxPhase.ABORTED
             self._staged = None
             return False

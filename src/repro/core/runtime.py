@@ -151,7 +151,7 @@ class FlexIORuntime:
         return self.transfer_time(nbytes, writer_core, reader_core)
 
 
-def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None):
+def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None, injector=None):
     """Build the drain channel behind a stream's async publication pipeline.
 
     ``kind`` follows the ``transport`` stream hint: ``shm`` yields an
@@ -159,6 +159,10 @@ def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None):
     writer/reader endpoint pair over an NNTI fabric (InfiniBand cost
     parameters unless ``interconnect`` overrides them) and returns the
     writer-side :class:`~repro.transport.rdma.RdmaChannel`.
+
+    ``injector`` (a :class:`~repro.transport.faults.TransportFaultInjector`)
+    makes the built channel inject send faults, for chaos testing and the
+    ``faults=`` stream hint.
 
     Note the drain channel always uses the pool (two-copy) path even when
     the ``xpmem`` hint is set: the xpmem protocol's synchronous
@@ -169,7 +173,7 @@ def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None):
     if kind == "shm":
         from repro.transport.shm import ShmChannel
 
-        return ShmChannel(monitor=monitor)
+        return ShmChannel(monitor=monitor, injector=injector)
     if kind == "rdma":
         from repro.machine.interconnect import InfinibandInterconnect
         from repro.transport.rdma import NntiFabric, RdmaChannel
@@ -178,5 +182,5 @@ def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None):
         writer_ep = fabric.endpoint(0, "stream-writer")
         reader_ep = fabric.endpoint(1, "stream-reader")
         conn = fabric.connect(writer_ep, reader_ep)
-        return RdmaChannel(conn, writer_ep, monitor=monitor)
+        return RdmaChannel(conn, writer_ep, monitor=monitor, injector=injector)
     raise ValueError(f"unknown stream transport {kind!r}; expected shm or rdma")

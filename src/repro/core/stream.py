@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import queue
 import threading
+import time
+import zlib
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import Optional, Sequence
 
 import numpy as np
@@ -35,7 +38,9 @@ from repro.adios.api import (
     IoMethod,
     RankContext,
     ReadHandle,
+    StepLost,
     StepNotReady,
+    StreamFailure,
     VariableNotFound,
     WriteHandle,
     register_method,
@@ -52,6 +57,19 @@ from repro.core.redistribution import (
 )
 from repro.core.monitoring import PerfMonitor
 from repro.core.plugins import PluginManager, PluginSide
+from repro.core.resilience import (
+    MovementFailed,
+    Participant,
+    RetryPolicy,
+    TransactionAborted,
+    TransactionCoordinator,
+)
+from repro.transport.faults import (
+    TransportFault,
+    injector_from_env,
+    parse_fault_spec,
+)
+from repro.util import rng
 
 
 class StreamStalled(StepNotReady):
@@ -60,6 +78,20 @@ class StreamStalled(StepNotReady):
 
 class StreamError(RuntimeError):
     """Protocol misuse on a stream."""
+
+
+class StepState(Enum):
+    """Delivery state of one published step."""
+
+    PENDING = "pending"      # sealed, still in the drain pipeline
+    COMMITTED = "committed"  # drained successfully; readable
+    LOST = "lost"            # retries exhausted; payload discarded
+    ABORTED = "aborted"      # its transaction aborted; payload discarded
+
+
+#: Graceful-degradation ladder: on repeated drain failure the stream falls
+#: back to the next transport down, ending at buffered-only (no channel).
+_DEGRADE_LADDER: dict[str, Optional[str]] = {"rdma": "shm", "shm": None}
 
 
 @dataclass(frozen=True)
@@ -84,6 +116,25 @@ class StreamHints:
     queue_depth: int = 2
     #: Drain channel: ``shm`` (intra-node) or ``rdma`` (inter-node).
     transport: str = "shm"
+    #: All-or-nothing step visibility via two-phase commit across ranks.
+    transactional: bool = False
+    #: Bounded retries per step drain (paper's timeout-and-retry).
+    max_retries: int = 3
+    #: Per-send timeout (seconds); also the backoff base delay.
+    retry_timeout: float = 0.25
+    #: Exponential backoff multiplier between retries.
+    retry_backoff: float = 2.0
+    #: Jitter fraction added to backoff delays (decorrelates ranks).
+    retry_jitter: float = 0.1
+    #: Fault-injection schedule for the drain channel (chaos testing),
+    #: e.g. ``rate=0.1,seed=7,kinds=timeout|torn``.
+    faults: str = ""
+    #: Consecutive failed steps before degrading to the next transport
+    #: down the ladder (0 disables degradation).
+    degrade_after: int = 2
+    #: Directory lease in seconds; the writer must heartbeat within it or
+    #: the failure detector ends the stream for readers (0 = no lease).
+    lease: float = 0.0
 
     @classmethod
     def from_spec(cls, spec: MethodSpec) -> "StreamHints":
@@ -111,6 +162,14 @@ class StreamHints:
             trace=spec.param_bool("trace", False),
             queue_depth=spec.param_int("queue_depth", 2),
             transport=transport,
+            transactional=spec.param_bool("transactional", False),
+            max_retries=spec.param_int("max_retries", 3),
+            retry_timeout=spec.param_float("retry_timeout", 0.25),
+            retry_backoff=spec.param_float("retry_backoff", 2.0),
+            retry_jitter=spec.param_float("retry_jitter", 0.1),
+            faults=spec.param("faults", "") or "",
+            degrade_after=spec.param_int("degrade_after", 2),
+            lease=spec.param_float("lease", 0.0),
         )
 
 
@@ -124,6 +183,10 @@ class _PublishedStep:
     #: spans on it so the whole timestep shares one trace ID.  ``None``
     #: when tracing is off or this step's trace was sampled out.
     trace_ctx: Optional[object] = None
+    #: Delivery state; only COMMITTED steps are readable.
+    status: StepState = StepState.PENDING
+    #: Why a LOST/ABORTED step failed (repr of the final exception).
+    error: Optional[str] = None
 
     @property
     def nbytes(self) -> int:
@@ -143,8 +206,9 @@ class _StepDrainer:
     The writer hands each :class:`_PublishedStep` to :meth:`submit`;
     once the queue holds ``queue_depth`` undrained steps the writer
     blocks (back-pressure, counted in ``dataplane.backpressure_waits``).
-    The drainer commits every step to the stream's published list even
-    when the transport push fails, so readers never hang on a lost step.
+    Every step ends up in the stream's published list exactly once —
+    COMMITTED when the drain succeeded, LOST/ABORTED when it did not —
+    so readers never hang on a failed step and never see torn data.
     """
 
     def __init__(self, state: "StreamState", queue_depth: int) -> None:
@@ -155,17 +219,19 @@ class _StepDrainer:
         self._idle = threading.Event()
         self._idle.set()
         self._stopped = False
+        #: True when stop() timed out joining a stuck drain thread.
+        self.wedged = False
         self._thread = threading.Thread(
             target=self._run, name=f"flexio-drain-{state.name}", daemon=True
         )
         self._thread.start()
 
-    def submit(self, step: _PublishedStep, parts: list) -> None:
+    def submit(self, step: _PublishedStep, rank_parts: dict) -> None:
         mon = self._state.monitor
         with self._pending_lock:
             self._pending += 1
             self._idle.clear()
-        item = (step, parts)
+        item = (step, rank_parts)
         try:
             self._queue.put_nowait(item)
         except queue.Full:
@@ -178,21 +244,47 @@ class _StepDrainer:
         """Block until every submitted step has been drained + committed."""
         self._idle.wait()
 
-    def stop(self) -> None:
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Stop the drain thread; returns False if it is wedged.
+
+        Idempotent: repeat calls (double-close, registry reset after an
+        explicit shutdown) are no-ops.  A thread still alive after the
+        join timeout is marked ``wedged`` and left behind (it is a
+        daemon), counted in ``dataplane.drain.wedged`` so the hang is
+        observable instead of silently blocking close forever.
+        """
         if self._stopped:
-            return
+            return not self.wedged
         self._stopped = True
-        self._queue.put(None)
-        self._thread.join(timeout=10.0)
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            pass  # the polling loop sees _stopped once the queue drains
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            self.wedged = True
+            mon = self._state.monitor
+            mon.metrics.counter("dataplane.drain.wedged").inc()
+            mon.record(
+                "drain_wedged", self._state.name, start=0.0, duration=0.0,
+                timeout=timeout,
+            )
+            return False
+        return True
 
     def _run(self) -> None:
         while True:
-            item = self._queue.get()
+            try:
+                item = self._queue.get(timeout=0.2)
+            except queue.Empty:
+                if self._stopped:
+                    return
+                continue
             if item is None:
                 return
-            step, parts = item
+            step, rank_parts = item
             try:
-                self._state._drain_one(step, parts)
+                self._state._drain_one(step, rank_parts)
             finally:
                 self._state.monitor.metrics.gauge(
                     "dataplane.drain.queue_depth"
@@ -230,10 +322,30 @@ class StreamState:
         self._advanced: set[int] = set()
         self._closed_ranks: set[int] = set()
         self.closed = False
+        #: Why the stream ended abnormally (writer death, lease expiry);
+        #: None for a clean close.
+        self.error: Optional[str] = None
         #: High-water mark of buffered bytes (backpressure visibility).
         self.peak_buffered_bytes = 0
         self._drainer: Optional[_StepDrainer] = None
         self._channel = None
+        #: Transport currently draining steps; degrades down the ladder
+        #: (rdma → shm → "buffered") on repeated failure.
+        self.active_transport = self.hints.transport
+        #: Directory this stream is registered at (set by the registry);
+        #: heartbeats and reader-side failure detection go through it.
+        self._directory: Optional[DirectoryServer] = None
+        # Fault schedule: the per-stream hint wins over FLEXIO_FAULTS.
+        self._injector = parse_fault_spec(self.hints.faults) or injector_from_env()
+        self._retry_policy = RetryPolicy(
+            max_retries=self.hints.max_retries,
+            timeout=self.hints.retry_timeout,
+            backoff_factor=self.hints.retry_backoff,
+            jitter=self.hints.retry_jitter,
+        )
+        # Per-stream deterministic jitter source (stable across runs).
+        self._retry_rng = rng(zlib.crc32(name.encode("utf-8")))
+        self._consecutive_failures = 0
 
     # -- async pipeline -----------------------------------------------------
     @property
@@ -252,23 +364,29 @@ class StreamState:
             from repro.core.runtime import make_stream_channel
 
             self._channel = make_stream_channel(
-                self.hints.transport, monitor=self.monitor
+                self.active_transport, monitor=self.monitor,
+                injector=self._injector,
             )
             self._drainer = _StepDrainer(self, self.hints.queue_depth)
 
     def shutdown_pipeline(self) -> None:
-        """Stop the drainer thread and close the drain channel."""
-        if self._drainer is not None:
-            self._drainer.stop()
-            self._drainer = None
-        if self._channel is not None:
-            close = getattr(self._channel, "close", None)
+        """Stop the drainer thread and close the drain channel.
+
+        Idempotent: the drainer/channel references are swapped out before
+        teardown, so a double close (or a close racing a registry reset)
+        finds nothing left to do.
+        """
+        drainer, self._drainer = self._drainer, None
+        if drainer is not None:
+            drainer.stop()
+        channel, self._channel = self._channel, None
+        if channel is not None:
+            close = getattr(channel, "close", None)
             try:
                 if close is not None:
                     close()
             except Exception:
                 pass
-            self._channel = None
 
     # -- writer side --------------------------------------------------------
     def writer_join(self, rank: int) -> None:
@@ -286,6 +404,8 @@ class StreamState:
         pg.add(wv)
 
     def advance(self, rank: int, sync: Optional[bool] = None) -> None:
+        if self.closed:
+            raise StreamError(f"advance on ended stream {self.name!r}: {self.error}")
         if rank not in self.writer_ranks:
             raise StreamError(f"rank {rank} never joined stream {self.name!r}")
         self._advanced.add(rank)
@@ -331,34 +451,204 @@ class StreamState:
                 step.trace_ctx = wspan.context
             vis.add_bytes(step.nbytes)
             self._ensure_pipeline()
-            self._drainer.submit(step, _step_parts(step))
+            self._drainer.submit(step, _rank_parts(step))
             if sync:
                 self._drainer.wait_idle()
         self._current = {}
         self._advanced = set()
         self._step += 1
+        if self._directory is not None:
+            # Liveness signal for the lease-based failure detector.
+            try:
+                self._directory.heartbeat(self.name)
+            except Exception:
+                pass
+        if sync and step.status is not StepState.COMMITTED:
+            # Synchronous writes surface the loss to the writer (the
+            # paper's error-reporting contract); the step is already in
+            # the published list as LOST/ABORTED so readers see the gap.
+            if step.status is StepState.ABORTED:
+                raise TransactionAborted(
+                    f"step {step.step} of {self.name!r} aborted: {step.error}"
+                )
+            raise MovementFailed(
+                f"step {step.step} of {self.name!r} lost: {step.error}"
+            )
 
-    def _drain_one(self, step: _PublishedStep, parts: list) -> None:
-        """Drainer-thread body: push one step's payload, then commit it."""
+    def _drain_one(self, step: _PublishedStep, rank_parts: dict) -> None:
+        """Drainer-thread body: push one step's payload, then commit it.
+
+        A step is committed **only** when its payload cleared the
+        transport (or its transaction committed); a step whose retries
+        were exhausted is marked LOST/ABORTED with its buffers discarded,
+        so readers get a typed gap instead of torn or silently-dropped
+        data.
+        """
+        mon = self.monitor
+        err: Optional[Exception] = None
+        with mon.measure("drain", self.name, step=step.step) as mp:
+            mp.add_bytes(step.nbytes)
+            with mon.span(
+                "drain", self.name, parent=step.trace_ctx, step=step.step
+            ):
+                if self.hints.transactional and step.groups:
+                    err = self._drain_transactional(step, rank_parts)
+                else:
+                    parts = [p for r in sorted(rank_parts) for p in rank_parts[r]]
+                    err = self._send_with_retries(step, parts)
+        if err is None:
+            self._consecutive_failures = 0
+            self._commit(step)
+        else:
+            mon.metrics.counter("dataplane.drain.errors").inc()
+            mon.record(
+                "drain_error", self.name, start=0.0, duration=0.0,
+                step=step.step, error=repr(err),
+            )
+            self._mark_lost(step, err)
+            self._consecutive_failures += 1
+            self._maybe_degrade()
+
+    def _send_with_retries(self, step: _PublishedStep, parts: list):
+        """Push one payload under the stream's retry policy.
+
+        Returns None on success, the final exception on failure.  Only
+        transport faults and timeouts are retriable — anything else
+        (a programming error in the channel) fails the step immediately.
+        Each injected-and-survived fault shows up as a ``drain_fault``
+        record plus a retry counter; a send that eventually succeeds
+        increments ``dataplane.drain.recovered``.
+        """
+        if not parts or self._channel is None:
+            return None
+        mon = self.monitor
+        policy = self._retry_policy
+        last: Optional[Exception] = None
+        for attempt in range(policy.max_retries + 1):
+            if attempt > 0:
+                mon.metrics.counter("dataplane.drain.retries").inc()
+                delay = policy.delay_before(attempt, rng=self._retry_rng)
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                with mon.span(
+                    "drain_attempt", self.name, parent=step.trace_ctx,
+                    step=step.step, attempt=attempt,
+                ):
+                    self._channel.sendv(parts, timeout=policy.timeout)
+                    self._channel.recv(timeout=policy.timeout)
+                if attempt > 0:
+                    mon.metrics.counter("dataplane.drain.recovered").inc()
+                    mon.record(
+                        "drain_recovered", self.name, start=0.0, duration=0.0,
+                        step=step.step, attempts=attempt + 1,
+                    )
+                return None
+            except (TransportFault, TimeoutError) as exc:
+                last = exc
+                mon.metrics.counter("dataplane.drain.faults").inc()
+                mon.record(
+                    "drain_fault", self.name, start=0.0, duration=0.0,
+                    step=step.step, attempt=attempt, error=repr(exc),
+                )
+            except Exception as exc:
+                last = exc
+                mon.metrics.counter("dataplane.drain.faults").inc()
+                mon.record(
+                    "drain_fault", self.name, start=0.0, duration=0.0,
+                    step=step.step, attempt=attempt, error=repr(exc),
+                )
+                break  # non-retriable
+        return last
+
+    def _drain_transactional(self, step: _PublishedStep, rank_parts: dict):
+        """All-or-nothing step visibility: 2PC across the writer ranks.
+
+        Each rank's prepare vote is its own reliable send; only when
+        every rank's payload cleared the transport does the coordinator
+        commit (and the caller flips the step COMMITTED).  Any abort
+        discards the whole step.  Returns None on commit, the abort
+        exception otherwise.
+        """
+        ranks = sorted(step.groups)
+
+        def make_prepare(r: int):
+            def prepare(_step: int, _payload: dict) -> bool:
+                return self._send_with_retries(step, rank_parts.get(r, [])) is None
+
+            return prepare
+
+        participants = [
+            Participant(r, lambda _s, _p: None, prepare_fn=make_prepare(r))
+            for r in ranks
+        ]
+        coordinator = TransactionCoordinator(participants)
         mon = self.monitor
         try:
-            with mon.measure("drain", self.name, step=step.step) as mp:
-                mp.add_bytes(step.nbytes)
-                if parts and self._channel is not None:
-                    with mon.span(
-                        "drain", self.name, parent=step.trace_ctx, step=step.step
-                    ):
-                        self._channel.sendv(parts)
-                        self._channel.recv()
-        except Exception as exc:  # keep readers alive on transport faults
-            mon.record(
-                "drain_error", self.name, start=0.0, duration=0.0, error=repr(exc)
+            coordinator.run(step.step, {r: {} for r in ranks})
+        except TransactionAborted as exc:
+            mon.metrics.counter("dataplane.tx.aborted").inc()
+            return exc
+        mon.metrics.counter("dataplane.tx.committed").inc()
+        return None
+
+    def _mark_lost(self, step: _PublishedStep, exc: Exception) -> None:
+        """Record a failed step: payload discarded, typed gap published."""
+        step.status = (
+            StepState.ABORTED
+            if isinstance(exc, TransactionAborted)
+            else StepState.LOST
+        )
+        step.error = repr(exc)
+        step.groups.clear()  # free the buffers; never torn-visible
+        mon = self.monitor
+        mon.metrics.counter("dataplane.drain.steps_lost").inc()
+        mon.record(
+            "step_lost", self.name, start=0.0, duration=0.0,
+            step=step.step, status=step.status.value, error=step.error,
+        )
+        with self._publish_lock:
+            self._published.append(step)
+
+    def _maybe_degrade(self) -> None:
+        """Graceful degradation: fall down the transport ladder.
+
+        After ``degrade_after`` consecutive failed steps the stream
+        closes its channel and rebuilds the next transport down
+        (rdma → shm → buffered-only).  Runs on the drainer thread, which
+        is the only user of the channel, so the swap is race-free.
+        """
+        threshold = self.hints.degrade_after
+        if threshold <= 0 or self._consecutive_failures < threshold:
+            return
+        nxt = _DEGRADE_LADDER.get(self.active_transport)
+        previous = self.active_transport
+        channel, self._channel = self._channel, None
+        if channel is not None:
+            close = getattr(channel, "close", None)
+            try:
+                if close is not None:
+                    close()
+            except Exception:
+                pass
+        if nxt is None:
+            self.active_transport = "buffered"
+        else:
+            from repro.core.runtime import make_stream_channel
+
+            self._channel = make_stream_channel(
+                nxt, monitor=self.monitor, injector=self._injector
             )
-            mon.metrics.counter("dataplane.drain.errors").inc()
-        finally:
-            self._commit(step)
+            self.active_transport = nxt
+        self._consecutive_failures = 0
+        self.monitor.metrics.counter("dataplane.transport.degradations").inc()
+        self.monitor.record(
+            "transport_degraded", self.name, start=0.0, duration=0.0,
+            src=previous, dst=self.active_transport,
+        )
 
     def _commit(self, step: _PublishedStep) -> None:
+        step.status = StepState.COMMITTED
         with self._publish_lock:
             self._published.append(step)
             buffered = sum(s.nbytes for s in self._published)
@@ -377,10 +667,34 @@ class StreamState:
         if self._closed_ranks >= self.writer_ranks:
             # Publish any partial step implicitly, then end the stream.
             if self._current:
-                self._publish()
+                try:
+                    self._publish()
+                except (MovementFailed, TransactionAborted):
+                    pass  # close never raises; the loss is already recorded
             self._quiesce()
             self.closed = True
             self.shutdown_pipeline()
+
+    def fail(self, reason: str) -> None:
+        """End the stream abnormally (writer death / lease expiry).
+
+        Any partially-written step is discarded — readers must never see
+        torn data — and the stream closes with ``error`` set, so their
+        next ``begin_step`` reports :attr:`StepStatus.OtherError` through
+        :class:`~repro.adios.api.StreamFailure` instead of stalling
+        forever on a dead writer.
+        """
+        if self.closed:
+            return
+        self.error = reason
+        self._current = {}
+        self._advanced = set()
+        self.closed = True
+        self.monitor.metrics.counter("dataplane.stream.failures").inc()
+        self.monitor.record(
+            "stream_failed", self.name, start=0.0, duration=0.0, error=reason
+        )
+        self.shutdown_pipeline()
 
     # -- reader side --------------------------------------------------------
     def step_available(self, index: int) -> bool:
@@ -388,10 +702,24 @@ class StreamState:
 
     def get_step(self, index: int) -> _PublishedStep:
         if not self.step_available(index):
+            if not self.closed and self._directory is not None:
+                # A stall may really be a dead writer: run the failure
+                # detector before deciding what to tell the reader.
+                try:
+                    self._directory.reap()
+                except Exception:
+                    pass
             if self.closed:
+                if self.error is not None:
+                    raise StreamFailure(f"stream {self.name!r} failed: {self.error}")
                 raise EndOfStream(self.name)
             raise StreamStalled(f"step {index} of {self.name!r} not yet published")
-        return self._published[index]
+        step = self._published[index]
+        if step.status is not StepState.COMMITTED:
+            raise StepLost(
+                f"step {index} of {self.name!r} {step.status.value}: {step.error}"
+            )
+        return step
 
 
 def _same_shape(orig: WrittenVar, data) -> bool:
@@ -407,6 +735,23 @@ def _step_parts(step: _PublishedStep) -> list[np.ndarray]:
             if arr.nbytes:
                 parts.append(arr.reshape(-1).view(np.uint8))
     return parts
+
+
+def _rank_parts(step: _PublishedStep) -> dict[int, list[np.ndarray]]:
+    """Per-rank byte views of a step's payload.
+
+    The transactional drain sends each rank's parts as that rank's
+    prepare; the plain drain flattens them (rank order) into one send.
+    """
+    out: dict[int, list[np.ndarray]] = {}
+    for rank in sorted(step.groups):
+        parts = []
+        for wv in step.groups[rank].variables.values():
+            arr = np.ascontiguousarray(wv.data)
+            if arr.nbytes:
+                parts.append(arr.reshape(-1).view(np.uint8))
+        out[rank] = parts
+    return out
 
 
 class StreamRegistry:
@@ -425,13 +770,16 @@ class StreamRegistry:
                 # Recycle a finished stream's name for a new run.
                 self.directory.unregister(name)
             state = StreamState(name, monitor, hints)
+            state._directory = self.directory
             self._states[name] = state
-            # Coordinator (rank 0 by election) registers the name.
+            # Coordinator (rank 0 by election) registers the name, with a
+            # liveness lease when the stream hints ask for one.
             self.directory.register(
                 name,
                 CoordinatorInfo(
                     program="writer", coordinator_rank=0, num_ranks=ctx.size, contact=state
                 ),
+                lease=state.hints.lease or None,
             )
         return state
 
@@ -742,13 +1090,31 @@ class FlexpathReadHandle(ReadHandle):
 
     def advance(self):
         nxt = self._cursor + 1
-        if not self._state.step_available(nxt):
-            if self._state.closed:
-                raise EndOfStream(self._state.name)
+        state = self._state
+        if not state.step_available(nxt):
+            if not state.closed and state._directory is not None:
+                # Stalled? Let the failure detector rule out a dead writer.
+                try:
+                    state._directory.reap()
+                except Exception:
+                    pass
+            if state.closed:
+                if state.error is not None:
+                    raise StreamFailure(
+                        f"stream {state.name!r} failed: {state.error}"
+                    )
+                raise EndOfStream(state.name)
             raise StreamStalled(
-                f"step {nxt} of {self._state.name!r} not yet published"
+                f"step {nxt} of {state.name!r} not yet published"
             )
+        # Move first, then surface a lost step: begin_step() marks it
+        # consumed, so the following begin_step() skips past the gap.
         self._cursor = nxt
+        step = state._published[nxt]
+        if step.status is not StepState.COMMITTED:
+            raise StepLost(
+                f"step {nxt} of {state.name!r} {step.status.value}: {step.error}"
+            )
 
     def close(self):
         pass

@@ -18,8 +18,9 @@ from typing import Any, Callable, Optional, Sequence
 import numpy as np
 
 from repro import simcore
-from repro.adios.api import RankContext, StepStatus
+from repro.adios.api import RankContext, StepLost, StepStatus
 from repro.core.api import FlexIO
+from repro.core.resilience import MovementFailed, TransactionAborted
 from repro.core.runtime import FlexIORuntime
 from repro.core.stream import stream_registry
 from repro.machine.topology import Machine
@@ -45,6 +46,10 @@ class InSituResult:
     compute_time: float = 0.0
     analytics_time: float = 0.0
     steps: int = 0
+    #: Steps a reader skipped as typed gaps (lost/aborted in movement).
+    steps_lost: int = 0
+    #: Failed synchronous publishes surfaced to the writer.
+    writer_failures: int = 0
 
 
 class InSituRun:
@@ -123,14 +128,25 @@ class InSituRun:
                         handles[rank].write(name, data, box=box, global_shape=gshape)
                     else:
                         handles[rank].write(name, value)
-                handles[rank].end_step()
+                try:
+                    handles[rank].end_step()
+                except (MovementFailed, TransactionAborted):
+                    # Synchronous publish failed after retries: the data
+                    # plane already recorded the step as a typed loss.
+                    self.result.writer_failures += 1
                 # Once the whole step is published (last rank's end_step),
                 # charge movement per rank from the *conditioned* sizes.
                 state = stream_registry._states[self.stream_name]
                 if state.step_available(step):
-                    published = state.get_step(step)
-                    for r2, pg in published.groups.items():
-                        yield self._charge_movement(env, r2, pg.nbytes)
+                    try:
+                        published = state.get_step(step)
+                    except StepLost:
+                        published = None  # lost step: nothing moved
+                    if published is not None:
+                        for r2, pg in published.groups.items():
+                            yield self._charge_movement(env, r2, pg.nbytes)
+                    # Announce even a lost step so readers advance past
+                    # the gap instead of deadlocking on the store.
                     for box_store in announce:
                         yield box_store.put(step)
             handles[rank].close()
@@ -145,9 +161,14 @@ class InSituRun:
             for step in range(self.num_steps):
                 yield announce[idx].get()
                 # The announcement guarantees the step is published, so
-                # begin_step never reports NotReady here.
-                if handle.begin_step() is not StepStatus.OK:
+                # begin_step never reports NotReady here — but it may be
+                # a typed gap (OtherError) when movement lost the step.
+                status = handle.begin_step()
+                if status is StepStatus.EndOfStream:
                     break
+                if status is not StepStatus.OK:
+                    self.result.steps_lost += 1
+                    continue
                 for w in my_writers:
                     record = {
                         name: handle.read_block(name, w)

@@ -35,10 +35,12 @@ from repro.obs.export import is_span_record, to_perfetto, write_perfetto
 from repro.obs.analysis import (
     BottleneckHint,
     CriticalHop,
+    FaultSummary,
     SpanNode,
     StageStat,
     build_traces,
     critical_path,
+    fault_summary,
     find_bottleneck,
     longest_trace,
     stage_breakdown,
@@ -68,6 +70,8 @@ __all__ = [
     "Counter",
     "CriticalHop",
     "CURRENT",
+    "FaultSummary",
+    "fault_summary",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -241,3 +241,88 @@ def find_bottleneck(records: Iterable[dict]) -> Optional[BottleneckHint]:
         exclusive_time=top.exclusive_time,
         suggestion=SUGGESTIONS.get(top.stage, "profile this stage further"),
     )
+
+
+# ---------------------------------------------------------------------------
+# Fault/recovery summary
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FaultSummary:
+    """Aggregate of the data plane's fault and recovery records.
+
+    Built from the non-span records the resilient pipeline emits:
+    injected transport faults (category ``fault``), per-attempt drain
+    failures and recoveries, steps lost after exhausted retries,
+    transport degradations, and abnormal stream ends.
+    """
+
+    #: ``"<transport>.<kind>" -> count`` of injected faults.
+    injected: dict = field(default_factory=dict)
+    drain_faults: int = 0
+    recovered: int = 0
+    drain_errors: int = 0
+    steps_lost: int = 0
+    #: ``(src, dst)`` transport pairs, one per degradation event.
+    degradations: list = field(default_factory=list)
+    #: Failure reasons of streams that ended abnormally.
+    stream_failures: list = field(default_factory=list)
+    wedged_drains: int = 0
+
+    @property
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def any(self) -> bool:
+        """True when the dump shows any fault activity at all."""
+        return bool(
+            self.injected or self.drain_faults or self.drain_errors
+            or self.steps_lost or self.degradations or self.stream_failures
+            or self.wedged_drains
+        )
+
+    def lines(self) -> list[str]:
+        """Human-readable one-liners (what ``repro.tools.trace`` prints)."""
+        out = []
+        for key in sorted(self.injected):
+            out.append(f"injected {self.injected[key]}x {key}")
+        if self.drain_faults:
+            out.append(
+                f"{self.drain_faults} drain attempts faulted, "
+                f"{self.recovered} steps recovered by retry, "
+                f"{self.drain_errors} exhausted retries"
+            )
+        if self.steps_lost:
+            out.append(f"{self.steps_lost} steps lost/aborted (typed gaps)")
+        for src, dst in self.degradations:
+            out.append(f"transport degraded {src} -> {dst}")
+        for reason in self.stream_failures:
+            out.append(f"stream failed: {reason}")
+        if self.wedged_drains:
+            out.append(f"{self.wedged_drains} wedged drain threads")
+        return out
+
+
+def fault_summary(records: Iterable[dict]) -> FaultSummary:
+    """Aggregate every fault/recovery record of one dump."""
+    s = FaultSummary()
+    for rec in records:
+        cat = rec.get("category")
+        if cat == "fault":
+            key = rec.get("name", "?")
+            s.injected[key] = s.injected.get(key, 0) + 1
+        elif cat == "drain_fault":
+            s.drain_faults += 1
+        elif cat == "drain_recovered":
+            s.recovered += 1
+        elif cat == "drain_error":
+            s.drain_errors += 1
+        elif cat == "step_lost":
+            s.steps_lost += 1
+        elif cat == "transport_degraded":
+            s.degradations.append((rec.get("src", "?"), rec.get("dst", "?")))
+        elif cat == "stream_failed":
+            s.stream_failures.append(rec.get("error", "?"))
+        elif cat == "drain_wedged":
+            s.wedged_drains += 1
+    return s

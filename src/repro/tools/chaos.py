@@ -1,0 +1,353 @@
+"""Chaos harness: coupled pipelines under seeded fault schedules.
+
+Replays GTS-like (process-group particle) and S3D-like (global-array
+field) coupled pipelines through the **live** FLEXPATH data plane with a
+deterministic transport fault schedule (the ``faults=`` stream hint), and
+asserts the resiliency invariants end to end:
+
+1. **Exactly-once, never torn** — every written step is either committed
+   and byte-identical on the reader, or surfaced as a typed loss on BOTH
+   sides; no step is silently dropped, duplicated, or partially visible.
+2. **No deadlock** — the writer finishes and the reader reaches
+   End-of-Stream within a wall-clock bound; a reader never waits forever
+   on a lost step.
+3. **Observability** — injected faults and retry recoveries are counted
+   in the metrics registry and visible as records in the trace dump.
+
+Usage::
+
+    python -m repro.tools.chaos --scenario gts --seed 7 --rate 0.1
+    python -m repro.tools.chaos --scenario all --steps 30 --transactional
+    python -m repro.tools.chaos --scenario s3d --transport rdma --json
+
+Exit status 1 when any invariant is violated — wired into CI as the
+``chaos-smoke`` job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.adios import Adios, RankContext, StepStatus, block_decompose
+from repro.core.resilience import MovementFailed, TransactionAborted
+from repro.core.stream import StepState, stream_registry
+from repro.obs.analysis import fault_summary
+from repro.util import rng
+
+SCENARIOS = ("gts", "s3d")
+
+#: Distinguishes streams of repeated in-process runs (tests, --scenario all).
+_RUN_IDS = itertools.count()
+
+_GTS_XML = """
+<adios-config>
+  <adios-group name="particles">
+    <var name="zion" type="float64" dimensions="n,7"/>
+  </adios-group>
+  <method group="particles" method="FLEXPATH">{params}</method>
+</adios-config>
+"""
+
+_S3D_XML = """
+<adios-config>
+  <adios-group name="field">
+    <var name="temp" type="float64" dimensions="32,32"/>
+  </adios-group>
+  <method group="field" method="FLEXPATH">{params}</method>
+</adios-config>
+"""
+
+_S3D_SHAPE = (32, 32)
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one chaos run; ``ok`` iff no invariant was violated."""
+
+    scenario: str
+    seed: int
+    rate: float
+    transport: str
+    transactional: bool
+    steps: int
+    committed: list = field(default_factory=list)
+    lost: list = field(default_factory=list)
+    writer_failures: int = 0
+    faults_injected: int = 0
+    retries: int = 0
+    recovered: int = 0
+    degradations: int = 0
+    invariant_violations: list = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.invariant_violations
+
+    def as_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "rate": self.rate,
+            "transport": self.transport,
+            "transactional": self.transactional,
+            "steps": self.steps,
+            "committed": list(self.committed),
+            "lost": list(self.lost),
+            "writer_failures": self.writer_failures,
+            "faults_injected": self.faults_injected,
+            "retries": self.retries,
+            "recovered": self.recovered,
+            "degradations": self.degradations,
+            "invariant_violations": list(self.invariant_violations),
+            "wall_time": self.wall_time,
+            "ok": self.ok,
+        }
+
+
+def _payload(seed: int, step: int, rank: int, count) -> np.ndarray:
+    """Deterministic per-(seed, step, rank) payload — the byte-identity
+    oracle the reader checks committed steps against."""
+    g = rng(seed * 1_000_003 + step * 1_009 + rank * 101 + 17)
+    return np.asarray(g.random(tuple(count)), dtype=np.float64)
+
+
+def run_chaos(
+    scenario: str = "gts",
+    seed: int = 0,
+    rate: float = 0.1,
+    steps: int = 20,
+    writers: int = 2,
+    transport: str = "shm",
+    transactional: bool = False,
+    kinds: str = "timeout|torn|disconnect",
+    max_retries: int = 2,
+    retry_timeout: float = 0.01,
+    degrade_after: int = 0,
+    deadline_s: float = 60.0,
+    trace_out: Optional[str] = None,
+) -> ChaosReport:
+    """One seeded chaos run through the live pipeline; see module doc.
+
+    ``degrade_after=0`` (default) keeps the configured transport under
+    fault so losses stay visible; pass a positive value to exercise the
+    degradation ladder instead.
+    """
+    if scenario not in SCENARIOS:
+        raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
+    report = ChaosReport(
+        scenario=scenario, seed=seed, rate=rate, transport=transport,
+        transactional=transactional, steps=steps,
+    )
+    params = (
+        f"sync=true;trace=true;transport={transport};"
+        f"max_retries={max_retries};retry_timeout={retry_timeout};"
+        f"degrade_after={degrade_after};"
+        f"transactional={'true' if transactional else 'false'};"
+        f"faults=rate={rate},seed={seed},kinds={kinds}"
+    )
+    group = "particles" if scenario == "gts" else "field"
+    xml = (_GTS_XML if scenario == "gts" else _S3D_XML).format(params=params)
+    adios = Adios.from_xml(xml)
+    name = f"chaos.{scenario}.{seed}.{next(_RUN_IDS)}"
+
+    boxes = block_decompose(_S3D_SHAPE, (writers, 1)) if scenario == "s3d" else None
+    began = time.monotonic()
+
+    # -- writer phase ------------------------------------------------------
+    handles = [
+        adios.open_write(group, name, RankContext(r, writers))
+        for r in range(writers)
+    ]
+    state = stream_registry._states[name]
+    expected: dict[tuple[int, int], np.ndarray] = {}
+    writer_lost: list[int] = []
+    for step in range(steps):
+        for r, h in enumerate(handles):
+            count = (64, 7) if scenario == "gts" else boxes[r].count
+            data = _payload(seed, step, r, count)
+            expected[(step, r)] = data
+            h.write(
+                "zion" if scenario == "gts" else "temp",
+                data,
+                box=None if scenario == "gts" else boxes[r],
+                global_shape=None if scenario == "gts" else _S3D_SHAPE,
+            )
+            try:
+                h.end_step()
+            except (MovementFailed, TransactionAborted):
+                # sync=true surfaces the loss to the writer at the step
+                # boundary — the reader must see the same typed gap.
+                writer_lost.append(step)
+    for h in handles:
+        h.close()
+    report.writer_failures = len(writer_lost)
+
+    # -- reader phase ------------------------------------------------------
+    var = "zion" if scenario == "gts" else "temp"
+    reader = adios.open_read(group, name, RankContext(0, 1))
+    reader_committed: list[int] = []
+    reader_lost: list[int] = []
+    while True:
+        if time.monotonic() - began > deadline_s:
+            report.invariant_violations.append(
+                f"deadline exceeded after {deadline_s}s (deadlock?)"
+            )
+            break
+        status = reader.begin_step(timeout=5.0)
+        step = reader.current_step
+        if status is StepStatus.EndOfStream:
+            break
+        if status is StepStatus.NotReady:
+            report.invariant_violations.append(
+                f"reader stalled at step {step} on a closed writer"
+            )
+            break
+        if status is StepStatus.OtherError:
+            reader_lost.append(step)
+            continue
+        torn = False
+        for r in range(writers):
+            if scenario == "gts":
+                got = reader.read_block(var, r)
+            else:
+                box = boxes[r]
+                got = reader.read(var, box.start, box.count)
+            want = expected[(step, r)]
+            if got.shape != want.shape or not np.array_equal(got, want):
+                torn = True
+        if torn:
+            report.invariant_violations.append(
+                f"step {step} committed but NOT byte-identical (torn data)"
+            )
+        else:
+            reader_committed.append(step)
+        reader.end_step()
+    reader.close()
+    report.wall_time = time.monotonic() - began
+    report.committed = reader_committed
+    report.lost = reader_lost
+
+    # -- invariants --------------------------------------------------------
+    seen = sorted(reader_committed + reader_lost)
+    if seen != list(range(steps)):
+        report.invariant_violations.append(
+            f"steps not covered exactly once: saw {seen}, expected 0..{steps - 1}"
+        )
+    if sorted(writer_lost) != sorted(reader_lost):
+        report.invariant_violations.append(
+            f"writer and reader disagree on lost steps: "
+            f"writer={sorted(writer_lost)} reader={sorted(reader_lost)}"
+        )
+    for s in state._published:
+        if s.status not in (StepState.COMMITTED, StepState.LOST, StepState.ABORTED):
+            report.invariant_violations.append(
+                f"step {s.step} left in state {s.status.value}"
+            )
+
+    # -- observability -----------------------------------------------------
+    metrics = state.monitor.metrics
+    report.faults_injected = int(metrics.counter("faults.injected.total").value)
+    report.retries = int(metrics.counter("dataplane.drain.retries").value)
+    report.recovered = int(metrics.counter("dataplane.drain.recovered").value)
+    report.degradations = int(
+        metrics.counter("dataplane.transport.degradations").value
+    )
+    records = [r.as_dict() for r in state.monitor.trace]
+    summary = fault_summary(records)
+    if report.faults_injected > 0 and not summary.any():
+        report.invariant_violations.append(
+            "faults were injected but none are visible in the trace"
+        )
+    if report.recovered > 0 and summary.recovered == 0:
+        report.invariant_violations.append(
+            "retries recovered steps but no drain_recovered trace records"
+        )
+    if trace_out:
+        state.monitor.export_perfetto(trace_out)
+
+    stream_registry.close_stream(name)
+    return report
+
+
+def _print_report(report: ChaosReport, out) -> None:
+    flag = "OK" if report.ok else "FAIL"
+    print(
+        f"[{flag}] {report.scenario} seed={report.seed} rate={report.rate} "
+        f"transport={report.transport}"
+        f"{' transactional' if report.transactional else ''}: "
+        f"{len(report.committed)}/{report.steps} committed, "
+        f"{len(report.lost)} lost, {report.faults_injected} faults injected, "
+        f"{report.retries} retries, {report.recovered} recovered, "
+        f"{report.degradations} degradations "
+        f"({report.wall_time:.2f}s)",
+        file=out,
+    )
+    for v in report.invariant_violations:
+        print(f"  violation: {v}", file=out)
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="chaos",
+        description="Replay coupled pipelines under a seeded fault schedule "
+                    "and check the resiliency invariants.",
+    )
+    parser.add_argument("--scenario", default="gts",
+                        choices=SCENARIOS + ("all",))
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--rate", type=float, default=0.1,
+                        help="per-send fault probability (default 0.1)")
+    parser.add_argument("--steps", type=int, default=20)
+    parser.add_argument("--writers", type=int, default=2)
+    parser.add_argument("--transport", default="shm", choices=("shm", "rdma"))
+    parser.add_argument("--transactional", action="store_true",
+                        help="all-or-nothing step visibility (2PC)")
+    parser.add_argument("--kinds", default="timeout|torn|disconnect",
+                        help="fault kinds to draw from (|-separated)")
+    parser.add_argument("--max-retries", type=int, default=2)
+    parser.add_argument("--degrade-after", type=int, default=0,
+                        help="consecutive failures before degrading "
+                             "transport (0 = never)")
+    parser.add_argument("--trace-out", default=None, metavar="OUT.json",
+                        help="write a Perfetto trace of the run")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report(s) as JSON")
+    args = parser.parse_args(argv)
+    out = out or sys.stdout
+
+    scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    reports = [
+        run_chaos(
+            scenario=s,
+            seed=args.seed,
+            rate=args.rate,
+            steps=args.steps,
+            writers=args.writers,
+            transport=args.transport,
+            transactional=args.transactional,
+            kinds=args.kinds,
+            max_retries=args.max_retries,
+            degrade_after=args.degrade_after,
+            trace_out=args.trace_out if len(scenarios) == 1 else None,
+        )
+        for s in scenarios
+    ]
+    if args.json:
+        print(json.dumps([r.as_dict() for r in reports], indent=2), file=out)
+    else:
+        for r in reports:
+            _print_report(r, out)
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from repro.core.monitoring import PerfMonitor
 from repro.obs.analysis import (
     build_traces,
     critical_path,
+    fault_summary,
     find_bottleneck,
     longest_trace,
     span_records,
@@ -77,6 +78,12 @@ def analyze(
                 f"{n.duration:.6f}s  ({fmt_bytes(int(n.record.get('bytes', 0)))})",
                 file=out,
             )
+
+    faults = fault_summary(records)
+    if faults.any():
+        print("\nfaults and recovery:", file=out)
+        for line in faults.lines():
+            print(f"  {line}", file=out)
 
     hint = find_bottleneck(records)
     if hint is not None:

@@ -18,8 +18,20 @@ Two transports, mirroring Section II.D/II.E of the paper:
   bulk data.
 """
 
+from repro.transport.faults import (
+    FaultKind,
+    PeerDisconnected,
+    RegistrationFailed,
+    TornSend,
+    TransportFault,
+    TransportFaultInjector,
+    TransportTimeout,
+    injector_from_env,
+    parse_fault_spec,
+)
 from repro.transport.shm import (
     QueueClosed,
+    QueueEmpty,
     QueueFull,
     ShmBufferPool,
     ShmChannel,
@@ -35,15 +47,25 @@ from repro.transport.rdma import (
 )
 
 __all__ = [
+    "FaultKind",
     "NntiEndpoint",
     "NntiFabric",
+    "PeerDisconnected",
     "QueueClosed",
+    "QueueEmpty",
     "QueueFull",
     "RdmaChannel",
     "RegistrationCache",
+    "RegistrationFailed",
     "ShmBufferPool",
     "ShmChannel",
     "ShmCostModel",
     "SPSCQueue",
+    "TornSend",
     "TransferScheduler",
+    "TransportFault",
+    "TransportFaultInjector",
+    "TransportTimeout",
+    "injector_from_env",
+    "parse_fault_spec",
 ]

@@ -34,6 +34,11 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.machine.interconnect import Interconnect
+from repro.transport.faults import (
+    TransportFaultInjector,
+    fault_exception,
+    record_injected,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -294,6 +299,7 @@ class TransferScheduler:
         """Compute start/finish times for every request (FIFO admission)."""
         ic = self.interconnect
         peak = ic.params.peak_bw
+        latency = ic.params.latency
         ejection = (
             self.endpoint_bandwidth
             if self.endpoint_bandwidth is not None
@@ -318,7 +324,16 @@ class TransferScheduler:
             idx_done = min(active, key=lambda i: active[i][1])
             sender, remaining, started = active[idx_done]
             dt = remaining / rate
-            finish = max(now, started) + dt
+            # No flow finishes faster than its own bytes at peak bandwidth
+            # after its start: progressive filling can drain a late-admitted
+            # flow's bytes before its latency elapses, which would otherwise
+            # yield an unphysical zero-duration transfer.
+            finish = max(
+                max(now, started) + dt,
+                started + requests[idx_done].nbytes / peak,
+            )
+            if requests[idx_done].nbytes == 0:
+                finish = max(finish, started + latency)
             for i, entry in active.items():
                 if i != idx_done:
                     entry[1] -= rate * dt
@@ -356,6 +371,7 @@ class RdmaChannel:
         connection: NntiConnection,
         sender: NntiEndpoint,
         monitor=None,
+        injector: Optional[TransportFaultInjector] = None,
     ) -> None:
         self.connection = connection
         self.sender = sender
@@ -367,11 +383,35 @@ class RdmaChannel:
         #: carrying the *simulated* transfer time, and ``emit_stats``
         #: publishes both endpoints' registration-cache counters.
         self.monitor = monitor
+        #: Optional deterministic fault source consulted before sends
+        #: (send timeout, torn send, peer disconnect, registration
+        #: failure — the failure modes a real fabric surfaces).
+        self.injector = injector
 
-    def send(self, payload: bytes, concurrent_flows: int = 1) -> float:
-        """Move ``payload`` to the receiver; returns elapsed (simulated) time."""
-        ic = self.connection.fabric.interconnect
+    def _maybe_inject_fault(self, nbytes: int) -> None:
+        if self.injector is None:
+            return
+        kind = self.injector.next_fault()
+        if kind is None:
+            return
+        record_injected(self.monitor, "rdma", kind, nbytes=nbytes)
+        raise fault_exception(
+            kind, f"injected {kind.value} on rdma send ({nbytes} B)"
+        )
+
+    def send(
+        self, payload: bytes, concurrent_flows: int = 1,
+        timeout: Optional[float] = None,
+    ) -> float:
+        """Move ``payload`` to the receiver; returns elapsed (simulated) time.
+
+        ``timeout`` exists for signature parity with
+        :meth:`ShmChannel.send` (the drain pipeline passes one); time is
+        simulated here, so it only bounds injected-fault semantics.
+        """
         data = bytes(payload)
+        self._maybe_inject_fault(len(data))
+        ic = self.connection.fabric.interconnect
         if len(data) <= ic.params.small_msg_threshold:
             t = self.connection.put_small(self.sender, "data", data)
             # Deliver straight to the channel (the mailbox entry is ours).
@@ -394,15 +434,20 @@ class RdmaChannel:
             self.monitor.metrics.counter("rdma.messages_sent").inc()
         return t
 
-    def sendv(self, parts, concurrent_flows: int = 1) -> float:
+    def sendv(
+        self, parts, concurrent_flows: int = 1, timeout: Optional[float] = None
+    ) -> float:
         """Vectored send: one protocol round (Put or control+Get) moves
         every part of a step, mirroring :meth:`ShmChannel.sendv`."""
         data = b"".join(
             p.tobytes() if isinstance(p, np.ndarray) else bytes(p) for p in parts
         )
-        return self.send(data, concurrent_flows)
+        return self.send(data, concurrent_flows, timeout=timeout)
 
-    def recv(self) -> Optional[bytes]:
+    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
+        """Pop the next delivered payload (``timeout`` accepted for
+        signature parity with :class:`~repro.transport.shm.ShmChannel`;
+        delivery here is synchronous, so there is nothing to wait on)."""
         return self._delivered.popleft() if self._delivered else None
 
     def emit_stats(self, monitor=None) -> None:

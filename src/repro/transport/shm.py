@@ -35,6 +35,14 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.machine.topology import NodeType
+from repro.transport.faults import (
+    FaultKind,
+    TornSend,
+    TransportFaultInjector,
+    TransportTimeout,
+    fault_exception,
+    record_injected,
+)
 from repro.util import CACHE_LINE, align_up
 
 
@@ -53,8 +61,17 @@ _FULL = 1
 _HDR = struct.Struct("<B3xI")
 
 
-class QueueFull(RuntimeError):
-    """Non-blocking enqueue found no EMPTY entry."""
+class QueueFull(TransportTimeout):
+    """Blocking enqueue found no EMPTY entry before its deadline.
+
+    A :class:`~repro.transport.faults.TransportTimeout`, so retry code
+    catches SHM enqueue and dequeue timeouts (and RDMA timeouts) as one
+    type; still a ``RuntimeError`` for pre-existing callers.
+    """
+
+
+class QueueEmpty(TransportTimeout):
+    """Blocking dequeue found no FULL entry before its deadline."""
 
 
 class QueueClosed(RuntimeError):
@@ -178,7 +195,7 @@ class SPSCQueue:
             if item is not None:
                 return item
             if time.monotonic() > deadline:
-                raise TimeoutError(f"queue empty for {timeout}s")
+                raise QueueEmpty(f"queue empty for {timeout}s")
             time.sleep(1e-6)
 
     def __len__(self) -> int:
@@ -336,6 +353,7 @@ class ShmChannel:
         pool: Optional[ShmBufferPool] = None,
         use_xpmem: bool = False,
         monitor=None,
+        injector: Optional[TransportFaultInjector] = None,
     ) -> None:
         self.queue = queue or SPSCQueue()
         self.pool = pool or ShmBufferPool()
@@ -343,6 +361,8 @@ class ShmChannel:
         #: Optional PerfMonitor: send/recv become spans (when tracing is
         #: on) and the queue/pool counters are published on close().
         self.monitor = monitor
+        #: Optional deterministic fault source consulted before sends.
+        self.injector = injector
         self._inline_max = self.queue.payload_size - _CTRL.size
         self._xpmem_segments: dict[int, np.ndarray] = {}
         self._xpmem_done: dict[int, threading.Event] = {}
@@ -388,9 +408,35 @@ class ShmChannel:
         else:
             self._sendv(views, total, timeout)
 
+    def _maybe_inject_fault(self, total: int) -> None:
+        """Consult the injector; raise the scheduled typed fault, if any.
+
+        A torn send is modeled faithfully for the pool path: part of the
+        payload is really copied into a pool buffer, but the control
+        message never goes out — so the consumer can never observe the
+        partial bytes, and the producer sees a typed :class:`TornSend`.
+        The buffer is released before raising (no leak across retries).
+        """
+        if self.injector is None:
+            return
+        kind = self.injector.next_fault()
+        if kind is None:
+            return
+        record_injected(self.monitor, "shm", kind, nbytes=total)
+        if kind is FaultKind.TORN_SEND and total > self._inline_max:
+            buf = self.pool.acquire(total)
+            try:
+                torn = max(1, total // 2)
+                buf.data[:torn] = np.zeros(torn, dtype=np.uint8)
+            finally:
+                self.pool.release(buf.buffer_id)
+            raise TornSend(f"injected torn send after {total // 2}/{total} B")
+        raise fault_exception(kind, f"injected {kind.value} on shm send ({total} B)")
+
     def _sendv(
         self, views: Sequence[np.ndarray], total: int, timeout: float
     ) -> None:
+        self._maybe_inject_fault(total)
         if total <= self._inline_max:
             data = b"".join(v.tobytes() for v in views)
             self.queue.enqueue(
@@ -409,6 +455,7 @@ class ShmChannel:
         self.large_sends += 1
 
     def _send(self, data: bytes, timeout: float) -> None:
+        self._maybe_inject_fault(len(data))
         if len(data) <= self._inline_max:
             msg = _CTRL.pack(_PATH_INLINE, 0, len(data)) + data
             self.queue.enqueue(msg, timeout=timeout)

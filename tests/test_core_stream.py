@@ -1,5 +1,7 @@
 """Tests for the FLEXPATH stream method and the directory service."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,7 @@ from repro.adios import (
     BoundingBox,
     EndOfStream,
     RankContext,
+    StepStatus,
     block_decompose,
 )
 from repro.core import PluginSide, StreamStalled, stream_registry
@@ -278,3 +281,126 @@ def test_plugin_migration_on_live_stream():
     r.advance()
     # Step 1 was conditioned before buffering.
     assert r.read_block("zion", 0).shape == (20, 7)
+
+
+# ---------------------------------------------------------------------------
+# Resiliency: typed losses, lease-based failure detection, crash semantics
+# ---------------------------------------------------------------------------
+
+FAULTY_CONFIG = """
+<adios-config>
+  <adios-group name="particles">
+    <var name="zion" type="float64" dimensions="n,7"/>
+  </adios-group>
+  <method group="particles" method="FLEXPATH">{params}</method>
+</adios-config>
+"""
+
+
+def test_sync_end_step_raises_and_step_is_typed_gap():
+    """A sync publish whose retries are exhausted fails loudly on BOTH
+    sides: MovementFailed to the writer, OtherError (never silent commit,
+    never torn data) to the reader."""
+    from repro.core import StepState
+    from repro.core.resilience import MovementFailed
+
+    ad = Adios.from_xml(FAULTY_CONFIG.format(
+        params="sync=true;max_retries=1;retry_timeout=0.01;"
+               "faults=ops=1|2,kinds=timeout"
+    ))
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    w.write("zion", np.zeros((4, 7)))
+    with pytest.raises(MovementFailed):
+        w.end_step()                     # ops 1 and 2 fault: retries exhausted
+    w.write("zion", np.ones((4, 7)))
+    w.end_step()                         # op 3 onward is clean
+    w.close()
+
+    state = stream_registry._states["s"]
+    assert state._published[0].status is StepState.LOST
+    assert state._published[0].groups == {}        # buffers discarded
+    assert state._published[1].status is StepState.COMMITTED
+
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    assert r.begin_step() is StepStatus.OtherError  # step 0: typed gap
+    assert r.begin_step() is StepStatus.OK          # step 1 survived
+    np.testing.assert_array_equal(r.read_block("zion", 0), np.ones((4, 7)))
+    r.end_step()
+    assert r.begin_step() is StepStatus.EndOfStream
+
+
+def test_lease_expiry_ends_stream_with_error_not_stall():
+    """A writer that stops heartbeating past its lease is evicted; the
+    reader gets OtherError instead of polling a dead stream forever, and
+    the writer's partial step is discarded (never torn-visible)."""
+    ad = Adios.from_xml(FAULTY_CONFIG.format(params="lease=0.05"))
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    w.write("zion", np.zeros((4, 7)))
+    w.end_step()                         # publish heartbeats the lease
+    w.write("zion", np.full((4, 7), 7.0))  # mid-step data, then "crash":
+    time.sleep(0.12)                     # no heartbeat within the lease
+
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    assert r.begin_step() is StepStatus.OK          # committed step survives
+    np.testing.assert_array_equal(r.read_block("zion", 0), np.zeros((4, 7)))
+    r.end_step()
+    assert r.begin_step() is StepStatus.OtherError  # lease expired -> failure
+    state = stream_registry._states["s"]
+    assert state.closed and "lease expired" in state.error
+    assert state._current == {}                     # partial step discarded
+    assert stream_registry.directory.evictions == 1
+    assert state.monitor.metrics.counter("dataplane.stream.failures").value == 1
+    # The failure is also idempotent and terminal:
+    assert r.begin_step() is StepStatus.OtherError
+
+
+def test_writer_crash_between_steps_reports_failure_without_data_loss():
+    """fail() between steps keeps every committed step readable; only the
+    end of the stream is abnormal."""
+    ad = make_adios()
+    w = ad.open_write("particles", "s", RankContext(0, 1))
+    for step in range(2):
+        w.write("zion", np.full((2, 7), float(step)))
+        w.end_step()
+    state = stream_registry._states["s"]
+    state.fail("writer died")            # crash with no step in flight
+
+    r = ad.open_read("particles", "s", RankContext(0, 1))
+    for step in range(2):
+        assert r.begin_step() is StepStatus.OK
+        assert float(r.read_block("zion", 0)[0, 0]) == float(step)
+        r.end_step()
+    assert r.begin_step() is StepStatus.OtherError  # not EndOfStream
+    state.fail("again")                  # second fail is a no-op
+    assert state.error == "writer died"
+
+
+def test_directory_lease_reap_with_fake_clock():
+    """Unit-level failure detector: deterministic clock, explicit reap."""
+
+    class _Contact:
+        failed = None
+
+        def fail(self, reason):
+            self.failed = reason
+
+    now = [0.0]
+    d = DirectoryServer(clock=lambda: now[0])
+    contact = _Contact()
+    d.register("s", CoordinatorInfo("sim", 0, 4, contact=contact), lease=1.0)
+    d.register("eternal", CoordinatorInfo("sim", 0, 4))  # no lease: never reaped
+    assert d.expired() == []
+    now[0] = 0.9
+    d.heartbeat("s")                     # refreshes the deadline to 1.9
+    now[0] = 1.5
+    assert d.expired() == []
+    now[0] = 2.0
+    assert d.expired() == ["s"]
+    assert d.reap() == ["s"]
+    assert "lease expired" in contact.failed
+    assert d.evictions == 1
+    assert d.names() == ["eternal"]
+    with pytest.raises(DirectoryError):
+        d.lookup("s")
+    with pytest.raises(ValueError):
+        d.register("bad", CoordinatorInfo("sim", 0, 1), lease=-1.0)

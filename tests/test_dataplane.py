@@ -29,7 +29,7 @@ from repro.adios import (
     block_decompose,
 )
 from repro.adios.selection import assemble, resolve_selection
-from repro.core import StreamStalled, stream_registry
+from repro.core import StepState, StreamStalled, stream_registry
 from repro.core.redistribution import (
     CachingOption,
     CompiledPlan,
@@ -607,10 +607,10 @@ def test_async_backpressure_on_slow_channel():
     state = stream_registry._states[name]
 
     class SlowChannel:
-        def sendv(self, parts):
+        def sendv(self, parts, timeout=None):
             time.sleep(0.02)
 
-        def recv(self):
+        def recv(self, timeout=None):
             return b""
 
     state._ensure_pipeline()
@@ -627,19 +627,26 @@ def test_async_backpressure_on_slow_channel():
     )
     # Every step still committed, in order.
     assert [s.step for s in state.published] == [0, 1, 2, 3]
+    assert all(s.status is StepState.COMMITTED for s in state.published)
 
 
-def test_drain_error_does_not_lose_steps():
+def test_drain_error_marks_step_lost_not_committed():
+    """Regression: a faulted drain must NOT commit the step as readable.
+
+    The old pipeline committed every step in a ``finally`` even when the
+    transport push failed — readers got a step whose payload never moved.
+    Now the step is published as a typed LOST gap instead.
+    """
     adios = make_adios()
     name = "dp.fault"
     writer = adios.open_write("fields", name, RankContext(0, 1))
     state = stream_registry._states[name]
 
     class BrokenChannel:
-        def sendv(self, parts):
+        def sendv(self, parts, timeout=None):
             raise IOError("wire fell out")
 
-        def recv(self):
+        def recv(self, timeout=None):
             return b""
 
     state._ensure_pipeline()
@@ -649,8 +656,13 @@ def test_drain_error_does_not_lose_steps():
     writer.advance()
     writer.close()
     reader = adios.open_read("fields", name, RankContext(0, 1))
-    assert reader.begin_step() is StepStatus.OK  # step committed regardless
+    # The reader sees a typed gap (OtherError), never the undelivered data.
+    assert reader.begin_step() is StepStatus.OtherError
+    assert reader.begin_step() is StepStatus.EndOfStream
+    assert state._published[0].status is StepState.LOST
+    assert state._published[0].groups == {}  # payload discarded, not torn
     assert state.monitor.metrics.counter("dataplane.drain.errors").value == 1
+    assert state.monitor.metrics.counter("dataplane.drain.steps_lost").value == 1
 
 
 def test_rdma_transport_hint_smoke():
