@@ -22,6 +22,7 @@ import numpy as np
 from repro.adios import RankContext
 from repro.core import PluginSide, stream_registry
 from repro.core.adaptive import AdaptivePolicy, DCPlacementController
+from repro.core.hints import CACHING_ALL, stream_params
 from repro.core.plugins import sampling_plugin
 from repro.coupled.insitu import InSituRun
 from repro.machine import smoky
@@ -32,9 +33,9 @@ CONFIG = """
   <adios-group name="particles">
     <var name="zion" type="float64" dimensions="n,7"/>
   </adios-group>
-  <method group="particles" method="FLEXPATH">caching=ALL</method>
+  <method group="particles" method="FLEXPATH">{params}</method>
 </adios-config>
-"""
+""".format(params=stream_params(caching=CACHING_ALL))
 
 
 def generator(rank, step):

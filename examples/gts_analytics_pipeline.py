@@ -28,6 +28,7 @@ import numpy as np
 from repro.adios import BoundingBox, RankContext
 from repro.apps import GtsAnalytics, GtsConfig, GtsRank
 from repro.core import FlexIO, PluginSide
+from repro.core.hints import stream_params
 from repro.core.plugins import sampling_plugin
 from repro.util import fmt_bytes
 
@@ -38,9 +39,9 @@ CONFIG = """
     <var name="electron" type="float64" dimensions="n,7"/>
     <var name="phi" type="float64" dimensions="64,64"/>
   </adios-group>
-  <method group="particles" method="FLEXPATH">batching=true;trace=true</method>
+  <method group="particles" method="FLEXPATH">{params}</method>
 </adios-config>
-"""
+""".format(params=stream_params(batching=True, trace=True))
 
 NUM_RANKS = 4
 NUM_STEPS = 3

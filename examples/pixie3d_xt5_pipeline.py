@@ -20,6 +20,7 @@ from repro.apps import Pixie3dAnalysis, Pixie3dConfig, Pixie3dRank, write_ppm
 from repro.apps.pixie3d import FIELDS
 from repro.apps.viz import _heat_colormap
 from repro.core import FlexIO
+from repro.core.hints import CACHING_ALL, stream_params
 from repro.machine import jaguar_xt5
 
 CONFIG = """
@@ -27,11 +28,14 @@ CONFIG = """
   <adios-group name="mhd">
     {vars}
   </adios-group>
-  <method group="mhd" method="FLEXPATH">caching=ALL;batching=true</method>
+  <method group="mhd" method="FLEXPATH">{params}</method>
 </adios-config>
-""".format(vars="\n    ".join(
-    f'<var name="{f}" type="float64" dimensions="n,n,n"/>' for f in FIELDS
-))
+""".format(
+    vars="\n    ".join(
+        f'<var name="{f}" type="float64" dimensions="n,n,n"/>' for f in FIELDS
+    ),
+    params=stream_params(caching=CACHING_ALL, batching=True),
+)
 
 NUM_RANKS = 8
 NUM_STEPS = 3

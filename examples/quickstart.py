@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.adios import BoxSelection, RankContext, StepStatus, block_decompose
 from repro.core import FlexIO
+from repro.core.hints import CACHING_ALL, stream_params
 from repro.machine import smoky
 
 CONFIG = """
@@ -22,9 +23,13 @@ CONFIG = """
   <adios-group name="fields">
     <var name="temperature" type="float64" dimensions="32,32"/>
   </adios-group>
-  <method group="fields" method="{method}">caching=ALL;batching=true</method>
+  <method group="fields" method="{method}">{params}</method>
 </adios-config>
 """
+
+# Hints built through the central registry: a typo would raise at build
+# time instead of being silently ignored by the config layer.
+PARAMS = stream_params(caching=CACHING_ALL, batching=True)
 
 SHAPE = (32, 32)
 NUM_WRITERS = 4
@@ -73,14 +78,16 @@ def run_analytics(flexio: FlexIO, name: str) -> list[float]:
 
 def main() -> None:
     # --- Stream mode: memory-to-memory, no files ------------------------
-    flexio = FlexIO.from_xml(CONFIG.format(method="FLEXPATH"), machine=smoky(4))
+    flexio = FlexIO.from_xml(
+        CONFIG.format(method="FLEXPATH", params=PARAMS), machine=smoky(4)
+    )
     print(f"[stream] method for group 'fields': {flexio.method_name('fields')}")
     run_simulation(flexio, "quickstart.stream")
     stream_maxima = run_analytics(flexio, "quickstart.stream")
     print(f"[stream] per-step maxima of the selection: {stream_maxima}")
 
     # --- File mode: the ONE-LINE switch ---------------------------------
-    flexio = FlexIO.from_xml(CONFIG.format(method="BP"))
+    flexio = FlexIO.from_xml(CONFIG.format(method="BP", params=PARAMS))
     print(f"[file]   method for group 'fields': {flexio.method_name('fields')}")
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "quickstart.bp")

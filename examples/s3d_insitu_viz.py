@@ -17,6 +17,7 @@ import numpy as np
 from repro.adios import RankContext, StepStatus, block_decompose
 from repro.apps import S3dConfig, S3dRank, composite_over, volume_render, write_ppm
 from repro.core import FlexIO
+from repro.core.hints import CACHING_ALL, stream_params
 
 CONFIG = """
 <adios-config>
@@ -24,9 +25,9 @@ CONFIG = """
     <var name="OH" type="float64" dimensions="n,n,n"/>
     <var name="CH4" type="float64" dimensions="n,n,n"/>
   </adios-group>
-  <method group="species" method="FLEXPATH">caching=ALL;batching=true</method>
+  <method group="species" method="FLEXPATH">{params}</method>
 </adios-config>
-"""
+""".format(params=stream_params(caching=CACHING_ALL, batching=True))
 
 SPECIES_TO_RENDER = ("OH", "CH4")
 NUM_VIZ = 2

@@ -235,10 +235,15 @@ class AggregatedBpMethod(IoMethod):
     _shared: dict[str, _AggState] = {}
 
     def open_write(self, name, group, ctx: RankContext, spec: MethodSpec):
+        # Function-local import: repro.core.hints lives above the adios
+        # layer (core imports adios at package init), so a module-level
+        # import here would cycle.
+        from repro.core.hints import AGGREGATORS
+
         state = self._shared.get(name)
         if state is None or state.finished:
             state = _AggState(
-                name, ctx.size, spec.param_int("aggregators", max(1, ctx.size // 4))
+                name, ctx.size, spec.param_int(AGGREGATORS, max(1, ctx.size // 4))
             )
             self._shared[name] = state
         return _AggWriteHandle(state, ctx)

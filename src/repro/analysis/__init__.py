@@ -1,0 +1,34 @@
+"""Correctness tooling for the FlexIO tree.
+
+Two complementary halves (DESIGN.md §10):
+
+* :mod:`repro.analysis.flexlint` — an AST-based static linter enforcing
+  project invariants (typed exception handling on fault-critical paths,
+  hint keys drawn from the central registry, closed tracer spans, commit
+  confined to the retry/2PC path, declared drainer-thread shared state).
+  Run it with ``python -m repro.tools.flexlint src/``.
+* :mod:`repro.analysis.sanitize` — a runtime concurrency sanitizer
+  ("tsan-lite") enabled via ``FLEXIO_SANITIZE=1``: SPSC queue
+  producer/consumer discipline, lock-order inversion detection, and
+  un-joined drainer threads at shutdown.
+
+This ``__init__`` deliberately imports only the dependency-free
+sanitizer: :mod:`repro.transport.shm` and :mod:`repro.core.stream`
+import it from their module scope, so pulling the linter (which reads
+the hint and shared-state registries from :mod:`repro.core`) in here
+would create an import cycle.
+"""
+
+from repro.analysis.sanitize import (
+    SanitizerError,
+    TrackedLock,
+    Violation,
+    make_lock,
+)
+
+__all__ = [
+    "SanitizerError",
+    "TrackedLock",
+    "Violation",
+    "make_lock",
+]

@@ -1,0 +1,464 @@
+"""FlexLint: AST-based static analysis enforcing FlexIO project invariants.
+
+General-purpose linters cannot know that a broad ``except`` in the drain
+path once silently swallowed lost steps, or that a misspelled stream
+hint is silently ignored by the XML config layer.  FlexLint encodes the
+bug classes this repo has actually hit (and fixed) as rules, so they
+cannot be reintroduced:
+
+========  ==============================================================
+FXL001    Broad/bare ``except`` on a fault-critical path (``transport/``,
+          ``core/stream.py``, ``core/directory.py``, ``coupled/``):
+          handlers there must catch typed ``TransportFault`` /
+          ``AdiosError`` / ``DirectoryError`` subclasses so real faults
+          keep their taxonomy.
+FXL002    Stream-hint key literal not declared in the central registry
+          (:mod:`repro.core.hints`) — the stringly-typed-typo guard.
+FXL003    Tracer span created but never closed: ``monitor.span(...)`` /
+          ``begin_span(...)`` must be used as a context manager or have
+          an explicit ``finish()`` / ``__exit__`` in the same function.
+FXL004    Direct ``commit()`` call outside the retry/2PC path
+          (``core/resilience.py``; ``_drain_one`` in ``core/stream.py``)
+          — step visibility must go through the reliable-delivery path.
+FXL005    Attribute mutated from a drainer-thread method without being
+          declared in the shared-state registry
+          (``repro.core.stream.DRAINER_SHARED_STATE``).
+========  ==============================================================
+
+**Waivers**: append ``# flexlint: ok(FXL001) <reason>`` to the flagged
+line (or put it on the line directly above).  The reason is mandatory —
+a bare waiver does not waive.  Multiple rules: ``ok(FXL001, FXL003)``.
+
+Programmatic entry points: :func:`lint_source`, :func:`lint_file`,
+:func:`lint_paths`.  CLI: ``python -m repro.tools.flexlint src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import difflib
+import os
+import re
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence
+
+_WAIVER_RE = re.compile(
+    r"#\s*flexlint:\s*ok\(\s*([A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)\s*\)\s*(.*)$"
+)
+
+_BROAD_NAMES = ("Exception", "BaseException")
+_SPAN_METHODS = ("span", "begin_span")
+_SPAN_CLOSERS = ("finish", "__exit__")
+_PARAM_METHODS = ("param", "param_bool", "param_int", "param_float")
+_HINT_BUILDERS = ("stream_params",)
+_COMMIT_NAMES = ("commit", "_commit")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule's identity and documentation."""
+
+    id: str
+    title: str
+    description: str
+
+
+RULES: dict[str, Rule] = {
+    r.id: r
+    for r in (
+        Rule("FXL001", "broad except on a fault-critical path",
+             "except handlers in transport/, core/stream.py, "
+             "core/directory.py and coupled/ must catch typed fault "
+             "classes, not Exception/BaseException/bare except."),
+        Rule("FXL002", "unregistered stream-hint key",
+             "hint-key string literals must exist in the central "
+             "repro.core.hints registry."),
+        Rule("FXL003", "tracer span never closed",
+             "span()/begin_span() results must be entered as a context "
+             "manager or explicitly finish()ed in the same function."),
+        Rule("FXL004", "commit outside the retry/2PC path",
+             "commit()/_commit() may only be called from "
+             "core/resilience.py or the drain path of core/stream.py."),
+        Rule("FXL005", "undeclared drainer-thread shared state",
+             "attributes assigned inside drainer-path methods must be "
+             "declared in repro.core.stream.DRAINER_SHARED_STATE."),
+    )
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, possibly waived."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    waived: bool = False
+    waiver_reason: str = ""
+
+    def format(self) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+        if self.waived:
+            text += f"  [waived: {self.waiver_reason}]"
+        return text
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Scope and registry knobs (overridable for tests/fixtures)."""
+
+    #: Paths (dir prefixes ending in "/" or file suffixes) where FXL001
+    #: applies.
+    broad_except_paths: tuple[str, ...] = (
+        "repro/transport/",
+        "repro/core/stream.py",
+        "repro/core/directory.py",
+        "repro/coupled/",
+    )
+    #: (path pattern, allowed function names or None for "anywhere in
+    #: the file") pairs where commit() calls are legitimate.
+    commit_allowed: tuple[tuple[str, Optional[tuple[str, ...]]], ...] = (
+        ("repro/core/resilience.py", None),
+        ("repro/core/stream.py", ("_drain_one",)),
+    )
+    #: File FXL005 applies to.
+    drainer_path: str = "repro/core/stream.py"
+    #: Overrides for the drainer registries; None = read them from
+    #: repro.core.stream (DRAINER_METHODS / DRAINER_SHARED_STATE).
+    drainer_methods: Optional[frozenset[str]] = None
+    drainer_shared_state: Optional[frozenset[str]] = None
+    #: Override for the known hint keys; None = repro.core.hints registry.
+    hint_keys: Optional[frozenset[str]] = None
+
+
+def _default_hint_keys() -> frozenset[str]:
+    from repro.core.hints import known_keys
+
+    return known_keys()
+
+
+def _default_drainer_registry() -> tuple[frozenset[str], frozenset[str]]:
+    from repro.core.stream import DRAINER_METHODS, DRAINER_SHARED_STATE
+
+    return frozenset(DRAINER_METHODS), frozenset(DRAINER_SHARED_STATE)
+
+
+def _norm(path: str) -> str:
+    return path.replace(os.sep, "/")
+
+
+def _in_scope(path: str, patterns: Iterable[str]) -> bool:
+    norm = _norm(path)
+    for pat in patterns:
+        if pat.endswith("/"):
+            if pat in norm:
+                return True
+        elif norm.endswith(pat):
+            return True
+    return False
+
+
+def _parents(tree: ast.AST) -> dict[ast.AST, ast.AST]:
+    parent: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parent[child] = node
+    return parent
+
+
+def _enclosing(node: ast.AST, parent: dict, kinds) -> Optional[ast.AST]:
+    cur = parent.get(node)
+    while cur is not None:
+        if isinstance(cur, kinds):
+            return cur
+        cur = parent.get(cur)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+def _check_broad_except(tree: ast.AST, path: str, cfg: LintConfig):
+    if not _in_scope(path, cfg.broad_except_paths):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        broad = None
+        if node.type is None:
+            broad = "bare except"
+        else:
+            names = (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )
+            for expr in names:
+                if isinstance(expr, ast.Name) and expr.id in _BROAD_NAMES:
+                    broad = f"except {expr.id}"
+                    break
+        if broad:
+            yield Finding(
+                "FXL001", path, node.lineno, node.col_offset,
+                f"{broad} on a fault-critical path; catch typed "
+                f"TransportFault/AdiosError/DirectoryError subclasses "
+                f"(or waive with a reason)",
+            )
+
+
+def _check_hint_keys(tree: ast.AST, path: str, cfg: LintConfig):
+    keys = cfg.hint_keys if cfg.hint_keys is not None else _default_hint_keys()
+
+    def unknown(key: str, node: ast.AST, how: str):
+        hint = difflib.get_close_matches(key, sorted(keys), n=1)
+        extra = f"; did you mean {hint[0]!r}?" if hint else ""
+        return Finding(
+            "FXL002", path, node.lineno, node.col_offset,
+            f"hint key {key!r} ({how}) is not in the "
+            f"repro.core.hints registry{extra}",
+        )
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _PARAM_METHODS:
+            if node.args and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, str):
+                key = node.args[0].value
+                if key not in keys:
+                    yield unknown(key, node, f"{func.attr}() call")
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in _HINT_BUILDERS:
+            for kw in node.keywords:
+                if kw.arg is not None and not kw.arg.startswith("_") \
+                        and kw.arg not in keys:
+                    yield unknown(kw.arg, node, f"{name}() keyword")
+
+
+def _check_spans(tree: ast.AST, path: str, cfg: LintConfig):
+    parent = _parents(tree)
+    with_exprs = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                with_exprs.add(id(item.context_expr))
+
+    def closed_later(target: str, call: ast.Call) -> bool:
+        scope = _enclosing(
+            call, parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        )
+        if scope is None:
+            return False
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Attribute) and node.attr in _SPAN_CLOSERS \
+                    and isinstance(node.value, ast.Name) \
+                    and node.value.id == target:
+                return True
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if isinstance(item.context_expr, ast.Name) \
+                            and item.context_expr.id == target:
+                        return True
+        return False
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _SPAN_METHODS):
+            continue
+        if id(node) in with_exprs:
+            continue
+        stmt = _enclosing(node, parent, (ast.stmt,))
+        if isinstance(stmt, ast.Expr):
+            yield Finding(
+                "FXL003", path, node.lineno, node.col_offset,
+                f"{func.attr}() result discarded: the span is never "
+                f"entered or finished",
+            )
+            continue
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            target = stmt.targets[0].id
+            if not closed_later(target, node):
+                yield Finding(
+                    "FXL003", path, node.lineno, node.col_offset,
+                    f"span assigned to {target!r} but never entered via "
+                    f"'with' or closed with finish()/__exit__()",
+                )
+        # Returned / passed-through spans are the callee's responsibility.
+
+
+def _check_commit(tree: ast.AST, path: str, cfg: LintConfig):
+    allowed_funcs: Optional[tuple[str, ...]] = ()
+    for pat, funcs in cfg.commit_allowed:
+        if _in_scope(path, (pat,)):
+            allowed_funcs = funcs  # None means the whole file is fine
+            break
+    if allowed_funcs is None:
+        return
+    parent = _parents(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name not in _COMMIT_NAMES:
+            continue
+        scope = _enclosing(node, parent, (ast.FunctionDef, ast.AsyncFunctionDef))
+        fname = scope.name if scope is not None else "<module>"
+        if fname in allowed_funcs:
+            continue
+        yield Finding(
+            "FXL004", path, node.lineno, node.col_offset,
+            f"direct {name}() call in {fname}() outside the retry/2PC "
+            f"path; route step visibility through the drain pipeline",
+        )
+
+
+def _self_attr_targets(stmt: ast.stmt):
+    if isinstance(stmt, ast.Assign):
+        targets = []
+        for t in stmt.targets:
+            targets.extend(t.elts if isinstance(t, ast.Tuple) else [t])
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        targets = [stmt.target]
+    else:
+        return
+    for t in targets:
+        if isinstance(t, ast.Attribute) and isinstance(t.value, ast.Name) \
+                and t.value.id == "self":
+            yield t
+
+
+def _check_drainer_state(tree: ast.AST, path: str, cfg: LintConfig):
+    if cfg.drainer_path and not _in_scope(path, (cfg.drainer_path,)):
+        return
+    if cfg.drainer_methods is not None and cfg.drainer_shared_state is not None:
+        methods, shared = cfg.drainer_methods, cfg.drainer_shared_state
+    else:
+        methods, shared = _default_drainer_registry()
+        if cfg.drainer_methods is not None:
+            methods = cfg.drainer_methods
+        if cfg.drainer_shared_state is not None:
+            shared = cfg.drainer_shared_state
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.name not in methods:
+            continue
+        for stmt in ast.walk(node):
+            if not isinstance(stmt, ast.stmt):
+                continue
+            for attr in _self_attr_targets(stmt):
+                if attr.attr not in shared:
+                    yield Finding(
+                        "FXL005", path, stmt.lineno, stmt.col_offset,
+                        f"self.{attr.attr} mutated in drainer-path method "
+                        f"{node.name}() but not declared in "
+                        f"DRAINER_SHARED_STATE",
+                    )
+
+
+_CHECKS = (
+    _check_broad_except,
+    _check_hint_keys,
+    _check_spans,
+    _check_commit,
+    _check_drainer_state,
+)
+
+
+# ---------------------------------------------------------------------------
+# Waivers + entry points
+# ---------------------------------------------------------------------------
+
+def _waivers(source: str) -> dict[int, tuple[frozenset[str], str]]:
+    out: dict[int, tuple[frozenset[str], str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _WAIVER_RE.search(line)
+        if m:
+            rules = frozenset(r.strip() for r in m.group(1).split(","))
+            out[lineno] = (rules, m.group(2).strip())
+    return out
+
+
+def _apply_waivers(findings: list[Finding], source: str) -> list[Finding]:
+    waivers = _waivers(source)
+    if not waivers:
+        return findings
+    out = []
+    for f in findings:
+        waiver = None
+        for line in (f.line, f.line - 1):
+            w = waivers.get(line)
+            if w and f.rule in w[0]:
+                waiver = w
+                break
+        if waiver is None:
+            out.append(f)
+        elif waiver[1]:
+            out.append(replace(f, waived=True, waiver_reason=waiver[1]))
+        else:
+            out.append(replace(
+                f, message=f.message + " (waiver present but missing a reason)"
+            ))
+    return out
+
+
+def lint_source(
+    source: str, path: str = "<string>", config: Optional[LintConfig] = None
+) -> list[Finding]:
+    """Lint one source text; returns every finding (waived ones marked)."""
+    cfg = config or LintConfig()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(
+            "FXL000", path, exc.lineno or 0, exc.offset or 0,
+            f"syntax error: {exc.msg}",
+        )]
+    findings: list[Finding] = []
+    for check in _CHECKS:
+        findings.extend(check(tree, path, cfg))
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return _apply_waivers(findings, source)
+
+
+def lint_file(path: str, config: Optional[LintConfig] = None) -> list[Finding]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return lint_source(fh.read(), path=path, config=config)
+
+
+def iter_py_files(paths: Sequence[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = sorted(
+                    d for d in dirnames
+                    if d not in ("__pycache__", ".git", ".venv")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(dirpath, name))
+        else:
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Sequence[str], config: Optional[LintConfig] = None
+) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``."""
+    findings: list[Finding] = []
+    for path in iter_py_files(paths):
+        findings.extend(lint_file(path, config=config))
+    return findings

@@ -22,9 +22,18 @@ substrates below it:
   global-array read patterns, End-of-Stream semantics;
 * :mod:`repro.core.runtime` — transport auto-selection from placement
   (shm within a node, RDMA across nodes, files for offline) and NUMA
-  buffer-placement policy.
+  buffer-placement policy;
+* :mod:`repro.core.hints` — the central stream-hint registry: every
+  ``<method>`` parameter declared once (key, type, default, choices),
+  validated at config load and enforced statically by FlexLint FXL002.
 """
 
+from repro.core.hints import (
+    HintSpec,
+    HintValueError,
+    UnknownHintError,
+    stream_params,
+)
 from repro.core.monitoring import MeasurementPoint, PerfMonitor, TraceRecord
 from repro.core.plugins import (
     CodeletError,
@@ -96,6 +105,8 @@ __all__ = [
     "FlexIORuntime",
     "FlexpathMethod",
     "HandshakeCost",
+    "HintSpec",
+    "HintValueError",
     "MeasurementPoint",
     "NumaBufferPolicy",
     "PerfMonitor",
@@ -113,5 +124,7 @@ __all__ = [
     "StreamStalled",
     "TraceRecord",
     "TransportKind",
+    "UnknownHintError",
+    "stream_params",
     "stream_registry",
 ]

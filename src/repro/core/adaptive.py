@@ -31,6 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.core.hints import MOVEMENT_STAGES, STAGE_DC_PLUGIN, STAGE_TRANSPORT
 from repro.core.monitoring import PerfMonitor
 from repro.core.plugins import DCPlugin, PluginManager, PluginSide
 
@@ -183,7 +184,7 @@ def policy_from_hint(hint, base: Optional[AdaptivePolicy] = None) -> AdaptivePol
     """
     base = base or AdaptivePolicy()
     stage = getattr(hint, "stage", None)
-    if stage == "dc_plugin":
+    if stage == STAGE_DC_PLUGIN:
         return AdaptivePolicy(
             reducer_ratio=base.reducer_ratio,
             expander_ratio=base.expander_ratio,
@@ -191,7 +192,7 @@ def policy_from_hint(hint, base: Optional[AdaptivePolicy] = None) -> AdaptivePol
             writer_busy_limit=base.writer_busy_limit,
             hysteresis=base.hysteresis,
         )
-    if stage in ("write", "transport"):
+    if stage in MOVEMENT_STAGES:
         return AdaptivePolicy(
             reducer_ratio=min(0.95, base.expander_ratio),
             expander_ratio=base.expander_ratio,
@@ -260,7 +261,7 @@ class AdaptiveGetScheduler:
         the bound halfway toward ``max_bound`` (AIMD then trims it back if
         the simulation suffers).  Other stages leave the bound alone.
         """
-        if getattr(hint, "stage", None) == "transport":
+        if getattr(hint, "stage", None) == STAGE_TRANSPORT:
             self.max_concurrent = min(
                 self.max_bound,
                 max(self.max_concurrent, (self.max_concurrent + self.max_bound) // 2),

@@ -17,6 +17,7 @@ from typing import Optional
 
 from repro.adios.api import Adios, RankContext, ReadHandle, WriteHandle
 from repro.adios.config import AdiosConfig
+from repro.core.hints import STREAM_METHODS, validate_config
 from repro.core.monitoring import PerfMonitor
 from repro.core.runtime import FlexIORuntime, NumaBufferPolicy
 from repro.machine.topology import Machine
@@ -34,6 +35,9 @@ class FlexIO:
         machine: Optional[Machine] = None,
         numa_policy: NumaBufferPolicy = NumaBufferPolicy.WRITER_LOCAL,
     ) -> None:
+        # Fail fast on misspelled <method> hints (registry-validated)
+        # instead of silently ignoring them at stream-open time.
+        validate_config(config)
         self.config = config
         self.adios = Adios(config)
         self.monitor = PerfMonitor()
@@ -63,4 +67,4 @@ class FlexIO:
         return self.config.method_for(group).method
 
     def is_stream(self, group: str) -> bool:
-        return self.method_name(group) in ("FLEXPATH", "FLEXIO")
+        return self.method_name(group) in STREAM_METHODS

@@ -123,8 +123,9 @@ class DirectoryServer:
                         f"writer lease expired "
                         f"({entry.lease:.3g}s without heartbeat)"
                     )
+                # flexlint: ok(FXL001) eviction must never take the directory down
                 except Exception:
-                    pass  # eviction must never take the directory down
+                    pass
         return evicted
 
     def lookup(self, name: str, reader: Optional[CoordinatorInfo] = None) -> CoordinatorInfo:

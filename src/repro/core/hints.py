@@ -1,0 +1,250 @@
+"""Central registry of stream-hint keys (paper Section IV.B.1 knobs).
+
+Every ``<method>`` parameter the FLEXPATH stream method understands is
+declared here exactly once: its key, its value type, its default, and —
+for enumerated hints — the admissible values.  Consumers
+(:mod:`repro.core.stream`, :mod:`repro.core.api`, the examples, the
+chaos harness) reference the module-level key constants instead of
+scattering string literals, and :func:`validate_keys` turns a typo like
+``cachign=ALL`` into a hard error with a suggestion instead of a
+silently-ignored hint.
+
+The registry is also the ground truth for the FlexLint FXL002 rule
+(:mod:`repro.analysis.flexlint`): any hint-key literal used at a call
+site that is not declared here fails the lint.
+
+Use :func:`stream_params` to build the ``key=value;key=value`` parameter
+string of a ``<method>`` element programmatically::
+
+    from repro.core.hints import CACHING_ALL, stream_params
+
+    params = stream_params(caching=CACHING_ALL, batching=True)
+    # -> "caching=all;batching=true"
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional
+
+
+class UnknownHintError(ValueError):
+    """A hint key that no registered method parameter declares."""
+
+    def __init__(self, key: str, suggestion: Optional[str] = None,
+                 context: str = "") -> None:
+        msg = f"unknown stream hint {key!r}"
+        if context:
+            msg += f" ({context})"
+        if suggestion:
+            msg += f"; did you mean {suggestion!r}?"
+        super().__init__(msg)
+        self.key = key
+        self.suggestion = suggestion
+
+
+class HintValueError(ValueError):
+    """A hint value outside the registered choices for its key."""
+
+
+@dataclass(frozen=True)
+class HintSpec:
+    """Declaration of one ``<method>`` hint parameter."""
+
+    key: str
+    #: Value type: ``str`` / ``bool`` / ``int`` / ``float`` / ``enum``.
+    kind: str
+    default: Any
+    description: str
+    #: Admissible (lower-cased) values when ``kind == "enum"``.
+    choices: Optional[tuple[str, ...]] = None
+
+
+# ---------------------------------------------------------------------------
+# Key constants — the only place hint-key strings are spelled out.
+# ---------------------------------------------------------------------------
+
+CACHING = "caching"
+BATCHING = "batching"
+SYNC = "sync"
+XPMEM = "xpmem"
+BUFFER_STEPS = "buffer_steps"
+TRACE = "trace"
+QUEUE_DEPTH = "queue_depth"
+TRANSPORT = "transport"
+TRANSACTIONAL = "transactional"
+MAX_RETRIES = "max_retries"
+RETRY_TIMEOUT = "retry_timeout"
+RETRY_BACKOFF = "retry_backoff"
+RETRY_JITTER = "retry_jitter"
+FAULTS = "faults"
+DEGRADE_AFTER = "degrade_after"
+LEASE = "lease"
+#: ``MPI_AGGREGATE`` file-method parameter (aggregator fan-in).
+AGGREGATORS = "aggregators"
+
+#: Values of the ``caching`` hint (handshake-protocol levels).
+CACHING_NONE = "none"
+CACHING_LOCAL = "local"
+CACHING_ALL = "all"
+
+#: Values of the ``transport`` hint (drain channels).
+TRANSPORT_SHM = "shm"
+TRANSPORT_RDMA = "rdma"
+
+#: Method names that select the FLEXPATH stream engine.
+STREAM_METHODS = ("FLEXPATH", "FLEXIO")
+
+
+# ---------------------------------------------------------------------------
+# Trace-stage names (span categories) consumed by the adaptive layer.
+# ---------------------------------------------------------------------------
+
+STAGE_WRITE = "write"
+STAGE_DRAIN = "drain"
+STAGE_TRANSPORT = "transport"
+STAGE_REDISTRIBUTE = "redistribute"
+STAGE_READ = "read"
+STAGE_DC_PLUGIN = "dc_plugin"
+STAGE_HANDSHAKE = "handshake"
+
+#: Stages whose dominance means data movement is the bottleneck — the
+#: placement policy then favours writer-side reducers.
+MOVEMENT_STAGES = (STAGE_WRITE, STAGE_TRANSPORT)
+
+
+_STREAM_SPECS = (
+    HintSpec(CACHING, "enum", CACHING_NONE,
+             "Handshake plan caching: none / local / all.",
+             choices=(CACHING_NONE, CACHING_LOCAL, CACHING_ALL)),
+    HintSpec(BATCHING, "bool", False,
+             "Aggregate every variable of a step into one handshake round."),
+    HintSpec(SYNC, "bool", False,
+             "Block the writer until the transport drain completes."),
+    HintSpec(XPMEM, "bool", False,
+             "Zero-copy page-mapping path for large SHM messages."),
+    HintSpec(BUFFER_STEPS, "int", 4,
+             "Buffered-step depth before backpressure is counted."),
+    HintSpec(TRACE, "bool", False,
+             "Enable span tracing on the stream's monitor."),
+    HintSpec(QUEUE_DEPTH, "int", 2,
+             "Bounded depth of the async publication queue."),
+    HintSpec(TRANSPORT, "enum", TRANSPORT_SHM,
+             "Drain channel: shm (intra-node) or rdma (inter-node).",
+             choices=(TRANSPORT_SHM, TRANSPORT_RDMA)),
+    HintSpec(TRANSACTIONAL, "bool", False,
+             "All-or-nothing step visibility via 2PC across ranks."),
+    HintSpec(MAX_RETRIES, "int", 3,
+             "Bounded retries per step drain."),
+    HintSpec(RETRY_TIMEOUT, "float", 0.25,
+             "Per-send timeout (seconds); also the backoff base delay."),
+    HintSpec(RETRY_BACKOFF, "float", 2.0,
+             "Exponential backoff multiplier between retries."),
+    HintSpec(RETRY_JITTER, "float", 0.1,
+             "Jitter fraction added to backoff delays."),
+    HintSpec(FAULTS, "str", "",
+             "Fault-injection schedule, e.g. rate=0.1,seed=7,kinds=timeout."),
+    HintSpec(DEGRADE_AFTER, "int", 2,
+             "Consecutive failed steps before degrading the transport."),
+    HintSpec(LEASE, "float", 0.0,
+             "Directory lease in seconds (0 = no lease)."),
+)
+
+#: The FLEXPATH stream method's hints, keyed by hint name.
+STREAM_HINTS: dict[str, HintSpec] = {s.key: s for s in _STREAM_SPECS}
+
+#: Per-method hint registries (methods not listed accept free-form params).
+METHOD_HINTS: dict[str, dict[str, HintSpec]] = {
+    **{m: STREAM_HINTS for m in STREAM_METHODS},
+    "MPI_AGGREGATE": {
+        AGGREGATORS: HintSpec(
+            AGGREGATORS, "int", 0,
+            "Aggregator processes for the MPI_AGGREGATE file method."),
+    },
+}
+
+
+def known_keys(method: Optional[str] = None) -> frozenset[str]:
+    """Hint keys registered for ``method`` (or for every method)."""
+    if method is not None:
+        return frozenset(METHOD_HINTS.get(method, {}))
+    keys: set[str] = set()
+    for registry in METHOD_HINTS.values():
+        keys.update(registry)
+    return frozenset(keys)
+
+
+def suggest(key: str, method: Optional[str] = None) -> Optional[str]:
+    """The closest registered key to a misspelled one, if any."""
+    matches = difflib.get_close_matches(key, sorted(known_keys(method)), n=1)
+    return matches[0] if matches else None
+
+
+def validate_keys(
+    keys: Iterable[str], method: str = "FLEXPATH", context: str = ""
+) -> None:
+    """Raise :class:`UnknownHintError` for any key the method ignores."""
+    registry = METHOD_HINTS.get(method)
+    if registry is None:
+        return  # free-form method (e.g. BP): nothing to check against
+    for key in keys:
+        if key not in registry:
+            raise UnknownHintError(key, suggest(key, method), context=context)
+
+
+def validate_spec(spec) -> None:
+    """Validate a :class:`~repro.adios.config.MethodSpec` (duck-typed:
+    only ``.method`` and ``.parameters`` are read) against the registry."""
+    validate_keys(
+        spec.parameters, method=spec.method,
+        context=f"method {spec.method} for group {getattr(spec, 'group', '?')!r}",
+    )
+
+
+def validate_config(config) -> None:
+    """Validate every method binding of an
+    :class:`~repro.adios.config.AdiosConfig` (duck-typed: ``.methods``)."""
+    for spec in getattr(config, "methods", {}).values():
+        validate_spec(spec)
+
+
+def _format_value(spec: HintSpec, value: Any) -> str:
+    if spec.kind == "bool":
+        if isinstance(value, str):
+            return value
+        return "true" if value else "false"
+    text = str(value)
+    if spec.kind == "enum":
+        assert spec.choices is not None
+        if text.strip().lower() not in spec.choices:
+            raise HintValueError(
+                f"hint {spec.key}={text!r}: expected one of "
+                f"{'/'.join(spec.choices)}"
+            )
+    return text
+
+
+def stream_params(_method: str = "FLEXPATH", **hints: Any) -> str:
+    """Build the ``key=value;key=value`` parameter string of a
+    ``<method>`` element from registered hint keys.
+
+    Keys are validated against the method's registry (a typo raises
+    :class:`UnknownHintError` at build time, not silently at run time);
+    booleans serialize as ``true``/``false``; enum values are checked
+    against their registered choices.
+    """
+    pieces = []
+    registry = METHOD_HINTS.get(_method, STREAM_HINTS)
+    for key, value in hints.items():
+        spec = registry.get(key)
+        if spec is None:
+            raise UnknownHintError(key, suggest(key, _method),
+                                   context=f"stream_params for {_method}")
+        pieces.append(f"{key}={_format_value(spec, value)}")
+    return ";".join(pieces)
+
+
+def defaults(method: str = "FLEXPATH") -> Mapping[str, Any]:
+    """The registered default value of every hint of ``method``."""
+    return {k: s.default for k, s in METHOD_HINTS.get(method, {}).items()}

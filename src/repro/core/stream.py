@@ -48,7 +48,33 @@ from repro.adios.api import (
 from repro.adios.config import MethodSpec
 from repro.adios.model import Group, ProcessGroupData, WrittenVar
 from repro.adios.selection import BoundingBox, assemble, intersect, resolve_selection
-from repro.core.directory import CoordinatorInfo, DirectoryServer
+from repro.analysis import sanitize
+from repro.core.directory import CoordinatorInfo, DirectoryError, DirectoryServer
+from repro.core.hints import (
+    BATCHING,
+    BUFFER_STEPS,
+    CACHING,
+    CACHING_ALL,
+    CACHING_LOCAL,
+    CACHING_NONE,
+    DEGRADE_AFTER,
+    FAULTS,
+    LEASE,
+    MAX_RETRIES,
+    QUEUE_DEPTH,
+    RETRY_BACKOFF,
+    RETRY_JITTER,
+    RETRY_TIMEOUT,
+    STREAM_METHODS,
+    SYNC,
+    TRACE,
+    TRANSACTIONAL,
+    TRANSPORT,
+    TRANSPORT_RDMA,
+    TRANSPORT_SHM,
+    XPMEM,
+    validate_spec,
+)
 from repro.core.redistribution import (
     CachingOption,
     PlanCache,
@@ -91,7 +117,40 @@ class StepState(Enum):
 
 #: Graceful-degradation ladder: on repeated drain failure the stream falls
 #: back to the next transport down, ending at buffered-only (no channel).
-_DEGRADE_LADDER: dict[str, Optional[str]] = {"rdma": "shm", "shm": None}
+_DEGRADE_LADDER: dict[str, Optional[str]] = {
+    TRANSPORT_RDMA: TRANSPORT_SHM,
+    TRANSPORT_SHM: None,
+}
+
+#: Methods that run on (or in lock-step with) the drainer thread.  The
+#: FlexLint FXL005 rule checks every ``self.<attr>`` assignment inside
+#: these against :data:`DRAINER_SHARED_STATE` — an attribute mutated from
+#: the drainer without being declared here fails the lint, forcing the
+#: author to think about its synchronization.
+DRAINER_METHODS = frozenset({
+    "_run",
+    "_drain_one",
+    "_send_with_retries",
+    "_drain_transactional",
+    "_mark_lost",
+    "_maybe_degrade",
+    "_commit",
+})
+
+#: Attributes the drainer thread is allowed to mutate.  ``_published`` /
+#: ``peak_buffered_bytes`` / ``backpressure_events`` are guarded by
+#: ``_publish_lock``; ``_pending`` by ``_pending_lock``; ``_channel`` /
+#: ``active_transport`` / ``_consecutive_failures`` are drainer-private
+#: (the drainer is their only writer after pipeline start).
+DRAINER_SHARED_STATE = frozenset({
+    "_pending",
+    "_published",
+    "_consecutive_failures",
+    "_channel",
+    "active_transport",
+    "peak_buffered_bytes",
+    "backpressure_events",
+})
 
 
 @dataclass(frozen=True)
@@ -138,38 +197,44 @@ class StreamHints:
 
     @classmethod
     def from_spec(cls, spec: MethodSpec) -> "StreamHints":
-        raw = (spec.param("caching", "none") or "none").strip().lower()
+        # Unknown keys are a hard error with a suggestion (the registry
+        # is the single source of hint truth), not a silently-ignored
+        # parameter as in the old scattered-literal days.
+        validate_spec(spec)
+        raw = (spec.param(CACHING, CACHING_NONE) or CACHING_NONE).strip().lower()
         mapping = {
-            "none": CachingOption.NO_CACHING,
-            "local": CachingOption.CACHING_LOCAL,
-            "all": CachingOption.CACHING_ALL,
+            CACHING_NONE: CachingOption.NO_CACHING,
+            CACHING_LOCAL: CachingOption.CACHING_LOCAL,
+            CACHING_ALL: CachingOption.CACHING_ALL,
         }
         if raw not in mapping:
             raise StreamError(
                 f"unknown caching hint {raw!r}; expected none/local/all"
             )
-        transport = (spec.param("transport", "shm") or "shm").strip().lower()
-        if transport not in ("shm", "rdma"):
+        transport = (
+            spec.param(TRANSPORT, TRANSPORT_SHM) or TRANSPORT_SHM
+        ).strip().lower()
+        if transport not in (TRANSPORT_SHM, TRANSPORT_RDMA):
             raise StreamError(
                 f"unknown transport hint {transport!r}; expected shm/rdma"
             )
         return cls(
             caching=mapping[raw],
-            batching=spec.param_bool("batching", False),
-            sync=spec.param_bool("sync", False),
-            xpmem=spec.param_bool("xpmem", False),
-            buffer_steps=spec.param_int("buffer_steps", 4),
-            trace=spec.param_bool("trace", False),
-            queue_depth=spec.param_int("queue_depth", 2),
+            batching=spec.param_bool(BATCHING, False),
+            sync=spec.param_bool(SYNC, False),
+            xpmem=spec.param_bool(XPMEM, False),
+            buffer_steps=spec.param_int(BUFFER_STEPS, 4),
+            trace=spec.param_bool(TRACE, False),
+            queue_depth=spec.param_int(QUEUE_DEPTH, 2),
             transport=transport,
-            transactional=spec.param_bool("transactional", False),
-            max_retries=spec.param_int("max_retries", 3),
-            retry_timeout=spec.param_float("retry_timeout", 0.25),
-            retry_backoff=spec.param_float("retry_backoff", 2.0),
-            retry_jitter=spec.param_float("retry_jitter", 0.1),
-            faults=spec.param("faults", "") or "",
-            degrade_after=spec.param_int("degrade_after", 2),
-            lease=spec.param_float("lease", 0.0),
+            transactional=spec.param_bool(TRANSACTIONAL, False),
+            max_retries=spec.param_int(MAX_RETRIES, 3),
+            retry_timeout=spec.param_float(RETRY_TIMEOUT, 0.25),
+            retry_backoff=spec.param_float(RETRY_BACKOFF, 2.0),
+            retry_jitter=spec.param_float(RETRY_JITTER, 0.1),
+            faults=spec.param(FAULTS, "") or "",
+            degrade_after=spec.param_int(DEGRADE_AFTER, 2),
+            lease=spec.param_float(LEASE, 0.0),
         )
 
 
@@ -215,16 +280,20 @@ class _StepDrainer:
         self._state = state
         self._queue: queue.Queue = queue.Queue(maxsize=max(1, int(queue_depth)))
         self._pending = 0
-        self._pending_lock = threading.Lock()
+        self._pending_lock = sanitize.make_lock("drain.pending")
         self._idle = threading.Event()
         self._idle.set()
         self._stopped = False
         #: True when stop() timed out joining a stuck drain thread.
         self.wedged = False
+        # Captured at construction: near-zero overhead when disabled.
+        self._san = sanitize.get()
         self._thread = threading.Thread(
             target=self._run, name=f"flexio-drain-{state.name}", daemon=True
         )
         self._thread.start()
+        if self._san is not None:
+            self._san.note_thread_started(self._thread, f"drainer:{state.name}")
 
     def submit(self, step: _PublishedStep, rank_parts: dict) -> None:
         mon = self._state.monitor
@@ -270,6 +339,8 @@ class _StepDrainer:
                 timeout=timeout,
             )
             return False
+        if self._san is not None:
+            self._san.note_thread_joined(self._thread)
         return True
 
     def _run(self) -> None:
@@ -315,7 +386,7 @@ class StreamState:
         self.backpressure_waits = 0
         self.plugins = PluginManager(self.monitor)
         self._published: list[_PublishedStep] = []
-        self._publish_lock = threading.Lock()
+        self._publish_lock = sanitize.make_lock("stream.publish")
         self._current: dict[int, ProcessGroupData] = {}
         self._step = 0
         self.writer_ranks: set[int] = set()
@@ -385,6 +456,7 @@ class StreamState:
             try:
                 if close is not None:
                     close()
+            # flexlint: ok(FXL001) best-effort close of an arbitrary channel during teardown
             except Exception:
                 pass
 
@@ -458,10 +530,11 @@ class StreamState:
         self._advanced = set()
         self._step += 1
         if self._directory is not None:
-            # Liveness signal for the lease-based failure detector.
+            # Liveness signal for the lease-based failure detector; a
+            # concurrently-unregistered name is not the writer's problem.
             try:
                 self._directory.heartbeat(self.name)
-            except Exception:
+            except DirectoryError:
                 pass
         if sync and step.status is not StepState.COMMITTED:
             # Synchronous writes surface the loss to the writer (the
@@ -551,6 +624,7 @@ class StreamState:
                     "drain_fault", self.name, start=0.0, duration=0.0,
                     step=step.step, attempt=attempt, error=repr(exc),
                 )
+            # flexlint: ok(FXL001) deliberate non-retriable classifier: any non-fault error fails the step
             except Exception as exc:
                 last = exc
                 mon.metrics.counter("dataplane.drain.faults").inc()
@@ -629,6 +703,7 @@ class StreamState:
             try:
                 if close is not None:
                     close()
+            # flexlint: ok(FXL001) best-effort close of the failing channel before falling back
             except Exception:
                 pass
         if nxt is None:
@@ -707,7 +782,7 @@ class StreamState:
                 # detector before deciding what to tell the reader.
                 try:
                     self._directory.reap()
-                except Exception:
+                except DirectoryError:
                     pass
             if self.closed:
                 if self.error is not None:
@@ -795,13 +870,14 @@ class StreamRegistry:
             self._states[name].shutdown_pipeline()
             try:
                 self.directory.unregister(name)
-            except Exception:
-                pass
+            except DirectoryError:
+                pass  # already unregistered (recycled name)
 
     def reset(self) -> None:
         for state in getattr(self, "_states", {}).values():
             try:
                 state.shutdown_pipeline()
+            # flexlint: ok(FXL001) reset must tear every stream down even if one close misbehaves
             except Exception:
                 pass
         self.__init__()
@@ -1096,7 +1172,7 @@ class FlexpathReadHandle(ReadHandle):
                 # Stalled? Let the failure detector rule out a dead writer.
                 try:
                     state._directory.reap()
-                except Exception:
+                except DirectoryError:
                     pass
             if state.closed:
                 if state.error is not None:
@@ -1132,5 +1208,5 @@ class FlexpathMethod(IoMethod):
         return FlexpathReadHandle(state, ctx)
 
 
-register_method("FLEXPATH", FlexpathMethod)
-register_method("FLEXIO", FlexpathMethod)
+for _stream_method in STREAM_METHODS:
+    register_method(_stream_method, FlexpathMethod)

@@ -37,6 +37,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.adios import Adios, RankContext, StepStatus, block_decompose
+from repro.analysis import sanitize
+from repro.core.hints import stream_params
 from repro.core.resilience import MovementFailed, TransactionAborted
 from repro.core.stream import StepState, stream_registry
 from repro.obs.analysis import fault_summary
@@ -86,6 +88,9 @@ class ChaosReport:
     recovered: int = 0
     degradations: int = 0
     invariant_violations: list = field(default_factory=list)
+    #: Concurrency-sanitizer findings (FLEXIO_SANITIZE=1); also folded
+    #: into ``invariant_violations`` so they fail the run.
+    sanitizer_violations: list = field(default_factory=list)
     wall_time: float = 0.0
 
     @property
@@ -108,6 +113,7 @@ class ChaosReport:
             "recovered": self.recovered,
             "degradations": self.degradations,
             "invariant_violations": list(self.invariant_violations),
+            "sanitizer_violations": list(self.sanitizer_violations),
             "wall_time": self.wall_time,
             "ok": self.ok,
         }
@@ -147,13 +153,23 @@ def run_chaos(
         scenario=scenario, seed=seed, rate=rate, transport=transport,
         transactional=transactional, steps=steps,
     )
-    params = (
-        f"sync=true;trace=true;transport={transport};"
-        f"max_retries={max_retries};retry_timeout={retry_timeout};"
-        f"degrade_after={degrade_after};"
-        f"transactional={'true' if transactional else 'false'};"
-        f"faults=rate={rate},seed={seed},kinds={kinds}"
+    # Registry-validated hint build: a typo here is an UnknownHintError
+    # at harness start, not a silently-ignored knob mid-chaos-run.
+    params = stream_params(
+        sync=True,
+        trace=True,
+        transport=transport,
+        max_retries=max_retries,
+        retry_timeout=retry_timeout,
+        degrade_after=degrade_after,
+        transactional=transactional,
+        faults=f"rate={rate},seed={seed},kinds={kinds}",
     )
+    # Fresh sanitizer state per run (FLEXIO_SANITIZE=1): violations from
+    # a previous in-process run must not bleed into this report.
+    san = sanitize.get()
+    if san is not None:
+        san.reset()
     group = "particles" if scenario == "gts" else "field"
     xml = (_GTS_XML if scenario == "gts" else _S3D_XML).format(params=params)
     adios = Adios.from_xml(xml)
@@ -275,6 +291,14 @@ def run_chaos(
         state.monitor.export_perfetto(trace_out)
 
     stream_registry.close_stream(name)
+
+    # -- concurrency sanitizer ---------------------------------------------
+    if san is not None:
+        san.check_shutdown()  # flags drainer threads left un-joined
+        report.sanitizer_violations = [str(v) for v in san.violations()]
+        report.invariant_violations.extend(
+            f"sanitizer: {v}" for v in report.sanitizer_violations
+        )
     return report
 
 

@@ -34,6 +34,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis import sanitize
 from repro.machine.topology import NodeType
 from repro.transport.faults import (
     FaultKind,
@@ -125,6 +126,11 @@ class SPSCQueue:
         self._tail = 0  # next entry to dequeue (consumer only)
         self._closed = False
         self.stats = QueueStats()
+        # Concurrency sanitizer, captured at construction so the disabled
+        # path costs one None check per operation (FLEXIO_SANITIZE=1).
+        # It learns producer/consumer thread ownership from the first
+        # try_enqueue/try_dequeue and flags SPSC-discipline violations.
+        self._san = sanitize.get()
 
     # ------------------------------------------------------------------
     def _entry(self, idx: int) -> int:
@@ -136,6 +142,8 @@ class SPSCQueue:
     # -- producer side ----------------------------------------------------
     def try_enqueue(self, data: Union[bytes, bytearray, memoryview]) -> bool:
         """Enqueue without blocking; returns False if the next entry is FULL."""
+        if self._san is not None:
+            self._san.note_spsc(self, "producer")
         if self._closed:
             raise QueueClosed("enqueue on closed queue")
         data = bytes(data)
@@ -172,6 +180,8 @@ class SPSCQueue:
     # -- consumer side ----------------------------------------------------
     def try_dequeue(self) -> Optional[bytes]:
         """Dequeue without blocking; None if the next entry is EMPTY."""
+        if self._san is not None:
+            self._san.note_spsc(self, "consumer")
         base = self._entry(self._tail)
         if self._buf[base] != _FULL:
             self.stats.consumer_spins += 1
@@ -248,7 +258,7 @@ class ShmBufferPool:
         self._free: dict[int, list[int]] = {}  # size -> [buffer_id]
         self._next_id = 0
         self._total_bytes = 0
-        self._lock = threading.Lock()
+        self._lock = sanitize.make_lock("shm.pool")
         self.stats = PoolStats()
 
     @staticmethod
@@ -367,7 +377,7 @@ class ShmChannel:
         self._xpmem_segments: dict[int, np.ndarray] = {}
         self._xpmem_done: dict[int, threading.Event] = {}
         self._next_token = 0
-        self._token_lock = threading.Lock()
+        self._token_lock = sanitize.make_lock("shm.xpmem_token")
         #: Copies performed per large message on each path (observable).
         self.copies_per_large_message = 1 if use_xpmem else 2
         self.large_sends = 0

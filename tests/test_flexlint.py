@@ -1,0 +1,356 @@
+"""FlexLint rule coverage: good/bad fixtures per rule + waivers + CLI.
+
+Each rule gets a minimal bad fixture that must be flagged and a good
+fixture that must pass; the waiver machinery and the CLI exit codes are
+exercised separately.  The final acceptance check — the repo's own
+``src/`` tree lints clean — runs the real CLI over the real tree.
+"""
+
+import io
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis.flexlint import (
+    Finding,
+    LintConfig,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+from repro.tools import flexlint as cli
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+#: Puts fixture code in FXL001 scope.
+TRANSPORT_PATH = "repro/transport/fixture.py"
+#: Fixture config for FXL005 (decoupled from the real stream registries).
+DRAINER_CFG = LintConfig(
+    drainer_path="fixture.py",
+    drainer_methods=frozenset({"_drain_one"}),
+    drainer_shared_state=frozenset({"_declared"}),
+)
+
+
+def rules_of(findings):
+    return sorted({f.rule for f in findings if not f.waived})
+
+
+def lint(code, path="fixture.py", config=None):
+    return lint_source(textwrap.dedent(code), path=path, config=config)
+
+
+# ---------------------------------------------------------------------------
+# FXL001 — broad except on fault-critical paths
+# ---------------------------------------------------------------------------
+
+def test_fxl001_flags_bare_and_broad_except():
+    code = """
+    def f():
+        try:
+            g()
+        except Exception:
+            pass
+        try:
+            g()
+        except:
+            pass
+        try:
+            g()
+        except (ValueError, BaseException):
+            pass
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert rules_of(findings) == ["FXL001"]
+    assert len(findings) == 3
+
+
+def test_fxl001_accepts_typed_catches():
+    code = """
+    def f():
+        try:
+            g()
+        except (TransportFault, TimeoutError):
+            pass
+        except DirectoryError:
+            pass
+    """
+    assert lint(code, path=TRANSPORT_PATH) == []
+
+
+def test_fxl001_out_of_scope_path_is_ignored():
+    code = """
+    try:
+        g()
+    except Exception:
+        pass
+    """
+    assert lint(code, path="repro/obs/elsewhere.py") == []
+
+
+# ---------------------------------------------------------------------------
+# FXL002 — hint keys must be registered
+# ---------------------------------------------------------------------------
+
+def test_fxl002_flags_unknown_param_key_with_suggestion():
+    code = """
+    def f(spec):
+        return spec.param_bool("bacthing", False)
+    """
+    findings = lint(code)
+    assert rules_of(findings) == ["FXL002"]
+    assert "batching" in findings[0].message  # difflib suggestion
+
+
+def test_fxl002_accepts_registered_keys_and_dynamic_keys():
+    code = """
+    def f(spec, key):
+        spec.param("caching", "none")
+        spec.param_int("queue_depth", 2)
+        spec.param(key, "x")  # non-literal: not checkable statically
+    """
+    assert lint(code) == []
+
+
+def test_fxl002_flags_unknown_stream_params_keyword():
+    code = """
+    from repro.core.hints import stream_params
+    params = stream_params(caching="all", trasnport="shm")
+    """
+    findings = lint(code)
+    assert rules_of(findings) == ["FXL002"]
+    assert "trasnport" in findings[0].message
+
+
+# ---------------------------------------------------------------------------
+# FXL003 — spans must be closed
+# ---------------------------------------------------------------------------
+
+def test_fxl003_flags_discarded_and_leaked_spans():
+    code = """
+    def f(monitor):
+        monitor.span("write", "s")          # discarded
+        sp = monitor.begin_span("drain", "s")  # assigned, never closed
+        return 1
+    """
+    findings = lint(code)
+    assert rules_of(findings) == ["FXL003"]
+    assert len(findings) == 2
+
+
+def test_fxl003_accepts_with_finish_and_manual_exit():
+    code = """
+    def f(monitor):
+        with monitor.span("write", "s"):
+            pass
+        sp = monitor.begin_span("drain", "s")
+        try:
+            pass
+        finally:
+            sp.finish()
+        cm = monitor.span("read", "s")
+        cm.__enter__()
+        cm.__exit__(None, None, None)
+        later = monitor.span("x", "s")
+        with later:
+            pass
+        return monitor.span("returned", "s")  # callee's responsibility
+    """
+    assert lint(code) == []
+
+
+# ---------------------------------------------------------------------------
+# FXL004 — commit only on the retry/2PC path
+# ---------------------------------------------------------------------------
+
+def test_fxl004_flags_commit_outside_allowed_path():
+    code = """
+    def handler(self, step):
+        self._commit(step)
+    """
+    findings = lint(code, path="repro/core/stream.py")
+    assert rules_of(findings) == ["FXL004"]
+
+
+def test_fxl004_allows_drain_path_and_resilience():
+    drain = """
+    def _drain_one(self, step):
+        self._commit(step)
+    """
+    assert lint(drain, path="repro/core/stream.py") == []
+    anywhere = """
+    def run(self):
+        self.commit()
+    """
+    assert lint(anywhere, path="repro/core/resilience.py") == []
+    # The rule is repo-wide: a commit() sprouting in a NEW file is
+    # exactly the bug class FXL004 exists to catch.
+    assert rules_of(lint(drain, path="repro/obs/elsewhere.py")) == ["FXL004"]
+
+
+# ---------------------------------------------------------------------------
+# FXL005 — drainer-thread shared state must be declared
+# ---------------------------------------------------------------------------
+
+def test_fxl005_flags_undeclared_drainer_mutation():
+    code = """
+    class S:
+        def _drain_one(self, step):
+            self._declared = 1
+            self._sneaky = 2
+            other, self._also_sneaky = 1, 2
+    """
+    findings = lint(code, config=DRAINER_CFG)
+    assert rules_of(findings) == ["FXL005"]
+    flagged = {f.message.split()[0] for f in findings}
+    assert flagged == {"self._sneaky", "self._also_sneaky"}
+
+
+def test_fxl005_ignores_non_drainer_methods_and_locals():
+    code = """
+    class S:
+        def submit(self, step):
+            self._anything = 1
+        def _drain_one(self, step):
+            local = 1
+            step.status = "done"
+    """
+    assert lint(code, config=DRAINER_CFG) == []
+
+
+def test_fxl005_real_stream_registry_covers_the_real_file():
+    from repro.core.stream import DRAINER_METHODS, DRAINER_SHARED_STATE
+
+    assert "_drain_one" in DRAINER_METHODS
+    assert "_consecutive_failures" in DRAINER_SHARED_STATE
+    path = os.path.join(SRC, "repro", "core", "stream.py")
+    findings = lint_paths([path])
+    assert [f for f in findings if f.rule == "FXL005" and not f.waived] == []
+
+
+# ---------------------------------------------------------------------------
+# Waivers
+# ---------------------------------------------------------------------------
+
+def test_waiver_with_reason_silences_finding():
+    code = """
+    try:
+        g()
+    except Exception:  # flexlint: ok(FXL001) teardown must not raise
+        pass
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert len(findings) == 1
+    assert findings[0].waived
+    assert findings[0].waiver_reason == "teardown must not raise"
+
+
+def test_waiver_on_line_above_applies():
+    code = """
+    try:
+        g()
+    # flexlint: ok(FXL001) teardown must not raise
+    except Exception:
+        pass
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert [f.waived for f in findings] == [True]
+
+
+def test_waiver_without_reason_does_not_waive():
+    code = """
+    try:
+        g()
+    except Exception:  # flexlint: ok(FXL001)
+        pass
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert not findings[0].waived
+    assert "missing a reason" in findings[0].message
+
+
+def test_waiver_for_wrong_rule_does_not_waive():
+    code = """
+    try:
+        g()
+    except Exception:  # flexlint: ok(FXL003) wrong rule entirely
+        pass
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert not findings[0].waived
+
+
+def test_syntax_error_reports_fxl000():
+    findings = lint_source("def broken(:\n", path="x.py")
+    assert [f.rule for f in findings] == ["FXL000"]
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def bad_tree(tmp_path):
+    bad = tmp_path / "repro" / "transport" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        textwrap.dedent(
+            """
+            def f():
+                try:
+                    g()
+                except Exception:
+                    pass
+            """
+        ),
+        encoding="utf-8",
+    )
+    return tmp_path
+
+
+def test_cli_exits_nonzero_on_bad_fixture(bad_tree):
+    out = io.StringIO()
+    assert cli.main([str(bad_tree)], out=out) == 1
+    assert "FXL001" in out.getvalue()
+
+
+def test_cli_json_output(bad_tree):
+    out = io.StringIO()
+    assert cli.main([str(bad_tree), "--json"], out=out) == 1
+    findings = json.loads(out.getvalue())
+    assert findings and findings[0]["rule"] == "FXL001"
+
+
+def test_cli_rule_filter(bad_tree):
+    out = io.StringIO()
+    assert cli.main([str(bad_tree), "--rule", "FXL004"], out=out) == 0
+
+
+def test_cli_list_rules():
+    out = io.StringIO()
+    assert cli.main(["--list-rules"], out=out) == 0
+    text = out.getvalue()
+    for rule_id in ("FXL001", "FXL002", "FXL003", "FXL004", "FXL005"):
+        assert rule_id in text
+    assert set(RULES) == {"FXL001", "FXL002", "FXL003", "FXL004", "FXL005"}
+
+
+def test_cli_show_waived(tmp_path):
+    waived = tmp_path / "repro" / "transport" / "w.py"
+    waived.parent.mkdir(parents=True)
+    waived.write_text(
+        "try:\n    g()\n"
+        "except Exception:  # flexlint: ok(FXL001) fine here\n    pass\n",
+        encoding="utf-8",
+    )
+    out = io.StringIO()
+    assert cli.main([str(tmp_path), "--show-waived"], out=out) == 0
+    assert "[waived: fine here]" in out.getvalue()
+
+
+def test_repo_src_tree_lints_clean():
+    """Acceptance: the shipped tree has zero non-waived findings."""
+    out = io.StringIO()
+    assert cli.main([SRC], out=out) == 0, out.getvalue()
