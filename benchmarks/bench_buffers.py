@@ -1,0 +1,201 @@
+"""Zero-copy buffer plane benchmark (Section II.D copy accounting).
+
+Measures real msgs/sec and MB/sec through every delivery path of the
+memory plane — shm-inline (64 B), shm-pool, xpmem, and RDMA (64 KiB and
+8 MiB) — comparing the **view** discipline (send an array, receive a
+:class:`~repro.transport.buffers.WireBuffer` span, release it) against
+a **legacy** emulation of the pre-refactor bytes discipline
+(``tobytes()`` before send, ``tobytes()`` after recv: the two extra
+materializations this refactor removed).  Each mode also records the
+per-delivery copy count straight from the ``transport.copies``
+histogram, so the before/after table shows both throughput and copies.
+
+Targets (asserted by the pytest wrappers):
+
+* ``>= 2x`` view-over-legacy throughput on the 8 MiB shm-pool path;
+* the xpmem path reports **0** copies end to end in ``transport.copies``.
+
+Run:  python benchmarks/bench_buffers.py [--quick] [--out FILE]
+Also collectable by pytest (the ``test_*`` wrappers assert the targets).
+"""
+
+import argparse
+import json
+import os
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.core.monitoring import PerfMonitor
+from repro.machine import GeminiInterconnect
+from repro.transport.rdma import NntiFabric, RdmaChannel
+from repro.transport.shm import ShmChannel
+from repro.util import KiB, MiB
+
+SIZES = {"64B": 64, "64KiB": 64 * KiB, "8MiB": 8 * MiB}
+
+
+def _payload(size):
+    return np.random.default_rng(size).integers(
+        0, 256, size=size, dtype=np.uint8
+    )
+
+
+def _shm_channel(path, mon):
+    return ShmChannel(use_xpmem=(path == "xpmem"), monitor=mon)
+
+
+def _rdma_channel(mon):
+    fabric = NntiFabric(GeminiInterconnect())
+    a = fabric.endpoint(0, "sim-0")
+    b = fabric.endpoint(5, "viz-0")
+    return RdmaChannel(fabric.connect(a, b), sender=a, monitor=mon)
+
+
+def _drain(ch, reps, legacy, timeout=60.0):
+    """Consumer loop: receive ``reps`` spans, release each; in legacy
+    mode materialize the payload first (the pre-refactor copy-out)."""
+    for _ in range(reps):
+        wb = ch.recv(timeout=timeout)
+        if legacy:
+            wb.tobytes()
+        if not wb.released:
+            wb.release()
+
+
+def _run_path(path, size, reps, legacy):
+    """One (path, size, mode) cell: wall time for ``reps`` deliveries."""
+    mon = PerfMonitor()
+    ch = _rdma_channel(mon) if path == "rdma" else _shm_channel(path, mon)
+    payload = _payload(size)
+    threaded = path == "xpmem"  # xpmem sends block until consumer detach
+
+    if threaded:
+        t = threading.Thread(target=_drain, args=(ch, reps, legacy))
+        t.start()
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            ch.send(bytes(payload) if legacy else payload, timeout=60)
+        t.join(60)
+        dt = time.perf_counter() - t0
+    else:
+        t0 = time.perf_counter()
+        for _ in range(reps):
+            ch.send(bytes(payload) if legacy else payload)
+            wb = ch.recv()
+            if legacy:
+                wb.tobytes()
+            if not wb.released:
+                wb.release()
+        dt = time.perf_counter() - t0
+
+    hist = mon.metrics.histogram("transport.copies")
+    ch.close()
+    return {
+        "path": path,
+        "size": size,
+        "mode": "legacy" if legacy else "view",
+        "reps": reps,
+        "secs": round(dt, 6),
+        "msgs_per_s": round(reps / dt, 1),
+        "mb_per_s": round(reps * size / dt / MiB, 1),
+        # Transport copies per delivery; legacy mode pays the same
+        # transport count plus the tobytes() materializations around it.
+        "copies_per_msg": (hist.total / hist.count) if hist.count else None,
+        "histogram_observations": hist.count,
+        "histogram_zero_count": hist.zero_count,
+    }
+
+
+def _reps(size, quick):
+    base = {64: 2000, 64 * KiB: 500, 8 * MiB: 24}[size]
+    return max(4, base // 8) if quick else base
+
+
+def run(quick=False):
+    cells = []
+    for path, sizes in [
+        ("inline", ["64B"]),
+        ("pool", ["64KiB", "8MiB"]),
+        ("xpmem", ["64KiB", "8MiB"]),
+        ("rdma", ["64KiB", "8MiB"]),
+    ]:
+        for label in sizes:
+            size = SIZES[label]
+            reps = _reps(size, quick)
+            for legacy in (True, False):
+                cells.append(_run_path(path, size, reps, legacy))
+
+    def cell(path, label, mode):
+        return next(
+            c for c in cells
+            if c["path"] == path and c["size"] == SIZES[label]
+            and c["mode"] == mode
+        )
+
+    pool_8m_view = cell("pool", "8MiB", "view")
+    pool_8m_legacy = cell("pool", "8MiB", "legacy")
+    xpmem_8m_view = cell("xpmem", "8MiB", "view")
+    speedup = pool_8m_view["mb_per_s"] / pool_8m_legacy["mb_per_s"]
+    return {
+        "bench": "buffers",
+        "quick": quick,
+        "cells": cells,
+        "pool_8mib_speedup": round(speedup, 2),
+        "pass_pool_8mib_2x": speedup >= 2.0,
+        "xpmem_copies_per_msg": xpmem_8m_view["copies_per_msg"],
+        "pass_xpmem_zero_copy": xpmem_8m_view["copies_per_msg"] == 0.0,
+    }
+
+
+# --- pytest wrappers (run only when benchmarks/ is targeted explicitly) ---
+
+def test_pool_8mib_view_discipline_2x_over_legacy():
+    size, reps = SIZES["8MiB"], 16
+    legacy = _run_path("pool", size, reps, legacy=True)
+    view = _run_path("pool", size, reps, legacy=False)
+    assert view["mb_per_s"] >= 2.0 * legacy["mb_per_s"], (legacy, view)
+
+
+def test_xpmem_reports_zero_copies_end_to_end():
+    out = _run_path("xpmem", SIZES["8MiB"], 8, legacy=False)
+    assert out["histogram_observations"] == 8
+    assert out["copies_per_msg"] == 0.0
+    assert out["histogram_zero_count"] == 8
+
+
+def test_every_path_reports_copy_counts():
+    expected = {"inline": 2.0, "pool": 1.0, "xpmem": 0.0, "rdma": 1.0}
+    for path, copies in expected.items():
+        size = 64 if path == "inline" else SIZES["64KiB"]
+        out = _run_path(path, size, 8, legacy=False)
+        assert out["copies_per_msg"] == copies, (path, out)
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="fewer reps")
+    ap.add_argument("--out", default="BENCH_buffers.json")
+    args = ap.parse_args(argv)
+    results = run(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"{'path':7s} {'size':>8s} {'mode':7s} {'msgs/s':>10s} "
+          f"{'MB/s':>10s} {'copies':>7s}")
+    for c in results["cells"]:
+        label = next(k for k, v in SIZES.items() if v == c["size"])
+        copies = "-" if c["copies_per_msg"] is None else f"{c['copies_per_msg']:.1f}"
+        print(f"{c['path']:7s} {label:>8s} {c['mode']:7s} "
+              f"{c['msgs_per_s']:10.1f} {c['mb_per_s']:10.1f} {copies:>7s}")
+    print(f"8 MiB shm-pool view/legacy: {results['pool_8mib_speedup']:.2f}x "
+          f"({'PASS' if results['pass_pool_8mib_2x'] else 'FAIL'} >=2x)")
+    print(f"xpmem copies/msg: {results['xpmem_copies_per_msg']} "
+          f"({'PASS' if results['pass_xpmem_zero_copy'] else 'FAIL'} ==0)")
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,10 @@ FXL004    Direct ``commit()`` call outside the retry/2PC path
 FXL005    Attribute mutated from a drainer-thread method without being
           declared in the shared-state registry
           (``repro.core.stream.DRAINER_SHARED_STATE``).
+FXL006    Copy-discipline breach on the zero-copy plane (``transport/``,
+          ``core/stream.py``): ``.tobytes()`` / ``bytes(...)`` /
+          ``bytearray(...)`` materialize a copy of data that should
+          travel as :class:`~repro.transport.buffers.WireBuffer` views.
 ========  ==============================================================
 
 **Waivers**: append ``# flexlint: ok(FXL001) <reason>`` to the flagged
@@ -82,6 +86,10 @@ RULES: dict[str, Rule] = {
         Rule("FXL005", "undeclared drainer-thread shared state",
              "attributes assigned inside drainer-path methods must be "
              "declared in repro.core.stream.DRAINER_SHARED_STATE."),
+        Rule("FXL006", "copy-discipline breach on the zero-copy plane",
+             ".tobytes()/bytes()/bytearray() under transport/ and "
+             "core/stream.py materialize copies; carry WireBuffer/"
+             "memoryview spans instead (or waive with a reason)."),
     )
 }
 
@@ -131,6 +139,11 @@ class LintConfig:
     drainer_shared_state: Optional[frozenset[str]] = None
     #: Override for the known hint keys; None = repro.core.hints registry.
     hint_keys: Optional[frozenset[str]] = None
+    #: Paths where FXL006 (copy discipline) applies.
+    copy_discipline_paths: tuple[str, ...] = (
+        "repro/transport/",
+        "repro/core/stream.py",
+    )
 
 
 def _default_hint_keys() -> frozenset[str]:
@@ -366,12 +379,42 @@ def _check_drainer_state(tree: ast.AST, path: str, cfg: LintConfig):
                     )
 
 
+def _check_copy_discipline(tree: ast.AST, path: str, cfg: LintConfig):
+    if not _in_scope(path, cfg.copy_discipline_paths):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("bytes", "bytearray"):
+            # bytes()/bytearray() with no payload argument (or a size
+            # int) allocate, not copy — only calls fed an existing
+            # buffer are a breach.
+            if not node.args:
+                continue
+            if len(node.args) == 1 and isinstance(node.args[0], ast.Constant) \
+                    and isinstance(node.args[0].value, int):
+                continue
+            what = f"{func.id}(...)"
+        elif isinstance(func, ast.Attribute) and func.attr == "tobytes":
+            what = ".tobytes()"
+        else:
+            continue
+        yield Finding(
+            "FXL006", path, node.lineno, node.col_offset,
+            f"{what} materializes a copy on the zero-copy plane; carry "
+            f"WireBuffer/memoryview spans end to end (or waive with a "
+            f"reason)",
+        )
+
+
 _CHECKS = (
     _check_broad_except,
     _check_hint_keys,
     _check_spans,
     _check_commit,
     _check_drainer_state,
+    _check_copy_discipline,
 )
 
 

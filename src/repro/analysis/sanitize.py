@@ -16,6 +16,11 @@ type system — this module checks them at run time when enabled:
 * **Un-joined drainer threads** — pipeline threads register at start and
   deregister on a successful join; :func:`check_shutdown` flags any
   registered thread still alive (a leaked or wedged drainer).
+* **Buffer-lease discipline** — the zero-copy buffer plane
+  (:mod:`repro.transport.buffers`) reports lease acquire/release;
+  use-after-release and double-release are flagged as they happen, and
+  :meth:`Sanitizer.check_leases` flags leases never released (leaked
+  pool buffers or registered memory).
 
 Enablement: set ``FLEXIO_SANITIZE=1`` in the environment (read lazily on
 first use), or call :func:`enable` / :func:`disable` programmatically.
@@ -39,6 +44,9 @@ SPSC_PRODUCER = "spsc-producer"
 SPSC_CONSUMER = "spsc-consumer"
 LOCK_ORDER = "lock-order"
 UNJOINED_THREAD = "unjoined-thread"
+LEASE_LEAK = "lease-leak"
+LEASE_USE_AFTER_RELEASE = "lease-use-after-release"
+LEASE_DOUBLE_RELEASE = "lease-double-release"
 
 
 @dataclass(frozen=True)
@@ -73,6 +81,8 @@ class Sanitizer:
         self._flagged_edges: set[tuple[str, str]] = set()
         #: Registered pipeline threads: ident -> (thread, label).
         self._threads: dict[int, tuple[threading.Thread, str]] = {}
+        #: Outstanding buffer leases: id(lease) -> label.
+        self._leases: dict[int, str] = {}
 
     # -- reporting ---------------------------------------------------------
     def _add(self, kind: str, what: str, details: str) -> None:
@@ -92,6 +102,7 @@ class Sanitizer:
             self._edges.clear()
             self._flagged_edges.clear()
             self._threads.clear()
+            self._leases.clear()
 
     def assert_clean(self) -> None:
         vs = self.violations()
@@ -194,6 +205,46 @@ class Sanitizer:
                 label,
                 f"thread {thread.name!r} still alive at shutdown "
                 f"(drainer never joined)",
+            )
+            with self._mu:
+                self._violations.append(v)
+            added.append(v)
+        return added
+
+    # -- buffer leases -----------------------------------------------------
+    def note_lease_acquired(self, lease: object, label: str) -> None:
+        """A :class:`~repro.transport.buffers.BufferLease` was taken."""
+        with self._mu:
+            self._leases[id(lease)] = label
+
+    def note_lease_released(self, lease: object) -> None:
+        with self._mu:
+            self._leases.pop(id(lease), None)
+
+    def note_lease_use_after_release(self, label: str, what: str) -> None:
+        """An access hit a lease (or wire span) after its release."""
+        self._add(
+            LEASE_USE_AFTER_RELEASE, label,
+            f"{what} after release (the buffer may already be reused)",
+        )
+
+    def note_lease_double_release(self, label: str) -> None:
+        self._add(
+            LEASE_DOUBLE_RELEASE, label,
+            "released twice (the second release could free a buffer "
+            "another lease now owns)",
+        )
+
+    def check_leases(self) -> list[Violation]:
+        """Flag leases acquired but never released (leaked pool buffers
+        or registered memory).  Returns the violations added."""
+        with self._mu:
+            leaked = sorted(self._leases.values())
+        added = []
+        for label in leaked:
+            v = Violation(
+                LEASE_LEAK, label,
+                "lease never released (pool buffer / registration pinned)",
             )
             with self._mu:
                 self._violations.append(v)

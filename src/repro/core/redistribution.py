@@ -177,6 +177,44 @@ class CompiledPlan:
                 mask[dst] = True
             self.covered.append(bool(mask.all()))
 
+    def _coerce_blocks(
+        self,
+        writer_blocks: Sequence,
+        dtype: Optional[np.dtype],
+        check: bool,
+    ) -> tuple[list[np.ndarray], np.dtype]:
+        """Normalize incoming blocks to shaped arrays.
+
+        A block may be an ndarray or a wire span
+        (:class:`~repro.transport.buffers.WireBuffer` — anything with an
+        ``as_array``): spans are reinterpreted in place as
+        ``np.frombuffer`` views shaped to their writer box, so bytes
+        arriving from the transport scatter straight into the reader
+        arrays with no intermediate materialization.
+        """
+        if check and len(writer_blocks) != len(self.writer_boxes):
+            raise ValueError(
+                f"expected {len(self.writer_boxes)} writer blocks, "
+                f"got {len(writer_blocks)}"
+            )
+        blocks: list[np.ndarray] = []
+        for i, blk in enumerate(writer_blocks):
+            if hasattr(blk, "as_array"):
+                if dtype is None:
+                    raise ValueError("dtype is required for wire-span blocks")
+                blk = blk.as_array(dtype, self.writer_boxes[i].count)
+            elif not isinstance(blk, np.ndarray):
+                blk = np.asarray(blk)
+            if check and tuple(blk.shape) != tuple(self.writer_boxes[i].count):
+                raise ValueError(
+                    f"writer {i} block shape {tuple(blk.shape)} != "
+                    f"box count {self.writer_boxes[i].count}"
+                )
+            blocks.append(blk)
+        if dtype is None:
+            dtype = blocks[0].dtype
+        return blocks, np.dtype(dtype)
+
     def execute(
         self,
         writer_blocks: Sequence[np.ndarray],
@@ -187,23 +225,10 @@ class CompiledPlan:
         """Replay the compiled assignments: writer blocks → reader arrays.
 
         Byte-identical to :func:`repro.adios.selection.assemble` run per
-        reader box, but without recomputing any overlap geometry.
+        reader box, but without recomputing any overlap geometry.  Writer
+        blocks may be wire spans (see :meth:`_coerce_blocks`).
         """
-        if check:
-            if len(writer_blocks) != len(self.writer_boxes):
-                raise ValueError(
-                    f"expected {len(self.writer_boxes)} writer blocks, "
-                    f"got {len(writer_blocks)}"
-                )
-            for i, (blk, box) in enumerate(zip(writer_blocks, self.writer_boxes)):
-                if tuple(np.shape(blk)) != tuple(box.count):
-                    raise ValueError(
-                        f"writer {i} block shape {np.shape(blk)} != box count {box.count}"
-                    )
-        if not all(isinstance(b, np.ndarray) for b in writer_blocks):
-            writer_blocks = [np.asarray(b) for b in writer_blocks]
-        if dtype is None:
-            dtype = writer_blocks[0].dtype
+        blocks, dtype = self._coerce_blocks(writer_blocks, dtype, check)
         outputs: list[np.ndarray] = []
         for r, rbox in enumerate(self.reader_boxes):
             if self.covered[r]:
@@ -211,9 +236,45 @@ class CompiledPlan:
             else:
                 out = np.full(rbox.count, fill, dtype=dtype)
             for w, src, dst in self.assignments[r]:
-                out[dst] = writer_blocks[w][src]
+                out[dst] = blocks[w][src]
             outputs.append(out)
         return outputs
+
+    def execute_into(
+        self,
+        writer_blocks: Sequence[np.ndarray],
+        outs: Sequence[np.ndarray],
+        fill: Optional[float] = None,
+        check: bool = True,
+    ) -> Sequence[np.ndarray]:
+        """Replay the compiled assignments into *preallocated* reader
+        arrays — the steady-state zero-allocation path.
+
+        ``outs`` must hold one array per reader box, each shaped to its
+        box.  Incoming spans scatter straight into them; uncovered cells
+        are only touched when ``fill`` is given (pass it on the first
+        step, omit it to preserve existing values).  Returns ``outs``.
+        """
+        if len(outs) != len(self.reader_boxes):
+            raise ValueError(
+                f"expected {len(self.reader_boxes)} output arrays, got {len(outs)}"
+            )
+        for r, (out, rbox) in enumerate(zip(outs, self.reader_boxes)):
+            if tuple(out.shape) != tuple(rbox.count):
+                raise ValueError(
+                    f"reader {r} output shape {tuple(out.shape)} != "
+                    f"box count {rbox.count}"
+                )
+        blocks, _ = self._coerce_blocks(
+            writer_blocks, outs[0].dtype if outs else None, check
+        )
+        for r in range(len(self.reader_boxes)):
+            out = outs[r]
+            if fill is not None and not self.covered[r]:
+                out[...] = fill
+            for w, src, dst in self.assignments[r]:
+                out[dst] = blocks[w][src]
+        return outs
 
 
 @dataclass

@@ -90,6 +90,7 @@ from repro.core.resilience import (
     TransactionAborted,
     TransactionCoordinator,
 )
+from repro.transport.buffers import WireBuffer, WireVector
 from repro.transport.faults import (
     TransportFault,
     injector_from_env,
@@ -567,7 +568,9 @@ class StreamState:
                 if self.hints.transactional and step.groups:
                     err = self._drain_transactional(step, rank_parts)
                 else:
-                    parts = [p for r in sorted(rank_parts) for p in rank_parts[r]]
+                    parts = WireVector(
+                        p for r in sorted(rank_parts) for p in rank_parts[r]
+                    )
                     err = self._send_with_retries(step, parts)
         if err is None:
             self._consecutive_failures = 0
@@ -582,7 +585,7 @@ class StreamState:
             self._consecutive_failures += 1
             self._maybe_degrade()
 
-    def _send_with_retries(self, step: _PublishedStep, parts: list):
+    def _send_with_retries(self, step: _PublishedStep, parts: WireVector):
         """Push one payload under the stream's retry policy.
 
         Returns None on success, the final exception on failure.  Only
@@ -609,7 +612,12 @@ class StreamState:
                     step=step.step, attempt=attempt,
                 ):
                     self._channel.sendv(parts, timeout=policy.timeout)
-                    self._channel.recv(timeout=policy.timeout)
+                    ack = self._channel.recv(timeout=policy.timeout)
+                    if isinstance(ack, WireBuffer) and not ack.released:
+                        # The drain is its own consumer (the DC plugin
+                        # side already observed the data): releasing the
+                        # span returns the pool/registration lease.
+                        ack.release()
                 if attempt > 0:
                     mon.metrics.counter("dataplane.drain.recovered").inc()
                     mon.record(
@@ -801,31 +809,33 @@ def _same_shape(orig: WrittenVar, data) -> bool:
     return tuple(np.shape(data)) == tuple(orig.data.shape)
 
 
-def _step_parts(step: _PublishedStep) -> list[np.ndarray]:
-    """Flatten a step's variables to contiguous byte views for the channel."""
-    parts: list[np.ndarray] = []
+def _step_parts(step: _PublishedStep) -> WireVector:
+    """Flatten a step's variables to one scatter-gather vector for the
+    channel (views over the written arrays — no copies here)."""
+    vec = WireVector()
     for rank in sorted(step.groups):
         for wv in step.groups[rank].variables.values():
-            arr = np.ascontiguousarray(wv.data)
-            if arr.nbytes:
-                parts.append(arr.reshape(-1).view(np.uint8))
-    return parts
+            if wv.data.nbytes:
+                vec.append(wv.data)
+    return vec
 
 
-def _rank_parts(step: _PublishedStep) -> dict[int, list[np.ndarray]]:
-    """Per-rank byte views of a step's payload.
+def _rank_parts(step: _PublishedStep) -> dict[int, WireVector]:
+    """Per-rank scatter-gather vectors of a step's payload.
 
-    The transactional drain sends each rank's parts as that rank's
+    The transactional drain sends each rank's vector as that rank's
     prepare; the plain drain flattens them (rank order) into one send.
+    Parts are :class:`WireBuffer` views over the step's written arrays —
+    the step holds those arrays until commit/loss, so the views stay
+    valid across retries.
     """
-    out: dict[int, list[np.ndarray]] = {}
+    out: dict[int, WireVector] = {}
     for rank in sorted(step.groups):
-        parts = []
+        vec = WireVector()
         for wv in step.groups[rank].variables.values():
-            arr = np.ascontiguousarray(wv.data)
-            if arr.nbytes:
-                parts.append(arr.reshape(-1).view(np.uint8))
-        out[rank] = parts
+            if wv.data.nbytes:
+                vec.append(wv.data)
+        out[rank] = vec
     return out
 
 
@@ -1077,6 +1087,69 @@ class FlexpathReadHandle(ReadHandle):
             "stream_read", name, start=0.0, duration=0.0, nbytes=int(result.nbytes)
         )
         return result
+
+    def read_into(self, name, out: np.ndarray, start=None, count=None) -> np.ndarray:
+        """Like :meth:`read`, but scatter the selection straight into the
+        preallocated ``out`` array — the steady-state zero-allocation
+        read path (incoming spans land in the reader's own buffer, no
+        per-step ``np.empty``).  ``out`` must match the selection's shape
+        and the variable's dtype; returns ``out``.
+        """
+        step = self._step()
+        blocks = []
+        gshape = None
+        dtype = None
+        for pg in step.groups.values():
+            wv = pg.variables.get(name)
+            if wv is None:
+                continue
+            dtype = wv.data.dtype
+            if wv.global_shape is not None:
+                gshape = wv.global_shape
+            if wv.box is not None:
+                blocks.append((wv.box, wv.data))
+        if dtype is None:
+            raise VariableNotFound(f"no variable {name!r} at step {self._cursor}")
+        if gshape is None:
+            raise StreamError(
+                f"variable {name!r} is not a global array; use read_block()"
+            )
+        target = resolve_selection(start, count, gshape)
+        if tuple(out.shape) != tuple(target.count):
+            raise ValueError(
+                f"out shape {tuple(out.shape)} != selection count {tuple(target.count)}"
+            )
+        if out.dtype != dtype:
+            raise ValueError(f"out dtype {out.dtype} != variable dtype {dtype}")
+        mon = self._state.monitor
+        cache = self._plan_cache()
+        with mon.span("read", name, parent=step.trace_ctx, step=self._cursor):
+            with mon.span("redistribute", name, writers=len(blocks)):
+                self._account_handshake(name, gshape, [b for b, _ in blocks])
+            with mon.span("transport", name) as tspan:
+                if cache is not None and blocks:
+                    cplan, hit = cache.get([b for b, _ in blocks], [target], gshape)
+                    mon.metrics.counter(
+                        "dataplane.plan_cache.hits" if hit
+                        else "dataplane.plan_cache.misses"
+                    ).inc()
+                    cplan.execute_into([d for _, d in blocks], [out], check=False)
+                else:
+                    assembled = assemble(
+                        target,
+                        ((b, d) for b, d in blocks if intersect(target, b) is not None),
+                        dtype=dtype,
+                    )
+                    out[...] = assembled
+                tspan.add_bytes(int(out.nbytes))
+            record = self._state.plugins.apply_side(PluginSide.READER, {name: out})
+        result = np.asarray(record[name])
+        if result is not out:
+            out[...] = result  # a reader-side plugin transformed the data
+        mon.record(
+            "stream_read", name, start=0.0, duration=0.0, nbytes=int(out.nbytes)
+        )
+        return out
 
     def read_all(self, names=None, start=None, count=None) -> dict[str, np.ndarray]:
         """Read several global-array variables of the current step.

@@ -5,7 +5,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Protocol
 
-from repro.marshal import Format, FormatRegistry, decode_message, encode_message
+import numpy as np
+
+from repro.marshal import (
+    FieldKind,
+    Format,
+    FormatRegistry,
+    decode_message,
+    decode_view,
+    encode_message,
+)
+from repro.transport.buffers import Ownership, WireBuffer
 from repro.evpath.stones import (
     BridgeAction,
     EvPathError,
@@ -130,9 +140,30 @@ class EvManager:
         else:
             raise EvPathError(f"unknown action type {type(action).__name__}")
 
-    def dispatch_wire(self, data: bytes, stone_id: int) -> None:
-        """Entry point for bytes arriving from a remote bridge."""
-        fmt, record = decode_message(data, self.registry)
+    def dispatch_wire(self, data, stone_id: int) -> None:
+        """Entry point for bytes or wire spans arriving from a remote
+        bridge.
+
+        A :class:`~repro.transport.buffers.WireBuffer` is decoded
+        zero-copy (:func:`~repro.marshal.decode_view`); fields of a
+        lease-backed span (pool/xpmem/rdma) are detached before the
+        caller releases it, because stones downstream may retain records
+        indefinitely — that detach *is* the consumer-side copy the paper
+        counts.  Plain bytes keep the legacy copying decode.
+        """
+        if isinstance(data, WireBuffer):
+            fmt, record, _ = decode_view(data, self.registry)
+            for f in fmt.fields:
+                v = record[f.name]
+                if f.kind is FieldKind.BYTES:
+                    record[f.name] = bytes(v)
+                elif f.kind is FieldKind.ARRAY:
+                    # Detach from the wire span (stones may retain the
+                    # record, and legacy decode hands out writable
+                    # arrays): this is the one consumer-side copy.
+                    record[f.name] = np.array(v)
+        else:
+            fmt, record = decode_message(data, self.registry)
         self._process(stone_id, fmt, record)
 
 
@@ -179,7 +210,11 @@ class ShmLink:
         # Drain immediately (single-threaded graph walk): the queue still
         # exercised end-to-end, the consumer copy happens here.
         payload = self.channel.recv()
-        self.remote.dispatch_wire(payload, remote_stone)
+        try:
+            self.remote.dispatch_wire(payload, remote_stone)
+        finally:
+            if isinstance(payload, WireBuffer) and not payload.released:
+                payload.release()
         if self.cost_model is None:
             return 0.0
         return self.cost_model.transfer_time(
@@ -199,5 +234,9 @@ class RdmaLink:
         payload = self.channel.recv()
         if payload is None:  # pragma: no cover - channel contract
             raise EvPathError("RDMA channel lost a message")
-        self.remote.dispatch_wire(payload, remote_stone)
+        try:
+            self.remote.dispatch_wire(payload, remote_stone)
+        finally:
+            if isinstance(payload, WireBuffer) and not payload.released:
+                payload.release()
         return t

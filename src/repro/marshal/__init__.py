@@ -11,7 +11,15 @@ Both the messaging layer and the BP-lite file format build on it.
 """
 
 from repro.marshal.format import Field, FieldKind, Format, FormatRegistry
-from repro.marshal.codec import MarshalError, decode_message, decode_stream, encode_message
+from repro.marshal.codec import (
+    MarshalError,
+    decode_message,
+    decode_stream,
+    decode_view,
+    encode_into,
+    encode_message,
+    encoded_size,
+)
 
 __all__ = [
     "Field",
@@ -21,5 +29,8 @@ __all__ = [
     "MarshalError",
     "decode_message",
     "decode_stream",
+    "decode_view",
+    "encode_into",
     "encode_message",
+    "encoded_size",
 ]

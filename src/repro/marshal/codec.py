@@ -82,6 +82,93 @@ def _pack_field(field: Field, value: Any, out: bytearray) -> None:
         ) from exc
 
 
+def _field_size(field: Field, value: Any) -> int:
+    """Encoded size of one field (for sizing a pack_into destination)."""
+    kind = field.kind
+    try:
+        if kind == FieldKind.INT64 or kind == FieldKind.FLOAT64:
+            return 8
+        if kind == FieldKind.BOOL:
+            return 1
+        if kind == FieldKind.STRING:
+            return 4 + len(str(value).encode("utf-8"))
+        if kind == FieldKind.BYTES:
+            return 8 + len(value)
+        if kind == FieldKind.LIST_INT64:
+            return 4 + 8 * len(value)
+        if kind == FieldKind.ARRAY:
+            arr = np.asarray(value)
+            dt = arr.dtype.str.encode("ascii")
+            return 1 + len(dt) + 1 + 8 * arr.ndim + 8 + arr.nbytes
+    except TypeError as exc:
+        raise MarshalError(
+            f"cannot size field {field.name!r} as {kind.name}: {exc}"
+        ) from exc
+    raise MarshalError(f"unsupported kind {kind}")  # pragma: no cover
+
+
+def _pack_field_into(field: Field, value: Any, mv: memoryview, off: int) -> int:
+    """Pack one field directly at ``mv[off:]``; returns the new offset.
+
+    The zero-copy twin of :func:`_pack_field`: ARRAY payloads are copied
+    once, straight into the destination (a leased pool buffer, a queue
+    slot, registered RDMA memory), with no intermediate ``bytes``.
+    """
+    kind = field.kind
+    try:
+        if kind == FieldKind.INT64:
+            struct.pack_into("<q", mv, off, int(value))
+            return off + 8
+        if kind == FieldKind.FLOAT64:
+            struct.pack_into("<d", mv, off, float(value))
+            return off + 8
+        if kind == FieldKind.BOOL:
+            struct.pack_into("<B", mv, off, 1 if value else 0)
+            return off + 1
+        if kind == FieldKind.STRING:
+            b = str(value).encode("utf-8")
+            struct.pack_into("<I", mv, off, len(b))
+            off += 4
+            mv[off : off + len(b)] = b
+            return off + len(b)
+        if kind == FieldKind.BYTES:
+            b = value if isinstance(value, (bytes, bytearray, memoryview)) else bytes(value)
+            struct.pack_into("<Q", mv, off, len(b))
+            off += 8
+            mv[off : off + len(b)] = b
+            return off + len(b)
+        if kind == FieldKind.LIST_INT64:
+            vals = [int(v) for v in value]
+            struct.pack_into("<I", mv, off, len(vals))
+            off += 4
+            if vals:
+                struct.pack_into(f"<{len(vals)}q", mv, off, *vals)
+            return off + 8 * len(vals)
+        if kind == FieldKind.ARRAY:
+            arr = np.ascontiguousarray(value)
+            dt = arr.dtype.str.encode("ascii")
+            struct.pack_into("<B", mv, off, len(dt))
+            off += 1
+            mv[off : off + len(dt)] = dt
+            off += len(dt)
+            struct.pack_into("<B", mv, off, arr.ndim)
+            off += 1
+            for dim in arr.shape:
+                struct.pack_into("<Q", mv, off, dim)
+                off += 8
+            struct.pack_into("<Q", mv, off, arr.nbytes)
+            off += 8
+            # The single array copy: source view -> destination span.
+            dst = np.frombuffer(mv, dtype=np.uint8, count=arr.nbytes, offset=off)
+            dst[:] = arr.reshape(-1).view(np.uint8)
+            return off + arr.nbytes
+    except (TypeError, ValueError, OverflowError, struct.error) as exc:
+        raise MarshalError(
+            f"cannot pack field {field.name!r} as {kind.name}: {exc}"
+        ) from exc
+    raise MarshalError(f"unsupported kind {kind}")  # pragma: no cover
+
+
 def _unpack_field(field: Field, data: bytes, off: int) -> tuple[Any, int]:
     kind = field.kind
     if kind == FieldKind.INT64:
@@ -210,6 +297,165 @@ def decode_stream(
     pos = off
     for field in fmt.fields:
         value, pos = _unpack_field(field, data, pos)
+        record[field.name] = value
+    if pos - off != body_len:
+        raise MarshalError(
+            f"body length mismatch: declared {body_len}, consumed {pos - off}"
+        )
+    return fmt, record, pos
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy encode / decode (pack_into / unpack_from over wire spans)
+# ---------------------------------------------------------------------------
+
+def encoded_size(
+    fmt: Format,
+    record: dict,
+    peer_registry: Optional[FormatRegistry] = None,
+) -> int:
+    """Exact wire size :func:`encode_into` will write for ``record`` —
+    use it to size a pool lease before packing into it."""
+    missing = [f.name for f in fmt.fields if f.name not in record]
+    if missing:
+        raise MarshalError(f"record missing fields {missing} for format {fmt.name!r}")
+    inline_schema = peer_registry is None or not peer_registry.knows(fmt)
+    n = 13 + (len(fmt.self_description()) if inline_schema else 0) + 8
+    for field in fmt.fields:
+        n += _field_size(field, record[field.name])
+    return n
+
+
+def encode_into(
+    fmt: Format,
+    record: dict,
+    buf,
+    peer_registry: Optional[FormatRegistry] = None,
+) -> int:
+    """Encode ``record`` directly into ``buf`` (a memoryview, bytearray,
+    uint8 ndarray, or a leased buffer's ``data`` array); returns bytes
+    written.
+
+    The zero-copy twin of :func:`encode_message`: ARRAY payloads are
+    copied exactly once, from the source array straight into the
+    destination span — so serializing into a leased pool buffer or
+    registered RDMA memory costs one copy total.
+    """
+    missing = [f.name for f in fmt.fields if f.name not in record]
+    if missing:
+        raise MarshalError(f"record missing fields {missing} for format {fmt.name!r}")
+    inline_schema = peer_registry is None or not peer_registry.knows(fmt)
+    flags = _FLAG_SCHEMA if inline_schema else 0
+
+    mv = buf if isinstance(buf, memoryview) else memoryview(buf)
+    if mv.format != "B":
+        mv = mv.cast("B")
+    if mv.readonly:
+        raise MarshalError("encode_into destination is read-only")
+    try:
+        struct.pack_into("<I", mv, 0, MAGIC)
+        struct.pack_into("<B", mv, 4, flags)
+        struct.pack_into("<Q", mv, 5, fmt.format_id)
+        off = 13
+        if inline_schema:
+            sd = fmt.self_description()
+            mv[off : off + len(sd)] = sd
+            off += len(sd)
+        body_len_off = off
+        off += 8
+        body_start = off
+        for field in fmt.fields:
+            off = _pack_field_into(field, record[field.name], mv, off)
+        struct.pack_into("<Q", mv, body_len_off, off - body_start)
+    except (struct.error, ValueError) as exc:
+        raise MarshalError(f"destination too small for message: {exc}") from exc
+    return off
+
+
+def _unpack_field_view(field: Field, data: np.ndarray, off: int) -> tuple[Any, int]:
+    """Unpack one field from a flat uint8 array; ARRAY and BYTES come
+    back as *views* over ``data`` (no copy)."""
+    kind = field.kind
+    if kind == FieldKind.ARRAY:
+        (dlen,) = struct.unpack_from("<B", data, off)
+        off += 1
+        dtype = np.dtype(bytes(data[off : off + dlen]).decode("ascii"))
+        off += dlen
+        (ndim,) = struct.unpack_from("<B", data, off)
+        off += 1
+        shape = []
+        for _ in range(ndim):
+            (dim,) = struct.unpack_from("<Q", data, off)
+            off += 8
+            shape.append(dim)
+        (nbytes,) = struct.unpack_from("<Q", data, off)
+        off += 8
+        count = nbytes // dtype.itemsize if dtype.itemsize else 0
+        arr = np.frombuffer(data, dtype=dtype, count=count, offset=off)
+        return arr.reshape(shape), off + nbytes
+    if kind == FieldKind.BYTES:
+        (n,) = struct.unpack_from("<Q", data, off)
+        off += 8
+        return data[off : off + n], off + n
+    if kind == FieldKind.STRING:
+        (n,) = struct.unpack_from("<I", data, off)
+        off += 4
+        return bytes(data[off : off + n]).decode("utf-8"), off + n
+    # Scalars carry no payload worth aliasing; reuse the copying path
+    # (struct.unpack_from accepts any buffer, including ndarrays).
+    return _unpack_field(field, data, off)
+
+
+def decode_view(data, registry: FormatRegistry) -> tuple[Format, dict, int]:
+    """Zero-copy decode: like :func:`decode_stream`, but ARRAY fields are
+    returned as ``np.frombuffer`` views over ``data`` (and BYTES as uint8
+    views) instead of copies.
+
+    ``data`` may be bytes, a memoryview, a flat uint8 ndarray, or a
+    :class:`~repro.transport.buffers.WireBuffer` (anything with an
+    ``as_array()``).  The returned arrays alias the receive segment: the
+    consumer must finish with them (or copy) before releasing the span.
+    """
+    if hasattr(data, "as_array"):
+        arr = data.as_array()
+    elif isinstance(data, np.ndarray):
+        arr = data.reshape(-1).view(np.uint8)
+    else:
+        arr = np.frombuffer(data, dtype=np.uint8)
+    if arr.nbytes < 13:
+        raise MarshalError(f"message truncated ({arr.nbytes} bytes)")
+    (magic,) = struct.unpack_from("<I", arr, 0)
+    if magic != MAGIC:
+        raise MarshalError(f"bad magic {magic:#x}")
+    (flags,) = struct.unpack_from("<B", arr, 4)
+    (format_id,) = struct.unpack_from("<Q", arr, 5)
+    off = 13
+
+    if flags & _FLAG_SCHEMA:
+        # First contact only (steady state ships bare messages): the
+        # schema parser wants bytes, so materialize the tail once here.
+        fmt, consumed = Format.from_self_description(arr[off:].tobytes())
+        off += consumed
+        if fmt.format_id != format_id:
+            raise MarshalError(
+                f"inlined schema id {fmt.format_id:#x} != header id {format_id:#x}"
+            )
+        registry.register(fmt)
+    else:
+        maybe = registry.by_id(format_id)
+        if maybe is None:
+            raise MarshalError(f"unknown format id {format_id:#x} and no inlined schema")
+        fmt = maybe
+
+    (body_len,) = struct.unpack_from("<Q", arr, off)
+    off += 8
+    if off + body_len > arr.nbytes:
+        raise MarshalError("body extends past end of message")
+
+    record: dict = {}
+    pos = off
+    for field in fmt.fields:
+        value, pos = _unpack_field_view(field, arr, pos)
         record[field.name] = value
     if pos - off != body_len:
         raise MarshalError(

@@ -326,3 +326,67 @@ def fault_summary(records: Iterable[dict]) -> FaultSummary:
         elif cat == "drain_wedged":
             s.wedged_drains += 1
     return s
+
+
+# ---------------------------------------------------------------------------
+# Copy accounting (zero-copy buffer plane)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CopySummary:
+    """Aggregate of per-delivery copy counts on the transport plane.
+
+    Every ``recv`` span carries ``path`` (inline/pool/xpmem/put_small/
+    get_bulk) and ``copies`` (CPU memcpys between producer buffer and the
+    consumer-visible view: 0 xpmem, 1 pool/RDMA, 2 inline) attributes;
+    this rolls them up so the trace CLI can show whether the memory plane
+    actually ran zero-copy.
+    """
+
+    #: ``path -> [messages, bytes, total copies]``.
+    per_path: dict = field(default_factory=dict)
+
+    @property
+    def messages(self) -> int:
+        return sum(v[0] for v in self.per_path.values())
+
+    @property
+    def total_copies(self) -> int:
+        return sum(v[2] for v in self.per_path.values())
+
+    def any(self) -> bool:
+        return bool(self.per_path)
+
+    def lines(self) -> list[str]:
+        """Human-readable one-liners (what ``repro.tools.trace`` prints)."""
+        from repro.util import fmt_bytes
+
+        out = []
+        for path in sorted(self.per_path):
+            msgs, nbytes, copies = self.per_path[path]
+            per_msg = copies / msgs if msgs else 0.0
+            out.append(
+                f"{path}: {msgs} messages, {fmt_bytes(nbytes)}, "
+                f"{per_msg:.1f} copies/message"
+            )
+        if self.messages:
+            out.append(
+                f"total: {self.messages} messages, "
+                f"{self.total_copies} copies"
+            )
+        return out
+
+
+def copy_summary(records: Iterable[dict]) -> CopySummary:
+    """Aggregate the copy counts of every delivery span in one dump."""
+    s = CopySummary()
+    for rec in records:
+        copies = rec.get("copies")
+        if copies is None:
+            continue
+        path = str(rec.get("path", "?"))
+        entry = s.per_path.setdefault(path, [0, 0, 0])
+        entry[0] += 1
+        entry[1] += int(rec.get("bytes", 0))
+        entry[2] += int(copies)
+    return s

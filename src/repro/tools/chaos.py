@@ -295,6 +295,7 @@ def run_chaos(
     # -- concurrency sanitizer ---------------------------------------------
     if san is not None:
         san.check_shutdown()  # flags drainer threads left un-joined
+        san.check_leases()  # flags buffer leases still outstanding
         report.sanitizer_violations = [str(v) for v in san.violations()]
         report.invariant_violations.extend(
             f"sanitizer: {v}" for v in report.sanitizer_violations

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 from repro.core.monitoring import PerfMonitor
 from repro.obs.analysis import (
     build_traces,
+    copy_summary,
     critical_path,
     fault_summary,
     find_bottleneck,
@@ -83,6 +84,12 @@ def analyze(
     if faults.any():
         print("\nfaults and recovery:", file=out)
         for line in faults.lines():
+            print(f"  {line}", file=out)
+
+    copies = copy_summary(records)
+    if copies.any():
+        print("\ntransport copies (per delivery path):", file=out)
+        for line in copies.lines():
             print(f"  {line}", file=out)
 
     hint = find_bottleneck(records)

@@ -29,16 +29,31 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro.machine.interconnect import Interconnect
+from repro.transport.buffers import (
+    BufferLease,
+    Channel,
+    LeasePool,
+    Ownership,
+    WireBuffer,
+    WireVector,
+)
 from repro.transport.faults import (
     TransportFaultInjector,
     fault_exception,
     record_injected,
 )
+
+#: Copy counts the RDMA paths report into ``transport.copies``: bulk
+#: transfers stage once (the gather into registered send memory; the
+#: Get itself is DMA, not a CPU copy), small Puts stage once into the
+#: peer's message ring.
+COPIES_RDMA_BULK = 1
+COPIES_RDMA_SMALL = 1
 
 
 # ---------------------------------------------------------------------------
@@ -47,11 +62,22 @@ from repro.transport.faults import (
 
 @dataclass
 class RegBuffer:
-    """An allocated-and-registered RDMA buffer."""
+    """An allocated-and-registered RDMA buffer.
+
+    ``data`` is the registered memory itself, allocated lazily on the
+    first lease so pure cost-model users (``acquire``/``release`` for
+    timing) never pay for backing pages they don't touch.
+    """
 
     buffer_id: int
     size: int
     in_use: bool = True
+    data: Optional[np.ndarray] = None
+
+    def ensure_data(self) -> np.ndarray:
+        if self.data is None:
+            self.data = np.zeros(self.size, dtype=np.uint8)
+        return self.data
 
 
 @dataclass
@@ -72,12 +98,20 @@ class RegCacheStats:
         m.gauge(f"{prefix}.setup_time_saved").set(self.setup_time_saved)
 
 
-class RegistrationCache:
-    """Persistent send/receive buffer pool with registration reuse."""
+class RegistrationCache(LeasePool):
+    """Persistent send/receive buffer pool with registration reuse.
+
+    Two faces of the same free lists: the original ``acquire``/``release``
+    pair (used by the cost model's :meth:`NntiConnection.get_bulk`), and
+    the buffer plane's :meth:`lease` protocol, which also hands out the
+    registered memory itself so channels gather payloads straight into
+    it.
+    """
 
     def __init__(self, interconnect: Interconnect, max_bytes: int = 512 * 1024 * 1024) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
+        LeasePool.__init__(self)
         self.interconnect = interconnect
         self.max_bytes = int(max_bytes)
         self._free: dict[int, list[RegBuffer]] = {}
@@ -130,6 +164,19 @@ class RegistrationCache:
             raise ValueError(f"buffer {buf.buffer_id} already free")
         buf.in_use = False
         self._free.setdefault(buf.size, []).append(buf)
+
+    # -- BufferLease protocol ----------------------------------------------
+    def lease(self, nbytes: int) -> BufferLease:
+        """Acquire registered memory under a lease; ``setup_time`` on the
+        lease carries the registration cost (0 on a cache hit)."""
+        buf, setup = self.acquire(nbytes)
+        return self._make_lease(
+            buf.buffer_id, buf.ensure_data(), nbytes,
+            setup_time=setup, label=f"rdma.reg#{buf.buffer_id}",
+        )
+
+    def _return_buffer(self, lease: BufferLease) -> None:
+        self.release(self._all[lease.buffer_id])
 
     def _reclaim(self) -> None:
         """Deregister idle buffers, largest first, until under threshold."""
@@ -198,7 +245,7 @@ class NntiConnection:
             t = ic.params.small_msg_overhead
         else:
             t = ic.small_put_time(min(len(data), ic.params.small_msg_threshold))
-        peer.mailbox.append((tag, bytes(data)))
+        peer.mailbox.append((tag, bytes(data)))  # flexlint: ok(FXL006) the Put really lands in the peer's message ring (identity for bytes input)
         return t
 
     def get_bulk(
@@ -222,7 +269,7 @@ class NntiConnection:
             t += ic.bulk_transfer_time(nbytes, concurrent_flows)
         src.reg_cache.release(send_buf)
         dst.reg_cache.release(recv_buf)
-        return bytes(data), t
+        return bytes(data), t  # flexlint: ok(FXL006) legacy timing API returns an owned copy; the channel path uses leases
 
 
 class NntiFabric:
@@ -357,13 +404,17 @@ class TransferScheduler:
 # Channel
 # ---------------------------------------------------------------------------
 
-class RdmaChannel:
+class RdmaChannel(Channel):
     """One-directional inter-node channel mirroring :class:`ShmChannel`.
 
-    ``send`` really enqueues bytes for the receiver and returns the
-    simulated time the operation costs; ``recv`` pops delivered payloads.
-    Large messages go through the control-message + Get protocol; small
-    ones through Put.
+    ``send`` really moves bytes to the receiver and returns the simulated
+    time the operation costs; ``recv`` pops delivered
+    :class:`~repro.transport.buffers.WireBuffer` spans.  Small messages
+    go through Put into the peer's message ring (one staging copy).
+    Large messages gather straight into leased registered send memory
+    (the one CPU copy), are "transferred" by DMA into leased registered
+    receive memory, and arrive as a span over the receiver's registered
+    buffer — releasing it returns the registration lease.
     """
 
     def __init__(
@@ -376,7 +427,7 @@ class RdmaChannel:
         self.connection = connection
         self.sender = sender
         self.receiver = connection._peer(sender)
-        self._delivered: deque[bytes] = deque()
+        self._delivered: deque[WireBuffer] = deque()
         self.small_sends = 0
         self.large_sends = 0
         #: Optional PerfMonitor: each send records a ``transport`` event
@@ -400,7 +451,9 @@ class RdmaChannel:
         )
 
     def send(
-        self, payload: bytes, concurrent_flows: int = 1,
+        self,
+        payload: Union[bytes, memoryview, np.ndarray, WireBuffer],
+        concurrent_flows: int = 1,
         timeout: Optional[float] = None,
     ) -> float:
         """Move ``payload`` to the receiver; returns elapsed (simulated) time.
@@ -409,46 +462,96 @@ class RdmaChannel:
         :meth:`ShmChannel.send` (the drain pipeline passes one); time is
         simulated here, so it only bounds injected-fault semantics.
         """
-        data = bytes(payload)
-        self._maybe_inject_fault(len(data))
+        vec = payload if isinstance(payload, WireVector) else WireVector((payload,))
+        return self._sendv(vec, concurrent_flows)
+
+    def sendv(
+        self, parts, concurrent_flows: int = 1, timeout: Optional[float] = None
+    ) -> float:
+        """Vectored send: one protocol round (Put or control+Get) moves
+        every part of a step, mirroring :meth:`ShmChannel.sendv` — the
+        parts gather straight into registered send memory, with no
+        intermediate join."""
+        vec = parts if isinstance(parts, WireVector) else WireVector(parts)
+        return self._sendv(vec, concurrent_flows)
+
+    def _sendv(self, vec: WireVector, concurrent_flows: int) -> float:
+        total = vec.nbytes
+        self._maybe_inject_fault(total)
         ic = self.connection.fabric.interconnect
-        if len(data) <= ic.params.small_msg_threshold:
+        if total <= ic.params.small_msg_threshold:
+            # Gather into the Put source; the ring entry is the consumer's
+            # final buffer (delivered as a view over it).
+            data = vec.tobytes()  # flexlint: ok(FXL006) small Puts stage through the peer's message ring by design
             t = self.connection.put_small(self.sender, "data", data)
             # Deliver straight to the channel (the mailbox entry is ours).
             self.receiver.mailbox.pop()
-            self._delivered.append(data)
+            wb = WireBuffer(data, ownership=Ownership.HEAP, copies=COPIES_RDMA_SMALL)
+            self._delivered.append(wb)
             self.small_sends += 1
             path = "put_small"
         else:
-            out, t = self.connection.get_bulk(self.receiver, data, concurrent_flows)
-            self._delivered.append(out)
+            t, wb = self._send_bulk(vec, total, concurrent_flows)
+            self._delivered.append(wb)
             self.large_sends += 1
             path = "get_bulk"
         if self.monitor is not None:
             self.monitor.record(
                 "transport", "rdma.send",
                 start=self.monitor.clock(), duration=t,
-                nbytes=len(data), path=path,
+                nbytes=total, path=path,
             )
-            self.monitor.metrics.counter("rdma.bytes_sent").inc(len(data))
+            self.monitor.metrics.counter("rdma.bytes_sent").inc(total)
             self.monitor.metrics.counter("rdma.messages_sent").inc()
         return t
 
-    def sendv(
-        self, parts, concurrent_flows: int = 1, timeout: Optional[float] = None
-    ) -> float:
-        """Vectored send: one protocol round (Put or control+Get) moves
-        every part of a step, mirroring :meth:`ShmChannel.sendv`."""
-        data = b"".join(
-            p.tobytes() if isinstance(p, np.ndarray) else bytes(p) for p in parts
+    def _send_bulk(
+        self, vec: WireVector, total: int, concurrent_flows: int
+    ) -> tuple[float, WireBuffer]:
+        """Control message + receiver-directed Get over leased registered
+        buffers on both hosts (setups proceed in parallel)."""
+        ic = self.connection.fabric.interconnect
+        send_lease = self.sender.reg_cache.lease(total)
+        try:
+            recv_lease = self.receiver.reg_cache.lease(total)
+        except BaseException:  # flexlint: ok(FXL001) lease cleanup must cover every raise, then re-raises
+            send_lease.release()
+            raise
+        t = max(send_lease.setup_time, recv_lease.setup_time)
+        vec.copy_into(send_lease.data)  # copy 1: gather into registered memory
+        t += ic.params.control_msg_time  # sender's "data ready" notification
+        if self.sender.node_id == self.receiver.node_id:
+            t += total / ic.params.peak_bw  # loopback DMA
+        else:
+            t += ic.bulk_transfer_time(total, concurrent_flows)
+        # The Get itself: NIC-driven DMA into the receiver's registered
+        # buffer — priced above, not counted as a CPU copy.
+        recv_lease.data[:total] = send_lease.data[:total]
+        send_lease.release()
+        return t, WireBuffer.from_lease(
+            recv_lease, total, ownership=Ownership.RDMA, copies=COPIES_RDMA_BULK
         )
-        return self.send(data, concurrent_flows, timeout=timeout)
 
-    def recv(self, timeout: Optional[float] = None) -> Optional[bytes]:
-        """Pop the next delivered payload (``timeout`` accepted for
-        signature parity with :class:`~repro.transport.shm.ShmChannel`;
-        delivery here is synchronous, so there is nothing to wait on)."""
-        return self._delivered.popleft() if self._delivered else None
+    def recv(self, timeout: Optional[float] = None) -> Optional[WireBuffer]:
+        """Pop the next delivered span (``timeout`` accepted for signature
+        parity with :class:`~repro.transport.shm.ShmChannel`; delivery
+        here is synchronous, so there is nothing to wait on).  Bulk spans
+        must be released by the consumer to return the registration
+        lease."""
+        if not self._delivered:
+            return None
+        wb = self._delivered.popleft()
+        self.observe_delivery(
+            wb, "put_small" if wb.ownership is Ownership.HEAP else "get_bulk"
+        )
+        return wb
+
+    def close(self) -> None:
+        """Drop undelivered spans, returning any registration leases."""
+        while self._delivered:
+            wb = self._delivered.popleft()
+            if not wb.released:
+                wb.release()
 
     def emit_stats(self, monitor=None) -> None:
         """Publish both endpoints' registration-cache counters and the

@@ -13,11 +13,13 @@ Three pieces:
    C implementation would need fences for.
 
 2. :class:`ShmBufferPool` — producer-owned pool of reusable buffers indexed
-   by a per-size free list; large messages are copied into a pool buffer
-   and announced via a small control message through the queue (the classic
-   two-copy path).  The XPMEM path instead "maps" the producer's source
-   buffer into the consumer (zero-copy handoff of a read-only view), so
-   only the consumer-side copy remains.
+   by a per-size free list; large messages are gathered into a leased pool
+   buffer and announced via a small control message through the queue, and
+   the consumer receives a :class:`~repro.transport.buffers.WireBuffer`
+   view over the shared buffer (one staging copy; releasing the span
+   returns the buffer).  The XPMEM path instead "maps" the producer's
+   source buffer into the consumer (zero-copy handoff of a read-only
+   view), so the transport itself performs no copy at all.
 
 3. :class:`ShmCostModel` — prices the same operations for discrete-event
    runs: per-message queue latencies by NUMA relationship, and per-copy
@@ -36,6 +38,18 @@ import numpy as np
 
 from repro.analysis import sanitize
 from repro.machine.topology import NodeType
+from repro.transport.buffers import (
+    COPIES_INLINE,
+    COPIES_POOL,
+    COPIES_XPMEM,
+    BufferLease,
+    Channel,
+    LeasePool,
+    Ownership,
+    WireBuffer,
+    WireVector,
+    as_byte_view,
+)
 from repro.transport.faults import (
     FaultKind,
     TornSend,
@@ -46,14 +60,10 @@ from repro.transport.faults import (
 )
 from repro.util import CACHE_LINE, align_up
 
-
-def _as_byte_view(part: Union[bytes, np.ndarray]) -> np.ndarray:
-    """A flat uint8 view of one vectored-send part (copy-free for
-    contiguous arrays)."""
-    if isinstance(part, np.ndarray):
-        arr = np.ascontiguousarray(part)
-        return arr.reshape(-1).view(np.uint8)
-    return np.frombuffer(bytes(part), dtype=np.uint8)
+#: Back-compat alias; ``np.frombuffer(part)`` is copy-free for any
+#: bytes-like (the old local helper round-tripped through ``bytes(part)``
+#: and paid a needless copy per memoryview part).
+_as_byte_view = as_byte_view
 
 _EMPTY = 0
 _FULL = 1
@@ -141,34 +151,62 @@ class SPSCQueue:
 
     # -- producer side ----------------------------------------------------
     def try_enqueue(self, data: Union[bytes, bytearray, memoryview]) -> bool:
-        """Enqueue without blocking; returns False if the next entry is FULL."""
+        """Enqueue without blocking; returns False if the next entry is FULL.
+
+        The payload is sliced straight into the slot — no ``bytes(...)``
+        coercion, so memoryviews and contiguous arrays enqueue with the
+        single producer→slot copy (only non-contiguous arrays are
+        compacted first by :func:`as_byte_view`).
+        """
+        view = as_byte_view(data)
+        return self.try_enqueuev((view,), view.nbytes)
+
+    def try_enqueuev(self, views: Sequence[np.ndarray], total: Optional[int] = None) -> bool:
+        """Vectored enqueue: gather ``views`` (flat uint8 arrays) into one
+        slot with one copy per part and no intermediate join."""
         if self._san is not None:
             self._san.note_spsc(self, "producer")
         if self._closed:
             raise QueueClosed("enqueue on closed queue")
-        data = bytes(data)
-        if len(data) > self.payload_size:
+        if total is None:
+            total = sum(v.nbytes for v in views)
+        if total > self.payload_size:
             raise ValueError(
-                f"message of {len(data)} B exceeds slot payload {self.payload_size} B"
+                f"message of {total} B exceeds slot payload {self.payload_size} B"
             )
         base = self._entry(self._head)
         if self._buf[base] != _EMPTY:
             self.stats.producer_spins += 1
             return False
         # Write payload first, status flag last (release ordering).
-        _HDR.pack_into(self._mv, base, _EMPTY, len(data))
-        pstart = base + _HDR.size
-        self._mv[pstart : pstart + len(data)] = data
+        _HDR.pack_into(self._mv, base, _EMPTY, total)
+        off = base + _HDR.size
+        for v in views:
+            n = v.nbytes
+            self._buf[off : off + n] = v
+            off += n
         self._buf[base] = _FULL
         self._head = (self._head + 1) % self.slots
         self.stats.enqueued += 1
-        self.stats.bytes_enqueued += len(data)
+        self.stats.bytes_enqueued += total
         return True
 
     def enqueue(self, data: Union[bytes, bytearray, memoryview], timeout: float = 5.0) -> None:
         """Blocking enqueue; spins (with micro-sleeps) until an entry frees."""
+        view = as_byte_view(data)
+        self.enqueuev((view,), view.nbytes, timeout=timeout)
+
+    def enqueuev(
+        self,
+        views: Sequence[np.ndarray],
+        total: Optional[int] = None,
+        timeout: float = 5.0,
+    ) -> None:
+        """Blocking vectored enqueue; spins until an entry frees."""
+        if total is None:
+            total = sum(v.nbytes for v in views)
         deadline = time.monotonic() + timeout
-        while not self.try_enqueue(data):
+        while not self.try_enqueuev(views, total):
             if time.monotonic() > deadline:
                 raise QueueFull(f"queue full for {timeout}s")
             time.sleep(1e-6)
@@ -190,7 +228,7 @@ class SPSCQueue:
             return None
         _, length = _HDR.unpack_from(self._mv, base)
         pstart = base + _HDR.size
-        out = bytes(self._mv[pstart : pstart + length])
+        out = bytes(self._mv[pstart : pstart + length])  # flexlint: ok(FXL006) the slot must be copied out before it is handed back to the producer (inline path's second copy)
         # Copy out first, then release the entry to the producer.
         self._buf[base] = _EMPTY
         self._tail = (self._tail + 1) % self.slots
@@ -241,18 +279,22 @@ class PoolStats:
     peak_bytes: int = 0
 
 
-class ShmBufferPool:
+class ShmBufferPool(LeasePool):
     """Producer-owned pool of large-message buffers with per-size free lists.
 
     ``acquire`` rounds the request up to the next power of two and serves
     from the free list when possible (the "closest size" search of the
     paper); ``release`` returns a buffer for reuse.  ``max_bytes`` is the
     configurable threshold that triggers reclamation of idle buffers.
+    :meth:`lease` wraps the same acquire/release cycle in the buffer
+    plane's :class:`~repro.transport.buffers.BufferLease` protocol (shared
+    with the RDMA registration cache).
     """
 
     def __init__(self, max_bytes: int = 256 * 1024 * 1024) -> None:
         if max_bytes <= 0:
             raise ValueError("max_bytes must be positive")
+        LeasePool.__init__(self)
         self.max_bytes = int(max_bytes)
         self._buffers: dict[int, _PoolBuffer] = {}
         self._free: dict[int, list[int]] = {}  # size -> [buffer_id]
@@ -308,6 +350,17 @@ class ShmBufferPool:
     def get(self, buffer_id: int) -> _PoolBuffer:
         return self._buffers[buffer_id]
 
+    # -- BufferLease protocol ----------------------------------------------
+    def lease(self, nbytes: int) -> BufferLease:
+        """Acquire a pool buffer under a lease (release via the lease)."""
+        buf = self.acquire(nbytes)
+        return self._make_lease(
+            buf.buffer_id, buf.data, nbytes, label=f"shm.pool#{buf.buffer_id}"
+        )
+
+    def _return_buffer(self, lease: BufferLease) -> None:
+        self.release(lease.buffer_id)
+
     def _reclaim_locked(self) -> None:
         """Drop idle buffers (largest first) until under the threshold."""
         idle = sorted(
@@ -342,19 +395,30 @@ _PATH_POOL = 1
 _PATH_XPMEM = 2
 
 
-class ShmChannel:
+#: Span/counter path names per control-message path constant.
+_PATH_NAMES = {_PATH_INLINE: "inline", _PATH_POOL: "pool", _PATH_XPMEM: "xpmem"}
+
+
+class ShmChannel(Channel):
     """One-directional intra-node data channel (producer → consumer).
 
-    Small payloads ride inline in queue entries.  Large payloads take one
-    of two paths:
+    Small payloads ride inline in queue entries (copied into the slot,
+    copied out of it: 2 copies).  Large payloads take one of two paths:
 
-    * **pool** (default): producer copies into a pool buffer, sends a
-      control message, consumer copies out and releases the buffer —
-      two copies, fully asynchronous.
-    * **xpmem**: producer publishes a read-only view of its source buffer
-      (modelling ``xpmem_make``/``xpmem_attach`` page mapping), consumer
-      copies directly from it — one copy, but the producer must not reuse
-      the source until the consumer is done (synchronous semantics).
+    * **pool** (default): the producer gathers straight into a leased
+      pool buffer (the single staging copy), sends a control message,
+      and the consumer receives a :class:`WireBuffer` *view* over the
+      shared buffer — releasing the span returns the lease.  One copy,
+      fully asynchronous.
+    * **xpmem**: the producer publishes a read-only view of its source
+      buffer (modelling ``xpmem_make``/``xpmem_attach`` page mapping);
+      the consumer's :class:`WireBuffer` maps those pages directly —
+      zero transport copies — and releasing the span detaches, so the
+      producer must not reuse the source until then (synchronous
+      semantics).
+
+    Every delivery reports its copy count (inline=2, pool=1, xpmem=0)
+    into the ``transport.copies`` histogram of the bound monitor.
     """
 
     def __init__(
@@ -378,54 +442,66 @@ class ShmChannel:
         self._xpmem_done: dict[int, threading.Event] = {}
         self._next_token = 0
         self._token_lock = sanitize.make_lock("shm.xpmem_token")
+        #: Pool leases announced to the consumer but not yet received:
+        #: buffer_id -> lease (handed over to the consumer's WireBuffer).
+        self._in_flight: dict[int, BufferLease] = {}
         #: Copies performed per large message on each path (observable).
-        self.copies_per_large_message = 1 if use_xpmem else 2
+        self.copies_per_large_message = COPIES_XPMEM if use_xpmem else COPIES_POOL
         self.large_sends = 0
         self.inline_sends = 0
 
     # -- producer ---------------------------------------------------------
-    def send(self, payload: Union[bytes, np.ndarray], timeout: float = 5.0) -> None:
-        data = payload.tobytes() if isinstance(payload, np.ndarray) else bytes(payload)
+    def send(
+        self,
+        payload: Union[bytes, memoryview, np.ndarray, WireBuffer],
+        timeout: float = 5.0,
+    ) -> None:
+        """Move one payload; accepts any wire span shape without copying."""
+        wb = WireBuffer.wrap(payload)
         if self.monitor is not None:
-            with self.monitor.span("transport", "shm.send", nbytes=len(data)):
-                self._send(data, timeout)
-            self.monitor.metrics.counter("shm.bytes_sent").inc(len(data))
+            with self.monitor.span("transport", "shm.send", nbytes=wb.nbytes):
+                self._send(wb, timeout)
+            self.monitor.metrics.counter("shm.bytes_sent").inc(wb.nbytes)
             self.monitor.metrics.counter("shm.messages_sent").inc()
         else:
-            self._send(data, timeout)
+            self._send(wb, timeout)
 
     def sendv(
-        self, parts: Sequence[Union[bytes, np.ndarray]], timeout: float = 5.0
+        self,
+        parts: Union[WireVector, Sequence[Union[bytes, np.ndarray, WireBuffer]]],
+        timeout: float = 5.0,
     ) -> None:
         """Vectored send: gather ``parts`` into one message.
 
-        One control round and one pool buffer service the whole step —
-        each part is copied straight into the shared buffer, with no
-        intermediate join on the producer side.  Always takes the pool
-        path for large payloads (the xpmem path's synchronous
+        One control round and one pool lease service the whole step —
+        each part is copied straight into the shared buffer (or, inline,
+        straight into the queue slot alongside the control header), with
+        no intermediate join on the producer side.  Always takes the
+        pool path for large payloads (the xpmem path's synchronous
         consumer-detach handshake would deadlock a caller that also
         drives ``recv`` from the same thread).
         """
-        views = [_as_byte_view(p) for p in parts]
-        total = sum(v.nbytes for v in views)
+        vec = parts if isinstance(parts, WireVector) else WireVector(parts)
+        total = vec.nbytes
         if self.monitor is not None:
             with self.monitor.span(
-                "transport", "shm.sendv", nbytes=total, parts=len(views)
+                "transport", "shm.sendv", nbytes=total, parts=len(vec)
             ):
-                self._sendv(views, total, timeout)
+                self._sendv(vec, total, timeout)
             self.monitor.metrics.counter("shm.bytes_sent").inc(total)
             self.monitor.metrics.counter("shm.messages_sent").inc()
         else:
-            self._sendv(views, total, timeout)
+            self._sendv(vec, total, timeout)
 
     def _maybe_inject_fault(self, total: int) -> None:
         """Consult the injector; raise the scheduled typed fault, if any.
 
         A torn send is modeled faithfully for the pool path: part of the
-        payload is really copied into a pool buffer, but the control
-        message never goes out — so the consumer can never observe the
-        partial bytes, and the producer sees a typed :class:`TornSend`.
-        The buffer is released before raising (no leak across retries).
+        payload is really written into a leased pool buffer, but the
+        control message never goes out — so the consumer can never
+        observe the partial bytes, and the producer sees a typed
+        :class:`TornSend`.  The lease is released before raising (no
+        leak across retries).
         """
         if self.injector is None:
             return
@@ -434,71 +510,90 @@ class ShmChannel:
             return
         record_injected(self.monitor, "shm", kind, nbytes=total)
         if kind is FaultKind.TORN_SEND and total > self._inline_max:
-            buf = self.pool.acquire(total)
-            try:
+            with self.pool.lease(total) as lease:
                 torn = max(1, total // 2)
-                buf.data[:torn] = np.zeros(torn, dtype=np.uint8)
-            finally:
-                self.pool.release(buf.buffer_id)
+                lease.data[:torn] = 0
             raise TornSend(f"injected torn send after {total // 2}/{total} B")
         raise fault_exception(kind, f"injected {kind.value} on shm send ({total} B)")
 
-    def _sendv(
-        self, views: Sequence[np.ndarray], total: int, timeout: float
-    ) -> None:
+    def _sendv(self, vec: WireVector, total: int, timeout: float) -> None:
         self._maybe_inject_fault(total)
         if total <= self._inline_max:
-            data = b"".join(v.tobytes() for v in views)
-            self.queue.enqueue(
-                _CTRL.pack(_PATH_INLINE, 0, len(data)) + data, timeout=timeout
+            # One gather write: control header + every view, straight
+            # into the queue slot (no join, no intermediate bytes).
+            hdr = as_byte_view(_CTRL.pack(_PATH_INLINE, 0, total))
+            self.queue.enqueuev(
+                (hdr, *(p.as_array() for p in vec)),
+                _CTRL.size + total,
+                timeout=timeout,
             )
             self.inline_sends += 1
             return
-        buf = self.pool.acquire(total)
-        offset = 0
-        for v in views:  # gather: copy 1, directly into the shared buffer
-            buf.data[offset : offset + v.nbytes] = v
-            offset += v.nbytes
-        self.queue.enqueue(
-            _CTRL.pack(_PATH_POOL, buf.buffer_id, total), timeout=timeout
-        )
+        self._send_pool(vec, total, timeout)
         self.large_sends += 1
 
-    def _send(self, data: bytes, timeout: float) -> None:
-        self._maybe_inject_fault(len(data))
-        if len(data) <= self._inline_max:
-            msg = _CTRL.pack(_PATH_INLINE, 0, len(data)) + data
-            self.queue.enqueue(msg, timeout=timeout)
+    def _send(self, wb: WireBuffer, timeout: float) -> None:
+        self._maybe_inject_fault(wb.nbytes)
+        if wb.nbytes <= self._inline_max:
+            hdr = as_byte_view(_CTRL.pack(_PATH_INLINE, 0, wb.nbytes))
+            self.queue.enqueuev(
+                (hdr, wb.as_array()), _CTRL.size + wb.nbytes, timeout=timeout
+            )
             self.inline_sends += 1
             return
         if self.use_xpmem:
-            self._send_xpmem(data, timeout)
+            self._send_xpmem(wb, timeout)
         else:
-            self._send_pool(data, timeout)
+            self._send_pool(WireVector((wb,)), wb.nbytes, timeout)
         self.large_sends += 1
 
-    def _send_pool(self, data: bytes, timeout: float) -> None:
-        buf = self.pool.acquire(len(data))
-        buf.data[: len(data)] = np.frombuffer(data, dtype=np.uint8)  # copy 1
-        self.queue.enqueue(_CTRL.pack(_PATH_POOL, buf.buffer_id, len(data)), timeout=timeout)
+    def _send_pool(self, vec: WireVector, total: int, timeout: float) -> None:
+        lease = self.pool.lease(total)
+        # Publish the lease before the control message goes out so the
+        # consumer can never observe a buffer_id we don't know about.
+        self._in_flight[lease.buffer_id] = lease
+        try:
+            vec.copy_into(lease.data)  # gather: the single staging copy
+            self.queue.enqueue(
+                _CTRL.pack(_PATH_POOL, lease.buffer_id, total), timeout=timeout
+            )
+        except BaseException:  # flexlint: ok(FXL001) lease cleanup must cover every raise, then re-raises
+            # The control message never went out: reclaim the lease so a
+            # failed or timed-out send cannot leak the pool buffer
+            # (retries re-lease from the free list).
+            self._in_flight.pop(lease.buffer_id, None)
+            lease.release()
+            raise
 
-    def _send_xpmem(self, data: bytes, timeout: float) -> None:
+    def _send_xpmem(self, wb: WireBuffer, timeout: float) -> None:
         with self._token_lock:
             token = self._next_token
             self._next_token += 1
-        # "Map" the source pages: expose a view, no producer-side copy.
-        self._xpmem_segments[token] = np.frombuffer(data, dtype=np.uint8)
+        # "Map" the source pages: expose the producer's view, no copy.
+        self._xpmem_segments[token] = wb.as_array()
         done = threading.Event()
         self._xpmem_done[token] = done
-        self.queue.enqueue(_CTRL.pack(_PATH_XPMEM, token, len(data)), timeout=timeout)
-        # Synchronous large-message semantics: wait for consumer detach.
-        if not done.wait(timeout):
-            raise TimeoutError("xpmem consumer did not detach in time")
-        del self._xpmem_segments[token]
-        del self._xpmem_done[token]
+        try:
+            self.queue.enqueue(
+                _CTRL.pack(_PATH_XPMEM, token, wb.nbytes), timeout=timeout
+            )
+            # Synchronous large-message semantics: wait for consumer detach.
+            if not done.wait(timeout):
+                raise TimeoutError("xpmem consumer did not detach in time")
+        finally:
+            self._xpmem_segments.pop(token, None)
+            self._xpmem_done.pop(token, None)
 
     def close(self) -> None:
         self.queue.close()
+        # A producer shutting down with announcements never consumed must
+        # not leak leases or wedge xpmem waiters.
+        for buffer_id in list(self._in_flight):
+            lease = self._in_flight.pop(buffer_id, None)
+            if lease is not None and not lease.released:
+                lease.release()
+        for done in list(self._xpmem_done.values()):
+            done.set()
         if self.monitor is not None:
             self.emit_stats()
 
@@ -515,31 +610,51 @@ class ShmChannel:
         mon.metrics.gauge("shm.channel.large_sends").set(self.large_sends)
 
     # -- consumer ---------------------------------------------------------
-    def recv(self, timeout: float = 5.0) -> bytes:
-        """Receive one message; raises :class:`QueueClosed` at end of stream."""
+    def recv(self, timeout: float = 5.0) -> WireBuffer:
+        """Receive one message as a :class:`WireBuffer` span; raises
+        :class:`QueueClosed` at end of stream.
+
+        Pool- and xpmem-backed spans stay valid until the consumer calls
+        :meth:`WireBuffer.release` — releasing returns the pool lease /
+        detaches the mapping.  Inline spans are heap-owned.
+        """
         if self.monitor is not None:
             with self.monitor.span("transport", "shm.recv") as sp:
                 out = self._recv(timeout)
-                sp.add_bytes(len(out))
+                sp.add_bytes(out.nbytes)
+                sp.set_attr(
+                    "path",
+                    "inline" if out.ownership is Ownership.HEAP else out.ownership.value,
+                )
+                sp.set_attr("copies", out.copies)
             return out
         return self._recv(timeout)
 
-    def _recv(self, timeout: float) -> bytes:
-        msg = self.queue.dequeue(timeout=timeout)
+    def _recv(self, timeout: float) -> WireBuffer:
+        msg = self.queue.dequeue(timeout=timeout)  # inline copy-out lives in the queue
         path, token, length = _CTRL.unpack_from(msg, 0)
         if path == _PATH_INLINE:
-            return msg[_CTRL.size : _CTRL.size + length]
-        if path == _PATH_POOL:
-            buf = self.pool.get(int(token))
-            out = buf.data[:length].tobytes()  # copy 2
-            self.pool.release(int(token))     # return to producer's free list
-            return out
-        if path == _PATH_XPMEM:
+            payload = np.frombuffer(
+                msg, dtype=np.uint8, count=length, offset=_CTRL.size
+            )  # view over the dequeued copy — no third copy
+            wb = WireBuffer(payload, ownership=Ownership.HEAP, copies=COPIES_INLINE)
+        elif path == _PATH_POOL:
+            lease = self._in_flight.pop(int(token))
+            wb = WireBuffer.from_lease(
+                lease, length, ownership=Ownership.POOL, copies=COPIES_POOL
+            )
+        elif path == _PATH_XPMEM:
             seg = self._xpmem_segments[int(token)]
-            out = seg[:length].tobytes()       # the only copy
-            self._xpmem_done[int(token)].set()  # detach
-            return out
-        raise ValueError(f"corrupt control message path {path}")
+            done = self._xpmem_done[int(token)]
+            # Attach to the producer's pages; release() detaches.
+            wb = WireBuffer(
+                seg[:length], ownership=Ownership.XPMEM,
+                copies=COPIES_XPMEM, on_release=done.set,
+            )
+        else:
+            raise ValueError(f"corrupt control message path {path}")
+        self.observe_delivery(wb, _PATH_NAMES[path])
+        return wb
 
 
 # ---------------------------------------------------------------------------

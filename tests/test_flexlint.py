@@ -231,6 +231,49 @@ def test_fxl005_real_stream_registry_covers_the_real_file():
 
 
 # ---------------------------------------------------------------------------
+# FXL006 — copy discipline on the zero-copy plane
+# ---------------------------------------------------------------------------
+
+def test_fxl006_flags_copy_materialization():
+    code = """
+    def f(view, arr):
+        a = arr.tobytes()
+        b = bytes(view)
+        c = bytearray(view)
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert rules_of(findings) == ["FXL006"]
+    assert len(findings) == 3
+
+
+def test_fxl006_allows_allocation_and_out_of_scope():
+    code = """
+    def f(view):
+        empty = bytes()
+        sized = bytearray(4096)
+        from_int = bytes(16)
+    """
+    assert lint(code, path=TRANSPORT_PATH) == []
+    copying = """
+    def f(view):
+        return bytes(view)
+    """
+    # Same code outside transport/ and core/stream.py is fine.
+    assert lint(copying, path="repro/obs/fixture.py") == []
+    assert rules_of(lint(copying, path="repro/core/stream.py")) == ["FXL006"]
+
+
+def test_fxl006_waiver_with_reason():
+    code = """
+    def f(view):
+        return bytes(view)  # flexlint: ok(FXL006) crossing to a bytes-only API
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert [f for f in findings if not f.waived] == []
+    assert any(f.rule == "FXL006" and f.waived for f in findings)
+
+
+# ---------------------------------------------------------------------------
 # Waivers
 # ---------------------------------------------------------------------------
 
@@ -332,9 +375,13 @@ def test_cli_list_rules():
     out = io.StringIO()
     assert cli.main(["--list-rules"], out=out) == 0
     text = out.getvalue()
-    for rule_id in ("FXL001", "FXL002", "FXL003", "FXL004", "FXL005"):
+    for rule_id in (
+        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006"
+    ):
         assert rule_id in text
-    assert set(RULES) == {"FXL001", "FXL002", "FXL003", "FXL004", "FXL005"}
+    assert set(RULES) == {
+        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006"
+    }
 
 
 def test_cli_show_waived(tmp_path):

@@ -214,13 +214,22 @@ def test_channel_pool_path_for_large_messages():
     ch = ShmChannel()
     big = bytes(range(256)) * 64  # 16 KiB
     ch.send(big)
-    assert ch.recv() == big
+    wb = ch.recv()
+    assert wb == big
     assert ch.large_sends == 1
-    assert ch.copies_per_large_message == 2
-    # Pool buffer returned to the free list after recv.
+    # One staging copy into the leased pool buffer; the consumer reads a
+    # view of that buffer (the legacy path copied out a second time).
+    assert ch.copies_per_large_message == 1
+    assert wb.copies == 1
     assert ch.pool.stats.allocations == 1
+    # The lease pins the buffer until the consumer releases the span.
+    assert ch.pool.outstanding_leases == 1
+    wb.release()
+    assert ch.pool.outstanding_leases == 0
     ch.send(big)
-    assert ch.recv() == big
+    wb2 = ch.recv()
+    assert wb2 == big
+    wb2.release()
     assert ch.pool.stats.reuses == 1
 
 
@@ -228,8 +237,10 @@ def test_channel_numpy_payload():
     ch = ShmChannel()
     arr = np.arange(5000, dtype=np.float64)
     ch.send(arr)
-    out = np.frombuffer(ch.recv(), dtype=np.float64)
+    wb = ch.recv()
+    out = wb.as_array(np.float64)
     np.testing.assert_array_equal(out, arr)
+    wb.release()
 
 
 def test_channel_xpmem_single_copy_cross_thread():
@@ -238,16 +249,21 @@ def test_channel_xpmem_single_copy_cross_thread():
     ch = ShmChannel(use_xpmem=True)
     big = b"z" * 10000
     out = []
+    copies = []
 
     def consumer():
-        out.append(ch.recv(timeout=10))
+        wb = ch.recv(timeout=10)
+        copies.append(wb.copies)
+        out.append(wb.tobytes())  # materialize before the detach
+        wb.release()  # detach: unblocks the waiting producer
 
     t = threading.Thread(target=consumer)
     t.start()
     ch.send(big, timeout=10)
     t.join(10)
     assert out == [big]
-    assert ch.copies_per_large_message == 1
+    assert copies == [0]  # mapped pages: zero copies end to end
+    assert ch.copies_per_large_message == 0
     assert ch.pool.stats.allocations == 0  # no pool buffer involved
 
 
