@@ -27,6 +27,11 @@ FXL006    Copy-discipline breach on the zero-copy plane (``transport/``,
           ``core/stream.py``): ``.tobytes()`` / ``bytes(...)`` /
           ``bytearray(...)`` materialize a copy of data that should
           travel as :class:`~repro.transport.buffers.WireBuffer` views.
+FXL007    Unregistered event code in a hot-path ``record()`` call: the
+          first argument must be a constant from the central event
+          table (:mod:`repro.obs.events`) or a ``Name``/``Attribute``
+          reference to one — ad-hoc f-strings and computed event names
+          defeat the flight recorder's fixed vocabulary.
 ========  ==============================================================
 
 **Waivers**: append ``# flexlint: ok(FXL001) <reason>`` to the flagged
@@ -90,6 +95,10 @@ RULES: dict[str, Rule] = {
              ".tobytes()/bytes()/bytearray() under transport/ and "
              "core/stream.py materialize copies; carry WireBuffer/"
              "memoryview spans instead (or waive with a reason)."),
+        Rule("FXL007", "unregistered event code in record() call",
+             "the first argument of record() must be a string literal "
+             "registered in repro.obs.events (or a Name/Attribute "
+             "constant reference); no f-strings or computed names."),
     )
 }
 
@@ -144,6 +153,9 @@ class LintConfig:
         "repro/transport/",
         "repro/core/stream.py",
     )
+    #: Override for the registered event codes (FXL007); None = the
+    #: repro.obs.events central table (flight events + trace categories).
+    event_codes: Optional[frozenset[str]] = None
 
 
 def _default_hint_keys() -> frozenset[str]:
@@ -156,6 +168,12 @@ def _default_drainer_registry() -> tuple[frozenset[str], frozenset[str]]:
     from repro.core.stream import DRAINER_METHODS, DRAINER_SHARED_STATE
 
     return frozenset(DRAINER_METHODS), frozenset(DRAINER_SHARED_STATE)
+
+
+def _default_event_codes() -> frozenset[str]:
+    from repro.obs.events import EVENT_CODES
+
+    return EVENT_CODES
 
 
 def _norm(path: str) -> str:
@@ -408,6 +426,49 @@ def _check_copy_discipline(tree: ast.AST, path: str, cfg: LintConfig):
         )
 
 
+def _check_event_codes(tree: ast.AST, path: str, cfg: LintConfig):
+    codes = (
+        cfg.event_codes if cfg.event_codes is not None
+        else _default_event_codes()
+    )
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name != "record" or not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, (ast.Name, ast.Attribute)):
+            # A reference to a registered constant (EV_*, span.category,
+            # self._category) — resolved at runtime by the recorder.
+            continue
+        if isinstance(arg, ast.JoinedStr):
+            yield Finding(
+                "FXL007", path, arg.lineno, arg.col_offset,
+                "f-string event name in record(); use a registered "
+                "constant from repro.obs.events and carry the variable "
+                "parts as attrs",
+            )
+        elif isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            if arg.value not in codes:
+                hint = difflib.get_close_matches(arg.value, sorted(codes), n=1)
+                extra = f"; did you mean {hint[0]!r}?" if hint else ""
+                yield Finding(
+                    "FXL007", path, arg.lineno, arg.col_offset,
+                    f"event code {arg.value!r} is not registered in the "
+                    f"repro.obs.events table{extra}",
+                )
+        elif not isinstance(arg, ast.Constant):
+            yield Finding(
+                "FXL007", path, arg.lineno, arg.col_offset,
+                "computed event name in record(); event codes must be "
+                "registered constants from repro.obs.events",
+            )
+
+
 _CHECKS = (
     _check_broad_except,
     _check_hint_keys,
@@ -415,6 +476,7 @@ _CHECKS = (
     _check_commit,
     _check_drainer_state,
     _check_copy_discipline,
+    _check_event_codes,
 )
 
 

@@ -88,6 +88,13 @@ class Sanitizer:
     def _add(self, kind: str, what: str, details: str) -> None:
         with self._mu:
             self._violations.append(Violation(kind, what, details))
+        # Lazy import: the sanitizer is imported by the data plane, the
+        # recorder by the sanitizer — only at violation time, so module
+        # import order stays acyclic.
+        from repro.obs import recorder as flight
+        from repro.obs.events import EV_SANITIZER
+
+        flight.record(EV_SANITIZER, kind=kind, what=what)
 
     def violations(self) -> list[Violation]:
         with self._mu:

@@ -267,3 +267,22 @@ class AdaptiveGetScheduler:
                 max(self.max_concurrent, (self.max_concurrent + self.max_bound) // 2),
             )
         return self.max_concurrent
+
+    def observe_health(self, report) -> int:
+        """Feed one live health verdict as a rate-mismatch signal.
+
+        ``report`` is a :class:`repro.obs.health.HealthReport`
+        (duck-typed: only ``report.verdict`` is read).  A STALLED or
+        UNHEALTHY stream means the pipeline cannot absorb the current
+        Get pressure — halve the bound (the AIMD multiplicative
+        decrease) so bulk movement stops compounding the problem; a
+        DEGRADED stream trims it by one; HEALTHY leaves AIMD's own
+        ``observe`` loop in charge.  Returns the new bound.
+        """
+        verdict = getattr(report, "verdict", None)
+        name = getattr(verdict, "value", verdict)
+        if name in ("stalled", "unhealthy"):
+            self.max_concurrent = max(self.min_bound, self.max_concurrent // 2)
+        elif name == "degraded":
+            self.max_concurrent = max(self.min_bound, self.max_concurrent - 1)
+        return self.max_concurrent

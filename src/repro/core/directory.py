@@ -23,6 +23,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
+from repro.obs import recorder as flight
+from repro.obs.events import EV_LEASE_REAP
+
 
 class DirectoryError(RuntimeError):
     """Lookup of an unregistered name, or duplicate registration."""
@@ -116,6 +119,7 @@ class DirectoryServer:
             entry = self._entries.pop(name)
             self.evictions += 1
             evicted.append(name)
+            flight.record(EV_LEASE_REAP, stream=name, lease=entry.lease)
             fail = getattr(entry.writer.contact, "fail", None)
             if callable(fail):
                 try:

@@ -83,6 +83,19 @@ from repro.core.redistribution import (
 )
 from repro.core.monitoring import PerfMonitor
 from repro.core.plugins import PluginManager, PluginSide
+from repro.obs import recorder as flight
+from repro.obs.events import (
+    EV_BACKPRESSURE,
+    EV_DEGRADE,
+    EV_DRAIN_WEDGED,
+    EV_QUEUE_HIGH_WATER,
+    EV_RETRY,
+    EV_STEP_ABORTED,
+    EV_STEP_BEGIN,
+    EV_STEP_COMMIT,
+    EV_STEP_LOST,
+    EV_STREAM_FAILED,
+)
 from repro.core.resilience import (
     MovementFailed,
     Participant,
@@ -285,6 +298,8 @@ class _StepDrainer:
         self._idle = threading.Event()
         self._idle.set()
         self._stopped = False
+        #: Highest queue depth seen so far (writer thread only).
+        self._high_water = 0
         #: True when stop() timed out joining a stuck drain thread.
         self.wedged = False
         # Captured at construction: near-zero overhead when disabled.
@@ -307,8 +322,18 @@ class _StepDrainer:
         except queue.Full:
             self._state.backpressure_waits += 1
             mon.metrics.counter("dataplane.backpressure_waits").inc()
+            flight.record(
+                EV_BACKPRESSURE, stream=self._state.name, step=step.step
+            )
             self._queue.put(item)
-        mon.metrics.gauge("dataplane.drain.queue_depth").inc()
+        depth = mon.metrics.gauge("dataplane.drain.queue_depth")
+        depth.inc()
+        if depth.value > self._high_water:
+            self._high_water = depth.value
+            flight.record(
+                EV_QUEUE_HIGH_WATER, stream=self._state.name,
+                depth=int(self._high_water),
+            )
 
     def wait_idle(self) -> None:
         """Block until every submitted step has been drained + committed."""
@@ -338,6 +363,12 @@ class _StepDrainer:
             mon.record(
                 "drain_wedged", self._state.name, start=0.0, duration=0.0,
                 timeout=timeout,
+            )
+            flight.record(
+                EV_DRAIN_WEDGED, stream=self._state.name, timeout=timeout
+            )
+            flight.dump_on_fault(
+                "drain wedged", stream=self._state.name, monitor=mon
             )
             return False
         if self._san is not None:
@@ -524,6 +555,10 @@ class StreamState:
                 step.trace_ctx = wspan.context
             vis.add_bytes(step.nbytes)
             self._ensure_pipeline()
+            flight.record(
+                EV_STEP_BEGIN, stream=self.name,
+                step=step.step, nbytes=step.nbytes,
+            )
             self._drainer.submit(step, _rank_parts(step))
             if sync:
                 self._drainer.wait_idle()
@@ -603,6 +638,9 @@ class StreamState:
         for attempt in range(policy.max_retries + 1):
             if attempt > 0:
                 mon.metrics.counter("dataplane.drain.retries").inc()
+                flight.record(
+                    EV_RETRY, stream=self.name, step=step.step, attempt=attempt
+                )
                 delay = policy.delay_before(attempt, rng=self._retry_rng)
                 if delay > 0:
                     time.sleep(delay)
@@ -689,6 +727,14 @@ class StreamState:
             "step_lost", self.name, start=0.0, duration=0.0,
             step=step.step, status=step.status.value, error=step.error,
         )
+        code = (
+            EV_STEP_ABORTED if step.status is StepState.ABORTED else EV_STEP_LOST
+        )
+        flight.record(code, stream=self.name, step=step.step, error=step.error)
+        flight.dump_on_fault(
+            f"step {step.step} {step.status.value}",
+            stream=self.name, monitor=mon,
+        )
         with self._publish_lock:
             self._published.append(step)
 
@@ -729,6 +775,9 @@ class StreamState:
             "transport_degraded", self.name, start=0.0, duration=0.0,
             src=previous, dst=self.active_transport,
         )
+        flight.record(
+            EV_DEGRADE, stream=self.name, src=previous, dst=self.active_transport
+        )
 
     def _commit(self, step: _PublishedStep) -> None:
         step.status = StepState.COMMITTED
@@ -740,8 +789,14 @@ class StreamState:
                 # In the real transport the writer would stall here; in the
                 # in-process harness we surface it through monitoring.
                 self.backpressure_events += 1
-        self.monitor.record(
+        mon = self.monitor
+        mon.metrics.counter("dataplane.drain.steps_committed").inc()
+        mon.metrics.counter("dataplane.drain.bytes_committed").inc(step.nbytes)
+        mon.record(
             "stream_publish", self.name, start=0.0, duration=0.0, nbytes=step.nbytes
+        )
+        flight.record(
+            EV_STEP_COMMIT, stream=self.name, step=step.step, nbytes=step.nbytes
         )
 
     def writer_close(self, rank: int) -> None:
@@ -776,6 +831,10 @@ class StreamState:
         self.monitor.metrics.counter("dataplane.stream.failures").inc()
         self.monitor.record(
             "stream_failed", self.name, start=0.0, duration=0.0, error=reason
+        )
+        flight.record(EV_STREAM_FAILED, stream=self.name, reason=reason)
+        flight.dump_on_fault(
+            f"stream failed: {reason}", stream=self.name, monitor=self.monitor
         )
         self.shutdown_pipeline()
 

@@ -1,0 +1,130 @@
+"""Central event table: every telemetry event name, declared once.
+
+The flight recorder (:mod:`repro.obs.recorder`) and the flat trace
+records (:meth:`repro.core.monitoring.PerfMonitor.record`) both name
+events with short dotted strings.  Scattered ad-hoc literals are how
+the hint keys got out of sync before :mod:`repro.core.hints` existed —
+this module is the same cure for event names: each code is declared
+exactly once with its semantics, producers import the constant, and the
+FlexLint FXL007 rule fails any hot-path ``record()`` call whose event
+name is an unregistered literal or a computed f-string.
+
+Two registries share the table:
+
+* **flight event codes** (``EV_*``) — the compact structured events the
+  always-on flight recorder keeps in its ring buffer; and
+* **trace categories** — the ``category`` names of flat
+  ``PerfMonitor.record`` records (drain faults, lost steps, ...).
+
+``EVENT_CODES`` is their union: the single vocabulary FXL007 checks
+against.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """Declaration of one telemetry event name."""
+
+    code: str
+    description: str
+
+
+class UnknownEventError(ValueError):
+    """An event code that the central table does not declare."""
+
+    def __init__(self, code: str, suggestion: Optional[str] = None) -> None:
+        msg = f"unknown event code {code!r}"
+        if suggestion:
+            msg += f"; did you mean {suggestion!r}?"
+        super().__init__(msg)
+        self.code = code
+        self.suggestion = suggestion
+
+
+# ---------------------------------------------------------------------------
+# Flight-recorder event codes — the only place these strings are spelled.
+# ---------------------------------------------------------------------------
+
+EV_STEP_BEGIN = "step.begin"
+EV_STEP_COMMIT = "step.commit"
+EV_STEP_LOST = "step.lost"
+EV_STEP_ABORTED = "step.aborted"
+EV_RETRY = "drain.retry"
+EV_FAULT = "transport.fault"
+EV_DEGRADE = "transport.degrade"
+EV_BACKPRESSURE = "queue.backpressure"
+EV_QUEUE_HIGH_WATER = "queue.high_water"
+EV_LEASE_REAP = "lease.reap"
+EV_STREAM_FAILED = "stream.failed"
+EV_DRAIN_WEDGED = "drain.wedged"
+EV_SANITIZER = "sanitizer.violation"
+EV_HEALTH = "health.verdict"
+EV_FLIGHT_DUMP = "flight.dump"
+
+_FLIGHT_SPECS = (
+    EventSpec(EV_STEP_BEGIN, "a timestep was sealed and handed to the drainer"),
+    EventSpec(EV_STEP_COMMIT, "a step cleared the transport and became readable"),
+    EventSpec(EV_STEP_LOST, "retries exhausted; the step's payload was discarded"),
+    EventSpec(EV_STEP_ABORTED, "the step's transaction aborted; payload discarded"),
+    EventSpec(EV_RETRY, "a drain attempt is being retried after a fault"),
+    EventSpec(EV_FAULT, "the fault injector (or a real fault) hit one send"),
+    EventSpec(EV_DEGRADE, "the stream fell down the transport ladder"),
+    EventSpec(EV_BACKPRESSURE, "the writer blocked on a full drain queue"),
+    EventSpec(EV_QUEUE_HIGH_WATER, "the drain queue reached a new high-water depth"),
+    EventSpec(EV_LEASE_REAP, "the directory evicted an expired writer lease"),
+    EventSpec(EV_STREAM_FAILED, "a stream ended abnormally (writer death)"),
+    EventSpec(EV_DRAIN_WEDGED, "a drainer thread failed to join at stop()"),
+    EventSpec(EV_SANITIZER, "the concurrency sanitizer recorded a violation"),
+    EventSpec(EV_HEALTH, "a stream's health verdict changed"),
+    EventSpec(EV_FLIGHT_DUMP, "the recorder wrote a dump artifact"),
+)
+
+#: Flight event registry, keyed by code.
+FLIGHT_EVENTS: dict[str, EventSpec] = {s.code: s for s in _FLIGHT_SPECS}
+
+
+# ---------------------------------------------------------------------------
+# Trace categories of flat PerfMonitor.record() records.
+# ---------------------------------------------------------------------------
+
+_CATEGORY_SPECS = (
+    EventSpec("fault", "one injected transport fault (faults.record_injected)"),
+    EventSpec("drain_fault", "one failed drain attempt (will retry or fail)"),
+    EventSpec("drain_recovered", "a retried send eventually succeeded"),
+    EventSpec("drain_error", "a step's retries were exhausted"),
+    EventSpec("drain_wedged", "the drain thread missed its join timeout"),
+    EventSpec("step_lost", "a step was marked LOST/ABORTED"),
+    EventSpec("stream_publish", "a step was committed to the published list"),
+    EventSpec("stream_failed", "a stream ended abnormally"),
+    EventSpec("stream_read", "one reader-side read completed"),
+    EventSpec("transport_degraded", "the active transport fell down the ladder"),
+    EventSpec("transport", "one transport-level data movement"),
+    EventSpec("redistribution", "one MxN redistribution execution"),
+    EventSpec("handshake", "one handshake-protocol accounting round"),
+    EventSpec("dc_migration", "the placement controller migrated a codelet"),
+)
+
+#: Flat-record category registry, keyed by category name.
+TRACE_CATEGORIES: dict[str, EventSpec] = {s.code: s for s in _CATEGORY_SPECS}
+
+#: The single vocabulary FXL007 validates record() literals against.
+EVENT_CODES: frozenset[str] = frozenset(FLIGHT_EVENTS) | frozenset(TRACE_CATEGORIES)
+
+
+def suggest(code: str) -> Optional[str]:
+    """The closest registered code to a misspelled one, if any."""
+    matches = difflib.get_close_matches(code, sorted(EVENT_CODES), n=1)
+    return matches[0] if matches else None
+
+
+def validate_code(code: str) -> str:
+    """Return ``code`` if registered; raise :class:`UnknownEventError`."""
+    if code not in EVENT_CODES:
+        raise UnknownEventError(code, suggest(code))
+    return code

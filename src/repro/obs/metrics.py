@@ -11,22 +11,42 @@ of integer counters covers ten orders of magnitude of durations with a
 bounded *relative* error — the classic HdrHistogram/DDSketch trade-off.
 With the default growth factor of ``2**(1/16)`` a reported percentile is
 within ~4.4 % of the exact sample value.
+
+Instruments take optional **labels** (per-stream, per-tenant, ...):
+``metrics.counter("steps", labels={"stream": "s1"})`` is a distinct
+series from the unlabeled ``metrics.counter("steps")``, keyed by the
+Prometheus-style rendering ``steps{stream="s1"}``.  ``merge_from`` is
+label-aware: each series folds into the matching series on the other
+side, never into its unlabeled sibling.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Iterable, Mapping, Optional
+
+
+def label_key(name: str, labels: Optional[Mapping[str, object]] = None) -> str:
+    """The registry key of one series: Prometheus-style ``name{k="v"}``.
+
+    Unlabeled series keep the bare name, so every pre-label call site
+    (and every existing snapshot consumer) sees unchanged keys.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return f"{name}{{{inner}}}"
 
 
 class Counter:
     """Monotonically increasing count (events, bytes, messages)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Optional[Mapping[str, object]] = None) -> None:
         self.name = name
         self.value = 0
+        self.labels = dict(labels) if labels else {}
 
     def inc(self, n: float = 1) -> None:
         if n < 0:
@@ -37,13 +57,14 @@ class Counter:
 class Gauge:
     """Point-in-time value (queue depth, pool occupancy, cache bytes)."""
 
-    __slots__ = ("name", "value", "max_value", "samples")
+    __slots__ = ("name", "value", "max_value", "samples", "labels")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, labels: Optional[Mapping[str, object]] = None) -> None:
         self.name = name
         self.value = 0.0
         self.max_value = 0.0
         self.samples = 0
+        self.labels = dict(labels) if labels else {}
 
     def set(self, v: float) -> None:
         self.value = float(v)
@@ -69,12 +90,19 @@ class Histogram:
     """
 
     __slots__ = ("name", "base", "growth", "_log_growth", "_counts",
-                 "zero_count", "count", "total", "min", "max")
+                 "zero_count", "count", "total", "min", "max", "labels")
 
-    def __init__(self, name: str, base: float = 1e-9, growth: float = 2 ** (1 / 16)) -> None:
+    def __init__(
+        self,
+        name: str,
+        base: float = 1e-9,
+        growth: float = 2 ** (1 / 16),
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> None:
         if base <= 0 or growth <= 1.0:
             raise ValueError("need base > 0 and growth > 1")
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.base = base
         self.growth = growth
         self._log_growth = math.log(growth)
@@ -153,23 +181,36 @@ class MetricsRegistry:
         self._histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
-        c = self._counters.get(name)
+    def counter(self, name: str, labels: Optional[Mapping[str, object]] = None) -> Counter:
+        key = label_key(name, labels)
+        c = self._counters.get(key)
         if c is None:
-            c = self._counters[name] = Counter(name)
+            c = self._counters[key] = Counter(name, labels)
         return c
 
-    def gauge(self, name: str) -> Gauge:
-        g = self._gauges.get(name)
+    def gauge(self, name: str, labels: Optional[Mapping[str, object]] = None) -> Gauge:
+        key = label_key(name, labels)
+        g = self._gauges.get(key)
         if g is None:
-            g = self._gauges[name] = Gauge(name)
+            g = self._gauges[key] = Gauge(name, labels)
         return g
 
-    def histogram(self, name: str, **kw) -> Histogram:
-        h = self._histograms.get(name)
+    def histogram(self, name: str, labels: Optional[Mapping[str, object]] = None, **kw) -> Histogram:
+        key = label_key(name, labels)
+        h = self._histograms.get(key)
         if h is None:
-            h = self._histograms[name] = Histogram(name, **kw)
+            h = self._histograms[key] = Histogram(name, labels=labels, **kw)
         return h
+
+    # -- typed iteration (live exposition) -----------------------------
+    def counters(self) -> list[Counter]:
+        return [self._counters[k] for k in sorted(self._counters)]
+
+    def gauges(self) -> list[Gauge]:
+        return [self._gauges[k] for k in sorted(self._gauges)]
+
+    def histograms(self) -> list[Histogram]:
+        return [self._histograms[k] for k in sorted(self._histograms)]
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)
@@ -195,16 +236,20 @@ class MetricsRegistry:
 
     def merge_from(self, other: "MetricsRegistry") -> None:
         """Fold a remote registry into this one (counters add, gauges
-        keep the max high-water mark, histograms merge buckets)."""
-        for n, c in other._counters.items():
-            self.counter(n).value += c.value
-        for n, g in other._gauges.items():
-            mine = self.gauge(n)
+        keep the max high-water mark, histograms merge buckets).  Each
+        labeled series folds into the series with the *same* labels —
+        never into its unlabeled sibling."""
+        for c in other._counters.values():
+            self.counter(c.name, c.labels).value += c.value
+        for g in other._gauges.values():
+            mine = self.gauge(g.name, g.labels)
             mine.value = max(mine.value, g.value)
             mine.max_value = max(mine.max_value, g.max_value)
             mine.samples += g.samples
-        for n, h in other._histograms.items():
-            self.histogram(n, base=h.base, growth=h.growth).merge_from(h)
+        for h in other._histograms.values():
+            self.histogram(
+                h.name, labels=h.labels, base=h.base, growth=h.growth
+            ).merge_from(h)
 
     def render(self) -> list[str]:
         """Human-readable lines for :meth:`PerfMonitor.report`."""

@@ -1,0 +1,105 @@
+"""Periodic delta snapshots of a metrics registry.
+
+The counters in :class:`~repro.obs.metrics.MetricsRegistry` are
+cumulative — good for totals, useless for "how fast is this stream
+moving *right now*".  A :class:`SnapshotCollector` turns them into
+windowed telemetry: each :meth:`~SnapshotCollector.collect` diffs the
+registry against the previous collection and reports per-counter
+**deltas and rates** over the elapsed interval, alongside the current
+gauge values and cumulative histogram percentiles.
+
+This is the sampling layer under the stream health model
+(:mod:`repro.obs.health`) and the live exposition server
+(:mod:`repro.obs.live`): both ask the collector, never the raw
+registry, so "steps per second" means the same thing everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class DeltaSnapshot:
+    """One collection window over a registry."""
+
+    at: float                      # collector clock at collection
+    interval: float                # seconds since the previous collection
+    counters: dict                 # series key -> cumulative value
+    deltas: dict                   # series key -> increase this window
+    rates: dict                    # series key -> delta / interval
+    gauges: dict                   # series key -> {"value", "max"}
+    histograms: dict               # series key -> percentile summary
+
+    def rate(self, name: str, default: float = 0.0) -> float:
+        return float(self.rates.get(name, default))
+
+    def delta(self, name: str, default: float = 0.0) -> float:
+        return float(self.deltas.get(name, default))
+
+    def counter(self, name: str, default: float = 0.0) -> float:
+        return float(self.counters.get(name, default))
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        g = self.gauges.get(name)
+        return float(g["value"]) if g else default
+
+    def percentile(self, name: str, q: str = "p99", default: float = 0.0) -> float:
+        h = self.histograms.get(name)
+        return float(h[q]) if h and q in h else default
+
+    def as_dict(self) -> dict:
+        return {
+            "at": self.at,
+            "interval": self.interval,
+            "counters": dict(self.counters),
+            "deltas": dict(self.deltas),
+            "rates": dict(self.rates),
+            "gauges": {k: dict(v) for k, v in self.gauges.items()},
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+        }
+
+
+class SnapshotCollector:
+    """Stateful delta sampler over one registry.
+
+    Not thread-safe by design: one consumer (the health model or the
+    live server's sampling loop) owns each collector.  The registry it
+    reads *is* written concurrently, but counter reads are single
+    attribute loads — a torn window misattributes at most one increment
+    to the neighbouring window.
+    """
+
+    def __init__(self, registry: MetricsRegistry, clock=None) -> None:
+        self.registry = registry
+        self.clock = clock or time.monotonic
+        self._last_at: float = self.clock()
+        self._last_counters: dict[str, float] = {}
+        self.collections = 0
+
+    def collect(self) -> DeltaSnapshot:
+        """Diff the registry against the previous collection."""
+        now = self.clock()
+        interval = max(now - self._last_at, 1e-9)
+        snap = self.registry.snapshot()
+        counters = {k: float(v) for k, v in snap["counters"].items()}
+        deltas = {
+            k: v - self._last_counters.get(k, 0.0) for k, v in counters.items()
+        }
+        rates = {k: d / interval for k, d in deltas.items()}
+        self._last_at = now
+        self._last_counters = counters
+        self.collections += 1
+        return DeltaSnapshot(
+            at=now,
+            interval=interval,
+            counters=counters,
+            deltas=deltas,
+            rates=rates,
+            gauges=snap["gauges"],
+            histograms=snap["histograms"],
+        )

@@ -41,7 +41,9 @@ from repro.analysis import sanitize
 from repro.core.hints import stream_params
 from repro.core.resilience import MovementFailed, TransactionAborted
 from repro.core.stream import StepState, stream_registry
+from repro.obs import recorder as flight
 from repro.obs.analysis import fault_summary
+from repro.obs.events import EV_FLIGHT_DUMP
 from repro.util import rng
 
 SCENARIOS = ("gts", "s3d")
@@ -91,6 +93,10 @@ class ChaosReport:
     #: Concurrency-sanitizer findings (FLEXIO_SANITIZE=1); also folded
     #: into ``invariant_violations`` so they fail the run.
     sanitizer_violations: list = field(default_factory=list)
+    #: Flight-recorder events captured during the run.
+    flight_events: int = 0
+    #: Fault-dump artifacts the recorder wrote (``flight_dir`` runs).
+    flight_dumps: list = field(default_factory=list)
     wall_time: float = 0.0
 
     @property
@@ -114,6 +120,8 @@ class ChaosReport:
             "degradations": self.degradations,
             "invariant_violations": list(self.invariant_violations),
             "sanitizer_violations": list(self.sanitizer_violations),
+            "flight_events": self.flight_events,
+            "flight_dumps": list(self.flight_dumps),
             "wall_time": self.wall_time,
             "ok": self.ok,
         }
@@ -140,12 +148,16 @@ def run_chaos(
     degrade_after: int = 0,
     deadline_s: float = 60.0,
     trace_out: Optional[str] = None,
+    flight_dir: Optional[str] = None,
 ) -> ChaosReport:
     """One seeded chaos run through the live pipeline; see module doc.
 
     ``degrade_after=0`` (default) keeps the configured transport under
     fault so losses stay visible; pass a positive value to exercise the
-    degradation ladder instead.
+    degradation ladder instead.  With ``flight_dir`` the flight recorder
+    writes a dump artifact on every fault (lost step, wedged drainer),
+    and the run fails its observability invariant if steps were lost but
+    no artifact appeared.
     """
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
@@ -170,6 +182,11 @@ def run_chaos(
     san = sanitize.get()
     if san is not None:
         san.reset()
+    # Fresh flight ring per run, so the dump windows and the per-process
+    # auto-dump cap belong to *this* fault schedule.
+    recorder = flight.reset()
+    if flight_dir is not None:
+        flight.set_flight_dir(flight_dir)
     group = "particles" if scenario == "gts" else "field"
     xml = (_GTS_XML if scenario == "gts" else _S3D_XML).format(params=params)
     adios = Adios.from_xml(xml)
@@ -292,6 +309,20 @@ def run_chaos(
 
     stream_registry.close_stream(name)
 
+    # -- flight recorder ---------------------------------------------------
+    report.flight_events = len(recorder)
+    report.flight_dumps = [
+        dict(e.attrs)["path"]
+        for e in recorder.events(code=EV_FLIGHT_DUMP)
+        if "path" in dict(e.attrs)
+    ]
+    if flight_dir is not None:
+        flight.set_flight_dir(None)
+        if (report.lost or report.writer_failures) and not report.flight_dumps:
+            report.invariant_violations.append(
+                "steps were lost but the flight recorder wrote no dump artifact"
+            )
+
     # -- concurrency sanitizer ---------------------------------------------
     if san is not None:
         san.check_shutdown()  # flags drainer threads left un-joined
@@ -316,6 +347,9 @@ def _print_report(report: ChaosReport, out) -> None:
         f"({report.wall_time:.2f}s)",
         file=out,
     )
+    if report.flight_dumps:
+        for path in report.flight_dumps:
+            print(f"  flight dump: {path}", file=out)
     for v in report.invariant_violations:
         print(f"  violation: {v}", file=out)
 
@@ -344,6 +378,9 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
                              "transport (0 = never)")
     parser.add_argument("--trace-out", default=None, metavar="OUT.json",
                         help="write a Perfetto trace of the run")
+    parser.add_argument("--flight-dir", default=None, metavar="DIR",
+                        help="write flight-recorder dump artifacts here "
+                             "on every fault")
     parser.add_argument("--json", action="store_true",
                         help="emit the report(s) as JSON")
     args = parser.parse_args(argv)
@@ -363,6 +400,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             max_retries=args.max_retries,
             degrade_after=args.degrade_after,
             trace_out=args.trace_out if len(scenarios) == 1 else None,
+            flight_dir=args.flight_dir,
         )
         for s in scenarios
     ]

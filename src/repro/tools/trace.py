@@ -5,6 +5,7 @@ Usage::
     python -m repro.tools.trace dump.jsonl
     python -m repro.tools.trace dump.jsonl --perfetto trace.json
     python -m repro.tools.trace dump.jsonl --trace-id t000002
+    python -m repro.tools.trace --flight flight-....json
 
 Consumes a :meth:`repro.core.monitoring.PerfMonitor.dump` JSONL file.
 Prints how many records/spans/traces the dump holds, where the exclusive
@@ -12,6 +13,13 @@ time goes per pipeline stage, the critical path of the slowest timestep
 (or the one selected with ``--trace-id``), and a bottleneck hint.  With
 ``--perfetto`` it also writes a Chrome ``trace_event`` JSON openable in
 https://ui.perfetto.dev.
+
+With ``--flight`` the argument is a **flight-recorder dump** (the JSON
+artifact :func:`repro.obs.recorder.dump_on_fault` writes when a step is
+lost, a drainer wedges, or a stream fails): the event timeline of the
+fault window is rendered chronologically, the embedded metrics snapshot
+is summarized, and any embedded trace records go through the same
+fault-summary/bottleneck machinery as a plain dump.
 """
 
 from __future__ import annotations
@@ -98,20 +106,71 @@ def analyze(
     return 0
 
 
+def analyze_flight(doc: dict, out=None) -> int:
+    """Render a flight-recorder dump: timeline, metrics, embedded trace."""
+    out = out or sys.stdout
+    events = doc.get("events", [])
+    print(
+        f"flight dump: {doc.get('reason') or '(no reason)'} — "
+        f"{len(events)} event(s) in the last {doc.get('window_s', 0):g}s "
+        f"({doc.get('dropped', 0)} older event(s) evicted from the ring)",
+        file=out,
+    )
+    if events:
+        t0 = events[0]["ts"]
+        print("\ntimeline:", file=out)
+        for ev in events:
+            attrs = ", ".join(
+                f"{k}={v}" for k, v in sorted(ev.items())
+                if k not in ("ts", "seq", "code", "stream")
+            )
+            stream = f" [{ev['stream']}]" if ev.get("stream") else ""
+            print(
+                f"  +{ev['ts'] - t0:9.4f}s  {ev['code']:<20s}{stream}"
+                f"{'  ' + attrs if attrs else ''}",
+                file=out,
+            )
+    metrics = doc.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        print("\nmetrics at dump time:", file=out)
+        for name, value in sorted(counters.items()):
+            print(f"  {name:40s} {value:g}", file=out)
+    records = doc.get("records")
+    if records:
+        print("\nembedded trace records:", file=out)
+        analyze(records, out=out)
+    return 0 if events else 1
+
+
 def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser = argparse.ArgumentParser(
         prog="trace",
         description="Analyze a PerfMonitor JSONL dump: stage breakdown, "
                     "critical path, bottleneck hint.",
     )
-    parser.add_argument("dump", help="JSONL file written by PerfMonitor.dump")
+    parser.add_argument("dump", help="JSONL file written by PerfMonitor.dump, "
+                                     "or (with --flight) a flight-recorder "
+                                     "dump artifact")
     parser.add_argument("--perfetto", metavar="OUT.json", default=None,
                         help="also export a Perfetto/Chrome trace_event JSON")
     parser.add_argument("--trace-id", default=None,
                         help="show the critical path of this trace "
                              "(default: the slowest one)")
+    parser.add_argument("--flight", action="store_true",
+                        help="the dump is a flight-recorder fault artifact; "
+                             "render its event timeline")
     args = parser.parse_args(argv)
     out = out or sys.stdout
+    if args.flight:
+        from repro.obs.recorder import load_dump
+
+        try:
+            doc = load_dump(args.dump)
+        except (OSError, ValueError) as exc:
+            print(f"cannot read {args.dump}: {exc}", file=out)
+            return 2
+        return analyze_flight(doc, out=out)
     try:
         records = PerfMonitor.load(args.dump)
     except (OSError, ValueError) as exc:

@@ -25,6 +25,8 @@ import os
 from enum import Enum
 from typing import Optional, Sequence
 
+from repro.obs import recorder as flight
+from repro.obs.events import EV_FAULT
 from repro.util import rng
 
 
@@ -203,3 +205,4 @@ def record_injected(monitor, transport: str, kind: FaultKind, nbytes: int = 0) -
         "fault", f"{transport}.{kind.value}", start=0.0, duration=0.0,
         nbytes=nbytes, kind=kind.value, transport=transport,
     )
+    flight.record(EV_FAULT, kind=kind.value, transport=transport, nbytes=nbytes)

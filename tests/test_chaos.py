@@ -107,6 +107,64 @@ def test_chaos_trace_out_writes_perfetto(tmp_path):
     assert out.exists() and out.stat().st_size > 0
 
 
+def test_chaos_lost_step_always_yields_flight_dump(tmp_path):
+    """Any LOST step must leave a flight artifact containing that step's
+    retry events — the recorder is the black box that explains the loss."""
+    from repro.obs.events import EV_RETRY, EV_STEP_LOST
+    from repro.obs.recorder import load_dump
+
+    report = run_chaos(
+        "gts", seed=1, rate=0.45, steps=12, max_retries=1,
+        flight_dir=str(tmp_path),
+    )
+    assert report.ok, report.invariant_violations
+    assert report.lost
+    assert report.flight_dumps
+    assert report.flight_events > 0
+    docs = [load_dump(p) for p in report.flight_dumps]
+    for lost_step in report.lost:
+        covering = [
+            doc for doc in docs
+            if any(
+                e["code"] == EV_STEP_LOST and e.get("step") == lost_step
+                for e in doc["events"]
+            )
+        ]
+        assert covering, f"no flight dump contains lost step {lost_step}"
+        # max_retries=1 means the loss was preceded by a retry attempt,
+        # and the dump's window must show it.
+        assert any(
+            e["code"] == EV_RETRY and e.get("step") == lost_step
+            for e in covering[0]["events"]
+        ), f"dump for lost step {lost_step} lacks its retry events"
+
+
+def test_chaos_lossy_run_without_dump_artifact_fails_invariant(tmp_path):
+    """The observability invariant itself: lost steps + no artifact = fail.
+    Exhaust the per-process auto-dump cap first, so the lossy run below
+    cannot write one."""
+    from repro.obs import recorder
+
+    report = run_chaos(
+        "gts", seed=1, rate=0.45, steps=12, max_retries=1,
+        flight_dir=str(tmp_path / "missing-parent-dir-is-fine"),
+    )
+    assert report.ok  # sanity: normally the dump lands and the run is OK
+
+    # Monkey-path-free cap exhaustion: dump_on_fault stops writing after
+    # MAX_AUTO_DUMPS, but run_chaos resets the recorder per run — so
+    # instead aim the dump at an unwritable path.
+    unwritable = tmp_path / "not-a-dir"
+    unwritable.write_text("file, not a directory")
+    report2 = run_chaos(
+        "gts", seed=1, rate=0.45, steps=12, max_retries=1,
+        flight_dir=str(unwritable),
+    )
+    assert not report2.ok
+    assert any("flight" in v for v in report2.invariant_violations)
+    recorder.set_flight_dir(None)
+
+
 def test_chaos_cli_smoke(capsys):
     rc = chaos.main(["--scenario", "all", "--seed", "7", "--steps", "6"])
     out = capsys.readouterr().out

@@ -274,6 +274,56 @@ def test_fxl006_waiver_with_reason():
 
 
 # ---------------------------------------------------------------------------
+# FXL007 — record() event codes come from the central table
+# ---------------------------------------------------------------------------
+
+#: Fixture event table (decoupled from the real repro.obs.events).
+EVENTS_CFG = LintConfig(event_codes=frozenset({"step.commit", "step.lost"}))
+
+
+def test_fxl007_flags_fstring_literal_typo_and_computed_names():
+    code = """
+    def f(flight, kind):
+        flight.record(f"step.{kind}", stream="s")
+        flight.record("step.comit", stream="s")
+        flight.record("step." + kind, stream="s")
+    """
+    findings = lint(code, config=EVENTS_CFG)
+    assert rules_of(findings) == ["FXL007"]
+    assert len(findings) == 3
+    by_line = {f.line: f.message for f in findings}
+    assert "f-string" in by_line[3]
+    assert "step.commit" in by_line[4]  # difflib suggestion for the typo
+    assert "computed" in by_line[5]
+
+
+def test_fxl007_accepts_registered_literals_and_constant_refs():
+    code = """
+    def f(flight, mon, span, code):
+        flight.record("step.commit", stream="s")
+        flight.record(EV_STEP_LOST, stream="s")     # Name reference
+        mon.record(span.category, span.name)        # Attribute reference
+        flight.record(code, stream="s")             # Name: runtime-checked
+    """
+    assert lint(code, config=EVENTS_CFG) == []
+
+
+def test_fxl007_waiver_and_real_event_table():
+    code = """
+    def f(flight):
+        flight.record("made.up")  # flexlint: ok(FXL007) fixture event
+    """
+    findings = lint(code, config=EVENTS_CFG)
+    assert [f for f in findings if not f.waived] == []
+    # Default config reads the real central table.
+    from repro.obs.events import EVENT_CODES
+
+    real = lint('m.record("step.commit", stream="s")\n')
+    assert real == [] and "step.commit" in EVENT_CODES
+    assert rules_of(lint('m.record("no.such.event")\n')) == ["FXL007"]
+
+
+# ---------------------------------------------------------------------------
 # Waivers
 # ---------------------------------------------------------------------------
 
@@ -376,11 +426,11 @@ def test_cli_list_rules():
     assert cli.main(["--list-rules"], out=out) == 0
     text = out.getvalue()
     for rule_id in (
-        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006"
+        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006", "FXL007"
     ):
         assert rule_id in text
     assert set(RULES) == {
-        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006"
+        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006", "FXL007"
     }
 
 

@@ -166,6 +166,44 @@ def test_registry_merge_counters_gauges_histograms():
     assert a.histogram("h").count == 2
 
 
+def test_labeled_series_are_distinct_and_key_stably():
+    from repro.obs.metrics import label_key
+
+    reg = MetricsRegistry()
+    plain = reg.counter("steps")
+    s1 = reg.counter("steps", labels={"stream": "s1"})
+    s2 = reg.counter("steps", labels={"tenant": "t", "stream": "s2"})
+    plain.inc(1)
+    s1.inc(2)
+    s2.inc(3)
+    assert reg.counter("steps") is plain
+    assert reg.counter("steps", labels={"stream": "s1"}) is s1
+    snap = reg.snapshot()
+    assert snap["counters"]["steps"] == 1
+    assert snap["counters"]['steps{stream="s1"}'] == 2
+    # Label order is canonical (sorted), so key construction is stable.
+    assert label_key("steps", {"tenant": "t", "stream": "s2"}) == \
+        'steps{stream="s2",tenant="t"}'
+    assert snap["counters"][label_key("steps", {"stream": "s2", "tenant": "t"})] == 3
+
+
+def test_merge_from_is_label_aware():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("c", labels={"stream": "s1"}).inc(1)
+    b.counter("c", labels={"stream": "s1"}).inc(2)
+    b.counter("c").inc(10)                       # unlabeled sibling
+    b.gauge("g", labels={"stream": "s1"}).set(4)
+    a.gauge("g", labels={"stream": "s1"}).set(9)
+    b.histogram("h", labels={"stream": "s1"}).observe(1.0)
+    a.merge_from(b)
+    snap = a.snapshot()
+    assert snap["counters"]['c{stream="s1"}'] == 3   # same labels fold
+    assert snap["counters"]["c"] == 10               # never into the sibling
+    assert snap["gauges"]['g{stream="s1"}']["value"] == 9
+    merged = a.histogram("h", labels={"stream": "s1"})
+    assert merged.count == 1 and merged.labels == {"stream": "s1"}
+
+
 def test_transport_stats_flow_into_monitor_report():
     from repro.transport.shm import ShmChannel
 
@@ -312,6 +350,166 @@ def test_to_perfetto_on_plain_dicts():
     span_events = [e for e in xs if "span_id" in e["args"]]
     assert len(span_events) == 2
     assert all(e["ts"] >= 0 for e in xs)
+
+
+def test_to_perfetto_empty_records_is_valid():
+    doc = to_perfetto([])
+    json.dumps(doc)  # serializable
+    assert [e["ph"] for e in doc["traceEvents"]] == ["M"]  # just process meta
+
+
+def test_to_perfetto_open_span_renders_zero_length_and_tagged():
+    rec = {"trace_id": "t1", "span_id": "s1", "name": "w", "category": "write",
+           "start": 1.0, "duration": None}
+    doc = to_perfetto([rec])
+    (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert ev["dur"] == 0.0
+    assert ev["args"]["open"] is True
+    json.dumps(doc)
+
+
+def test_to_perfetto_merge_duplicate_span_emitted_once():
+    rec = {"trace_id": "t1", "span_id": "s1", "name": "w", "category": "write",
+           "start": 1.0, "duration": 2.0}
+    # The same record folded in twice via merge_from.
+    doc = to_perfetto([rec, dict(rec)])
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(xs) == 1
+
+
+def test_to_perfetto_colliding_span_ids_stay_unique():
+    a = {"trace_id": "t1", "span_id": "s1", "name": "w", "category": "write",
+         "start": 1.0, "duration": 2.0}
+    b = dict(a, name="other", start=5.0)  # different span, same id
+    doc = to_perfetto([a, b])
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    ids = [e["args"]["span_id"] for e in xs]
+    assert len(set(ids)) == 2
+    assert ids[0] == "s1" and ids[1] == "s1~2"
+    assert xs[1]["args"]["span_id_collision"] == "s1"
+
+
+# ---------------------------------------------------------------------------
+# Prometheus exposition + live server
+# ---------------------------------------------------------------------------
+
+def _labeled_registry():
+    reg = MetricsRegistry()
+    reg.counter("dataplane.drain.steps_committed").inc(5)
+    reg.gauge("dataplane.drain.queue_depth").set(2)
+    reg.histogram("latency.writer_visible").observe(0.25)
+    reg.gauge("health.verdict", labels={"stream": "s1"}).set(1)
+    return reg
+
+
+def test_render_prometheus_valid_and_label_injected():
+    from repro.obs.live import render_prometheus, validate_exposition
+
+    text = render_prometheus({"s1": _labeled_registry()})
+    assert validate_exposition(text) == []
+    assert '# TYPE flexio_dataplane_drain_steps_committed counter' in text
+    assert 'flexio_dataplane_drain_steps_committed{stream="s1"} 5' in text
+    # Histogram renders as a summary with quantiles + _sum/_count.
+    assert 'quantile="0.99"' in text
+    assert 'flexio_latency_writer_visible_count{stream="s1"} 1' in text
+    # Instrument labels merge with the injected stream label.
+    assert 'flexio_health_verdict{stream="s1"} 1' in text
+
+
+def test_render_prometheus_one_type_line_across_streams():
+    from repro.obs.live import render_prometheus, validate_exposition
+
+    regs = {"s1": _labeled_registry(), "s2": _labeled_registry(), "": _labeled_registry()}
+    text = render_prometheus(regs)
+    assert validate_exposition(text) == []
+    type_lines = [l for l in text.splitlines()
+                  if l.startswith("# TYPE flexio_dataplane_drain_steps_committed ")]
+    assert len(type_lines) == 1
+    # The "" registry's samples carry no stream label.
+    assert "\nflexio_dataplane_drain_steps_committed 5\n" in text
+
+
+def test_validate_exposition_catches_violations():
+    from repro.obs.live import validate_exposition
+
+    bad = (
+        "# TYPE m counter\n"
+        "# TYPE m counter\n"          # duplicate TYPE
+        "m 1\n"
+        "untyped_sample 2\n"          # no TYPE declaration
+        "malformed{ 3\n"              # bad sample shape
+        "# TYPE x bogus_kind\n"       # unknown type
+    )
+    problems = validate_exposition(bad)
+    assert len(problems) == 4
+    assert validate_exposition("# TYPE ok gauge\nok 1\nok_sum 2\n") == []
+
+
+class _FakeState:
+    def __init__(self, reg, closed=False, error=None):
+        self.monitor = type("M", (), {"metrics": reg})()
+        self.closed = closed
+        self.error = error
+        self.active_transport = "shm"
+
+
+def test_live_server_serves_all_endpoints_over_http():
+    import urllib.request
+
+    from repro.obs import recorder
+    from repro.obs.events import EV_STEP_COMMIT
+    from repro.obs.live import LiveTelemetryServer, validate_exposition
+
+    recorder.reset()
+    recorder.record(EV_STEP_COMMIT, stream="s1", step=0)
+    states = {"s1": _FakeState(_labeled_registry()),
+              "s2": _FakeState(MetricsRegistry(), error="boom")}
+    server = LiveTelemetryServer(states=lambda: states)
+    try:
+        host, port = server.start()
+        assert port != 0
+
+        def get(path):
+            with urllib.request.urlopen(f"{server.url}{path}", timeout=5) as r:
+                return r.read().decode()
+
+        assert validate_exposition(get("/metrics")) == []
+        events = [json.loads(l) for l in get("/events?stream=s1").splitlines()]
+        assert events and events[-1]["code"] == EV_STEP_COMMIT
+        health = json.loads(get("/health"))
+        assert set(health) == {"s1", "s2"}
+        rows = {r["stream"]: r for r in json.loads(get("/streams"))["streams"]}
+        assert rows["s1"]["state"] == "open"
+        assert rows["s2"]["state"] == "failed"
+        assert rows["s1"]["transport"] == "shm"
+        index = json.loads(get("/"))
+        assert "/metrics" in index["endpoints"]
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            get("/nope")
+        assert exc.value.code == 404
+        assert server.requests >= 6
+    finally:
+        server.stop()
+        recorder.reset()
+
+
+def test_live_server_rejects_non_get():
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.live import LiveTelemetryServer
+
+    server = LiveTelemetryServer(states=lambda: {})
+    try:
+        server.start()
+        req = urllib.request.Request(
+            f"{server.url}/metrics", data=b"x", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as exc:
+            urllib.request.urlopen(req, timeout=5)
+        assert exc.value.code == 405
+    finally:
+        server.stop()
 
 
 # ---------------------------------------------------------------------------

@@ -161,3 +161,109 @@ def test_advisor_main_entry(capsys):
     ])
     assert rc == 0
     assert "topology-aware" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# trace --flight
+# ---------------------------------------------------------------------------
+
+def _flight_dump(tmp_path, with_metrics=True):
+    from repro.core.monitoring import PerfMonitor
+    from repro.obs.events import EV_RETRY, EV_STEP_BEGIN, EV_STEP_LOST
+    from repro.obs.recorder import FlightRecorder
+
+    rec = FlightRecorder()
+    rec.record(EV_STEP_BEGIN, stream="s", step=4)
+    rec.record(EV_RETRY, stream="s", step=4, attempt=1)
+    rec.record(EV_STEP_LOST, stream="s", step=4, error="boom")
+    mon = None
+    if with_metrics:
+        mon = PerfMonitor()
+        mon.metrics.counter("dataplane.drain.steps_lost").inc(1)
+    path = str(tmp_path / "flight.json")
+    rec.dump(path, reason="step 4 lost", monitor=mon)
+    return path
+
+
+def test_trace_flight_renders_timeline_and_metrics(tmp_path):
+    from repro.tools.trace import main as trace_main
+
+    path = _flight_dump(tmp_path)
+    out = io.StringIO()
+    assert trace_main(["--flight", path], out=out) == 0
+    text = out.getvalue()
+    assert "step 4 lost" in text
+    assert "step.begin" in text
+    assert "drain.retry" in text
+    assert "step.lost" in text
+    assert "dataplane.drain.steps_lost" in text
+
+
+def test_trace_flight_rejects_plain_json(tmp_path):
+    from repro.tools.trace import main as trace_main
+
+    bogus = tmp_path / "x.json"
+    bogus.write_text('{"not": "a flight dump"}')
+    out = io.StringIO()
+    assert trace_main(["--flight", str(bogus)], out=out) == 2
+    assert "cannot read" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# monitor
+# ---------------------------------------------------------------------------
+
+def test_monitor_requires_exactly_one_source():
+    from repro.tools.monitor import main as monitor_main
+
+    with pytest.raises(SystemExit):
+        monitor_main([])
+    with pytest.raises(SystemExit):
+        monitor_main(["--demo", "--url", "http://127.0.0.1:1"])
+
+
+def test_monitor_unreachable_url_exits_2():
+    from repro.tools.monitor import main as monitor_main
+
+    out = io.StringIO()
+    # Port 1 on loopback: nothing listens there.
+    assert monitor_main(["--url", "http://127.0.0.1:1"], out=out) == 2
+    assert "cannot scrape" in out.getvalue()
+
+
+def test_monitor_demo_scrapes_table_and_validates_exposition():
+    from repro.core import stream_registry
+    from repro.tools.monitor import main as monitor_main
+
+    stream_registry.reset()
+    out = io.StringIO()
+    try:
+        rc = monitor_main(["--demo", "--demo-steps", "3", "--check-expo"],
+                          out=out)
+    finally:
+        stream_registry.reset()
+    text = out.getvalue()
+    assert rc == 0, text
+    assert "stream" in text and "health" in text   # table header
+    assert "monitor.demo" in text                  # the demo stream's row
+    assert "exposition OK" in text
+
+
+def test_monitor_demo_json_output():
+    import json
+
+    from repro.core import stream_registry
+    from repro.tools.monitor import main as monitor_main
+
+    stream_registry.reset()
+    out = io.StringIO()
+    try:
+        rc = monitor_main(["--demo", "--demo-steps", "2", "--json"], out=out)
+    finally:
+        stream_registry.reset()
+    text = out.getvalue()
+    assert rc == 0, text
+    doc = json.loads(text[text.index("{"):])
+    (row,) = doc["streams"]
+    assert row["state"] == "closed"  # the demo writer closes before scraping
+    assert row["stream"].startswith("monitor.demo")
