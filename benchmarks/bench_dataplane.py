@@ -61,7 +61,7 @@ def _write_steps(adios, name, num_steps):
             h.write("field", rng.random(boxes[r].count), box=boxes[r],
                     global_shape=SHAPE)
         for h in handles:
-            h.advance()
+            h.end_step()
     for h in handles:
         h.close()
 
@@ -112,7 +112,7 @@ def bench_writer_visible(num_steps=12, compute_s=0.002):
             for r, h in enumerate(handles):
                 h.write("field", blocks[r], box=boxes[r], global_shape=SHAPE)
             for h in handles:
-                h.advance()
+                h.end_step()
             time.sleep(compute_s)  # simulated compute; async drain overlaps
         for h in handles:
             h.close()

@@ -13,8 +13,9 @@ Run:  python examples/dc_plugins_demo.py
 
 import numpy as np
 
-from repro.adios import RankContext, StepStatus
-from repro.core import CodeletError, DCPlugin, FlexIO, PluginSide
+import repro
+from repro.adios import StepStatus
+from repro.core import CodeletError, DCPlugin, PluginSide
 from repro.core.monitoring import PerfMonitor
 from repro.util import fmt_bytes
 
@@ -53,9 +54,9 @@ def write_step(writer, n=50_000, seed=0):
 
 
 def main() -> None:
-    flexio = FlexIO.from_xml(CONFIG)
-    writer = flexio.open_write("particles", "demo.stream", RankContext(0, 1))
-    reader = flexio.open_read("particles", "demo.stream", RankContext(0, 1))
+    client = repro.connect("local://", config=CONFIG)
+    writer = client.open("demo.stream", "w")
+    reader = client.open("demo.stream", "r")
 
     # --- 1. Author + validate the codelet -------------------------------
     codelet = DCPlugin("speed-filter", FILTER_SRC)

@@ -25,9 +25,10 @@ import tempfile
 
 import numpy as np
 
-from repro.adios import BoundingBox, RankContext
+import repro
+from repro.adios import BoundingBox
 from repro.apps import GtsAnalytics, GtsConfig, GtsRank
-from repro.core import FlexIO, PluginSide
+from repro.core import PluginSide
 from repro.core.hints import stream_params
 from repro.core.plugins import sampling_plugin
 from repro.util import fmt_bytes
@@ -55,13 +56,13 @@ def main(argv=None) -> None:
                              "and the monitoring report here")
     args = parser.parse_args(argv)
 
-    flexio = FlexIO.from_xml(CONFIG)
+    client = repro.connect("local://", config=CONFIG)
     cfg = GtsConfig(num_ranks=NUM_RANKS, particles_per_rank=20_000)
 
     # --- Simulation side: write particle output every I/O step ----------
     gts_ranks = [GtsRank(cfg, r) for r in range(NUM_RANKS)]
     writers = [
-        flexio.open_write("particles", "gts.particles", RankContext(r, NUM_RANKS))
+        client.open("gts.particles", "w", rank=r, num_ranks=NUM_RANKS)
         for r in range(NUM_RANKS)
     ]
     monitor = writers[0].monitor  # shared by the whole stream (trace=true)
@@ -103,7 +104,7 @@ def main(argv=None) -> None:
 
     # --- Analytics side: the paper's chain, process-group pattern -------
     chain = GtsAnalytics(selectivity=0.2)
-    reader = flexio.open_read("particles", "gts.particles", RankContext(0, 1))
+    reader = client.open("gts.particles", "r")
 
     def check_phi(rd, step):
         # Global-array read: MxN redistribution of the field grid.

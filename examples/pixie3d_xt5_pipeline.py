@@ -15,11 +15,11 @@ import sys
 
 import numpy as np
 
-from repro.adios import RankContext, StepStatus
+import repro
+from repro.adios import StepStatus
 from repro.apps import Pixie3dAnalysis, Pixie3dConfig, Pixie3dRank, write_ppm
 from repro.apps.pixie3d import FIELDS
 from repro.apps.viz import _heat_colormap
-from repro.core import FlexIO
 from repro.core.hints import CACHING_ALL, stream_params
 from repro.machine import jaguar_xt5
 
@@ -60,11 +60,11 @@ def main() -> None:
     cfg = Pixie3dConfig(num_ranks=NUM_RANKS, local_edge=10)
     gshape = cfg.global_shape
     boxes = cfg.boxes()
-    flexio = FlexIO.from_xml(CONFIG, machine=machine)
+    client = repro.connect("local://", config=CONFIG, machine=machine)
 
     # --- Simulation side --------------------------------------------------
     writers = [
-        flexio.open_write("mhd", "pixie3d.stream", RankContext(r, NUM_RANKS))
+        client.open("pixie3d.stream", "w", rank=r, num_ranks=NUM_RANKS)
         for r in range(NUM_RANKS)
     ]
     for step in range(NUM_STEPS):
@@ -82,7 +82,7 @@ def main() -> None:
 
     # --- Analysis side ------------------------------------------------------
     analysis = Pixie3dAnalysis(cfg.spacing)
-    reader = flexio.open_read("mhd", "pixie3d.stream", RankContext(0, 1))
+    reader = client.open("pixie3d.stream", "r")
     step = 0
     while reader.begin_step() is StepStatus.OK:
         record = {name: reader.read(name) for name in FIELDS}

@@ -1,9 +1,12 @@
 """Quickstart: couple a writer and a reader through FlexIO.
 
 The central idea of FlexIO: the application is written once against the
-ADIOS-style API; whether data streams memory-to-memory to online
+ADIOS-style step API; whether data streams memory-to-memory to online
 analytics or lands in a BP file for offline analysis is decided by one
-line in the XML configuration.
+line in the XML configuration.  The session itself comes from one call:
+
+    client = repro.connect("local://", config=...)        # in-process
+    client = repro.connect("flexio://host:port/tenant")   # networked
 
 Run:  python examples/quickstart.py
 """
@@ -13,8 +16,8 @@ import tempfile
 
 import numpy as np
 
-from repro.adios import BoxSelection, RankContext, StepStatus, block_decompose
-from repro.core import FlexIO
+import repro
+from repro.adios import BoxSelection, StepStatus, block_decompose
 from repro.core.hints import CACHING_ALL, stream_params
 from repro.machine import smoky
 
@@ -36,11 +39,11 @@ NUM_WRITERS = 4
 NUM_STEPS = 3
 
 
-def run_simulation(flexio: FlexIO, name: str) -> None:
+def run_simulation(client, name: str) -> None:
     """Four 'simulation ranks' write a block-decomposed global array."""
     boxes = block_decompose(SHAPE, (2, 2))
     handles = [
-        flexio.open_write("fields", name, RankContext(r, NUM_WRITERS))
+        client.open(name, "w", rank=r, num_ranks=NUM_WRITERS)
         for r in range(NUM_WRITERS)
     ]
     for step in range(NUM_STEPS):
@@ -61,15 +64,17 @@ def run_simulation(flexio: FlexIO, name: str) -> None:
         handle.close()
 
 
-def run_analytics(flexio: FlexIO, name: str) -> list[float]:
+def run_analytics(client, name: str) -> list[float]:
     """One 'analytics rank' reads a selection of the global array back."""
-    reader = flexio.open_read("fields", name, RankContext(0, 1))
+    reader = client.open(name, "r")
     maxima = []
     while reader.begin_step() is StepStatus.OK:
         # A sub-selection spanning several writers' blocks — FlexIO's MxN
-        # machinery reassembles it transparently.  Selections can be
-        # passed as objects instead of raw start/count tuples.
-        region = reader.read("temperature", BoxSelection(start=(8, 8), count=(16, 16)))
+        # machinery reassembles it transparently.  Selection objects go
+        # through the selection= keyword; raw tuples through start=/count=.
+        region = reader.read(
+            "temperature", selection=BoxSelection(start=(8, 8), count=(16, 16))
+        )
         maxima.append(float(region.max()))
         reader.end_step()
     reader.close()
@@ -78,22 +83,24 @@ def run_analytics(flexio: FlexIO, name: str) -> list[float]:
 
 def main() -> None:
     # --- Stream mode: memory-to-memory, no files ------------------------
-    flexio = FlexIO.from_xml(
-        CONFIG.format(method="FLEXPATH", params=PARAMS), machine=smoky(4)
+    client = repro.connect(
+        "local://",
+        config=CONFIG.format(method="FLEXPATH", params=PARAMS),
+        machine=smoky(4),
     )
-    print(f"[stream] method for group 'fields': {flexio.method_name('fields')}")
-    run_simulation(flexio, "quickstart.stream")
-    stream_maxima = run_analytics(flexio, "quickstart.stream")
+    print(f"[stream] method for group 'fields': {client.flexio.method_name('fields')}")
+    run_simulation(client, "quickstart.stream")
+    stream_maxima = run_analytics(client, "quickstart.stream")
     print(f"[stream] per-step maxima of the selection: {stream_maxima}")
 
     # --- File mode: the ONE-LINE switch ---------------------------------
-    flexio = FlexIO.from_xml(CONFIG.format(method="BP", params=PARAMS))
-    print(f"[file]   method for group 'fields': {flexio.method_name('fields')}")
+    client = repro.connect("local://", config=CONFIG.format(method="BP", params=PARAMS))
+    print(f"[file]   method for group 'fields': {client.flexio.method_name('fields')}")
     with tempfile.TemporaryDirectory() as tmp:
         path = os.path.join(tmp, "quickstart.bp")
-        run_simulation(flexio, path)
+        run_simulation(client, path)
         print(f"[file]   BP-lite file written: {os.path.getsize(path)} bytes")
-        file_maxima = run_analytics(flexio, path)
+        file_maxima = run_analytics(client, path)
     print(f"[file]   per-step maxima of the selection: {file_maxima}")
 
     assert stream_maxima == file_maxima, "stream and file modes must agree"

@@ -14,9 +14,9 @@ import sys
 
 import numpy as np
 
-from repro.adios import RankContext, StepStatus, block_decompose
+import repro
+from repro.adios import StepStatus, block_decompose
 from repro.apps import S3dConfig, S3dRank, composite_over, volume_render, write_ppm
-from repro.core import FlexIO
 from repro.core.hints import CACHING_ALL, stream_params
 
 CONFIG = """
@@ -41,11 +41,11 @@ def main() -> None:
     cfg = S3dConfig(num_ranks=8, local_edge=12)
     gshape = cfg.global_shape
     writer_boxes = cfg.boxes()
-    flexio = FlexIO.from_xml(CONFIG)
+    client = repro.connect("local://", config=CONFIG)
 
     # --- Simulation side -------------------------------------------------
     writers = [
-        flexio.open_write("species", "s3d.species", RankContext(r, cfg.num_ranks))
+        client.open("s3d.species", "w", rank=r, num_ranks=cfg.num_ranks)
         for r in range(cfg.num_ranks)
     ]
     ranks = [S3dRank(cfg, r) for r in range(cfg.num_ranks)]
@@ -70,7 +70,7 @@ def main() -> None:
     # --- Visualization side: 2 ranks, slab decomposition ----------------
     viz_boxes = block_decompose(gshape, (NUM_VIZ, 1, 1))
     readers = [
-        flexio.open_read("species", "s3d.species", RankContext(v, NUM_VIZ))
+        client.open("s3d.species", "r", rank=v, num_ranks=NUM_VIZ)
         for v in range(NUM_VIZ)
     ]
     step = 0

@@ -29,4 +29,17 @@ Layers (bottom-up):
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "connect"]
+
+
+def connect(uri: str, **kwargs):
+    """Open a FlexIO client session (see :func:`repro.net.client.connect`).
+
+    ``connect("local://")`` runs in-process;
+    ``connect("flexio://host:port/tenant", token=...)`` dials a
+    directory daemon.  Imported lazily so ``import repro`` stays cheap
+    and cycle-free.
+    """
+    from repro.net.client import connect as _connect
+
+    return _connect(uri, **kwargs)

@@ -32,11 +32,12 @@ from repro.adios.api import (
     ReadHandle,
     WriteHandle,
     register_method,
+    resolve_read_args,
 )
 from repro.adios.bp import BpReader, BpWriter
 from repro.adios.config import MethodSpec
 from repro.adios.model import Group, VarMeta
-from repro.adios.selection import BoundingBox, assemble, intersect
+from repro.adios.selection import assemble, intersect, resolve_selection
 from repro.util import ceil_div
 
 _MANIFEST = "manifest.txt"
@@ -78,7 +79,7 @@ class _AggState:
             rank, name, data, box, global_shape
         )
 
-    def advance(self, rank: int) -> None:
+    def end_rank_step(self, rank: int) -> None:
         self.advanced.add(rank)
         if self.advanced >= (self.open_ranks - self.closed_ranks):
             for w in self.writers:
@@ -119,10 +120,10 @@ class _AggWriteHandle(WriteHandle):
             raise AdiosError("write after close")
         self._state.write(self._ctx.rank, name, np.asarray(data), box, global_shape)
 
-    def advance(self):
+    def _advance(self):
         if self._closed:
-            raise AdiosError("advance after close")
-        self._state.advance(self._ctx.rank)
+            raise AdiosError("end_step after close")
+        self._state.end_rank_step(self._ctx.rank)
 
     def close(self):
         if self._closed:
@@ -189,7 +190,8 @@ class _AggReadHandle(ReadHandle):
             raise KeyError(f"rank {writer_rank} wrote no data")
         return self._readers[subfile].read_block(name, self._step, writer_rank)
 
-    def read(self, name, start=None, count=None):
+    def read(self, name, *, start=None, count=None, selection=None):
+        start, count = resolve_read_args(selection, start, count)
         blocks = []
         gshape = None
         dtype = None
@@ -204,10 +206,7 @@ class _AggReadHandle(ReadHandle):
             raise KeyError(f"no variable {name!r} at step {self._step}")
         if gshape is None:
             raise AdiosError(f"variable {name!r} is not a global array")
-        if start is None or count is None:
-            target = BoundingBox((0,) * len(gshape), tuple(gshape))
-        else:
-            target = BoundingBox(tuple(start), tuple(count))
+        target = resolve_selection(start, count, gshape)
         touched = (
             (e.box, r._fetch(e))
             for r, e in blocks
@@ -215,7 +214,7 @@ class _AggReadHandle(ReadHandle):
         )
         return assemble(target, touched, dtype=dtype)
 
-    def advance(self):
+    def _advance(self):
         nxt = self._step + 1
         has_data = any(
             any(e.step == nxt for e in r.entries) for r in self._readers.values()

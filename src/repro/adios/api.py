@@ -1,4 +1,4 @@
-"""The ADIOS-style open/write/advance/close API with pluggable methods.
+"""The ADIOS-style step-oriented open/write/close API with pluggable methods.
 
 The central property FlexIO inherits (paper Section II.B): application
 code is written once against this API, and the *method* bound to a group
@@ -93,8 +93,10 @@ class RankContext:
 class WriteHandle(abc.ABC):
     """Per-rank write side of one opened file/stream.
 
-    The step-oriented API is ``begin_step() … write() … end_step()``;
-    ``advance()`` remains as a deprecated alias for ``end_step()``.
+    The step-oriented API is ``begin_step() … write() … end_step()``.
+    (The pre-redesign ``advance()`` alias is gone; methods implement the
+    private :meth:`_advance` step seal instead — FlexLint FXL008 flags
+    any caller still spelling the legacy name.)
     """
 
     _step_open = False
@@ -109,11 +111,8 @@ class WriteHandle(abc.ABC):
     ) -> None: ...
 
     @abc.abstractmethod
-    def advance(self) -> None:
-        """End this rank's current output step.
-
-        .. deprecated:: use :meth:`begin_step` / :meth:`end_step`.
-        """
+    def _advance(self) -> None:
+        """Seal this rank's current output step (method-internal)."""
 
     def begin_step(self) -> StepStatus:
         """Open a new output step (ADIOS2-style)."""
@@ -122,10 +121,11 @@ class WriteHandle(abc.ABC):
         self._step_open = True
         return StepStatus.OK
 
-    def end_step(self, **kwargs: Any) -> None:
-        """Seal the current output step (equivalent to ``advance``)."""
+    def end_step(self, **kwargs: Any) -> StepStatus:
+        """Seal the current output step."""
         self._step_open = False
-        self.advance(**kwargs)
+        self._advance(**kwargs)
+        return StepStatus.OK
 
     @abc.abstractmethod
     def close(self) -> None: ...
@@ -137,14 +137,43 @@ class WriteHandle(abc.ABC):
         self.close()
 
 
+def resolve_read_args(
+    selection: Optional[Any],
+    start: Optional[Sequence[int]],
+    count: Optional[Sequence[int]],
+) -> tuple[Optional[Any], Optional[Sequence[int]]]:
+    """Normalize the keyword-only read arguments.
+
+    Exactly one addressing style per call: either ``selection=`` (a
+    :class:`~repro.adios.selection.Selection` /
+    :class:`~repro.adios.selection.BoundingBox`) or ``start=``/``count=``
+    index tuples.  Returns the ``(start_or_selection, count)`` pair that
+    :func:`~repro.adios.selection.resolve_selection` consumes.
+    """
+    if selection is not None:
+        if start is not None or count is not None:
+            raise AdiosError(
+                "pass either selection= or start=/count=, not both"
+            )
+        return selection, None
+    if isinstance(start, (Selection, BoundingBox)):
+        raise AdiosError(
+            "selection objects go through the selection= keyword "
+            "(start= takes an index tuple)"
+        )
+    return start, count
+
+
 class ReadHandle(abc.ABC):
     """Per-rank read side of one opened file/stream.
 
     The step-oriented API is ``begin_step() → StepStatus`` followed by
     reads and ``end_step()``; ``begin_step`` returns
     :attr:`StepStatus.NotReady` instead of raising when the writer has
-    not yet published the next step.  ``advance()`` remains as a
-    deprecated alias that raises on stall/EOS.
+    not yet published the next step.  Reads address data with the
+    keyword-only ``start=``/``count=`` tuples or ``selection=``.  (The
+    pre-redesign ``advance()`` alias is gone; methods implement the
+    private :meth:`_advance` instead.)
     """
 
     _step_active = False
@@ -157,26 +186,48 @@ class ReadHandle(abc.ABC):
     def read(
         self,
         name: str,
+        *,
         start: Optional[Sequence[int]] = None,
         count: Optional[Sequence[int]] = None,
+        selection: Optional[Any] = None,
     ) -> np.ndarray:
-        """Global-array read of a selection at the current step.
+        """Global-array read at the current step.
 
-        ``start`` may also be a :class:`~repro.adios.selection.Selection`
-        or :class:`~repro.adios.selection.BoundingBox` (with ``count``
-        omitted).
+        Addressing is keyword-only: ``start=``/``count=`` index tuples,
+        or ``selection=`` with a
+        :class:`~repro.adios.selection.Selection` /
+        :class:`~repro.adios.selection.BoundingBox`.
         """
+
+    def read_into(
+        self,
+        name: str,
+        out: np.ndarray,
+        *,
+        start: Optional[Sequence[int]] = None,
+        count: Optional[Sequence[int]] = None,
+        selection: Optional[Any] = None,
+    ) -> np.ndarray:
+        """Read into a caller-provided array (same addressing as
+        :meth:`read`).  Default implementation copies through
+        :meth:`read`; stream methods override it with the zero-copy
+        scatter path."""
+        data = self.read(name, start=start, count=count, selection=selection)
+        if out.shape != data.shape:
+            raise AdiosError(
+                f"read_into({name!r}): out shape {out.shape} != {data.shape}"
+            )
+        out[...] = data
+        return out
 
     @abc.abstractmethod
     def read_block(self, name: str, writer_rank: int) -> np.ndarray:
         """Process-group-oriented read of one writer's block."""
 
     @abc.abstractmethod
-    def advance(self) -> None:
-        """Move to the next step; raises :class:`EndOfStream` when done.
-
-        .. deprecated:: use :meth:`begin_step` / :meth:`end_step`.
-        """
+    def _advance(self) -> None:
+        """Move to the next step; raises :class:`EndOfStream` when done
+        (method-internal — callers drive :meth:`begin_step`)."""
 
     def _probe_step(self) -> None:
         """Verify the handle's *current* step is consumable.
@@ -198,7 +249,7 @@ class ReadHandle(abc.ABC):
         while True:
             try:
                 if self._step_consumed:
-                    self.advance()
+                    self._advance()
                 else:
                     self._probe_step()
             except StepLost:
@@ -219,11 +270,12 @@ class ReadHandle(abc.ABC):
             self._step_consumed = True
             return StepStatus.OK
 
-    def end_step(self) -> None:
+    def end_step(self) -> StepStatus:
         """Release the current step."""
         if not self._step_active:
             raise AdiosError("end_step without begin_step")
         self._step_active = False
+        return StepStatus.OK
 
     @abc.abstractmethod
     def close(self) -> None: ...
@@ -293,9 +345,9 @@ class _BpWriteHandle(WriteHandle):
             raise AdiosError("write after close")
         self._state.writer.write(self._ctx.rank, name, data, box, global_shape)
 
-    def advance(self):
+    def _advance(self):
         if self._closed:
-            raise AdiosError("advance after close")
+            raise AdiosError("end_step after close")
         st = self._state
         st.advanced.add(self._ctx.rank)
         # Step boundary once every open rank has advanced (implicit barrier).
@@ -330,7 +382,8 @@ class _BpReadHandle(ReadHandle):
     def available_vars(self):
         return self._reader.var_names()
 
-    def read(self, name, start=None, count=None):
+    def read(self, name, *, start=None, count=None, selection=None):
+        start, count = resolve_read_args(selection, start, count)
         if isinstance(start, (Selection, BoundingBox)):
             try:
                 meta = self._reader.var_meta(name)
@@ -343,6 +396,7 @@ class _BpReadHandle(ReadHandle):
             box = resolve_selection(start, count, meta.global_shape)
             start, count = box.start, box.count
         try:
+            # flexlint: ok(FXL008) BpReader.read is the step-indexed file API, not the step-API read
             return self._reader.read(name, self._step, start, count)
         except KeyError as exc:
             raise VariableNotFound(str(exc)) from None
@@ -353,7 +407,7 @@ class _BpReadHandle(ReadHandle):
         except KeyError as exc:
             raise VariableNotFound(str(exc)) from None
 
-    def advance(self):
+    def _advance(self):
         # BP files may end with an empty trailing step (writer protocol
         # always keeps one step open); treat step exhaustion as EOS.
         nxt = self._step + 1

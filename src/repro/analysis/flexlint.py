@@ -32,6 +32,11 @@ FXL007    Unregistered event code in a hot-path ``record()`` call: the
           table (:mod:`repro.obs.events`) or a ``Name``/``Attribute``
           reference to one — ad-hoc f-strings and computed event names
           defeat the flight recorder's fixed vocabulary.
+FXL008    Removed/legacy step-API spelling: ``.advance()`` is gone
+          (writers call ``end_step()``, readers drive
+          ``begin_step()``/``end_step()``), and selections must go
+          through keywords — ``read(name, selection=...)`` /
+          ``read(name, start=..., count=...)`` — never positionally.
 ========  ==============================================================
 
 **Waivers**: append ``# flexlint: ok(FXL001) <reason>`` to the flagged
@@ -99,6 +104,11 @@ RULES: dict[str, Rule] = {
              "the first argument of record() must be a string literal "
              "registered in repro.obs.events (or a Name/Attribute "
              "constant reference); no f-strings or computed names."),
+        Rule("FXL008", "removed/legacy step-API spelling",
+             ".advance() no longer exists (use end_step(), or "
+             "begin_step()/end_step() loops on readers) and "
+             "read()/read_into()/read_all() take selections only as "
+             "selection=/start=/count= keywords."),
     )
 }
 
@@ -469,6 +479,33 @@ def _check_event_codes(tree: ast.AST, path: str, cfg: LintConfig):
             )
 
 
+#: Step-API read methods and how many positional arguments each accepts
+#: (the variable name; plus the output array for ``read_into``).  More
+#: than that means a positional selection — a removed spelling.
+_READ_POSITIONAL_LIMITS = {"read": 1, "read_all": 1, "read_into": 2}
+
+
+def _check_legacy_api(tree: ast.AST, path: str, cfg: LintConfig):
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not isinstance(node.func, ast.Attribute):
+            continue
+        name = node.func.attr
+        if name == "advance":
+            yield Finding(
+                "FXL008", path, node.lineno, node.col_offset,
+                ".advance() was removed; writers call end_step(), "
+                "readers drive begin_step()/end_step()",
+            )
+        elif name in _READ_POSITIONAL_LIMITS:
+            limit = _READ_POSITIONAL_LIMITS[name]
+            if len(node.args) > limit:
+                yield Finding(
+                    "FXL008", path, node.lineno, node.col_offset,
+                    f"positional selection in {name}(); pass the "
+                    f"selection= keyword (or start=/count=) instead",
+                )
+
+
 _CHECKS = (
     _check_broad_except,
     _check_hint_keys,
@@ -477,6 +514,7 @@ _CHECKS = (
     _check_drainer_state,
     _check_copy_discipline,
     _check_event_codes,
+    _check_legacy_api,
 )
 
 

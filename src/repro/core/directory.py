@@ -19,12 +19,13 @@ are never evicted — exactly the old behaviour.
 
 from __future__ import annotations
 
+import enum
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.obs import recorder as flight
-from repro.obs.events import EV_LEASE_REAP
+from repro.obs.events import EV_ADMISSION_REJECT, EV_LEASE_REAP
 
 
 class DirectoryError(RuntimeError):
@@ -70,6 +71,22 @@ class DirectoryServer:
         self.lookups = 0
         self.heartbeats = 0
         self.evictions = 0
+
+    def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """Swap the lease clock (tests / discrete-event drivers).
+
+        Deadlines already computed against the old clock are not
+        rebased, so swap before any leased registration exists.
+        """
+        self._clock = clock or time.monotonic
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._clock
+
+    def leased_count(self) -> int:
+        """Registrations currently held under a liveness lease."""
+        return sum(1 for e in self._entries.values() if e.lease is not None)
 
     def register(
         self, name: str, info: CoordinatorInfo, lease: Optional[float] = None
@@ -157,3 +174,250 @@ class DirectoryServer:
         if entry is None:
             raise DirectoryError(f"no stream registered under {name!r}")
         return list(entry.readers)
+
+
+# ---------------------------------------------------------------------------
+# Tenancy: per-tenant namespaces, bearer tokens, quotas, admission control
+# ---------------------------------------------------------------------------
+
+class AdmissionKind(enum.Enum):
+    """Why admission control rejected a tenant request."""
+
+    UNKNOWN_TENANT = "unknown_tenant"   # no such tenant namespace
+    AUTH_FAILURE = "auth"               # bearer token mismatch
+    STREAM_QUOTA = "streams"            # max concurrent streams exceeded
+    BYTES_QUOTA = "bytes_per_s"         # byte-rate budget exhausted
+    LEASE_QUOTA = "leases"              # too many outstanding leases
+
+
+class AdmissionError(DirectoryError):
+    """Root of every admission-control rejection; carries its kind.
+
+    Sits below :class:`DirectoryError` so existing control-plane error
+    handling catches it, while the ``kind`` mirrors the transport fault
+    taxonomy's shape for typed handling and wire encoding.
+    """
+
+    kind: Optional[AdmissionKind] = None
+
+
+class UnknownTenant(AdmissionError):
+    """Request named a tenant the directory does not know."""
+
+    kind = AdmissionKind.UNKNOWN_TENANT
+
+
+class AuthFailure(AdmissionError):
+    """Bearer token did not match the tenant's configured token."""
+
+    kind = AdmissionKind.AUTH_FAILURE
+
+
+class QuotaExceeded(AdmissionError):
+    """A tenant quota (streams, bytes/s, leases) would be exceeded."""
+
+    def __init__(self, kind: AdmissionKind, message: str) -> None:
+        super().__init__(message)
+        self.kind = kind
+
+
+_ADMISSION_FOR: dict[str, type] = {
+    AdmissionKind.UNKNOWN_TENANT.value: UnknownTenant,
+    AdmissionKind.AUTH_FAILURE.value: AuthFailure,
+}
+
+
+def admission_exception(kind_name: str, message: str) -> AdmissionError:
+    """Rebuild the typed admission error for a wire-carried kind name."""
+    cls = _ADMISSION_FOR.get(kind_name)
+    if cls is not None:
+        return cls(message)
+    try:
+        return QuotaExceeded(AdmissionKind(kind_name), message)
+    except ValueError:
+        err = AdmissionError(message)
+        return err
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant namespace: identity, bearer token, quotas.
+
+    ``None`` for any quota means unlimited, so a default-constructed
+    spec behaves exactly like the pre-tenancy directory.
+    """
+
+    name: str
+    token: Optional[str] = None
+    max_streams: Optional[int] = None
+    max_bytes_per_s: Optional[float] = None
+    max_leases: Optional[int] = None
+
+
+class _TokenBucket:
+    """Byte-rate budget: ``rate`` bytes/s capacity, refilled lazily from
+    the directory clock; one second of burst headroom."""
+
+    __slots__ = ("rate", "burst", "_level", "_last", "_clock")
+
+    def __init__(self, rate: float, clock: Callable[[], float]) -> None:
+        self.rate = float(rate)
+        self.burst = float(rate)
+        self._level = self.burst
+        self._clock = clock
+        self._last = clock()
+
+    def try_consume(self, nbytes: int) -> bool:
+        now = self._clock()
+        self._level = min(self.burst, self._level + (now - self._last) * self.rate)
+        self._last = now
+        if nbytes > self._level:
+            return False
+        self._level -= nbytes
+        return True
+
+
+class TenantDirectory:
+    """Multi-tenant front of the directory: auth, quotas, namespaces.
+
+    Each tenant owns an isolated :class:`DirectoryServer` (stream names
+    are scoped per tenant), all sharing one injectable ``clock`` so
+    lease reaping stays deterministic under test.  Every admission
+    decision is accounted: rejections raise a typed
+    :class:`AdmissionError`, bump a per-tenant labeled counter in the
+    optional metrics registry, and land in the flight recorder.
+    """
+
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        metrics=None,
+    ) -> None:
+        self._clock = clock or time.monotonic
+        self.metrics = metrics
+        self._tenants: dict[str, TenantSpec] = {}
+        self._servers: dict[str, DirectoryServer] = {}
+        self._buckets: dict[str, _TokenBucket] = {}
+        self.admitted = 0
+        self.rejected = 0
+
+    # -- tenant management -------------------------------------------------
+    def add_tenant(self, spec: TenantSpec) -> None:
+        if spec.name in self._tenants:
+            raise DirectoryError(f"tenant {spec.name!r} already exists")
+        self._tenants[spec.name] = spec
+        self._servers[spec.name] = DirectoryServer(clock=self._clock)
+        if spec.max_bytes_per_s is not None:
+            self._buckets[spec.name] = _TokenBucket(spec.max_bytes_per_s, self._clock)
+
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def spec(self, tenant: str) -> TenantSpec:
+        try:
+            return self._tenants[tenant]
+        except KeyError:
+            raise self._reject(tenant, UnknownTenant(f"unknown tenant {tenant!r}"))
+
+    def server_for(self, tenant: str) -> DirectoryServer:
+        self.spec(tenant)
+        return self._servers[tenant]
+
+    def set_clock(self, clock: Optional[Callable[[], float]]) -> None:
+        """Swap the shared clock across every tenant namespace."""
+        self._clock = clock or time.monotonic
+        for server in self._servers.values():
+            server.set_clock(self._clock)
+        for bucket in self._buckets.values():
+            bucket._clock = self._clock
+            bucket._last = self._clock()
+
+    # -- admission control -------------------------------------------------
+    def _reject(self, tenant: str, err: AdmissionError) -> AdmissionError:
+        """Account one rejection (counter + flight event); returns the
+        error for the caller to raise."""
+        self.rejected += 1
+        kind = err.kind.value if err.kind is not None else "other"
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tenant.admission.rejected",
+                labels={"tenant": tenant, "reason": kind},
+            ).inc()
+        flight.record(EV_ADMISSION_REJECT, tenant=tenant, reason=kind)
+        return err
+
+    def authenticate(self, tenant: str, token: Optional[str] = None) -> TenantSpec:
+        """Check the bearer token against the tenant's configured one."""
+        spec = self.spec(tenant)
+        if spec.token is not None and token != spec.token:
+            raise self._reject(tenant, AuthFailure(f"bad token for tenant {tenant!r}"))
+        self.admitted += 1
+        return spec
+
+    def register(
+        self,
+        tenant: str,
+        name: str,
+        info: CoordinatorInfo,
+        lease: Optional[float] = None,
+    ) -> None:
+        """Tenant-scoped :meth:`DirectoryServer.register` behind quotas."""
+        spec = self.spec(tenant)
+        server = self._servers[tenant]
+        if spec.max_streams is not None and len(server.names()) >= spec.max_streams:
+            raise self._reject(tenant, QuotaExceeded(
+                AdmissionKind.STREAM_QUOTA,
+                f"tenant {tenant!r} at max_streams={spec.max_streams}",
+            ))
+        if (
+            lease is not None
+            and spec.max_leases is not None
+            and server.leased_count() >= spec.max_leases
+        ):
+            raise self._reject(tenant, QuotaExceeded(
+                AdmissionKind.LEASE_QUOTA,
+                f"tenant {tenant!r} at max_leases={spec.max_leases}",
+            ))
+        server.register(name, info, lease=lease)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "tenant.streams", labels={"tenant": tenant}
+            ).set(len(server.names()))
+
+    def charge_bytes(self, tenant: str, nbytes: int) -> None:
+        """Debit a data-plane transfer against the tenant's byte budget."""
+        spec = self.spec(tenant)
+        bucket = self._buckets.get(tenant)
+        if bucket is not None and not bucket.try_consume(nbytes):
+            raise self._reject(tenant, QuotaExceeded(
+                AdmissionKind.BYTES_QUOTA,
+                f"tenant {tenant!r} over {spec.max_bytes_per_s:g} B/s budget",
+            ))
+        if self.metrics is not None:
+            self.metrics.counter(
+                "tenant.bytes", labels={"tenant": tenant}
+            ).inc(nbytes)
+
+    # -- tenant-scoped directory operations --------------------------------
+    def lookup(self, tenant: str, name: str, reader=None) -> CoordinatorInfo:
+        return self.server_for(tenant).lookup(name, reader)
+
+    def heartbeat(self, tenant: str, name: str) -> None:
+        self.server_for(tenant).heartbeat(name)
+
+    def unregister(self, tenant: str, name: str) -> None:
+        server = self.server_for(tenant)
+        server.unregister(name)
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "tenant.streams", labels={"tenant": tenant}
+            ).set(len(server.names()))
+
+    def reap_all(self, now: Optional[float] = None) -> dict[str, list[str]]:
+        """Reap expired leases across every tenant namespace."""
+        out: dict[str, list[str]] = {}
+        for tenant, server in self._servers.items():
+            evicted = server.reap(now)
+            if evicted:
+                out[tenant] = evicted
+        return out

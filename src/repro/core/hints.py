@@ -92,6 +92,7 @@ CACHING_ALL = "all"
 #: Values of the ``transport`` hint (drain channels).
 TRANSPORT_SHM = "shm"
 TRANSPORT_RDMA = "rdma"
+TRANSPORT_TCP = "tcp"
 
 #: Method names that select the FLEXPATH stream engine.
 STREAM_METHODS = ("FLEXPATH", "FLEXIO")
@@ -131,8 +132,9 @@ _STREAM_SPECS = (
     HintSpec(QUEUE_DEPTH, "int", 2,
              "Bounded depth of the async publication queue."),
     HintSpec(TRANSPORT, "enum", TRANSPORT_SHM,
-             "Drain channel: shm (intra-node) or rdma (inter-node).",
-             choices=(TRANSPORT_SHM, TRANSPORT_RDMA)),
+             "Drain channel: shm (intra-node), rdma (inter-node), or "
+             "tcp (cross-process sockets).",
+             choices=(TRANSPORT_SHM, TRANSPORT_RDMA, TRANSPORT_TCP)),
     HintSpec(TRANSACTIONAL, "bool", False,
              "All-or-nothing step visibility via 2PC across ranks."),
     HintSpec(MAX_RETRIES, "int", 3,

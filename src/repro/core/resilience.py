@@ -305,7 +305,7 @@ class TransactionalStreamWriter:
             def publish(step: int, payload: dict) -> None:
                 for name, (data, box, gshape) in payload.items():
                     self._handles[idx].write(name, data, box=box, global_shape=gshape)
-                self._handles[idx].advance()
+                self._handles[idx].end_step()
 
             return publish
 

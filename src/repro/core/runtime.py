@@ -174,6 +174,12 @@ def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None, inje
         from repro.transport.shm import ShmChannel
 
         return ShmChannel(monitor=monitor, injector=injector)
+    if kind == "tcp":
+        from repro.transport.tcp import TcpChannel
+
+        # Loopback socketpair: real kernel sockets, one process — the
+        # single-process shape of the cross-process rung.
+        return TcpChannel(monitor=monitor, injector=injector)
     if kind == "rdma":
         from repro.machine.interconnect import InfinibandInterconnect
         from repro.transport.rdma import NntiFabric, RdmaChannel
@@ -183,4 +189,6 @@ def make_stream_channel(kind: str = "shm", monitor=None, interconnect=None, inje
         reader_ep = fabric.endpoint(1, "stream-reader")
         conn = fabric.connect(writer_ep, reader_ep)
         return RdmaChannel(conn, writer_ep, monitor=monitor, injector=injector)
-    raise ValueError(f"unknown stream transport {kind!r}; expected shm or rdma")
+    raise ValueError(
+        f"unknown stream transport {kind!r}; expected shm, tcp, or rdma"
+    )

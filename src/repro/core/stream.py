@@ -8,7 +8,7 @@ or global-array pattern); when the writer closes the file, readers receive
 End-of-Stream from their next read.  Because the API is the ADIOS file
 API, stream and file modes interchange without code changes.
 
-The data plane behind ``advance``/``end_step`` is pipelined: sealing a
+The data plane behind ``end_step`` is pipelined: sealing a
 step (running writer-side DC plug-ins) happens on the writer's thread,
 then the step is handed to a bounded background **drainer** that pushes
 the payload through the selected SHM/RDMA channel.  With ``sync=false``
@@ -44,6 +44,7 @@ from repro.adios.api import (
     VariableNotFound,
     WriteHandle,
     register_method,
+    resolve_read_args,
 )
 from repro.adios.config import MethodSpec
 from repro.adios.model import Group, ProcessGroupData, WrittenVar
@@ -72,6 +73,7 @@ from repro.core.hints import (
     TRANSPORT,
     TRANSPORT_RDMA,
     TRANSPORT_SHM,
+    TRANSPORT_TCP,
     XPMEM,
     validate_spec,
 )
@@ -132,7 +134,8 @@ class StepState(Enum):
 #: Graceful-degradation ladder: on repeated drain failure the stream falls
 #: back to the next transport down, ending at buffered-only (no channel).
 _DEGRADE_LADDER: dict[str, Optional[str]] = {
-    TRANSPORT_RDMA: TRANSPORT_SHM,
+    TRANSPORT_RDMA: TRANSPORT_TCP,
+    TRANSPORT_TCP: TRANSPORT_SHM,
     TRANSPORT_SHM: None,
 }
 
@@ -507,9 +510,9 @@ class StreamState:
             self._current[rank] = pg
         pg.add(wv)
 
-    def advance(self, rank: int, sync: Optional[bool] = None) -> None:
+    def end_rank_step(self, rank: int, sync: Optional[bool] = None) -> None:
         if self.closed:
-            raise StreamError(f"advance on ended stream {self.name!r}: {self.error}")
+            raise StreamError(f"end_step on ended stream {self.name!r}: {self.error}")
         if rank not in self.writer_ranks:
             raise StreamError(f"rank {rank} never joined stream {self.name!r}")
         self._advanced.add(rank)
@@ -901,9 +904,16 @@ def _rank_parts(step: _PublishedStep) -> dict[int, WireVector]:
 class StreamRegistry:
     """Directory server + live stream states for one process."""
 
-    def __init__(self) -> None:
-        self.directory = DirectoryServer()
+    def __init__(self, clock=None) -> None:
+        self._clock = clock
+        self.directory = DirectoryServer(clock=clock)
         self._states: dict[str, StreamState] = {}
+
+    def set_clock(self, clock) -> None:
+        """Swap the injectable clock (tests) — propagates to the
+        directory server so lease reaping is deterministic."""
+        self._clock = clock
+        self.directory.set_clock(clock)
 
     def create(
         self, name: str, ctx: RankContext, monitor=None, hints=None
@@ -949,7 +959,7 @@ class StreamRegistry:
             # flexlint: ok(FXL001) reset must tear every stream down even if one close misbehaves
             except Exception:
                 pass
-        self.__init__()
+        self.__init__(self._clock)
 
 
 #: Process-global registry (the "network" all in-process programs share).
@@ -965,8 +975,7 @@ class FlexpathWriteHandle(WriteHandle):
 
     Step-oriented usage: ``begin_step() … write() … end_step()``;
     ``end_step(sync=True)`` forces one synchronous publish regardless of
-    the stream's ``sync`` hint.  ``advance()`` remains as a deprecated
-    alias.
+    the stream's ``sync`` hint.
     """
 
     def __init__(self, state: StreamState, ctx: RankContext) -> None:
@@ -1000,10 +1009,10 @@ class FlexpathWriteHandle(WriteHandle):
             ),
         )
 
-    def advance(self, sync: Optional[bool] = None):
+    def _advance(self, sync: Optional[bool] = None):
         if self._closed:
-            raise StreamError("advance after close")
-        self._state.advance(self._ctx.rank, sync=sync)
+            raise StreamError("end_step after close")
+        self._state.end_rank_step(self._ctx.rank, sync=sync)
 
     def close(self):
         if self._closed:
@@ -1097,7 +1106,8 @@ class FlexpathReadHandle(ReadHandle):
         )
         return np.asarray(record[name])
 
-    def read(self, name, start=None, count=None) -> np.ndarray:
+    def read(self, name, *, start=None, count=None, selection=None) -> np.ndarray:
+        start, count = resolve_read_args(selection, start, count)
         step = self._step()
         blocks = []
         gshape = None
@@ -1147,13 +1157,16 @@ class FlexpathReadHandle(ReadHandle):
         )
         return result
 
-    def read_into(self, name, out: np.ndarray, start=None, count=None) -> np.ndarray:
+    def read_into(
+        self, name, out: np.ndarray, *, start=None, count=None, selection=None
+    ) -> np.ndarray:
         """Like :meth:`read`, but scatter the selection straight into the
         preallocated ``out`` array — the steady-state zero-allocation
         read path (incoming spans land in the reader's own buffer, no
         per-step ``np.empty``).  ``out`` must match the selection's shape
         and the variable's dtype; returns ``out``.
         """
+        start, count = resolve_read_args(selection, start, count)
         step = self._step()
         blocks = []
         gshape = None
@@ -1210,7 +1223,9 @@ class FlexpathReadHandle(ReadHandle):
         )
         return out
 
-    def read_all(self, names=None, start=None, count=None) -> dict[str, np.ndarray]:
+    def read_all(
+        self, names=None, *, start=None, count=None, selection=None
+    ) -> dict[str, np.ndarray]:
         """Read several global-array variables of the current step.
 
         With ``batching=true`` one aggregated handshake round services
@@ -1249,7 +1264,10 @@ class FlexpathReadHandle(ReadHandle):
                 self._account_handshake(
                     first, gshape, boxes, num_variables=len(names)
                 )
-        return {n: self.read(n, start, count) for n in names}
+        return {
+            n: self.read(n, start=start, count=count, selection=selection)
+            for n in names
+        }
 
     def _account_handshake(
         self, name, gshape, writer_boxes, num_variables: int = 1
@@ -1296,7 +1314,7 @@ class FlexpathReadHandle(ReadHandle):
         """
         return int(self._state.monitor.metrics.counter("handshake.messages").value)
 
-    def advance(self):
+    def _advance(self):
         nxt = self._cursor + 1
         state = self._state
         if not state.step_available(nxt):

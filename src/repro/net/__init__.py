@@ -1,0 +1,32 @@
+"""Network plane: the directory daemon, its frame protocol, and clients.
+
+Everything before this package lived in one process; :mod:`repro.net`
+is where FlexIO becomes a *service*.  Three modules:
+
+* :mod:`repro.net.protocol` — the small length-prefixed, versioned
+  frame protocol both planes speak, built on the marshal codec's
+  ``encode_into``/``decode_view`` over ``WireBuffer`` spans;
+* :mod:`repro.net.server` — the asyncio directory daemon: a control
+  port (hello/auth, register, lookup, lease heartbeats, named-stream
+  open) and a data port (step publish/fetch broker) with per-tenant
+  admission control and labeled telemetry;
+* :mod:`repro.net.client` — ``connect("flexio://host:port/tenant")``
+  and the remote step-API handles behind it.
+"""
+
+from repro.net.protocol import (  # noqa: F401
+    PROTOCOL_VERSION,
+    Frame,
+    MsgType,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.net.client import (  # noqa: F401
+    Client,
+    LocalClient,
+    NetError,
+    RemoteClient,
+    connect,
+    parse_flexio_uri,
+)

@@ -1,0 +1,605 @@
+"""``connect()``: the client face of the FlexIO service.
+
+One entry point covers both deployment shapes the paper's
+location-flexible placement implies:
+
+* ``connect("local://")`` — everything in-process.  The returned
+  :class:`LocalClient` wraps the :class:`~repro.core.api.FlexIO`
+  façade with a stream-mode configuration, so ``open(name, "w")`` /
+  ``open(name, "r")`` hand back the familiar step-API handles backed
+  by the in-process data plane (shm/rdma models, drainer, plan cache).
+
+* ``connect("flexio://host:port/tenant", token=...)`` — a
+  :class:`RemoteClient` session against a running
+  :class:`~repro.net.server.DirectoryDaemon`.  The control socket
+  authenticates the tenant (HELLO → WELCOME) and opens named streams;
+  each open dials the daemon's data port through a
+  :class:`~repro.transport.tcp.TcpChannel` and exchanges steps with
+  the store-and-forward broker (PUBLISH / FETCH frames).  Admission
+  rejections — bad token, unknown tenant, quota exceeded — come back
+  as the *same* typed :class:`~repro.core.directory.AdmissionError`
+  values the daemon raised, rebuilt from the wire kind.
+
+Either way the handles subclass the redesigned
+:class:`~repro.adios.api.WriteHandle` / :class:`~repro.adios.api.ReadHandle`
+ABCs, so application step loops are identical in-process and over the
+network::
+
+    import repro as flexio
+
+    with flexio.connect("flexio://127.0.0.1:7700/acme", token="s3cret") as c:
+        with c.open("gts.stream", "w") as w:
+            w.begin_step()
+            w.write("temperature", field, box=box, global_shape=shape)
+            w.end_step()
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from dataclasses import dataclass
+from typing import Any, Optional
+from urllib.parse import urlsplit
+
+import numpy as np
+
+from repro.adios.api import (
+    AdiosError,
+    EndOfStream,
+    RankContext,
+    ReadHandle,
+    StepNotReady,
+    VariableNotFound,
+    WriteHandle,
+    resolve_read_args,
+)
+from repro.adios.selection import (
+    BoundingBox,
+    assemble,
+    intersect,
+    resolve_selection,
+)
+from repro.core.directory import admission_exception
+from repro.core.monitoring import PerfMonitor
+from repro.net.protocol import (
+    Frame,
+    MsgType,
+    ProtocolError,
+    decode_frame,
+    decode_var,
+    encode_frame,
+    encode_var,
+)
+from repro.obs import recorder as flight
+from repro.obs.events import EV_NET_CONNECT, EV_NET_DISCONNECT, EV_NET_STREAM_OPEN
+from repro.transport.faults import PeerDisconnected
+from repro.transport.tcp import TcpChannel, recv_frame, send_frame
+
+__all__ = [
+    "connect",
+    "parse_flexio_uri",
+    "ParsedUri",
+    "NetError",
+    "Client",
+    "LocalClient",
+    "RemoteClient",
+]
+
+
+class NetError(RuntimeError):
+    """A non-admission ERROR frame from the daemon (kind + message)."""
+
+    def __init__(self, kind: str, message: str) -> None:
+        super().__init__(f"{kind}: {message}")
+        self.kind = kind
+
+
+#: Wire error kinds that rebuild as typed AdmissionError subclasses.
+_ADMISSION_KINDS = frozenset(
+    {"unknown_tenant", "auth", "streams", "bytes_per_s", "leases"}
+)
+
+
+def raise_wire_error(frame: Frame) -> None:
+    """Re-raise an ERROR frame as its typed Python exception."""
+    kind = frame.record["kind"]
+    message = frame.record["message"]
+    if kind in _ADMISSION_KINDS:
+        raise admission_exception(kind, message)
+    if kind == "protocol":
+        raise ProtocolError(message)
+    raise NetError(kind, message)
+
+
+# ---------------------------------------------------------------------------
+# URI grammar:  flexio://host:port/tenant   |   local://
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParsedUri:
+    """One parsed ``flexio://`` / ``local://`` service URI."""
+
+    scheme: str
+    host: str = ""
+    port: int = 0
+    tenant: str = "public"
+
+
+def parse_flexio_uri(uri: str) -> ParsedUri:
+    """Parse a service URI.
+
+    Grammar::
+
+        uri    := "local://" | "flexio://" host ":" port [ "/" tenant ]
+        tenant := path segment (defaults to "public")
+    """
+    parts = urlsplit(uri)
+    if parts.scheme == "local":
+        return ParsedUri(scheme="local")
+    if parts.scheme != "flexio":
+        raise ValueError(
+            f"unsupported URI scheme {parts.scheme!r} (expected flexio:// or local://)"
+        )
+    if not parts.hostname or parts.port is None:
+        raise ValueError(f"flexio:// URI needs host:port, got {uri!r}")
+    tenant = parts.path.strip("/") or "public"
+    if "/" in tenant:
+        raise ValueError(f"tenant must be one path segment, got {parts.path!r}")
+    return ParsedUri(
+        scheme="flexio", host=parts.hostname, port=parts.port, tenant=tenant
+    )
+
+
+# ---------------------------------------------------------------------------
+# Local client
+# ---------------------------------------------------------------------------
+
+#: Group the local client binds stream opens to; variables are declared
+#: at write time (the stream method needs no static var list).
+LOCAL_GROUP = "flexio"
+
+_LOCAL_CONFIG = """
+<adios-config>
+  <adios-group name="flexio"/>
+  <method group="flexio" method="FLEXPATH">{params}</method>
+</adios-config>
+"""
+
+
+class Client:
+    """Common context-manager surface of both client kinds."""
+
+    def open(self, name: str, mode: str, **kwargs: Any):
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - overridden
+        pass
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class LocalClient(Client):
+    """``local://``: the in-process service, same ``open()`` surface.
+
+    ``config`` overrides the generated single-group stream
+    configuration (an :class:`~repro.adios.config.AdiosConfig` or XML
+    text); ``params`` sets the stream method's hint string when the
+    default configuration is used.
+    """
+
+    def __init__(self, config=None, machine=None, params: str = "") -> None:
+        from repro.adios.config import AdiosConfig
+        from repro.core.api import FlexIO
+
+        if config is None:
+            config = _LOCAL_CONFIG.format(params=params)
+        if isinstance(config, str):
+            config = AdiosConfig.from_xml(config)
+        self.flexio = FlexIO(config, machine=machine)
+        self._group_default = next(iter(config.groups), LOCAL_GROUP)
+
+    def open(
+        self,
+        name: str,
+        mode: str,
+        *,
+        group: Optional[str] = None,
+        rank: int = 0,
+        num_ranks: int = 1,
+        **_ignored: Any,
+    ):
+        ctx = RankContext(rank, num_ranks)
+        group = group or self._group_default
+        if mode == "w":
+            return self.flexio.open_write(group, name, ctx)
+        if mode == "r":
+            return self.flexio.open_read(group, name, ctx)
+        raise ValueError(f"bad open mode {mode!r} (expected 'w' or 'r')")
+
+
+# ---------------------------------------------------------------------------
+# Remote client
+# ---------------------------------------------------------------------------
+
+class RemoteClient(Client):
+    """One authenticated control-plane session against the daemon."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        tenant: str,
+        token: Optional[str] = None,
+        client_name: str = "",
+        timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.tenant = tenant
+        self.timeout = timeout
+        self.monitor = PerfMonitor()
+        self._closed = False
+        try:
+            self._sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise PeerDisconnected(
+                f"cannot reach flexio daemon at {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        welcome = self._rpc(MsgType.HELLO, {
+            "tenant": tenant, "token": token or "", "client": client_name,
+        }, MsgType.WELCOME)
+        self.session_id = welcome.record["session"]
+        self.server_version = welcome.record["server"]
+        self.data_port = int(welcome.record["data_port"])
+        flight.record(EV_NET_CONNECT, tenant=tenant, client=client_name)
+
+    # -- control-plane RPC -------------------------------------------------
+    def _rpc(self, msg_type: MsgType, record: dict, expect: MsgType) -> Frame:
+        if self._closed:
+            raise PeerDisconnected("rpc on closed client session")
+        send_frame(self._sock, encode_frame(msg_type, record), timeout=self.timeout)
+        raw = recv_frame(self._sock, timeout=self.timeout)
+        if raw is None:
+            raise PeerDisconnected("daemon closed the control connection")
+        frame = decode_frame(raw)
+        if frame.msg_type is MsgType.ERROR:
+            raise_wire_error(frame)
+        if frame.msg_type is not expect:
+            raise ProtocolError(
+                f"expected {expect.name}, daemon sent {frame.msg_type.name}"
+            )
+        return frame
+
+    # -- directory surface -------------------------------------------------
+    def register(self, stream: str, *, program: str = "writer", rank: int = 0,
+                 num_ranks: int = 1, lease: float = 0.0) -> None:
+        self._rpc(MsgType.REGISTER, {
+            "stream": stream, "program": program, "rank": rank,
+            "num_ranks": num_ranks, "lease": float(lease),
+        }, MsgType.OK)
+
+    def lookup(self, stream: str) -> dict:
+        return self._rpc(MsgType.LOOKUP, {"stream": stream}, MsgType.LOOKUP_REPLY).record
+
+    def heartbeat(self, stream: str) -> None:
+        self._rpc(MsgType.HEARTBEAT, {"stream": stream}, MsgType.OK)
+
+    # -- streams -----------------------------------------------------------
+    def open(
+        self,
+        name: str,
+        mode: str,
+        *,
+        rank: int = 0,
+        num_ranks: int = 1,
+        lease: float = 0.0,
+        timeout: Optional[float] = None,
+        **_ignored: Any,
+    ):
+        """Open a named stream for write or read.
+
+        Readers may race the writer's open: with ``timeout`` (seconds)
+        the open retries until the name resolves or the deadline
+        passes; without it an unknown name raises immediately.
+        """
+        if mode not in ("w", "r"):
+            raise ValueError(f"bad open mode {mode!r} (expected 'w' or 'r')")
+        record = {
+            "stream": name, "mode": mode,
+            "program": "writer" if mode == "w" else "reader",
+            "rank": rank, "num_ranks": num_ranks, "lease": float(lease),
+        }
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                reply = self._rpc(MsgType.OPEN, record, MsgType.OPEN_REPLY)
+                break
+            except NetError:
+                if deadline is None or time.monotonic() >= deadline:
+                    raise
+                time.sleep(0.02)
+        stream_id = reply.record["stream_id"]
+        channel = self._attach(stream_id, mode)
+        flight.record(EV_NET_STREAM_OPEN, stream=stream_id, mode=mode,
+                      tenant=self.tenant)
+        if mode == "w":
+            return NetWriteHandle(self, stream_id, channel, rank=rank)
+        return NetReadHandle(self, stream_id, channel)
+
+    def _attach(self, stream_id: str, role: str) -> TcpChannel:
+        channel = TcpChannel.connect(
+            self.host, self.data_port, monitor=self.monitor, timeout=self.timeout
+        )
+        channel.sendv([encode_frame(MsgType.ATTACH, {
+            "session": self.session_id, "stream_id": stream_id, "role": role,
+        })], timeout=self.timeout)
+        frame = decode_frame(channel.recv(timeout=self.timeout))
+        if frame.msg_type is MsgType.ERROR:
+            channel.close()
+            raise_wire_error(frame)
+        if frame.msg_type is not MsgType.OK:
+            channel.close()
+            raise ProtocolError(f"expected OK after ATTACH, got {frame.msg_type.name}")
+        return channel
+
+    def _close_stream(self, stream_id: str) -> None:
+        self._rpc(MsgType.CLOSE, {"stream_id": stream_id}, MsgType.OK)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            send_frame(
+                self._sock, encode_frame(MsgType.BYE, {"reason": "client close"}),
+                timeout=self.timeout,
+            )
+        except PeerDisconnected:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        flight.record(EV_NET_DISCONNECT, tenant=self.tenant)
+
+
+# ---------------------------------------------------------------------------
+# Network step handles
+# ---------------------------------------------------------------------------
+
+class NetWriteHandle(WriteHandle):
+    """Writer side of one remote stream: steps become PUBLISH frames.
+
+    ``write`` buffers this rank's variables; ``end_step`` gathers the
+    PUBLISH header and one ``net.var`` message per variable into a
+    single vectored frame (no client-side join) and waits for the
+    broker's acknowledgement — a quota rejection surfaces as the typed
+    :class:`~repro.core.directory.QuotaExceeded` right at the step
+    boundary that exceeded it.
+    """
+
+    def __init__(self, client: RemoteClient, stream_id: str,
+                 channel: TcpChannel, rank: int = 0) -> None:
+        self._client = client
+        self.stream_id = stream_id
+        self._channel = channel
+        self._rank = rank
+        self._step = 0
+        self._pending: list[dict] = []
+        self._closed = False
+
+    @property
+    def current_step(self) -> int:
+        return self._step
+
+    def write(self, name, data, box=None, global_shape=None):
+        if self._closed:
+            raise AdiosError("write after close")
+        arr = np.ascontiguousarray(data)
+        if box is not None and tuple(arr.shape) != tuple(box.count):
+            raise ValueError(f"data shape {arr.shape} != box count {box.count}")
+        self._pending.append({
+            "name": name,
+            "writer_rank": self._rank,
+            "start": list(box.start) if box is not None else [],
+            "shape": list(arr.shape),
+            "gshape": list(global_shape) if global_shape is not None else [],
+            "data": arr,
+        })
+
+    def _advance(self, eos: bool = False):
+        if self._closed:
+            raise AdiosError("end_step after close")
+        parts = [encode_frame(MsgType.PUBLISH, {
+            "step": self._step, "count": len(self._pending), "eos": eos,
+        })]
+        parts.extend(encode_var(rec) for rec in self._pending)
+        self._channel.sendv(parts, timeout=self._client.timeout)
+        frame = decode_frame(self._channel.recv(timeout=self._client.timeout))
+        if frame.msg_type is MsgType.ERROR:
+            raise_wire_error(frame)
+        if frame.msg_type is not MsgType.OK:
+            raise ProtocolError(
+                f"expected OK after PUBLISH, got {frame.msg_type.name}"
+            )
+        self._pending = []
+        self._step += 1
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self._channel.close()
+        self._client._close_stream(self.stream_id)
+
+
+class _CachedStep:
+    """One fetched step, decoded lazily-ish: var records + backing span."""
+
+    __slots__ = ("step", "vars", "_wb")
+
+    def __init__(self, step: int, count: int, wb, offset: int) -> None:
+        self.step = step
+        self.vars: list[dict] = []
+        # Keep the receive span alive: every array below views into it.
+        self._wb = wb
+        for _ in range(count):
+            rec, offset = decode_var(wb, offset)
+            self.vars.append(rec)
+
+    def var_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for rec in self.vars:
+            seen.setdefault(rec["name"], None)
+        return list(seen)
+
+
+class NetReadHandle(ReadHandle):
+    """Reader side of one remote stream: FETCH → assemble locally.
+
+    ``begin_step`` polls the broker (NOT_READY maps to
+    :attr:`~repro.adios.api.StepStatus.NotReady`, EOS to
+    :attr:`~repro.adios.api.StepStatus.EndOfStream`); global-array
+    reads reassemble the writers' blocks with the same selection
+    machinery the in-process reader uses, so MxN redistribution works
+    across the network hop unchanged.
+    """
+
+    def __init__(self, client: RemoteClient, stream_id: str,
+                 channel: TcpChannel) -> None:
+        self._client = client
+        self.stream_id = stream_id
+        self._channel = channel
+        self._cursor = 0
+        self._cache: dict[int, _CachedStep] = {}
+        self._closed = False
+
+    @property
+    def current_step(self) -> int:
+        return self._cursor
+
+    # -- step movement -----------------------------------------------------
+    def _fetch(self, step: int) -> _CachedStep:
+        cached = self._cache.get(step)
+        if cached is not None:
+            return cached
+        self._channel.sendv(
+            [encode_frame(MsgType.FETCH, {"step": step})],
+            timeout=self._client.timeout,
+        )
+        wb = self._channel.recv(timeout=self._client.timeout)
+        frame = decode_frame(wb)
+        if frame.msg_type is MsgType.STEP_DATA:
+            got = _CachedStep(
+                step, int(frame.record["count"]), wb, frame.consumed
+            )
+            # Retain only the current neighborhood; old steps are gone.
+            self._cache = {k: v for k, v in self._cache.items() if k >= step - 1}
+            self._cache[step] = got
+            return got
+        if frame.msg_type is MsgType.NOT_READY:
+            raise StepNotReady(f"step {step} of {self.stream_id} not yet published")
+        if frame.msg_type is MsgType.EOS:
+            raise EndOfStream(self.stream_id)
+        if frame.msg_type is MsgType.ERROR:
+            raise_wire_error(frame)
+        raise ProtocolError(f"unexpected {frame.msg_type.name} after FETCH")
+
+    def _probe_step(self):
+        self._fetch(self._cursor)
+
+    def _advance(self):
+        self._fetch(self._cursor + 1)
+        self._cursor += 1
+
+    # -- reads -------------------------------------------------------------
+    def available_vars(self):
+        return self._fetch(self._cursor).var_names()
+
+    def _blocks(self, name: str):
+        blocks = []
+        gshape = None
+        dtype = None
+        for rec in self._fetch(self._cursor).vars:
+            if rec["name"] != name:
+                continue
+            data = rec["data"]
+            dtype = data.dtype
+            if rec["gshape"]:
+                gshape = tuple(rec["gshape"])
+            if rec["start"]:
+                box = BoundingBox(tuple(rec["start"]), tuple(data.shape))
+                blocks.append((box, data))
+        if dtype is None:
+            raise VariableNotFound(
+                f"no variable {name!r} at step {self._cursor}"
+            )
+        return blocks, gshape, dtype
+
+    def read(self, name, *, start=None, count=None, selection=None):
+        start, count = resolve_read_args(selection, start, count)
+        blocks, gshape, dtype = self._blocks(name)
+        if gshape is None:
+            raise AdiosError(
+                f"variable {name!r} is not a global array; use read_block()"
+            )
+        target = resolve_selection(start, count, gshape)
+        out = assemble(
+            target,
+            ((b, d) for b, d in blocks if intersect(target, b) is not None),
+            dtype=dtype,
+        )
+        self._client.monitor.record(
+            "stream_read", name, start=0.0, duration=0.0, nbytes=int(out.nbytes)
+        )
+        return out
+
+    def read_block(self, name, writer_rank):
+        for rec in self._fetch(self._cursor).vars:
+            if rec["name"] == name and int(rec["writer_rank"]) == writer_rank:
+                return np.asarray(rec["data"])
+        raise VariableNotFound(
+            f"no block for var {name!r} from writer {writer_rank} "
+            f"at step {self._cursor}"
+        )
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        self._channel.close()
+
+
+# ---------------------------------------------------------------------------
+# The front door
+# ---------------------------------------------------------------------------
+
+def connect(
+    uri: str,
+    *,
+    token: Optional[str] = None,
+    config=None,
+    machine=None,
+    params: str = "",
+    client_name: str = "",
+    timeout: float = 5.0,
+) -> Client:
+    """Connect to a FlexIO service and return a :class:`Client`.
+
+    ``local://`` builds an in-process :class:`LocalClient` (``config``,
+    ``machine`` and ``params`` configure it); ``flexio://host:port/tenant``
+    dials a directory daemon and authenticates with the bearer
+    ``token``, returning a :class:`RemoteClient` session.
+    """
+    parsed = parse_flexio_uri(uri)
+    if parsed.scheme == "local":
+        return LocalClient(config=config, machine=machine, params=params)
+    return RemoteClient(
+        parsed.host, parsed.port, parsed.tenant,
+        token=token, client_name=client_name, timeout=timeout,
+    )

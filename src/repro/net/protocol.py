@@ -1,0 +1,287 @@
+"""The daemon's frame protocol: length-prefixed, versioned, codec-bodied.
+
+Every message between a client and the directory daemon — on either
+the control port or the data port — is one **frame** inside a ``u64``
+length-prefixed socket record (the framing
+:func:`repro.transport.tcp.send_frame` / ``TcpChannel`` already
+provide):
+
+======  ====  =====================================================
+offset  size  field
+======  ====  =====================================================
+0       4     magic ``0xF1EC0107``
+4       1     protocol version (:data:`PROTOCOL_VERSION`)
+5       1     message type (:class:`MsgType`)
+6       2     reserved, must be zero
+8       ...   body: one marshal-codec message (per-type format)
+======  ====  =====================================================
+
+The body reuses :func:`repro.marshal.codec.encode_into` and
+:func:`~repro.marshal.codec.decode_view` over
+:class:`~repro.transport.buffers.WireBuffer` spans, so a frame is
+encoded with exactly one copy (fields packed straight into the span)
+and decoded with zero (BYTES/ARRAY fields come back as views over the
+receive buffer).  Both sides share :data:`PROTOCOL_REGISTRY`, so
+schemas never ride along in steady state.
+
+Multi-part frames: a :data:`MsgType.PUBLISH` body carries a variable
+*count*, and the frame continues with that many back-to-back codec
+``net.var`` messages — the step payload is scatter-gathered by the
+sender (``sendv``) and decoded in place by the receiver via the
+``consumed`` offsets :func:`decode_frame` and
+:func:`decode_var` return.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.marshal.codec import MarshalError, decode_view, encode_into, encoded_size
+from repro.marshal.format import FieldKind, Format, FormatRegistry
+from repro.transport.buffers import Ownership, WireBuffer
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "HEADER",
+    "MsgType",
+    "ProtocolError",
+    "Frame",
+    "PROTOCOL_REGISTRY",
+    "encode_frame",
+    "decode_frame",
+    "encode_var",
+    "decode_var",
+]
+
+#: Frame magic ("FlexIO net, 01").
+MAGIC = 0xF1EC0107
+
+#: Bump on any incompatible header or format change.
+PROTOCOL_VERSION = 1
+
+#: magic u32, version u8, msg type u8, reserved u16.
+HEADER = struct.Struct("<IBBH")
+
+
+class ProtocolError(MarshalError):
+    """Malformed frame, bad magic, version skew, or unknown type."""
+
+
+class MsgType(enum.IntEnum):
+    """Every frame's type tag (control plane and data plane)."""
+
+    # control plane ----------------------------------------------------
+    HELLO = 1          # client → daemon: tenant + bearer token
+    WELCOME = 2        # daemon → client: session id + data port
+    ERROR = 3          # daemon → client: typed failure (kind + message)
+    REGISTER = 4       # writer coordinator publishes a stream name
+    OK = 5             # generic success acknowledgement
+    LOOKUP = 6         # reader coordinator resolves a stream name
+    LOOKUP_REPLY = 7   # daemon → client: writer coordinator info
+    HEARTBEAT = 8      # writer lease refresh
+    OPEN = 9           # open a named stream for write or read
+    OPEN_REPLY = 10    # daemon → client: stream id + data port
+    CLOSE = 11         # writer closes a stream (end of stream)
+    BYE = 12           # client ends the session
+    # data plane -------------------------------------------------------
+    ATTACH = 16        # bind a data connection to (session, stream, role)
+    PUBLISH = 17       # writer → daemon: one step (vars follow in-frame)
+    FETCH = 18         # reader → daemon: request one step
+    STEP_DATA = 19     # daemon → reader: the step (vars follow in-frame)
+    NOT_READY = 20     # daemon → reader: step not yet published
+    EOS = 21           # daemon → reader: stream ended (no more steps)
+
+
+#: The shared format vocabulary — registered once, known to both sides.
+PROTOCOL_REGISTRY = FormatRegistry()
+
+_S, _I, _F, _B, _L = (
+    FieldKind.STRING,
+    FieldKind.INT64,
+    FieldKind.FLOAT64,
+    FieldKind.BOOL,
+    FieldKind.LIST_INT64,
+)
+
+_BODY_FORMATS: dict[MsgType, Format] = {
+    MsgType.HELLO: PROTOCOL_REGISTRY.define(
+        "net.hello", [("tenant", _S), ("token", _S), ("client", _S)]
+    ),
+    MsgType.WELCOME: PROTOCOL_REGISTRY.define(
+        "net.welcome", [("session", _S), ("server", _S), ("data_port", _I)]
+    ),
+    MsgType.ERROR: PROTOCOL_REGISTRY.define(
+        "net.error", [("kind", _S), ("message", _S)]
+    ),
+    MsgType.REGISTER: PROTOCOL_REGISTRY.define(
+        "net.register",
+        [("stream", _S), ("program", _S), ("rank", _I), ("num_ranks", _I),
+         ("lease", _F)],
+    ),
+    MsgType.OK: PROTOCOL_REGISTRY.define("net.ok", [("detail", _S)]),
+    MsgType.LOOKUP: PROTOCOL_REGISTRY.define("net.lookup", [("stream", _S)]),
+    MsgType.LOOKUP_REPLY: PROTOCOL_REGISTRY.define(
+        "net.lookup_reply",
+        [("program", _S), ("rank", _I), ("num_ranks", _I)],
+    ),
+    MsgType.HEARTBEAT: PROTOCOL_REGISTRY.define("net.heartbeat", [("stream", _S)]),
+    MsgType.OPEN: PROTOCOL_REGISTRY.define(
+        "net.open",
+        [("stream", _S), ("mode", _S), ("program", _S), ("rank", _I),
+         ("num_ranks", _I), ("lease", _F)],
+    ),
+    MsgType.OPEN_REPLY: PROTOCOL_REGISTRY.define(
+        "net.open_reply", [("stream_id", _S), ("data_port", _I)]
+    ),
+    MsgType.CLOSE: PROTOCOL_REGISTRY.define("net.close", [("stream_id", _S)]),
+    MsgType.BYE: PROTOCOL_REGISTRY.define("net.bye", [("reason", _S)]),
+    MsgType.ATTACH: PROTOCOL_REGISTRY.define(
+        "net.attach", [("session", _S), ("stream_id", _S), ("role", _S)]
+    ),
+    MsgType.PUBLISH: PROTOCOL_REGISTRY.define(
+        "net.publish", [("step", _I), ("count", _I), ("eos", _B)]
+    ),
+    MsgType.FETCH: PROTOCOL_REGISTRY.define("net.fetch", [("step", _I)]),
+    MsgType.STEP_DATA: PROTOCOL_REGISTRY.define(
+        "net.step_data", [("step", _I), ("count", _I)]
+    ),
+    MsgType.NOT_READY: PROTOCOL_REGISTRY.define("net.not_ready", [("step", _I)]),
+    MsgType.EOS: PROTOCOL_REGISTRY.define("net.eos", [("step", _I)]),
+}
+
+#: One variable of a published step: box metadata + the payload array.
+VAR_FORMAT = PROTOCOL_REGISTRY.define(
+    "net.var",
+    [("name", _S), ("writer_rank", _I), ("start", _L), ("shape", _L),
+     ("gshape", _L), ("data", FieldKind.ARRAY)],
+)
+
+
+def body_format(msg_type: MsgType) -> Format:
+    """The codec format of one message type's body."""
+    try:
+        return _BODY_FORMATS[MsgType(msg_type)]
+    except (ValueError, KeyError):
+        raise ProtocolError(f"unknown message type {msg_type!r}")
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded frame: its type, body record, and bytes consumed."""
+
+    version: int
+    msg_type: MsgType
+    record: dict
+    #: Offset one past the body — where in-frame follow-on messages
+    #: (``net.var`` runs after PUBLISH/STEP_DATA) begin.
+    consumed: int
+
+
+def encode_frame(msg_type: MsgType, record: dict) -> WireBuffer:
+    """Encode one frame into a fresh heap :class:`WireBuffer` span.
+
+    Header and body are packed straight into the span (one copy of the
+    field values, none of the span itself); the result feeds
+    ``Channel.send``/``sendv`` or :func:`repro.transport.tcp.send_frame`
+    without further materialization.
+    """
+    fmt = body_format(msg_type)
+    size = HEADER.size + encoded_size(fmt, record, PROTOCOL_REGISTRY)
+    wb = WireBuffer(np.empty(size, dtype=np.uint8), ownership=Ownership.HEAP)
+    mv = memoryview(wb.as_array())
+    HEADER.pack_into(mv, 0, MAGIC, PROTOCOL_VERSION, int(msg_type), 0)
+    encode_into(fmt, record, mv[HEADER.size:], PROTOCOL_REGISTRY)
+    return wb
+
+
+def _as_flat(data: Union[bytes, bytearray, memoryview, np.ndarray, WireBuffer]) -> np.ndarray:
+    if hasattr(data, "as_array"):
+        return data.as_array()
+    if isinstance(data, np.ndarray):
+        return data.reshape(-1).view(np.uint8)
+    return np.frombuffer(data, dtype=np.uint8)
+
+
+#: What a corrupted body can raise out of the codec.  The daemon reads
+#: frames off the public network, so every malformed-input failure must
+#: surface as the one typed ProtocolError, never a codec internal.
+_DECODE_FAULTS = (
+    MarshalError, struct.error, UnicodeDecodeError, ValueError,
+    IndexError, OverflowError, MemoryError,
+)
+
+
+def _decode_body(arr: np.ndarray, what: str):
+    try:
+        return decode_view(arr, PROTOCOL_REGISTRY)
+    except ProtocolError:
+        raise
+    except _DECODE_FAULTS as exc:
+        raise ProtocolError(f"malformed {what} body: {exc}") from exc
+
+
+def decode_frame(
+    data: Union[bytes, bytearray, memoryview, np.ndarray, WireBuffer],
+    offset: int = 0,
+) -> Frame:
+    """Decode the frame starting at ``offset``; zero-copy for BYTES and
+    ARRAY body fields (views over the receive span)."""
+    arr = _as_flat(data)
+    if arr.nbytes - offset < HEADER.size:
+        raise ProtocolError(
+            f"frame truncated ({arr.nbytes - offset} bytes, need {HEADER.size})"
+        )
+    magic, version, type_code, reserved = HEADER.unpack_from(arr, offset)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic:#x}")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version skew: peer speaks v{version}, "
+            f"this build speaks v{PROTOCOL_VERSION}"
+        )
+    if reserved != 0:
+        raise ProtocolError(f"nonzero reserved field {reserved:#x}")
+    try:
+        msg_type = MsgType(type_code)
+    except ValueError:
+        raise ProtocolError(f"unknown message type {type_code}")
+    fmt, record, consumed = _decode_body(arr[offset + HEADER.size:], msg_type.name)
+    expected = body_format(msg_type)
+    if fmt.format_id != expected.format_id:
+        raise ProtocolError(
+            f"body format {fmt.name!r} does not match message type "
+            f"{msg_type.name} (expected {expected.name!r})"
+        )
+    return Frame(version, msg_type, record, offset + HEADER.size + consumed)
+
+
+def encode_var(record: dict) -> WireBuffer:
+    """Encode one ``net.var`` follow-on message into a heap span."""
+    size = encoded_size(VAR_FORMAT, record, PROTOCOL_REGISTRY)
+    wb = WireBuffer(np.empty(size, dtype=np.uint8), ownership=Ownership.HEAP)
+    encode_into(VAR_FORMAT, record, memoryview(wb.as_array()), PROTOCOL_REGISTRY)
+    return wb
+
+
+def decode_var(
+    data: Union[bytes, bytearray, memoryview, np.ndarray, WireBuffer],
+    offset: int,
+) -> tuple[dict, int]:
+    """Decode one ``net.var`` message at ``offset``; the array payload is
+    a view over ``data``.  Returns (record, next offset)."""
+    arr = _as_flat(data)
+    fmt, record, consumed = _decode_body(arr[offset:], "net.var")
+    if fmt.format_id != VAR_FORMAT.format_id:
+        raise ProtocolError(f"expected net.var, got {fmt.name!r}")
+    return record, offset + consumed
+
+
+def error_frame(kind: str, message: str) -> WireBuffer:
+    """Convenience: an ERROR frame with a taxonomy kind + human text."""
+    return encode_frame(MsgType.ERROR, {"kind": kind, "message": message})

@@ -1,0 +1,659 @@
+"""The directory daemon: FlexIO's control plane as a real socket server.
+
+Two asyncio listeners share one event loop (run in a daemon thread via
+:meth:`DirectoryDaemon.start`, or in the foreground via the
+``python -m repro.net.server`` CLI):
+
+* the **control port** speaks the :mod:`repro.net.protocol` frames for
+  session setup (HELLO → WELCOME with a bearer-token check against the
+  tenant table), directory traffic (REGISTER / LOOKUP / HEARTBEAT),
+  and named-stream OPEN/CLOSE;
+* the **data port** is a store-and-forward step broker: a writer's
+  connection ATTACHes to an open stream and PUBLISHes steps, a
+  reader's connection FETCHes them — so two unrelated OS processes
+  exchange multi-step data without ever sharing memory.
+
+Every hosted stream carries its own
+:class:`~repro.core.monitoring.PerfMonitor` whose series are labeled
+with the owning tenant, and the embedded
+:class:`~repro.obs.live.LiveTelemetryServer` exposes them at
+``/metrics`` next to per-stream health verdicts — admission-control
+rejections (bad token, quota exceeded) are typed
+:class:`~repro.core.directory.AdmissionError` values on the Python
+side and ``ERROR`` frames with the taxonomy kind on the wire.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import signal
+import struct
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.directory import (
+    AdmissionError,
+    CoordinatorInfo,
+    DirectoryError,
+    TenantDirectory,
+    TenantSpec,
+)
+from repro.core.monitoring import PerfMonitor
+from repro.net.protocol import (
+    Frame,
+    MsgType,
+    ProtocolError,
+    decode_frame,
+    encode_frame,
+)
+from repro.obs import recorder as flight
+from repro.obs.events import (
+    EV_NET_CONNECT,
+    EV_NET_DISCONNECT,
+    EV_NET_STEP_FETCH,
+    EV_NET_STEP_PUBLISH,
+    EV_NET_STREAM_OPEN,
+)
+from repro.obs.live import LiveTelemetryServer
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["HostedStream", "DirectoryDaemon", "parse_tenant_arg", "main"]
+
+_PREFIX = struct.Struct("<Q")
+
+#: Server banner sent in WELCOME frames.
+SERVER_VERSION = "flexio-directoryd/1"
+
+#: Bound on retained steps per hosted stream (oldest dropped first).
+DEFAULT_RETAIN_STEPS = 64
+
+
+class HostedStream:
+    """One named stream brokered by the daemon.
+
+    Duck-typed like an in-process stream state (``monitor``, ``closed``,
+    ``error``, ``active_transport``) so the live-telemetry server and
+    :class:`~repro.obs.health.HealthBoard` sample it unchanged; the
+    ``tenant`` attribute labels every metric series.
+    """
+
+    def __init__(self, tenant: str, name: str, retain_steps: int = DEFAULT_RETAIN_STEPS) -> None:
+        self.tenant = tenant
+        self.name = name
+        self.stream_id = f"{tenant}/{name}"
+        self.monitor = PerfMonitor()
+        self.closed = False
+        self.error: Optional[str] = None
+        self.active_transport = "tcp"
+        self.retain_steps = int(retain_steps)
+        #: step -> raw frame tail (the net.var run) + its var count.
+        self._steps: dict[int, tuple[int, bytes]] = {}
+        self.last_step = -1
+        self.eos_step: Optional[int] = None  # first step index past the end
+        self._labels = {"tenant": tenant}
+
+    # ------------------------------------------------------------------
+    def publish(self, step: int, count: int, payload: bytes, eos: bool) -> None:
+        self._steps[step] = (count, payload)
+        self.last_step = max(self.last_step, step)
+        if eos:
+            self.eos_step = step + 1
+        while len(self._steps) > self.retain_steps:
+            del self._steps[min(self._steps)]
+        m = self.monitor.metrics
+        m.counter("net.steps_published", labels=self._labels).inc()
+        m.counter("net.bytes_published", labels=self._labels).inc(len(payload))
+        m.gauge("net.retained_steps", labels=self._labels).set(len(self._steps))
+        flight.record(
+            EV_NET_STEP_PUBLISH, stream=self.stream_id, step=step, nbytes=len(payload)
+        )
+
+    def fetch(self, step: int) -> Optional[tuple[int, bytes]]:
+        got = self._steps.get(step)
+        if got is not None:
+            m = self.monitor.metrics
+            m.counter("net.steps_fetched", labels=self._labels).inc()
+            m.counter("net.bytes_fetched", labels=self._labels).inc(len(got[1]))
+            flight.record(EV_NET_STEP_FETCH, stream=self.stream_id, step=step)
+        return got
+
+    def ended(self, step: int) -> bool:
+        """True when ``step`` is past the writer's end of stream."""
+        if self.error is not None:
+            return True
+        return self.eos_step is not None and step >= self.eos_step
+
+    def fail(self, reason: str) -> None:
+        """Directory eviction callback: lease expired → typed stream end."""
+        self.error = reason
+        self.closed = True
+
+
+@dataclass
+class _Session:
+    session_id: str
+    tenant: str
+    spec: TenantSpec
+    client: str = ""
+    streams: list[str] = field(default_factory=list)
+
+
+class DirectoryDaemon:
+    """The asyncio control+data daemon behind ``flexio://`` URIs.
+
+    ``tenants`` seeds the tenant table; with none given a single open
+    tenant ``"public"`` (no token, no quotas) is created so
+    single-tenant deployments work out of the box.  ``clock`` threads
+    through to every per-tenant :class:`DirectoryServer` so lease reap
+    stays deterministic under test.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        control_port: int = 0,
+        data_port: int = 0,
+        tenants: Optional[list[TenantSpec]] = None,
+        clock: Optional[Callable[[], float]] = None,
+        lease_interval: float = 0.2,
+        retain_steps: int = DEFAULT_RETAIN_STEPS,
+        telemetry: bool = True,
+    ) -> None:
+        self.host = host
+        self.control_port = control_port  # 0 → ephemeral; fixed after start
+        self.data_port = data_port
+        self.metrics = MetricsRegistry()
+        self.directory = TenantDirectory(clock=clock, metrics=self.metrics)
+        for spec in tenants if tenants is not None else [TenantSpec("public")]:
+            self.directory.add_tenant(spec)
+        self.lease_interval = lease_interval
+        self.retain_steps = retain_steps
+        self._streams: dict[str, HostedStream] = {}
+        self._sessions: dict[str, _Session] = {}
+        self._session_counter = itertools.count(1)
+        self.telemetry: Optional[LiveTelemetryServer] = (
+            LiveTelemetryServer(states=self._stream_states) if telemetry else None
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._servers: list[asyncio.AbstractServer] = []
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    # -- telemetry plumbing ------------------------------------------------
+    def _stream_states(self) -> dict[str, object]:
+        states: dict[str, object] = dict(self._streams)
+        states[""] = _DaemonState(self.metrics)  # process-level series
+        return states
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "DirectoryDaemon":
+        """Bind both listeners and serve from a daemon thread."""
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._serve_thread, name="flexio-directoryd", daemon=True
+        )
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self._startup_error is not None:
+            raise RuntimeError(f"daemon failed to start: {self._startup_error!r}")
+        if not self._ready.is_set():
+            raise RuntimeError("daemon did not start within 10s")
+        if self.telemetry is not None:
+            self.telemetry.start()
+        return self
+
+    def _serve_thread(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._bind())
+        # flexlint: ok(FXL001) any bind failure must unblock start(), whatever its type
+        except Exception as exc:
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        reaper = loop.create_task(self._reap_loop())
+        try:
+            loop.run_forever()
+        finally:
+            reaper.cancel()
+            for server in self._servers:
+                server.close()
+                loop.run_until_complete(server.wait_closed())
+            loop.close()
+
+    async def _bind(self) -> None:
+        control = await asyncio.start_server(
+            self._handle_control, self.host, self.control_port
+        )
+        self.control_port = control.sockets[0].getsockname()[1]
+        data = await asyncio.start_server(self._handle_data, self.host, self.data_port)
+        self.data_port = data.sockets[0].getsockname()[1]
+        self._servers = [control, data]
+
+    async def _reap_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.lease_interval)
+            reaped = self.directory.reap_all()
+            for tenant, names in reaped.items():
+                for name in names:
+                    self.metrics.counter(
+                        "net.lease_evictions", labels={"tenant": tenant}
+                    ).inc()
+
+    def stop(self) -> None:
+        if self.telemetry is not None:
+            self.telemetry.stop()
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10.0)
+        self._loop = None
+        self._servers = []
+        self._thread = None
+        self._ready.clear()
+
+    # -- frame I/O ---------------------------------------------------------
+    @staticmethod
+    async def _read_frame(reader: asyncio.StreamReader) -> Optional[np.ndarray]:
+        try:
+            prefix = await reader.readexactly(_PREFIX.size)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        (length,) = _PREFIX.unpack(prefix)
+        try:
+            body = await reader.readexactly(int(length))
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return None
+        return np.frombuffer(body, dtype=np.uint8)
+
+    @staticmethod
+    async def _write_frame(writer: asyncio.StreamWriter, *parts) -> None:
+        total = sum(p.nbytes if hasattr(p, "nbytes") else len(p) for p in parts)
+        writer.write(_PREFIX.pack(total))
+        for part in parts:
+            if hasattr(part, "as_array"):
+                part = part.as_array()
+            if isinstance(part, np.ndarray):
+                part = part.data  # asyncio wants bytes-like; a view, no copy
+            writer.write(part)
+        await writer.drain()
+
+    async def _send_error(self, writer, kind: str, message: str) -> None:
+        await self._write_frame(
+            writer, encode_frame(MsgType.ERROR, {"kind": kind, "message": message})
+        )
+
+    async def _send_admission_error(self, writer, exc: AdmissionError) -> None:
+        kind = exc.kind.value if exc.kind is not None else "admission"
+        await self._send_error(writer, kind, str(exc))
+
+    # -- control plane -----------------------------------------------------
+    async def _handle_control(self, reader, writer) -> None:
+        session: Optional[_Session] = None
+        try:
+            session = await self._control_hello(reader, writer)
+            if session is None:
+                return
+            while True:
+                raw = await self._read_frame(reader)
+                if raw is None:
+                    break
+                try:
+                    frame = decode_frame(raw)
+                except ProtocolError as exc:
+                    await self._send_error(writer, "protocol", str(exc))
+                    break
+                if frame.msg_type is MsgType.BYE:
+                    break
+                await self._dispatch_control(session, frame, writer)
+        except ConnectionError:
+            pass
+        finally:
+            if session is not None:
+                self._sessions.pop(session.session_id, None)
+                flight.record(EV_NET_DISCONNECT, tenant=session.tenant)
+            writer.close()
+
+    async def _control_hello(self, reader, writer) -> Optional[_Session]:
+        raw = await self._read_frame(reader)
+        if raw is None:
+            return None
+        try:
+            frame = decode_frame(raw)
+        except ProtocolError as exc:
+            await self._send_error(writer, "protocol", str(exc))
+            return None
+        if frame.msg_type is not MsgType.HELLO:
+            await self._send_error(writer, "protocol", "expected HELLO")
+            return None
+        tenant = frame.record["tenant"]
+        token = frame.record["token"] or None
+        try:
+            spec = self.directory.authenticate(tenant, token)
+        except AdmissionError as exc:
+            await self._send_admission_error(writer, exc)
+            return None
+        session = _Session(
+            session_id=f"s{next(self._session_counter)}",
+            tenant=tenant,
+            spec=spec,
+            client=frame.record["client"],
+        )
+        self._sessions[session.session_id] = session
+        self.metrics.counter("net.sessions", labels={"tenant": tenant}).inc()
+        flight.record(EV_NET_CONNECT, tenant=tenant, client=session.client)
+        await self._write_frame(writer, encode_frame(MsgType.WELCOME, {
+            "session": session.session_id,
+            "server": SERVER_VERSION,
+            "data_port": self.data_port,
+        }))
+        return session
+
+    async def _dispatch_control(self, session: _Session, frame: Frame, writer) -> None:
+        rec = frame.record
+        tenant = session.tenant
+        try:
+            if frame.msg_type is MsgType.REGISTER:
+                info = CoordinatorInfo(
+                    program=rec["program"],
+                    coordinator_rank=int(rec["rank"]),
+                    num_ranks=int(rec["num_ranks"]),
+                )
+                lease = rec["lease"] if rec["lease"] > 0 else None
+                self.directory.register(tenant, rec["stream"], info, lease=lease)
+                await self._write_frame(
+                    writer, encode_frame(MsgType.OK, {"detail": "registered"})
+                )
+            elif frame.msg_type is MsgType.LOOKUP:
+                info = self.directory.lookup(tenant, rec["stream"])
+                await self._write_frame(writer, encode_frame(MsgType.LOOKUP_REPLY, {
+                    "program": info.program,
+                    "rank": info.coordinator_rank,
+                    "num_ranks": info.num_ranks,
+                }))
+            elif frame.msg_type is MsgType.HEARTBEAT:
+                self.directory.heartbeat(tenant, rec["stream"])
+                await self._write_frame(
+                    writer, encode_frame(MsgType.OK, {"detail": "heartbeat"})
+                )
+            elif frame.msg_type is MsgType.OPEN:
+                await self._control_open(session, rec, writer)
+            elif frame.msg_type is MsgType.CLOSE:
+                stream = self._streams.get(rec["stream_id"])
+                if stream is None:
+                    await self._send_error(writer, "unknown_stream", rec["stream_id"])
+                    return
+                stream.eos_step = stream.last_step + 1
+                stream.closed = True
+                try:
+                    self.directory.unregister(stream.tenant, stream.name)
+                except DirectoryError:
+                    pass  # already reaped or never leased-registered
+                await self._write_frame(
+                    writer, encode_frame(MsgType.OK, {"detail": "closed"})
+                )
+            else:
+                await self._send_error(
+                    writer, "protocol", f"unexpected {frame.msg_type.name} on control port"
+                )
+        except AdmissionError as exc:
+            await self._send_admission_error(writer, exc)
+        except DirectoryError as exc:
+            await self._send_error(writer, "directory", str(exc))
+
+    async def _control_open(self, session: _Session, rec: dict, writer) -> None:
+        tenant = session.tenant
+        name = rec["stream"]
+        mode = rec["mode"]
+        stream_id = f"{tenant}/{name}"
+        if mode == "w":
+            info = CoordinatorInfo(
+                program=rec["program"],
+                coordinator_rank=int(rec["rank"]),
+                num_ranks=int(rec["num_ranks"]),
+            )
+            lease = rec["lease"] if rec["lease"] > 0 else None
+            stream = HostedStream(tenant, name, retain_steps=self.retain_steps)
+            info = CoordinatorInfo(
+                info.program, info.coordinator_rank, info.num_ranks, contact=stream
+            )
+            # Admission (quota + duplicate check) happens before the
+            # stream becomes visible to readers.
+            self.directory.register(tenant, name, info, lease=lease)
+            self._streams[stream_id] = stream
+            session.streams.append(stream_id)
+        elif mode == "r":
+            hosted = self._streams.get(stream_id)
+            if hosted is None:
+                # Raises the typed not-found the client retry loop expects.
+                self.directory.lookup(tenant, name)
+                await self._send_error(writer, "unknown_stream", stream_id)
+                return
+            if not hosted.closed:
+                # Live stream: count the reader in the directory.  A
+                # closed stream stays openable while steps are retained —
+                # late analytics drain the store-and-forward tail to EOS.
+                self.directory.lookup(tenant, name)
+        else:
+            await self._send_error(writer, "protocol", f"bad open mode {mode!r}")
+            return
+        flight.record(EV_NET_STREAM_OPEN, stream=stream_id, mode=mode, tenant=tenant)
+        await self._write_frame(writer, encode_frame(MsgType.OPEN_REPLY, {
+            "stream_id": stream_id,
+            "data_port": self.data_port,
+        }))
+
+    # -- data plane --------------------------------------------------------
+    async def _handle_data(self, reader, writer) -> None:
+        try:
+            raw = await self._read_frame(reader)
+            if raw is None:
+                return
+            try:
+                frame = decode_frame(raw)
+            except ProtocolError as exc:
+                await self._send_error(writer, "protocol", str(exc))
+                return
+            if frame.msg_type is not MsgType.ATTACH:
+                await self._send_error(writer, "protocol", "expected ATTACH")
+                return
+            session = self._sessions.get(frame.record["session"])
+            if session is None:
+                await self._send_error(writer, "auth", "unknown session")
+                return
+            stream = self._streams.get(frame.record["stream_id"])
+            if stream is None or stream.tenant != session.tenant:
+                await self._send_error(
+                    writer, "unknown_stream", frame.record["stream_id"]
+                )
+                return
+            await self._write_frame(
+                writer, encode_frame(MsgType.OK, {"detail": "attached"})
+            )
+            role = frame.record["role"]
+            if role == "w":
+                await self._serve_writer(session, stream, reader, writer)
+            else:
+                await self._serve_reader(stream, reader, writer)
+        except ConnectionError:
+            pass
+        finally:
+            writer.close()
+
+    async def _serve_writer(self, session: _Session, stream: HostedStream,
+                            reader, writer) -> None:
+        while True:
+            raw = await self._read_frame(reader)
+            if raw is None:
+                return
+            try:
+                frame = decode_frame(raw)
+            except ProtocolError as exc:
+                await self._send_error(writer, "protocol", str(exc))
+                return
+            if frame.msg_type is not MsgType.PUBLISH:
+                await self._send_error(writer, "protocol", "writer must PUBLISH")
+                return
+            try:
+                self.directory.charge_bytes(session.tenant, raw.nbytes)
+            except AdmissionError as exc:
+                await self._send_admission_error(writer, exc)
+                continue
+            payload = raw[frame.consumed:].tobytes()  # flexlint: ok(FXL006) brokered steps outlive the receive buffer; this is the store of store-and-forward
+            stream.publish(
+                int(frame.record["step"]), int(frame.record["count"]),
+                payload, bool(frame.record["eos"]),
+            )
+            try:  # publishing is the writer's liveness signal
+                self.directory.heartbeat(session.tenant, stream.name)
+            except DirectoryError:
+                pass  # unleased or already closed registration
+            await self._write_frame(
+                writer, encode_frame(MsgType.OK, {"detail": "published"})
+            )
+
+    async def _serve_reader(self, stream: HostedStream, reader, writer) -> None:
+        while True:
+            raw = await self._read_frame(reader)
+            if raw is None:
+                return
+            try:
+                frame = decode_frame(raw)
+            except ProtocolError as exc:
+                await self._send_error(writer, "protocol", str(exc))
+                return
+            if frame.msg_type is not MsgType.FETCH:
+                await self._send_error(writer, "protocol", "reader must FETCH")
+                return
+            step = int(frame.record["step"])
+            got = stream.fetch(step)
+            if got is not None:
+                count, payload = got
+                await self._write_frame(
+                    writer,
+                    encode_frame(MsgType.STEP_DATA, {"step": step, "count": count}),
+                    np.frombuffer(payload, dtype=np.uint8),
+                )
+            elif stream.ended(step):
+                await self._write_frame(
+                    writer, encode_frame(MsgType.EOS, {"step": step})
+                )
+            else:
+                await self._write_frame(
+                    writer, encode_frame(MsgType.NOT_READY, {"step": step})
+                )
+
+
+class _DaemonState:
+    """Process-level pseudo-stream so daemon-wide series (sessions,
+    admission rejections, lease evictions) render without a stream label."""
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.monitor = _MetricsOnly(metrics)
+        self.closed = False
+        self.error = None
+        self.active_transport = ""
+
+
+class _MetricsOnly:
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+def parse_tenant_arg(arg: str) -> TenantSpec:
+    """Parse ``name[,token=...][,max_streams=N][,bytes_per_s=R][,max_leases=N]``."""
+    name, _, rest = arg.partition(",")
+    if not name:
+        raise ValueError("tenant spec needs a name")
+    token = None
+    max_streams = None
+    max_bytes = None
+    max_leases = None
+    for piece in rest.split(","):
+        piece = piece.strip()
+        if not piece:
+            continue
+        key, sep, value = piece.partition("=")
+        if not sep:
+            raise ValueError(f"bad tenant spec piece {piece!r} (expected key=value)")
+        key = key.strip()
+        if key == "token":
+            token = value
+        elif key == "max_streams":
+            max_streams = int(value)
+        elif key == "bytes_per_s":
+            max_bytes = float(value)
+        elif key == "max_leases":
+            max_leases = int(value)
+        else:
+            raise ValueError(f"unknown tenant spec key {key!r}")
+    return TenantSpec(name, token=token, max_streams=max_streams,
+                      max_bytes_per_s=max_bytes, max_leases=max_leases)
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.net.server", description="FlexIO directory daemon"
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--control-port", type=int, default=0)
+    parser.add_argument("--data-port", type=int, default=0)
+    parser.add_argument(
+        "--tenant", action="append", default=[],
+        help="tenant spec: name[,token=...][,max_streams=N]"
+             "[,bytes_per_s=R][,max_leases=N]; repeatable",
+    )
+    parser.add_argument("--lease-interval", type=float, default=0.2)
+    parser.add_argument("--retain-steps", type=int, default=DEFAULT_RETAIN_STEPS)
+    parser.add_argument("--no-telemetry", action="store_true")
+    args = parser.parse_args(argv)
+
+    tenants = [parse_tenant_arg(a) for a in args.tenant] or None
+    daemon = DirectoryDaemon(
+        host=args.host,
+        control_port=args.control_port,
+        data_port=args.data_port,
+        tenants=tenants,
+        lease_interval=args.lease_interval,
+        retain_steps=args.retain_steps,
+        telemetry=not args.no_telemetry,
+    )
+    daemon.start()
+    telemetry_url = daemon.telemetry.url if daemon.telemetry is not None else "-"
+    # Machine-parseable ready line: subprocess harnesses block on it.
+    print(
+        f"FLEXIO-DAEMON READY control={daemon.host}:{daemon.control_port} "
+        f"data={daemon.host}:{daemon.data_port} telemetry={telemetry_url}",
+        flush=True,
+    )
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            signal.signal(sig, lambda *_: stop.set())
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+    try:
+        stop.wait()
+    finally:
+        daemon.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

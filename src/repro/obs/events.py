@@ -66,6 +66,12 @@ EV_DRAIN_WEDGED = "drain.wedged"
 EV_SANITIZER = "sanitizer.violation"
 EV_HEALTH = "health.verdict"
 EV_FLIGHT_DUMP = "flight.dump"
+EV_NET_CONNECT = "net.connect"
+EV_NET_DISCONNECT = "net.disconnect"
+EV_NET_STREAM_OPEN = "net.stream.open"
+EV_NET_STEP_PUBLISH = "net.step.publish"
+EV_NET_STEP_FETCH = "net.step.fetch"
+EV_ADMISSION_REJECT = "tenant.admission.reject"
 
 _FLIGHT_SPECS = (
     EventSpec(EV_STEP_BEGIN, "a timestep was sealed and handed to the drainer"),
@@ -83,6 +89,12 @@ _FLIGHT_SPECS = (
     EventSpec(EV_SANITIZER, "the concurrency sanitizer recorded a violation"),
     EventSpec(EV_HEALTH, "a stream's health verdict changed"),
     EventSpec(EV_FLIGHT_DUMP, "the recorder wrote a dump artifact"),
+    EventSpec(EV_NET_CONNECT, "a client authenticated to the directory daemon"),
+    EventSpec(EV_NET_DISCONNECT, "a client connection to the daemon ended"),
+    EventSpec(EV_NET_STREAM_OPEN, "a named stream was opened through the daemon"),
+    EventSpec(EV_NET_STEP_PUBLISH, "a writer published one step to the daemon broker"),
+    EventSpec(EV_NET_STEP_FETCH, "a reader fetched one step from the daemon broker"),
+    EventSpec(EV_ADMISSION_REJECT, "admission control rejected a tenant request"),
 )
 
 #: Flight event registry, keyed by code.

@@ -130,11 +130,14 @@ class StreamHealthModel:
         registry: MetricsRegistry,
         policy: Optional[SLOPolicy] = None,
         clock=None,
+        extra_labels: Optional[Mapping[str, object]] = None,
     ) -> None:
         self.name = name
         self.registry = registry
         self.policy = policy or SLOPolicy()
         self.clock = clock or time.monotonic
+        #: Extra labels on every published gauge (tenant, shard, ...).
+        self.extra_labels = dict(extra_labels) if extra_labels else {}
         self.collector = SnapshotCollector(registry, clock=self.clock)
         self.last_report: Optional[HealthReport] = None
         #: Clock time of the last observed commit progress.
@@ -197,7 +200,7 @@ class StreamHealthModel:
         return report
 
     def _publish(self, report: HealthReport) -> None:
-        labels = {"stream": self.name}
+        labels = {"stream": self.name, **self.extra_labels}
         self.registry.gauge(VERDICT_GAUGE, labels).set(report.code)
         self.registry.gauge(STEPS_PER_S_GAUGE, labels).set(report.steps_per_s)
         self.registry.gauge(LOSS_RATE_GAUGE, labels).set(report.loss_rate)
@@ -226,11 +229,17 @@ class HealthBoard:
         self.clock = clock
         self._models: dict[str, StreamHealthModel] = {}
 
-    def model(self, name: str, registry: MetricsRegistry) -> StreamHealthModel:
+    def model(
+        self,
+        name: str,
+        registry: MetricsRegistry,
+        extra_labels: Optional[Mapping[str, object]] = None,
+    ) -> StreamHealthModel:
         model = self._models.get(name)
         if model is None or model.registry is not registry:
             model = StreamHealthModel(
-                name, registry, policy=self.policy, clock=self.clock
+                name, registry, policy=self.policy, clock=self.clock,
+                extra_labels=extra_labels,
             )
             self._models[name] = model
         return model
@@ -239,5 +248,7 @@ class HealthBoard:
         reports: dict[str, HealthReport] = {}
         for name, state in sorted(states.items()):
             registry = state.monitor.metrics
-            reports[name] = self.model(name, registry).evaluate()
+            tenant = getattr(state, "tenant", None)
+            extra = {"tenant": tenant} if tenant else None
+            reports[name] = self.model(name, registry, extra).evaluate()
         return reports

@@ -253,7 +253,7 @@ def run_chaos(
                 got = reader.read_block(var, r)
             else:
                 box = boxes[r]
-                got = reader.read(var, box.start, box.count)
+                got = reader.read(var, start=box.start, count=box.count)
             want = expected[(step, r)]
             if got.shape != want.shape or not np.array_equal(got, want):
                 torn = True

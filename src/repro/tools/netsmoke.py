@@ -1,0 +1,225 @@
+"""net-smoke: the networked data plane as real OS processes, end to end.
+
+The orchestrator spawns three processes and drives the acceptance
+scenario for the network plane:
+
+1. the directory daemon (``python -m repro.net.server``) with a
+   token-protected tenant capped at ``max_streams``;
+2. a **writer** process publishing a GTS-like block-decomposed global
+   array for N steps through :func:`repro.connect`;
+3. a **reader** process consuming the same stream over its own
+   TcpChannel, verifying a full read and a sub-selection per step.
+
+Both workers print one ``STEP k sum=...`` invariant line per step; the
+orchestrator joins them and asserts the chaos-style invariants: no
+loss (same step count), no tearing (checksums match), order preserved
+(step indices monotone).  It then exercises quota admission (the
+stream beyond ``max_streams`` must be rejected with the typed
+``QuotaExceeded``) and finally *induces* a disconnect — killing the
+daemon under an open stream — expecting the typed ``TransportFault``
+and a flight-recorder dump artifact.
+
+CLI::
+
+    python -m repro.tools.netsmoke [--steps N] [--flight-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+from typing import Optional
+
+import numpy as np
+
+TENANT = "acme"
+TOKEN = "smoke-t0ken"
+MAX_STREAMS = 2
+STREAM = "netsmoke.gts"
+SHAPE = (16, 16)
+SUB_START, SUB_COUNT = (4, 3), (8, 9)
+
+_STEP_RE = re.compile(r"^STEP (\d+) sum=(\S+)$", re.MULTILINE)
+_READY_RE = re.compile(
+    r"^FLEXIO-DAEMON READY control=(\S+?):(\d+) data=\S+ telemetry=(\S+)$"
+)
+
+
+def _field(step: int) -> np.ndarray:
+    full = np.arange(float(np.prod(SHAPE))).reshape(SHAPE)
+    return full + 1000.0 * step
+
+
+def run_writer(uri: str, steps: int) -> int:
+    import repro
+    from repro.adios import BoundingBox
+
+    box = BoundingBox((0, 0), SHAPE)
+    with repro.connect(uri, token=TOKEN) as client:
+        w = client.open(STREAM, "w")
+        for step in range(steps):
+            field = _field(step)
+            w.begin_step()
+            w.write("temperature", field, box=box, global_shape=SHAPE)
+            w.end_step()
+            print(f"STEP {step} sum={field.sum():.6f}", flush=True)
+        w.close()
+    print(f"WRITER DONE steps={steps}", flush=True)
+    return 0
+
+
+def run_reader(uri: str, steps: int) -> int:
+    import repro
+    from repro.adios import StepStatus
+
+    with repro.connect(uri, token=TOKEN) as client:
+        r = client.open(STREAM, "r", timeout=10.0)
+        seen = 0
+        while True:
+            status = r.begin_step(timeout=10.0)
+            if status is StepStatus.EndOfStream:
+                break
+            assert status is StepStatus.OK, f"unexpected status {status}"
+            full = r.read("temperature")
+            sub = r.read("temperature", start=SUB_START, count=SUB_COUNT)
+            sl = tuple(slice(s, s + c) for s, c in zip(SUB_START, SUB_COUNT))
+            np.testing.assert_array_equal(sub, full[sl])  # no tearing
+            print(f"STEP {seen} sum={full.sum():.6f}", flush=True)
+            seen += 1
+            r.end_step()
+        r.close()
+    print(f"READER DONE steps={seen}", flush=True)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator
+# ---------------------------------------------------------------------------
+
+def _spawn(args: list[str]) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+
+
+def _steps_of(output: str) -> list[tuple[int, str]]:
+    return [(int(m.group(1)), m.group(2)) for m in _STEP_RE.finditer(output)]
+
+
+def run_orchestrator(steps: int, flight_dir: Optional[str]) -> int:
+    import repro
+    from repro.core.directory import QuotaExceeded
+    from repro.obs import recorder as flight
+    from repro.transport.faults import TransportFault
+
+    daemon = _spawn([
+        "-m", "repro.net.server", "--no-telemetry",
+        "--tenant", f"{TENANT},token={TOKEN},max_streams={MAX_STREAMS}",
+    ])
+    try:
+        ready = daemon.stdout.readline()
+        m = _READY_RE.match(ready.strip())
+        if m is None:
+            print(f"FAIL: bad daemon ready line: {ready!r}")
+            return 1
+        host, port = m.group(1), int(m.group(2))
+        uri = f"flexio://{host}:{port}/{TENANT}"
+        print(f"[netsmoke] daemon up at {uri}")
+
+        writer = _spawn(["-m", "repro.tools.netsmoke", "--role", "writer",
+                         "--uri", uri, "--steps", str(steps)])
+        reader = _spawn(["-m", "repro.tools.netsmoke", "--role", "reader",
+                         "--uri", uri, "--steps", str(steps)])
+        w_out, _ = writer.communicate(timeout=120)
+        r_out, _ = reader.communicate(timeout=120)
+        if writer.returncode != 0 or reader.returncode != 0:
+            print(f"FAIL: writer rc={writer.returncode} reader rc={reader.returncode}")
+            print(w_out)
+            print(r_out)
+            return 1
+
+        # Chaos-style invariants: no loss, no tearing, order preserved.
+        w_steps, r_steps = _steps_of(w_out), _steps_of(r_out)
+        assert len(w_steps) == len(r_steps) == steps, (
+            f"step loss: writer={len(w_steps)} reader={len(r_steps)} want={steps}")
+        assert [i for i, _ in r_steps] == list(range(steps)), "order broken"
+        assert w_steps == r_steps, f"checksum mismatch: {w_steps} != {r_steps}"
+        print(f"[netsmoke] {steps} steps exchanged across 3 OS processes, "
+              f"checksums match")
+
+        # Quota admission: the stream beyond max_streams is rejected typed.
+        with repro.connect(uri, token=TOKEN) as client:
+            held = [client.open(f"quota.{i}", "w") for i in range(MAX_STREAMS)]
+            try:
+                client.open("quota.overflow", "w")
+            except QuotaExceeded as exc:
+                print(f"[netsmoke] quota enforced: {exc}")
+            else:
+                print("FAIL: stream beyond max_streams was admitted")
+                return 1
+            for h in held:
+                h.close()
+
+        # Induced disconnect: daemon dies under an open stream; the
+        # client must fail typed and leave a flight dump behind.
+        if flight_dir:
+            flight.set_flight_dir(flight_dir)
+        client = repro.connect(uri, token=TOKEN)
+        doomed = client.open("doomed", "w")
+        daemon.terminate()
+        daemon.wait(timeout=10)
+        doomed.begin_step()
+        doomed.write("x", np.zeros(8))
+        try:
+            doomed.end_step()
+        except TransportFault as exc:
+            print(f"[netsmoke] induced disconnect surfaced typed: "
+                  f"{type(exc).__name__}: {exc}")
+            flight.dump_on_fault("netsmoke induced disconnect", stream="doomed")
+        else:
+            print("FAIL: end_step after daemon death did not raise")
+            return 1
+        if flight_dir:
+            dumps = [f for f in os.listdir(flight_dir) if f.startswith("flight-")]
+            if not dumps:
+                print(f"FAIL: no flight dump in {flight_dir}")
+                return 1
+            print(f"[netsmoke] flight dump written: {dumps[0]}")
+        print("NET-SMOKE OK")
+        return 0
+    finally:
+        daemon.terminate()
+        try:
+            daemon.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.wait()
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.netsmoke",
+        description="cross-process network-plane smoke test",
+    )
+    parser.add_argument("--role", choices=("orchestrator", "writer", "reader"),
+                        default="orchestrator")
+    parser.add_argument("--uri", default="")
+    parser.add_argument("--steps", type=int, default=4)
+    parser.add_argument("--flight-dir", default=None)
+    args = parser.parse_args(argv)
+    if args.role == "writer":
+        return run_writer(args.uri, args.steps)
+    if args.role == "reader":
+        return run_reader(args.uri, args.steps)
+    return run_orchestrator(args.steps, args.flight_dir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ def write_run(path, num_ranks=8, aggs=2, steps=2):
         for r, w in enumerate(writers):
             w.write("temp", full[boxes[r].slices()] + step, box=boxes[r], global_shape=shape)
         for w in writers:
-            w.advance()
+            w.end_step()
     for w in writers:
         w.close()
     return ad, full
@@ -54,10 +54,10 @@ def test_global_array_read_across_subfiles(tmp_path):
     np.testing.assert_array_equal(reader.read("temp"), full)
     sel = reader.read("temp", start=(3, 2), count=(10, 12))
     np.testing.assert_array_equal(sel, full[3:13, 2:14])
-    reader.advance()
+    reader._advance()
     np.testing.assert_array_equal(reader.read("temp"), full + 1)
     with pytest.raises(EndOfStream):
-        reader.advance()
+        reader._advance()
     reader.close()
 
 

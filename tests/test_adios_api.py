@@ -118,17 +118,17 @@ def test_file_mode_multi_rank_round_trip(tmp_path):
         for r, w in enumerate(writers):
             w.write("temp", full[boxes[r].slices()] + step, box=boxes[r], global_shape=shape)
         for w in writers:
-            w.advance()
+            w.end_step()
     for w in writers:
         w.close()
 
     reader = ad.open_read("fields", path, RankContext(0, 1))
     assert reader.available_vars() == ["temp"]
     np.testing.assert_array_equal(reader.read("temp"), full)
-    reader.advance()
+    reader._advance()
     np.testing.assert_array_equal(reader.read("temp"), full + 1)
     with pytest.raises(EndOfStream):
-        reader.advance()
+        reader._advance()
     reader.close()
 
 
@@ -140,7 +140,7 @@ def test_file_mode_process_group_pattern(tmp_path):
         w.write("zion", np.full((4, 7), float(r)))
         w.write("count", np.array(4 * (r + 1), dtype=np.int64))
     for w in writers:
-        w.advance()
+        w.end_step()
         w.close()
 
     reader = ad.open_read("particles", path, RankContext(0, 1))
@@ -170,6 +170,6 @@ def test_context_manager_handles(tmp_path):
     with ad.open_write("fields", path, RankContext(0, 1)) as w:
         w.write("temp", np.ones((16, 16)), box=BoundingBox((0, 0), (16, 16)),
                 global_shape=(16, 16))
-        w.advance()
+        w.end_step()
     with ad.open_read("fields", path, RankContext(0, 1)) as r:
         assert r.read("temp").sum() == 256

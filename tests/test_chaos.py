@@ -284,7 +284,7 @@ def test_wedged_drainer_stop_times_out_but_does_not_hang():
 
     state._drain_one = stuck_drain
     h.write("x", np.zeros(4))
-    h.advance()                   # async: submits to the drainer and returns
+    h.end_step()                   # async: submits to the drainer and returns
     assert entered.wait(timeout=5.0)
 
     drainer = state._drainer

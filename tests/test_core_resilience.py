@@ -204,7 +204,7 @@ def test_transactional_stream_happy_path():
         seen.append((float(reader.read_block("zion", 0)[0, 0]),
                      float(reader.read_block("zion", 1)[0, 0])))
         try:
-            reader.advance()
+            reader._advance()
         except EndOfStream:
             break
     assert seen == [(0.0, 1.0), (10.0, 11.0), (20.0, 21.0)]

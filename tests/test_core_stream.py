@@ -1,7 +1,5 @@
 """Tests for the FLEXPATH stream method and the directory service."""
 
-import time
-
 import numpy as np
 import pytest
 
@@ -35,6 +33,7 @@ STREAM_CONFIG = """
 def fresh_registry():
     stream_registry.reset()
     yield
+    stream_registry.set_clock(None)  # drop any injected test clock
     stream_registry.reset()
 
 
@@ -87,7 +86,7 @@ def test_stream_process_group_round_trip():
     for r, w in enumerate(writers):
         w.write("zion", np.full((5, 7), float(r)))
     for w in writers:
-        w.advance()
+        w.end_step()
 
     reader = ad.open_read("particles", "gts.stream", RankContext(0, 1))
     assert reader.available_vars() == ["zion"]
@@ -103,7 +102,7 @@ def test_stream_global_array_mxn():
     writers = [ad.open_write("fields", "s3d.stream", RankContext(r, 3)) for r in range(3)]
     for r, w in enumerate(writers):
         w.write("temp", full[boxes[r].slices()].copy(), box=boxes[r], global_shape=shape)
-        w.advance()
+        w.end_step()
 
     reader = ad.open_read("fields", "s3d.stream", RankContext(0, 1))
     np.testing.assert_array_equal(reader.read("temp"), full)
@@ -116,7 +115,7 @@ def test_stream_multiple_steps_and_eos():
     w = ad.open_write("particles", "s", RankContext(0, 1))
     for step in range(3):
         w.write("zion", np.full((2, 7), float(step)))
-        w.advance()
+        w.end_step()
     w.close()
 
     r = ad.open_read("particles", "s", RankContext(0, 1))
@@ -124,7 +123,7 @@ def test_stream_multiple_steps_and_eos():
     while True:
         seen.append(float(r.read_block("zion", 0)[0, 0]))
         try:
-            r.advance()
+            r._advance()
         except EndOfStream:
             break
     assert seen == [0.0, 1.0, 2.0]
@@ -134,14 +133,14 @@ def test_stream_stalls_when_writer_behind():
     ad = make_adios()
     w = ad.open_write("particles", "s", RankContext(0, 1))
     w.write("zion", np.zeros((1, 7)))
-    w.advance()
+    w.end_step()
     r = ad.open_read("particles", "s", RankContext(0, 1))
     r.read_block("zion", 0)
     with pytest.raises(StreamStalled):
-        r.advance()  # step 1 not yet published, writer still open
+        r._advance()  # step 1 not yet published, writer still open
     w.write("zion", np.ones((1, 7)))
-    w.advance()
-    r.advance()
+    w.end_step()
+    r._advance()
     assert (r.read_block("zion", 0) == 1).all()
 
 
@@ -158,16 +157,16 @@ def test_stream_eos_with_partial_final_step():
     ad = make_adios()
     w = ad.open_write("particles", "s", RankContext(0, 1))
     w.write("zion", np.zeros((1, 7)))
-    w.advance()
+    w.end_step()
     w.write("zion", np.ones((1, 7)))
     w.close()  # no advance: partial step flushed by close
 
     r = ad.open_read("particles", "s", RankContext(0, 1))
     assert (r.read_block("zion", 0) == 0).all()
-    r.advance()
+    r._advance()
     assert (r.read_block("zion", 0) == 1).all()
     with pytest.raises(EndOfStream):
-        r.advance()
+        r._advance()
 
 
 def test_stream_two_independent_readers():
@@ -175,12 +174,12 @@ def test_stream_two_independent_readers():
     w = ad.open_write("particles", "s", RankContext(0, 1))
     for step in range(2):
         w.write("zion", np.full((1, 7), float(step)))
-        w.advance()
+        w.end_step()
     w.close()
     r1 = ad.open_read("particles", "s", RankContext(0, 2))
     r2 = ad.open_read("particles", "s", RankContext(1, 2))
     assert (r1.read_block("zion", 0) == 0).all()
-    r1.advance()
+    r1._advance()
     assert (r1.read_block("zion", 0) == 1).all()
     # r2's cursor is independent.
     assert (r2.read_block("zion", 0) == 0).all()
@@ -217,7 +216,7 @@ def run_pipeline(adios_obj, name):
     for r, w in enumerate(writers):
         w.write("temp", full[boxes[r].slices()].copy(), box=boxes[r], global_shape=shape)
     for w in writers:
-        w.advance()
+        w.end_step()
         w.close()
     reader = adios_obj.open_read("fields", name, RankContext(0, 1))
     out = reader.read("temp")
@@ -244,7 +243,7 @@ def test_writer_side_plugin_reduces_buffered_bytes():
     w = ad.open_write("particles", "s", RankContext(0, 1))
     w.plugins.deploy(sampling_plugin(stride=10), PluginSide.WRITER)
     w.write("zion", np.random.default_rng(0).normal(size=(1000, 7)))
-    w.advance()
+    w.end_step()
     r = ad.open_read("particles", "s", RankContext(0, 1))
     out = r.read_block("zion", 0)
     assert out.shape == (100, 7)  # conditioned before buffering
@@ -255,7 +254,7 @@ def test_reader_side_plugin_applies_on_read():
     w = ad.open_write("particles", "s", RankContext(0, 1))
     data = np.random.default_rng(1).normal(size=(500, 7))
     w.write("zion", data)
-    w.advance()
+    w.end_step()
     r = ad.open_read("particles", "s", RankContext(0, 1))
     r.plugins.deploy(range_select_plugin("zion", 2, -0.1, 0.1), PluginSide.READER)
     out = r.read_block("zion", 0)
@@ -269,16 +268,16 @@ def test_plugin_migration_on_live_stream():
     w = ad.open_write("particles", "s", RankContext(0, 1))
     w.plugins.deploy(sampling_plugin(stride=5), PluginSide.READER)
     w.write("zion", np.zeros((100, 7)))
-    w.advance()
+    w.end_step()
     # Step 0 was buffered full-size (plug-in ran reader-side).
     w.plugins.migrate("sample/5", PluginSide.WRITER)
     w.write("zion", np.zeros((100, 7)))
-    w.advance()
+    w.end_step()
     r = ad.open_read("particles", "s", RankContext(0, 1))
     # Step 0 was buffered full-size; the sampler now lives writer-side, so
     # no reader-side conditioning applies on this read.
     assert r.read_block("zion", 0).shape == (100, 7)
-    r.advance()
+    r._advance()
     # Step 1 was conditioned before buffering.
     assert r.read_block("zion", 0).shape == (20, 7)
 
@@ -332,13 +331,19 @@ def test_sync_end_step_raises_and_step_is_typed_gap():
 def test_lease_expiry_ends_stream_with_error_not_stall():
     """A writer that stops heartbeating past its lease is evicted; the
     reader gets OtherError instead of polling a dead stream forever, and
-    the writer's partial step is discarded (never torn-visible)."""
+    the writer's partial step is discarded (never torn-visible).
+
+    The failure detector runs on an injected clock — the registry
+    threads it down to the directory server — so the "crash" is one
+    deterministic tick forward, not a wall-clock sleep."""
+    now = [0.0]
+    stream_registry.set_clock(lambda: now[0])
     ad = Adios.from_xml(FAULTY_CONFIG.format(params="lease=0.05"))
     w = ad.open_write("particles", "s", RankContext(0, 1))
     w.write("zion", np.zeros((4, 7)))
     w.end_step()                         # publish heartbeats the lease
     w.write("zion", np.full((4, 7), 7.0))  # mid-step data, then "crash":
-    time.sleep(0.12)                     # no heartbeat within the lease
+    now[0] += 0.12                       # no heartbeat within the lease
 
     r = ad.open_read("particles", "s", RankContext(0, 1))
     assert r.begin_step() is StepStatus.OK          # committed step survives

@@ -83,7 +83,7 @@ def write_steps(adios, name, num_steps, num_writers=4, vars_=("temp",), scale=1.
                 )
                 h.write(v, data, box=boxes[r], global_shape=SHAPE)
         for h in handles:
-            h.advance()
+            h.end_step()
     for h in handles:
         h.close()
     return boxes
@@ -241,7 +241,7 @@ def read_all_steps(adios, name, selection=None):
     reader = adios.open_read("fields", name, RankContext(0, 1))
     outs = []
     while reader.begin_step() is StepStatus.OK:
-        outs.append(reader.read("temp", selection))
+        outs.append(reader.read("temp", selection=selection))
         reader.end_step()
     return outs
 
@@ -305,7 +305,7 @@ def test_distribution_change_mid_stream_stays_correct():
             h.write("temp", data, box=boxes[r], global_shape=SHAPE)
         per_step.append(blocks)
         for h in handles:
-            h.advance()
+            h.end_step()
     for h in handles:
         h.close()
     reader = adios.open_read("fields", name, RankContext(0, 1))
@@ -354,7 +354,7 @@ def test_begin_step_timeout_polls_until_ready():
         time.sleep(0.05)
         writer.write("temp", np.ones(SHAPE), box=BoundingBox((0, 0), SHAPE),
                      global_shape=SHAPE)
-        writer.advance()
+        writer.end_step()
 
     t = threading.Thread(target=delayed_write)
     t.start()
@@ -385,20 +385,27 @@ def test_begin_step_misuse_raises():
     writer.close()
 
 
-def test_advance_remains_as_alias():
+def test_advance_alias_is_gone():
+    # The pre-redesign public alias was removed: end_step() is the only
+    # step seal, and the positional selection spelling is rejected.
     adios = make_adios()
     name = "dp.alias"
     writer = adios.open_write("fields", name, RankContext(0, 1))
     reader = adios.open_read("fields", name, RankContext(0, 1))
     writer.write("temp", np.ones(SHAPE), box=BoundingBox((0, 0), SHAPE),
                  global_shape=SHAPE)
-    writer.advance()  # deprecated alias still publishes
+    assert not hasattr(writer, "advance")
+    assert not hasattr(reader, "advance")
+    writer.end_step()
     assert reader.read("temp").shape == SHAPE
-    with pytest.raises(StreamStalled):
-        reader.advance()
+    with pytest.raises(TypeError):
+        reader.read("temp", BoxSelection((0, 0), (4, 4)))  # positional: rejected
+    with pytest.raises(AdiosError, match="selection= keyword"):
+        reader.read("temp", start=BoxSelection((0, 0), (4, 4)))
+    with pytest.raises(AdiosError, match="not both"):
+        reader.read("temp", start=(0, 0), count=(4, 4),
+                    selection=BoxSelection((0, 0), (4, 4)))
     writer.close()
-    with pytest.raises(EndOfStream):
-        reader.advance()
 
 
 def test_bp_handles_support_step_api(tmp_path):
@@ -430,10 +437,10 @@ def test_selection_objects_on_stream_reads():
     write_steps(adios, "dp.sel", num_steps=1)
     reader = adios.open_read("fields", "dp.sel", RankContext(0, 1))
     by_tuple = reader.read("temp", start=(4, 4), count=(8, 8))
-    by_box = reader.read("temp", BoxSelection((4, 4), (8, 8)))
-    by_bbox = reader.read("temp", BoundingBox((4, 4), (8, 8)))
+    by_box = reader.read("temp", selection=BoxSelection((4, 4), (8, 8)))
+    by_bbox = reader.read("temp", selection=BoundingBox((4, 4), (8, 8)))
     assert by_tuple.tobytes() == by_box.tobytes() == by_bbox.tobytes()
-    full = reader.read("temp", FullSelection())
+    full = reader.read("temp", selection=FullSelection())
     assert full.shape == SHAPE
     assert full.tobytes() == reader.read("temp").tobytes()
 
@@ -445,13 +452,13 @@ def test_selection_objects_on_bp_reads(tmp_path):
     writer = adios.open_write("fields", path, RankContext(0, 1))
     writer.write("temp", np.arange(256, dtype=np.float64).reshape(SHAPE),
                  box=BoundingBox((0, 0), SHAPE), global_shape=SHAPE)
-    writer.advance()
+    writer.end_step()
     writer.close()
     reader = adios.open_read("fields", path, RankContext(0, 1))
     by_tuple = reader.read("temp", start=(2, 3), count=(5, 6))
-    by_box = reader.read("temp", BoxSelection((2, 3), (5, 6)))
+    by_box = reader.read("temp", selection=BoxSelection((2, 3), (5, 6)))
     assert by_tuple.tobytes() == by_box.tobytes()
-    assert reader.read("temp", FullSelection()).shape == SHAPE
+    assert reader.read("temp", selection=FullSelection()).shape == SHAPE
     reader.close()
 
 
@@ -482,7 +489,7 @@ def test_variable_not_found_on_bp(tmp_path):
     writer = adios.open_write("fields", path, RankContext(0, 1))
     writer.write("temp", np.ones(SHAPE), box=BoundingBox((0, 0), SHAPE),
                  global_shape=SHAPE)
-    writer.advance()
+    writer.end_step()
     writer.close()
     reader = adios.open_read("fields", path, RankContext(0, 1))
     with pytest.raises(VariableNotFound):
@@ -618,7 +625,7 @@ def test_async_backpressure_on_slow_channel():
     for _ in range(4):
         writer.write("temp", np.ones(SHAPE), box=BoundingBox((0, 0), SHAPE),
                      global_shape=SHAPE)
-        writer.advance()
+        writer.end_step()
     writer.close()
     assert state.backpressure_waits > 0
     assert (
@@ -653,7 +660,7 @@ def test_drain_error_marks_step_lost_not_committed():
     state._channel = BrokenChannel()
     writer.write("temp", np.ones(SHAPE), box=BoundingBox((0, 0), SHAPE),
                  global_shape=SHAPE)
-    writer.advance()
+    writer.end_step()
     writer.close()
     reader = adios.open_read("fields", name, RankContext(0, 1))
     # The reader sees a typed gap (OtherError), never the undelivered data.

@@ -324,6 +324,52 @@ def test_fxl007_waiver_and_real_event_table():
 
 
 # ---------------------------------------------------------------------------
+# FXL008 — removed/legacy step-API spellings
+# ---------------------------------------------------------------------------
+
+def test_fxl008_flags_advance_and_positional_selections():
+    code = """
+    def f(writer, reader, sel, out):
+        writer.advance()
+        reader.read("temp", sel)
+        reader.read("temp", (0, 0), (4, 4))
+        reader.read_into("temp", out, sel)
+        reader.read_all(["temp"], sel)
+    """
+    findings = lint(code)
+    assert rules_of(findings) == ["FXL008"]
+    assert len(findings) == 5
+    by_line = {f.line: f.message for f in findings}
+    assert "end_step()" in by_line[3]
+    assert "selection= keyword" in by_line[4]
+
+
+def test_fxl008_accepts_new_spellings_and_plain_reads():
+    code = """
+    def f(writer, reader, fh, sel, out):
+        writer.end_step()
+        reader._advance()
+        reader.read("temp")
+        reader.read("temp", selection=sel)
+        reader.read("temp", start=(0, 0), count=(4, 4))
+        reader.read_into("temp", out, selection=sel)
+        reader.read_all(["temp", "rho"], start=(0, 0), count=(2, 2))
+        fh.read(1024)   # file-like read: one positional arg is fine
+    """
+    assert lint(code) == []
+
+
+def test_fxl008_waiver_with_reason():
+    code = """
+    def f(bp, name, step, start, count):
+        # flexlint: ok(FXL008) step-indexed file API, not the step API
+        return bp.read(name, step, start, count)
+    """
+    findings = lint(code)
+    assert [f for f in findings if not f.waived] == []
+
+
+# ---------------------------------------------------------------------------
 # Waivers
 # ---------------------------------------------------------------------------
 
@@ -426,11 +472,13 @@ def test_cli_list_rules():
     assert cli.main(["--list-rules"], out=out) == 0
     text = out.getvalue()
     for rule_id in (
-        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006", "FXL007"
+        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006",
+        "FXL007", "FXL008",
     ):
         assert rule_id in text
     assert set(RULES) == {
-        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006", "FXL007"
+        "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006",
+        "FXL007", "FXL008",
     }
 
 

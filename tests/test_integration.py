@@ -89,11 +89,11 @@ def test_gts_pipeline_with_adaptive_plugin_placement():
             w.write("zion", out["zion"])
             w.write("electron", out["electron"])
         for w in writers:
-            w.advance()
+            w.end_step()
         state = stream_registry._states["gts.adaptive"]
         step_bytes.append(state.published[step].nbytes)
         if step > 0:
-            reader.advance()  # the step just published is now available
+            reader._advance()  # the step just published is now available
         # Analytics consume the step (runs reader-side codelets if any).
         for wr in range(2):
             record = {
@@ -135,7 +135,7 @@ def test_s3d_offline_pipeline_through_aggregated_files(tmp_path):
     for r, w in enumerate(writers):
         w.write("OH", S3dRank(cfg, r).species_field(0, "OH"), box=boxes[r],
                 global_shape=gshape)
-        w.advance()
+        w.end_step()
         w.close()
 
     # bpls over a subfile.
@@ -179,7 +179,7 @@ def _s3d_roundtrip(method, params, name):
     for r, w in enumerate(writers):
         w.write("OH", S3dRank(cfg, r).species_field(0, "OH"), box=boxes[r],
                 global_shape=gshape)
-        w.advance()
+        w.end_step()
         w.close()
     reader = ad.open_read("species", name, RankContext(0, 1))
     out = reader.read("OH")
@@ -231,7 +231,7 @@ def test_transactional_gts_run_with_faults_yields_clean_analytics():
             assert result.total_particles > 0
         steps_seen += 1
         try:
-            reader.advance()
+            reader._advance()
         except EndOfStream:
             break
     assert steps_seen == 3
@@ -256,7 +256,7 @@ def test_stream_mxn_parallel_render_matches_serial():
     blocks = [S3dRank(cfg, r).species_field(0, "OH") for r in range(8)]
     for r, w in enumerate(writers):
         w.write("OH", blocks[r], box=boxes[r], global_shape=gshape)
-        w.advance()
+        w.end_step()
         w.close()
 
     full = np.zeros(gshape)

@@ -1,0 +1,361 @@
+"""Network plane tests: frame protocol fuzz, the daemon as a real OS
+process, tenancy admission control, and typed transport faults.
+
+Three tiers:
+
+* pure protocol — encode/decode round-trips plus hypothesis fuzz over
+  records and over corrupted byte streams (decode never crashes with
+  anything but :class:`ProtocolError`);
+* in-process daemon — :class:`DirectoryDaemon` started on ephemeral
+  ports inside this process: auth failures, quota rejections and the
+  reader/writer step exchange, all through real sockets;
+* cross-process smoke — ``python -m repro.net.server`` as a separate
+  OS process, clients in this one (the two-process acceptance shape).
+"""
+
+import os
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.adios import BoundingBox, EndOfStream, StepStatus
+from repro.core.directory import (
+    AdmissionError,
+    AuthFailure,
+    QuotaExceeded,
+    TenantSpec,
+    UnknownTenant,
+)
+from repro.net.client import RemoteClient, connect, parse_flexio_uri
+from repro.net.protocol import (
+    HEADER,
+    MAGIC,
+    PROTOCOL_VERSION,
+    MsgType,
+    ProtocolError,
+    decode_frame,
+    decode_var,
+    encode_frame,
+    encode_var,
+)
+from repro.net.server import DirectoryDaemon
+from repro.transport.faults import PeerDisconnected, TransportFault
+from repro.transport.tcp import TcpChannel
+
+REPO = os.path.join(os.path.dirname(__file__), os.pardir)
+SRC = os.path.join(REPO, "src")
+
+
+# ---------------------------------------------------------------------------
+# Protocol round-trips + fuzz
+# ---------------------------------------------------------------------------
+
+ROUND_TRIP_CASES = [
+    (MsgType.HELLO, {"tenant": "acme", "token": "s3cret", "client": "gts"}),
+    (MsgType.WELCOME, {"session": "s-1", "server": "1.0.0", "data_port": 7701}),
+    (MsgType.ERROR, {"kind": "streams", "message": "at max_streams=2"}),
+    (MsgType.OK, {"detail": ""}),
+    (MsgType.OPEN, {"stream": "gts.out", "mode": "w", "program": "writer",
+                    "rank": 0, "num_ranks": 4, "lease": 0.5}),
+    (MsgType.PUBLISH, {"step": 3, "count": 2, "eos": False}),
+    (MsgType.FETCH, {"step": 0}),
+    (MsgType.NOT_READY, {"step": 9}),
+    (MsgType.EOS, {"step": 4}),
+]
+
+
+@pytest.mark.parametrize("msg_type,record", ROUND_TRIP_CASES,
+                         ids=[c[0].name for c in ROUND_TRIP_CASES])
+def test_frame_round_trip(msg_type, record):
+    frame = decode_frame(encode_frame(msg_type, record))
+    assert frame.version == PROTOCOL_VERSION
+    assert frame.msg_type is msg_type
+    assert frame.record == record
+
+
+def test_var_round_trip_preserves_dtype_and_shape():
+    data = np.arange(24, dtype=np.float32).reshape(4, 6)
+    rec = {"name": "temp", "writer_rank": 2, "start": [4, 0],
+           "shape": [4, 6], "gshape": [8, 6], "data": data}
+    wb = encode_var(rec)
+    got, nxt = decode_var(wb, 0)
+    assert nxt == wb.nbytes
+    assert got["name"] == "temp" and got["writer_rank"] == 2
+    assert got["data"].dtype == np.float32 and got["data"].shape == (4, 6)
+    np.testing.assert_array_equal(got["data"], data)
+
+
+def test_multipart_publish_frame_walks_by_consumed_offsets():
+    head = encode_frame(MsgType.PUBLISH, {"step": 0, "count": 2, "eos": True})
+    v1 = encode_var({"name": "a", "writer_rank": 0, "start": [], "shape": [3],
+                     "gshape": [], "data": np.ones(3)})
+    v2 = encode_var({"name": "b", "writer_rank": 1, "start": [0], "shape": [2],
+                     "gshape": [4], "data": np.zeros(2, dtype=np.int64)})
+    blob = np.concatenate([w.as_array() for w in (head, v1, v2)])
+    frame = decode_frame(blob)
+    assert frame.record["count"] == 2 and frame.record["eos"] is True
+    rec1, off = decode_var(blob, frame.consumed)
+    rec2, end = decode_var(blob, off)
+    assert [rec1["name"], rec2["name"]] == ["a", "b"]
+    assert end == blob.nbytes
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    tenant=st.text(max_size=64),
+    token=st.text(max_size=64),
+    client=st.text(max_size=64),
+)
+def test_fuzz_hello_record_round_trip(tenant, token, client):
+    rec = {"tenant": tenant, "token": token, "client": client}
+    assert decode_frame(encode_frame(MsgType.HELLO, rec)).record == rec
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    step=st.integers(min_value=-2**62, max_value=2**62),
+    count=st.integers(min_value=0, max_value=2**31),
+    eos=st.booleans(),
+)
+def test_fuzz_publish_record_round_trip(step, count, eos):
+    rec = {"step": step, "count": count, "eos": eos}
+    assert decode_frame(encode_frame(MsgType.PUBLISH, rec)).record == rec
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    payload=st.binary(max_size=256),
+    flips=st.lists(st.tuples(st.integers(0, 255), st.integers(0, 255)),
+                   max_size=4),
+)
+def test_fuzz_corrupted_frames_fail_typed_never_crash(payload, flips):
+    """Arbitrary bytes — raw, truncated, or a valid frame with flipped
+    bytes — either decode or raise ProtocolError/MarshalError; nothing
+    else escapes."""
+    base = bytearray(encode_frame(
+        MsgType.OPEN,
+        {"stream": "s", "mode": "w", "program": "writer",
+         "rank": 0, "num_ranks": 1, "lease": 0.0},
+    ).as_array().tobytes())
+    base[len(base):] = payload
+    for pos, val in flips:
+        base[pos % len(base)] ^= val
+    try:
+        decode_frame(bytes(base))
+    except ProtocolError:
+        pass  # the typed outcome for malformed input
+    try:
+        decode_frame(payload)
+    except ProtocolError:
+        pass
+
+
+def test_version_skew_and_bad_magic_are_protocol_errors():
+    good = bytearray(encode_frame(MsgType.OK, {"detail": ""}).as_array().tobytes())
+    skew = bytearray(good)
+    skew[4] = PROTOCOL_VERSION + 1
+    with pytest.raises(ProtocolError, match="version skew"):
+        decode_frame(bytes(skew))
+    bad_magic = bytearray(good)
+    bad_magic[0] ^= 0xFF
+    with pytest.raises(ProtocolError, match="magic"):
+        decode_frame(bytes(bad_magic))
+    with pytest.raises(ProtocolError, match="truncated"):
+        decode_frame(good[: HEADER.size - 1])
+    assert MAGIC == 0xF1EC0107  # wire constant: changing it is a protocol bump
+
+
+def test_parse_flexio_uri():
+    u = parse_flexio_uri("flexio://127.0.0.1:7700/acme")
+    assert (u.scheme, u.host, u.port, u.tenant) == ("flexio", "127.0.0.1", 7700, "acme")
+    assert parse_flexio_uri("flexio://h:1").tenant == "public"
+    assert parse_flexio_uri("local://").scheme == "local"
+    with pytest.raises(ValueError):
+        parse_flexio_uri("http://h:1/t")
+    with pytest.raises(ValueError):
+        parse_flexio_uri("flexio://hostonly/t")
+
+
+# ---------------------------------------------------------------------------
+# In-process daemon: admission control + step exchange over real sockets
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def daemon():
+    d = DirectoryDaemon(
+        tenants=[
+            TenantSpec("acme", token="s3cret", max_streams=2),
+            TenantSpec("public"),
+        ],
+        telemetry=False,
+        lease_interval=0.05,
+    )
+    d.start()
+    yield d
+    d.stop()
+
+
+def uri(d, tenant="acme"):
+    return f"flexio://{d.host}:{d.control_port}/{tenant}"
+
+
+def test_auth_failure_is_typed(daemon):
+    with pytest.raises(AuthFailure):
+        connect(uri(daemon), token="wrong")
+    with pytest.raises(AuthFailure):
+        connect(uri(daemon))  # token required but missing
+    with pytest.raises(UnknownTenant):
+        connect(uri(daemon, tenant="nobody"), token="s3cret")
+
+
+def test_quota_rejection_third_stream(daemon):
+    with connect(uri(daemon), token="s3cret") as c:
+        w1 = c.open("a", "w")
+        w2 = c.open("b", "w")
+        with pytest.raises(QuotaExceeded, match="max_streams=2") as exc_info:
+            c.open("c", "w")
+        assert isinstance(exc_info.value, AdmissionError)
+        w1.close()
+        w2.close()
+
+
+def test_step_exchange_and_eos_in_process(daemon):
+    with connect(uri(daemon), token="s3cret") as c:
+        w = c.open("gts.net", "w")
+        r = c.open("gts.net", "r", timeout=2.0)
+        for step in range(3):
+            w.begin_step()
+            w.write("zion", np.full((4, 7), float(step)))
+            w.end_step()
+            assert r.begin_step(timeout=2.0) is StepStatus.OK
+            np.testing.assert_array_equal(
+                r.read_block("zion", 0), np.full((4, 7), float(step))
+            )
+            r.end_step()
+        w.close()
+        assert r.begin_step(timeout=2.0) is StepStatus.EndOfStream
+        r.close()
+
+
+def test_per_tenant_metrics_labels(daemon):
+    with connect(uri(daemon), token="s3cret") as c:
+        w = c.open("labeled", "w")
+        w.close()
+    from repro.obs.live import render_prometheus
+
+    text = render_prometheus({"": daemon.metrics})
+    assert 'tenant="acme"' in text
+
+
+# ---------------------------------------------------------------------------
+# Typed transport faults on the TcpChannel rung
+# ---------------------------------------------------------------------------
+
+def test_tcp_disconnect_is_typed_transport_fault():
+    srv = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    srv.bind(("127.0.0.1", 0))
+    srv.listen(1)
+    host, port = srv.getsockname()
+
+    def accept_and_drop():
+        conn, _ = srv.accept()
+        conn.close()
+
+    t = threading.Thread(target=accept_and_drop, daemon=True)
+    t.start()
+    ch = TcpChannel.connect(host, port, timeout=2.0)
+    with pytest.raises(PeerDisconnected) as exc_info:
+        ch.recv(timeout=2.0)
+    assert isinstance(exc_info.value, TransportFault)
+    ch.close()
+    with pytest.raises(PeerDisconnected):
+        ch.recv(timeout=0.1)  # closed channel: still the typed fault
+    t.join(timeout=2.0)
+    srv.close()
+
+
+# ---------------------------------------------------------------------------
+# Two real OS processes: the daemon via `python -m repro.net.server`
+# ---------------------------------------------------------------------------
+
+@pytest.fixture()
+def daemon_process():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.net.server",
+         "--tenant", "acme,token=s3cret,max_streams=2", "--no-telemetry"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=REPO,
+    )
+    try:
+        line = proc.stdout.readline()
+        assert line.startswith("FLEXIO-DAEMON READY"), line
+        fields = dict(f.split("=", 1) for f in line.split()[2:])
+        host, port = fields["control"].rsplit(":", 1)
+        yield proc, host, int(port)
+    finally:
+        proc.terminate()
+        try:
+            proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait()
+
+
+def test_two_process_smoke(daemon_process):
+    """Writer and reader in this process, the daemon in its own OS
+    process: multi-step exchange, quota enforcement, typed EOS."""
+    proc, host, port = daemon_process
+    full = np.arange(64.0).reshape(8, 8)
+    with connect(f"flexio://{host}:{port}/acme", token="s3cret") as c:
+        assert isinstance(c, RemoteClient)
+        w = c.open("gts.2proc", "w")
+        r = c.open("gts.2proc", "r", timeout=2.0)
+        for step in range(2):
+            w.begin_step()
+            w.write("temp", full + step,
+                    box=BoundingBox((0, 0), (8, 8)), global_shape=(8, 8))
+            w.end_step()
+            assert r.begin_step(timeout=2.0) is StepStatus.OK
+            np.testing.assert_array_equal(r.read("temp"), full + step)
+            sub = r.read("temp", start=(2, 1), count=(3, 4))
+            np.testing.assert_array_equal(sub, (full + step)[2:5, 1:5])
+            r.end_step()
+        # Second stream fits the quota; a third does not.
+        w2 = c.open("aux.2proc", "w")
+        with pytest.raises(QuotaExceeded):
+            c.open("overflow.2proc", "w")
+        w2.close()
+        w.close()
+        assert r.begin_step(timeout=2.0) is StepStatus.EndOfStream
+        r.close()
+    assert proc.poll() is None  # daemon survived the whole session
+
+
+def test_two_process_daemon_death_surfaces_as_typed_fault(daemon_process):
+    proc, host, port = daemon_process
+    c = connect(f"flexio://{host}:{port}/acme", token="s3cret")
+    w = c.open("doomed", "w")
+    proc.terminate()
+    proc.wait(timeout=5)
+    w.begin_step()
+    w.write("x", np.zeros(4))
+    with pytest.raises(TransportFault):
+        w.end_step()
+    with pytest.raises((TransportFault, OSError)):
+        c.open("another", "w")
+
+
+def test_top_level_connect_reexport():
+    assert repro.connect is not None
+    with pytest.raises(ValueError):
+        repro.connect("ftp://nope")

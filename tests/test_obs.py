@@ -114,7 +114,7 @@ def test_stream_pipeline_spans_share_one_trace_per_step():
     for r, w in enumerate(writers):
         w.write("phi", np.ones((4, 8)) * r,
                 box=BoundingBox((r * 4, 0), (4, 8)), global_shape=(8, 8))
-        w.advance()
+        w.end_step()
     for w in writers:
         w.close()
     reader = flexio.open_read("g", "obs.pipe", RankContext(0, 1))

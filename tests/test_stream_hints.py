@@ -39,7 +39,7 @@ def run_stream(params, steps=3, vars_per_step=("temp",), name="hints.test"):
             for var in vars_per_step:
                 w.write(var, full[boxes[r].slices()].copy(), box=boxes[r], global_shape=shape)
         for w in writers:
-            w.advance()
+            w.end_step()
     for w in writers:
         w.close()
 
@@ -49,7 +49,7 @@ def run_stream(params, steps=3, vars_per_step=("temp",), name="hints.test"):
         for var in vars_per_step:
             np.testing.assert_array_equal(reader.read(var), full)
         if s < steps - 1:
-            reader.advance()
+            reader._advance()
     msgs = [
         dict(rec.extra)["messages"]
         for rec in state.monitor.trace
@@ -130,23 +130,23 @@ def test_changed_distribution_invalidates_caches():
     from repro.adios import BoundingBox
 
     w.write("temp", np.zeros((8, 8)), box=BoundingBox((0, 0), (8, 8)), global_shape=shape)
-    w.advance()
+    w.end_step()
     w.write("temp", np.zeros((8, 8)), box=BoundingBox((0, 0), (8, 8)), global_shape=shape)
-    w.advance()
+    w.end_step()
     # Step 3 arrives with a different (split) distribution.
     w2 = ad.open_write("fields", name, RankContext(0, 1))
     del w2  # same writer set; just vary the box below
     w.write("temp", np.zeros((4, 8)), box=BoundingBox((0, 0), (4, 8)), global_shape=shape)
     w.write("temp2_pad", np.zeros(1))  # noqa - fills nothing
-    w.advance()
+    w.end_step()
     w.close()
 
     reader = ad.open_read("fields", name, RankContext(0, 1))
     state = stream_registry._states[name]
     reader.read("temp")
-    reader.advance()
+    reader._advance()
     reader.read("temp")  # cached: free
-    reader.advance()
+    reader._advance()
     reader.read("temp", start=(0, 0), count=(4, 8))  # new distribution
     msgs = [
         dict(rec.extra)["messages"]
