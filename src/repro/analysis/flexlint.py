@@ -143,6 +143,7 @@ class LintConfig:
         "repro/core/stream.py",
         "repro/core/directory.py",
         "repro/coupled/",
+        "repro/net/",
     )
     #: (path pattern, allowed function names or None for "anywhere in
     #: the file") pairs where commit() calls are legitimate.

@@ -89,12 +89,20 @@ class DirectoryServer:
         return sum(1 for e in self._entries.values() if e.lease is not None)
 
     def register(
-        self, name: str, info: CoordinatorInfo, lease: Optional[float] = None
+        self,
+        name: str,
+        info: CoordinatorInfo,
+        lease: Optional[float] = None,
+        remaining: Optional[float] = None,
     ) -> None:
         """The writing program's coordinator publishes a stream name.
 
         With ``lease`` (seconds) the registration must be refreshed via
-        :meth:`heartbeat` or :meth:`reap` will evict it.
+        :meth:`heartbeat` or :meth:`reap` will evict it.  ``remaining``
+        (restore path) sets the *first* deadline that many seconds from
+        now instead of a full lease period, so a registration restored
+        from a daemon checkpoint resumes its old lease clock rather than
+        getting a fresh one.
         """
         if name in self._entries:
             raise DirectoryError(f"stream name {name!r} already registered")
@@ -102,7 +110,9 @@ class DirectoryServer:
             raise ValueError("lease must be positive (or None for no lease)")
         entry = _Entry(writer=info, lease=lease)
         if lease is not None:
-            entry.deadline = self._clock() + lease
+            entry.deadline = self._clock() + (
+                remaining if remaining is not None else lease
+            )
         self._entries[name] = entry
         self.registrations += 1
 
@@ -168,6 +178,17 @@ class DirectoryServer:
 
     def names(self) -> list[str]:
         return sorted(self._entries)
+
+    def entries(self) -> list[tuple[str, CoordinatorInfo, Optional[float], Optional[float]]]:
+        """Checkpoint view: ``(name, writer, lease, remaining_ttl)`` per
+        registration, with ``remaining_ttl`` measured against the
+        directory clock (None for unleased entries)."""
+        now = self._clock()
+        out = []
+        for name, e in sorted(self._entries.items()):
+            remaining = None if e.deadline is None else max(0.0, e.deadline - now)
+            out.append((name, e.writer, e.lease, remaining))
+        return out
 
     def readers_of(self, name: str) -> list[CoordinatorInfo]:
         entry = self._entries.get(name)
@@ -313,6 +334,10 @@ class TenantDirectory:
     def tenants(self) -> list[str]:
         return sorted(self._tenants)
 
+    def specs(self) -> list[TenantSpec]:
+        """Every tenant's spec (checkpoint view), sorted by name."""
+        return [self._tenants[t] for t in self.tenants()]
+
     def spec(self, tenant: str) -> TenantSpec:
         try:
             return self._tenants[tenant]
@@ -360,6 +385,7 @@ class TenantDirectory:
         name: str,
         info: CoordinatorInfo,
         lease: Optional[float] = None,
+        remaining: Optional[float] = None,
     ) -> None:
         """Tenant-scoped :meth:`DirectoryServer.register` behind quotas."""
         spec = self.spec(tenant)
@@ -378,7 +404,7 @@ class TenantDirectory:
                 AdmissionKind.LEASE_QUOTA,
                 f"tenant {tenant!r} at max_leases={spec.max_leases}",
             ))
-        server.register(name, info, lease=lease)
+        server.register(name, info, lease=lease, remaining=remaining)
         if self.metrics is not None:
             self.metrics.gauge(
                 "tenant.streams", labels={"tenant": tenant}

@@ -120,6 +120,47 @@ class RetryStats:
     time_lost: float = 0.0
 
 
+def retry_call(
+    op: Callable[[], Any],
+    policy: RetryPolicy,
+    retriable: tuple[type, ...],
+    on_retry: Optional[Callable[[int, Exception], None]] = None,
+    rng: Optional[Any] = None,
+    sleep: Callable[[float], None] = None,
+) -> Any:
+    """Run ``op`` under ``policy`` with real (wall-clock) backoff.
+
+    The network plane's reconnect loops share this driver: ``op`` is one
+    attempt (an RPC, a publish, a fetch); a ``retriable`` exception
+    triggers ``on_retry(attempt, exc)`` — where callers rebuild sockets
+    and re-HELLO — after the policy's exponential backoff with seeded
+    jitter.  Exhaustion re-raises the *last* retriable exception, so the
+    caller decides the terminal type (e.g. wrap in ``SessionLost``).
+
+    ``sleep`` is injectable for tests (defaults to ``time.sleep``).
+    """
+    import time as _time
+
+    do_sleep = sleep if sleep is not None else _time.sleep
+    last_exc: Optional[Exception] = None
+    for attempt in range(policy.max_retries + 1):
+        delay = policy.delay_before(attempt, rng)
+        if delay > 0.0:
+            do_sleep(delay)
+        if attempt > 0 and on_retry is not None and last_exc is not None:
+            try:
+                on_retry(attempt, last_exc)
+            except retriable as exc:
+                last_exc = exc
+                continue
+        try:
+            return op()
+        except retriable as exc:
+            last_exc = exc
+    assert last_exc is not None
+    raise last_exc
+
+
 class ReliableChannel:
     """Wraps an unreliable send operation with timeout-and-retry.
 

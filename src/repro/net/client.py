@@ -36,10 +36,12 @@ network::
 
 from __future__ import annotations
 
+import itertools
 import socket
+import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 from urllib.parse import urlsplit
 
 import numpy as np
@@ -62,6 +64,7 @@ from repro.adios.selection import (
 )
 from repro.core.directory import admission_exception
 from repro.core.monitoring import PerfMonitor
+from repro.core.resilience import RetryPolicy, retry_call
 from repro.net.protocol import (
     Frame,
     MsgType,
@@ -72,28 +75,72 @@ from repro.net.protocol import (
     encode_var,
 )
 from repro.obs import recorder as flight
-from repro.obs.events import EV_NET_CONNECT, EV_NET_DISCONNECT, EV_NET_STREAM_OPEN
-from repro.transport.faults import PeerDisconnected
+from repro.obs.events import (
+    EV_NET_CONNECT,
+    EV_NET_DISCONNECT,
+    EV_NET_RECONNECT,
+    EV_NET_RESUME,
+    EV_NET_SESSION_LOST,
+    EV_NET_STREAM_OPEN,
+)
+from repro.transport.faults import (
+    PeerDisconnected,
+    SessionLost,
+    TornSend,
+    TransportFault,
+    TransportFaultInjector,
+    TransportTimeout,
+)
 from repro.transport.tcp import TcpChannel, recv_frame, send_frame
+from repro.util import rng
 
 __all__ = [
     "connect",
     "parse_flexio_uri",
     "ParsedUri",
     "NetError",
+    "RetryAfter",
+    "SessionLost",
     "Client",
     "LocalClient",
     "RemoteClient",
 ]
 
 
-class NetError(RuntimeError):
-    """A non-admission ERROR frame from the daemon (kind + message)."""
+class NetError(TransportFault):
+    """A non-admission ERROR frame from the daemon (kind + message).
+
+    Subclasses :class:`~repro.transport.faults.TransportFault` (itself a
+    ``RuntimeError``), so daemon-side failures sit in the same typed
+    family as socket-level faults — one ``except TransportFault`` covers
+    the whole client path, satisfying the FXL001 discipline.
+    """
 
     def __init__(self, kind: str, message: str) -> None:
         super().__init__(f"{kind}: {message}")
-        self.kind = kind
+        self.error_kind = kind
 
+    # Back-compat alias: earlier releases exposed the wire kind as .kind,
+    # which TransportFault now uses for its FaultKind slot.
+    @property
+    def kind(self):  # type: ignore[override]
+        return self.error_kind
+
+
+class RetryAfter(NetError):
+    """The daemon asked us to back off (drain/restart in progress)."""
+
+    def __init__(self, delay: float, reason: str) -> None:
+        super().__init__("retry_after", f"retry in {delay}s: {reason}")
+        self.delay = float(delay)
+        self.reason = reason
+
+
+#: Faults a reconnect-and-retry attempt can cure: socket-level faults
+#: and explicit daemon back-pressure.  Application-level errors (bad
+#: mode, unknown stream, admission rejections, protocol bugs) are NOT
+#: retried — they would fail identically on a fresh connection.
+RECONNECT_FAULTS = (PeerDisconnected, TransportTimeout, TornSend, RetryAfter)
 
 #: Wire error kinds that rebuild as typed AdmissionError subclasses.
 _ADMISSION_KINDS = frozenset(
@@ -102,7 +149,9 @@ _ADMISSION_KINDS = frozenset(
 
 
 def raise_wire_error(frame: Frame) -> None:
-    """Re-raise an ERROR frame as its typed Python exception."""
+    """Re-raise an ERROR or RETRY_AFTER frame as its typed exception."""
+    if frame.msg_type is MsgType.RETRY_AFTER:
+        raise RetryAfter(float(frame.record["delay"]), frame.record["reason"])
     kind = frame.record["kind"]
     message = frame.record["message"]
     if kind in _ADMISSION_KINDS:
@@ -133,6 +182,12 @@ def parse_flexio_uri(uri: str) -> ParsedUri:
 
         uri    := "local://" | "flexio://" host ":" port [ "/" tenant ]
         tenant := path segment (defaults to "public")
+
+    Rejections are always ``ValueError`` (never a raw parsing artifact):
+    userinfo (``user@host``) is refused — authentication travels in the
+    HELLO token, not the URI — and an out-of-range or non-numeric port
+    is reported with the offending URI.  A trailing slash after the
+    tenant is tolerated.
     """
     parts = urlsplit(uri)
     if parts.scheme == "local":
@@ -141,13 +196,21 @@ def parse_flexio_uri(uri: str) -> ParsedUri:
         raise ValueError(
             f"unsupported URI scheme {parts.scheme!r} (expected flexio:// or local://)"
         )
-    if not parts.hostname or parts.port is None:
+    if parts.username is not None or parts.password is not None:
+        raise ValueError(
+            f"flexio:// URIs carry no userinfo (use token=...), got {uri!r}"
+        )
+    try:
+        port = parts.port
+    except ValueError as exc:
+        raise ValueError(f"bad port in flexio:// URI {uri!r}: {exc}") from exc
+    if not parts.hostname or port is None:
         raise ValueError(f"flexio:// URI needs host:port, got {uri!r}")
     tenant = parts.path.strip("/") or "public"
     if "/" in tenant:
         raise ValueError(f"tenant must be one path segment, got {parts.path!r}")
     return ParsedUri(
-        scheme="flexio", host=parts.hostname, port=parts.port, tenant=tenant
+        scheme="flexio", host=parts.hostname, port=port, tenant=tenant
     )
 
 
@@ -226,8 +289,23 @@ class LocalClient(Client):
 # Remote client
 # ---------------------------------------------------------------------------
 
+#: Default reconnect schedule: 4 attempts, short exponential backoff
+#: with seeded jitter (the backoff base is ``timeout``, NOT the socket
+#: timeout — reconnects should hammer fast, then give up fast).
+DEFAULT_RETRY = RetryPolicy(max_retries=3, timeout=0.05, backoff_factor=2.0,
+                            jitter=0.25)
+
+
 class RemoteClient(Client):
-    """One authenticated control-plane session against the daemon."""
+    """One authenticated control-plane session against the daemon.
+
+    The session is *resumable*: the daemon's WELCOME carries a resume
+    token, and every RPC and data exchange runs inside a bounded
+    reconnect loop (``retry`` policy, seeded jitter via ``seed``) that
+    re-dials, re-HELLOs with the token, and replays the frame.  Only
+    when the whole schedule is exhausted does a typed
+    :class:`~repro.transport.faults.SessionLost` escape.
+    """
 
     def __init__(
         self,
@@ -237,43 +315,151 @@ class RemoteClient(Client):
         token: Optional[str] = None,
         client_name: str = "",
         timeout: float = 5.0,
+        retry: Optional[RetryPolicy] = None,
+        seed: int = 0,
+        faults: Optional[TransportFaultInjector] = None,
+        heartbeat_interval: float = 0.0,
+        clock: Optional[Callable[[], float]] = None,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         self.host = host
+        self.port = port
         self.tenant = tenant
+        self._token = token
+        self._client_name = client_name
         self.timeout = timeout
+        self.retry = retry or DEFAULT_RETRY
+        self.faults = faults
         self.monitor = PerfMonitor()
+        self._rng = rng(seed)
+        self._clock = clock or time.monotonic
+        self._sleep = sleep or time.sleep
         self._closed = False
+        self._sock: Optional[socket.socket] = None
+        self._lock = threading.RLock()
+        self._frame_seq = itertools.count(1)
+        self.resume_token = ""
+        self.resumed = False
+        self._retry_exhausted(self._dial, "connect")
+        flight.record(EV_NET_CONNECT, tenant=tenant, client=client_name)
+        # -- background heartbeat (writer leases + reader liveness) --------
+        self._hb_interval = float(heartbeat_interval)
+        self._hb_streams: set[str] = set()
+        self._hb_stop = threading.Event()
+        self._hb_thread: Optional[threading.Thread] = None
+        if self._hb_interval > 0:
+            self._hb_thread = threading.Thread(
+                target=self._hb_loop, name="flexio-heartbeat", daemon=True
+            )
+            self._hb_thread.start()
+
+    # -- connection management ---------------------------------------------
+    def _dial(self) -> None:
+        """(Re)build the control socket and HELLO, resuming if we can."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
         try:
-            self._sock = socket.create_connection((host, port), timeout=timeout)
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except socket.timeout as exc:
+            raise TransportTimeout(
+                f"connect to flexio daemon at {self.host}:{self.port} "
+                f"timed out after {self.timeout}s"
+            ) from exc
         except OSError as exc:
             raise PeerDisconnected(
-                f"cannot reach flexio daemon at {host}:{port}: {exc}"
+                f"cannot reach flexio daemon at {self.host}:{self.port}: {exc}"
             ) from exc
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        welcome = self._rpc(MsgType.HELLO, {
-            "tenant": tenant, "token": token or "", "client": client_name,
+        welcome = self._rpc_once(MsgType.HELLO, {
+            "tenant": self.tenant, "token": self._token or "",
+            "client": self._client_name, "resume": self.resume_token,
         }, MsgType.WELCOME)
         self.session_id = welcome.record["session"]
         self.server_version = welcome.record["server"]
         self.data_port = int(welcome.record["data_port"])
-        flight.record(EV_NET_CONNECT, tenant=tenant, client=client_name)
+        self.resumed = bool(welcome.record["resumed"])
+        self.resume_token = welcome.record["resume"]
+        if self.resumed:
+            self.monitor.metrics.counter("net.resume").inc()
+            flight.record(
+                EV_NET_RESUME, session=self.session_id, tenant=self.tenant
+            )
+
+    def _reconnect(self, attempt: int, exc: Exception) -> None:
+        """One reconnect: honor daemon back-pressure, re-dial, re-HELLO.
+
+        The socket may be desynced (a reply half-read, a frame half
+        sent), so a retried RPC must never reuse it — every retry runs
+        on a fresh connection.
+        """
+        if isinstance(exc, RetryAfter) and exc.delay > 0:
+            self._sleep(exc.delay)
+        self.monitor.metrics.counter("net.reconnects").inc()
+        flight.record(
+            EV_NET_RECONNECT, attempt=attempt, tenant=self.tenant,
+            cause=type(exc).__name__,
+        )
+        self._dial()
+
+    def _retry_exhausted(self, op: Callable[[], Any], what: str,
+                         on_retry: Optional[Callable] = None) -> Any:
+        """Run ``op`` under the reconnect schedule; exhaustion raises the
+        typed :class:`SessionLost` (itself a ``TransportFault``)."""
+        try:
+            return retry_call(
+                op, self.retry, RECONNECT_FAULTS,
+                on_retry=on_retry, rng=self._rng, sleep=self._sleep,
+            )
+        except RECONNECT_FAULTS as exc:
+            self.monitor.metrics.counter("net.sessions_lost").inc()
+            flight.record(
+                EV_NET_SESSION_LOST, tenant=self.tenant, what=what,
+                cause=type(exc).__name__,
+            )
+            raise SessionLost(
+                f"{what} against {self.host}:{self.port} failed after "
+                f"{self.retry.max_retries + 1} attempts: {exc}"
+            ) from exc
 
     # -- control-plane RPC -------------------------------------------------
-    def _rpc(self, msg_type: MsgType, record: dict, expect: MsgType) -> Frame:
-        if self._closed:
-            raise PeerDisconnected("rpc on closed client session")
-        send_frame(self._sock, encode_frame(msg_type, record), timeout=self.timeout)
+    def _rpc_once(self, msg_type: MsgType, record: dict, expect: MsgType) -> Frame:
+        """One attempt on the current socket; raw socket errors are
+        already mapped to typed faults inside send_frame/recv_frame."""
+        if self._sock is None:
+            # A previous reconnect died mid-dial; retriable — the retry
+            # loop's on_retry re-dials before the next attempt.
+            raise PeerDisconnected("control socket is down")
+        send_frame(
+            self._sock,
+            encode_frame(msg_type, record, seq=next(self._frame_seq)),
+            timeout=self.timeout,
+        )
         raw = recv_frame(self._sock, timeout=self.timeout)
         if raw is None:
             raise PeerDisconnected("daemon closed the control connection")
         frame = decode_frame(raw)
-        if frame.msg_type is MsgType.ERROR:
+        if frame.msg_type in (MsgType.ERROR, MsgType.RETRY_AFTER):
             raise_wire_error(frame)
         if frame.msg_type is not expect:
             raise ProtocolError(
                 f"expected {expect.name}, daemon sent {frame.msg_type.name}"
             )
         return frame
+
+    def _rpc(self, msg_type: MsgType, record: dict, expect: MsgType) -> Frame:
+        if self._closed:
+            raise PeerDisconnected("rpc on closed client session")
+        with self._lock:
+            return self._retry_exhausted(
+                lambda: self._rpc_once(msg_type, record, expect),
+                msg_type.name, on_retry=self._reconnect,
+            )
 
     # -- directory surface -------------------------------------------------
     def register(self, stream: str, *, program: str = "writer", rank: int = 0,
@@ -288,6 +474,33 @@ class RemoteClient(Client):
 
     def heartbeat(self, stream: str) -> None:
         self._rpc(MsgType.HEARTBEAT, {"stream": stream}, MsgType.OK)
+
+    # -- background heartbeat ----------------------------------------------
+    def heartbeat_tick(self) -> int:
+        """One heartbeat round over every open stream (writer leases AND
+        reader liveness — the daemon answers ``idle`` for unleased
+        names).  The background thread calls this; tests drive it
+        directly for determinism.  Returns the number of beats sent."""
+        sent = 0
+        for name in sorted(self._hb_streams):
+            if self._closed:
+                break
+            try:
+                self.heartbeat(name)
+                sent += 1
+            except (TransportFault, ProtocolError):
+                # The next RPC on this stream surfaces the real failure;
+                # liveness pings must never kill the session themselves.
+                break
+        if sent:
+            self.monitor.metrics.counter("net.heartbeats").inc(sent)
+        return sent
+
+    def _hb_loop(self) -> None:
+        while not self._hb_stop.wait(self._hb_interval):
+            if self._closed:
+                return
+            self.heartbeat_tick()
 
     # -- streams -----------------------------------------------------------
     def open(
@@ -314,32 +527,34 @@ class RemoteClient(Client):
             "program": "writer" if mode == "w" else "reader",
             "rank": rank, "num_ranks": num_ranks, "lease": float(lease),
         }
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock() + timeout
         while True:
             try:
                 reply = self._rpc(MsgType.OPEN, record, MsgType.OPEN_REPLY)
                 break
             except NetError:
-                if deadline is None or time.monotonic() >= deadline:
+                if deadline is None or self._clock() >= deadline:
                     raise
-                time.sleep(0.02)
+                self._sleep(0.02)
         stream_id = reply.record["stream_id"]
         channel = self._attach(stream_id, mode)
+        self._hb_streams.add(name)
         flight.record(EV_NET_STREAM_OPEN, stream=stream_id, mode=mode,
                       tenant=self.tenant)
         if mode == "w":
-            return NetWriteHandle(self, stream_id, channel, rank=rank)
-        return NetReadHandle(self, stream_id, channel)
+            return NetWriteHandle(self, stream_id, channel, rank=rank, name=name)
+        return NetReadHandle(self, stream_id, channel, name=name)
 
     def _attach(self, stream_id: str, role: str) -> TcpChannel:
         channel = TcpChannel.connect(
-            self.host, self.data_port, monitor=self.monitor, timeout=self.timeout
+            self.host, self.data_port, monitor=self.monitor,
+            injector=self.faults, timeout=self.timeout,
         )
         channel.sendv([encode_frame(MsgType.ATTACH, {
             "session": self.session_id, "stream_id": stream_id, "role": role,
-        })], timeout=self.timeout)
+        }, seq=next(self._frame_seq))], timeout=self.timeout)
         frame = decode_frame(channel.recv(timeout=self.timeout))
-        if frame.msg_type is MsgType.ERROR:
+        if frame.msg_type in (MsgType.ERROR, MsgType.RETRY_AFTER):
             channel.close()
             raise_wire_error(frame)
         if frame.msg_type is not MsgType.OK:
@@ -347,24 +562,43 @@ class RemoteClient(Client):
             raise ProtocolError(f"expected OK after ATTACH, got {frame.msg_type.name}")
         return channel
 
-    def _close_stream(self, stream_id: str) -> None:
+    def _reattach(self, attempt: int, exc: Exception, stream_id: str,
+                  role: str, old: TcpChannel) -> TcpChannel:
+        """Data-path recovery: reconnect the control session (fresh
+        socket + resume HELLO), then re-ATTACH the data channel."""
+        try:
+            old.close()
+        except (TransportFault, OSError):
+            pass
+        self._reconnect(attempt, exc)
+        return self._attach(stream_id, role)
+
+    def _close_stream(self, stream_id: str, name: str) -> None:
+        self._hb_streams.discard(name)
         self._rpc(MsgType.CLOSE, {"stream_id": stream_id}, MsgType.OK)
 
     def close(self) -> None:
         if self._closed:
             return
         self._closed = True
-        try:
-            send_frame(
-                self._sock, encode_frame(MsgType.BYE, {"reason": "client close"}),
-                timeout=self.timeout,
-            )
-        except PeerDisconnected:
-            pass
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._hb_stop.set()
+        if self._hb_thread is not None:
+            self._hb_thread.join(timeout=5.0)
+            self._hb_thread = None
+        if self._sock is not None:
+            try:
+                send_frame(
+                    self._sock,
+                    encode_frame(MsgType.BYE, {"reason": "client close"},
+                                 seq=next(self._frame_seq)),
+                    timeout=self.timeout,
+                )
+            except TransportFault:
+                pass  # daemon already gone: nothing to say goodbye to
+            try:
+                self._sock.close()
+            except OSError:
+                pass
         flight.record(EV_NET_DISCONNECT, tenant=self.tenant)
 
 
@@ -384,12 +618,17 @@ class NetWriteHandle(WriteHandle):
     """
 
     def __init__(self, client: RemoteClient, stream_id: str,
-                 channel: TcpChannel, rank: int = 0) -> None:
+                 channel: TcpChannel, rank: int = 0, name: str = "") -> None:
         self._client = client
         self.stream_id = stream_id
+        self.name = name or stream_id.rsplit("/", 1)[-1]
         self._channel = channel
         self._rank = rank
         self._step = 0
+        #: Monotonic per-stream publish sequence: the daemon suppresses
+        #: any republished seq it has already applied, so a retried
+        #: PUBLISH (lost ack) never duplicates a step.
+        self._publish_seq = 0
         self._pending: list[dict] = []
         self._closed = False
 
@@ -412,21 +651,38 @@ class NetWriteHandle(WriteHandle):
             "data": arr,
         })
 
-    def _advance(self, eos: bool = False):
-        if self._closed:
-            raise AdiosError("end_step after close")
-        parts = [encode_frame(MsgType.PUBLISH, {
-            "step": self._step, "count": len(self._pending), "eos": eos,
-        })]
+    def _publish_once(self, record: dict) -> None:
+        parts = [encode_frame(MsgType.PUBLISH, record,
+                              seq=next(self._client._frame_seq))]
         parts.extend(encode_var(rec) for rec in self._pending)
         self._channel.sendv(parts, timeout=self._client.timeout)
         frame = decode_frame(self._channel.recv(timeout=self._client.timeout))
-        if frame.msg_type is MsgType.ERROR:
+        if frame.msg_type in (MsgType.ERROR, MsgType.RETRY_AFTER):
             raise_wire_error(frame)
         if frame.msg_type is not MsgType.OK:
             raise ProtocolError(
                 f"expected OK after PUBLISH, got {frame.msg_type.name}"
             )
+
+    def _advance(self, eos: bool = False):
+        if self._closed:
+            raise AdiosError("end_step after close")
+        seq = self._publish_seq + 1
+        record = {
+            "step": self._step, "count": len(self._pending), "eos": eos,
+            "seq": seq,
+        }
+
+        def reattach(attempt: int, exc: Exception) -> None:
+            self._channel = self._client._reattach(
+                attempt, exc, self.stream_id, "w", self._channel
+            )
+
+        self._client._retry_exhausted(
+            lambda: self._publish_once(record),
+            f"PUBLISH step {self._step}", on_retry=reattach,
+        )
+        self._publish_seq = seq
         self._pending = []
         self._step += 1
 
@@ -435,7 +691,7 @@ class NetWriteHandle(WriteHandle):
             return
         self._closed = True
         self._channel.close()
-        self._client._close_stream(self.stream_id)
+        self._client._close_stream(self.stream_id, self.name)
 
 
 class _CachedStep:
@@ -471,9 +727,10 @@ class NetReadHandle(ReadHandle):
     """
 
     def __init__(self, client: RemoteClient, stream_id: str,
-                 channel: TcpChannel) -> None:
+                 channel: TcpChannel, name: str = "") -> None:
         self._client = client
         self.stream_id = stream_id
+        self.name = name or stream_id.rsplit("/", 1)[-1]
         self._channel = channel
         self._cursor = 0
         self._cache: dict[int, _CachedStep] = {}
@@ -484,12 +741,10 @@ class NetReadHandle(ReadHandle):
         return self._cursor
 
     # -- step movement -----------------------------------------------------
-    def _fetch(self, step: int) -> _CachedStep:
-        cached = self._cache.get(step)
-        if cached is not None:
-            return cached
+    def _fetch_once(self, step: int) -> _CachedStep:
         self._channel.sendv(
-            [encode_frame(MsgType.FETCH, {"step": step})],
+            [encode_frame(MsgType.FETCH, {"step": step},
+                          seq=next(self._client._frame_seq))],
             timeout=self._client.timeout,
         )
         wb = self._channel.recv(timeout=self._client.timeout)
@@ -506,9 +761,24 @@ class NetReadHandle(ReadHandle):
             raise StepNotReady(f"step {step} of {self.stream_id} not yet published")
         if frame.msg_type is MsgType.EOS:
             raise EndOfStream(self.stream_id)
-        if frame.msg_type is MsgType.ERROR:
+        if frame.msg_type in (MsgType.ERROR, MsgType.RETRY_AFTER):
             raise_wire_error(frame)
         raise ProtocolError(f"unexpected {frame.msg_type.name} after FETCH")
+
+    def _fetch(self, step: int) -> _CachedStep:
+        cached = self._cache.get(step)
+        if cached is not None:
+            return cached
+
+        def reattach(attempt: int, exc: Exception) -> None:
+            self._channel = self._client._reattach(
+                attempt, exc, self.stream_id, "r", self._channel
+            )
+
+        return self._client._retry_exhausted(
+            lambda: self._fetch_once(step),
+            f"FETCH step {step}", on_retry=reattach,
+        )
 
     def _probe_step(self):
         self._fetch(self._cursor)
@@ -572,6 +842,7 @@ class NetReadHandle(ReadHandle):
         if self._closed:
             return
         self._closed = True
+        self._client._hb_streams.discard(self.name)
         self._channel.close()
 
 
@@ -588,6 +859,10 @@ def connect(
     params: str = "",
     client_name: str = "",
     timeout: float = 5.0,
+    retry: Optional[RetryPolicy] = None,
+    seed: int = 0,
+    faults: Optional[TransportFaultInjector] = None,
+    heartbeat_interval: float = 0.0,
 ) -> Client:
     """Connect to a FlexIO service and return a :class:`Client`.
 
@@ -595,6 +870,12 @@ def connect(
     ``machine`` and ``params`` configure it); ``flexio://host:port/tenant``
     dials a directory daemon and authenticates with the bearer
     ``token``, returning a :class:`RemoteClient` session.
+
+    Remote resilience knobs: ``retry`` bounds the reconnect loop every
+    RPC and data exchange runs under (``seed`` feeds its jitter),
+    ``heartbeat_interval`` > 0 starts a background thread that beats
+    every open stream, and ``faults`` installs a seeded injector on the
+    data channels for chaos runs.
     """
     parsed = parse_flexio_uri(uri)
     if parsed.scheme == "local":
@@ -602,4 +883,6 @@ def connect(
     return RemoteClient(
         parsed.host, parsed.port, parsed.tenant,
         token=token, client_name=client_name, timeout=timeout,
+        retry=retry, seed=seed, faults=faults,
+        heartbeat_interval=heartbeat_interval,
     )

@@ -57,16 +57,29 @@ __all__ = [
     "decode_frame",
     "encode_var",
     "decode_var",
+    "CKPT_VERSION",
+    "CKPT_HEAD",
+    "CKPT_TENANT",
+    "CKPT_SESSION",
+    "CKPT_REG",
+    "CKPT_STREAM",
+    "CKPT_STEP",
+    "encode_record",
+    "decode_record",
 ]
 
 #: Frame magic ("FlexIO net, 01").
 MAGIC = 0xF1EC0107
 
-#: Bump on any incompatible header or format change.
-PROTOCOL_VERSION = 1
+#: Bump on any incompatible header or format change.  v2: the header
+#: grew a u64 per-connection sequence number and the HELLO/WELCOME/
+#: PUBLISH bodies grew resume/sequence fields (PR 8, network resilience).
+PROTOCOL_VERSION = 2
 
-#: magic u32, version u8, msg type u8, reserved u16.
-HEADER = struct.Struct("<IBBH")
+#: magic u32, version u8, msg type u8, reserved u16, sequence u64.
+#: The sequence is per-connection and monotone; receivers use it to
+#: spot duplicated or reordered frames after a reconnect.
+HEADER = struct.Struct("<IBBHQ")
 
 
 class ProtocolError(MarshalError):
@@ -96,6 +109,7 @@ class MsgType(enum.IntEnum):
     STEP_DATA = 19     # daemon → reader: the step (vars follow in-frame)
     NOT_READY = 20     # daemon → reader: step not yet published
     EOS = 21           # daemon → reader: stream ended (no more steps)
+    RETRY_AFTER = 22   # daemon → peer: draining/restarting, come back later
 
 
 #: The shared format vocabulary — registered once, known to both sides.
@@ -111,10 +125,13 @@ _S, _I, _F, _B, _L = (
 
 _BODY_FORMATS: dict[MsgType, Format] = {
     MsgType.HELLO: PROTOCOL_REGISTRY.define(
-        "net.hello", [("tenant", _S), ("token", _S), ("client", _S)]
+        "net.hello",
+        [("tenant", _S), ("token", _S), ("client", _S), ("resume", _S)],
     ),
     MsgType.WELCOME: PROTOCOL_REGISTRY.define(
-        "net.welcome", [("session", _S), ("server", _S), ("data_port", _I)]
+        "net.welcome",
+        [("session", _S), ("server", _S), ("data_port", _I),
+         ("resume", _S), ("resumed", _B)],
     ),
     MsgType.ERROR: PROTOCOL_REGISTRY.define(
         "net.error", [("kind", _S), ("message", _S)]
@@ -145,7 +162,7 @@ _BODY_FORMATS: dict[MsgType, Format] = {
         "net.attach", [("session", _S), ("stream_id", _S), ("role", _S)]
     ),
     MsgType.PUBLISH: PROTOCOL_REGISTRY.define(
-        "net.publish", [("step", _I), ("count", _I), ("eos", _B)]
+        "net.publish", [("step", _I), ("count", _I), ("eos", _B), ("seq", _I)]
     ),
     MsgType.FETCH: PROTOCOL_REGISTRY.define("net.fetch", [("step", _I)]),
     MsgType.STEP_DATA: PROTOCOL_REGISTRY.define(
@@ -153,6 +170,9 @@ _BODY_FORMATS: dict[MsgType, Format] = {
     ),
     MsgType.NOT_READY: PROTOCOL_REGISTRY.define("net.not_ready", [("step", _I)]),
     MsgType.EOS: PROTOCOL_REGISTRY.define("net.eos", [("step", _I)]),
+    MsgType.RETRY_AFTER: PROTOCOL_REGISTRY.define(
+        "net.retry_after", [("delay", _F), ("reason", _S)]
+    ),
 }
 
 #: One variable of a published step: box metadata + the payload array.
@@ -181,21 +201,24 @@ class Frame:
     #: Offset one past the body — where in-frame follow-on messages
     #: (``net.var`` runs after PUBLISH/STEP_DATA) begin.
     consumed: int
+    #: Per-connection monotone frame sequence number (v2 header field).
+    seq: int = 0
 
 
-def encode_frame(msg_type: MsgType, record: dict) -> WireBuffer:
+def encode_frame(msg_type: MsgType, record: dict, seq: int = 0) -> WireBuffer:
     """Encode one frame into a fresh heap :class:`WireBuffer` span.
 
     Header and body are packed straight into the span (one copy of the
     field values, none of the span itself); the result feeds
     ``Channel.send``/``sendv`` or :func:`repro.transport.tcp.send_frame`
-    without further materialization.
+    without further materialization.  ``seq`` stamps the header's
+    per-connection sequence number.
     """
     fmt = body_format(msg_type)
     size = HEADER.size + encoded_size(fmt, record, PROTOCOL_REGISTRY)
     wb = WireBuffer(np.empty(size, dtype=np.uint8), ownership=Ownership.HEAP)
     mv = memoryview(wb.as_array())
-    HEADER.pack_into(mv, 0, MAGIC, PROTOCOL_VERSION, int(msg_type), 0)
+    HEADER.pack_into(mv, 0, MAGIC, PROTOCOL_VERSION, int(msg_type), 0, int(seq))
     encode_into(fmt, record, mv[HEADER.size:], PROTOCOL_REGISTRY)
     return wb
 
@@ -237,7 +260,7 @@ def decode_frame(
         raise ProtocolError(
             f"frame truncated ({arr.nbytes - offset} bytes, need {HEADER.size})"
         )
-    magic, version, type_code, reserved = HEADER.unpack_from(arr, offset)
+    magic, version, type_code, reserved, seq = HEADER.unpack_from(arr, offset)
     if magic != MAGIC:
         raise ProtocolError(f"bad frame magic {magic:#x}")
     if version != PROTOCOL_VERSION:
@@ -258,7 +281,7 @@ def decode_frame(
             f"body format {fmt.name!r} does not match message type "
             f"{msg_type.name} (expected {expected.name!r})"
         )
-    return Frame(version, msg_type, record, offset + HEADER.size + consumed)
+    return Frame(version, msg_type, record, offset + HEADER.size + consumed, seq)
 
 
 def encode_var(record: dict) -> WireBuffer:
@@ -285,3 +308,69 @@ def decode_var(
 def error_frame(kind: str, message: str) -> WireBuffer:
     """Convenience: an ERROR frame with a taxonomy kind + human text."""
     return encode_frame(MsgType.ERROR, {"kind": kind, "message": message})
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint records: the daemon's durability format (DESIGN.md section 14)
+# ---------------------------------------------------------------------------
+#
+# A checkpoint file is a plain concatenation of codec messages — no frame
+# headers — walked by the ``consumed`` offsets the codec returns, exactly
+# like a PUBLISH frame's ``net.var`` run.  The first record is always
+# ``net.ckpt.head``; each ``net.ckpt.stream`` is followed by ``count``
+# ``net.ckpt.step`` records whose BYTES payload is the stream's retained
+# step (the raw net.var run), spilled via the codec's ``encode_into``.
+# ``None`` quotas ride as -1 sentinels (the codec has no null type).
+
+#: Bump on any incompatible checkpoint-record change.
+CKPT_VERSION = 1
+
+CKPT_HEAD = PROTOCOL_REGISTRY.define(
+    "net.ckpt.head", [("version", _I), ("wall", _F), ("server", _S)]
+)
+CKPT_TENANT = PROTOCOL_REGISTRY.define(
+    "net.ckpt.tenant",
+    [("name", _S), ("token", _S), ("has_token", _B), ("max_streams", _I),
+     ("bytes_per_s", _F), ("max_leases", _I)],
+)
+CKPT_SESSION = PROTOCOL_REGISTRY.define(
+    "net.ckpt.session",
+    [("session", _S), ("tenant", _S), ("client", _S), ("resume", _S),
+     ("streams", _S)],  # comma-joined stream ids
+)
+CKPT_REG = PROTOCOL_REGISTRY.define(
+    "net.ckpt.reg",
+    [("tenant", _S), ("stream", _S), ("program", _S), ("rank", _I),
+     ("num_ranks", _I), ("lease", _F), ("remaining", _F)],  # 0 lease = none
+)
+CKPT_STREAM = PROTOCOL_REGISTRY.define(
+    "net.ckpt.stream",
+    [("stream_id", _S), ("tenant", _S), ("name", _S), ("last_step", _I),
+     ("eos_step", _I), ("last_seq", _I), ("closed", _B), ("retain", _I),
+     ("count", _I)],  # eos_step -1 = still open; count net.ckpt.step follow
+)
+CKPT_STEP = PROTOCOL_REGISTRY.define(
+    "net.ckpt.step",
+    [("step", _I), ("count", _I), ("payload", FieldKind.BYTES)],
+)
+
+
+def encode_record(fmt: Format, record: dict) -> np.ndarray:
+    """Encode one bare codec message (no frame header) into a fresh
+    uint8 array — the unit a checkpoint file concatenates."""
+    size = encoded_size(fmt, record, PROTOCOL_REGISTRY)
+    out = np.empty(size, dtype=np.uint8)
+    encode_into(fmt, record, memoryview(out), PROTOCOL_REGISTRY)
+    return out
+
+
+def decode_record(
+    data: Union[bytes, bytearray, memoryview, np.ndarray, WireBuffer],
+    offset: int,
+) -> tuple[Format, dict, int]:
+    """Decode the bare codec message at ``offset``; returns
+    ``(format, record, next_offset)``.  BYTES fields come back as uint8
+    views over ``data``."""
+    arr = _as_flat(data)
+    fmt, record, consumed = _decode_body(arr[offset:], "checkpoint record")
+    return fmt, record, offset + consumed

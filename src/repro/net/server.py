@@ -28,9 +28,12 @@ from __future__ import annotations
 import argparse
 import asyncio
 import itertools
+import os
+import secrets
 import signal
 import struct
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -45,32 +48,56 @@ from repro.core.directory import (
 )
 from repro.core.monitoring import PerfMonitor
 from repro.net.protocol import (
+    CKPT_HEAD,
+    CKPT_REG,
+    CKPT_SESSION,
+    CKPT_STEP,
+    CKPT_STREAM,
+    CKPT_TENANT,
+    CKPT_VERSION,
     Frame,
     MsgType,
     ProtocolError,
     decode_frame,
+    decode_record,
     encode_frame,
+    encode_record,
 )
 from repro.obs import recorder as flight
 from repro.obs.events import (
+    EV_FAULT,
+    EV_NET_CHECKPOINT,
     EV_NET_CONNECT,
     EV_NET_DISCONNECT,
+    EV_NET_DRAIN,
+    EV_NET_DUP_PUBLISH,
+    EV_NET_RESTORE,
+    EV_NET_RESUME,
+    EV_NET_RETRY_AFTER,
     EV_NET_STEP_FETCH,
     EV_NET_STEP_PUBLISH,
     EV_NET_STREAM_OPEN,
 )
 from repro.obs.live import LiveTelemetryServer
 from repro.obs.metrics import MetricsRegistry
+from repro.transport.faults import (
+    FaultKind,
+    TransportFaultInjector,
+    parse_fault_spec,
+)
 
 __all__ = ["HostedStream", "DirectoryDaemon", "parse_tenant_arg", "main"]
 
 _PREFIX = struct.Struct("<Q")
 
 #: Server banner sent in WELCOME frames.
-SERVER_VERSION = "flexio-directoryd/1"
+SERVER_VERSION = "flexio-directoryd/2"
 
 #: Bound on retained steps per hosted stream (oldest dropped first).
 DEFAULT_RETAIN_STEPS = 64
+
+#: Back-off the daemon suggests in RETRY_AFTER frames while draining.
+DEFAULT_RETRY_AFTER_S = 0.25
 
 
 class HostedStream:
@@ -94,11 +121,27 @@ class HostedStream:
         #: step -> raw frame tail (the net.var run) + its var count.
         self._steps: dict[int, tuple[int, bytes]] = {}
         self.last_step = -1
+        #: Highest publish sequence number applied; republished frames
+        #: with seq <= last_seq are acknowledged but not re-stored, so a
+        #: writer that resends after a lost OK never duplicates a step.
+        self.last_seq = 0
         self.eos_step: Optional[int] = None  # first step index past the end
         self._labels = {"tenant": tenant}
 
     # ------------------------------------------------------------------
-    def publish(self, step: int, count: int, payload: bytes, eos: bool) -> None:
+    def publish(self, step: int, count: int, payload: bytes, eos: bool,
+                seq: int = 0) -> bool:
+        """Store one step; returns False for a suppressed duplicate."""
+        if seq > 0:
+            if seq <= self.last_seq:
+                self.monitor.metrics.counter(
+                    "net.dup_publishes", labels=self._labels
+                ).inc()
+                flight.record(
+                    EV_NET_DUP_PUBLISH, stream=self.stream_id, step=step, seq=seq
+                )
+                return False
+            self.last_seq = seq
         self._steps[step] = (count, payload)
         self.last_step = max(self.last_step, step)
         if eos:
@@ -112,6 +155,7 @@ class HostedStream:
         flight.record(
             EV_NET_STEP_PUBLISH, stream=self.stream_id, step=step, nbytes=len(payload)
         )
+        return True
 
     def fetch(self, step: int) -> Optional[tuple[int, bytes]]:
         got = self._steps.get(step)
@@ -140,6 +184,9 @@ class _Session:
     tenant: str
     spec: TenantSpec
     client: str = ""
+    #: Server-issued resume token: a reconnecting client presents it in
+    #: HELLO to adopt this session instead of minting a fresh one.
+    resume: str = ""
     streams: list[str] = field(default_factory=list)
 
 
@@ -163,6 +210,10 @@ class DirectoryDaemon:
         lease_interval: float = 0.2,
         retain_steps: int = DEFAULT_RETAIN_STEPS,
         telemetry: bool = True,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_interval: float = 0.0,
+        checkpoint_sync: bool = False,
+        injector: Optional[TransportFaultInjector] = None,
     ) -> None:
         self.host = host
         self.control_port = control_port  # 0 → ephemeral; fixed after start
@@ -173,9 +224,20 @@ class DirectoryDaemon:
             self.directory.add_tenant(spec)
         self.lease_interval = lease_interval
         self.retain_steps = retain_steps
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_interval = float(checkpoint_interval)
+        #: Synchronous durability: checkpoint before acking each PUBLISH,
+        #: so an acked step survives even a hard daemon kill.
+        self.checkpoint_sync = bool(checkpoint_sync)
+        #: Frame-layer fault source for the daemon's *outbound* frames
+        #: (replies, STEP_DATA) — the server half of the chaos taxonomy.
+        self.injector = injector
         self._streams: dict[str, HostedStream] = {}
         self._sessions: dict[str, _Session] = {}
+        self._resume: dict[str, str] = {}  # resume token -> session_id
         self._session_counter = itertools.count(1)
+        self._draining = False
+        self._attached: set[asyncio.StreamWriter] = set()
         self.telemetry: Optional[LiveTelemetryServer] = (
             LiveTelemetryServer(states=self._stream_states) if telemetry else None
         )
@@ -222,11 +284,14 @@ class DirectoryDaemon:
             loop.close()
             return
         self._ready.set()
-        reaper = loop.create_task(self._reap_loop())
+        tasks = [loop.create_task(self._reap_loop())]
+        if self.checkpoint_path and self.checkpoint_interval > 0:
+            tasks.append(loop.create_task(self._checkpoint_loop()))
         try:
             loop.run_forever()
         finally:
-            reaper.cancel()
+            for task in tasks:
+                task.cancel()
             for server in self._servers:
                 server.close()
                 loop.run_until_complete(server.wait_closed())
@@ -250,6 +315,11 @@ class DirectoryDaemon:
                     self.metrics.counter(
                         "net.lease_evictions", labels={"tenant": tenant}
                     ).inc()
+
+    async def _checkpoint_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.checkpoint_interval)
+            self.checkpoint()
 
     def stop(self) -> None:
         if self.telemetry is not None:
@@ -276,9 +346,12 @@ class DirectoryDaemon:
             return None
         return np.frombuffer(body, dtype=np.uint8)
 
-    @staticmethod
-    async def _write_frame(writer: asyncio.StreamWriter, *parts) -> None:
+    async def _write_frame(self, writer: asyncio.StreamWriter, *parts) -> None:
         total = sum(p.nbytes if hasattr(p, "nbytes") else len(p) for p in parts)
+        if self.injector is not None:
+            kind = self.injector.next_fault()
+            if kind is not None and await self._inject_outbound(writer, kind, total, parts):
+                return
         writer.write(_PREFIX.pack(total))
         for part in parts:
             if hasattr(part, "as_array"):
@@ -287,6 +360,36 @@ class DirectoryDaemon:
                 part = part.data  # asyncio wants bytes-like; a view, no copy
             writer.write(part)
         await writer.drain()
+
+    async def _inject_outbound(self, writer, kind: FaultKind, total: int,
+                               parts) -> bool:
+        """Act out one injected fault on an outbound frame.
+
+        Returns True when the frame must NOT be written normally (it was
+        dropped, torn, or the connection was killed); False for kinds
+        that only perturb timing.
+        """
+        self.metrics.counter(f"faults.injected.{kind.value}").inc()
+        self.metrics.counter("faults.injected.total").inc()
+        flight.record(EV_FAULT, kind=kind.value, transport="daemon", nbytes=total)
+        if kind is FaultKind.DROPPED_FRAME:
+            return True  # the reply silently never leaves; peer times out
+        if kind is FaultKind.DELAYED_FRAME:
+            await asyncio.sleep(0.05)
+            return False
+        if kind is FaultKind.TORN_FRAME:
+            blob = b"".join(
+                bytes(p.as_array().data) if hasattr(p, "as_array")
+                else (p.tobytes() if isinstance(p, np.ndarray) else bytes(p))
+                for p in parts
+            )
+            writer.write(_PREFIX.pack(total) + blob[: max(1, total // 2)])
+            writer.close()  # torn mid-frame: peer sees a truncated stream
+            return True
+        # CONN_RESET / HALF_OPEN and any send-side kind: kill the
+        # connection; the peer observes a disconnect and reconnects.
+        writer.close()
+        return True
 
     async def _send_error(self, writer, kind: str, message: str) -> None:
         await self._write_frame(
@@ -297,9 +400,20 @@ class DirectoryDaemon:
         kind = exc.kind.value if exc.kind is not None else "admission"
         await self._send_error(writer, kind, str(exc))
 
+    async def _send_retry_after(self, writer, reason: str,
+                                delay: float = DEFAULT_RETRY_AFTER_S) -> None:
+        flight.record(EV_NET_RETRY_AFTER, reason=reason, delay=delay)
+        await self._write_frame(
+            writer, encode_frame(MsgType.RETRY_AFTER, {"delay": delay, "reason": reason})
+        )
+
     # -- control plane -----------------------------------------------------
     async def _handle_control(self, reader, writer) -> None:
+        # A session is NOT bound to this socket: it dies only on a clean
+        # BYE (or daemon restart without a checkpoint).  A socket that
+        # drops mid-session leaves the session resumable via its token.
         session: Optional[_Session] = None
+        clean_bye = False
         try:
             session = await self._control_hello(reader, writer)
             if session is None:
@@ -314,13 +428,16 @@ class DirectoryDaemon:
                     await self._send_error(writer, "protocol", str(exc))
                     break
                 if frame.msg_type is MsgType.BYE:
+                    clean_bye = True
                     break
                 await self._dispatch_control(session, frame, writer)
         except ConnectionError:
             pass
         finally:
             if session is not None:
-                self._sessions.pop(session.session_id, None)
+                if clean_bye:
+                    self._sessions.pop(session.session_id, None)
+                    self._resume.pop(session.resume, None)
                 flight.record(EV_NET_DISCONNECT, tenant=session.tenant)
             writer.close()
 
@@ -336,6 +453,9 @@ class DirectoryDaemon:
         if frame.msg_type is not MsgType.HELLO:
             await self._send_error(writer, "protocol", "expected HELLO")
             return None
+        if self._draining:
+            await self._send_retry_after(writer, "draining")
+            return None
         tenant = frame.record["tenant"]
         token = frame.record["token"] or None
         try:
@@ -343,25 +463,50 @@ class DirectoryDaemon:
         except AdmissionError as exc:
             await self._send_admission_error(writer, exc)
             return None
-        session = _Session(
-            session_id=f"s{next(self._session_counter)}",
-            tenant=tenant,
-            spec=spec,
-            client=frame.record["client"],
-        )
-        self._sessions[session.session_id] = session
-        self.metrics.counter("net.sessions", labels={"tenant": tenant}).inc()
+        resume_token = frame.record["resume"]
+        resumed = False
+        session = None
+        if resume_token:
+            sid = self._resume.get(resume_token)
+            if sid is not None:
+                candidate = self._sessions.get(sid)
+                if candidate is not None and candidate.tenant == tenant:
+                    session = candidate
+                    resumed = True
+        if session is None:
+            session = _Session(
+                session_id=f"s{next(self._session_counter)}",
+                tenant=tenant,
+                spec=spec,
+                client=frame.record["client"],
+                resume=secrets.token_hex(8),
+            )
+            self._sessions[session.session_id] = session
+            self._resume[session.resume] = session.session_id
+            self.metrics.counter("net.sessions", labels={"tenant": tenant}).inc()
+        else:
+            self.metrics.counter("net.resumes", labels={"tenant": tenant}).inc()
+            flight.record(
+                EV_NET_RESUME, session=session.session_id, tenant=tenant
+            )
         flight.record(EV_NET_CONNECT, tenant=tenant, client=session.client)
         await self._write_frame(writer, encode_frame(MsgType.WELCOME, {
             "session": session.session_id,
             "server": SERVER_VERSION,
             "data_port": self.data_port,
+            "resume": session.resume,
+            "resumed": resumed,
         }))
         return session
 
     async def _dispatch_control(self, session: _Session, frame: Frame, writer) -> None:
         rec = frame.record
         tenant = session.tenant
+        if self._draining and frame.msg_type in (MsgType.OPEN, MsgType.REGISTER):
+            # Drain refuses *new* work but still serves lookups, closes
+            # and heartbeats so in-flight sessions can wind down.
+            await self._send_retry_after(writer, "draining")
+            return
         try:
             if frame.msg_type is MsgType.REGISTER:
                 info = CoordinatorInfo(
@@ -382,9 +527,16 @@ class DirectoryDaemon:
                     "num_ranks": info.num_ranks,
                 }))
             elif frame.msg_type is MsgType.HEARTBEAT:
-                self.directory.heartbeat(tenant, rec["stream"])
+                try:
+                    self.directory.heartbeat(tenant, rec["stream"])
+                    detail = "heartbeat"
+                except DirectoryError:
+                    # Tolerant: reader-side and already-closed streams
+                    # heartbeat too (the client's background thread does
+                    # not know which names hold leases).
+                    detail = "idle"
                 await self._write_frame(
-                    writer, encode_frame(MsgType.OK, {"detail": "heartbeat"})
+                    writer, encode_frame(MsgType.OK, {"detail": detail})
                 )
             elif frame.msg_type is MsgType.OPEN:
                 await self._control_open(session, rec, writer)
@@ -417,21 +569,29 @@ class DirectoryDaemon:
         mode = rec["mode"]
         stream_id = f"{tenant}/{name}"
         if mode == "w":
-            info = CoordinatorInfo(
-                program=rec["program"],
-                coordinator_rank=int(rec["rank"]),
-                num_ranks=int(rec["num_ranks"]),
-            )
-            lease = rec["lease"] if rec["lease"] > 0 else None
-            stream = HostedStream(tenant, name, retain_steps=self.retain_steps)
-            info = CoordinatorInfo(
-                info.program, info.coordinator_rank, info.num_ranks, contact=stream
-            )
-            # Admission (quota + duplicate check) happens before the
-            # stream becomes visible to readers.
-            self.directory.register(tenant, name, info, lease=lease)
-            self._streams[stream_id] = stream
-            session.streams.append(stream_id)
+            existing = self._streams.get(stream_id)
+            if (existing is not None and not existing.closed
+                    and stream_id in session.streams):
+                # Idempotent re-OPEN: this session already owns the live
+                # stream — a retried OPEN (lost reply) or a post-resume
+                # re-attach must not hit the duplicate-registration check.
+                pass
+            else:
+                info = CoordinatorInfo(
+                    program=rec["program"],
+                    coordinator_rank=int(rec["rank"]),
+                    num_ranks=int(rec["num_ranks"]),
+                )
+                lease = rec["lease"] if rec["lease"] > 0 else None
+                stream = HostedStream(tenant, name, retain_steps=self.retain_steps)
+                info = CoordinatorInfo(
+                    info.program, info.coordinator_rank, info.num_ranks, contact=stream
+                )
+                # Admission (quota + duplicate check) happens before the
+                # stream becomes visible to readers.
+                self.directory.register(tenant, name, info, lease=lease)
+                self._streams[stream_id] = stream
+                session.streams.append(stream_id)
         elif mode == "r":
             hosted = self._streams.get(stream_id)
             if hosted is None:
@@ -477,14 +637,21 @@ class DirectoryDaemon:
                     writer, "unknown_stream", frame.record["stream_id"]
                 )
                 return
+            if self._draining:
+                await self._send_retry_after(writer, "draining")
+                return
             await self._write_frame(
                 writer, encode_frame(MsgType.OK, {"detail": "attached"})
             )
-            role = frame.record["role"]
-            if role == "w":
-                await self._serve_writer(session, stream, reader, writer)
-            else:
-                await self._serve_reader(stream, reader, writer)
+            self._attached.add(writer)
+            try:
+                role = frame.record["role"]
+                if role == "w":
+                    await self._serve_writer(session, stream, reader, writer)
+                else:
+                    await self._serve_reader(stream, reader, writer)
+            finally:
+                self._attached.discard(writer)
         except ConnectionError:
             pass
         finally:
@@ -504,22 +671,32 @@ class DirectoryDaemon:
             if frame.msg_type is not MsgType.PUBLISH:
                 await self._send_error(writer, "protocol", "writer must PUBLISH")
                 return
+            if self._draining:
+                await self._send_retry_after(writer, "draining")
+                continue
             try:
                 self.directory.charge_bytes(session.tenant, raw.nbytes)
             except AdmissionError as exc:
                 await self._send_admission_error(writer, exc)
                 continue
             payload = raw[frame.consumed:].tobytes()  # flexlint: ok(FXL006) brokered steps outlive the receive buffer; this is the store of store-and-forward
-            stream.publish(
+            stored = stream.publish(
                 int(frame.record["step"]), int(frame.record["count"]),
                 payload, bool(frame.record["eos"]),
+                seq=int(frame.record["seq"]),
             )
             try:  # publishing is the writer's liveness signal
                 self.directory.heartbeat(session.tenant, stream.name)
             except DirectoryError:
                 pass  # unleased or already closed registration
+            if stored and self.checkpoint_sync and self.checkpoint_path:
+                # Durability before acknowledgement: once the writer sees
+                # OK, the step survives even a hard daemon kill.
+                self.checkpoint()
             await self._write_frame(
-                writer, encode_frame(MsgType.OK, {"detail": "published"})
+                writer, encode_frame(
+                    MsgType.OK, {"detail": "published" if stored else "duplicate"}
+                )
             )
 
     async def _serve_reader(self, stream: HostedStream, reader, writer) -> None:
@@ -548,10 +725,207 @@ class DirectoryDaemon:
                 await self._write_frame(
                     writer, encode_frame(MsgType.EOS, {"step": step})
                 )
+            elif self._draining:
+                # No new publishes will land here; tell the reader to
+                # back off and retry against the restarted daemon.
+                await self._send_retry_after(writer, "draining")
             else:
                 await self._write_frame(
                     writer, encode_frame(MsgType.NOT_READY, {"step": step})
                 )
+
+    # -- graceful drain ----------------------------------------------------
+    def drain(self, delay: float = DEFAULT_RETRY_AFTER_S) -> None:
+        """Enter drain mode: refuse new work, tell attached peers to back
+        off for ``delay`` seconds.  Thread-safe; idempotent."""
+        if self._loop is None or not self._thread:
+            self._draining = True
+            return
+        fut = asyncio.run_coroutine_threadsafe(self._drain_async(delay), self._loop)
+        fut.result(timeout=10.0)
+
+    async def _drain_async(self, delay: float) -> None:
+        if self._draining:
+            return
+        self._draining = True
+        peers = list(self._attached)
+        flight.record(EV_NET_DRAIN, peers=len(peers), delay=delay)
+        self.metrics.counter("net.drains").inc()
+        frame = encode_frame(
+            MsgType.RETRY_AFTER, {"delay": delay, "reason": "draining"}
+        )
+        for writer in peers:
+            try:
+                await self._write_frame(writer, frame)
+            except (ConnectionError, OSError):
+                pass  # peer already gone; nothing to notify
+
+    # -- checkpoint / restore ----------------------------------------------
+    def checkpoint(self, path: Optional[str] = None) -> str:
+        """Write directory + tenant + broker state to ``path`` atomically.
+
+        The file is a concatenation of bare codec messages (the same
+        marshal plane the wire uses): one head, then tenants, sessions,
+        lease registrations, and streams with their retained steps
+        spilled via ``encode_into``.  Safe to call from any thread — the
+        broker's dicts are only mutated by the event loop, and a
+        checkpoint is a read-only walk.
+        """
+        target = path or self.checkpoint_path
+        if not target:
+            raise ValueError("no checkpoint path configured")
+        parts: list[np.ndarray] = [encode_record(CKPT_HEAD, {
+            "version": CKPT_VERSION, "wall": time.time(), "server": SERVER_VERSION,
+        })]
+        for spec in self.directory.specs():
+            parts.append(encode_record(CKPT_TENANT, {
+                "name": spec.name,
+                "token": spec.token or "",
+                "has_token": spec.token is not None,
+                "max_streams": -1 if spec.max_streams is None else spec.max_streams,
+                "bytes_per_s": (
+                    -1.0 if spec.max_bytes_per_s is None else spec.max_bytes_per_s
+                ),
+                "max_leases": -1 if spec.max_leases is None else spec.max_leases,
+            }))
+        for sess in self._sessions.values():
+            parts.append(encode_record(CKPT_SESSION, {
+                "session": sess.session_id, "tenant": sess.tenant,
+                "client": sess.client, "resume": sess.resume,
+                "streams": ",".join(sess.streams),
+            }))
+        for tenant in self.directory.tenants():
+            server = self.directory.server_for(tenant)
+            for name, info, lease, remaining in server.entries():
+                parts.append(encode_record(CKPT_REG, {
+                    "tenant": tenant, "stream": name,
+                    "program": info.program,
+                    "rank": info.coordinator_rank,
+                    "num_ranks": info.num_ranks,
+                    "lease": 0.0 if lease is None else lease,
+                    "remaining": 0.0 if remaining is None else remaining,
+                }))
+        for stream in self._streams.values():
+            steps = sorted(stream._steps.items())
+            parts.append(encode_record(CKPT_STREAM, {
+                "stream_id": stream.stream_id, "tenant": stream.tenant,
+                "name": stream.name, "last_step": stream.last_step,
+                "eos_step": -1 if stream.eos_step is None else stream.eos_step,
+                "last_seq": stream.last_seq, "closed": stream.closed,
+                "retain": stream.retain_steps, "count": len(steps),
+            }))
+            for step, (count, payload) in steps:
+                parts.append(encode_record(CKPT_STEP, {
+                    "step": step, "count": count,
+                    "payload": np.frombuffer(payload, dtype=np.uint8),
+                }))
+        blob = b"".join(p.tobytes() for p in parts)
+        tmp = f"{target}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        self.metrics.counter("net.checkpoints").inc()
+        flight.record(
+            EV_NET_CHECKPOINT, path=target, nbytes=len(blob),
+            streams=len(self._streams), sessions=len(self._sessions),
+        )
+        return target
+
+    def restore(self, path: Optional[str] = None) -> None:
+        """Load a checkpoint written by :meth:`checkpoint`.
+
+        Call before :meth:`start`.  Tenants already configured keep
+        their (possibly newer) specs; checkpointed sessions become
+        resumable again; leased registrations resume with their
+        *remaining* TTL, not a fresh lease period.
+        """
+        source = path or self.checkpoint_path
+        if not source:
+            raise ValueError("no checkpoint path configured")
+        with open(source, "rb") as fh:
+            data = np.frombuffer(fh.read(), dtype=np.uint8)
+        fmt, head, offset = decode_record(data, 0)
+        if fmt.name != CKPT_HEAD.name or int(head["version"]) != CKPT_VERSION:
+            raise ProtocolError(
+                f"bad checkpoint head {fmt.name!r} v{head.get('version')}"
+            )
+        regs: list[dict] = []
+        max_sid = 0
+        while offset < data.nbytes:
+            fmt, rec, offset = decode_record(data, offset)
+            if fmt.name == CKPT_TENANT.name:
+                if rec["name"] in self.directory.tenants():
+                    continue  # live config wins over the checkpointed spec
+                self.directory.add_tenant(TenantSpec(
+                    rec["name"],
+                    token=rec["token"] if rec["has_token"] else None,
+                    max_streams=(
+                        None if rec["max_streams"] < 0 else int(rec["max_streams"])
+                    ),
+                    max_bytes_per_s=(
+                        None if rec["bytes_per_s"] < 0 else float(rec["bytes_per_s"])
+                    ),
+                    max_leases=(
+                        None if rec["max_leases"] < 0 else int(rec["max_leases"])
+                    ),
+                ))
+            elif fmt.name == CKPT_SESSION.name:
+                sess = _Session(
+                    session_id=rec["session"], tenant=rec["tenant"],
+                    spec=self.directory.spec(rec["tenant"]),
+                    client=rec["client"], resume=rec["resume"],
+                    streams=[s for s in rec["streams"].split(",") if s],
+                )
+                self._sessions[sess.session_id] = sess
+                if sess.resume:
+                    self._resume[sess.resume] = sess.session_id
+                sid = sess.session_id
+                if sid.startswith("s") and sid[1:].isdigit():
+                    max_sid = max(max_sid, int(sid[1:]))
+            elif fmt.name == CKPT_REG.name:
+                regs.append(dict(rec))  # applied after streams exist
+            elif fmt.name == CKPT_STREAM.name:
+                stream = HostedStream(
+                    rec["tenant"], rec["name"], retain_steps=int(rec["retain"])
+                )
+                stream.last_step = int(rec["last_step"])
+                stream.last_seq = int(rec["last_seq"])
+                stream.eos_step = (
+                    None if rec["eos_step"] < 0 else int(rec["eos_step"])
+                )
+                stream.closed = bool(rec["closed"])
+                for _ in range(int(rec["count"])):
+                    sfmt, srec, offset = decode_record(data, offset)
+                    if sfmt.name != CKPT_STEP.name:
+                        raise ProtocolError(
+                            f"expected {CKPT_STEP.name}, got {sfmt.name}"
+                        )
+                    stream._steps[int(srec["step"])] = (
+                        int(srec["count"]),
+                        np.asarray(srec["payload"], dtype=np.uint8).tobytes(),
+                    )
+                self._streams[stream.stream_id] = stream
+            else:
+                raise ProtocolError(f"unknown checkpoint record {fmt.name!r}")
+        for rec in regs:
+            contact = self._streams.get(f"{rec['tenant']}/{rec['stream']}")
+            info = CoordinatorInfo(
+                rec["program"], int(rec["rank"]), int(rec["num_ranks"]),
+                contact=contact,
+            )
+            self.directory.register(
+                rec["tenant"], rec["stream"], info,
+                lease=rec["lease"] if rec["lease"] > 0 else None,
+                remaining=rec["remaining"] if rec["lease"] > 0 else None,
+            )
+        self._session_counter = itertools.count(max_sid + 1)
+        self.metrics.counter("net.restores").inc()
+        flight.record(
+            EV_NET_RESTORE, path=source,
+            streams=len(self._streams), sessions=len(self._sessions),
+        )
 
 
 class _DaemonState:
@@ -622,6 +996,30 @@ def main(argv: Optional[list[str]] = None) -> int:
     parser.add_argument("--lease-interval", type=float, default=0.2)
     parser.add_argument("--retain-steps", type=int, default=DEFAULT_RETAIN_STEPS)
     parser.add_argument("--no-telemetry", action="store_true")
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file for durability (written on SIGTERM drain)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=0.0, metavar="S",
+        help="also checkpoint every S seconds (0 = only on drain)",
+    )
+    parser.add_argument(
+        "--checkpoint-sync", action="store_true",
+        help="checkpoint before acking every PUBLISH (hard-kill durability)",
+    )
+    parser.add_argument(
+        "--restore", action="store_true",
+        help="restore state from --checkpoint at startup if the file exists",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=DEFAULT_RETRY_AFTER_S, metavar="S",
+        help="RETRY_AFTER delay broadcast to peers during SIGTERM drain",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults on outbound frames: rate=R,seed=N,kinds=a|b",
+    )
     args = parser.parse_args(argv)
 
     tenants = [parse_tenant_arg(a) for a in args.tenant] or None
@@ -633,7 +1031,13 @@ def main(argv: Optional[list[str]] = None) -> int:
         lease_interval=args.lease_interval,
         retain_steps=args.retain_steps,
         telemetry=not args.no_telemetry,
+        checkpoint_path=args.checkpoint,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_sync=args.checkpoint_sync,
+        injector=parse_fault_spec(args.faults),
     )
+    if args.restore and args.checkpoint and os.path.exists(args.checkpoint):
+        daemon.restore(args.checkpoint)
     daemon.start()
     telemetry_url = daemon.telemetry.url if daemon.telemetry is not None else "-"
     # Machine-parseable ready line: subprocess harnesses block on it.
@@ -643,14 +1047,29 @@ def main(argv: Optional[list[str]] = None) -> int:
         flush=True,
     )
     stop = threading.Event()
-    for sig in (signal.SIGINT, signal.SIGTERM):
-        try:
-            signal.signal(sig, lambda *_: stop.set())
-        except ValueError:  # pragma: no cover - non-main thread
-            pass
+    drain_requested = threading.Event()
+
+    def on_sigterm(*_):
+        drain_requested.set()
+        stop.set()
+
+    try:
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        signal.signal(signal.SIGTERM, on_sigterm)
+    except ValueError:  # pragma: no cover - non-main thread
+        pass
     try:
         stop.wait()
     finally:
+        if drain_requested.is_set():
+            # Graceful SIGTERM: tell peers to back off, persist state,
+            # then go down — a restarted daemon with --restore resumes.
+            try:
+                daemon.drain(args.drain_grace)
+                if args.checkpoint:
+                    daemon.checkpoint()
+            except (OSError, RuntimeError) as exc:  # pragma: no cover
+                print(f"FLEXIO-DAEMON DRAIN-ERROR {exc!r}", flush=True)
         daemon.stop()
     return 0
 

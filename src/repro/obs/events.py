@@ -72,6 +72,14 @@ EV_NET_STREAM_OPEN = "net.stream.open"
 EV_NET_STEP_PUBLISH = "net.step.publish"
 EV_NET_STEP_FETCH = "net.step.fetch"
 EV_ADMISSION_REJECT = "tenant.admission.reject"
+EV_NET_RECONNECT = "net.reconnect"
+EV_NET_RESUME = "net.resume"
+EV_NET_SESSION_LOST = "net.session_lost"
+EV_NET_RETRY_AFTER = "net.retry_after"
+EV_NET_DRAIN = "net.drain"
+EV_NET_CHECKPOINT = "net.checkpoint"
+EV_NET_RESTORE = "net.restore"
+EV_NET_DUP_PUBLISH = "net.dup_publish"
 
 _FLIGHT_SPECS = (
     EventSpec(EV_STEP_BEGIN, "a timestep was sealed and handed to the drainer"),
@@ -95,6 +103,14 @@ _FLIGHT_SPECS = (
     EventSpec(EV_NET_STEP_PUBLISH, "a writer published one step to the daemon broker"),
     EventSpec(EV_NET_STEP_FETCH, "a reader fetched one step from the daemon broker"),
     EventSpec(EV_ADMISSION_REJECT, "admission control rejected a tenant request"),
+    EventSpec(EV_NET_RECONNECT, "a client rebuilt a connection after a network fault"),
+    EventSpec(EV_NET_RESUME, "a session was resumed via its resume token"),
+    EventSpec(EV_NET_SESSION_LOST, "reconnect retries were exhausted; session lost"),
+    EventSpec(EV_NET_RETRY_AFTER, "the daemon asked a peer to back off (draining)"),
+    EventSpec(EV_NET_DRAIN, "the daemon entered graceful drain"),
+    EventSpec(EV_NET_CHECKPOINT, "the daemon wrote a durability checkpoint"),
+    EventSpec(EV_NET_RESTORE, "the daemon restored state from a checkpoint"),
+    EventSpec(EV_NET_DUP_PUBLISH, "the broker suppressed a duplicate republish"),
 )
 
 #: Flight event registry, keyed by code.

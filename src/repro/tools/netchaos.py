@@ -1,0 +1,410 @@
+"""netchaos: seeded fault-injection chaos for the *networked* plane.
+
+Where :mod:`repro.tools.chaos` tortures the in-process data plane and
+:mod:`repro.tools.netsmoke` proves the happy path across OS processes,
+netchaos combines them: a daemon, a writer and a reader in three OS
+processes, with a seeded frame-layer fault schedule on the clients'
+channels (torn / dropped / delayed frames, connection resets, half-open
+sockets) and — depending on the seed — a daemon restart in the middle
+(SIGTERM drain + checkpoint, or SIGKILL with synchronous checkpoints),
+restored via ``--restore`` on the same pre-picked ports.
+
+Invariants asserted per run (any violation fails the run):
+
+1. **byte-identical-or-typed-loss** — every step the reader observes
+   matches the writer's checksum exactly; a worker may only abandon the
+   exchange with a typed FlexIO fault (:class:`SessionLost` after retry
+   exhaustion, or another :class:`TransportFault` subclass), never
+   silently or with a raw ``OSError``;
+2. **no duplicate steps** — the reader sees each step index exactly
+   once, in order, even though the writer *republished* frames whose
+   acknowledgement was eaten by a fault (server-side sequence-number
+   dedup);
+3. **no deadlock** — both workers finish inside the watchdog budget;
+4. **observability** — every injected fault shows up in the worker's
+   flight recorder (``transport.fault`` events == injector count) and
+   every reconnect in the ``net.reconnects`` counter + flight events;
+   after a daemon restart the resumed session is visible in
+   ``net.resume``.
+
+CLI::
+
+    python -m repro.tools.netchaos --seed 7 [--steps N] [--flight-dir D]
+    python -m repro.tools.netchaos --seeds 25      # the acceptance sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from typing import Optional
+
+import numpy as np
+
+TENANT = "chaos"
+TOKEN = "chaos-t0ken"
+STREAM = "netchaos.gts"
+SHAPE = (12, 12)
+
+#: Frame-layer kinds the client-side injectors draw from.
+FAULT_KINDS = "torn_frame|dropped_frame|delayed_frame|conn_reset|half_open"
+
+#: Worker exit codes the orchestrator understands.
+RC_OK = 0
+RC_TYPED_LOSS = 3  # typed FlexIO fault after retry exhaustion: acceptable
+
+
+def _field(step: int, seed: int) -> np.ndarray:
+    base = np.arange(float(np.prod(SHAPE))).reshape(SHAPE)
+    return base + 1000.0 * step + seed
+
+
+def _result_line(role: str, **kv) -> None:
+    print(f"NETCHAOS-{role.upper()} " + json.dumps(kv, sort_keys=True), flush=True)
+
+
+def _client_stats(client) -> dict:
+    from repro.obs import recorder as flight
+    from repro.obs.events import EV_FAULT, EV_NET_RECONNECT, EV_NET_RESUME
+
+    rec = flight.get()
+    reg = client.monitor.metrics
+    injected = client.faults.faults_injected if client.faults is not None else 0
+    return {
+        "injected": injected,
+        "reconnects": int(reg.counter("net.reconnects").value),
+        "resumes": int(reg.counter("net.resume").value),
+        "ev_faults": len(rec.events(code=EV_FAULT)) if rec else 0,
+        "ev_reconnects": len(rec.events(code=EV_NET_RECONNECT)) if rec else 0,
+        "ev_resumes": len(rec.events(code=EV_NET_RESUME)) if rec else 0,
+    }
+
+
+def _check_observability(stats: dict) -> None:
+    """Invariant 4, worker side: injected faults and reconnects are all
+    visible in the flight ring and counters."""
+    assert stats["ev_faults"] >= stats["injected"], (
+        f"flight ring saw {stats['ev_faults']} fault events for "
+        f"{stats['injected']} injected faults"
+    )
+    assert stats["ev_reconnects"] == stats["reconnects"], (
+        f"net.reconnects={stats['reconnects']} but "
+        f"{stats['ev_reconnects']} reconnect flight events"
+    )
+    assert stats["ev_resumes"] >= stats["resumes"], (
+        f"net.resume={stats['resumes']} but {stats['ev_resumes']} resume events"
+    )
+
+
+def _connect(uri: str, seed: int, rate: float, timeout: float):
+    import repro
+    from repro.core.resilience import RetryPolicy
+    from repro.transport.faults import parse_fault_spec
+
+    spec = f"rate={rate},seed={seed},kinds={FAULT_KINDS}" if rate > 0 else None
+    # Generous schedule: the cumulative backoff (~12s) must outlive a
+    # daemon kill + restart, not just a single torn frame.
+    retry = RetryPolicy(max_retries=8, timeout=0.05, backoff_factor=2.0,
+                        jitter=0.25)
+    return repro.connect(
+        uri, token=TOKEN, timeout=timeout, retry=retry, seed=seed,
+        faults=parse_fault_spec(spec), heartbeat_interval=0.5,
+    )
+
+
+def _typed_loss(role: str, client, sums: list, exc: Exception) -> int:
+    from repro.obs import recorder as flight
+
+    flight.dump_on_fault(f"netchaos {role} typed loss: {exc}", stream=STREAM)
+    _result_line(role, outcome="typed_loss", steps=len(sums), sums=sums,
+                 error=f"{type(exc).__name__}: {exc}", **_client_stats(client))
+    return RC_TYPED_LOSS
+
+
+def run_writer(uri: str, steps: int, seed: int, rate: float,
+               pace: float) -> int:
+    from repro.adios import BoundingBox
+    from repro.transport.faults import TransportFault
+
+    box = BoundingBox((0, 0), SHAPE)
+    sums: list = []
+    client = _connect(uri, seed, rate, timeout=2.0)
+    try:
+        try:
+            w = client.open(STREAM, "w", timeout=15.0)
+            for step in range(steps):
+                field = _field(step, seed)
+                w.begin_step()
+                w.write("temperature", field, box=box, global_shape=SHAPE)
+                w.end_step()
+                sums.append(f"{field.sum():.6f}")
+                print(f"STEP {step} sum={sums[-1]}", flush=True)
+                if pace > 0:
+                    time.sleep(pace)
+            w.close()
+        except TransportFault as exc:
+            return _typed_loss("writer", client, sums, exc)
+        stats = _client_stats(client)
+        _check_observability(stats)
+        _result_line("writer", outcome="ok", steps=len(sums), sums=sums, **stats)
+        return RC_OK
+    finally:
+        try:
+            client.close()
+        except Exception:  # noqa: BLE001 - teardown after chaos, daemon may be gone
+            pass
+
+
+def run_reader(uri: str, steps: int, seed: int, rate: float) -> int:
+    from repro.adios import StepStatus
+    from repro.transport.faults import TransportFault
+
+    sums: list = []
+    client = _connect(uri, seed + 1000, rate, timeout=2.0)
+    try:
+        try:
+            r = client.open(STREAM, "r", timeout=20.0)
+            while True:
+                status = r.begin_step(timeout=30.0)
+                if status is StepStatus.EndOfStream:
+                    break
+                if status is not StepStatus.OK:
+                    # The writer died (typed) and EOS will never come: a
+                    # stalled reader is *its* typed loss, not a hang.
+                    return _typed_loss(
+                        "reader", client, sums,
+                        RuntimeError(f"stream stalled with {status}"),
+                    )
+                # Invariant 2: the cursor advances exactly one step at a
+                # time — a duplicate or skipped step breaks the ladder.
+                assert r.current_step == len(sums), (
+                    f"cursor {r.current_step} != expected {len(sums)}"
+                )
+                full = r.read("temperature")
+                sums.append(f"{full.sum():.6f}")
+                print(f"STEP {len(sums) - 1} sum={sums[-1]}", flush=True)
+                r.end_step()
+            r.close()
+        except TransportFault as exc:
+            return _typed_loss("reader", client, sums, exc)
+        stats = _client_stats(client)
+        _check_observability(stats)
+        _result_line("reader", outcome="ok", steps=len(sums), sums=sums, **stats)
+        return RC_OK
+    finally:
+        try:
+            client.close()
+        except Exception:  # noqa: BLE001 - teardown after chaos, daemon may be gone
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator
+# ---------------------------------------------------------------------------
+
+def _free_port() -> int:
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+def _spawn(args: list, extra_env: Optional[dict] = None) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+    env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra_env or {})
+    return subprocess.Popen(
+        [sys.executable, *args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+
+
+def _spawn_daemon(control: int, data: int, ckpt: str,
+                  restore: bool) -> subprocess.Popen:
+    args = [
+        "-m", "repro.net.server", "--no-telemetry",
+        "--host", "127.0.0.1",
+        "--control-port", str(control), "--data-port", str(data),
+        "--tenant", f"{TENANT},token={TOKEN}",
+        "--checkpoint", ckpt, "--checkpoint-sync",
+        "--drain-grace", "0.2",
+        "--lease-interval", "0.2",
+    ]
+    if restore:
+        args.append("--restore")
+    proc = _spawn(args)
+    line = proc.stdout.readline()
+    if not line.startswith("FLEXIO-DAEMON READY"):
+        proc.kill()
+        raise RuntimeError(f"daemon failed to come up: {line!r}")
+    return proc
+
+
+def _parse_result(output: str, role: str) -> Optional[dict]:
+    marker = f"NETCHAOS-{role.upper()} "
+    for line in output.splitlines():
+        if line.startswith(marker):
+            return json.loads(line[len(marker):])
+    return None
+
+
+def run_one(seed: int, steps: int, rate: float,
+            flight_dir: Optional[str]) -> dict:
+    """One seeded chaos run; returns a result dict.  Raises
+    ``AssertionError`` on an invariant violation (accepted typed loss is
+    not a violation)."""
+    control, data = _free_port(), _free_port()
+    uri = f"flexio://127.0.0.1:{control}/{TENANT}"
+    restart_mode = ("none", "sigterm", "sigkill")[seed % 3]
+    tmp = tempfile.mkdtemp(prefix=f"netchaos-{seed}-")
+    ckpt = os.path.join(tmp, "daemon.ckpt")
+    worker_env = {"FLEXIO_FLIGHT_DIR": flight_dir} if flight_dir else None
+
+    daemon = _spawn_daemon(control, data, ckpt, restore=False)
+    writer = reader = None
+    try:
+        common = ["-m", "repro.tools.netchaos", "--uri", uri,
+                  "--steps", str(steps), "--seed", str(seed),
+                  "--rate", str(rate)]
+        writer = _spawn([*common, "--role", "writer", "--pace", "0.15"],
+                        worker_env)
+        reader = _spawn([*common, "--role", "reader"], worker_env)
+
+        if restart_mode != "none":
+            # Let some steps land, then take the daemon down mid-run.
+            time.sleep(0.6 + 0.05 * (seed % 5))
+            sig = (signal.SIGTERM if restart_mode == "sigterm"
+                   else signal.SIGKILL)
+            daemon.send_signal(sig)
+            daemon.wait(timeout=15)
+            daemon = _spawn_daemon(control, data, ckpt, restore=True)
+
+        # Invariant 3: no deadlock — the watchdog is the communicate timeout.
+        w_out, _ = writer.communicate(timeout=120)
+        r_out, _ = reader.communicate(timeout=120)
+    except subprocess.TimeoutExpired:
+        for p in (writer, reader):
+            if p is not None:
+                p.kill()
+        raise AssertionError(
+            f"seed {seed}: deadlock — a worker outlived the 120s watchdog"
+        ) from None
+    finally:
+        daemon.terminate()
+        try:
+            daemon.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.wait()
+
+    w_res = _parse_result(w_out, "writer")
+    r_res = _parse_result(r_out, "reader")
+    assert writer.returncode in (RC_OK, RC_TYPED_LOSS) and w_res is not None, (
+        f"seed {seed}: writer died untyped (rc={writer.returncode})\n{w_out}"
+    )
+    assert reader.returncode in (RC_OK, RC_TYPED_LOSS) and r_res is not None, (
+        f"seed {seed}: reader died untyped (rc={reader.returncode})\n{r_out}"
+    )
+
+    # Invariant 1+2: byte-identical prefix, each step exactly once.
+    w_sums, r_sums = w_res["sums"], r_res["sums"]
+    if w_res["outcome"] == "ok" and r_res["outcome"] == "ok":
+        assert len(w_sums) == steps, f"seed {seed}: writer stopped early"
+        assert r_sums == w_sums, (
+            f"seed {seed}: checksum divergence\n"
+            f"  writer={w_sums}\n  reader={r_sums}"
+        )
+    else:
+        prefix = min(len(w_sums), len(r_sums))
+        assert r_sums[:prefix] == w_sums[:prefix], (
+            f"seed {seed}: torn data before typed loss\n"
+            f"  writer={w_sums}\n  reader={r_sums}"
+        )
+
+    return {
+        "seed": seed,
+        "restart": restart_mode,
+        "writer": {k: w_res.get(k) for k in
+                   ("outcome", "steps", "injected", "reconnects", "resumes")},
+        "reader": {k: r_res.get(k) for k in
+                   ("outcome", "steps", "injected", "reconnects", "resumes")},
+    }
+
+
+def run_sweep(seeds: list, steps: int, rate: float,
+              flight_dir: Optional[str]) -> int:
+    results = []
+    violations = []
+    for seed in seeds:
+        try:
+            res = run_one(seed, steps, rate, flight_dir)
+        except AssertionError as exc:
+            violations.append((seed, str(exc)))
+            print(f"[netchaos] seed {seed}: INVARIANT VIOLATION: {exc}")
+            continue
+        results.append(res)
+        w, r = res["writer"], res["reader"]
+        print(
+            f"[netchaos] seed {seed:3d} restart={res['restart']:<7s} "
+            f"writer={w['outcome']}/{w['steps']} inj={w['injected']} "
+            f"rc={w['reconnects']} rs={w['resumes']}  "
+            f"reader={r['outcome']}/{r['steps']} inj={r['injected']} "
+            f"rc={r['reconnects']} rs={r['resumes']}"
+        )
+    completed = sum(
+        1 for res in results
+        if res["writer"]["outcome"] == "ok" and res["reader"]["outcome"] == "ok"
+    )
+    total_inj = sum(
+        res[w]["injected"] or 0 for res in results for w in ("writer", "reader")
+    )
+    total_rec = sum(
+        res[w]["reconnects"] or 0 for res in results for w in ("writer", "reader")
+    )
+    print(
+        f"[netchaos] {len(seeds)} runs: {len(violations)} violations, "
+        f"{completed} fully completed, {len(results) - completed} typed-loss, "
+        f"{total_inj} faults injected, {total_rec} reconnects"
+    )
+    if violations:
+        print("NETCHAOS FAIL")
+        return 1
+    print("NETCHAOS OK")
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.tools.netchaos",
+        description="seeded multi-process chaos for the network plane",
+    )
+    parser.add_argument("--role", choices=("orchestrator", "writer", "reader"),
+                        default="orchestrator")
+    parser.add_argument("--uri", default="")
+    parser.add_argument("--steps", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--seeds", type=int, default=0,
+                        help="sweep seeds 1..N (orchestrator only)")
+    parser.add_argument("--rate", type=float, default=0.06,
+                        help="per-frame fault probability on client channels")
+    parser.add_argument("--pace", type=float, default=0.0,
+                        help="writer inter-step sleep (seconds)")
+    parser.add_argument("--flight-dir", default=None)
+    args = parser.parse_args(argv)
+    if args.role == "writer":
+        return run_writer(args.uri, args.steps, args.seed, args.rate, args.pace)
+    if args.role == "reader":
+        return run_reader(args.uri, args.steps, args.seed, args.rate)
+    seeds = list(range(1, args.seeds + 1)) if args.seeds else [args.seed]
+    return run_sweep(seeds, args.steps, args.rate, args.flight_dir)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -37,6 +37,14 @@ class FaultKind(Enum):
     TORN_SEND = "torn"                # only part of the payload landed
     PEER_DISCONNECT = "disconnect"    # the receiving peer went away
     REGISTRATION_FAILURE = "regfail"  # buffer registration was refused
+    # Frame-layer kinds (TCP/daemon): what a WAN/LAN hop can do to a
+    # length-prefixed frame that intra-process channels never see.
+    TORN_FRAME = "torn_frame"         # prefix + partial payload hit the wire
+    DROPPED_FRAME = "dropped_frame"   # the frame silently never left
+    DELAYED_FRAME = "delayed_frame"   # the frame arrives late (peer may time out)
+    CONN_RESET = "conn_reset"         # connection reset mid-exchange
+    HALF_OPEN = "half_open"           # our side is up, the peer is gone
+    SESSION_LOST = "session_lost"     # reconnect/resume retries exhausted
 
 
 class TransportFault(RuntimeError):
@@ -69,11 +77,31 @@ class RegistrationFailed(TransportFault):
     kind = FaultKind.REGISTRATION_FAILURE
 
 
+class SessionLost(PeerDisconnected):
+    """A network session died for good: every reconnect/resume attempt
+    the retry policy allowed has failed.  Subclasses
+    :class:`PeerDisconnected` so pre-resilience callers that caught the
+    per-operation fault keep working, but carries its own kind so
+    harnesses can assert "typed loss only after retry exhaustion"."""
+
+    kind = FaultKind.SESSION_LOST
+
+
 _EXCEPTION_FOR: dict[FaultKind, type] = {
     FaultKind.SEND_TIMEOUT: TransportTimeout,
     FaultKind.TORN_SEND: TornSend,
     FaultKind.PEER_DISCONNECT: PeerDisconnected,
     FaultKind.REGISTRATION_FAILURE: RegistrationFailed,
+    # Frame-layer kinds map onto the exception the *caller* observes:
+    # a torn frame is a torn send, a reset/half-open socket is a peer
+    # disconnect, and dropped/delayed frames surface as timeouts (the
+    # reply never comes / comes too late).
+    FaultKind.TORN_FRAME: TornSend,
+    FaultKind.DROPPED_FRAME: TransportTimeout,
+    FaultKind.DELAYED_FRAME: TransportTimeout,
+    FaultKind.CONN_RESET: PeerDisconnected,
+    FaultKind.HALF_OPEN: PeerDisconnected,
+    FaultKind.SESSION_LOST: SessionLost,
 }
 
 _KIND_FOR_NAME: dict[str, FaultKind] = {k.value: k for k in FaultKind}

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import socket
 import struct
+import time
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -69,10 +70,23 @@ FRAME_PREFIX = struct.Struct("<Q")
 MAX_FRAME = 1 << 34  # 16 GiB
 
 
+#: How long an injected DELAYED_FRAME holds the frame back.
+DELAY_INJECT_S = 0.05
+
+
+def _set_timeout(sock: socket.socket, timeout: float) -> None:
+    """``settimeout`` with the typed-fault mapping: on an already-dead
+    socket it raises ``OSError``, which must not leak raw to callers."""
+    try:
+        sock.settimeout(timeout)
+    except OSError as exc:
+        raise PeerDisconnected(f"tcp socket unusable: {exc}") from exc
+
+
 def _recv_exact(sock: socket.socket, out: memoryview, timeout: float) -> int:
     """Fill ``out`` completely from ``sock``; returns bytes read (may be
     short only when the peer closed the connection)."""
-    sock.settimeout(timeout)
+    _set_timeout(sock, timeout)
     got = 0
     total = len(out)
     while got < total:
@@ -177,25 +191,71 @@ class TcpChannel(Channel):
         else:
             self._sendv(views, total, timeout)
 
-    def _maybe_inject_fault(self, total: int) -> None:
+    def _maybe_inject_fault(self, total: int) -> Optional[FaultKind]:
+        """Consult the injector; raises for immediate faults, returns a
+        kind the send path itself must act out (torn/dropped/delayed
+        frames need real socket effects, not just an exception)."""
         if self.injector is None:
-            return
+            return None
         kind = self.injector.next_fault()
         if kind is None:
-            return
+            return None
         record_injected(self.monitor, "tcp", kind, nbytes=total)
+        if kind in (
+            FaultKind.TORN_FRAME, FaultKind.DROPPED_FRAME, FaultKind.DELAYED_FRAME
+        ):
+            return kind
         if kind is FaultKind.TORN_SEND:
             raise TornSend(f"injected torn send after {total // 2}/{total} B")
+        if kind is FaultKind.CONN_RESET:
+            # A real reset: the socket dies under us, both directions.
+            self._abort_sockets()
+            raise PeerDisconnected(f"injected connection reset ({total} B frame)")
+        if kind is FaultKind.HALF_OPEN:
+            # Half-open: our writes appear to succeed but nothing will
+            # ever come back — stop reading so the caller's reply recv
+            # times out, the way a silently-dead WAN peer behaves.
+            try:
+                self._recv_sock.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+            return None
         raise fault_exception(kind, f"injected {kind.value} on tcp send ({total} B)")
+
+    def _abort_sockets(self) -> None:
+        for sock in {self._send_sock, self._recv_sock}:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
 
     def _sendv(self, views: Sequence[np.ndarray], total: int, timeout: float) -> None:
         if self._closed:
             raise PeerDisconnected("send on closed TcpChannel")
-        self._maybe_inject_fault(total)
+        frame_kind = self._maybe_inject_fault(total)
+        if frame_kind is FaultKind.DROPPED_FRAME:
+            # The frame "leaves" but never arrives; the peer's reply
+            # (which will never come) is the caller's timeout.
+            return
+        if frame_kind is FaultKind.DELAYED_FRAME:
+            time.sleep(DELAY_INJECT_S)
         prefix = FRAME_PREFIX.pack(total)
         parts = [memoryview(prefix)]
         parts.extend(memoryview(v) for v in views)
-        self._send_sock.settimeout(timeout)
+        if frame_kind is FaultKind.TORN_FRAME:
+            # Put the prefix and roughly half the payload on the wire,
+            # then kill the connection: the receiver sees a genuinely
+            # torn frame, not just a client-side exception.
+            torn = b"".join(bytes(p) for p in parts)[: FRAME_PREFIX.size + total // 2]  # flexlint: ok(FXL006) chaos-only path; the copy IS the fault being injected
+            try:
+                self._send_sock.sendall(torn)
+            except OSError:
+                pass
+            self._abort_sockets()
+            raise TornSend(
+                f"injected torn frame after {total // 2}/{total} B"
+            )
+        _set_timeout(self._send_sock, timeout)
         sent = 0
         frame_len = FRAME_PREFIX.size + total
         try:
@@ -288,9 +348,12 @@ class TcpChannel(Channel):
 
 def send_frame(sock: socket.socket, payload, timeout: float = 5.0) -> None:
     """Module-level one-shot frame send over a raw socket (control-plane
-    helper shared with :mod:`repro.net`)."""
+    helper shared with :mod:`repro.net`).  Every socket-layer failure —
+    including a dead socket at ``settimeout`` — surfaces as a typed
+    :class:`~repro.transport.faults.TransportFault`, never a raw
+    ``OSError``."""
     view = as_byte_view(payload)
-    sock.settimeout(timeout)
+    _set_timeout(sock, timeout)
     try:
         sock.sendall(FRAME_PREFIX.pack(view.nbytes))
         sock.sendall(view)

@@ -29,12 +29,21 @@ import repro
 from repro.adios import BoundingBox, EndOfStream, StepStatus
 from repro.core.directory import (
     AdmissionError,
+    AdmissionKind,
     AuthFailure,
     QuotaExceeded,
     TenantSpec,
     UnknownTenant,
 )
-from repro.net.client import RemoteClient, connect, parse_flexio_uri
+from repro.core.resilience import RetryPolicy
+from repro.net.client import (
+    NetError,
+    RemoteClient,
+    RetryAfter,
+    connect,
+    parse_flexio_uri,
+    raise_wire_error,
+)
 from repro.net.protocol import (
     HEADER,
     MAGIC,
@@ -46,8 +55,8 @@ from repro.net.protocol import (
     encode_frame,
     encode_var,
 )
-from repro.net.server import DirectoryDaemon
-from repro.transport.faults import PeerDisconnected, TransportFault
+from repro.net.server import DirectoryDaemon, HostedStream
+from repro.transport.faults import PeerDisconnected, SessionLost, TransportFault
 from repro.transport.tcp import TcpChannel
 
 REPO = os.path.join(os.path.dirname(__file__), os.pardir)
@@ -59,16 +68,19 @@ SRC = os.path.join(REPO, "src")
 # ---------------------------------------------------------------------------
 
 ROUND_TRIP_CASES = [
-    (MsgType.HELLO, {"tenant": "acme", "token": "s3cret", "client": "gts"}),
-    (MsgType.WELCOME, {"session": "s-1", "server": "1.0.0", "data_port": 7701}),
+    (MsgType.HELLO, {"tenant": "acme", "token": "s3cret", "client": "gts",
+                     "resume": ""}),
+    (MsgType.WELCOME, {"session": "s-1", "server": "1.0.0", "data_port": 7701,
+                       "resume": "deadbeef", "resumed": False}),
     (MsgType.ERROR, {"kind": "streams", "message": "at max_streams=2"}),
     (MsgType.OK, {"detail": ""}),
     (MsgType.OPEN, {"stream": "gts.out", "mode": "w", "program": "writer",
                     "rank": 0, "num_ranks": 4, "lease": 0.5}),
-    (MsgType.PUBLISH, {"step": 3, "count": 2, "eos": False}),
+    (MsgType.PUBLISH, {"step": 3, "count": 2, "eos": False, "seq": 4}),
     (MsgType.FETCH, {"step": 0}),
     (MsgType.NOT_READY, {"step": 9}),
     (MsgType.EOS, {"step": 4}),
+    (MsgType.RETRY_AFTER, {"delay": 0.25, "reason": "draining"}),
 ]
 
 
@@ -94,7 +106,9 @@ def test_var_round_trip_preserves_dtype_and_shape():
 
 
 def test_multipart_publish_frame_walks_by_consumed_offsets():
-    head = encode_frame(MsgType.PUBLISH, {"step": 0, "count": 2, "eos": True})
+    head = encode_frame(
+        MsgType.PUBLISH, {"step": 0, "count": 2, "eos": True, "seq": 1}
+    )
     v1 = encode_var({"name": "a", "writer_rank": 0, "start": [], "shape": [3],
                      "gshape": [], "data": np.ones(3)})
     v2 = encode_var({"name": "b", "writer_rank": 1, "start": [0], "shape": [2],
@@ -113,9 +127,10 @@ def test_multipart_publish_frame_walks_by_consumed_offsets():
     tenant=st.text(max_size=64),
     token=st.text(max_size=64),
     client=st.text(max_size=64),
+    resume=st.text(max_size=32),
 )
-def test_fuzz_hello_record_round_trip(tenant, token, client):
-    rec = {"tenant": tenant, "token": token, "client": client}
+def test_fuzz_hello_record_round_trip(tenant, token, client, resume):
+    rec = {"tenant": tenant, "token": token, "client": client, "resume": resume}
     assert decode_frame(encode_frame(MsgType.HELLO, rec)).record == rec
 
 
@@ -124,9 +139,10 @@ def test_fuzz_hello_record_round_trip(tenant, token, client):
     step=st.integers(min_value=-2**62, max_value=2**62),
     count=st.integers(min_value=0, max_value=2**31),
     eos=st.booleans(),
+    seq=st.integers(min_value=0, max_value=2**31),
 )
-def test_fuzz_publish_record_round_trip(step, count, eos):
-    rec = {"step": step, "count": count, "eos": eos}
+def test_fuzz_publish_record_round_trip(step, count, eos, seq):
+    rec = {"step": step, "count": count, "eos": eos, "seq": seq}
     assert decode_frame(encode_frame(MsgType.PUBLISH, rec)).record == rec
 
 
@@ -359,3 +375,179 @@ def test_top_level_connect_reexport():
     assert repro.connect is not None
     with pytest.raises(ValueError):
         repro.connect("ftp://nope")
+
+
+# ---------------------------------------------------------------------------
+# URI hardening: rejections are always ValueError, never parsing artifacts
+# ---------------------------------------------------------------------------
+
+def test_parse_flexio_uri_hardening():
+    # Userinfo is refused: authentication travels in the HELLO token.
+    with pytest.raises(ValueError, match="token"):
+        parse_flexio_uri("flexio://user:pw@h:1/t")
+    with pytest.raises(ValueError, match="token"):
+        parse_flexio_uri("flexio://user@h:1/t")
+    # Non-numeric / out-of-range ports report the offending URI.
+    with pytest.raises(ValueError, match="port"):
+        parse_flexio_uri("flexio://h:notaport/t")
+    with pytest.raises(ValueError):
+        parse_flexio_uri("flexio://h:99999999/t")
+    # Trailing slash after the tenant is tolerated.
+    assert parse_flexio_uri("flexio://h:1/t/").tenant == "t"
+    assert parse_flexio_uri("flexio://h:1/").tenant == "public"
+    # Multi-segment tenants are refused.
+    with pytest.raises(ValueError, match="segment"):
+        parse_flexio_uri("flexio://h:1/a/b")
+    # local:// ignores host/params entirely.
+    assert parse_flexio_uri("local://?fanout=2").scheme == "local"
+    assert parse_flexio_uri("local://anything/x").scheme == "local"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    host=st.sampled_from(["h", "127.0.0.1", "daemon.example.org"]),
+    port=st.integers(1, 65535),
+    tenant=st.text(alphabet="abcdefgh0123456789", max_size=12),
+    slash=st.booleans(),
+)
+def test_fuzz_parse_flexio_uri_round_trip(host, port, tenant, slash):
+    uri = f"flexio://{host}:{port}/{tenant}" + ("/" if slash else "")
+    u = parse_flexio_uri(uri)
+    assert (u.scheme, u.host, u.port) == ("flexio", host, port)
+    assert u.tenant == (tenant or "public")
+
+
+# ---------------------------------------------------------------------------
+# Wire-error round-trip: every AdmissionKind survives the ERROR frame hop
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("kind", list(AdmissionKind))
+def test_raise_wire_error_round_trips_every_admission_kind(kind):
+    frame = decode_frame(encode_frame(
+        MsgType.ERROR, {"kind": kind.value, "message": f"denied: {kind.value}"}
+    ))
+    with pytest.raises(AdmissionError) as exc_info:
+        raise_wire_error(frame)
+    assert exc_info.value.kind is kind
+    assert kind.value in str(exc_info.value)
+
+
+def test_raise_wire_error_non_admission_kinds():
+    frame = decode_frame(encode_frame(
+        MsgType.ERROR, {"kind": "protocol", "message": "bad frame"}
+    ))
+    with pytest.raises(ProtocolError, match="bad frame"):
+        raise_wire_error(frame)
+    frame = decode_frame(encode_frame(
+        MsgType.ERROR, {"kind": "weird", "message": "novel failure"}
+    ))
+    with pytest.raises(NetError) as exc_info:
+        raise_wire_error(frame)
+    assert exc_info.value.error_kind == "weird"
+    frame = decode_frame(encode_frame(
+        MsgType.RETRY_AFTER, {"delay": 0.5, "reason": "draining"}
+    ))
+    with pytest.raises(RetryAfter) as exc_info:
+        raise_wire_error(frame)
+    assert exc_info.value.delay == 0.5
+    assert exc_info.value.reason == "draining"
+
+
+# ---------------------------------------------------------------------------
+# Fault tolerance: resume, dedup, drain, checkpoint/restore, heartbeats
+# ---------------------------------------------------------------------------
+
+def test_session_resumes_across_control_socket_loss(daemon):
+    with connect(uri(daemon), token="s3cret") as c:
+        sid, rtok = c.session_id, c.resume_token
+        assert rtok and not c.resumed
+        # Tear the control socket out from under the client: the next
+        # RPC must reconnect, re-HELLO with the resume token, and land
+        # in the SAME server-side session (stream quota state intact).
+        c._sock.close()
+        w = c.open("after-loss", "w")
+        assert c.session_id == sid
+        assert c.resumed
+        assert c.monitor.metrics.counter("net.reconnects").value >= 1
+        assert c.monitor.metrics.counter("net.resume").value >= 1
+        w.begin_step()
+        w.write("v", np.ones((2, 2)))
+        w.end_step()
+        w.close()
+
+
+def test_duplicate_publish_suppressed_by_sequence():
+    hs = HostedStream("acme", "dup")
+    assert hs.publish(0, 1, b"payload", False, seq=1) is True
+    # A republished frame (lost ack) with the same seq is acknowledged
+    # but not re-applied.
+    assert hs.publish(0, 1, b"payload", False, seq=1) is False
+    assert hs.publish(1, 1, b"payload2", False, seq=2) is True
+    assert hs.publish(1, 1, b"payload2", False, seq=1) is False
+    assert hs.last_step == 1
+    assert hs.last_seq == 2
+
+
+def test_drain_refuses_new_sessions_with_retry_after(daemon):
+    daemon.drain(0.01)
+    fast = RetryPolicy(max_retries=1, timeout=0.01)
+    with pytest.raises(SessionLost, match="draining"):
+        connect(uri(daemon), token="s3cret", retry=fast)
+
+
+def test_checkpoint_restore_round_trip(daemon, tmp_path):
+    blocks = [np.full((3, 3), float(s)) for s in range(3)]
+    with connect(uri(daemon), token="s3cret") as c:
+        w = c.open("ckpt.gts", "w")
+        for s, block in enumerate(blocks):
+            w.begin_step()
+            w.write("v", block)
+            w.end_step()
+        path = daemon.checkpoint(str(tmp_path / "daemon.ckpt"))
+
+    d2 = DirectoryDaemon(
+        tenants=[TenantSpec("acme", token="s3cret", max_streams=2)],
+        telemetry=False, lease_interval=0.05,
+    )
+    d2.restore(path)
+    d2.start()
+    try:
+        with connect(uri(d2), token="s3cret") as c2:
+            r = c2.open("ckpt.gts", "r", timeout=2.0)
+            for block in blocks:
+                assert r.begin_step(timeout=2.0) is StepStatus.OK
+                np.testing.assert_array_equal(r.read_block("v", 0), block)
+                r.end_step()
+            # No EOS was published before the checkpoint: the restored
+            # stream is still open, not ended.
+            assert r.begin_step(timeout=0.2) is StepStatus.NotReady
+            r.close()
+    finally:
+        d2.stop()
+
+
+def test_heartbeat_tick_counts_open_streams(daemon):
+    with connect(uri(daemon), token="s3cret") as c:
+        assert c.heartbeat_tick() == 0  # nothing open yet
+        w = c.open("hb.w", "w")
+        r = c.open("hb.w", "r", timeout=2.0)
+        assert c.heartbeat_tick() == 1  # writer+reader share one name
+        assert c.monitor.metrics.counter("net.heartbeats").value == 1
+        w.close()
+        r.close()
+        assert c.heartbeat_tick() == 0  # close() deregisters the beat
+
+
+def test_heartbeat_thread_lifecycle(daemon):
+    c = connect(uri(daemon), token="s3cret", heartbeat_interval=0.02)
+    try:
+        w = c.open("hb.bg", "w", lease=5.0)
+        deadline = time.monotonic() + 2.0
+        while (c.monitor.metrics.counter("net.heartbeats").value == 0
+               and time.monotonic() < deadline):
+            time.sleep(0.01)
+        assert c.monitor.metrics.counter("net.heartbeats").value >= 1
+        w.close()
+    finally:
+        c.close()
+    assert c._hb_thread is None  # joined on close
