@@ -1,0 +1,532 @@
+"""Per-function control-flow graphs and a forward dataflow engine.
+
+FlexLint's original rules (FXL001-FXL008) are `ast.walk` pattern
+matchers: they see syntax, not *paths*.  The flow-aware rules added for
+the network plane (FXL010-FXL012) need to answer questions like "does
+this ``acquire()`` reach a ``release()`` on *every* way out of the
+function, including the exception edges?" — which requires a CFG.
+
+The model is deliberately small:
+
+* :class:`Block` — a basic block holding a list of statements (plain
+  ``ast.stmt`` nodes plus the synthetic :class:`WithEnter` /
+  :class:`WithExit` markers that make ``with`` scopes visible to
+  dataflow transfer functions).
+* :class:`CFG` — blocks, a single entry, and a **single synthetic
+  exit**.  Every way out of the function (fall-through, ``return``,
+  ``raise``, uncaught exception) is an edge into ``cfg.exit``.
+* edges carry a kind: ``"flow"`` for normal control transfer and
+  ``"exc"`` for the may-raise edges added after any statement that
+  contains a call or ``await``.
+
+Exception edges propagate a state computed by the analysis's
+:meth:`Analysis.exc_out` hook rather than the block's normal out-state.
+The default is the block's *in*-state (the exception may have fired
+before any effect took hold); the must-release analysis overrides it to
+apply release-kills optimistically so the canonical ``try/finally:
+lease.release()`` shape is not reported as a leak.
+
+``try`` lowering is a may-path over-approximation: the body gets
+exception edges to every handler entry *and* (when present) the
+``finally`` entry; ``finally`` ends with both a fall-through edge and
+an exception edge to the enclosing handler context, which models
+propagation of an unmatched exception.  ``return`` / ``break`` /
+``continue`` inside a ``try`` with a ``finally`` are routed through the
+``finally`` block first.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Block",
+    "CFG",
+    "WithEnter",
+    "WithExit",
+    "build_cfg",
+    "Analysis",
+    "run_forward",
+    "block_states",
+    "stmt_is_risky",
+    "contains_await",
+]
+
+
+class WithEnter:
+    """Synthetic statement marking entry into one ``with`` item."""
+
+    __slots__ = ("item", "node", "is_async", "lineno", "col_offset")
+
+    def __init__(self, item: ast.withitem, node: ast.stmt, is_async: bool) -> None:
+        self.item = item
+        self.node = node
+        self.is_async = is_async
+        self.lineno = item.context_expr.lineno
+        self.col_offset = item.context_expr.col_offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<WithEnter {ast.unparse(self.item.context_expr)!r} L{self.lineno}>"
+
+
+class WithExit:
+    """Synthetic statement marking the ``__exit__`` of one ``with`` item."""
+
+    __slots__ = ("item", "node", "is_async", "lineno", "col_offset")
+
+    def __init__(self, item: ast.withitem, node: ast.stmt, is_async: bool) -> None:
+        self.item = item
+        self.node = node
+        self.is_async = is_async
+        self.lineno = item.context_expr.lineno
+        self.col_offset = item.context_expr.col_offset
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<WithExit {ast.unparse(self.item.context_expr)!r} L{self.lineno}>"
+
+
+class Block:
+    """One basic block: straight-line statements plus labelled edges."""
+
+    __slots__ = ("id", "label", "stmts", "succs")
+
+    def __init__(self, block_id: int, label: str = "") -> None:
+        self.id = block_id
+        self.label = label
+        self.stmts: List[object] = []
+        self.succs: List[Tuple["Block", str]] = []
+
+    def edge(self, target: "Block", kind: str = "flow") -> None:
+        pair = (target, kind)
+        if pair not in self.succs:
+            self.succs.append(pair)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        succ = ",".join(f"{b.id}:{k}" for b, k in self.succs)
+        return f"<Block {self.id} {self.label!r} stmts={len(self.stmts)} -> [{succ}]>"
+
+
+@dataclass
+class CFG:
+    """A function's control-flow graph with one entry and one exit."""
+
+    func: Optional[ast.AST]
+    blocks: List[Block]
+    entry: Block
+    exit: Block
+
+    def preds(self) -> Dict[int, List[Tuple[Block, str]]]:
+        """Predecessor map ``block id -> [(pred block, edge kind)]``."""
+        out: Dict[int, List[Tuple[Block, str]]] = {b.id: [] for b in self.blocks}
+        for block in self.blocks:
+            for succ, kind in block.succs:
+                out.setdefault(succ.id, []).append((block, kind))
+        return out
+
+    def reachable(self) -> FrozenSet[int]:
+        """Block ids reachable from the entry along any edge kind."""
+        seen = {self.entry.id}
+        stack = [self.entry]
+        while stack:
+            block = stack.pop()
+            for succ, _kind in block.succs:
+                if succ.id not in seen:
+                    seen.add(succ.id)
+                    stack.append(succ)
+        return frozenset(seen)
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function/class
+    bodies or lambdas — their statements run in a different frame and
+    must not contribute effects (awaits, blocking calls) to this one."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        cur = stack.pop()
+        yield cur
+        for child in ast.iter_child_nodes(cur):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+def stmt_is_risky(stmt: object) -> bool:
+    """True when executing ``stmt`` may raise through a call or await.
+
+    Synthetic with-markers are treated as non-risky: the ``with``
+    statement's own failure modes are modelled well enough by the body's
+    exception edges, and treating ``__enter__`` as throwing would add
+    noise for every lock/span context manager in the tree.
+    """
+    if isinstance(stmt, (WithEnter, WithExit)):
+        return False
+    if not isinstance(stmt, ast.AST):
+        return False
+    return any(
+        isinstance(n, (ast.Call, ast.Await)) for n in _walk_shallow(stmt)
+    )
+
+
+def contains_await(stmt: object) -> bool:
+    """True when ``stmt`` awaits in *this* frame (nested defs excluded)."""
+    if not isinstance(stmt, ast.AST):
+        return False
+    return any(isinstance(n, ast.Await) for n in _walk_shallow(stmt))
+
+
+@dataclass
+class _Loop:
+    header: Block
+    after: Block
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.blocks: List[Block] = []
+        self.exit: Optional[Block] = None
+        # Innermost-first stack of exception-edge targets.
+        self.exc_targets: List[List[Block]] = []
+        # Innermost-first stack of finally entries (for return routing).
+        self.finally_stack: List[Block] = []
+        self.loops: List[_Loop] = []
+
+    # -- plumbing ------------------------------------------------------
+    def new_block(self, label: str = "") -> Block:
+        block = Block(len(self.blocks), label)
+        self.blocks.append(block)
+        return block
+
+    def current_exc_targets(self) -> List[Block]:
+        return self.exc_targets[-1]
+
+    def _return_target(self) -> Block:
+        """Where ``return`` transfers control: the innermost ``finally``
+        when one encloses it, else the synthetic exit."""
+        if self.finally_stack:
+            return self.finally_stack[-1]
+        assert self.exit is not None
+        return self.exit
+
+    # -- statements ----------------------------------------------------
+    def add_stmt(self, stmt: object, current: Block) -> Block:
+        """Append a straight-line statement; if it may raise, terminate
+        the block with exception edges and continue in a fresh one."""
+        current.stmts.append(stmt)
+        if stmt_is_risky(stmt):
+            for target in self.current_exc_targets():
+                current.edge(target, "exc")
+            nxt = self.new_block()
+            current.edge(nxt, "flow")
+            return nxt
+        return current
+
+    def build_body(
+        self, stmts: Sequence[ast.stmt], current: Optional[Block]
+    ) -> Optional[Block]:
+        """Thread ``stmts`` through the graph; ``None`` means the path
+        has terminated (return/raise/break) and trailing code is dead."""
+        for stmt in stmts:
+            if current is None:
+                break
+            current = self.build_stmt(stmt, current)
+        return current
+
+    def build_stmt(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        if isinstance(stmt, ast.Return):
+            return self._build_return(stmt, current)
+        if isinstance(stmt, ast.Raise):
+            return self._build_raise(stmt, current)
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return self._build_loop_jump(stmt, current)
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, current)
+        if isinstance(stmt, (ast.While,)):
+            return self._build_while(stmt, current)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_for(stmt, current)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, current)
+        if isinstance(stmt, ast.Match):
+            return self._build_match(stmt, current)
+        # Nested defs/classes and all simple statements are straight-line.
+        return self.add_stmt(stmt, current)
+
+    def _build_return(self, stmt: ast.Return, current: Block) -> None:
+        current = self.add_stmt(stmt, current)
+        current.edge(self._return_target(), "flow")
+        return None
+
+    def _build_raise(self, stmt: ast.Raise, current: Block) -> None:
+        # A risky value expression already split the block; the raise
+        # itself transfers the *out*-state (effects before it ran).
+        current = self.add_stmt(stmt, current)
+        for target in self.current_exc_targets():
+            current.edge(target, "flow")
+        return None
+
+    def _build_loop_jump(self, stmt: ast.stmt, current: Block) -> None:
+        current.stmts.append(stmt)
+        if self.loops:
+            loop = self.loops[-1]
+            target = loop.after if isinstance(stmt, ast.Break) else loop.header
+        else:  # malformed input: treat like return
+            target = self._return_target()
+        current.edge(target, "flow")
+        return None
+
+    def _build_if(self, stmt: ast.If, current: Block) -> Optional[Block]:
+        join = self.new_block("if.join")
+        body = self.new_block("if.then")
+        current.edge(body, "flow")
+        end_body = self.build_body(stmt.body, body)
+        if end_body is not None:
+            end_body.edge(join, "flow")
+        if stmt.orelse:
+            orelse = self.new_block("if.else")
+            current.edge(orelse, "flow")
+            end_else = self.build_body(stmt.orelse, orelse)
+            if end_else is not None:
+                end_else.edge(join, "flow")
+        else:
+            current.edge(join, "flow")
+        if not join_reached(join, self.blocks):
+            return None
+        return join
+
+    def _build_while(self, stmt: ast.While, current: Block) -> Optional[Block]:
+        header = self.new_block("while.header")
+        after = self.new_block("while.after")
+        current.edge(header, "flow")
+        infinite = isinstance(stmt.test, ast.Constant) and stmt.test.value is True
+        body = self.new_block("while.body")
+        header.edge(body, "flow")
+        self.loops.append(_Loop(header, after))
+        end_body = self.build_body(stmt.body, body)
+        self.loops.pop()
+        if end_body is not None:
+            end_body.edge(header, "flow")
+        if stmt.orelse:
+            orelse = self.new_block("while.else")
+            if not infinite:
+                header.edge(orelse, "flow")
+            end_else = self.build_body(stmt.orelse, orelse)
+            if end_else is not None:
+                end_else.edge(after, "flow")
+        elif not infinite:
+            header.edge(after, "flow")
+        if not join_reached(after, self.blocks):
+            return None
+        return after
+
+    def _build_for(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        header = self.new_block("for.header")
+        after = self.new_block("for.after")
+        # The iterator expression may raise.
+        current = self.add_stmt(_iter_marker(stmt), current)
+        current.edge(header, "flow")
+        body = self.new_block("for.body")
+        header.edge(body, "flow")
+        self.loops.append(_Loop(header, after))
+        end_body = self.build_body(stmt.body, body)
+        self.loops.pop()
+        if end_body is not None:
+            end_body.edge(header, "flow")
+        if stmt.orelse:
+            orelse = self.new_block("for.else")
+            header.edge(orelse, "flow")
+            end_else = self.build_body(stmt.orelse, orelse)
+            if end_else is not None:
+                end_else.edge(after, "flow")
+        else:
+            header.edge(after, "flow")
+        if not join_reached(after, self.blocks):
+            return None
+        return after
+
+    def _build_try(self, stmt: ast.Try, current: Block) -> Optional[Block]:
+        after = self.new_block("try.after")
+        finally_entry = self.new_block("finally") if stmt.finalbody else None
+        handler_entries = [
+            self.new_block(f"except.{i}") for i, _h in enumerate(stmt.handlers)
+        ]
+
+        # Exceptions raised in the body may land in any handler, or (no
+        # matching handler / no handlers at all) run the finally.
+        body_targets: List[Block] = list(handler_entries)
+        if finally_entry is not None:
+            body_targets.append(finally_entry)
+        if not body_targets:  # defensive: ast guarantees handlers or finally
+            body_targets = list(self.current_exc_targets())
+
+        normal_exit = finally_entry if finally_entry is not None else after
+
+        body = self.new_block("try.body")
+        current.edge(body, "flow")
+        self.exc_targets.append(body_targets)
+        if finally_entry is not None:
+            self.finally_stack.append(finally_entry)
+        end_body = self.build_body(stmt.body, body)
+        if end_body is not None and stmt.orelse:
+            end_body = self.build_body(stmt.orelse, end_body)
+        self.exc_targets.pop()
+        if end_body is not None:
+            end_body.edge(normal_exit, "flow")
+
+        # Handler bodies: exceptions raised *inside* a handler go to the
+        # finally (if any) or propagate to the enclosing context.
+        handler_targets = (
+            [finally_entry] if finally_entry is not None
+            else list(self.current_exc_targets())
+        )
+        for entry, handler in zip(handler_entries, stmt.handlers):
+            self.exc_targets.append(handler_targets)
+            end_handler = self.build_body(handler.body, entry)
+            self.exc_targets.pop()
+            if end_handler is not None:
+                end_handler.edge(normal_exit, "flow")
+
+        if finally_entry is not None:
+            self.finally_stack.pop()
+            # The finally body itself runs in the enclosing context.
+            end_finally = self.build_body(stmt.finalbody, finally_entry)
+            if end_finally is not None:
+                end_finally.edge(after, "flow")
+                # Propagation path: the finally was entered because of an
+                # exception (or a routed return) and control leaves the
+                # function / goes to the enclosing handlers afterwards.
+                for target in self.current_exc_targets():
+                    end_finally.edge(target, "exc")
+                assert self.exit is not None
+                end_finally.edge(self.exit, "exc")
+
+        if not join_reached(after, self.blocks):
+            return None
+        return after
+
+    def _build_with(self, stmt: ast.stmt, current: Block) -> Optional[Block]:
+        is_async = isinstance(stmt, ast.AsyncWith)
+        for item in stmt.items:
+            current = self.add_stmt(WithEnter(item, stmt, is_async), current)
+        end = self.build_body(stmt.body, current)
+        if end is None:
+            return None
+        for item in reversed(stmt.items):
+            end = self.add_stmt(WithExit(item, stmt, is_async), end)
+        return end
+
+    def _build_match(self, stmt: ast.Match, current: Block) -> Optional[Block]:
+        join = self.new_block("match.join")
+        current = self.add_stmt(_iter_marker(stmt), current)
+        exhaustive = False
+        for i, case in enumerate(stmt.cases):
+            case_block = self.new_block(f"case.{i}")
+            current.edge(case_block, "flow")
+            end_case = self.build_body(case.body, case_block)
+            if end_case is not None:
+                end_case.edge(join, "flow")
+            if isinstance(case.pattern, ast.MatchAs) and case.pattern.pattern is None:
+                exhaustive = True
+        if not exhaustive:
+            current.edge(join, "flow")
+        if not join_reached(join, self.blocks):
+            return None
+        return join
+
+
+def _iter_marker(stmt: ast.stmt) -> ast.stmt:
+    """A ``for``/``match`` header's subject expression, wrapped as an
+    ``Expr`` statement so transfer functions see its calls."""
+    value = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) else stmt.subject
+    marker = ast.Expr(value=value)
+    marker.lineno = value.lineno
+    marker.col_offset = value.col_offset
+    return marker
+
+
+def join_reached(join: Block, blocks: Sequence[Block]) -> bool:
+    return any(
+        any(succ.id == join.id for succ, _k in block.succs) for block in blocks
+    )
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the CFG of one function (or a bare statement list wrapped
+    in an ``ast.Module``).  Unreachable blocks are pruned; the synthetic
+    exit always survives."""
+    builder = _Builder()
+    entry = builder.new_block("entry")
+    builder.exit = builder.new_block("exit")
+    builder.exc_targets.append([builder.exit])
+    body = getattr(func, "body", [])
+    end = builder.build_body(body, entry)
+    if end is not None:
+        end.edge(builder.exit, "flow")
+    cfg = CFG(func=func, blocks=builder.blocks, entry=entry, exit=builder.exit)
+    keep = cfg.reachable() | {builder.exit.id}
+    cfg.blocks = [b for b in builder.blocks if b.id in keep]
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# Forward dataflow
+# ----------------------------------------------------------------------
+
+State = FrozenSet[tuple]
+
+
+class Analysis:
+    """A forward may-analysis over frozensets of facts (union merge)."""
+
+    def init_state(self) -> State:
+        return frozenset()
+
+    def transfer(self, stmt: object, state: State) -> State:
+        return state
+
+    def transfer_block(self, block: Block, state: State) -> State:
+        for stmt in block.stmts:
+            state = self.transfer(stmt, state)
+        return state
+
+    def exc_out(self, block: Block, in_state: State) -> State:
+        """State carried along a block's exception edges.  Default: the
+        block's entry state (the exception may precede every effect)."""
+        return in_state
+
+
+def run_forward(cfg: CFG, analysis: Analysis) -> Dict[int, State]:
+    """Worklist fixpoint; returns the IN state of every block."""
+    in_states: Dict[int, State] = {cfg.entry.id: analysis.init_state()}
+    work: List[Block] = [cfg.entry]
+    known = {b.id: b for b in cfg.blocks}
+    while work:
+        block = work.pop()
+        in_state = in_states.get(block.id, frozenset())
+        out_flow = analysis.transfer_block(block, in_state)
+        out_exc = analysis.exc_out(block, in_state)
+        for succ, kind in block.succs:
+            if succ.id not in known:
+                continue
+            incoming = out_flow if kind == "flow" else out_exc
+            merged = in_states.get(succ.id, frozenset()) | incoming
+            if merged != in_states.get(succ.id):
+                in_states[succ.id] = merged
+                work.append(succ)
+    return in_states
+
+
+def block_states(
+    block: Block, in_state: State, transfer: Callable[[object, State], State]
+) -> Iterator[Tuple[object, State]]:
+    """Replay a block, yielding ``(stmt, state BEFORE stmt)`` pairs."""
+    state = in_state
+    for stmt in block.stmts:
+        yield stmt, state
+        state = transfer(stmt, state)

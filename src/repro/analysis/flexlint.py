@@ -37,7 +37,27 @@ FXL008    Removed/legacy step-API spelling: ``.advance()`` is gone
           ``begin_step()``/``end_step()``), and selections must go
           through keywords — ``read(name, selection=...)`` /
           ``read(name, start=..., count=...)`` — never positionally.
+FXL009    Non-exhaustive ``MsgType`` dispatch (cross-file): every
+          member of the wire enum must be referenced by both the
+          daemon's dispatch and the client's typed-response paths.
+FXL010    Blocking call (``time.sleep``, file I/O, ``os.fsync``,
+          blocking socket ops, ``lock.acquire``) inside an ``async
+          def`` on the network plane — directly or transitively
+          through a sync helper.
+FXL011    Synchronous (threading) lock held across an ``await``; the
+          static complement of sanitize.py's runtime lockdep.
+FXL012    ``lease()``/``acquire()``/``connect()`` result that may
+          reach the function exit without ``release()``/``close()``
+          or an ownership transfer on some CFG path.
+FXL013    Metric-name literal not registered in the central
+          :mod:`repro.obs.names` table (counters/gauges/histograms);
+          dynamic names must go through ``metric_name()``.
 ========  ==============================================================
+
+Rules FXL009-FXL013 are flow/project aware: they run on the per-function
+control-flow graphs of :mod:`repro.analysis.cfg` and the whole-program
+index of :mod:`repro.analysis.project` (see
+:mod:`repro.analysis.flowrules`).
 
 **Waivers**: append ``# flexlint: ok(FXL001) <reason>`` to the flagged
 line (or put it on the line directly above).  The reason is mandatory —
@@ -109,13 +129,34 @@ RULES: dict[str, Rule] = {
              "begin_step()/end_step() loops on readers) and "
              "read()/read_into()/read_all() take selections only as "
              "selection=/start=/count= keywords."),
+        Rule("FXL009", "non-exhaustive MsgType dispatch",
+             "every member of the wire enum (net/protocol.py MsgType) "
+             "must be referenced by each dispatch surface "
+             "(net/server.py and net/client.py); cross-file rule."),
+        Rule("FXL010", "blocking call inside an async body",
+             "time.sleep/file I/O/os.fsync/blocking socket ops/"
+             "lock.acquire inside async def on the network plane stall "
+             "the event loop — directly or through a sync helper; use "
+             "async equivalents or run_in_executor."),
+        Rule("FXL011", "sync lock held across await",
+             "a threading lock held at an await suspends every other "
+             "coroutine on the loop; release before awaiting or use an "
+             "asyncio lock (static complement of runtime lockdep)."),
+        Rule("FXL012", "lease may leak on some path",
+             "a lease()/acquire()/connect() result must reach "
+             "release()/close() or an ownership transfer on every CFG "
+             "path to the function exit, including exception edges."),
+        Rule("FXL013", "unregistered metric name",
+             "counter()/gauge()/histogram() name literals must be "
+             "registered in repro.obs.names (or extend a registered "
+             "family); dynamic names go through metric_name()."),
     )
 }
 
 
 @dataclass(frozen=True)
 class Finding:
-    """One lint finding, possibly waived."""
+    """One lint finding, possibly waived or baselined."""
 
     rule: str
     path: str
@@ -124,12 +165,33 @@ class Finding:
     message: str
     waived: bool = False
     waiver_reason: str = ""
+    baselined: bool = False
+    baseline_reason: str = ""
+
+    @property
+    def active(self) -> bool:
+        """True when this finding should fail the lint."""
+        return not self.waived and not self.baselined
 
     def format(self) -> str:
         text = f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
         if self.waived:
             text += f"  [waived: {self.waiver_reason}]"
+        if self.baselined:
+            text += f"  [baselined: {self.baseline_reason}]"
         return text
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule, "path": self.path, "line": self.line,
+            "col": self.col, "message": self.message, "waived": self.waived,
+            "waiver_reason": self.waiver_reason, "baselined": self.baselined,
+            "baseline_reason": self.baseline_reason,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -167,6 +229,56 @@ class LintConfig:
     #: Override for the registered event codes (FXL007); None = the
     #: repro.obs.events central table (flight events + trace categories).
     event_codes: Optional[frozenset[str]] = None
+    #: Paths where FXL010 (no blocking calls in async bodies) applies.
+    blocking_async_paths: tuple[str, ...] = ("repro/net/",)
+    #: Dotted call names FXL010 treats as blocking the event loop.
+    blocking_calls: tuple[str, ...] = (
+        "time.sleep",
+        "os.fsync",
+        "os.replace",
+        "os.rename",
+        "os.remove",
+        "os.unlink",
+        "shutil.copyfileobj",
+        "socket.create_connection",
+        "subprocess.run",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+        "select.select",
+    )
+    #: Paths where FXL012 (must-release dataflow) applies.
+    lease_scope_paths: tuple[str, ...] = (
+        "repro/transport/",
+        "repro/net/",
+    )
+    #: Methods whose assigned result FXL012 tracks as an owned resource.
+    lease_acquire_methods: tuple[str, ...] = (
+        "lease",
+        "acquire",
+        "connect",
+        "create_connection",
+    )
+    #: Methods that end the release obligation.
+    lease_release_methods: tuple[str, ...] = (
+        "release",
+        "close",
+        "shutdown",
+    )
+    #: (path suffix, enum name) of the wire enum FXL009 checks.
+    dispatch_enum: tuple[str, str] = ("repro/net/protocol.py", "MsgType")
+    #: Path suffixes of the dispatch surfaces that must reference every
+    #: enum member.
+    dispatch_surfaces: tuple[str, ...] = (
+        "repro/net/server.py",
+        "repro/net/client.py",
+    )
+    #: Override for the registered metric names (FXL013); None = the
+    #: repro.obs.names central table.
+    metric_names: Optional[frozenset[str]] = None
+    #: Override for the registered metric family roots; None = the
+    #: repro.obs.names FAMILY_ROOTS.
+    metric_families: Optional[tuple[str, ...]] = None
 
 
 def _default_hint_keys() -> frozenset[str]:
@@ -569,10 +681,17 @@ def lint_source(
             f"syntax error: {exc.msg}",
         )]
     findings: list[Finding] = []
-    for check in _CHECKS:
+    for check in _CHECKS + _flow_checks():
         findings.extend(check(tree, path, cfg))
     findings.sort(key=lambda f: (f.line, f.col, f.rule))
     return _apply_waivers(findings, source)
+
+
+def _flow_checks():
+    # Imported lazily: flowrules imports Finding/LintConfig from here.
+    from repro.analysis.flowrules import FILE_CHECKS
+
+    return FILE_CHECKS
 
 
 def lint_file(path: str, config: Optional[LintConfig] = None) -> list[Finding]:
@@ -601,8 +720,32 @@ def iter_py_files(paths: Sequence[str]) -> list[str]:
 def lint_paths(
     paths: Sequence[str], config: Optional[LintConfig] = None
 ) -> list[Finding]:
-    """Lint every ``.py`` file under ``paths``."""
+    """Lint every ``.py`` file under ``paths``, including the
+    cross-file project pass (FXL009)."""
+    cfg = config or LintConfig()
     findings: list[Finding] = []
+    sources: dict[str, str] = {}
     for path in iter_py_files(paths):
-        findings.extend(lint_file(path, config=config))
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        sources[path] = source
+        findings.extend(lint_source(source, path=path, config=cfg))
+    findings.extend(project_findings(sources, cfg))
     return findings
+
+
+def project_findings(sources: dict[str, str], cfg: LintConfig) -> list[Finding]:
+    """Run the cross-file rules over an in-memory ``{path: source}``
+    project; waivers in the *defining* file apply as usual."""
+    from repro.analysis.flowrules import check_dispatch
+    from repro.analysis.project import ProjectIndex
+
+    project = ProjectIndex.from_sources(sources)
+    raw = sorted(check_dispatch(project, cfg), key=lambda f: (f.path, f.line))
+    out: list[Finding] = []
+    by_path: dict[str, list[Finding]] = {}
+    for f in raw:
+        by_path.setdefault(f.path, []).append(f)
+    for path, group in by_path.items():
+        out.extend(_apply_waivers(group, sources.get(path, "")))
+    return out

@@ -1,0 +1,108 @@
+"""SARIF 2.1.0 emission for FlexLint findings.
+
+SARIF (Static Analysis Results Interchange Format) is the lingua franca
+CI forges ingest for code-scanning annotations.  One run object carries
+the rule table from :data:`repro.analysis.flexlint.RULES`; each finding
+becomes a ``result`` with a physical location, and waived/baselined
+findings are carried as ``suppressions`` (``inSource`` for ``#
+flexlint: ok(...)`` waivers, ``external`` for baseline entries) so the
+forge shows them greyed-out instead of dropping them silently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.analysis.flexlint import RULES, Finding
+
+__all__ = ["to_sarif", "write_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+TOOL_NAME = "FlexLint"
+TOOL_VERSION = "2.0"
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    rule = RULES.get(rule_id)
+    if rule is None:  # FXL000 parse errors and future rules
+        return {"id": rule_id}
+    return {
+        "id": rule.id,
+        "name": rule.title.title().replace(" ", "").replace("/", ""),
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.description},
+        "defaultConfiguration": {"level": "error"},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    result = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                }
+            }
+        ],
+    }
+    suppressions = []
+    if finding.waived:
+        suppressions.append(
+            {
+                "kind": "inSource",
+                "justification": finding.waiver_reason,
+            }
+        )
+    if finding.baselined:
+        suppressions.append(
+            {
+                "kind": "external",
+                "justification": finding.baseline_reason,
+            }
+        )
+    if suppressions:
+        result["suppressions"] = suppressions
+    return result
+
+
+def to_sarif(findings: Iterable[Finding]) -> dict:
+    """The SARIF 2.1.0 log object for one FlexLint run."""
+    findings = list(findings)
+    rule_ids = sorted({f.rule for f in findings} | set(RULES))
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": TOOL_VERSION,
+                        "informationUri": "https://example.invalid/flexlint",
+                        "rules": [_rule_descriptor(r) for r in rule_ids],
+                    }
+                },
+                "results": [_result(f) for f in findings],
+            }
+        ],
+    }
+
+
+def write_sarif(findings: Iterable[Finding], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_sarif(findings), fh, indent=2, sort_keys=True)
+        fh.write("\n")

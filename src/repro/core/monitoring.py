@@ -28,6 +28,7 @@ from typing import Any, Iterator, Optional
 
 from repro import obs
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import F_LATENCY, metric_name
 from repro.obs.tracing import CURRENT, Span, Tracer
 
 #: Core field names of a serialized record; ``extra`` keys colliding with
@@ -240,7 +241,7 @@ class PerfMonitor:
         if self.keep_trace:
             self.trace.append(rec)
         self.aggregates[category].observe(rec)
-        self.metrics.histogram(f"latency.{category}").observe(duration)
+        self.metrics.histogram(metric_name(F_LATENCY, category)).observe(duration)
         return rec
 
     def measure(self, category: str, name: str, nbytes: int = 0, **extra: Any) -> MeasurementPoint:

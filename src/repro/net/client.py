@@ -550,10 +550,17 @@ class RemoteClient(Client):
             self.host, self.data_port, monitor=self.monitor,
             injector=self.faults, timeout=self.timeout,
         )
-        channel.sendv([encode_frame(MsgType.ATTACH, {
-            "session": self.session_id, "stream_id": stream_id, "role": role,
-        }, seq=next(self._frame_seq))], timeout=self.timeout)
-        frame = decode_frame(channel.recv(timeout=self.timeout))
+        try:
+            channel.sendv([encode_frame(MsgType.ATTACH, {
+                "session": self.session_id, "stream_id": stream_id, "role": role,
+            }, seq=next(self._frame_seq))], timeout=self.timeout)
+            frame = decode_frame(channel.recv(timeout=self.timeout))
+        except (TransportFault, ProtocolError, OSError):
+            # A half-attached socket is a leak: the daemon holds the
+            # accept side until its idle reaper fires, and the client
+            # would dial a fresh one on retry anyway.
+            channel.close()
+            raise
         if frame.msg_type in (MsgType.ERROR, MsgType.RETRY_AFTER):
             channel.close()
             raise_wire_error(frame)

@@ -34,6 +34,7 @@ import signal
 import struct
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -80,6 +81,11 @@ from repro.obs.events import (
 )
 from repro.obs.live import LiveTelemetryServer
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.names import (
+    F_FAULTS_INJECTED,
+    M_FAULTS_INJECTED_TOTAL,
+    metric_name,
+)
 from repro.transport.faults import (
     FaultKind,
     TransportFaultInjector,
@@ -246,6 +252,10 @@ class DirectoryDaemon:
         self._thread: Optional[threading.Thread] = None
         self._ready = threading.Event()
         self._startup_error: Optional[BaseException] = None
+        #: One-thread pool for checkpoint file I/O; lazily created so
+        #: daemons that never checkpoint pay nothing.
+        self._ckpt_executor: Optional[ThreadPoolExecutor] = None
+        self._ckpt_tmp_seq = itertools.count()
 
     # -- telemetry plumbing ------------------------------------------------
     def _stream_states(self) -> dict[str, object]:
@@ -319,7 +329,7 @@ class DirectoryDaemon:
     async def _checkpoint_loop(self) -> None:
         while True:
             await asyncio.sleep(self.checkpoint_interval)
-            self.checkpoint()
+            await self.checkpoint_async()
 
     def stop(self) -> None:
         if self.telemetry is not None:
@@ -331,6 +341,9 @@ class DirectoryDaemon:
         self._servers = []
         self._thread = None
         self._ready.clear()
+        if self._ckpt_executor is not None:
+            self._ckpt_executor.shutdown(wait=True)
+            self._ckpt_executor = None
 
     # -- frame I/O ---------------------------------------------------------
     @staticmethod
@@ -369,8 +382,8 @@ class DirectoryDaemon:
         dropped, torn, or the connection was killed); False for kinds
         that only perturb timing.
         """
-        self.metrics.counter(f"faults.injected.{kind.value}").inc()
-        self.metrics.counter("faults.injected.total").inc()
+        self.metrics.counter(metric_name(F_FAULTS_INJECTED, kind.value)).inc()
+        self.metrics.counter(M_FAULTS_INJECTED_TOTAL).inc()
         flight.record(EV_FAULT, kind=kind.value, transport="daemon", nbytes=total)
         if kind is FaultKind.DROPPED_FRAME:
             return True  # the reply silently never leaves; peer times out
@@ -691,8 +704,9 @@ class DirectoryDaemon:
                 pass  # unleased or already closed registration
             if stored and self.checkpoint_sync and self.checkpoint_path:
                 # Durability before acknowledgement: once the writer sees
-                # OK, the step survives even a hard daemon kill.
-                self.checkpoint()
+                # OK, the step survives even a hard daemon kill.  Async so
+                # the fsync+rename doesn't stall other sessions' frames.
+                await self.checkpoint_async()
             await self._write_frame(
                 writer, encode_frame(
                     MsgType.OK, {"detail": "published" if stored else "duplicate"}
@@ -764,16 +778,70 @@ class DirectoryDaemon:
     def checkpoint(self, path: Optional[str] = None) -> str:
         """Write directory + tenant + broker state to ``path`` atomically.
 
-        The file is a concatenation of bare codec messages (the same
-        marshal plane the wire uses): one head, then tenants, sessions,
-        lease registrations, and streams with their retained steps
-        spilled via ``encode_into``.  Safe to call from any thread — the
-        broker's dicts are only mutated by the event loop, and a
-        checkpoint is a read-only walk.
+        Synchronous shape for non-loop callers (the CLI's SIGTERM
+        handler, tests).  Coroutines must use :meth:`checkpoint_async`
+        instead: the ``fsync``/``os.replace`` here block, and FXL010
+        flags any call to this from an ``async def``.
         """
+        target = self._checkpoint_target(path)
+        blob = self._checkpoint_blob()
+        self._write_checkpoint_blob(blob, target)
+        self._note_checkpoint(target, len(blob))
+        return target
+
+    async def checkpoint_async(self, path: Optional[str] = None) -> str:
+        """Checkpoint from a coroutine without stalling the event loop.
+
+        The state walk runs on the loop (so the snapshot is consistent —
+        broker dicts are only mutated by the loop); the blocking
+        write+fsync+rename runs on a dedicated one-thread executor,
+        which also serializes concurrent checkpoints in FIFO order so an
+        older snapshot can never overwrite a newer one.
+        """
+        target = self._checkpoint_target(path)
+        blob = self._checkpoint_blob()
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._checkpoint_executor(), self._write_checkpoint_blob, blob, target
+        )
+        self._note_checkpoint(target, len(blob))
+        return target
+
+    def _checkpoint_target(self, path: Optional[str]) -> str:
         target = path or self.checkpoint_path
         if not target:
             raise ValueError("no checkpoint path configured")
+        return target
+
+    def _checkpoint_executor(self) -> ThreadPoolExecutor:
+        if self._ckpt_executor is None:
+            self._ckpt_executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="flexio-ckpt"
+            )
+        return self._ckpt_executor
+
+    def _write_checkpoint_blob(self, blob: bytes, target: str) -> None:
+        """Blocking half: atomic tmp+fsync+rename.  The tmp name carries
+        a sequence number so overlapping checkpoints (sync-on-publish
+        racing the interval loop) never share a scratch file."""
+        tmp = f"{target}.tmp.{os.getpid()}.{next(self._ckpt_tmp_seq)}"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+
+    def _note_checkpoint(self, target: str, nbytes: int) -> None:
+        self.metrics.counter("net.checkpoints").inc()
+        flight.record(
+            EV_NET_CHECKPOINT, path=target, nbytes=nbytes,
+            streams=len(self._streams), sessions=len(self._sessions),
+        )
+
+    def _checkpoint_blob(self) -> bytes:
+        """The state walk: every tenant/session/registration/stream as
+        bare codec messages (the same marshal plane the wire uses).
+        Pure in-memory work — safe on the event loop."""
         parts: list[np.ndarray] = [encode_record(CKPT_HEAD, {
             "version": CKPT_VERSION, "wall": time.time(), "server": SERVER_VERSION,
         })]
@@ -819,19 +887,7 @@ class DirectoryDaemon:
                     "step": step, "count": count,
                     "payload": np.frombuffer(payload, dtype=np.uint8),
                 }))
-        blob = b"".join(p.tobytes() for p in parts)
-        tmp = f"{target}.tmp.{os.getpid()}"
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, target)
-        self.metrics.counter("net.checkpoints").inc()
-        flight.record(
-            EV_NET_CHECKPOINT, path=target, nbytes=len(blob),
-            streams=len(self._streams), sessions=len(self._sessions),
-        )
-        return target
+        return b"".join(p.tobytes() for p in parts)
 
     def restore(self, path: Optional[str] = None) -> None:
         """Load a checkpoint written by :meth:`checkpoint`.

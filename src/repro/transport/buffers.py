@@ -35,6 +35,7 @@ from typing import Callable, Iterable, Iterator, Optional, Union
 import numpy as np
 
 from repro.analysis import sanitize
+from repro.obs.names import F_TRANSPORT_PATH, metric_name
 
 __all__ = [
     "Ownership",
@@ -482,4 +483,4 @@ class Channel(abc.ABC):
         if mon is not None:
             mon.metrics.histogram("transport.copies").observe(float(wb.copies))
             if path:
-                mon.metrics.counter(f"transport.path.{path}").inc()
+                mon.metrics.counter(metric_name(F_TRANSPORT_PATH, path)).inc()

@@ -27,6 +27,11 @@ from typing import Optional, Sequence
 
 from repro.obs import recorder as flight
 from repro.obs.events import EV_FAULT
+from repro.obs.names import (
+    F_FAULTS_INJECTED,
+    M_FAULTS_INJECTED_TOTAL,
+    metric_name,
+)
 from repro.util import rng
 
 
@@ -227,8 +232,8 @@ def record_injected(monitor, transport: str, kind: FaultKind, nbytes: int = 0) -
     """
     if monitor is None:
         return
-    monitor.metrics.counter(f"faults.injected.{kind.value}").inc()
-    monitor.metrics.counter("faults.injected.total").inc()
+    monitor.metrics.counter(metric_name(F_FAULTS_INJECTED, kind.value)).inc()
+    monitor.metrics.counter(M_FAULTS_INJECTED_TOTAL).inc()
     monitor.record(
         "fault", f"{transport}.{kind.value}", start=0.0, duration=0.0,
         nbytes=nbytes, kind=kind.value, transport=transport,

@@ -34,6 +34,7 @@ from typing import Optional, Sequence, Union
 import numpy as np
 
 from repro.machine.interconnect import Interconnect
+from repro.obs.names import F_RDMA_REGCACHE, metric_name
 from repro.transport.buffers import (
     BufferLease,
     Channel,
@@ -88,14 +89,14 @@ class RegCacheStats:
     setup_time_paid: float = 0.0
     setup_time_saved: float = 0.0
 
-    def emit(self, monitor, prefix: str = "rdma.regcache") -> None:
+    def emit(self, monitor, prefix: str = F_RDMA_REGCACHE) -> None:
         """Publish a snapshot of these counters into ``monitor.metrics``."""
         m = monitor.metrics
-        m.gauge(f"{prefix}.hits").set(self.hits)
-        m.gauge(f"{prefix}.misses").set(self.misses)
-        m.gauge(f"{prefix}.reclaimed").set(self.reclaimed)
-        m.gauge(f"{prefix}.setup_time_paid").set(self.setup_time_paid)
-        m.gauge(f"{prefix}.setup_time_saved").set(self.setup_time_saved)
+        m.gauge(metric_name(prefix, "hits")).set(self.hits)
+        m.gauge(metric_name(prefix, "misses")).set(self.misses)
+        m.gauge(metric_name(prefix, "reclaimed")).set(self.reclaimed)
+        m.gauge(metric_name(prefix, "setup_time_paid")).set(self.setup_time_paid)
+        m.gauge(metric_name(prefix, "setup_time_saved")).set(self.setup_time_saved)
 
 
 class RegistrationCache(LeasePool):
@@ -191,11 +192,13 @@ class RegistrationCache(LeasePool):
             self._total_bytes -= buf.size
             self.stats.reclaimed += 1
 
-    def emit_stats(self, monitor, prefix: str = "rdma.regcache") -> None:
+    def emit_stats(self, monitor, prefix: str = F_RDMA_REGCACHE) -> None:
         """Snapshot hit/miss/reclaim counters + registered bytes into
         ``monitor.metrics``."""
         self.stats.emit(monitor, prefix)
-        monitor.metrics.gauge(f"{prefix}.registered_bytes").set(self._total_bytes)
+        monitor.metrics.gauge(
+            metric_name(prefix, "registered_bytes")
+        ).set(self._total_bytes)
 
 
 # ---------------------------------------------------------------------------
@@ -517,20 +520,30 @@ class RdmaChannel(Channel):
         except BaseException:  # flexlint: ok(FXL001) lease cleanup must cover every raise, then re-raises
             send_lease.release()
             raise
-        t = max(send_lease.setup_time, recv_lease.setup_time)
-        vec.copy_into(send_lease.data)  # copy 1: gather into registered memory
-        t += ic.params.control_msg_time  # sender's "data ready" notification
-        if self.sender.node_id == self.receiver.node_id:
-            t += total / ic.params.peak_bw  # loopback DMA
-        else:
-            t += ic.bulk_transfer_time(total, concurrent_flows)
-        # The Get itself: NIC-driven DMA into the receiver's registered
-        # buffer — priced above, not counted as a CPU copy.
-        recv_lease.data[:total] = send_lease.data[:total]
+        try:
+            t = max(send_lease.setup_time, recv_lease.setup_time)
+            vec.copy_into(send_lease.data)  # copy 1: gather into registered memory
+            t += ic.params.control_msg_time  # sender's "data ready" notification
+            if self.sender.node_id == self.receiver.node_id:
+                t += total / ic.params.peak_bw  # loopback DMA
+            else:
+                t += ic.bulk_transfer_time(total, concurrent_flows)
+            # The Get itself: NIC-driven DMA into the receiver's registered
+            # buffer — priced above, not counted as a CPU copy.
+            recv_lease.data[:total] = send_lease.data[:total]
+            # Ownership of recv_lease moves into the WireBuffer here; the
+            # consumer's release() returns the registration to the cache.
+            wb = WireBuffer.from_lease(
+                recv_lease, total, ownership=Ownership.RDMA, copies=COPIES_RDMA_BULK
+            )
+        except BaseException:  # flexlint: ok(FXL001) lease cleanup must cover every raise, then re-raises
+            try:
+                send_lease.release()
+            finally:
+                recv_lease.release()
+            raise
         send_lease.release()
-        return t, WireBuffer.from_lease(
-            recv_lease, total, ownership=Ownership.RDMA, copies=COPIES_RDMA_BULK
-        )
+        return t, wb
 
     def recv(self, timeout: Optional[float] = None) -> Optional[WireBuffer]:
         """Pop the next delivered span (``timeout`` accepted for signature

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.analysis import sanitize
 from repro.machine.topology import NodeType
+from repro.obs.names import F_SHM_POOL, F_SHM_QUEUE, metric_name
 from repro.transport.buffers import (
     COPIES_INLINE,
     COPIES_POOL,
@@ -99,14 +100,14 @@ class QueueStats:
     producer_spins: int = 0
     consumer_spins: int = 0
 
-    def emit(self, monitor, prefix: str = "shm.queue") -> None:
+    def emit(self, monitor, prefix: str = F_SHM_QUEUE) -> None:
         """Publish a snapshot of these counters into ``monitor.metrics``."""
         m = monitor.metrics
-        m.gauge(f"{prefix}.enqueued").set(self.enqueued)
-        m.gauge(f"{prefix}.dequeued").set(self.dequeued)
-        m.gauge(f"{prefix}.bytes_enqueued").set(self.bytes_enqueued)
-        m.gauge(f"{prefix}.producer_spins").set(self.producer_spins)
-        m.gauge(f"{prefix}.consumer_spins").set(self.consumer_spins)
+        m.gauge(metric_name(prefix, "enqueued")).set(self.enqueued)
+        m.gauge(metric_name(prefix, "dequeued")).set(self.dequeued)
+        m.gauge(metric_name(prefix, "bytes_enqueued")).set(self.bytes_enqueued)
+        m.gauge(metric_name(prefix, "producer_spins")).set(self.producer_spins)
+        m.gauge(metric_name(prefix, "consumer_spins")).set(self.consumer_spins)
 
 
 class SPSCQueue:
@@ -250,10 +251,10 @@ class SPSCQueue:
         """Entries currently FULL (approximate under concurrency)."""
         return int(np.count_nonzero(self._buf[:: self.entry_size] == _FULL))
 
-    def emit_stats(self, monitor, prefix: str = "shm.queue") -> None:
+    def emit_stats(self, monitor, prefix: str = F_SHM_QUEUE) -> None:
         """Snapshot counters + current depth into ``monitor.metrics``."""
         self.stats.emit(monitor, prefix)
-        monitor.metrics.gauge(f"{prefix}.depth").set(len(self))
+        monitor.metrics.gauge(metric_name(prefix, "depth")).set(len(self))
 
 
 # ---------------------------------------------------------------------------
@@ -353,7 +354,7 @@ class ShmBufferPool(LeasePool):
     # -- BufferLease protocol ----------------------------------------------
     def lease(self, nbytes: int) -> BufferLease:
         """Acquire a pool buffer under a lease (release via the lease)."""
-        buf = self.acquire(nbytes)
+        buf = self.acquire(nbytes)  # flexlint: ok(FXL012) ownership transfers by buffer_id into the constructed lease; its release() returns the buffer
         return self._make_lease(
             buf.buffer_id, buf.data, nbytes, label=f"shm.pool#{buf.buffer_id}"
         )
@@ -375,14 +376,14 @@ class ShmBufferPool(LeasePool):
             self._total_bytes -= buf.size
             self.stats.reclaimed += 1
 
-    def emit_stats(self, monitor, prefix: str = "shm.pool") -> None:
+    def emit_stats(self, monitor, prefix: str = F_SHM_POOL) -> None:
         """Snapshot pool counters + occupancy into ``monitor.metrics``."""
         m = monitor.metrics
-        m.gauge(f"{prefix}.occupancy_bytes").set(self._total_bytes)
-        m.gauge(f"{prefix}.peak_bytes").set(self.stats.peak_bytes)
-        m.gauge(f"{prefix}.allocations").set(self.stats.allocations)
-        m.gauge(f"{prefix}.reuses").set(self.stats.reuses)
-        m.gauge(f"{prefix}.reclaimed").set(self.stats.reclaimed)
+        m.gauge(metric_name(prefix, "occupancy_bytes")).set(self._total_bytes)
+        m.gauge(metric_name(prefix, "peak_bytes")).set(self.stats.peak_bytes)
+        m.gauge(metric_name(prefix, "allocations")).set(self.stats.allocations)
+        m.gauge(metric_name(prefix, "reuses")).set(self.stats.reuses)
+        m.gauge(metric_name(prefix, "reclaimed")).set(self.stats.reclaimed)
 
 
 # ---------------------------------------------------------------------------

@@ -153,7 +153,15 @@ class TcpChannel(Channel):
             ) from exc
         except OSError as exc:
             raise PeerDisconnected(f"tcp connect to {host}:{port} failed: {exc}") from exc
-        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            # setsockopt can fail if the peer already reset the fresh
+            # connection; without the close the descriptor leaks.
+            sock.close()
+            raise PeerDisconnected(
+                f"tcp connect to {host}:{port} failed: {exc}"
+            ) from exc
         return cls(sock, monitor=monitor, injector=injector)
 
     # -- producer ---------------------------------------------------------

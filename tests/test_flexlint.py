@@ -473,12 +473,14 @@ def test_cli_list_rules():
     text = out.getvalue()
     for rule_id in (
         "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006",
-        "FXL007", "FXL008",
+        "FXL007", "FXL008", "FXL009", "FXL010", "FXL011", "FXL012",
+        "FXL013",
     ):
         assert rule_id in text
     assert set(RULES) == {
         "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006",
-        "FXL007", "FXL008",
+        "FXL007", "FXL008", "FXL009", "FXL010", "FXL011", "FXL012",
+        "FXL013",
     }
 
 
@@ -499,3 +501,263 @@ def test_repo_src_tree_lints_clean():
     """Acceptance: the shipped tree has zero non-waived findings."""
     out = io.StringIO()
     assert cli.main([SRC], out=out) == 0, out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# FXL009 — exhaustive MsgType dispatch (cross-file)
+# ---------------------------------------------------------------------------
+
+PROTOCOL_SRC = """
+from enum import Enum
+
+class MsgType(Enum):
+    HELLO = 1
+    DATA = 2
+    NEW_FANCY = 3
+"""
+
+SURFACE_SRC = """
+from repro.net.protocol import MsgType
+
+def handle(frame):
+    if frame.msg_type is MsgType.HELLO:
+        return hello()
+    if frame.msg_type is MsgType.DATA:
+        return data()
+"""
+
+
+def test_fxl009_flags_unhandled_enum_member():
+    from repro.analysis.flexlint import project_findings
+
+    sources = {
+        "repro/net/protocol.py": textwrap.dedent(PROTOCOL_SRC),
+        "repro/net/server.py": textwrap.dedent(SURFACE_SRC),
+        "repro/net/client.py": textwrap.dedent(SURFACE_SRC),
+    }
+    findings = project_findings(sources, LintConfig())
+    assert findings and {f.rule for f in findings} == {"FXL009"}
+    # One finding per surface that misses the member, anchored at the
+    # member's definition in the enum file.
+    assert len(findings) == 2
+    assert all("MsgType.NEW_FANCY" in f.message for f in findings)
+    assert all(f.path == "repro/net/protocol.py" for f in findings)
+    assert not any("MsgType.HELLO" in f.message for f in findings)
+
+
+def test_fxl009_clean_when_every_member_dispatched():
+    from repro.analysis.flexlint import project_findings
+
+    full = textwrap.dedent(SURFACE_SRC) + (
+        "    if frame.msg_type is MsgType.NEW_FANCY:\n        return fancy()\n"
+    )
+    sources = {
+        "repro/net/protocol.py": textwrap.dedent(PROTOCOL_SRC),
+        "repro/net/server.py": full,
+        "repro/net/client.py": full,
+    }
+    assert project_findings(sources, LintConfig()) == []
+
+
+# ---------------------------------------------------------------------------
+# FXL010 — blocking calls in async network-plane bodies
+# ---------------------------------------------------------------------------
+
+def test_fxl010_flags_direct_blocking_call():
+    code = """
+    import time
+
+    async def pump(self):
+        time.sleep(1.0)
+    """
+    findings = lint(code, path="repro/net/fixture.py")
+    assert rules_of(findings) == ["FXL010"]
+
+
+def test_fxl010_flags_transitive_blocking_through_sync_helper():
+    code = """
+    import os
+
+    class Daemon:
+        def save(self):
+            os.replace("a", "b")
+
+        async def loop(self):
+            self.save()
+    """
+    findings = lint(code, path="repro/net/fixture.py")
+    assert rules_of(findings) == ["FXL010"]
+    assert "save" in findings[0].message  # the chain is named
+
+
+def test_fxl010_scoped_to_net_and_sync_callers_allowed():
+    blocking_sync = """
+    import time
+
+    def pump():
+        time.sleep(1.0)
+    """
+    assert lint(blocking_sync, path="repro/net/fixture.py") == []
+    async_elsewhere = """
+    import time
+
+    async def pump():
+        time.sleep(1.0)
+    """
+    assert lint(async_elsewhere, path="repro/apps/fixture.py") == []
+
+
+def test_fxl010_executor_handoff_is_clean():
+    code = """
+    import asyncio
+
+    class Daemon:
+        def _write(self):
+            pass
+
+        async def flush(self):
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(None, self._write)
+    """
+    assert lint(code, path="repro/net/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# FXL011 — sync lock held across await
+# ---------------------------------------------------------------------------
+
+def test_fxl011_flags_sync_with_lock_across_await():
+    code = """
+    async def f(self):
+        with self._lock:
+            await self.flush()
+    """
+    findings = lint(code, path="repro/net/fixture.py")
+    assert rules_of(findings) == ["FXL011"]
+
+
+def test_fxl011_flags_manual_acquire_across_await():
+    code = """
+    async def f(self):
+        self._lock.acquire()
+        await self.flush()
+        self._lock.release()
+    """
+    findings = lint(code, path="repro/net/fixture.py")
+    # The blocking .acquire() itself also trips FXL010 — both defects
+    # are real in this shape.
+    assert rules_of(findings) == ["FXL010", "FXL011"]
+
+
+def test_fxl011_accepts_async_lock_and_release_before_await():
+    async_lock = """
+    async def f(self):
+        async with self._lock:
+            await self.flush()
+    """
+    assert lint(async_lock, path="repro/net/fixture.py") == []
+    released_first = """
+    async def f(self):
+        with self._lock:
+            x = 1
+        await self.flush(x)
+    """
+    assert lint(released_first, path="repro/net/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# FXL012 — lease must reach release/transfer on every path
+# ---------------------------------------------------------------------------
+
+def test_fxl012_flags_leak_on_exception_path():
+    code = """
+    def f(pool):
+        lease = pool.lease(100)
+        fill(lease.data)
+        lease.release()
+    """
+    findings = lint(code, path=TRANSPORT_PATH)
+    assert rules_of(findings) == ["FXL012"]
+    assert "lease" in findings[0].message
+
+
+def test_fxl012_attribute_use_is_not_a_transfer():
+    # decode_frame(channel.recv()) must NOT count as handing the channel
+    # off — this is exactly the real _attach leak shape.
+    code = """
+    def f(host, port):
+        channel = TcpChannel.connect(host, port)
+        frame = decode_frame(channel.recv())
+        return channel
+    """
+    findings = lint(code, path="repro/net/fixture.py")
+    assert rules_of(findings) == ["FXL012"]
+
+
+def test_fxl012_accepts_try_finally_release():
+    code = """
+    def f(pool):
+        lease = pool.lease(100)
+        try:
+            fill(lease.data)
+        finally:
+            lease.release()
+    """
+    assert lint(code, path=TRANSPORT_PATH) == []
+
+
+def test_fxl012_accepts_ownership_transfer_and_guarded_cleanup():
+    transfer = """
+    def f(pool):
+        lease = pool.lease(100)
+        return WireBuffer.from_lease(lease, 100)
+    """
+    assert lint(transfer, path=TRANSPORT_PATH) == []
+    guarded = """
+    def f(pool):
+        lease = pool.lease(100)
+        try:
+            fill(lease.data)
+        except ValueError:
+            lease.release()
+            raise
+        lease.release()
+    """
+    assert lint(guarded, path=TRANSPORT_PATH) == []
+
+
+def test_fxl012_scope_excludes_other_trees():
+    code = """
+    def f(pool):
+        lease = pool.lease(100)
+        fill(lease.data)
+    """
+    assert lint(code, path="repro/apps/fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# FXL013 — metric names come from the registered table
+# ---------------------------------------------------------------------------
+
+def test_fxl013_flags_unregistered_and_dynamic_names():
+    code = """
+    def f(m, kind):
+        m.counter("no.such.metric").inc()
+        m.gauge(f"ad.hoc.{kind}").set(1)
+    """
+    findings = lint(code)
+    assert rules_of(findings) == ["FXL013"]
+    assert len(findings) == 2
+
+
+def test_fxl013_accepts_registered_names_families_and_nonstrings():
+    code = """
+    import numpy as np
+
+    def f(m, data, path):
+        m.counter("faults.injected.total").inc()
+        m.histogram("transport.copies").observe(1.0)
+        m.counter(metric_name("transport.path", path)).inc()
+        np.histogram(data, bins=10)
+    """
+    assert lint(code) == []

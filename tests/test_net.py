@@ -551,3 +551,114 @@ def test_heartbeat_thread_lifecycle(daemon):
     finally:
         c.close()
     assert c._hb_thread is None  # joined on close
+
+
+# ---------------------------------------------------------------------------
+# Regressions surfaced by FlexLint v2 (FXL010 / FXL012)
+# ---------------------------------------------------------------------------
+
+def test_checkpoint_async_runs_off_loop_and_round_trips(daemon, tmp_path):
+    """The coroutine checkpoint path (blob on the loop, file I/O on the
+    one-thread executor) must produce the same restorable file as the
+    sync path."""
+    import asyncio as _asyncio
+
+    block = np.full((2, 2), 7.0)
+    with connect(uri(daemon), token="s3cret") as c:
+        w = c.open("async.ckpt", "w")
+        w.begin_step()
+        w.write("v", block)
+        w.end_step()
+        target = str(tmp_path / "async.ckpt")
+        fut = _asyncio.run_coroutine_threadsafe(
+            daemon.checkpoint_async(target), daemon._loop
+        )
+        assert fut.result(timeout=5.0) == target
+        w.close()
+    assert daemon.metrics.counter("net.checkpoints").value >= 1
+
+    d2 = DirectoryDaemon(
+        tenants=[TenantSpec("acme", token="s3cret", max_streams=2)],
+        telemetry=False, lease_interval=0.05,
+    )
+    d2.restore(target)
+    d2.start()
+    try:
+        with connect(uri(d2), token="s3cret") as c2:
+            r = c2.open("async.ckpt", "r", timeout=2.0)
+            assert r.begin_step(timeout=2.0) is StepStatus.OK
+            np.testing.assert_array_equal(r.read_block("v", 0), block)
+            r.end_step()
+            r.close()
+    finally:
+        d2.stop()
+
+
+def test_checkpoint_sync_publish_acks_after_durable_write(tmp_path):
+    """checkpoint_sync=True acks a PUBLISH only after the checkpoint
+    lands — via the async path, so other sessions are not stalled."""
+    path = str(tmp_path / "sync.ckpt")
+    d = DirectoryDaemon(
+        tenants=[TenantSpec("public")], telemetry=False,
+        lease_interval=0.05, checkpoint_path=path, checkpoint_sync=True,
+    )
+    d.start()
+    try:
+        with connect(uri(d, tenant="public")) as c:
+            w = c.open("durable", "w")
+            w.begin_step()
+            w.write("v", np.ones((2, 2)))
+            w.end_step()  # ack implies the checkpoint file exists
+            assert os.path.exists(path)
+            w.close()
+    finally:
+        d.stop()
+
+
+def test_attach_failure_closes_fresh_data_channel(daemon, monkeypatch):
+    """A half-attached data socket must be closed, not leaked, when the
+    ATTACH exchange dies mid-flight (the pre-fix code left it open)."""
+    from repro.net import client as client_mod
+
+    with connect(uri(daemon), token="s3cret") as c:
+        class StubChannel:
+            def __init__(self):
+                self.closed = False
+
+            def sendv(self, frames, timeout=None):
+                raise TransportFault("injected mid-attach failure")
+
+            def close(self):
+                self.closed = True
+
+        stub = StubChannel()
+
+        class StubFactory:
+            @staticmethod
+            def connect(*args, **kwargs):
+                return stub
+
+        monkeypatch.setattr(client_mod, "TcpChannel", StubFactory)
+        with pytest.raises(TransportFault):
+            c._attach("nonexistent-stream", "w")
+        assert stub.closed
+
+
+def test_tcp_connect_closes_socket_when_setsockopt_fails(monkeypatch):
+    """TcpChannel.connect must not leak the descriptor if the fresh
+    socket dies between connect() and setsockopt()."""
+    closed = []
+
+    class FakeSock:
+        def setsockopt(self, *args):
+            raise OSError("connection reset during setup")
+
+        def close(self):
+            closed.append(True)
+
+    monkeypatch.setattr(
+        socket, "create_connection", lambda *a, **k: FakeSock()
+    )
+    with pytest.raises(PeerDisconnected):
+        TcpChannel.connect("127.0.0.1", 1)
+    assert closed == [True]

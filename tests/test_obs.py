@@ -599,3 +599,61 @@ def test_trace_cli_complains_without_spans(tmp_path):
     out = io.StringIO()
     assert trace_main([str(dump)], out=out) == 1
     assert "no span records" in out.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Central metric-name registry (repro.obs.names)
+# ---------------------------------------------------------------------------
+
+def test_metric_registry_static_names_are_validated():
+    from repro.obs import names
+
+    assert names.validate_metric("transport.copies") == "transport.copies"
+    # Extending a registered family root is valid by construction.
+    assert names.validate_metric("faults.injected.torn_frame")
+    with pytest.raises(names.UnknownMetricError) as exc:
+        names.validate_metric("transport.copiez")
+    # The error suggests the nearest registered name.
+    assert "transport.copies" in str(exc.value)
+
+
+def test_metric_name_builds_family_members():
+    from repro.obs import names
+
+    assert (
+        names.metric_name(names.F_FAULTS_INJECTED, "torn_frame")
+        == "faults.injected.torn_frame"
+    )
+    assert (
+        names.metric_name(names.F_SHM_QUEUE, "depth") == "shm.queue.depth"
+    )
+    # Extended roots (per-endpoint regcache prefixes) are accepted too.
+    assert (
+        names.metric_name("rdma.regcache.nodeA", "hits")
+        == "rdma.regcache.nodeA.hits"
+    )
+
+
+def test_metric_name_rejects_unregistered_family():
+    from repro.obs import names
+
+    with pytest.raises(names.UnknownMetricError):
+        names.metric_name("totally.adhoc", "x")
+    # register_family is the escape hatch for new subsystems.
+    names.register_family("totally.adhoc", "test-only family")
+    try:
+        assert names.metric_name("totally.adhoc", "x") == "totally.adhoc.x"
+    finally:
+        names.FAMILIES.pop("totally.adhoc", None)
+
+
+def test_metric_registry_matches_linted_vocabulary():
+    """The FXL013 vocabulary and the runtime registry are the same
+    object: a name the linter accepts is a name the registry knows."""
+    from repro.analysis.flexlint import LintConfig
+    from repro.obs import names
+
+    cfg = LintConfig()
+    assert cfg.metric_names is None  # linter defaults to the registry
+    assert "transport.copies" in names.METRIC_NAMES
+    assert all(root in names.FAMILIES for root in names.FAMILY_ROOTS)

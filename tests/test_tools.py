@@ -267,3 +267,144 @@ def test_monitor_demo_json_output():
     (row,) = doc["streams"]
     assert row["state"] == "closed"  # the demo writer closes before scraping
     assert row["stream"].startswith("monitor.demo")
+
+
+# ---------------------------------------------------------------------------
+# flexlint CLI: SARIF, baseline, cache, jobs
+# ---------------------------------------------------------------------------
+
+import json as _json
+import os as _os
+import textwrap as _textwrap
+
+from repro.tools import flexlint as _flexlint_cli
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """A tiny tree with one active finding (an FXL012 lease leak)."""
+    pkg = tmp_path / "repro" / "transport"
+    pkg.mkdir(parents=True)
+    (pkg / "leaky.py").write_text(_textwrap.dedent("""
+        def f(pool):
+            lease = pool.lease(100)
+            fill(lease.data)
+            lease.release()
+    """), encoding="utf-8")
+    (pkg / "clean.py").write_text(_textwrap.dedent("""
+        def g(pool):
+            lease = pool.lease(100)
+            try:
+                fill(lease.data)
+            finally:
+                lease.release()
+    """), encoding="utf-8")
+    return tmp_path
+
+
+def _run(args, cwd):
+    out = io.StringIO()
+    old = _os.getcwd()
+    _os.chdir(cwd)
+    try:
+        code = _flexlint_cli.main(args, out=out)
+    finally:
+        _os.chdir(old)
+    return code, out.getvalue()
+
+
+def test_flexlint_sarif_output(lint_tree, tmp_path):
+    sarif_path = tmp_path / "report.sarif"
+    code, _text = _run(
+        [str(lint_tree), "--no-cache", "--sarif", str(sarif_path)], lint_tree
+    )
+    assert code == 1
+    log = _json.loads(sarif_path.read_text(encoding="utf-8"))
+    assert log["version"] == "2.1.0"
+    run = log["runs"][0]
+    assert run["tool"]["driver"]["name"] == "FlexLint"
+    rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+    assert "FXL012" in rule_ids
+    results = run["results"]
+    assert any(r["ruleId"] == "FXL012" for r in results)
+    loc = results[0]["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] >= 1
+
+
+def test_flexlint_update_baseline_then_clean(lint_tree):
+    code, _ = _run(
+        [str(lint_tree), "--no-cache", "--update-baseline"], lint_tree
+    )
+    assert code == 0  # baseline update always exits 0
+    baseline = lint_tree / _flexlint_cli.DEFAULT_BASELINE
+    data = _json.loads(baseline.read_text(encoding="utf-8"))
+    assert data["entries"] and all(
+        e["reason"] for e in data["entries"]
+    )  # every suppression carries a reason
+    # With the baseline in place the same tree is green...
+    code, text = _run([str(lint_tree), "--no-cache"], lint_tree)
+    assert code == 0
+    assert "baselined" in text
+    # ...but a NEW finding still fails the run.
+    extra = lint_tree / "repro" / "transport" / "new_leak.py"
+    extra.write_text(
+        "def h(pool):\n    lease = pool.lease(1)\n    fill(lease.data)\n",
+        encoding="utf-8",
+    )
+    code, _ = _run([str(lint_tree), "--no-cache"], lint_tree)
+    assert code == 1
+
+
+def test_flexlint_cache_hits_on_second_run(lint_tree):
+    cache = lint_tree / "cache.json"
+    stats1 = lint_tree / "stats1.json"
+    stats2 = lint_tree / "stats2.json"
+    code1, _ = _run(
+        [str(lint_tree), "--cache", str(cache), "--stats-json", str(stats1)],
+        lint_tree,
+    )
+    code2, _ = _run(
+        [str(lint_tree), "--cache", str(cache), "--stats-json", str(stats2)],
+        lint_tree,
+    )
+    assert code1 == code2 == 1  # findings identical from cached entries
+    s1 = _json.loads(stats1.read_text(encoding="utf-8"))
+    s2 = _json.loads(stats2.read_text(encoding="utf-8"))
+    assert s1["cache_hits"] == 0 and s1["cache_misses"] == s1["files"]
+    assert s2["cache_misses"] == 0 and s2["cache_hits"] == s2["files"]
+
+
+def test_flexlint_cache_invalidated_by_edit(lint_tree):
+    cache = lint_tree / "cache.json"
+    _run([str(lint_tree), "--cache", str(cache)], lint_tree)
+    edited = lint_tree / "repro" / "transport" / "clean.py"
+    edited.write_text(edited.read_text(encoding="utf-8") + "\nx = 1\n",
+                      encoding="utf-8")
+    stats = lint_tree / "stats.json"
+    _run(
+        [str(lint_tree), "--cache", str(cache), "--stats-json", str(stats)],
+        lint_tree,
+    )
+    s = _json.loads(stats.read_text(encoding="utf-8"))
+    assert s["cache_misses"] == 1  # only the edited file re-analyzed
+
+
+def test_flexlint_no_cache_and_jobs_flags(lint_tree):
+    stats = lint_tree / "stats.json"
+    code, _ = _run(
+        [str(lint_tree), "--no-cache", "--jobs", "2",
+         "--stats-json", str(stats)],
+        lint_tree,
+    )
+    assert code == 1
+    s = _json.loads(stats.read_text(encoding="utf-8"))
+    assert s["jobs"] == 2
+    assert s["cache_hits"] == 0
+    assert not (lint_tree / _flexlint_cli.DEFAULT_CACHE).exists()
+
+
+def test_flexlint_json_output_keeps_rule_key(lint_tree):
+    code, text = _run([str(lint_tree), "--no-cache", "--json"], lint_tree)
+    assert code == 1
+    findings = _json.loads(text)
+    assert findings and findings[0]["rule"] == "FXL012"
