@@ -1,0 +1,242 @@
+"""Fused analytics pipeline benchmark: single-pass vs interpreted.
+
+A GTS-like particle pipeline — row-decomposed ``zion`` (n, 7) blocks
+from 8 writers, one reader running a sample(stride=16) + range-select
+chain — measured two ways, recorded into ``BENCH_fused.json``:
+
+* **interpreted** (``fused=false``): scatter every wire span into the
+  materialized global array, then run the plug-in chain over it;
+* **fused** (default): the compiled plan runs the chain per block while
+  scattering — filtered rows are never copied at all.
+
+Expected: >= 2x per-step read speedup and byte-identical results.  A
+third measurement drives the chain cursor over spans arriving on an
+xpmem :class:`~repro.transport.shm.ShmChannel`: the kernels must run
+directly over the producer's mapped pages, keeping ``transport.copies``
+at zero (fusion must not reintroduce a copy to run the chain).
+
+Run:  python benchmarks/bench_fused_pipeline.py [--quick] [--out FILE]
+Also collectable by pytest (the ``test_*`` wrappers assert the targets).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+
+import numpy as np
+
+from repro.adios import Adios, BoundingBox, RankContext, StepStatus
+from repro.core import PerfMonitor, PluginManager, PluginSide, stream_registry
+from repro.core.hints import stream_params
+from repro.core.plugins import range_select_plugin, sampling_plugin
+from repro.core.redistribution import global_plan_cache
+from repro.transport.shm import ShmChannel
+
+NUM_WRITERS = 8
+ROWS_PER_WRITER = 32768          # 8 x 32768 x 7 float64 ~ 14.7 MB/step
+TOTAL_ROWS = NUM_WRITERS * ROWS_PER_WRITER
+GSHAPE = (TOTAL_ROWS, 7)
+STRIDE = 16
+SELECT = (0, 0.3, 0.7)           # column, lo, hi: ~40% of sampled rows
+
+CONFIG = """
+<adios-config>
+  <adios-group name="particles">
+    <var name="zion" type="float64" dimensions="n,7"/>
+  </adios-group>
+  <method group="particles" method="FLEXPATH">{params}</method>
+</adios-config>
+"""
+
+
+def _fresh(params):
+    stream_registry.reset()
+    global_plan_cache.clear()
+    return Adios.from_xml(CONFIG.format(params=params))
+
+
+def _deploy_chain(state):
+    state.plugins.deploy(
+        sampling_plugin(stride=STRIDE, only=("zion",)), PluginSide.READER
+    )
+    state.plugins.deploy(range_select_plugin("zion", *SELECT), PluginSide.READER)
+
+
+def _run_pipeline(label, params, num_steps):
+    """One full pipeline run; returns (per-step ms, last result, state)."""
+    adios = _fresh(params)
+    name = f"bench.fused.{label}"
+    boxes = [
+        BoundingBox((r * ROWS_PER_WRITER, 0), (ROWS_PER_WRITER, 7))
+        for r in range(NUM_WRITERS)
+    ]
+    handles = [
+        adios.open_write("particles", name, RankContext(r, NUM_WRITERS))
+        for r in range(NUM_WRITERS)
+    ]
+    state = stream_registry._states[name]
+    _deploy_chain(state)
+    rng = np.random.default_rng(11)
+    for _ in range(num_steps):
+        for r, h in enumerate(handles):
+            h.write("zion", rng.random(boxes[r].count), box=boxes[r],
+                    global_shape=GSHAPE)
+        for h in handles:
+            h.end_step()
+    for h in handles:
+        h.close()
+
+    reader = adios.open_read("particles", name, RankContext(0, 1))
+    per_step, result = [], None
+    while reader.begin_step() is StepStatus.OK:
+        t0 = time.perf_counter()
+        result = reader.read("zion", start=(0, 0), count=GSHAPE)
+        per_step.append((time.perf_counter() - t0) * 1e3)
+        reader.end_step()
+    reader.close()
+    return per_step, result, state
+
+
+def bench_fused_read(num_steps=8):
+    """Per-step read time, interpreted chain vs fused plan."""
+    out, results = {}, {}
+    for label, params in [
+        ("interpreted", stream_params(fused=False)),
+        ("fused", ""),
+    ]:
+        per_step, result, state = _run_pipeline(label, params, num_steps)
+        # Step 0 pays plan compilation / warmup; steady state after.
+        out[label + "_ms"] = statistics.median(per_step[1:])
+        out[label + "_all_steps_ms"] = [round(t, 4) for t in per_step]
+        results[label] = result
+    stream_registry.reset()
+    global_plan_cache.clear()
+    out["rows_out"] = int(results["fused"].shape[0])
+    out["identical"] = (
+        results["fused"].shape == results["interpreted"].shape
+        and results["fused"].tobytes() == results["interpreted"].tobytes()
+    )
+    out["speedup"] = out["interpreted_ms"] / out["fused_ms"]
+    out["pass_2x"] = out["speedup"] >= 2.0
+    return out
+
+
+def bench_xpmem_zero_copy():
+    """The fused chain consumed straight off xpmem-mapped wire spans.
+
+    A producer thread publishes each writer block over an xpmem
+    :class:`ShmChannel` (the producer blocks until the consumer detaches
+    — the protocol's synchronous semantics), and the consumer drives the
+    chain cursor over each mapped span in row order, releasing it before
+    the next arrives.  The kernels read the producer's pages in place:
+    the ``transport.copies`` histogram must stay at zero.
+    """
+    rng = np.random.default_rng(23)
+    blocks = [rng.random((ROWS_PER_WRITER, 7)) for _ in range(NUM_WRITERS)]
+    mgr = PluginManager()
+    mgr.deploy(sampling_plugin(stride=STRIDE, only=("zion",)), PluginSide.READER)
+    mgr.deploy(range_select_plugin("zion", *SELECT), PluginSide.READER)
+    chain = mgr.compiled_chain(PluginSide.READER)
+
+    monitor = PerfMonitor()
+    channel = ShmChannel(use_xpmem=True, monitor=monitor)
+    errors = []
+
+    def produce():
+        try:
+            for blk in blocks:
+                channel.send(blk, timeout=30.0)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+
+    producer = threading.Thread(target=produce, name="bench-xpmem-producer")
+    producer.start()
+    cursor = chain.cursor("zion")
+    pieces = []
+    for _ in range(NUM_WRITERS):
+        span = channel.recv(timeout=30.0)
+        arr = span.as_array(np.float64, (ROWS_PER_WRITER, 7))
+        piece = cursor.apply_block(arr)  # kernels over the mapped pages
+        if piece.shape[0]:
+            pieces.append(piece)
+        span.release()  # detach: unblocks the producer's next send
+    cursor.finish(monitor)
+    producer.join(timeout=30.0)
+    channel.close()
+    assert not errors, errors
+
+    got = np.concatenate(pieces, axis=0)
+    oracle = PluginManager()
+    oracle.deploy(sampling_plugin(stride=STRIDE, only=("zion",)),
+                  PluginSide.READER)
+    oracle.deploy(range_select_plugin("zion", *SELECT), PluginSide.READER)
+    want = oracle.apply_side(
+        PluginSide.READER, {"zion": np.concatenate(blocks, axis=0)}
+    )["zion"]
+    copies = monitor.metrics.histogram("transport.copies")
+    return {
+        "deliveries": copies.count,
+        "transport_copies": copies.total,
+        "rows_out": int(got.shape[0]),
+        "identical": got.shape == want.shape
+        and got.tobytes() == want.tobytes(),
+        "pass_zero_copy": copies.total == 0 and copies.count == NUM_WRITERS,
+    }
+
+
+def run(quick=False):
+    fused = bench_fused_read(num_steps=4 if quick else 8)
+    xpmem = bench_xpmem_zero_copy()
+    return {
+        "bench": "fused_pipeline",
+        "quick": quick,
+        "writers": NUM_WRITERS,
+        "rows": TOTAL_ROWS,
+        "stride": STRIDE,
+        "select": list(SELECT),
+        "fused_read": fused,
+        "xpmem": xpmem,
+    }
+
+
+# --- pytest wrappers (run only when benchmarks/ is targeted explicitly) ---
+
+def test_fused_pipeline_speedup_and_identity():
+    fused = bench_fused_read(num_steps=6)
+    assert fused["identical"], fused
+    assert fused["speedup"] >= 2.0, fused
+
+
+def test_fused_chain_is_zero_copy_on_xpmem():
+    xpmem = bench_xpmem_zero_copy()
+    assert xpmem["identical"], xpmem
+    assert xpmem["pass_zero_copy"], xpmem
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--quick", action="store_true", help="fewer steps")
+    ap.add_argument("--out", default="BENCH_fused.json")
+    args = ap.parse_args(argv)
+    results = run(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+    f, x = results["fused_read"], results["xpmem"]
+    print(f"fused read  : interpreted {f['interpreted_ms']:.3f} ms/step, "
+          f"fused {f['fused_ms']:.3f} ms/step "
+          f"-> {f['speedup']:.2f}x ({'PASS' if f['pass_2x'] else 'FAIL'} >=2x)")
+    print(f"identity    : {'PASS' if f['identical'] else 'FAIL'} "
+          f"({f['rows_out']} rows survive the chain)")
+    print(f"zero copy   : {'PASS' if x['pass_zero_copy'] and x['identical'] else 'FAIL'} "
+          f"(xpmem, {x['deliveries']} deliveries, "
+          f"{x['transport_copies']:.0f} copies)")
+    print(f"wrote {os.path.abspath(args.out)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

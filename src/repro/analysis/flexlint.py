@@ -52,6 +52,12 @@ FXL012    ``lease()``/``acquire()``/``connect()`` result that may
 FXL013    Metric-name literal not registered in the central
           :mod:`repro.obs.names` table (counters/gauges/histograms);
           dynamic names must go through ``metric_name()``.
+FXL014    Direct plug-in kernel invocation (``.fn(...)``,
+          ``.mask_fn(...)``, ``._func(...)``) outside the plug-in
+          runtime (``core/plugins.py``) and the compiled-plan executor
+          (``core/redistribution.py``) — ad-hoc kernel calls bypass
+          per-kernel accounting, fused/interpreted equivalence, and
+          the chain-hash plan-cache keying.
 ========  ==============================================================
 
 Rules FXL009-FXL013 are flow/project aware: they run on the per-function
@@ -150,6 +156,11 @@ RULES: dict[str, Rule] = {
              "counter()/gauge()/histogram() name literals must be "
              "registered in repro.obs.names (or extend a registered "
              "family); dynamic names go through metric_name()."),
+        Rule("FXL014", "plug-in kernel invoked outside the executor",
+             ".fn()/.mask_fn()/._func() calls are reserved to "
+             "core/plugins.py and the compiled-plan executor in "
+             "core/redistribution.py; everything else goes through "
+             "apply()/apply_side() or a chain cursor."),
     )
 }
 
@@ -279,6 +290,13 @@ class LintConfig:
     #: Override for the registered metric family roots; None = the
     #: repro.obs.names FAMILY_ROOTS.
     metric_families: Optional[tuple[str, ...]] = None
+    #: Paths allowed to invoke plug-in kernels directly (FXL014).
+    kernel_call_paths: tuple[str, ...] = (
+        "repro/core/plugins.py",
+        "repro/core/redistribution.py",
+    )
+    #: Attribute names FXL014 treats as kernel entry points.
+    kernel_call_attrs: tuple[str, ...] = ("fn", "mask_fn", "_func")
 
 
 def _default_hint_keys() -> frozenset[str]:
@@ -619,6 +637,22 @@ def _check_legacy_api(tree: ast.AST, path: str, cfg: LintConfig):
                 )
 
 
+def _check_kernel_calls(tree: ast.AST, path: str, cfg: LintConfig):
+    if _in_scope(path, cfg.kernel_call_paths):
+        return
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in cfg.kernel_call_attrs:
+            yield Finding(
+                "FXL014", path, node.lineno, node.col_offset,
+                f".{func.attr}() invokes a plug-in kernel outside the "
+                f"executor; go through apply()/apply_side() or a chain "
+                f"cursor so accounting and fusion equivalence hold",
+            )
+
+
 _CHECKS = (
     _check_broad_except,
     _check_hint_keys,
@@ -628,6 +662,7 @@ _CHECKS = (
     _check_copy_discipline,
     _check_event_codes,
     _check_legacy_api,
+    _check_kernel_calls,
 )
 
 

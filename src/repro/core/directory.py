@@ -52,6 +52,8 @@ class _Entry:
     lease: Optional[float] = None
     #: Absolute deadline (directory clock) of the current lease.
     deadline: Optional[float] = None
+    #: Serialized reader block predicates (pushdown), keyed by owner tag.
+    predicates: dict = field(default_factory=dict)
 
 
 class DirectoryServer:
@@ -195,6 +197,30 @@ class DirectoryServer:
         if entry is None:
             raise DirectoryError(f"no stream registered under {name!r}")
         return list(entry.readers)
+
+    # -- predicate pushdown -------------------------------------------------
+    def register_predicate(self, name: str, owner: str, spec: str) -> None:
+        """A reader publishes its chain's serialized block predicate.
+
+        The writing side consults :meth:`predicates_of` to skip sending
+        blocks *every* registered predicate provably drops.  Re-register
+        under the same ``owner`` to replace (chain changed); an empty
+        ``spec`` withdraws the owner's predicate.
+        """
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DirectoryError(f"no stream registered under {name!r}")
+        if spec:
+            entry.predicates[owner] = spec
+        else:
+            entry.predicates.pop(owner, None)
+
+    def predicates_of(self, name: str) -> list[str]:
+        """Serialized block predicates registered for ``name``."""
+        entry = self._entries.get(name)
+        if entry is None:
+            raise DirectoryError(f"no stream registered under {name!r}")
+        return list(entry.predicates.values())
 
 
 # ---------------------------------------------------------------------------

@@ -81,6 +81,8 @@ RETRY_JITTER = "retry_jitter"
 FAULTS = "faults"
 DEGRADE_AFTER = "degrade_after"
 LEASE = "lease"
+FUSED = "fused"
+PUSHDOWN = "pushdown"
 #: ``MPI_AGGREGATE`` file-method parameter (aggregator fan-in).
 AGGREGATORS = "aggregators"
 
@@ -151,6 +153,12 @@ _STREAM_SPECS = (
              "Consecutive failed steps before degrading the transport."),
     HintSpec(LEASE, "float", 0.0,
              "Directory lease in seconds (0 = no lease)."),
+    HintSpec(FUSED, "bool", True,
+             "Fuse compilable plug-in chains into the redistribution "
+             "plan (single-pass reads); false keeps the interpreted pass."),
+    HintSpec(PUSHDOWN, "bool", False,
+             "Register reader block predicates with the directory so the "
+             "writer drain skips blocks the chain provably drops."),
 )
 
 #: The FLEXPATH stream method's hints, keyed by hint name.

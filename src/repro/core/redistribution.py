@@ -277,6 +277,119 @@ class CompiledPlan:
         return outs
 
 
+class FusedPlan:
+    """A :class:`CompiledPlan` with a reader-side kernel chain fused in.
+
+    Instead of scattering wire spans into a materialized global array and
+    then running the plug-in chain interpreted over it, the fused plan
+    runs the chain *per block while scattering*: filters drop rows before
+    they are ever copied, transforms write straight into the destination.
+    Single-reader only (the stream read path).
+
+    Fusion is legal when the reader's destination slices tile axis 0
+    contiguously with full trailing dimensions (``fusable``) — then
+    per-block row operations concatenated in row order are byte-identical
+    to the whole-array interpreted pass.  Anything else falls back.
+    """
+
+    __slots__ = ("compiled", "chain", "fusable", "_order")
+
+    def __init__(self, compiled: CompiledPlan, chain) -> None:
+        self.compiled = compiled
+        self.chain = chain
+        self._order: list[tuple[int, int, int, tuple]] = []
+        self.fusable = self._analyze()
+
+    def _analyze(self) -> bool:
+        if len(self.compiled.reader_boxes) != 1 or not self.compiled.covered[0]:
+            return False
+        rbox = self.compiled.reader_boxes[0]
+        count = tuple(rbox.count)
+        spans = []
+        for w, src, dst in self.compiled.assignments[0]:
+            first = dst[0]
+            if first.step not in (None, 1):
+                return False
+            for d, s in enumerate(dst[1:], start=1):
+                if (s.start or 0) != 0 or s.stop != count[d] or s.step not in (None, 1):
+                    return False
+            spans.append((first.start or 0, first.stop, w, src, dst))
+        spans.sort(key=lambda t: (t[0], t[1]))
+        row = 0
+        for a, b, _, _, _ in spans:
+            if a != row:  # gap or overlap: overwrite order would matter
+                return False
+            row = b
+        if row != count[0]:
+            return False
+        self._order = spans
+        return True
+
+    def can_execute_into(self, name: str) -> bool:
+        """In-place scatter keeps shape, so only filter-free chains."""
+        return self.fusable and not self.chain.has_filter(name)
+
+    def execute(
+        self,
+        writer_blocks: Sequence[np.ndarray],
+        name: str,
+        dtype: Optional[np.dtype] = None,
+        check: bool = True,
+        monitor=None,
+    ) -> np.ndarray:
+        """Scatter + chain in one pass; returns the conditioned array.
+
+        With a filtering chain the per-block survivors concatenate in row
+        order (one allocation, exactly the final size); a filter-free
+        chain writes transforms straight into the destination buffer.
+        """
+        if not self.fusable:
+            raise ValueError("plan is not fusable; use CompiledPlan.execute")
+        blocks, dtype = self.compiled._coerce_blocks(writer_blocks, dtype, check)
+        rbox = self.compiled.reader_boxes[0]
+        if not self.chain.has_filter(name):
+            out = np.empty(rbox.count, dtype=dtype)
+            self.execute_into(blocks, name, out, check=False, monitor=monitor)
+            return out
+        cursor = self.chain.cursor(name)
+        pieces = []
+        for _, _, w, src, _ in self._order:
+            piece = cursor.apply_block(blocks[w][src])
+            if piece.shape[0]:
+                pieces.append(piece)
+        cursor.finish(monitor)
+        if not pieces:
+            tail = tuple(rbox.count)[1:]
+            return np.empty((0, *tail), dtype=dtype)
+        if len(pieces) == 1:
+            return np.array(pieces[0], dtype=dtype, copy=True)
+        return np.concatenate(pieces, axis=0)
+
+    def execute_into(
+        self,
+        writer_blocks: Sequence[np.ndarray],
+        name: str,
+        out: np.ndarray,
+        check: bool = True,
+        monitor=None,
+    ) -> np.ndarray:
+        """Shape-preserving fused scatter into a preallocated array: the
+        first transform lands with ``out=``, the rest run in place — no
+        intermediate arrays."""
+        if not self.can_execute_into(name):
+            raise ValueError("chain filters rows; use execute()")
+        blocks, _ = self.compiled._coerce_blocks(writer_blocks, out.dtype, check)
+        cursor = self.chain.cursor(name) if self.chain.transforms(name) else None
+        for _, _, w, src, dst in self._order:
+            if cursor is None:
+                out[dst] = blocks[w][src]
+            else:
+                cursor.apply_block_into(blocks[w][src], out[dst])
+        if cursor is not None:
+            cursor.finish(monitor)
+        return out
+
+
 @dataclass
 class PlanCacheStats:
     hits: int = 0
@@ -296,12 +409,19 @@ def make_plan_key(
     writer_boxes: Sequence[BoundingBox],
     reader_boxes: Sequence[BoundingBox],
     gshape: Optional[Sequence[int]] = None,
+    chain_hash: str = "",
 ) -> tuple:
-    """Cache key for one (writer dist, reader dist, global shape) triple."""
+    """Cache key for one (writer dist, reader dist, global shape) triple.
+
+    ``chain_hash`` (the :class:`~repro.core.plugins.CompiledChain`
+    digest) separates plans fused against different plug-in chains; the
+    empty string is the plain, unfused plan.
+    """
     return (
         _boxes_key(writer_boxes),
         _boxes_key(reader_boxes),
         tuple(gshape) if gshape is not None else None,
+        chain_hash,
     )
 
 
@@ -331,9 +451,17 @@ class PlanCache:
         writer_boxes: Sequence[BoundingBox],
         reader_boxes: Sequence[BoundingBox],
         gshape: Optional[Sequence[int]] = None,
-    ) -> tuple[CompiledPlan, bool]:
-        """Return ``(compiled_plan, hit)`` — compiling on miss."""
-        key = make_plan_key(writer_boxes, reader_boxes, gshape)
+        chain=None,
+    ):
+        """Return ``(plan, hit)`` — compiling on miss.
+
+        Without ``chain`` the plan is a plain :class:`CompiledPlan`;
+        with a :class:`~repro.core.plugins.CompiledChain` it is a
+        :class:`FusedPlan`, cached under a chain-hash-extended key so
+        the same geometry fused against different chains never collides.
+        """
+        chain_hash = chain.chain_hash if chain is not None else ""
+        key = make_plan_key(writer_boxes, reader_boxes, gshape, chain_hash)
         with self._lock:
             cached = self._plans.get(key)
             if cached is not None:
@@ -341,15 +469,19 @@ class PlanCache:
                 self.stats.hits += 1
                 return cached, True
             self.stats.misses += 1
+            # Reuse already-compiled geometry for a new chain variant.
+            base = self._plans.get(key[:3] + ("",)) if chain is not None else None
         # Compile outside the lock: O(M·N) box math can be slow.
-        compiled = CompiledPlan(compute_plan(writer_boxes, reader_boxes))
+        if base is None:
+            base = CompiledPlan(compute_plan(writer_boxes, reader_boxes))
+        plan = FusedPlan(base, chain) if chain is not None else base
         with self._lock:
-            self._plans[key] = compiled
+            self._plans[key] = plan
             self._plans.move_to_end(key)
             while len(self._plans) > self.maxsize:
                 self._plans.popitem(last=False)
                 self.stats.evictions += 1
-        return compiled, False
+        return plan, False
 
     def invalidate(
         self,
@@ -357,10 +489,15 @@ class PlanCache:
         reader_boxes: Sequence[BoundingBox],
         gshape: Optional[Sequence[int]] = None,
     ) -> bool:
-        """Drop one entry (e.g. after ``update_writer_boxes``)."""
-        key = make_plan_key(writer_boxes, reader_boxes, gshape)
+        """Drop every chain variant of one geometry (e.g. after
+        ``update_writer_boxes``) — the plain plan and all fused plans
+        share the (writer, reader, gshape) key prefix."""
+        prefix = make_plan_key(writer_boxes, reader_boxes, gshape)[:3]
         with self._lock:
-            return self._plans.pop(key, None) is not None
+            stale = [k for k in self._plans if k[:3] == prefix]
+            for k in stale:
+                del self._plans[k]
+            return bool(stale)
 
     def clear(self) -> None:
         with self._lock:

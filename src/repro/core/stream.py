@@ -60,7 +60,9 @@ from repro.core.hints import (
     CACHING_NONE,
     DEGRADE_AFTER,
     FAULTS,
+    FUSED,
     LEASE,
+    PUSHDOWN,
     MAX_RETRIES,
     QUEUE_DEPTH,
     RETRY_BACKOFF,
@@ -79,12 +81,21 @@ from repro.core.hints import (
 )
 from repro.core.redistribution import (
     CachingOption,
+    CompiledPlan,
+    FusedPlan,
     PlanCache,
     RedistributionEngine,
+    compute_plan,
     global_plan_cache,
 )
 from repro.core.monitoring import PerfMonitor
-from repro.core.plugins import PluginManager, PluginSide
+from repro.core.plugins import (
+    CodeletError,
+    PluginManager,
+    PluginSide,
+    combine_predicates,
+    parse_predicate,
+)
 from repro.obs import recorder as flight
 from repro.obs.events import (
     EV_BACKPRESSURE,
@@ -211,6 +222,13 @@ class StreamHints:
     #: Directory lease in seconds; the writer must heartbeat within it or
     #: the failure detector ends the stream for readers (0 = no lease).
     lease: float = 0.0
+    #: Fuse compilable plug-in chains into the redistribution plan so
+    #: reads run the chain while scattering (single pass); ``false``
+    #: keeps the classic interpreted pass over materialized arrays.
+    fused: bool = True
+    #: Register reader block predicates with the directory so the drain
+    #: skips sending blocks the chain provably drops.
+    pushdown: bool = False
 
     @classmethod
     def from_spec(cls, spec: MethodSpec) -> "StreamHints":
@@ -252,6 +270,8 @@ class StreamHints:
             faults=spec.param(FAULTS, "") or "",
             degrade_after=spec.param_int(DEGRADE_AFTER, 2),
             lease=spec.param_float(LEASE, 0.0),
+            fused=spec.param_bool(FUSED, True),
+            pushdown=spec.param_bool(PUSHDOWN, False),
         )
 
 
@@ -539,21 +559,28 @@ class StreamState:
             # (the reader's redistribute/transport/plug-in spans and the
             # drainer's channel spans) parents on it.
             with self.monitor.span("write", self.name, step=self._step) as wspan:
-                for rank, pg in sorted(self._current.items()):
-                    record = {name: wv.data for name, wv in pg.variables.items()}
-                    conditioned = self.plugins.apply_side(PluginSide.WRITER, record)
-                    out = ProcessGroupData(rank=rank, step=pg.step)
-                    for name, data in conditioned.items():
-                        orig = pg.variables.get(name)
-                        out.add(
-                            WrittenVar(
-                                name=name,
-                                data=np.asarray(data),
-                                box=orig.box if orig is not None and _same_shape(orig, data) else None,
-                                global_shape=orig.global_shape if orig is not None else None,
+                if not self.plugins.has_side(PluginSide.WRITER):
+                    # No writer-side conditioning: the sealed step reuses
+                    # the written groups directly (no dict round-trip, no
+                    # per-variable rewrap).
+                    for rank, pg in sorted(self._current.items()):
+                        step.groups[rank] = pg
+                else:
+                    for rank, pg in sorted(self._current.items()):
+                        record = {name: wv.data for name, wv in pg.variables.items()}
+                        conditioned = self.plugins.apply_side(PluginSide.WRITER, record)
+                        out = ProcessGroupData(rank=rank, step=pg.step)
+                        for name, data in conditioned.items():
+                            orig = pg.variables.get(name)
+                            out.add(
+                                WrittenVar(
+                                    name=name,
+                                    data=np.asarray(data),
+                                    box=orig.box if orig is not None and _same_shape(orig, data) else None,
+                                    global_shape=orig.global_shape if orig is not None else None,
+                                )
                             )
-                        )
-                    step.groups[rank] = out
+                        step.groups[rank] = out
                 wspan.add_bytes(step.nbytes)
                 step.trace_ctx = wspan.context
             vis.add_bytes(step.nbytes)
@@ -562,7 +589,14 @@ class StreamState:
                 EV_STEP_BEGIN, stream=self.name,
                 step=step.step, nbytes=step.nbytes,
             )
-            self._drainer.submit(step, _rank_parts(step))
+            self._drainer.submit(
+                step,
+                _rank_parts(
+                    step,
+                    predicate=self._pushdown_predicate(),
+                    metrics=self.monitor.metrics,
+                ),
+            )
             if sync:
                 self._drainer.wait_idle()
         self._current = {}
@@ -586,6 +620,31 @@ class StreamState:
             raise MovementFailed(
                 f"step {step.step} of {self.name!r} lost: {step.error}"
             )
+
+    def _pushdown_predicate(self):
+        """The combined reader block predicate for this step's drain.
+
+        Only consulted with ``pushdown=true``: readers register their
+        chain's serialized predicate at the directory, and a block is
+        skipped only when *every* registered predicate provably drops it
+        (no predicate registered → everything is sent).
+        """
+        if not self.hints.pushdown or self._directory is None:
+            return None
+        try:
+            specs = self._directory.predicates_of(self.name)
+        except DirectoryError:
+            return None
+        preds = []
+        for spec in specs:
+            try:
+                pred = parse_predicate(spec)
+            except CodeletError:
+                return None  # unintelligible predicate: never skip
+            if pred is None:
+                return None  # a reader with no predicate needs everything
+            preds.append(pred)
+        return combine_predicates(preds)
 
     def _drain_one(self, step: _PublishedStep, rank_parts: dict) -> None:
         """Drainer-thread body: push one step's payload, then commit it.
@@ -882,7 +941,20 @@ def _step_parts(step: _PublishedStep) -> WireVector:
     return vec
 
 
-def _rank_parts(step: _PublishedStep) -> dict[int, WireVector]:
+def _provably_dropped(predicate, wv: WrittenVar) -> bool:
+    """True when the reader predicate proves no row of this block
+    survives the chain — judged on conservative whole-block bounds."""
+    data = wv.data
+    if data.size == 0 or data.dtype.kind not in "fiu":
+        return False
+    return not predicate.might_match(
+        wv.name, float(data.min()), float(data.max())
+    )
+
+
+def _rank_parts(
+    step: _PublishedStep, predicate=None, metrics=None
+) -> dict[int, WireVector]:
     """Per-rank scatter-gather vectors of a step's payload.
 
     The transactional drain sends each rank's vector as that rank's
@@ -890,13 +962,23 @@ def _rank_parts(step: _PublishedStep) -> dict[int, WireVector]:
     Parts are :class:`WireBuffer` views over the step's written arrays —
     the step holds those arrays until commit/loss, so the views stay
     valid across retries.
+
+    With a reader ``predicate`` (pushdown), blocks the reader chain
+    provably drops never enter the vectors — analytics placed on the
+    I/O path saving the movement itself.  The step's buffered copy is
+    untouched, so in-process reads stay exact.
     """
     out: dict[int, WireVector] = {}
     for rank in sorted(step.groups):
         vec = WireVector()
         for wv in step.groups[rank].variables.values():
-            if wv.data.nbytes:
-                vec.append(wv.data)
+            if not wv.data.nbytes:
+                continue
+            if predicate is not None and _provably_dropped(predicate, wv):
+                if metrics is not None:
+                    metrics.counter("plugin.blocks_skipped").inc()
+                continue
+            vec.append(wv.data)
         out[rank] = vec
     return out
 
@@ -1042,6 +1124,8 @@ class FlexpathReadHandle(ReadHandle):
         self._hs_boxes: dict[str, tuple] = {}
         self._hs_paid_steps: set[int] = set()
         self._local_plan_cache: Optional[PlanCache] = None
+        # Chain hash last pushed to the directory (predicate pushdown).
+        self._registered_pred_hash: Optional[str] = None
 
     @property
     def plugins(self) -> PluginManager:
@@ -1083,6 +1167,57 @@ class FlexpathReadHandle(ReadHandle):
             return self._local_plan_cache
         return None
 
+    def _reader_chain(self, name: str):
+        """The compiled reader-side chain when fusion may engage for
+        reads of ``name`` — else ``None`` (interpreted fallback).  Also
+        the hook where pushdown predicates reach the directory."""
+        state = self._state
+        if not state.plugins.has_side(PluginSide.READER):
+            return None
+        chain = state.plugins.compiled_chain(PluginSide.READER)
+        if state.hints.pushdown:
+            self._maybe_register_predicate(chain)
+        if chain is None or not state.hints.fused or not chain.supports(name):
+            return None
+        return chain
+
+    def _maybe_register_predicate(self, chain) -> None:
+        """Publish the chain's block predicate at the directory so the
+        writer-side drain can skip blocks it provably drops.  Idempotent
+        per chain generation; a chain without a predicate withdraws."""
+        state = self._state
+        if state._directory is None:
+            return
+        chain_hash = chain.chain_hash if chain is not None else ""
+        if chain_hash == self._registered_pred_hash:
+            return
+        pred = chain.block_predicate() if chain is not None else None
+        spec = pred.spec() if pred is not None else ""
+        try:
+            state._directory.register_predicate(
+                state.name, f"reader-{id(self)}", spec
+            )
+        except DirectoryError:
+            return
+        self._registered_pred_hash = chain_hash
+
+    def _fused_plan(self, boxes, target, gshape, chain, cache):
+        """A fusable :class:`FusedPlan` for this read, or ``None``.
+
+        Cached plans key on the chain hash (geometry reused across
+        chains); NO_CACHING compiles afresh, mirroring the plain path.
+        """
+        mon = self._state.monitor
+        if cache is not None:
+            fplan, hit = cache.get(boxes, [target], gshape, chain=chain)
+            mon.metrics.counter(
+                "dataplane.plan_cache.hits" if hit
+                else "dataplane.plan_cache.misses"
+            ).inc()
+        else:
+            fplan = FusedPlan(CompiledPlan(compute_plan(boxes, [target])), chain)
+        return fplan if fplan.fusable else None
+
     def read_block(self, name: str, writer_rank: int) -> np.ndarray:
         step = self._step()
         pg = step.groups.get(writer_rank)
@@ -1099,7 +1234,8 @@ class FlexpathReadHandle(ReadHandle):
             with mon.span("transport", name, writer_rank=writer_rank) as tspan:
                 record = {n: wv.data for n, wv in pg.variables.items()}
                 tspan.add_bytes(sum(int(wv.data.nbytes) for wv in pg.variables.values()))
-            record = self._state.plugins.apply_side(PluginSide.READER, record)
+            if self._state.plugins.has_side(PluginSide.READER):
+                record = self._state.plugins.apply_side(PluginSide.READER, record)
         mon.record(
             "stream_read", name, start=0.0, duration=0.0,
             nbytes=int(np.asarray(record[name]).nbytes),
@@ -1130,28 +1266,51 @@ class FlexpathReadHandle(ReadHandle):
         target = resolve_selection(start, count, gshape)
         mon = self._state.monitor
         cache = self._plan_cache()
+        plugins = self._state.plugins
+        chain = self._reader_chain(name)
         with mon.span("read", name, parent=step.trace_ctx, step=self._cursor):
             with mon.span("redistribute", name, writers=len(blocks)):
                 self._account_handshake(name, gshape, [b for b, _ in blocks])
-            with mon.span("transport", name) as tspan:
-                if cache is not None and blocks:
-                    cplan, hit = cache.get([b for b, _ in blocks], [target], gshape)
-                    mon.metrics.counter(
-                        "dataplane.plan_cache.hits" if hit
-                        else "dataplane.plan_cache.misses"
-                    ).inc()
-                    out = cplan.execute(
-                        [d for _, d in blocks], dtype=dtype, check=False
-                    )[0]
-                else:
-                    out = assemble(
-                        target,
-                        ((b, d) for b, d in blocks if intersect(target, b) is not None),
-                        dtype=dtype,
+            fplan = (
+                self._fused_plan([b for b, _ in blocks], target, gshape, chain, cache)
+                if chain is not None and blocks else None
+            )
+            if fplan is not None:
+                # Single pass: the chain runs while wire spans scatter —
+                # no materialized intermediate array.
+                with mon.span(
+                    "transport", name, fused=True, chain=chain.chain_hash
+                ) as tspan:
+                    result = fplan.execute(
+                        [d for _, d in blocks], name,
+                        dtype=dtype, check=False, monitor=mon,
                     )
-                tspan.add_bytes(int(out.nbytes))
-            record = self._state.plugins.apply_side(PluginSide.READER, {name: out})
-        result = np.asarray(record[name])
+                    tspan.add_bytes(int(result.nbytes))
+                plugins.count_fused_read()
+            else:
+                with mon.span("transport", name) as tspan:
+                    if cache is not None and blocks:
+                        cplan, hit = cache.get([b for b, _ in blocks], [target], gshape)
+                        mon.metrics.counter(
+                            "dataplane.plan_cache.hits" if hit
+                            else "dataplane.plan_cache.misses"
+                        ).inc()
+                        out = cplan.execute(
+                            [d for _, d in blocks], dtype=dtype, check=False
+                        )[0]
+                    else:
+                        out = assemble(
+                            target,
+                            ((b, d) for b, d in blocks if intersect(target, b) is not None),
+                            dtype=dtype,
+                        )
+                    tspan.add_bytes(int(out.nbytes))
+                if plugins.has_side(PluginSide.READER):
+                    plugins.count_interpreted_read()
+                    record = plugins.apply_side(PluginSide.READER, {name: out})
+                    result = np.asarray(record[name])
+                else:
+                    result = out
         mon.record(
             "stream_read", name, start=0.0, duration=0.0, nbytes=int(result.nbytes)
         )
@@ -1195,9 +1354,32 @@ class FlexpathReadHandle(ReadHandle):
             raise ValueError(f"out dtype {out.dtype} != variable dtype {dtype}")
         mon = self._state.monitor
         cache = self._plan_cache()
+        plugins = self._state.plugins
+        chain = self._reader_chain(name)
         with mon.span("read", name, parent=step.trace_ctx, step=self._cursor):
             with mon.span("redistribute", name, writers=len(blocks)):
                 self._account_handshake(name, gshape, [b for b, _ in blocks])
+            fplan = (
+                self._fused_plan([b for b, _ in blocks], target, gshape, chain, cache)
+                if chain is not None and blocks else None
+            )
+            if fplan is not None and not fplan.can_execute_into(name):
+                fplan = None  # a filtering chain changes the shape
+            if fplan is not None:
+                with mon.span(
+                    "transport", name, fused=True, chain=chain.chain_hash
+                ) as tspan:
+                    fplan.execute_into(
+                        [d for _, d in blocks], name, out,
+                        check=False, monitor=mon,
+                    )
+                    tspan.add_bytes(int(out.nbytes))
+                plugins.count_fused_read()
+                mon.record(
+                    "stream_read", name, start=0.0, duration=0.0,
+                    nbytes=int(out.nbytes),
+                )
+                return out
             with mon.span("transport", name) as tspan:
                 if cache is not None and blocks:
                     cplan, hit = cache.get([b for b, _ in blocks], [target], gshape)
@@ -1214,10 +1396,14 @@ class FlexpathReadHandle(ReadHandle):
                     )
                     out[...] = assembled
                 tspan.add_bytes(int(out.nbytes))
-            record = self._state.plugins.apply_side(PluginSide.READER, {name: out})
-        result = np.asarray(record[name])
-        if result is not out:
-            out[...] = result  # a reader-side plugin transformed the data
+            if plugins.has_side(PluginSide.READER):
+                # Interpreted pass + copy-back only when a reader-side
+                # chain is actually installed.
+                plugins.count_interpreted_read()
+                record = plugins.apply_side(PluginSide.READER, {name: out})
+                result = np.asarray(record[name])
+                if result is not out:
+                    out[...] = result  # a reader-side plugin transformed the data
         mon.record(
             "stream_read", name, start=0.0, duration=0.0, nbytes=int(out.nbytes)
         )

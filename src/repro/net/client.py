@@ -64,6 +64,7 @@ from repro.adios.selection import (
 )
 from repro.core.directory import admission_exception
 from repro.core.monitoring import PerfMonitor
+from repro.core.plugins import PluginManager, PluginSide
 from repro.core.resilience import RetryPolicy, retry_call
 from repro.net.protocol import (
     Frame,
@@ -522,6 +523,7 @@ class RemoteClient(Client):
         """
         if mode not in ("w", "r"):
             raise ValueError(f"bad open mode {mode!r} (expected 'w' or 'r')")
+        pushdown = bool(_ignored.pop("pushdown", False))
         record = {
             "stream": name, "mode": mode,
             "program": "writer" if mode == "w" else "reader",
@@ -543,9 +545,11 @@ class RemoteClient(Client):
                       tenant=self.tenant)
         if mode == "w":
             return NetWriteHandle(self, stream_id, channel, rank=rank, name=name)
-        return NetReadHandle(self, stream_id, channel, name=name)
+        return NetReadHandle(self, stream_id, channel, name=name,
+                             pushdown=pushdown)
 
-    def _attach(self, stream_id: str, role: str) -> TcpChannel:
+    def _attach(self, stream_id: str, role: str,
+                predicate: str = "") -> TcpChannel:
         channel = TcpChannel.connect(
             self.host, self.data_port, monitor=self.monitor,
             injector=self.faults, timeout=self.timeout,
@@ -553,6 +557,7 @@ class RemoteClient(Client):
         try:
             channel.sendv([encode_frame(MsgType.ATTACH, {
                 "session": self.session_id, "stream_id": stream_id, "role": role,
+                "predicate": predicate,
             }, seq=next(self._frame_seq))], timeout=self.timeout)
             frame = decode_frame(channel.recv(timeout=self.timeout))
         except (TransportFault, ProtocolError, OSError):
@@ -570,7 +575,8 @@ class RemoteClient(Client):
         return channel
 
     def _reattach(self, attempt: int, exc: Exception, stream_id: str,
-                  role: str, old: TcpChannel) -> TcpChannel:
+                  role: str, old: TcpChannel,
+                  predicate: str = "") -> TcpChannel:
         """Data-path recovery: reconnect the control session (fresh
         socket + resume HELLO), then re-ATTACH the data channel."""
         try:
@@ -578,7 +584,7 @@ class RemoteClient(Client):
         except (TransportFault, OSError):
             pass
         self._reconnect(attempt, exc)
-        return self._attach(stream_id, role)
+        return self._attach(stream_id, role, predicate=predicate)
 
     def _close_stream(self, stream_id: str, name: str) -> None:
         self._hb_streams.discard(name)
@@ -613,6 +619,20 @@ class RemoteClient(Client):
 # Network step handles
 # ---------------------------------------------------------------------------
 
+def _stamp_stats(rec: dict, arr: np.ndarray) -> None:
+    """Writer-stamped whole-block bounds (the ADIOS per-block statistics
+    idiom) — what the broker's predicate pushdown prunes against.  Empty
+    and non-numeric payloads carry no stats and are never pruned."""
+    if arr.size and arr.dtype.kind in "fiu":
+        rec["vmin"] = float(arr.min())
+        rec["vmax"] = float(arr.max())
+        rec["has_stats"] = True
+    else:
+        rec["vmin"] = 0.0
+        rec["vmax"] = 0.0
+        rec["has_stats"] = False
+
+
 class NetWriteHandle(WriteHandle):
     """Writer side of one remote stream: steps become PUBLISH frames.
 
@@ -638,6 +658,10 @@ class NetWriteHandle(WriteHandle):
         self._publish_seq = 0
         self._pending: list[dict] = []
         self._closed = False
+        #: Writer-side plug-in chain: codelets deployed here condition
+        #: each variable before the step leaves the client (the paper's
+        #: writer-placed analytics for the network deployment shape).
+        self.plugins = PluginManager(client.monitor)
 
     @property
     def current_step(self) -> int:
@@ -649,14 +673,28 @@ class NetWriteHandle(WriteHandle):
         arr = np.ascontiguousarray(data)
         if box is not None and tuple(arr.shape) != tuple(box.count):
             raise ValueError(f"data shape {arr.shape} != box count {box.count}")
-        self._pending.append({
+        rec = {
             "name": name,
             "writer_rank": self._rank,
             "start": list(box.start) if box is not None else [],
             "shape": list(arr.shape),
             "gshape": list(global_shape) if global_shape is not None else [],
             "data": arr,
-        })
+        }
+        _stamp_stats(rec, arr)
+        self._pending.append(rec)
+
+    def _condition_pending(self) -> None:
+        """Run the writer-side chain over every buffered variable,
+        re-stamping shape and stats for whatever comes out."""
+        for rec in self._pending:
+            out = self.plugins.apply_side(
+                PluginSide.WRITER, {rec["name"]: rec["data"]}
+            )
+            arr = np.ascontiguousarray(out[rec["name"]])
+            rec["data"] = arr
+            rec["shape"] = list(arr.shape)
+            _stamp_stats(rec, arr)
 
     def _publish_once(self, record: dict) -> None:
         parts = [encode_frame(MsgType.PUBLISH, record,
@@ -674,6 +712,8 @@ class NetWriteHandle(WriteHandle):
     def _advance(self, eos: bool = False):
         if self._closed:
             raise AdiosError("end_step after close")
+        if self.plugins.has_side(PluginSide.WRITER):
+            self._condition_pending()
         seq = self._publish_seq + 1
         record = {
             "step": self._step, "count": len(self._pending), "eos": eos,
@@ -734,7 +774,8 @@ class NetReadHandle(ReadHandle):
     """
 
     def __init__(self, client: RemoteClient, stream_id: str,
-                 channel: TcpChannel, name: str = "") -> None:
+                 channel: TcpChannel, name: str = "",
+                 pushdown: bool = False) -> None:
         self._client = client
         self.stream_id = stream_id
         self.name = name or stream_id.rsplit("/", 1)[-1]
@@ -742,6 +783,14 @@ class NetReadHandle(ReadHandle):
         self._cursor = 0
         self._cache: dict[int, _CachedStep] = {}
         self._closed = False
+        #: Reader-side plug-in chain: compilable chains run fused per
+        #: block (single pass, no assembled intermediate); free-form
+        #: codelets keep the interpreted assemble-then-apply path.
+        self.plugins = PluginManager(client.monitor)
+        self._pushdown = bool(pushdown)
+        #: Predicate spec the current data channel ATTACHed with; the
+        #: channel is re-ATTACHed whenever the chain's predicate changes.
+        self._attached_pred = ""
 
     @property
     def current_step(self) -> int:
@@ -776,16 +825,42 @@ class NetReadHandle(ReadHandle):
         cached = self._cache.get(step)
         if cached is not None:
             return cached
+        self._sync_predicate()
 
         def reattach(attempt: int, exc: Exception) -> None:
             self._channel = self._client._reattach(
-                attempt, exc, self.stream_id, "r", self._channel
+                attempt, exc, self.stream_id, "r", self._channel,
+                predicate=self._attached_pred,
             )
 
         return self._client._retry_exhausted(
             lambda: self._fetch_once(step),
             f"FETCH step {step}", on_retry=reattach,
         )
+
+    # -- predicate pushdown ------------------------------------------------
+    def _pred_spec(self) -> str:
+        if not self._pushdown:
+            return ""
+        pred = self.plugins.block_predicate(PluginSide.READER)
+        return pred.spec() if pred is not None else ""
+
+    def _sync_predicate(self) -> None:
+        """Keep the broker's view of this reader's predicate current.
+
+        The chain can change between steps (deploy/undeploy), and the
+        predicate rides the ATTACH frame — so a change re-ATTACHes the
+        data channel with the new spec before the next FETCH."""
+        spec = self._pred_spec()
+        if spec == self._attached_pred:
+            return
+        channel = self._client._attach(self.stream_id, "r", predicate=spec)
+        old, self._channel = self._channel, channel
+        self._attached_pred = spec
+        try:
+            old.close()
+        except (TransportFault, OSError):
+            pass
 
     def _probe_step(self):
         self._fetch(self._cursor)
@@ -818,6 +893,63 @@ class NetReadHandle(ReadHandle):
             )
         return blocks, gshape, dtype
 
+    def _fusable_chain(self, name: str):
+        if not self.plugins.has_side(PluginSide.READER):
+            return None
+        chain = self.plugins.compiled_chain(PluginSide.READER)
+        if chain is None or not chain.supports(name):
+            return None
+        return chain
+
+    def _read_fused(self, name, chain, blocks, target, dtype):
+        """Single-pass read: slice each writer block to the selection,
+        run the chain's cursor per block in ascending row order, and
+        concatenate the survivors — no assembled intermediate array.
+
+        Returns None when the blocks do not row-tile the selection (the
+        fused contract: full trailing dims, leading-axis tiling).  Gaps
+        are tolerated only when this reader registered a pushdown
+        predicate — then a missing block is exactly one the broker
+        proved the chain drops, so it contributes zero rows either way.
+        """
+        ndim = len(target.count)
+        pieces = []
+        for box, data in blocks:
+            inter = intersect(target, box)
+            if inter is None:
+                continue
+            if tuple(inter.count[1:]) != tuple(target.count[1:]):
+                return None  # partial trailing dims: not a row tiling
+            sl = tuple(
+                slice(inter.start[d] - box.start[d],
+                      inter.start[d] - box.start[d] + inter.count[d])
+                for d in range(ndim)
+            )
+            pieces.append((inter.start[0], inter.count[0], data[sl]))
+        pieces.sort(key=lambda p: p[0])
+        row = target.start[0]
+        for at, n, _ in pieces:
+            if at < row:
+                return None  # overlapping writer blocks: order ambiguous
+            if at > row and not self._attached_pred:
+                return None  # gap: assemble() would fill — keep that path
+            row = at + n
+        if row != target.start[0] + target.count[0] and not self._attached_pred:
+            return None
+        cursor = chain.cursor(name)
+        out_pieces = []
+        for _, _, piece in pieces:
+            got = cursor.apply_block(np.ascontiguousarray(piece))
+            if got.shape[0]:
+                out_pieces.append(got)
+        cursor.finish(self._client.monitor)
+        self.plugins.count_fused_read()
+        if not out_pieces:
+            return np.empty((0, *target.count[1:]), dtype=dtype)
+        if len(out_pieces) == 1:
+            return np.ascontiguousarray(out_pieces[0])
+        return np.concatenate(out_pieces, axis=0)
+
     def read(self, name, *, start=None, count=None, selection=None):
         start, count = resolve_read_args(selection, start, count)
         blocks, gshape, dtype = self._blocks(name)
@@ -826,11 +958,31 @@ class NetReadHandle(ReadHandle):
                 f"variable {name!r} is not a global array; use read_block()"
             )
         target = resolve_selection(start, count, gshape)
-        out = assemble(
-            target,
-            ((b, d) for b, d in blocks if intersect(target, b) is not None),
-            dtype=dtype,
-        )
+        out = None
+        chain = self._fusable_chain(name)
+        if chain is not None:
+            out = self._read_fused(name, chain, blocks, target, dtype)
+        if out is None:
+            if self._attached_pred:
+                # The broker may have pruned blocks of this step; only
+                # the fused per-block path reads a pruned step soundly
+                # (assemble() would put fill values where pruned rows
+                # were, and the interpreted chain could select them).
+                raise AdiosError(
+                    f"pushdown is active but the blocks of {name!r} do not "
+                    f"row-tile the selection; re-open without pushdown for "
+                    f"this access pattern"
+                )
+            out = assemble(
+                target,
+                ((b, d) for b, d in blocks if intersect(target, b) is not None),
+                dtype=dtype,
+            )
+            if self.plugins.has_side(PluginSide.READER):
+                self.plugins.count_interpreted_read()
+                out = self.plugins.apply_side(
+                    PluginSide.READER, {name: out}
+                )[name]
         self._client.monitor.record(
             "stream_read", name, start=0.0, duration=0.0, nbytes=int(out.nbytes)
         )
@@ -839,7 +991,12 @@ class NetReadHandle(ReadHandle):
     def read_block(self, name, writer_rank):
         for rec in self._fetch(self._cursor).vars:
             if rec["name"] == name and int(rec["writer_rank"]) == writer_rank:
-                return np.asarray(rec["data"])
+                data = np.asarray(rec["data"])
+                if self.plugins.has_side(PluginSide.READER):
+                    data = self.plugins.apply_side(
+                        PluginSide.READER, {name: data}
+                    )[name]
+                return data
         raise VariableNotFound(
             f"no block for var {name!r} from writer {writer_rank} "
             f"at step {self._cursor}"

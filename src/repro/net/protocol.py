@@ -74,7 +74,11 @@ MAGIC = 0xF1EC0107
 #: Bump on any incompatible header or format change.  v2: the header
 #: grew a u64 per-connection sequence number and the HELLO/WELCOME/
 #: PUBLISH bodies grew resume/sequence fields (PR 8, network resilience).
-PROTOCOL_VERSION = 2
+#: v3: ATTACH carries the reader chain's pushdown predicate spec and
+#: ``net.var`` carries per-block min/max statistics, so the broker can
+#: prune provably-dropped blocks from PUBLISH payloads (PR 10, fused
+#: analytics).
+PROTOCOL_VERSION = 3
 
 #: magic u32, version u8, msg type u8, reserved u16, sequence u64.
 #: The sequence is per-connection and monotone; receivers use it to
@@ -159,7 +163,12 @@ _BODY_FORMATS: dict[MsgType, Format] = {
     MsgType.CLOSE: PROTOCOL_REGISTRY.define("net.close", [("stream_id", _S)]),
     MsgType.BYE: PROTOCOL_REGISTRY.define("net.bye", [("reason", _S)]),
     MsgType.ATTACH: PROTOCOL_REGISTRY.define(
-        "net.attach", [("session", _S), ("stream_id", _S), ("role", _S)]
+        "net.attach",
+        [("session", _S), ("stream_id", _S), ("role", _S),
+         # Reader-role pushdown: the serialized BlockPredicate of the
+         # reader's compiled plug-in chain ("" = none — disables any
+         # broker-side pruning for the stream while this peer is attached).
+         ("predicate", _S)],
     ),
     MsgType.PUBLISH: PROTOCOL_REGISTRY.define(
         "net.publish", [("step", _I), ("count", _I), ("eos", _B), ("seq", _I)]
@@ -176,10 +185,14 @@ _BODY_FORMATS: dict[MsgType, Format] = {
 }
 
 #: One variable of a published step: box metadata + the payload array.
+#: ``vmin``/``vmax`` are writer-stamped whole-block bounds (the ADIOS
+#: per-block statistics idiom); ``has_stats`` is False for empty or
+#: non-numeric payloads, and a block without stats is never pruned.
 VAR_FORMAT = PROTOCOL_REGISTRY.define(
     "net.var",
     [("name", _S), ("writer_rank", _I), ("start", _L), ("shape", _L),
-     ("gshape", _L), ("data", FieldKind.ARRAY)],
+     ("gshape", _L), ("vmin", _F), ("vmax", _F), ("has_stats", _B),
+     ("data", FieldKind.ARRAY)],
 )
 
 

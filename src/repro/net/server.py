@@ -48,6 +48,7 @@ from repro.core.directory import (
     TenantSpec,
 )
 from repro.core.monitoring import PerfMonitor
+from repro.core.plugins import CodeletError, combine_predicates, parse_predicate
 from repro.net.protocol import (
     CKPT_HEAD,
     CKPT_REG,
@@ -61,6 +62,7 @@ from repro.net.protocol import (
     ProtocolError,
     decode_frame,
     decode_record,
+    decode_var,
     encode_frame,
     encode_record,
 )
@@ -84,6 +86,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.names import (
     F_FAULTS_INJECTED,
     M_FAULTS_INJECTED_TOTAL,
+    M_PLUGIN_BLOCKS_SKIPPED,
     metric_name,
 )
 from repro.transport.faults import (
@@ -97,7 +100,7 @@ __all__ = ["HostedStream", "DirectoryDaemon", "parse_tenant_arg", "main"]
 _PREFIX = struct.Struct("<Q")
 
 #: Server banner sent in WELCOME frames.
-SERVER_VERSION = "flexio-directoryd/2"
+SERVER_VERSION = "flexio-directoryd/3"
 
 #: Bound on retained steps per hosted stream (oldest dropped first).
 DEFAULT_RETAIN_STEPS = 64
@@ -133,6 +136,9 @@ class HostedStream:
         self.last_seq = 0
         self.eos_step: Optional[int] = None  # first step index past the end
         self._labels = {"tenant": tenant}
+        #: Attached-reader pushdown predicates, keyed per data connection
+        #: (None = reader attached without one, which disables pruning).
+        self._reader_preds: dict[int, object] = {}
 
     # ------------------------------------------------------------------
     def publish(self, step: int, count: int, payload: bytes, eos: bool,
@@ -178,10 +184,64 @@ class HostedStream:
             return True
         return self.eos_step is not None and step >= self.eos_step
 
+    # -- reader predicate pushdown -------------------------------------
+    def register_reader(self, key: int, predicate) -> None:
+        """Track one attached reader's pushdown predicate (or None)."""
+        self._reader_preds[key] = predicate
+
+    def drop_reader(self, key: int) -> None:
+        self._reader_preds.pop(key, None)
+
+    def prune_predicate(self):
+        """The combined block predicate the broker may prune against.
+
+        None — i.e. never prune — unless at least one reader is attached
+        and *every* attached reader registered a predicate: a block is a
+        safe drop only when each consumer proves it empty.
+        """
+        if not self._reader_preds:
+            return None
+        preds = list(self._reader_preds.values())
+        if any(p is None for p in preds):
+            return None
+        return combine_predicates(preds)
+
     def fail(self, reason: str) -> None:
         """Directory eviction callback: lease expired → typed stream end."""
         self.error = reason
         self.closed = True
+
+
+def prune_step_payload(raw: np.ndarray, offset: int, count: int,
+                       predicate, stream: HostedStream) -> tuple[int, bytes]:
+    """Drop ``net.var`` spans the combined reader predicate proves empty.
+
+    Walks the PUBLISH frame's var run by ``decode_var`` offsets and
+    rebuilds the stored payload from the surviving spans — the payload
+    is sliced, never re-encoded, so kept blocks stay byte-identical.  A
+    span without writer-stamped stats is always kept.  Each dropped span
+    counts toward the stream's ``plugin.blocks_skipped`` series.
+    """
+    kept: list[np.ndarray] = []
+    skipped = 0
+    start = offset
+    for _ in range(count):
+        rec, end = decode_var(raw, offset)
+        if rec["has_stats"] and not predicate.might_match(
+            rec["name"], float(rec["vmin"]), float(rec["vmax"])
+        ):
+            skipped += 1
+        else:
+            kept.append(raw[offset:end])
+        offset = end
+    if not skipped:
+        return count, raw[start:].tobytes()  # flexlint: ok(FXL006) brokered steps outlive the receive buffer
+    stream.monitor.metrics.counter(
+        M_PLUGIN_BLOCKS_SKIPPED, labels=stream._labels
+    ).inc(skipped)
+    return count - skipped, b"".join(
+        s.tobytes() for s in kept  # flexlint: ok(FXL006) store of store-and-forward
+    )
 
 
 @dataclass
@@ -653,17 +713,28 @@ class DirectoryDaemon:
             if self._draining:
                 await self._send_retry_after(writer, "draining")
                 return
+            role = frame.record["role"]
+            try:
+                predicate = parse_predicate(frame.record["predicate"])
+            except CodeletError as exc:
+                await self._send_error(
+                    writer, "protocol", f"bad predicate spec: {exc}"
+                )
+                return
             await self._write_frame(
                 writer, encode_frame(MsgType.OK, {"detail": "attached"})
             )
             self._attached.add(writer)
+            reader_key = id(writer)
             try:
-                role = frame.record["role"]
                 if role == "w":
                     await self._serve_writer(session, stream, reader, writer)
                 else:
+                    stream.register_reader(reader_key, predicate)
                     await self._serve_reader(stream, reader, writer)
             finally:
+                if role != "w":
+                    stream.drop_reader(reader_key)
                 self._attached.discard(writer)
         except ConnectionError:
             pass
@@ -692,9 +763,22 @@ class DirectoryDaemon:
             except AdmissionError as exc:
                 await self._send_admission_error(writer, exc)
                 continue
-            payload = raw[frame.consumed:].tobytes()  # flexlint: ok(FXL006) brokered steps outlive the receive buffer; this is the store of store-and-forward
+            count = int(frame.record["count"])
+            predicate = stream.prune_predicate()
+            if predicate is not None and count:
+                try:
+                    count, payload = prune_step_payload(
+                        raw, frame.consumed, count, predicate, stream
+                    )
+                except ProtocolError:
+                    # Malformed var run: store verbatim; the reader's
+                    # decode surfaces the real error.
+                    count = int(frame.record["count"])
+                    payload = raw[frame.consumed:].tobytes()  # flexlint: ok(FXL006) brokered steps outlive the receive buffer
+            else:
+                payload = raw[frame.consumed:].tobytes()  # flexlint: ok(FXL006) brokered steps outlive the receive buffer; this is the store of store-and-forward
             stored = stream.publish(
-                int(frame.record["step"]), int(frame.record["count"]),
+                int(frame.record["step"]), count,
                 payload, bool(frame.record["eos"]),
                 seq=int(frame.record["seq"]),
             )

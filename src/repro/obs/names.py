@@ -90,6 +90,11 @@ M_HANDSHAKE_MESSAGES = "handshake.messages"
 M_REDIST_BYTES_MOVED = "redistribution.bytes_moved"
 M_REDIST_STRIDE_MESSAGES = "redistribution.stride_messages"
 
+# DC plug-in plane (core/plugins.py, core/stream.py, net/server.py)
+M_PLUGIN_BLOCKS_SKIPPED = "plugin.blocks_skipped"
+M_PLUGIN_FUSED_READS = "plugin.fused_reads"
+M_PLUGIN_INTERPRETED_READS = "plugin.interpreted_reads"
+
 # Fault injection (transport/faults.py, net/server.py)
 M_FAULTS_INJECTED_TOTAL = "faults.injected.total"
 
@@ -162,6 +167,12 @@ _METRIC_SPECS = (
     MetricSpec(M_HANDSHAKE_MESSAGES, "counter", "handshake-protocol messages"),
     MetricSpec(M_REDIST_BYTES_MOVED, "counter", "bytes moved by MxN redistribution"),
     MetricSpec(M_REDIST_STRIDE_MESSAGES, "counter", "redistribution stride messages"),
+    MetricSpec(M_PLUGIN_BLOCKS_SKIPPED, "counter",
+               "blocks not sent because a reader predicate provably drops them"),
+    MetricSpec(M_PLUGIN_FUSED_READS, "counter",
+               "reads served by the fused (compiled-chain) path"),
+    MetricSpec(M_PLUGIN_INTERPRETED_READS, "counter",
+               "plug-in reads that fell back to the interpreted pass"),
     MetricSpec(M_FAULTS_INJECTED_TOTAL, "counter", "total injected transport faults"),
     MetricSpec(M_TRANSPORT_COPIES, "histogram", "copies paid per delivered message"),
     MetricSpec(M_SHM_BYTES_SENT, "counter", "bytes sent over the SHM channel"),
@@ -210,6 +221,7 @@ METRICS: dict[str, MetricSpec] = {s.name: s for s in _METRIC_SPECS}
 # ---------------------------------------------------------------------------
 
 F_FAULTS_INJECTED = "faults.injected"
+F_PLUGIN = "plugin"
 F_TRANSPORT_PATH = "transport.path"
 F_LATENCY = "latency"
 F_SHM_QUEUE = "shm.queue"
@@ -218,6 +230,8 @@ F_RDMA_REGCACHE = "rdma.regcache"
 
 _FAMILY_SPECS = (
     MetricSpec(F_FAULTS_INJECTED, "family", "injected faults by FaultKind"),
+    MetricSpec(F_PLUGIN, "family",
+               "per-plug-in cost series (invocations/bytes/exec_ns by name)"),
     MetricSpec(F_TRANSPORT_PATH, "family", "deliveries by transport path"),
     MetricSpec(F_LATENCY, "family", "latency histograms by span category"),
     MetricSpec(F_SHM_QUEUE, "family", "SPSC queue stats (per queue instance)"),

@@ -13,12 +13,19 @@ asserts the resiliency invariants end to end:
    on a lost step.
 3. **Observability** — injected faults and retry recoveries are counted
    in the metrics registry and visible as records in the trace dump.
+4. **Fused == interpreted** — with ``--plugins`` a reader-side DC
+   plug-in chain (units, sampling, range-select) is deployed on the s3d
+   stream, and every committed step read through the compiled fused
+   plan must be byte-identical to the interpreted chain applied to the
+   assembled oracle array; the run also fails if no read actually took
+   the fused path.
 
 Usage::
 
     python -m repro.tools.chaos --scenario gts --seed 7 --rate 0.1
     python -m repro.tools.chaos --scenario all --steps 30 --transactional
     python -m repro.tools.chaos --scenario s3d --transport rdma --json
+    python -m repro.tools.chaos --scenario s3d --plugins
 
 Exit status 1 when any invariant is violated — wired into CI as the
 ``chaos-smoke`` job.
@@ -39,11 +46,19 @@ import numpy as np
 from repro.adios import Adios, RankContext, StepStatus, block_decompose
 from repro.analysis import sanitize
 from repro.core.hints import stream_params
+from repro.core.plugins import (
+    PluginManager,
+    PluginSide,
+    range_select_plugin,
+    sampling_plugin,
+    unit_conversion_plugin,
+)
 from repro.core.resilience import MovementFailed, TransactionAborted
 from repro.core.stream import StepState, stream_registry
 from repro.obs import recorder as flight
 from repro.obs.analysis import fault_summary
 from repro.obs.events import EV_FLIGHT_DUMP
+from repro.obs.names import M_PLUGIN_FUSED_READS
 from repro.util import rng
 
 SCENARIOS = ("gts", "s3d")
@@ -72,6 +87,19 @@ _S3D_XML = """
 _S3D_SHAPE = (32, 32)
 
 
+def _chaos_chain() -> list:
+    """Fresh instances of the reader-side chain used by ``--plugins``.
+
+    Called once to deploy on the live stream and once to build the
+    interpreted oracle, so the two sides never share kernel state.
+    """
+    return [
+        unit_conversion_plugin("temp", 1.5),
+        sampling_plugin(stride=2, only=("temp",)),
+        range_select_plugin("temp", 0, 0.15, 1.35),
+    ]
+
+
 @dataclass
 class ChaosReport:
     """Outcome of one chaos run; ``ok`` iff no invariant was violated."""
@@ -82,6 +110,10 @@ class ChaosReport:
     transport: str
     transactional: bool
     steps: int
+    #: A reader-side DC plug-in chain was deployed (``--plugins``).
+    plugins: bool = False
+    #: Reads that took the compiled fused path (plug-in runs only).
+    fused_reads: int = 0
     committed: list = field(default_factory=list)
     lost: list = field(default_factory=list)
     writer_failures: int = 0
@@ -111,6 +143,8 @@ class ChaosReport:
             "transport": self.transport,
             "transactional": self.transactional,
             "steps": self.steps,
+            "plugins": self.plugins,
+            "fused_reads": self.fused_reads,
             "committed": list(self.committed),
             "lost": list(self.lost),
             "writer_failures": self.writer_failures,
@@ -142,6 +176,7 @@ def run_chaos(
     writers: int = 2,
     transport: str = "shm",
     transactional: bool = False,
+    plugins: bool = False,
     kinds: str = "timeout|torn|disconnect",
     max_retries: int = 2,
     retry_timeout: float = 0.01,
@@ -161,9 +196,14 @@ def run_chaos(
     """
     if scenario not in SCENARIOS:
         raise ValueError(f"unknown scenario {scenario!r}; expected one of {SCENARIOS}")
+    if plugins and scenario != "s3d":
+        raise ValueError(
+            "plugins=True needs the s3d global-array scenario — only read() "
+            "selections take the compiled fused path"
+        )
     report = ChaosReport(
         scenario=scenario, seed=seed, rate=rate, transport=transport,
-        transactional=transactional, steps=steps,
+        transactional=transactional, steps=steps, plugins=plugins,
     )
     # Registry-validated hint build: a typo here is an UnknownHintError
     # at harness start, not a silently-ignored knob mid-chaos-run.
@@ -201,6 +241,16 @@ def run_chaos(
         for r in range(writers)
     ]
     state = stream_registry._states[name]
+    oracle: Optional[PluginManager] = None
+    if plugins:
+        # Same chain twice from fresh instances: one on the live stream
+        # (reads go through the compiled fused plan), one as a detached
+        # interpreted oracle the fused results are byte-compared against.
+        for k in _chaos_chain():
+            state.plugins.deploy(k, PluginSide.READER)
+        oracle = PluginManager()
+        for k in _chaos_chain():
+            oracle.deploy(k, PluginSide.READER)
     expected: dict[tuple[int, int], np.ndarray] = {}
     writer_lost: list[int] = []
     for step in range(steps):
@@ -248,20 +298,37 @@ def run_chaos(
             reader_lost.append(step)
             continue
         torn = False
-        for r in range(writers):
-            if scenario == "gts":
-                got = reader.read_block(var, r)
-            else:
-                box = boxes[r]
-                got = reader.read(var, start=box.start, count=box.count)
-            want = expected[(step, r)]
-            if got.shape != want.shape or not np.array_equal(got, want):
-                torn = True
-        if torn:
-            report.invariant_violations.append(
-                f"step {step} committed but NOT byte-identical (torn data)"
+        if oracle is not None:
+            # Fused-vs-interpreted invariant: one full-selection read
+            # through the compiled chain, against the interpreted chain
+            # applied to the assembled oracle payloads.
+            got = reader.read(var, start=(0, 0), count=_S3D_SHAPE)
+            full = np.concatenate(
+                [expected[(step, r)] for r in range(writers)]
             )
+            want = oracle.apply_side(PluginSide.READER, {var: full})[var]
+            if got.shape != want.shape or got.tobytes() != want.tobytes():  # flexlint: ok(FXL006) byte-identity oracle, not a transport copy
+                torn = True
+            if torn:
+                report.invariant_violations.append(
+                    f"step {step}: fused plug-in read differs from the "
+                    f"interpreted chain"
+                )
         else:
+            for r in range(writers):
+                if scenario == "gts":
+                    got = reader.read_block(var, r)
+                else:
+                    box = boxes[r]
+                    got = reader.read(var, start=box.start, count=box.count)
+                want = expected[(step, r)]
+                if got.shape != want.shape or not np.array_equal(got, want):
+                    torn = True
+            if torn:
+                report.invariant_violations.append(
+                    f"step {step} committed but NOT byte-identical (torn data)"
+                )
+        if not torn:
             reader_committed.append(step)
         reader.end_step()
     reader.close()
@@ -294,6 +361,12 @@ def run_chaos(
     report.degradations = int(
         metrics.counter("dataplane.transport.degradations").value
     )
+    if plugins:
+        report.fused_reads = int(metrics.counter(M_PLUGIN_FUSED_READS).value)
+        if reader_committed and report.fused_reads == 0:
+            report.invariant_violations.append(
+                "plug-in chain deployed but no read took the fused path"
+            )
     records = [r.as_dict() for r in state.monitor.trace]
     summary = fault_summary(records)
     if report.faults_injected > 0 and not summary.any():
@@ -347,6 +420,12 @@ def _print_report(report: ChaosReport, out) -> None:
         f"({report.wall_time:.2f}s)",
         file=out,
     )
+    if report.plugins:
+        print(
+            f"  plug-in chain: {report.fused_reads} fused reads checked "
+            f"against the interpreted oracle",
+            file=out,
+        )
     if report.flight_dumps:
         for path in report.flight_dumps:
             print(f"  flight dump: {path}", file=out)
@@ -370,6 +449,10 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     parser.add_argument("--transport", default="shm", choices=("shm", "rdma"))
     parser.add_argument("--transactional", action="store_true",
                         help="all-or-nothing step visibility (2PC)")
+    parser.add_argument("--plugins", action="store_true",
+                        help="deploy a reader-side DC plug-in chain and "
+                             "check fused reads against the interpreted "
+                             "oracle (s3d scenario only)")
     parser.add_argument("--kinds", default="timeout|torn|disconnect",
                         help="fault kinds to draw from (|-separated)")
     parser.add_argument("--max-retries", type=int, default=2)
@@ -386,6 +469,8 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     out = out or sys.stdout
 
+    if args.plugins and args.scenario == "gts":
+        parser.error("--plugins requires the s3d (global-array) scenario")
     scenarios = SCENARIOS if args.scenario == "all" else (args.scenario,)
     reports = [
         run_chaos(
@@ -396,6 +481,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
             writers=args.writers,
             transport=args.transport,
             transactional=args.transactional,
+            plugins=args.plugins and s == "s3d",
             kinds=args.kinds,
             max_retries=args.max_retries,
             degrade_after=args.degrade_after,

@@ -474,13 +474,13 @@ def test_cli_list_rules():
     for rule_id in (
         "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006",
         "FXL007", "FXL008", "FXL009", "FXL010", "FXL011", "FXL012",
-        "FXL013",
+        "FXL013", "FXL014",
     ):
         assert rule_id in text
     assert set(RULES) == {
         "FXL001", "FXL002", "FXL003", "FXL004", "FXL005", "FXL006",
         "FXL007", "FXL008", "FXL009", "FXL010", "FXL011", "FXL012",
-        "FXL013",
+        "FXL013", "FXL014",
     }
 
 
@@ -761,3 +761,52 @@ def test_fxl013_accepts_registered_names_families_and_nonstrings():
         np.histogram(data, bins=10)
     """
     assert lint(code) == []
+
+
+# ---------------------------------------------------------------------------
+# FXL014 — kernels are invoked only by the plug-in runtime / executor
+# ---------------------------------------------------------------------------
+
+def test_fxl014_flags_direct_kernel_calls_outside_executor():
+    code = """
+    def f(plugin, kernel, arr, record):
+        out = kernel.fn(arr)
+        mask = kernel.mask_fn(arr)
+        result = plugin._func(record)
+        return out, mask, result
+    """
+    findings = lint(code, path="repro/apps/fixture.py")
+    assert rules_of(findings) == ["FXL014"]
+    assert len(findings) == 3
+
+
+def test_fxl014_allows_the_plugin_runtime_and_executor():
+    code = """
+    def f(kernel, arr, record, plugin):
+        arr = arr[kernel.mask_fn(arr)]
+        arr = kernel.fn(arr)
+        return plugin._func(record)
+    """
+    assert lint(code, path="repro/core/plugins.py") == []
+    assert lint(code, path="repro/core/redistribution.py") == []
+
+
+def test_fxl014_accepts_chain_cursor_and_apply_surfaces():
+    code = """
+    def f(manager, chain, side, record, arr):
+        out = manager.apply_side(side, record)
+        cursor = chain.cursor("temp")
+        got = cursor.apply_block(arr)
+        return out, got
+    """
+    assert lint(code, path="repro/apps/fixture.py") == []
+
+
+def test_fxl014_waivable_with_reason():
+    code = """
+    def f(kernel, arr):
+        return kernel.fn(arr)  # flexlint: ok(FXL014) bench calls the raw kernel on purpose
+    """
+    findings = lint(code, path="repro/apps/fixture.py")
+    assert [f.rule for f in findings] == ["FXL014"]
+    assert findings[0].waived

@@ -96,11 +96,13 @@ def test_frame_round_trip(msg_type, record):
 def test_var_round_trip_preserves_dtype_and_shape():
     data = np.arange(24, dtype=np.float32).reshape(4, 6)
     rec = {"name": "temp", "writer_rank": 2, "start": [4, 0],
-           "shape": [4, 6], "gshape": [8, 6], "data": data}
+           "shape": [4, 6], "gshape": [8, 6],
+           "vmin": 0.0, "vmax": 23.0, "has_stats": True, "data": data}
     wb = encode_var(rec)
     got, nxt = decode_var(wb, 0)
     assert nxt == wb.nbytes
     assert got["name"] == "temp" and got["writer_rank"] == 2
+    assert got["vmin"] == 0.0 and got["vmax"] == 23.0 and got["has_stats"]
     assert got["data"].dtype == np.float32 and got["data"].shape == (4, 6)
     np.testing.assert_array_equal(got["data"], data)
 
@@ -110,9 +112,11 @@ def test_multipart_publish_frame_walks_by_consumed_offsets():
         MsgType.PUBLISH, {"step": 0, "count": 2, "eos": True, "seq": 1}
     )
     v1 = encode_var({"name": "a", "writer_rank": 0, "start": [], "shape": [3],
-                     "gshape": [], "data": np.ones(3)})
+                     "gshape": [], "vmin": 1.0, "vmax": 1.0,
+                     "has_stats": True, "data": np.ones(3)})
     v2 = encode_var({"name": "b", "writer_rank": 1, "start": [0], "shape": [2],
-                     "gshape": [4], "data": np.zeros(2, dtype=np.int64)})
+                     "gshape": [4], "vmin": 0.0, "vmax": 0.0,
+                     "has_stats": True, "data": np.zeros(2, dtype=np.int64)})
     blob = np.concatenate([w.as_array() for w in (head, v1, v2)])
     frame = decode_frame(blob)
     assert frame.record["count"] == 2 and frame.record["eos"] is True
